@@ -1,0 +1,1 @@
+"""Benchmark suite regenerating the paper's evaluation artifacts."""

@@ -1,0 +1,81 @@
+"""Caching-client benchmark: what the paper's mitigation buys.
+
+Measures an overlapping query workload against Constant-BRC through the
+owner-side cache: wall-clock per query and (in ``extra_info``) the
+fraction of queries answered without touching the server.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.caching import CachingConstantClient
+from repro.core.constant import ConstantBrc
+
+DOMAIN = 1 << 12
+N = 400
+
+
+def _workload(count=20, seed=4):
+    """Overlapping ranges drifting across the domain (dashboard-like)."""
+    rng = random.Random(seed)
+    queries = []
+    cursor = 0
+    for _ in range(count):
+        lo = max(0, min(DOMAIN - 2, cursor + rng.randrange(-100, 200)))
+        hi = min(DOMAIN - 1, lo + rng.randrange(50, 400))
+        queries.append((lo, hi))
+        cursor = lo
+    return queries
+
+
+def _records(seed=2):
+    rng = random.Random(seed)
+    return [(i, rng.randrange(DOMAIN)) for i in range(N)]
+
+
+def test_cached_overlapping_workload(benchmark):
+    records = _records()
+    queries = _workload()
+
+    def run():
+        scheme = ConstantBrc(DOMAIN, rng=random.Random(1))
+        scheme.build_index(records)
+        client = CachingConstantClient(scheme)
+        for lo, hi in queries:
+            client.query(lo, hi)
+        return client
+
+    client = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["full_cache_hits"] = client.stats.served_fully_from_cache
+    benchmark.extra_info["server_subqueries"] = client.stats.server_subqueries
+
+
+def test_uncached_disjoint_equivalent(benchmark):
+    """Cost floor: the same volume of work as non-overlapping queries
+    against a guard-free scheme (what the cache converges to)."""
+    records = _records()
+    queries = _workload()
+
+    def run():
+        scheme = ConstantBrc(DOMAIN, rng=random.Random(1), intersection_policy="allow")
+        scheme.build_index(records)
+        for lo, hi in queries:
+            scheme.query(lo, hi)
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+def test_cache_reduces_server_work():
+    records = _records()
+    queries = _workload()
+    scheme = ConstantBrc(DOMAIN, rng=random.Random(1))
+    scheme.build_index(records)
+    client = CachingConstantClient(scheme)
+    for lo, hi in queries:
+        client.query(lo, hi)
+    # Overlap-heavy workload: strictly fewer server trips than queries.
+    assert client.stats.server_subqueries < client.stats.queries * 2
+    assert client.stats.values_served_from_cache > 0

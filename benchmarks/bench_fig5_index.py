@@ -1,0 +1,62 @@
+"""Figure 5 — index size (a) and construction time (b) on Gowalla-like data.
+
+``--benchmark-only`` timing reproduces 5(b); the per-benchmark
+``extra_info["index_mib"]`` column carries 5(a).  Expected ordering
+(paper): Constant < Logarithmic-BRC/URC < Logarithmic-SRC <
+Logarithmic-SRC-i, with PB construction far slower than all of ours.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_DOMAIN, fresh_scheme
+from repro.baselines.pb import PbScheme
+from repro.harness.metrics import mib
+
+import random
+
+SCHEMES = (
+    "constant-brc",
+    "logarithmic-brc",
+    "logarithmic-src",
+    "logarithmic-src-i",
+)
+
+
+@pytest.mark.parametrize("name", SCHEMES)
+def test_fig5_build(benchmark, name, gowalla_records):
+    def build():
+        scheme = fresh_scheme(name)
+        scheme.build_index(gowalla_records)
+        return scheme
+
+    scheme = benchmark.pedantic(build, rounds=3, iterations=1)
+    benchmark.extra_info["index_mib"] = round(mib(scheme.index_size_bytes()), 4)
+    benchmark.extra_info["n"] = len(gowalla_records)
+
+
+def test_fig5_build_pb(benchmark, gowalla_records):
+    def build():
+        scheme = PbScheme(BENCH_DOMAIN, rng=random.Random(7))
+        scheme.build_index(gowalla_records)
+        return scheme
+
+    scheme = benchmark.pedantic(build, rounds=3, iterations=1)
+    benchmark.extra_info["index_mib"] = round(mib(scheme.index_size_bytes()), 4)
+    benchmark.extra_info["n"] = len(gowalla_records)
+
+
+def test_fig5_shape_assertion(gowalla_records):
+    """The paper's size ordering must hold at this scale too."""
+    sizes = {}
+    for name in SCHEMES:
+        scheme = fresh_scheme(name)
+        scheme.build_index(gowalla_records)
+        sizes[name] = scheme.index_size_bytes()
+    assert (
+        sizes["constant-brc"]
+        < sizes["logarithmic-brc"]
+        < sizes["logarithmic-src"]
+        <= sizes["logarithmic-src-i"]
+    )

@@ -1,0 +1,59 @@
+"""Figure 6 — false-positive rate vs range size, SRC vs SRC-i.
+
+Timing here is secondary; the benchmark's ``extra_info["fp_rate"]``
+column is the figure.  Expected shape: FP rate decreases with range
+size; SRC-i ≤ SRC with a wider margin on the skewed (USPS) dataset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_DOMAIN, USPS_DOMAIN, built
+from repro.workloads.queries import percent_of_domain_ranges
+
+PERCENTS = (10, 50, 90)
+
+
+def _fp_rate(scheme, domain, percent, queries=6, seed=5):
+    rates = [
+        scheme.query(lo, hi).false_positive_rate
+        for lo, hi in percent_of_domain_ranges(domain, percent, queries, seed=seed)
+    ]
+    return sum(rates) / len(rates)
+
+
+@pytest.mark.parametrize("percent", PERCENTS)
+@pytest.mark.parametrize("name", ("logarithmic-src", "logarithmic-src-i"))
+def test_fig6_gowalla(benchmark, name, percent, gowalla_records):
+    scheme = built(name, gowalla_records)
+    rate = benchmark.pedantic(
+        _fp_rate, args=(scheme, BENCH_DOMAIN, percent), rounds=1, iterations=1
+    )
+    benchmark.extra_info["fp_rate"] = round(rate, 4)
+
+
+@pytest.mark.parametrize("percent", PERCENTS)
+@pytest.mark.parametrize("name", ("logarithmic-src", "logarithmic-src-i"))
+def test_fig6_usps(benchmark, name, percent, usps_records):
+    scheme = built(name, usps_records, domain=USPS_DOMAIN)
+    rate = benchmark.pedantic(
+        _fp_rate, args=(scheme, USPS_DOMAIN, percent), rounds=1, iterations=1
+    )
+    benchmark.extra_info["fp_rate"] = round(rate, 4)
+
+
+def test_fig6_shape_rate_decreases(usps_records):
+    """FP rate must fall as the range grows (more marked tuples inside)."""
+    scheme = built("logarithmic-src", usps_records, domain=USPS_DOMAIN)
+    low = _fp_rate(scheme, USPS_DOMAIN, 10, queries=10)
+    high = _fp_rate(scheme, USPS_DOMAIN, 100, queries=10)
+    assert high <= low + 0.05
+
+
+def test_fig6_shape_bounded(gowalla_records, usps_records):
+    """Paper: SRC-i false positives stay below ~40% of the answer."""
+    for records, domain in ((gowalla_records, BENCH_DOMAIN), (usps_records, USPS_DOMAIN)):
+        scheme = built("logarithmic-src-i", records, domain=domain)
+        for percent in (25, 75):
+            assert _fp_rate(scheme, domain, percent, queries=8) <= 0.55

@@ -1,0 +1,97 @@
+"""Figure 7 — server search time vs range size, all schemes + SSE floor.
+
+Expected shape (paper): Logarithmic-BRC/URC coincide with the bare SSE
+retrieval floor; Constant adds the O(R) GGM expansion (more pronounced
+on large domains); the SRC family pays for false positives, with SRC-i
+beating SRC under skew and losing to it on uniform data; PB sits above
+the Logarithmic schemes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import BENCH_DOMAIN, USPS_DOMAIN, built
+from repro.baselines.pb import PbScheme
+from repro.baselines.sse_floor import SseFloor
+from repro.workloads.queries import percent_of_domain_ranges
+
+#: Small domain keeps Constant's O(R) GGM expansion benchable.
+FIG7_DOMAIN = 1 << 12
+PERCENT = 25
+N_QUERIES = 4
+
+SCHEMES = (
+    "constant-brc",
+    "logarithmic-brc",
+    "logarithmic-src",
+    "logarithmic-src-i",
+)
+
+
+def _run_queries(scheme, queries):
+    return [scheme.query(lo, hi) for lo, hi in queries]
+
+
+@pytest.mark.parametrize("name", SCHEMES)
+def test_fig7_gowalla(benchmark, name):
+    rng = random.Random(9)
+    records = [(i, rng.randrange(FIG7_DOMAIN)) for i in range(600)]
+    scheme = built(name, records, domain=FIG7_DOMAIN)
+    queries = percent_of_domain_ranges(FIG7_DOMAIN, PERCENT, N_QUERIES, seed=5)
+    outcomes = benchmark.pedantic(
+        _run_queries, args=(scheme, queries), rounds=2, iterations=1
+    )
+    benchmark.extra_info["avg_result_size"] = sum(
+        o.result_size for o in outcomes
+    ) / len(outcomes)
+
+
+@pytest.mark.parametrize("name", ("logarithmic-src", "logarithmic-src-i"))
+def test_fig7_usps_skew(benchmark, name, usps_records):
+    scheme = built(name, usps_records, domain=USPS_DOMAIN)
+    queries = percent_of_domain_ranges(USPS_DOMAIN, PERCENT, N_QUERIES, seed=5)
+    benchmark.pedantic(_run_queries, args=(scheme, queries), rounds=2, iterations=1)
+
+
+def test_fig7_pb(benchmark):
+    rng = random.Random(9)
+    records = [(i, rng.randrange(FIG7_DOMAIN)) for i in range(600)]
+    scheme = PbScheme(FIG7_DOMAIN, rng=random.Random(7))
+    scheme.build_index(records)
+    queries = percent_of_domain_ranges(FIG7_DOMAIN, PERCENT, N_QUERIES, seed=5)
+    benchmark.pedantic(_run_queries, args=(scheme, queries), rounds=2, iterations=1)
+
+
+def test_fig7_sse_floor(benchmark, gowalla_oracle):
+    floor = SseFloor(len(gowalla_oracle), rng=random.Random(7))
+    queries = percent_of_domain_ranges(BENCH_DOMAIN, PERCENT, N_QUERIES, seed=5)
+    result_sizes = [gowalla_oracle.count(lo, hi) for lo, hi in queries]
+
+    def retrieve_all():
+        for r in result_sizes:
+            floor.retrieve(r)
+
+    benchmark.pedantic(retrieve_all, rounds=2, iterations=1)
+
+
+def test_fig7_shape_log_matches_floor():
+    """Logarithmic-BRC search ≈ SSE floor: the extra log R is negligible."""
+    rng = random.Random(9)
+    records = [(i, rng.randrange(FIG7_DOMAIN)) for i in range(600)]
+    scheme = built("logarithmic-brc", records, domain=FIG7_DOMAIN)
+    floor = SseFloor(len(records), rng=random.Random(7))
+    queries = percent_of_domain_ranges(FIG7_DOMAIN, 50, 6, seed=5)
+    from repro.harness.metrics import timed
+
+    scheme_s = sum(scheme.query(lo, hi).server_seconds for lo, hi in queries)
+    floor_s = 0.0
+    from repro.baselines.plaintext import PlaintextRangeIndex
+
+    oracle = PlaintextRangeIndex(records)
+    for lo, hi in queries:
+        _, seconds = timed(floor.retrieve, oracle.count(lo, hi))
+        floor_s += seconds
+    assert scheme_s < 8 * floor_s + 0.01

@@ -1,0 +1,63 @@
+"""Figure 8 — query size (a) and query generation time (b) at the owner.
+
+Dataset-independent: only the range covers and token formats matter.
+Expected shape: SRC = one 32-byte token, SRC-i = two; BRC/URC grow
+logarithmically in the range size with URC's saw-like worst case above
+BRC's smoothed average.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import fresh_scheme
+from repro.workloads.queries import fixed_size_ranges
+
+DOMAIN = 1 << 20  # the paper's exact Figure 8 domain
+RANGE_SIZE = 100
+N_QUERIES = 200
+
+SCHEMES = (
+    "constant-brc",
+    "constant-urc",
+    "logarithmic-brc",
+    "logarithmic-urc",
+    "logarithmic-src",
+    "logarithmic-src-i",
+)
+
+
+def _built(name):
+    scheme = fresh_scheme(name, domain=DOMAIN)
+    scheme.build_index([(0, 0)])
+    return scheme
+
+
+@pytest.mark.parametrize("name", SCHEMES)
+def test_fig8_trapdoor_generation(benchmark, name):
+    scheme = _built(name)
+    queries = fixed_size_ranges(DOMAIN, RANGE_SIZE, N_QUERIES, seed=5)
+
+    def generate_all():
+        total = 0
+        for lo, hi in queries:
+            total += scheme.token_size_bytes(scheme.trapdoor(lo, hi))
+        return total
+
+    total_bytes = benchmark(generate_all)
+    benchmark.extra_info["avg_token_bytes"] = total_bytes / N_QUERIES
+
+
+def test_fig8_shape_constant_vs_logarithmic_tokens():
+    queries = fixed_size_ranges(DOMAIN, RANGE_SIZE, 50, seed=5)
+    sizes = {}
+    for name in SCHEMES:
+        scheme = _built(name)
+        sizes[name] = sum(
+            scheme.token_size_bytes(scheme.trapdoor(lo, hi)) for lo, hi in queries
+        ) / len(queries)
+    assert sizes["logarithmic-src"] == 32.0
+    assert sizes["logarithmic-src-i"] == 32.0  # + 32 for round 2 at query time
+    assert sizes["logarithmic-brc"] > 3 * 32  # O(log R) tokens
+    assert sizes["constant-urc"] >= sizes["constant-brc"]
+    assert sizes["logarithmic-urc"] >= sizes["logarithmic-brc"]

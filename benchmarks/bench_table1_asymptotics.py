@@ -1,0 +1,91 @@
+"""Table 1 — empirical validation of the asymptotic cost claims.
+
+Benchmarks the primitive operations whose costs Table 1 tabulates
+(trapdoor generation per cover technique, GGM expansion, SSE retrieval)
+and asserts the storage growth factors.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import fresh_scheme
+from repro.covers.brc import best_range_cover
+from repro.covers.tdag import Tdag
+from repro.covers.urc import uniform_range_cover
+from repro.crypto.dprf import DelegationToken, GgmDprf
+from repro.harness.experiments import table1
+
+DOMAIN = 1 << 20
+
+
+def test_table1_storage_growth_is_linear(benchmark):
+    rows = benchmark.pedantic(
+        table1,
+        kwargs=dict(n_small=200, n_large=800, domain=1 << 14, seed=3),
+        rounds=1,
+        iterations=1,
+    )
+    for name, claim, factor, verdict in rows:
+        assert verdict == "linear-in-n ok", (name, factor)
+
+
+@pytest.mark.parametrize(
+    "cover_fn", [best_range_cover, uniform_range_cover], ids=["brc", "urc"]
+)
+def test_table1_cover_computation(benchmark, cover_fn):
+    rng = random.Random(4)
+    queries = []
+    for _ in range(200):
+        lo = rng.randrange(DOMAIN - 10_000)
+        queries.append((lo, lo + rng.randrange(1, 10_000)))
+
+    def cover_all():
+        for lo, hi in queries:
+            cover_fn(lo, hi)
+
+    benchmark(cover_all)
+
+
+def test_table1_src_cover_computation(benchmark):
+    tdag = Tdag(DOMAIN)
+    rng = random.Random(4)
+    queries = []
+    for _ in range(200):
+        lo = rng.randrange(DOMAIN - 10_000)
+        queries.append((lo, lo + rng.randrange(1, 10_000)))
+
+    def cover_all():
+        for lo, hi in queries:
+            tdag.src_cover(lo, hi)
+
+    benchmark(cover_all)
+
+
+def test_table1_ggm_expansion_linear_in_R(benchmark):
+    """Constant's O(R) search term: expanding one level-10 token = 1024
+    leaf PRF values."""
+    key = GgmDprf.generate_key(random.Random(5))
+    token = DelegationToken(key, 10)
+    leaves = benchmark(GgmDprf.expand_token, token)
+    assert len(leaves) == 1024
+
+
+def test_table1_search_linear_in_r(gowalla_records):
+    """O(r) retrieval: doubling the result size roughly doubles work,
+    measured via the result-proportional server time of Logarithmic-BRC."""
+    scheme = fresh_scheme("logarithmic-brc")
+    scheme.build_index(gowalla_records)
+    import statistics
+
+    def avg_time(lo, hi, repeats=5):
+        return statistics.median(
+            scheme.query(lo, hi).server_seconds for _ in range(repeats)
+        )
+
+    domain = 1 << 16
+    small = avg_time(0, domain // 4 - 1)
+    large = avg_time(0, domain - 1)
+    assert large > small  # 4x the results must cost measurably more

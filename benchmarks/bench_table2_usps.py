@@ -1,0 +1,54 @@
+"""Table 2 — index size and construction time on the skewed USPS stand-in.
+
+Paper's headline for this table: under heavy skew (5% distinct values)
+Logarithmic-SRC-i's auxiliary index is nearly free — its cost approaches
+Logarithmic-SRC instead of doubling it as on uniform data.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import USPS_DOMAIN, fresh_scheme
+from repro.baselines.pb import PbScheme
+from repro.harness.metrics import mib
+
+SCHEMES = (
+    "constant-brc",
+    "logarithmic-brc",
+    "logarithmic-src",
+    "logarithmic-src-i",
+)
+
+
+@pytest.mark.parametrize("name", SCHEMES)
+def test_table2_build(benchmark, name, usps_records):
+    def build():
+        scheme = fresh_scheme(name, domain=USPS_DOMAIN)
+        scheme.build_index(usps_records)
+        return scheme
+
+    scheme = benchmark.pedantic(build, rounds=3, iterations=1)
+    benchmark.extra_info["index_mib"] = round(mib(scheme.index_size_bytes()), 4)
+
+
+def test_table2_build_pb(benchmark, usps_records):
+    def build():
+        scheme = PbScheme(USPS_DOMAIN, rng=random.Random(7))
+        scheme.build_index(usps_records)
+        return scheme
+
+    scheme = benchmark.pedantic(build, rounds=3, iterations=1)
+    benchmark.extra_info["index_mib"] = round(mib(scheme.index_size_bytes()), 4)
+
+
+def test_table2_src_i_overhead_small_under_skew(usps_records):
+    """SRC-i adds 'minimal overheads' over SRC on skewed data (paper)."""
+    src = fresh_scheme("logarithmic-src", domain=USPS_DOMAIN)
+    srci = fresh_scheme("logarithmic-src-i", domain=USPS_DOMAIN)
+    src.build_index(usps_records)
+    srci.build_index(usps_records)
+    ratio = srci.index_size_bytes() / src.index_size_bytes()
+    assert ratio < 1.6, f"SRC-i/SRC size ratio {ratio:.2f} too large for skewed data"

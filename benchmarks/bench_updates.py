@@ -1,0 +1,74 @@
+"""Update-framework throughput benchmarks (Section 7).
+
+Measures batch ingestion (index build per batch), the amortized cost of
+hierarchical consolidation, and query fan-out across active indexes —
+the quantities the consolidation step ``s`` trades against each other.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.registry import make_scheme
+from repro.updates import BatchUpdateManager, insert
+
+DOMAIN = 1 << 12
+BATCH = 32
+
+
+def _manager(s, seed=1):
+    seeder = random.Random(seed)
+    return BatchUpdateManager(
+        lambda: make_scheme(
+            "logarithmic-brc", DOMAIN, rng=random.Random(seeder.randrange(2**62))
+        ),
+        consolidation_step=s,
+        rng=random.Random(seed),
+    )
+
+
+def test_batch_ingest(benchmark):
+    counter = {"next": 0}
+
+    def ingest_one():
+        mgr = _manager(s=64)  # no merges: isolates per-batch build cost
+        base = counter["next"]
+        counter["next"] += BATCH
+        mgr.apply_batch(
+            [insert(base + i, (base + i) % DOMAIN) for i in range(BATCH)]
+        )
+        return mgr
+
+    benchmark.pedantic(ingest_one, rounds=5, iterations=1)
+
+
+@pytest.mark.parametrize("s", (2, 4))
+def test_ingest_with_consolidation(benchmark, s):
+    def ingest_eight_batches():
+        mgr = _manager(s=s)
+        next_id = 0
+        for _ in range(8):
+            mgr.apply_batch(
+                [insert(next_id + i, (next_id + i) % DOMAIN) for i in range(BATCH)]
+            )
+            next_id += BATCH
+        return mgr
+
+    mgr = benchmark.pedantic(ingest_eight_batches, rounds=2, iterations=1)
+    benchmark.extra_info["active_indexes"] = mgr.active_indexes
+    benchmark.extra_info["merges"] = mgr.stats.consolidations
+
+
+@pytest.mark.parametrize("s", (2, 16))
+def test_query_fanout(benchmark, s):
+    mgr = _manager(s=s)
+    next_id = 0
+    for _ in range(8):
+        mgr.apply_batch(
+            [insert(next_id + i, (next_id + i) % DOMAIN) for i in range(BATCH)]
+        )
+        next_id += BATCH
+    outcome = benchmark(mgr.query, 100, 3000)
+    benchmark.extra_info["indexes_queried"] = outcome.rounds

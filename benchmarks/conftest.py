@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks run at laptop scale (hundreds to thousands of tuples); the
+scale mapping to the paper's setup is recorded in DESIGN.md §3 and the
+measured outputs in EXPERIMENTS.md.  Every fixture is deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.plaintext import PlaintextRangeIndex
+from repro.core.registry import make_scheme
+from repro.workloads.datasets import usps_like, with_distinct_fraction
+
+BENCH_DOMAIN = 1 << 16
+BENCH_N = 600
+USPS_DOMAIN = 276_841
+
+
+def fresh_scheme(name, domain=BENCH_DOMAIN, seed=7, **kwargs):
+    extra = {"intersection_policy": "allow"} if name.startswith("constant") else {}
+    extra.update(kwargs)
+    return make_scheme(name, domain, rng=random.Random(seed), **extra)
+
+
+@pytest.fixture(scope="session")
+def gowalla_records():
+    """Near-uniform dataset (95% distinct), the Gowalla stand-in."""
+    return with_distinct_fraction(BENCH_N, BENCH_DOMAIN, 0.95, seed=42)
+
+
+@pytest.fixture(scope="session")
+def usps_records():
+    """Skewed dataset (5% distinct, Zipf masses), the USPS stand-in."""
+    return usps_like(BENCH_N, seed=42)
+
+
+@pytest.fixture(scope="session")
+def gowalla_oracle(gowalla_records):
+    return PlaintextRangeIndex(gowalla_records)
+
+
+def built(name, records, domain=BENCH_DOMAIN, seed=7, **kwargs):
+    scheme = fresh_scheme(name, domain, seed, **kwargs)
+    scheme.build_index(records)
+    return scheme

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Scenario 6 — choosing the right scheme, then proving it healthy.
+
+The paper ends every scheme section with qualitative advice on when to
+use it.  This example walks a practitioner's actual flow: profile the
+dataset, state workload constraints, let the advisor pick the Table 1
+scheme (with its reasoning), build it, persist it with a passphrase,
+reopen it, and run the self-check diagnostics against ground truth.
+
+Run:  python examples/choosing_a_scheme.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import pathlib
+
+from repro import make_scheme
+from repro.harness import (
+    WorkloadProfile,
+    profile_dataset,
+    recommend,
+    verify_scheme,
+)
+from repro.io import load_scheme, save_scheme
+from repro.workloads.datasets import usps_like
+
+DOMAIN = 276_841
+records = usps_like(1_000, seed=31)
+
+# 1. Profile the data.
+profile = profile_dataset(records, DOMAIN)
+print(f"dataset: n={profile.n}, distinct fraction="
+      f"{profile.distinct_fraction:.2f}, heaviest value share="
+      f"{profile.max_value_share:.2f}")
+
+# 2. State the workload: an analyst dashboard — overlapping queries,
+#    false positives fine (refined client-side), ordering must stay
+#    hidden, an extra round trip is acceptable.
+workload = WorkloadProfile(
+    intersecting_queries=True,
+    false_positives_ok=True,
+    hide_order=True,
+    interactive_ok=True,
+)
+
+# 3. Ask the advisor.
+rec = recommend(profile, workload)
+print(f"\nrecommended scheme: {rec.scheme}")
+for reason in rec.reasons:
+    print(f"  - {reason}")
+
+# 4. Build, persist under a passphrase, reopen.
+scheme = make_scheme(rec.scheme, DOMAIN)
+scheme.build_index(records)
+with tempfile.TemporaryDirectory() as tmp:
+    path = pathlib.Path(tmp) / "salaries.rsse"
+    save_scheme(scheme, path, passphrase="correct horse battery staple")
+    print(f"\nsnapshot written: {path.stat().st_size} bytes (passphrase-wrapped)")
+    reopened = load_scheme(path, passphrase="correct horse battery staple")
+
+# 5. Self-check the reopened index against ground truth.
+report = verify_scheme(reopened, probes=15, oracle_records=records)
+print(f"diagnostics: {report.queries_run} probes, healthy={report.healthy}, "
+      f"false positives refined away: {report.false_positive_total}")
+assert report.healthy and rec.scheme == "logarithmic-src-i"
+print("\nOK — skewed salary data routed to Logarithmic-SRC-i, persisted, "
+      "reopened, and verified.")

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Scenario 4 — using the SSE substrate directly as an encrypted multimap.
+
+The RSSE schemes treat single-keyword SSE as a black box; that black box
+is useful on its own.  This example builds an encrypted tag → document
+store with PiBas, ships the EDB over a (simulated) wire, and shows that
+the server learns nothing it wasn't handed a token for — including the
+DPRF-delegation trick the Constant schemes are built on.
+
+Run:  python examples/encrypted_kv_store.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.crypto.dprf import GgmDprf
+from repro.crypto.prf import generate_key
+from repro.sse.base import EncryptedIndex, PrfKeyDeriver, token_from_secret
+from repro.sse.encoding import decode_id, encode_id
+from repro.sse.pibas import PiBas
+
+# --- Owner side: build an encrypted tag index ---------------------------
+master_key = generate_key()
+sse = PiBas(PrfKeyDeriver(master_key))
+
+documents_by_tag = {
+    b"tag:finance": [encode_id(1), encode_id(4), encode_id(9)],
+    b"tag:legal": [encode_id(2)],
+    b"tag:ops": [encode_id(4), encode_id(7)],
+}
+edb = sse.build_index(documents_by_tag)
+wire = edb.to_bytes()
+print(f"encrypted index: {len(edb)} entries, {len(wire)} bytes on the wire")
+
+# --- Server side: holds only the EDB bytes ------------------------------
+server_edb = EncryptedIndex.from_bytes(wire)
+
+# --- Owner queries one tag ----------------------------------------------
+token = sse.trapdoor(b"tag:finance")
+ids = sorted(decode_id(p) for p in sse.search(server_edb, token))
+print(f"tag:finance -> documents {ids}")
+assert ids == [1, 4, 9]
+
+# Without a token, a label is just 16 pseudorandom bytes:
+print("a raw EDB label:", wire[8 + 4 : 8 + 4 + 16].hex())
+
+# --- Bonus: DPRF delegation over a numeric keyword space ----------------
+# Index documents under numeric hour-of-week keywords, then delegate the
+# whole business-hours range with O(log R) seeds instead of R tokens.
+dprf = GgmDprf(168)  # hours in a week
+dprf_key = GgmDprf.generate_key()
+from repro.sse.base import CallbackKeyDeriver
+
+hours_sse = PiBas(
+    CallbackKeyDeriver(lambda kw: dprf.evaluate(dprf_key, int.from_bytes(kw, "big")))
+)
+events = {(h).to_bytes(8, "big"): [encode_id(1000 + h)] for h in range(168)}
+hours_edb = hours_sse.build_index(events)
+
+tokens = dprf.delegate(dprf_key, 9, 17, shuffle_rng=random.SystemRandom())
+print(f"\ndelegating hours [9, 17] with {len(tokens)} GGM seeds "
+      f"({sum(t.serialized_size() for t in tokens)} bytes)")
+found = []
+for leaf in GgmDprf.expand_all(tokens):
+    found.extend(
+        decode_id(p) for p in hours_sse.search(hours_edb, token_from_secret(leaf))
+    )
+assert sorted(found) == [1000 + h for h in range(9, 18)]
+print(f"server resolved {len(found)} hourly events without ever seeing "
+      "the range endpoints or the key.")

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Scenario 1 — time-range analytics over outsourced check-ins (Gowalla).
+
+The paper's first evaluation dataset is a geo-social check-in log
+queried by timestamp.  This example builds a synthetic check-in stream
+with the same shape (near-uniform timestamps, ~95% distinct), indexes it
+under every experiment scheme, and contrasts their index size, query
+size and accuracy on the same "last-hour"-style window queries — a
+miniature of the trade-off study in Table 1.
+
+Run:  python examples/geo_checkins.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import EXPERIMENT_SCHEMES, make_scheme
+from repro.baselines.plaintext import PlaintextRangeIndex
+from repro.harness.tables import render_table
+from repro.workloads.datasets import with_distinct_fraction
+
+DOMAIN = 1 << 20  # timestamp domain (scaled from Gowalla's ~1.03e8)
+N_CHECKINS = 2_000
+
+print(f"Generating {N_CHECKINS} synthetic check-ins over a {DOMAIN}-value "
+      "timestamp domain …")
+checkins = with_distinct_fraction(N_CHECKINS, DOMAIN, 0.95, seed=7)
+oracle = PlaintextRangeIndex(checkins)
+
+# Three window queries, like "who checked in during this hour".
+windows = [
+    (100_000, 140_000),
+    (500_000, 505_000),
+    (0, DOMAIN - 1),
+]
+
+rows = []
+for name in EXPERIMENT_SCHEMES:
+    kwargs = {"rng": random.Random(1)}
+    if name.startswith("constant"):
+        kwargs["intersection_policy"] = "allow"
+    scheme = make_scheme(name, DOMAIN, **kwargs)
+    scheme.build_index(checkins)
+    total_token_bytes = 0
+    total_fps = 0
+    for lo, hi in windows:
+        outcome = scheme.query(lo, hi)
+        expected = sorted(oracle.query(lo, hi))
+        assert sorted(outcome.ids) == expected, (name, lo, hi)
+        total_token_bytes += outcome.token_bytes
+        total_fps += outcome.false_positives
+    rows.append(
+        [
+            name,
+            scheme.index_size_bytes() // 1024,
+            total_token_bytes // len(windows),
+            total_fps,
+        ]
+    )
+
+print()
+print(render_table(
+    ["scheme", "index KiB", "avg token B", "false positives"], rows
+))
+print("\nEvery scheme returned the exact oracle answer after refinement.")
+print("Note the Table 1 trade-off: Constant = smallest index but most "
+      "leakage; SRC = single-token queries but false positives; SRC-i "
+      "bounds the false positives at slightly larger index size.")

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Scenario 3 — measuring what each scheme actually leaks.
+
+Table 1 ranks the schemes by security level with qualitative arguments.
+This example makes the ranking concrete: it runs honest leakage-only
+adversaries against the L2 leakage of each scheme family on the same
+dataset and query trace, and reports how much ordering information each
+one surrenders.
+
+Run:  python examples/leakage_comparison.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.harness.tables import render_table
+from repro.leakage import (
+    constant_leakage,
+    logarithmic_leakage,
+    order_reconstruction,
+    ordered_pair_accuracy,
+    partition_entropy,
+    src_leakage,
+)
+
+DOMAIN = 1 << 10
+rng = random.Random(5)
+records = [(i, rng.randrange(DOMAIN)) for i in range(400)]
+queries = [(50, 300), (400, 700), (10, 900), (600, 650), (0, DOMAIN - 1)]
+
+total_pairs = 400 * 399 // 2
+
+rows = []
+for label, fn in (
+    ("constant-brc (level 1)", lambda: constant_leakage(records, DOMAIN, queries)),
+    ("logarithmic-brc (level 3)", lambda: logarithmic_leakage(records, DOMAIN, queries)),
+    ("logarithmic-src (level 6)", lambda: src_leakage(records, DOMAIN, queries)),
+):
+    _, trace = fn()
+    pairs = order_reconstruction(trace)
+    accuracy = ordered_pair_accuracy(pairs, records)
+    rows.append(
+        [
+            label,
+            len(pairs),
+            f"{100 * len(pairs) / total_pairs:.1f}%",
+            f"{accuracy:.2f}",
+            f"{partition_entropy(trace):.1f}",
+        ]
+    )
+
+print("Adversary: passively observes the L2 leakage of 5 range queries")
+print(f"over {len(records)} tuples, then reconstructs tuple order.\n")
+print(
+    render_table(
+        [
+            "scheme (security level)",
+            "ordered pairs recovered",
+            "of all pairs",
+            "attack precision",
+            "partition bits/query",
+        ],
+        rows,
+    )
+)
+print("""
+Reading the table:
+ - Constant-* disclose per-subtree id maps: the adversary recovers the
+   exact relative order of thousands of tuple pairs (at 100% precision —
+   this is real information, not noise).
+ - Logarithmic-BRC/URC hide offsets; only the partitioning of each
+   result into subtree groups remains (the 'partition bits' column).
+ - Logarithmic-SRC collapses every answer into one unordered group:
+   nothing to reconstruct, 0 bits of partition structure — the highest
+   security level in the framework.""")

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Quickstart: encrypted range search in a dozen lines.
+
+An owner outsources a small dataset to an (untrusted) server and runs
+range queries that reveal nothing but the formulated leakage.  This uses
+Logarithmic-SRC-i — the paper's best security/efficiency trade-off.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import make_scheme
+
+# Setup + BuildIndex: the owner encrypts and indexes (id, value) tuples.
+# Here: sensor readings with a 16-bit measurement domain.
+scheme = make_scheme("logarithmic-src-i", domain_size=1 << 16)
+readings = [
+    (101, 2_310),
+    (102, 47_000),
+    (103, 2_355),
+    (104, 61_200),
+    (105, 2_290),
+]
+scheme.build_index(readings)
+
+# Trpdr + Search + refinement, all in one call: which sensors reported
+# a value between 2,000 and 3,000?
+outcome = scheme.query(2_000, 3_000)
+
+print("matching ids:       ", sorted(outcome.ids))
+print("server returned:    ", len(outcome.raw_ids), "candidates")
+print("false positives:    ", outcome.false_positives)
+print("query token bytes:  ", outcome.token_bytes)
+print("protocol rounds:    ", outcome.rounds)
+print("index size (bytes): ", scheme.index_size_bytes())
+
+assert sorted(outcome.ids) == [101, 103, 105]
+print("\nOK — the encrypted index answered exactly.")

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package installs in environments without the `wheel` module (offline
+containers), via `python setup.py develop` or legacy pip code paths.
+"""
+
+from setuptools import setup
+
+setup()

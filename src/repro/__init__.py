@@ -1,0 +1,40 @@
+"""repro — Practical Private Range Search Revisited (SIGMOD 2016).
+
+A complete reproduction of the paper's Range Searchable Symmetric
+Encryption (RSSE) framework: all schemes of Table 1, the PB baseline of
+Li et al., the batch-update framework with forward privacy, leakage
+accounting, synthetic workloads standing in for Gowalla/USPS, and a
+harness regenerating every figure and table of the evaluation.
+
+Quickstart::
+
+    from repro import make_scheme
+
+    scheme = make_scheme("logarithmic-src-i", domain_size=1 << 16)
+    scheme.build_index([(0, 1500), (1, 42000), (2, 1501)])
+    outcome = scheme.query(1000, 2000)
+    print(sorted(outcome.ids))  # -> [0, 2]
+"""
+
+from repro.core import (
+    EXPERIMENT_SCHEMES,
+    SCHEMES,
+    SECURITY_LEVELS,
+    QueryOutcome,
+    RangeScheme,
+    Record,
+    make_scheme,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EXPERIMENT_SCHEMES",
+    "QueryOutcome",
+    "RangeScheme",
+    "Record",
+    "SCHEMES",
+    "SECURITY_LEVELS",
+    "__version__",
+    "make_scheme",
+]

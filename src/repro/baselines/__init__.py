@@ -1,0 +1,28 @@
+"""Baselines: the schemes the paper measures or argues against.
+
+- PB (Li et al.) — the closest competitor, measured in Figures 5–8;
+- OPE and DET bucketization — the two prior-work classes of Section 2.1,
+  with their leakage made exploitable in
+  :mod:`repro.leakage.baseline_attacks`;
+- the plaintext oracle and the bare-SSE retrieval floor.
+"""
+
+from repro.baselines.bloom import BloomFilter, optimal_bits, optimal_hashes
+from repro.baselines.det_bucket import DetBucketIndex
+from repro.baselines.ope import BoldyrevaOpe, OpeRangeIndex
+from repro.baselines.pb import PbScheme, PbToken
+from repro.baselines.plaintext import PlaintextRangeIndex
+from repro.baselines.sse_floor import SseFloor
+
+__all__ = [
+    "BloomFilter",
+    "BoldyrevaOpe",
+    "DetBucketIndex",
+    "OpeRangeIndex",
+    "PbScheme",
+    "PbToken",
+    "PlaintextRangeIndex",
+    "SseFloor",
+    "optimal_bits",
+    "optimal_hashes",
+]

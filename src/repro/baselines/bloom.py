@@ -1,0 +1,97 @@
+"""Bloom filter (Bloom, CACM 1970) — substrate for the PB baseline.
+
+Standard bit-array filter with double hashing (Kirsch–Mitzenmacher):
+the i-th hash is ``h1 + i·h2 mod m``, with ``h1, h2`` drawn from a
+SHA-256 digest of the element.  Parameters are sized from the expected
+element count and a target false-positive rate, the way Li et al. fix
+the per-node FP ratio in their tree.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+
+def optimal_bits(n_elements: int, fp_rate: float) -> int:
+    """Bit-array size minimizing space for ``n_elements`` at ``fp_rate``."""
+    if n_elements <= 0:
+        return 8
+    if not 0.0 < fp_rate < 1.0:
+        raise ValueError(f"fp_rate must be in (0, 1), got {fp_rate}")
+    bits = math.ceil(-n_elements * math.log(fp_rate) / (math.log(2) ** 2))
+    return max(8, bits)
+
+
+def optimal_hashes(bits: int, n_elements: int) -> int:
+    """Optimal number of hash functions for the given sizing."""
+    if n_elements <= 0:
+        return 1
+    return max(1, round(bits / n_elements * math.log(2)))
+
+
+def _hash_pair(element: bytes) -> tuple[int, int]:
+    digest = hashlib.sha256(element).digest()
+    h1 = int.from_bytes(digest[:8], "big")
+    h2 = int.from_bytes(digest[8:16], "big") | 1  # odd => full period
+    return h1, h2
+
+
+class BloomFilter:
+    """Fixed-size Bloom filter over byte-string elements.
+
+    Parameters
+    ----------
+    expected_elements:
+        Sizing hint; inserting more than this only degrades (never
+        breaks) the false-positive rate.
+    fp_rate:
+        Target false-positive probability at the design load.
+    """
+
+    def __init__(self, expected_elements: int, fp_rate: float = 0.01) -> None:
+        self.bits = optimal_bits(expected_elements, fp_rate)
+        self.hashes = optimal_hashes(self.bits, expected_elements)
+        self.fp_rate = fp_rate
+        self._array = bytearray((self.bits + 7) // 8)
+        self.inserted = 0
+
+    def _positions(self, element: bytes):
+        h1, h2 = _hash_pair(element)
+        for i in range(self.hashes):
+            yield (h1 + i * h2) % self.bits
+
+    def add(self, element: bytes) -> None:
+        """Insert an element."""
+        for pos in self._positions(element):
+            self._array[pos >> 3] |= 1 << (pos & 7)
+        self.inserted += 1
+
+    def add_hashed(self, h1: int, h2: int) -> None:
+        """Insert from a precomputed hash pair (hot-path for PB builds)."""
+        for i in range(self.hashes):
+            pos = (h1 + i * h2) % self.bits
+            self._array[pos >> 3] |= 1 << (pos & 7)
+        self.inserted += 1
+
+    def __contains__(self, element: bytes) -> bool:
+        return all(
+            self._array[pos >> 3] & (1 << (pos & 7)) for pos in self._positions(element)
+        )
+
+    def contains_hashed(self, h1: int, h2: int) -> bool:
+        """Membership test from a precomputed hash pair."""
+        for i in range(self.hashes):
+            pos = (h1 + i * h2) % self.bits
+            if not self._array[pos >> 3] & (1 << (pos & 7)):
+                return False
+        return True
+
+    def size_bytes(self) -> int:
+        """Storage footprint of the bit array."""
+        return len(self._array)
+
+    @staticmethod
+    def hash_pair(element: bytes) -> tuple[int, int]:
+        """Expose the double-hashing pair for callers that batch inserts."""
+        return _hash_pair(element)

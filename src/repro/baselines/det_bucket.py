@@ -1,0 +1,98 @@
+"""Deterministic-encryption bucketization baseline (Hacıgümüş et al.).
+
+The first class of prior work the paper surveys [18, 19, 20]: partition
+the attribute domain into buckets, tag each tuple with a deterministic
+token of its bucket, and reduce a range query to the set of bucket
+tokens it touches.  Efficient and simple — and it "discloses the
+distribution of the data, since the bucketization essentially reveals a
+histogram of the data on the query attribute" (Section 2.1), which the
+attacks module quantifies.
+
+False positives are inherent: edge buckets return every tuple they
+hold, not just the in-range ones; the client refines after decryption.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.crypto.prf import check_key, prf
+from repro.errors import DomainError
+
+
+class DetBucketIndex:
+    """Bucketized deterministic-tag index over ``[0, domain_size)``.
+
+    Parameters
+    ----------
+    key:
+        PRF key deriving the bucket tags.
+    domain_size:
+        Attribute domain size m.
+    buckets:
+        Number of equi-width buckets (the scheme's privacy/precision
+        dial: fewer buckets = more false positives, coarser histogram).
+    """
+
+    def __init__(self, key: bytes, domain_size: int, *, buckets: int = 64) -> None:
+        check_key(key)
+        if domain_size < 1:
+            raise DomainError(f"domain size must be >= 1, got {domain_size}")
+        if not 1 <= buckets <= domain_size:
+            raise DomainError(
+                f"bucket count must be in [1, {domain_size}], got {buckets}"
+            )
+        self._key = key
+        self.domain_size = domain_size
+        self.buckets = buckets
+        self._width = (domain_size + buckets - 1) // buckets
+        #: Server-side state: tag -> tuple ids (the histogram is visible!).
+        self._store: dict[bytes, list[int]] = {}
+
+    def _bucket_of(self, value: int) -> int:
+        if not 0 <= value < self.domain_size:
+            raise DomainError(
+                f"value {value} outside domain [0, {self.domain_size - 1}]"
+            )
+        return value // self._width
+
+    def _tag(self, bucket: int) -> bytes:
+        return prf(self._key, b"det.bucket|%d" % bucket)[:16]
+
+    def build_index(self, records: "Iterable[tuple[int, int]]") -> None:
+        self._store = {}
+        for doc_id, value in records:
+            tag = self._tag(self._bucket_of(value))
+            self._store.setdefault(tag, []).append(doc_id)
+
+    def trapdoor(self, lo: int, hi: int) -> "list[bytes]":
+        """The bucket tags a range touches (what the owner sends)."""
+        if lo > hi:
+            return []
+        first = self._bucket_of(lo)
+        last = self._bucket_of(hi)
+        return [self._tag(b) for b in range(first, last + 1)]
+
+    def search(self, tags: "list[bytes]") -> "list[int]":
+        """Server-side: union of matching buckets (with edge FPs)."""
+        out: list[int] = []
+        for tag in tags:
+            out.extend(self._store.get(tag, ()))
+        return out
+
+    def query(self, lo: int, hi: int) -> "list[int]":
+        """Full round trip (client refinement omitted: ids only)."""
+        return self.search(self.trapdoor(lo, hi))
+
+    def histogram_view(self) -> "list[int]":
+        """What the server sees at rest: per-tag occupancy counts.
+
+        Tags are pseudorandom, so the server cannot *label* the buckets
+        — but the multiset of counts is the data's histogram shape, and
+        query tags progressively link tags to domain positions.
+        """
+        return sorted(len(ids) for ids in self._store.values())
+
+    def index_size_bytes(self) -> int:
+        """16-byte tag per bucket + 8 bytes per posted id."""
+        return sum(16 + 8 * len(ids) for ids in self._store.values())

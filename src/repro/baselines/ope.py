@@ -1,0 +1,145 @@
+"""Order-Preserving Encryption baseline (Boldyreva et al., EUROCRYPT'09).
+
+The paper's related work (Section 2.1) identifies the OPE line of work
+[2, 3, 23, 27, 30] as the second major class of "practical" private
+range search: encrypt with a cipher whose ciphertexts preserve plaintext
+order, then index/query ciphertexts exactly like plaintexts.  Its fatal
+flaws — OPE is deterministic (distribution leakage) *and* leaks total
+order — are the motivation for the paper's RSSE framework, so this
+repository ships a faithful OPE baseline to measure against.
+
+Construction: BCLO-style lazy sampling.  An OPE key defines a
+pseudorandom *strictly monotone injection* from the plaintext domain
+``[0, m)`` into a sparser ciphertext space ``[0, N)``; the image of a
+point is found by recursive binary descent over the plaintext interval,
+drawing how many spare ciphertext slots the left half receives (each
+half always keeping at least one slot per plaintext), with all randomness derived deterministically from the
+key via the PRF.  Encryption is stateless and needs ``O(log m)`` draws
+per value.  (We do not claim BCLO's exact uniformity over monotone
+injections — the baseline needs OPE's *leakage profile*, which any such
+injection exhibits.)
+
+``OpeRangeIndex`` then shows why OPE is attractive *operationally*: the
+server needs nothing but a sorted array — and why it is unacceptable:
+:mod:`repro.leakage.attacks` recovers plaintext order and approximate
+values from the ciphertexts alone.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable
+
+import numpy as np
+
+from repro.crypto.prf import check_key, prf
+from repro.errors import DomainError
+
+#: Ciphertext-space expansion factor (N = expansion × m).
+DEFAULT_EXPANSION = 8
+
+
+class BoldyrevaOpe:
+    """Stateless order-preserving encryption over ``[0, domain_size)``.
+
+    Deterministic: equal keys and plaintexts give equal ciphertexts
+    (that is OPE's defining weakness, reproduced faithfully).
+    """
+
+    def __init__(
+        self, key: bytes, domain_size: int, *, expansion: int = DEFAULT_EXPANSION
+    ) -> None:
+        check_key(key)
+        if domain_size < 1:
+            raise DomainError(f"domain size must be >= 1, got {domain_size}")
+        if expansion < 2:
+            raise DomainError("ciphertext space must be larger than the domain")
+        self._key = key
+        self.domain_size = domain_size
+        self.cipher_space = domain_size * expansion
+
+    def _split_extras(self, node: bytes, extras: int, p_left: float) -> int:
+        """Key-derived deterministic draw: how many of the interval's
+        spare ciphertext slots go to the left plaintext half."""
+        if extras <= 0:
+            return 0
+        seed = int.from_bytes(prf(self._key, b"ope.node|" + node)[:8], "big")
+        rng = np.random.Generator(np.random.PCG64(seed))
+        return int(rng.binomial(extras, p_left))
+
+    def encrypt(self, value: int) -> int:
+        """Map a plaintext to its ciphertext (order-preserving)."""
+        if not 0 <= value < self.domain_size:
+            raise DomainError(
+                f"value {value} outside domain [0, {self.domain_size - 1}]"
+            )
+        # Invariant: plaintext interval [d_lo, d_hi] maps into ciphertext
+        # interval [c_lo, c_hi]; recurse on the half containing `value`.
+        d_lo, d_hi = 0, self.domain_size - 1
+        c_lo, c_hi = 0, self.cipher_space - 1
+        while d_hi > d_lo:
+            d_mid = (d_lo + d_hi) // 2
+            domain_left = d_mid - d_lo + 1
+            domain_total = d_hi - d_lo + 1
+            cipher_total = c_hi - c_lo + 1
+            node = b"%d:%d:%d:%d" % (d_lo, d_hi, c_lo, c_hi)
+            # Every plaintext keeps at least one slot; the spare slots are
+            # split pseudorandomly in proportion to the halves' sizes.
+            left_extra = self._split_extras(
+                node, cipher_total - domain_total, domain_left / domain_total
+            )
+            left_count = domain_left + left_extra
+            if value <= d_mid:
+                d_hi = d_mid
+                c_hi = c_lo + left_count - 1
+            else:
+                d_lo = d_mid + 1
+                c_lo = c_lo + left_count
+        # Leaf: one plaintext, a slice of ciphertexts; pick its floor so
+        # that encryption is deterministic and order strictly preserved.
+        return c_lo
+
+    def encrypt_many(self, values: "Iterable[int]") -> "list[int]":
+        """Vectorized convenience wrapper."""
+        return [self.encrypt(v) for v in values]
+
+
+class OpeRangeIndex:
+    """The server-side index OPE enables: a plain sorted array.
+
+    Operationally this is the baseline to beat — O(log n + r) search,
+    zero false positives, no protocol changes.  Security-wise it is the
+    cautionary tale: ``ciphertexts()`` exposes exactly what an
+    honest-but-curious server stores, and the attacks module shows how
+    much plaintext structure that betrays.
+    """
+
+    def __init__(self, key: bytes, domain_size: int, **ope_kwargs) -> None:
+        self.ope = BoldyrevaOpe(key, domain_size, **ope_kwargs)
+        self._cts: "list[int]" = []
+        self._ids: "list[int]" = []
+
+    def build_index(self, records: "Iterable[tuple[int, int]]") -> None:
+        pairs = sorted(
+            (self.ope.encrypt(value), doc_id) for doc_id, value in records
+        )
+        self._cts = [ct for ct, _ in pairs]
+        self._ids = [doc_id for _, doc_id in pairs]
+
+    def query(self, lo: int, hi: int) -> "list[int]":
+        """Range search directly on ciphertexts (what the server runs)."""
+        if lo > hi:
+            return []
+        c_lo = self.ope.encrypt(lo)
+        c_hi = self.ope.encrypt(hi)
+        start = bisect.bisect_left(self._cts, c_lo)
+        stop = bisect.bisect_right(self._cts, c_hi)
+        return self._ids[start:stop]
+
+    def ciphertexts(self) -> "list[int]":
+        """The server's full view — input to the leakage attacks."""
+        return list(self._cts)
+
+    def index_size_bytes(self) -> int:
+        """8-byte ciphertext + 8-byte id per tuple."""
+        return 16 * len(self._cts)

@@ -1,0 +1,162 @@
+"""PB — the basic scheme of Li et al. (PVLDB 2014), the paper's closest
+competitor.
+
+Reconstructed faithfully from the paper's Section 2.1 description:
+
+1. For every tuple ``d``, compute ``DR(d)`` — the ``log m`` dyadic
+   ranges covering ``d.a`` (its root-to-leaf path), each turned into a
+   keyed HMAC label so the server never sees plaintext ranges.
+2. Build a binary tree over the *tuples*: the root holds all of them;
+   at every node the tuples are randomly permuted and split in half,
+   recursing until single-tuple leaves.
+3. Each node stores a Bloom filter over the DR labels of the tuples in
+   its subtree, sized for a fixed per-node false-positive ratio.
+4. A query is decomposed with BRC into its minimal dyadic ranges, whose
+   HMAC labels form the trapdoor; the server walks the tree from the
+   root, descending wherever *any* trapdoor label hits the node's
+   filter, and returns the ids of the leaves it reaches.
+
+Costs reproduced: ``O(n log n log m)`` storage (every tuple's ``log m``
+labels appear in the filters of its ``log n`` ancestors), ``O(log R)``
+query size, search ``Ω(log n log R + r)`` with ``O(r)`` expected false
+positives from the filters.  And the *security* gap the paper stresses
+(weak non-adaptive definitions, no update support) is documented, not
+fixed — PB exists here as the measured baseline.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.baselines.bloom import BloomFilter
+from repro.core.scheme import QueryOutcome, RangeScheme, Record
+from repro.covers.brc import best_range_cover
+from repro.covers.dyadic import DomainTree
+from repro.crypto.prf import generate_key, prf
+from repro.errors import IndexStateError
+
+#: Per-node Bloom filter false-positive ratio (Li et al. fix this).
+DEFAULT_FP_RATE = 0.01
+
+
+@dataclass
+class PbToken:
+    """PB trapdoor: the HMAC labels of the query's minimal dyadic ranges."""
+
+    labels: "list[bytes]"
+
+    def serialized_size(self) -> int:
+        return sum(len(lbl) for lbl in self.labels)
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
+class _PbNode:
+    """One node of the permuted tuple tree with its Bloom filter."""
+
+    __slots__ = ("bloom", "left", "right", "leaf_id")
+
+    def __init__(self, bloom: BloomFilter) -> None:
+        self.bloom = bloom
+        self.left: "_PbNode | None" = None
+        self.right: "_PbNode | None" = None
+        self.leaf_id: "int | None" = None
+
+
+class PbScheme(RangeScheme):
+    """Li et al.'s Bloom-filter tree, conforming to the RangeScheme API."""
+
+    name = "pb"
+    may_false_positive = True
+
+    def __init__(
+        self, domain_size: int, *, fp_rate: float = DEFAULT_FP_RATE, **kwargs
+    ) -> None:
+        super().__init__(domain_size, **kwargs)
+        self.tree = DomainTree(domain_size)
+        self.fp_rate = fp_rate
+        self._label_key = generate_key(self._rng)
+        self._root: "_PbNode | None" = None
+        self._bloom_bytes = 0
+        self._node_count = 0
+
+    # -- BuildIndex -----------------------------------------------------------
+
+    def _dr_label(self, node) -> bytes:
+        """Keyed label of one dyadic range (16 bytes on the wire)."""
+        return prf(self._label_key, b"pb.dr|" + node.label())[:16]
+
+    def _build(self, records: "list[Record]") -> None:
+        # Precompute each tuple's DR hash pairs once; tree construction
+        # re-inserts them at every ancestor level.
+        prepared: list[tuple[int, list[tuple[int, int]]]] = []
+        for rec in records:
+            pairs = [
+                BloomFilter.hash_pair(self._dr_label(node))
+                for node in self.tree.path_nodes(rec.value)
+            ]
+            prepared.append((rec.id, pairs))
+        shuffle_rng = self._rng
+        shuffle_rng.shuffle(prepared)
+        self._bloom_bytes = 0
+        self._node_count = 0
+        self._root = self._build_node(prepared, shuffle_rng) if prepared else None
+
+    def _build_node(
+        self,
+        items: "list[tuple[int, list[tuple[int, int]]]]",
+        rng: "random.Random",
+    ) -> _PbNode:
+        n_labels = sum(len(pairs) for _, pairs in items)
+        bloom = BloomFilter(n_labels, self.fp_rate)
+        for _, pairs in items:
+            for h1, h2 in pairs:
+                bloom.add_hashed(h1, h2)
+        node = _PbNode(bloom)
+        self._bloom_bytes += bloom.size_bytes()
+        self._node_count += 1
+        if len(items) == 1:
+            node.leaf_id = items[0][0]
+            return node
+        rng.shuffle(items)
+        mid = len(items) // 2
+        node.left = self._build_node(items[:mid], rng)
+        node.right = self._build_node(items[mid:], rng)
+        return node
+
+    # -- Trpdr / Search ---------------------------------------------------------
+
+    def trapdoor(self, lo: int, hi: int) -> PbToken:
+        lo, hi = self.check_range(lo, hi)
+        labels = [self._dr_label(node) for node in best_range_cover(lo, hi)]
+        self._rng.shuffle(labels)
+        return PbToken(labels)
+
+    def search(self, token: PbToken) -> "list[int]":
+        self._require_built()
+        if self._root is None:
+            return []
+        hashed = [BloomFilter.hash_pair(lbl) for lbl in token.labels]
+        results: list[int] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not any(node.bloom.contains_hashed(h1, h2) for h1, h2 in hashed):
+                continue
+            if node.leaf_id is not None:
+                results.append(node.leaf_id)
+                continue
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+        return results
+
+    def index_size_bytes(self) -> int:
+        self._require_built()
+        # Bloom bit arrays plus a small fixed per-node structural overhead
+        # (two child pointers / leaf id), mirroring a serialized layout.
+        return self._bloom_bytes + 16 * self._node_count

@@ -1,0 +1,47 @@
+"""Plaintext sorted-array range index.
+
+Two roles in this repository:
+
+1. **Correctness oracle** — every RSSE test compares scheme answers to
+   this index.
+2. **Non-private baseline** — the "performance cost of privacy" is the
+   gap between a scheme and this binary-search lookup.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable
+
+
+class PlaintextRangeIndex:
+    """Sorted ``(value, id)`` array answering ranges by binary search."""
+
+    def __init__(self, records: "Iterable[tuple[int, int]]" = ()) -> None:
+        pairs = [(value, doc_id) for doc_id, value in records]
+        pairs.sort()
+        self._values = [value for value, _ in pairs]
+        self._ids = [doc_id for _, doc_id in pairs]
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def query(self, lo: int, hi: int) -> "list[int]":
+        """Ids of records with value in ``[lo, hi]``, ascending by value."""
+        if lo > hi:
+            return []
+        start = bisect.bisect_left(self._values, lo)
+        stop = bisect.bisect_right(self._values, hi)
+        return self._ids[start:stop]
+
+    def count(self, lo: int, hi: int) -> int:
+        """Result cardinality r without materializing ids."""
+        if lo > hi:
+            return 0
+        return bisect.bisect_right(self._values, hi) - bisect.bisect_left(
+            self._values, lo
+        )
+
+    def distinct_values(self) -> int:
+        """Number of distinct attribute values in the dataset."""
+        return len(set(self._values))

@@ -1,0 +1,50 @@
+"""The paper's primary contribution: the RSSE schemes of Table 1."""
+
+from repro.core.caching import CachingConstantClient, CacheStats
+from repro.core.constant import (
+    ConstantBrc,
+    ConstantScheme,
+    ConstantUrc,
+    DprfRangeToken,
+    IntersectionGuard,
+)
+from repro.core.log_src import LogarithmicSrc
+from repro.core.log_src_i import LogarithmicSrcI
+from repro.core.logarithmic import LogarithmicBrc, LogarithmicScheme, LogarithmicUrc
+from repro.core.quadratic import Quadratic
+from repro.core.registry import (
+    EXPERIMENT_SCHEMES,
+    SCHEMES,
+    SECURITY_LEVELS,
+    make_scheme,
+)
+from repro.core.scheme import (
+    MultiKeywordToken,
+    QueryOutcome,
+    RangeScheme,
+    Record,
+)
+
+__all__ = [
+    "CacheStats",
+    "CachingConstantClient",
+    "ConstantBrc",
+    "ConstantScheme",
+    "ConstantUrc",
+    "DprfRangeToken",
+    "EXPERIMENT_SCHEMES",
+    "IntersectionGuard",
+    "LogarithmicBrc",
+    "LogarithmicScheme",
+    "LogarithmicSrc",
+    "LogarithmicSrcI",
+    "LogarithmicUrc",
+    "MultiKeywordToken",
+    "QueryOutcome",
+    "Quadratic",
+    "RangeScheme",
+    "Record",
+    "SCHEMES",
+    "SECURITY_LEVELS",
+    "make_scheme",
+]

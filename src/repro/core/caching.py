@@ -1,0 +1,113 @@
+"""Owner-side query cache for the Constant schemes (paper Section 5).
+
+Constant-BRC/URC are secure only for non-intersecting queries.  The
+paper offers two application-level outs: abort on intersections, or
+"try to answer the query from cached answers of previous queries that
+collectively encompass the new query range".  This module implements
+the second, stronger option:
+
+- the owner caches every (range, resolved records) pair it has queried;
+- a new range is split into the sub-intervals already covered by cache
+  (answered locally, *zero* server contact, zero new leakage) and the
+  uncovered gaps;
+- each gap lies, by construction, outside every previously queried
+  range, so issuing it to the server never violates the
+  non-intersection constraint — the guard stays in ``"raise"`` mode and
+  proves it.
+
+The result: the application sees an unrestricted range-query API while
+the server only ever observes pairwise-disjoint ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.constant import ConstantScheme
+from repro.errors import IndexStateError
+
+
+@dataclass
+class CacheStats:
+    """Observability for the cache's effectiveness."""
+
+    queries: int = 0
+    served_fully_from_cache: int = 0
+    server_subqueries: int = 0
+    values_served_from_cache: int = 0
+
+
+class CachingConstantClient:
+    """Unrestricted range queries over a Constant scheme via caching."""
+
+    def __init__(self, scheme: ConstantScheme) -> None:
+        if not isinstance(scheme, ConstantScheme):
+            raise IndexStateError("CachingConstantClient requires a Constant scheme")
+        if scheme.guard.policy != "raise":
+            raise IndexStateError(
+                "the cache exists to keep the guard in 'raise' mode; "
+                "construct the scheme with intersection_policy='raise'"
+            )
+        self._scheme = scheme
+        #: Disjoint cached intervals -> {id: value} of their tuples.
+        self._cache: "list[tuple[int, int, dict[int, int]]]" = []
+        self.stats = CacheStats()
+
+    # -- interval bookkeeping ---------------------------------------------
+
+    def _uncovered_gaps(self, lo: int, hi: int) -> "list[tuple[int, int]]":
+        """Sub-intervals of [lo, hi] not covered by any cached range."""
+        gaps: list[tuple[int, int]] = []
+        cursor = lo
+        for c_lo, c_hi, _ in sorted(self._cache):
+            if c_hi < cursor or c_lo > hi:
+                continue
+            if c_lo > cursor:
+                gaps.append((cursor, min(c_lo - 1, hi)))
+            cursor = max(cursor, c_hi + 1)
+            if cursor > hi:
+                break
+        if cursor <= hi:
+            gaps.append((cursor, hi))
+        return gaps
+
+    def _cached_hits(self, lo: int, hi: int) -> "dict[int, int]":
+        hits: dict[int, int] = {}
+        for c_lo, c_hi, records in self._cache:
+            if c_hi < lo or c_lo > hi:
+                continue
+            for doc_id, value in records.items():
+                if lo <= value <= hi:
+                    hits[doc_id] = value
+        return hits
+
+    # -- the public API -------------------------------------------------------
+
+    def query(self, lo: int, hi: int) -> "frozenset[int]":
+        """Answer any range, intersecting or not, leaking only gaps."""
+        lo, hi = self._scheme.check_range(lo, hi)
+        self.stats.queries += 1
+        hits = self._cached_hits(lo, hi)
+        self.stats.values_served_from_cache += len(hits)
+        gaps = self._uncovered_gaps(lo, hi)
+        if not gaps:
+            self.stats.served_fully_from_cache += 1
+            return frozenset(hits)
+        for g_lo, g_hi in gaps:
+            # Legal by construction: the gap intersects no earlier query.
+            token = self._scheme.trapdoor(g_lo, g_hi)
+            raw_ids = self._scheme.search(token)
+            resolved = {
+                rec.id: rec.value
+                for rec in self._scheme.resolve(raw_ids)
+                if g_lo <= rec.value <= g_hi
+            }
+            self._cache.append((g_lo, g_hi, resolved))
+            hits.update(resolved)
+            self.stats.server_subqueries += 1
+        return frozenset(hits)
+
+    @property
+    def cached_intervals(self) -> "list[tuple[int, int]]":
+        """The disjoint intervals currently held (sorted)."""
+        return sorted((lo, hi) for lo, hi, _ in self._cache)

@@ -1,0 +1,138 @@
+"""Constant-BRC and Constant-URC (paper Section 5).
+
+Each tuple carries a *single* keyword — its raw attribute value — so the
+index is only ``O(n)``.  The trick that keeps query size at ``O(log R)``
+instead of ``O(R)`` is the Delegatable PRF: per-keyword SSE tokens are
+derived from DPRF leaf values, and a range query ships only the
+``O(log R)`` GGM seeds covering the range (BRC or URC).  The server
+expands the seeds into the ``R`` leaf values, publicly re-derives each
+keyword token, and runs ordinary SSE searches — ``O(R + r)`` total.
+
+Security caveat implemented faithfully: the DPRF simulation argument
+breaks for adaptively chosen *intersecting* ranges, so the client keeps
+a query history and refuses intersections (paper: "this constraint can
+be enforced at the application level").  Pass
+``intersection_policy="allow"`` to lift the guard for benchmarking, as
+the paper's own experiments do.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.core.scheme import RangeScheme, Record
+from repro.crypto.dprf import COVER_BRC, COVER_URC, DelegationToken, GgmDprf
+from repro.errors import QueryIntersectionError
+from repro.sse.base import CallbackKeyDeriver, EncryptedIndex, token_from_secret
+from repro.sse.encoding import decode_id, encode_id
+
+
+@dataclass
+class DprfRangeToken:
+    """Trapdoor of the Constant schemes: permuted GGM delegation tokens."""
+
+    tokens: "list[DelegationToken]"
+
+    def serialized_size(self) -> int:
+        return sum(t.serialized_size() for t in self.tokens)
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def __iter__(self):
+        return iter(self.tokens)
+
+
+class IntersectionGuard:
+    """Client-side history enforcing the non-intersecting-query constraint."""
+
+    def __init__(self, policy: str = "raise") -> None:
+        if policy not in ("raise", "allow"):
+            raise ValueError(f"policy must be 'raise' or 'allow', got {policy!r}")
+        self.policy = policy
+        self._history: list[tuple[int, int]] = []
+
+    def admit(self, lo: int, hi: int) -> None:
+        """Record a query, raising if it intersects an earlier one."""
+        if self.policy == "raise":
+            for qlo, qhi in self._history:
+                if lo <= qhi and qlo <= hi:
+                    raise QueryIntersectionError(
+                        f"range [{lo}, {hi}] intersects earlier query "
+                        f"[{qlo}, {qhi}]; Constant schemes forbid this"
+                    )
+        self._history.append((lo, hi))
+
+    def reset(self) -> None:
+        """Forget the history (e.g. after rebuilding with fresh keys)."""
+        self._history.clear()
+
+
+class ConstantScheme(RangeScheme):
+    """Shared machinery of Constant-BRC/URC; ``cover`` picks the variant."""
+
+    may_false_positive = False
+    cover = COVER_BRC
+
+    def __init__(self, domain_size: int, *, intersection_policy: str = "raise", **kwargs) -> None:
+        super().__init__(domain_size, **kwargs)
+        self._dprf = GgmDprf(domain_size)
+        self._dprf_key = GgmDprf.generate_key(self._rng)
+        # BuildIndex encrypts postings under DPRF-derived keyword tokens so
+        # that delegated seeds unlock them at search time.
+        deriver = CallbackKeyDeriver(
+            lambda keyword: self._dprf.evaluate(
+                self._dprf_key, int.from_bytes(keyword, "big")
+            )
+        )
+        self._sse = self._sse_factory(deriver)
+        self._index: "EncryptedIndex | None" = None
+        self.guard = IntersectionGuard(intersection_policy)
+
+    def _keyword(self, value: int) -> bytes:
+        # Constant schemes key the SSE by the raw value's bit string; the
+        # DPRF-evaluating deriver decodes it back.
+        return value.to_bytes(8, "big")
+
+    def _build(self, records: "list[Record]") -> None:
+        multimap: dict[bytes, list[bytes]] = defaultdict(list)
+        for rec in records:
+            multimap[self._keyword(rec.value)].append(encode_id(rec.id))
+        self._index = self._sse.build_index(multimap)
+
+    def trapdoor(self, lo: int, hi: int) -> DprfRangeToken:
+        lo, hi = self.check_range(lo, hi)
+        self.guard.admit(lo, hi)
+        tokens = self._dprf.delegate(
+            self._dprf_key, lo, hi, cover=self.cover, shuffle_rng=self._rng
+        )
+        return DprfRangeToken(tokens)
+
+    def search(self, token: DprfRangeToken) -> "list[int]":
+        self._require_built()
+        results: list[int] = []
+        for leaf_value in GgmDprf.expand_all(list(token)):
+            kw_token = token_from_secret(leaf_value)
+            results.extend(
+                decode_id(p) for p in self._sse.search(self._index, kw_token)
+            )
+        return results
+
+    def index_size_bytes(self) -> int:
+        self._require_built()
+        return self._index.serialized_size()
+
+
+class ConstantBrc(ConstantScheme):
+    """Constant-BRC: minimal dyadic delegation (security level 1)."""
+
+    name = "constant-brc"
+    cover = COVER_BRC
+
+
+class ConstantUrc(ConstantScheme):
+    """Constant-URC: position-independent delegation (security level 2)."""
+
+    name = "constant-urc"
+    cover = COVER_URC

@@ -1,0 +1,61 @@
+"""Logarithmic-SRC (paper Section 6.2).
+
+A single-token scheme: tuples are replicated over the TDAG nodes
+covering their value (still ``O(log m)`` keywords per tuple thanks to
+the injected-node construction), and a query is answered with *one* SSE
+token — the smallest TDAG node covering the range (SRC).  This hides
+result partitioning and ordering entirely and gives optimal ``O(1)``
+query size, at the price of false positives: the SRC subtree spans up to
+``4R`` domain values (Lemma 1), and under data skew those extra values
+may hold up to ``O(n)`` tuples.  That failure mode is exactly what
+Logarithmic-SRC-i repairs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.scheme import MultiKeywordToken, RangeScheme, Record
+from repro.covers.tdag import Tdag
+from repro.crypto.prf import generate_key
+from repro.sse.base import EncryptedIndex, PrfKeyDeriver
+from repro.sse.encoding import decode_id, encode_id
+
+
+class LogarithmicSrc(RangeScheme):
+    """Single Range Cover over a TDAG: O(1) tokens, FP-prone under skew."""
+
+    name = "logarithmic-src"
+    may_false_positive = True
+
+    def __init__(self, domain_size: int, **kwargs) -> None:
+        super().__init__(domain_size, **kwargs)
+        self.tdag = Tdag(domain_size)
+        self._master_key = generate_key(self._rng)
+        self._sse = self._sse_factory(PrfKeyDeriver(self._master_key))
+        self._index: "EncryptedIndex | None" = None
+
+    def _build(self, records: "list[Record]") -> None:
+        multimap: dict[bytes, list[bytes]] = defaultdict(list)
+        for rec in records:
+            for node in self.tdag.covering_nodes(rec.value):
+                multimap[node.label()].append(encode_id(rec.id))
+        self._index = self._sse.build_index(multimap)
+
+    def trapdoor(self, lo: int, hi: int) -> MultiKeywordToken:
+        lo, hi = self.check_range(lo, hi)
+        node = self.tdag.src_cover(lo, hi)
+        return MultiKeywordToken([self._sse.trapdoor(node.label())])
+
+    def search(self, token: MultiKeywordToken) -> "list[int]":
+        self._require_built()
+        results: list[int] = []
+        for kw_token in token:
+            results.extend(
+                decode_id(p) for p in self._sse.search(self._index, kw_token)
+            )
+        return results
+
+    def index_size_bytes(self) -> int:
+        self._require_built()
+        return self._index.serialized_size()

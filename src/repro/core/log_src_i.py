@@ -1,0 +1,204 @@
+"""Logarithmic-SRC-i — the interactive double-index scheme (Section 6.3).
+
+Logarithmic-SRC's weakness is skew: one heavy domain value adjacent to a
+query can drag ``O(n)`` false positives into the single-cover subtree.
+SRC-i fixes this with two indexes and one extra round:
+
+``I1`` (TDAG1 over the *domain*) indexes, per distinct domain value, a
+constant-size document ``(value, [pos_lo, pos_hi])`` recording where the
+value's tuples sit in the sorted-by-value order.  ``I2`` (TDAG2 over the
+*tuple positions*) indexes the tuples themselves.
+
+A query first SRC-searches I1, the owner decrypts the returned pairs,
+keeps those whose value is in range, merges their (contiguous) position
+ranges into a single position interval, and SRC-searches I2 with it.
+False positives are now bounded by the two covers' slack: ``O(R + r)``
+regardless of skew.
+
+Leakage nuance reproduced here: I1's size reveals the number of distinct
+domain values, and an I1 answer reveals the number of distinct values in
+the (covered superset of the) result — slightly more than SRC leaks,
+which is the paper's stated trade-off.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+
+from repro.core.scheme import MultiKeywordToken, QueryOutcome, RangeScheme, Record
+from repro.covers.tdag import Tdag
+from repro.crypto.prf import generate_key
+from repro.errors import IndexStateError
+from repro.sse.base import EncryptedIndex, PrfKeyDeriver
+from repro.sse.encoding import decode_id, decode_triple, encode_id, encode_triple
+
+
+class LogarithmicSrcI(RangeScheme):
+    """Interactive SRC over a domain TDAG plus a position TDAG."""
+
+    name = "logarithmic-src-i"
+    may_false_positive = True
+
+    def __init__(self, domain_size: int, **kwargs) -> None:
+        super().__init__(domain_size, **kwargs)
+        self.tdag1 = Tdag(domain_size)
+        self.tdag2: "Tdag | None" = None  # built once n is known
+        self._key1 = generate_key(self._rng)
+        self._key2 = generate_key(self._rng)
+        self._sse1 = self._sse_factory(PrfKeyDeriver(self._key1))
+        self._sse2 = self._sse_factory(PrfKeyDeriver(self._key2))
+        self._index1: "EncryptedIndex | None" = None
+        self._index2: "EncryptedIndex | None" = None
+        self.distinct_values = 0
+
+    # -- BuildIndex ----------------------------------------------------------
+
+    def _build(self, records: "list[Record]") -> None:
+        # Sort by value; ties are broken by a random shuffle so positions
+        # of equal-valued tuples carry no insertion-order information.
+        shuffled = list(records)
+        self._rng.shuffle(shuffled)
+        ordered = sorted(shuffled, key=lambda rec: rec.value)
+
+        multimap1: dict[bytes, list[bytes]] = defaultdict(list)
+        runs: list[tuple[int, int, int]] = []  # (value, pos_lo, pos_hi)
+        for pos, rec in enumerate(ordered):
+            if runs and runs[-1][0] == rec.value:
+                value, pos_lo, _ = runs[-1]
+                runs[-1] = (value, pos_lo, pos)
+            else:
+                runs.append((rec.value, pos, pos))
+        for value, pos_lo, pos_hi in runs:
+            doc = encode_triple(value, pos_lo, pos_hi)
+            for node in self.tdag1.covering_nodes(value):
+                multimap1[node.label()].append(doc)
+        self.distinct_values = len(runs)
+        self._index1 = self._sse1.build_index(multimap1)
+
+        self.tdag2 = Tdag(max(1, len(ordered)))
+        multimap2: dict[bytes, list[bytes]] = defaultdict(list)
+        for pos, rec in enumerate(ordered):
+            for node in self.tdag2.covering_nodes(pos):
+                multimap2[node.label()].append(encode_id(rec.id))
+        self._index2 = self._sse2.build_index(multimap2)
+
+    # -- the interactive protocol ---------------------------------------------
+
+    def trapdoor_phase1(self, lo: int, hi: int) -> MultiKeywordToken:
+        """Round 1 token: SRC cover of the query range on TDAG1."""
+        lo, hi = self.check_range(lo, hi)
+        node = self.tdag1.src_cover(lo, hi)
+        return MultiKeywordToken([self._sse1.trapdoor(node.label())])
+
+    def search_phase1(self, token: MultiKeywordToken) -> "list[tuple[int, int, int]]":
+        """Round 1 server work: return the (value, pos range) documents."""
+        self._require_built()
+        triples: list[tuple[int, int, int]] = []
+        for kw_token in token:
+            for payload in self._sse1.search(self._index1, kw_token):
+                triples.append(decode_triple(payload))
+        return triples
+
+    def merge_qualifying(
+        self, triples: "list[tuple[int, int, int]]", lo: int, hi: int
+    ) -> "tuple[int, int] | None":
+        """Owner-side refinement between rounds.
+
+        Keeps the pairs whose domain value satisfies the original query
+        and merges their position ranges; values in range are contiguous
+        in the sorted order, so the merge is a single interval.  Returns
+        ``None`` when nothing qualifies (the protocol then stops early).
+        """
+        qualifying = [t for t in triples if lo <= t[0] <= hi]
+        if not qualifying:
+            return None
+        return min(t[1] for t in qualifying), max(t[2] for t in qualifying)
+
+    def trapdoor_phase2(self, pos_lo: int, pos_hi: int) -> MultiKeywordToken:
+        """Round 2 token: SRC cover of the position interval on TDAG2."""
+        if self.tdag2 is None:
+            raise IndexStateError("build_index() must run before phase 2")
+        node = self.tdag2.src_cover(pos_lo, pos_hi)
+        return MultiKeywordToken([self._sse2.trapdoor(node.label())])
+
+    def search_phase2(self, token: MultiKeywordToken) -> "list[int]":
+        """Round 2 server work: return tuple ids under the position cover."""
+        self._require_built()
+        ids: list[int] = []
+        for kw_token in token:
+            ids.extend(
+                decode_id(p) for p in self._sse2.search(self._index2, kw_token)
+            )
+        return ids
+
+    def query(self, lo: int, hi: int) -> QueryOutcome:
+        """Two-round protocol with per-side timing attribution."""
+        self._require_built()
+        owner = server = 0.0
+
+        t0 = time.perf_counter()
+        token1 = self.trapdoor_phase1(lo, hi)
+        owner += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        triples = self.search_phase1(token1)
+        server += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        merged = self.merge_qualifying(triples, lo, hi)
+        owner += time.perf_counter() - t0
+        token_bytes = token1.serialized_size()
+
+        if merged is None:
+            return QueryOutcome(
+                ids=frozenset(),
+                raw_ids=(),
+                false_positives=0,
+                token_bytes=token_bytes,
+                rounds=1,
+                trapdoor_seconds=owner,
+                server_seconds=server,
+            )
+
+        t0 = time.perf_counter()
+        token2 = self.trapdoor_phase2(*merged)
+        owner += time.perf_counter() - t0
+        token_bytes += token2.serialized_size()
+
+        t0 = time.perf_counter()
+        raw_ids = self.search_phase2(token2)
+        server += time.perf_counter() - t0
+
+        matched = frozenset(
+            rec.id for rec in self.resolve(raw_ids) if lo <= rec.value <= hi
+        )
+        return QueryOutcome(
+            ids=matched,
+            raw_ids=tuple(raw_ids),
+            false_positives=len(raw_ids) - len(matched),
+            token_bytes=token_bytes,
+            rounds=2,
+            trapdoor_seconds=owner,
+            server_seconds=server,
+        )
+
+    # -- base-class interface -------------------------------------------------
+
+    def trapdoor(self, lo: int, hi: int) -> MultiKeywordToken:
+        """Non-interactive entry point: returns the *round-1* token only.
+
+        Generic callers should use :meth:`query`, which runs the full
+        two-round protocol.
+        """
+        return self.trapdoor_phase1(lo, hi)
+
+    def search(self, token) -> "list[int]":
+        raise IndexStateError(
+            "Logarithmic-SRC-i is interactive; use query() or the "
+            "explicit phase methods"
+        )
+
+    def index_size_bytes(self) -> int:
+        self._require_built()
+        return self._index1.serialized_size() + self._index2.serialized_size()

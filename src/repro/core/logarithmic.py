@@ -1,0 +1,97 @@
+"""Logarithmic-BRC and Logarithmic-URC (paper Section 6.1).
+
+Instead of DPRFs, these schemes pre-replicate: every tuple is associated
+with the keywords of all ``O(log m)`` dyadic nodes on the root-to-leaf
+path of its value.  A query is covered with BRC or URC and one ordinary
+SSE token is issued per cover node — ``O(log R)`` tokens, ``O(log R + r)``
+search (each token costs only its own results), ``O(n log m)`` storage,
+and no false positives.
+
+Compared to Constant-*, the structural leakage collapses from full
+in-subtree id maps to just the *partitioning of the result ids into
+per-subtree groups* — the leakage objects in :mod:`repro.leakage`
+make this difference concrete.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.scheme import MultiKeywordToken, RangeScheme, Record
+from repro.covers.brc import best_range_cover
+from repro.covers.dyadic import DomainTree
+from repro.covers.urc import uniform_range_cover
+from repro.crypto.prf import generate_key
+from repro.sse.base import EncryptedIndex, PrfKeyDeriver
+from repro.sse.encoding import decode_id, encode_id
+
+
+class LogarithmicScheme(RangeScheme):
+    """Shared machinery of Logarithmic-BRC/URC; subclasses pick the cover."""
+
+    may_false_positive = False
+
+    def __init__(self, domain_size: int, **kwargs) -> None:
+        super().__init__(domain_size, **kwargs)
+        self.tree = DomainTree(domain_size)
+        self._master_key = generate_key(self._rng)
+        self._sse = self._sse_factory(PrfKeyDeriver(self._master_key))
+        self._index: "EncryptedIndex | None" = None
+
+    def _cover(self, lo: int, hi: int):
+        raise NotImplementedError
+
+    def _build(self, records: "list[Record]") -> None:
+        multimap: dict[bytes, list[bytes]] = defaultdict(list)
+        for rec in records:
+            for node in self.tree.path_nodes(rec.value):
+                multimap[node.label()].append(encode_id(rec.id))
+        self._index = self._sse.build_index(multimap)
+
+    def trapdoor(self, lo: int, hi: int) -> MultiKeywordToken:
+        lo, hi = self.check_range(lo, hi)
+        tokens = [self._sse.trapdoor(node.label()) for node in self._cover(lo, hi)]
+        # The trapdoor is randomly permuted: token order must not reveal
+        # the left-to-right order of the covering subtrees.
+        self._rng.shuffle(tokens)
+        return MultiKeywordToken(tokens)
+
+    def search(self, token: MultiKeywordToken) -> "list[int]":
+        self._require_built()
+        results: list[int] = []
+        for kw_token in token:
+            results.extend(
+                decode_id(p) for p in self._sse.search(self._index, kw_token)
+            )
+        return results
+
+    def index_size_bytes(self) -> int:
+        self._require_built()
+        return self._index.serialized_size()
+
+    def result_partitions(self, token: MultiKeywordToken) -> "list[list[int]]":
+        """Per-subtree result groups — exactly the extra L2 leakage of
+        these schemes (used by :mod:`repro.leakage.profiles`)."""
+        self._require_built()
+        return [
+            [decode_id(p) for p in self._sse.search(self._index, kw_token)]
+            for kw_token in token
+        ]
+
+
+class LogarithmicBrc(LogarithmicScheme):
+    """Logarithmic-BRC: minimal cover, security level 3."""
+
+    name = "logarithmic-brc"
+
+    def _cover(self, lo: int, hi: int):
+        return best_range_cover(lo, hi)
+
+
+class LogarithmicUrc(LogarithmicScheme):
+    """Logarithmic-URC: position-independent cover, security level 4."""
+
+    name = "logarithmic-urc"
+
+    def _cover(self, lo: int, hi: int):
+        return uniform_range_cover(lo, hi)

@@ -1,0 +1,113 @@
+"""Quadratic — the naive baseline RSSE scheme (paper Section 4).
+
+Every one of the ``O(m²)`` possible subranges of the domain gets its own
+keyword; each tuple is replicated into every subrange containing its
+value.  A query maps to exactly one keyword, so the trapdoor is a single
+token, the search is ``O(r)``, and the only leakage beyond the black-box
+SSE's is (n, m) — the highest security level in the framework.  The
+price is the prohibitive ``O(n·m²)`` index, which is why the scheme
+exists purely to convey the framework (and why the paper excludes it
+from the experiments).
+
+We guard construction behind a domain-size ceiling so nobody melts their
+machine by accident; the ceiling is configurable for tests.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.scheme import MultiKeywordToken, RangeScheme, Record
+from repro.errors import DomainError
+from repro.sse.base import EncryptedIndex, PrfKeyDeriver
+from repro.sse.encoding import decode_id, encode_id, range_keyword
+from repro.crypto.prf import generate_key
+
+#: Default largest domain Quadratic will agree to index (m² keywords!).
+DEFAULT_MAX_DOMAIN = 256
+
+
+#: Dummy-id sentinel space for padding entries (top of the 64-bit range,
+#: far above any id the validation layer admits).
+_PAD_BASE = (1 << 64) - 1
+
+
+class Quadratic(RangeScheme):
+    """All-subranges scheme: O(1) query size, O(n·m²) storage.
+
+    ``padded=True`` additionally applies the paper's padding
+    countermeasure: every subrange's posting list is filled with dummy
+    entries up to the maximum possible length n, so the index size is a
+    function of (n, m) alone and discloses nothing about the value
+    distribution (the L1 leakage drops to exactly ⟨n, m⟩).  Dummies are
+    filtered at refinement time like any false positive.
+    """
+
+    name = "quadratic"
+
+    def __init__(
+        self,
+        domain_size: int,
+        *,
+        max_domain: int = DEFAULT_MAX_DOMAIN,
+        padded: bool = False,
+        **kwargs,
+    ) -> None:
+        if domain_size > max_domain:
+            raise DomainError(
+                f"Quadratic over m={domain_size} needs O(m^2)={domain_size ** 2} "
+                f"keywords; refusing above max_domain={max_domain}"
+            )
+        super().__init__(domain_size, **kwargs)
+        self.padded = padded
+        self._master_key = generate_key(self._rng)
+        self._sse = self._sse_factory(PrfKeyDeriver(self._master_key))
+        self._index: "EncryptedIndex | None" = None
+
+    def _build(self, records: "list[Record]") -> None:
+        multimap: dict[bytes, list[bytes]] = defaultdict(list)
+        for rec in records:
+            for lo in range(0, rec.value + 1):
+                for hi in range(rec.value, self.domain_size):
+                    multimap[range_keyword(lo, hi)].append(encode_id(rec.id))
+        if self.padded:
+            n = len(records)
+            max_dummies = n * self.domain_size * (self.domain_size + 1) // 2
+            self._dummy_floor = _PAD_BASE - max_dummies
+            if records and max(rec.id for rec in records) >= self._dummy_floor:
+                raise DomainError(
+                    "padded Quadratic reserves the top of the id space for "
+                    "padding entries; use smaller record ids"
+                )
+            dummy = 0
+            for lo in range(self.domain_size):
+                for hi in range(lo, self.domain_size):
+                    postings = multimap[range_keyword(lo, hi)]
+                    while len(postings) < n:
+                        postings.append(encode_id(_PAD_BASE - dummy))
+                        dummy += 1
+        self._index = self._sse.build_index(multimap)
+
+    def resolve(self, ids):
+        """Client refinement; in padded mode, silently drops the dummy ids
+        (only the owner can tell them apart — the server cannot)."""
+        if self.padded:
+            ids = [i for i in ids if i < self._dummy_floor]
+        return super().resolve(ids)
+
+    def trapdoor(self, lo: int, hi: int) -> MultiKeywordToken:
+        lo, hi = self.check_range(lo, hi)
+        return MultiKeywordToken([self._sse.trapdoor(range_keyword(lo, hi))])
+
+    def search(self, token: MultiKeywordToken) -> "list[int]":
+        self._require_built()
+        results: list[int] = []
+        for kw_token in token:
+            results.extend(
+                decode_id(p) for p in self._sse.search(self._index, kw_token)
+            )
+        return results
+
+    def index_size_bytes(self) -> int:
+        self._require_built()
+        return self._index.serialized_size()

@@ -1,0 +1,66 @@
+"""Scheme registry: one place mapping paper names to constructors.
+
+The harness, benchmarks and examples all instantiate schemes through
+:func:`make_scheme`, so experiment code reads like the paper
+("logarithmic-src-i") and never hard-codes classes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.constant import ConstantBrc, ConstantUrc
+from repro.core.log_src import LogarithmicSrc
+from repro.core.log_src_i import LogarithmicSrcI
+from repro.core.logarithmic import LogarithmicBrc, LogarithmicUrc
+from repro.core.quadratic import Quadratic
+from repro.core.scheme import RangeScheme
+
+#: All RSSE constructions of the paper, keyed by their Table 1 names.
+SCHEMES: "dict[str, Callable[..., RangeScheme]]" = {
+    "quadratic": Quadratic,
+    "constant-brc": ConstantBrc,
+    "constant-urc": ConstantUrc,
+    "logarithmic-brc": LogarithmicBrc,
+    "logarithmic-urc": LogarithmicUrc,
+    "logarithmic-src": LogarithmicSrc,
+    "logarithmic-src-i": LogarithmicSrcI,
+}
+
+#: The schemes the paper's experiments run (Quadratic excluded for its
+#: prohibitive storage, exactly as in Section 8).
+EXPERIMENT_SCHEMES = (
+    "constant-brc",
+    "constant-urc",
+    "logarithmic-brc",
+    "logarithmic-urc",
+    "logarithmic-src",
+    "logarithmic-src-i",
+)
+
+#: Security ranking from Table 1 (higher = stronger guarantees).
+SECURITY_LEVELS = {
+    "pb": 0,
+    "constant-brc": 1,
+    "constant-urc": 2,
+    "logarithmic-brc": 3,
+    "logarithmic-urc": 4,
+    "logarithmic-src-i": 5,
+    "logarithmic-src": 6,
+    "quadratic": 6,
+}
+
+
+def make_scheme(name: str, domain_size: int, **kwargs) -> RangeScheme:
+    """Instantiate a scheme by its paper name.
+
+    Extra keyword arguments (``sse_factory``, ``rng``, scheme-specific
+    options such as ``intersection_policy``) pass straight through.
+    """
+    try:
+        cls = SCHEMES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {name!r}; choose from {sorted(SCHEMES)}"
+        ) from None
+    return cls(domain_size, **kwargs)

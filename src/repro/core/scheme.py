@@ -1,0 +1,297 @@
+"""The RSSE framework: problem definition as code (paper Section 3).
+
+A Range Searchable Symmetric Encryption scheme is specified, exactly as
+in the paper, by four algorithms:
+
+- ``Setup``   → the scheme constructor (keys are sampled here);
+- ``BuildIndex`` → :meth:`RangeScheme.build_index`;
+- ``Trpdr``   → :meth:`RangeScheme.trapdoor`;
+- ``Search``  → :meth:`RangeScheme.search` (server side).
+
+Every concrete scheme reduces the range to keywords differently but
+shares this lifecycle, the encrypted at-rest tuple store, and the final
+client-side refinement step (fetch ciphertexts for returned ids, decrypt,
+drop false positives) — which the paper describes as orthogonal to the
+SSE search itself.
+
+The class also centralizes the measurement hooks the evaluation needs:
+exact index bytes, token wire bytes, trapdoor and server wall-clock.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.crypto.prf import generate_key
+from repro.crypto.symmetric import SemanticCipher
+from repro.errors import DomainError, IndexStateError
+from repro.sse.base import KeyDeriver, SseScheme
+from repro.sse.encoding import decode_record, encode_record
+from repro.sse.pibas import PiBas
+
+#: Factory signature every scheme accepts: ``deriver -> SseScheme``.
+SseFactory = Callable[[KeyDeriver], SseScheme]
+
+
+@dataclass(frozen=True)
+class Record:
+    """One outsourced tuple: a unique identifier and its query-attribute
+    value ``a`` (paper notation: the pair ``(id, a)``)."""
+
+    id: int
+    value: int
+
+
+@dataclass
+class QueryOutcome:
+    """Everything a full query round-trip produced and cost.
+
+    ``ids`` is the exact answer after client refinement; ``raw_ids`` is
+    what the server returned (it may include false positives for the
+    SRC family and PB).  Cost fields feed Figures 7 and 8.
+    """
+
+    ids: frozenset
+    raw_ids: tuple
+    false_positives: int
+    token_bytes: int
+    rounds: int
+    trapdoor_seconds: float
+    server_seconds: float
+
+    @property
+    def result_size(self) -> int:
+        """Exact result cardinality r."""
+        return len(self.ids)
+
+    @property
+    def false_positive_rate(self) -> float:
+        """False positives over total returned (0 when nothing returned)."""
+        total = len(self.raw_ids)
+        return self.false_positives / total if total else 0.0
+
+
+class RangeScheme(ABC):
+    """Base class of all RSSE constructions.
+
+    Parameters
+    ----------
+    domain_size:
+        Size m of the query attribute domain ``{0, …, m-1}``.
+    sse_factory:
+        Black-box SSE constructor (default :class:`~repro.sse.pibas.PiBas`).
+    rng:
+        Optional seeded :class:`random.Random` driving every shuffle and
+        nonce in the scheme — inject for reproducible tests; leave
+        ``None`` for CSPRNG-backed production behaviour.
+    """
+
+    #: Scheme name as it appears in the paper's tables/figures.
+    name: str = "rsse"
+
+    #: Whether the server's answer can contain false positives.
+    may_false_positive: bool = False
+
+    def __init__(
+        self,
+        domain_size: int,
+        *,
+        sse_factory: "SseFactory | None" = None,
+        rng: "random.Random | None" = None,
+    ) -> None:
+        if domain_size < 1:
+            raise DomainError(f"domain size must be >= 1, got {domain_size}")
+        self.domain_size = domain_size
+        self._sse_factory: SseFactory = sse_factory or PiBas
+        self._rng = rng if rng is not None else random.SystemRandom()
+        self._record_key = generate_key(self._rng)
+        self._record_cipher = SemanticCipher(self._record_key, rng=self._rng)
+        #: Server-side encrypted tuple store: id -> Enc(record).
+        self._encrypted_store: dict[int, bytes] = {}
+        #: Server-side encrypted payload store: id -> Enc(document bytes).
+        self._payload_store: dict[int, bytes] = {}
+        self._built = False
+        self._n = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def build_index(
+        self,
+        records: Iterable[tuple],
+        *,
+        payloads: "Mapping[int, bytes] | None" = None,
+    ) -> None:
+        """``BuildIndex``: encrypt the dataset and build the secure index.
+
+        ``records`` yields ``(id, value)`` pairs (or :class:`Record`).
+        Ids must be unique; values must lie in the domain.
+
+        ``payloads`` optionally maps ids to the *full document bytes*
+        (the actual row/record the application cares about).  They are
+        encrypted semantically and stored server-side, exactly like the
+        paper's "actual encrypted documents … stored at the server
+        separately from I"; retrieve them post-query with
+        :meth:`fetch_payloads`.  Every payload id must be indexed.
+        """
+        normalized: list[Record] = []
+        seen_ids: set[int] = set()
+        for item in records:
+            rec = item if isinstance(item, Record) else Record(*item)
+            if not isinstance(rec.id, int) or isinstance(rec.id, bool):
+                raise DomainError(f"record id must be int, got {type(rec.id).__name__}")
+            if not 0 <= rec.id < 1 << 64:
+                raise DomainError(f"record id {rec.id} outside unsigned 64-bit range")
+            if rec.id in seen_ids:
+                raise DomainError(f"duplicate record id {rec.id}")
+            if not isinstance(rec.value, int) or isinstance(rec.value, bool):
+                raise DomainError(
+                    f"record value must be int, got {type(rec.value).__name__}"
+                )
+            if not 0 <= rec.value < self.domain_size:
+                raise DomainError(
+                    f"value {rec.value} outside domain [0, {self.domain_size - 1}]"
+                )
+            seen_ids.add(rec.id)
+            normalized.append(rec)
+        self._encrypted_store = {
+            rec.id: self._record_cipher.encrypt(encode_record(rec.id, rec.value))
+            for rec in normalized
+        }
+        self._payload_store = {}
+        if payloads is not None:
+            unknown = set(payloads) - seen_ids
+            if unknown:
+                raise DomainError(
+                    f"payloads reference unindexed ids: {sorted(unknown)[:5]}"
+                )
+            self._payload_store = {
+                doc_id: self._record_cipher.encrypt(bytes(blob))
+                for doc_id, blob in payloads.items()
+            }
+        self._n = len(normalized)
+        self._build(normalized)
+        self._built = True
+
+    @abstractmethod
+    def _build(self, records: "list[Record]") -> None:
+        """Scheme-specific index construction over validated records."""
+
+    @abstractmethod
+    def trapdoor(self, lo: int, hi: int):
+        """``Trpdr``: owner-side token generation for range ``[lo, hi]``."""
+
+    @abstractmethod
+    def search(self, token) -> "list[int]":
+        """``Search``: server-side evaluation, returns matching ids
+        (a superset of the true answer for FP-prone schemes)."""
+
+    # -- client refinement & the full protocol ------------------------------
+
+    def resolve(self, ids: Sequence[int]) -> "list[Record]":
+        """Fetch and decrypt the tuples for ``ids`` (client refinement)."""
+        records = []
+        for doc_id in ids:
+            blob = self._encrypted_store.get(doc_id)
+            if blob is None:
+                raise IndexStateError(f"server returned unknown id {doc_id}")
+            rid, value = decode_record(self._record_cipher.decrypt(blob))
+            records.append(Record(rid, value))
+        return records
+
+    def fetch_payloads(self, ids: Sequence[int]) -> "dict[int, bytes]":
+        """Fetch and decrypt the full documents for (matched) ids.
+
+        Ids without an attached payload are simply absent from the
+        result — indexing payloads is optional per tuple.
+        """
+        out: dict[int, bytes] = {}
+        for doc_id in ids:
+            blob = self._payload_store.get(doc_id)
+            if blob is not None:
+                out[doc_id] = self._record_cipher.decrypt(blob)
+        return out
+
+    def query(self, lo: int, hi: int) -> QueryOutcome:
+        """Full round trip: trapdoor → server search → refinement.
+
+        Non-interactive schemes run one round; Logarithmic-SRC-i
+        overrides this with its two-round protocol.
+        """
+        self._require_built()
+        t0 = time.perf_counter()
+        token = self.trapdoor(lo, hi)
+        t1 = time.perf_counter()
+        raw_ids = self.search(token)
+        t2 = time.perf_counter()
+        matched = frozenset(
+            rec.id for rec in self.resolve(raw_ids) if lo <= rec.value <= hi
+        )
+        return QueryOutcome(
+            ids=matched,
+            raw_ids=tuple(raw_ids),
+            false_positives=len(raw_ids) - len(matched),
+            token_bytes=self.token_size_bytes(token),
+            rounds=1,
+            trapdoor_seconds=t1 - t0,
+            server_seconds=t2 - t1,
+        )
+
+    # -- measurement hooks ---------------------------------------------------
+
+    @abstractmethod
+    def index_size_bytes(self) -> int:
+        """Exact serialized size of the secure index (EDB bytes only —
+        the encrypted tuple store is common to all schemes and excluded,
+        matching the paper's index-size metric)."""
+
+    @staticmethod
+    def token_size_bytes(token) -> int:
+        """Wire size of a trapdoor, for Figure 8(a)."""
+        if hasattr(token, "serialized_size"):
+            return token.serialized_size()
+        return sum(part.serialized_size() for part in token)
+
+    @property
+    def size(self) -> int:
+        """Number of indexed records n."""
+        return self._n
+
+    def _require_built(self) -> None:
+        if not self._built:
+            raise IndexStateError(
+                f"{type(self).__name__}: call build_index() before querying"
+            )
+
+    def check_range(self, lo: int, hi: int) -> tuple:
+        """Validate a query range against the attribute domain."""
+        if not 0 <= lo < self.domain_size or not 0 <= hi < self.domain_size:
+            raise DomainError(
+                f"range [{lo}, {hi}] outside domain [0, {self.domain_size - 1}]"
+            )
+        if lo > hi:
+            raise DomainError(f"range lower bound {lo} exceeds upper bound {hi}")
+        return lo, hi
+
+
+@dataclass
+class MultiKeywordToken:
+    """A trapdoor consisting of one or more SSE keyword tokens.
+
+    Used by Quadratic (always one), Logarithmic-BRC/URC (``O(log R)``,
+    randomly permuted) and Logarithmic-SRC (one TDAG node token).
+    """
+
+    tokens: list = field(default_factory=list)
+
+    def serialized_size(self) -> int:
+        return sum(t.serialized_size() for t in self.tokens)
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def __iter__(self):
+        return iter(self.tokens)

@@ -1,0 +1,34 @@
+"""Range-covering techniques over the domain binary tree and TDAG.
+
+The reduction at the heart of the paper — range search becomes
+multi-keyword search — is driven entirely by these covers:
+
+- :func:`~repro.covers.brc.best_range_cover` (BRC): minimal exact dyadic
+  decomposition, ``O(log R)`` nodes.
+- :func:`~repro.covers.urc.uniform_range_cover` (URC): exact cover whose
+  level multiset depends only on the range *size*, hiding position.
+- :class:`~repro.covers.tdag.Tdag` / SRC: a single covering node from the
+  tree-like DAG, subtree size ``O(R)`` (Lemma 1).
+"""
+
+from repro.covers.brc import best_range_cover, brc_node_count
+from repro.covers.dyadic import DomainTree, Node, leaf
+from repro.covers.tdag import Tdag, TdagNode
+from repro.covers.urc import (
+    canonical_level_multiset,
+    uniform_range_cover,
+    urc_node_count,
+)
+
+__all__ = [
+    "DomainTree",
+    "Node",
+    "Tdag",
+    "TdagNode",
+    "best_range_cover",
+    "brc_node_count",
+    "canonical_level_multiset",
+    "leaf",
+    "uniform_range_cover",
+    "urc_node_count",
+]

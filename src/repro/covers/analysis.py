@@ -1,0 +1,101 @@
+"""Analytical utilities over the range-covering techniques.
+
+Functions here answer the quantitative questions the paper's design
+discussion raises — how many tokens does a range cost, how much does a
+tuple replicate, how loose is the SRC cover — exactly (by exhaustion)
+on small domains and by sampling on large ones.  The ablation
+experiments and several property tests are built on them.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from repro.covers.brc import best_range_cover
+from repro.covers.dyadic import DomainTree
+from repro.covers.tdag import Tdag
+from repro.covers.urc import urc_node_count
+
+
+def brc_count_distribution(
+    range_size: int,
+    domain_size: int,
+    *,
+    max_exact: int = 1 << 14,
+    samples: int = 2000,
+    seed: int = 0,
+) -> Counter:
+    """Distribution of BRC cover sizes over range positions.
+
+    Exhaustive when the number of positions is at most ``max_exact``,
+    sampled otherwise.  The spread of this distribution is precisely the
+    positional information BRC tokens leak and URC destroys.
+    """
+    if not 1 <= range_size <= domain_size:
+        raise ValueError("range size must be within the domain")
+    positions = domain_size - range_size + 1
+    counts: Counter = Counter()
+    if positions <= max_exact:
+        for lo in range(positions):
+            counts[len(best_range_cover(lo, lo + range_size - 1))] += 1
+    else:
+        rng = random.Random(seed)
+        for _ in range(samples):
+            lo = rng.randrange(positions)
+            counts[len(best_range_cover(lo, lo + range_size - 1))] += 1
+    return counts
+
+
+def expected_brc_nodes(range_size: int, domain_size: int, **kwargs) -> float:
+    """Mean BRC cover size over positions (Figure 8(a)'s smooth curve)."""
+    dist = brc_count_distribution(range_size, domain_size, **kwargs)
+    total = sum(dist.values())
+    return sum(size * count for size, count in dist.items()) / total
+
+
+def worst_case_cover_size(range_size: int) -> int:
+    """Worst-case BRC size = the URC canonical size (Kiayias et al.)."""
+    return urc_node_count(range_size)
+
+
+def replication_factor(domain_size: int, scheme_family: str) -> int:
+    """Keywords per tuple for each scheme family (the storage driver).
+
+    ``constant`` → 1; ``logarithmic`` → height+1 (root-to-leaf path);
+    ``src`` → worst case over the TDAG (path + one injected node per
+    level); ``quadratic`` → worst-case subrange count for a central
+    value.
+    """
+    tree = DomainTree(domain_size)
+    if scheme_family == "constant":
+        return 1
+    if scheme_family == "logarithmic":
+        return tree.height + 1
+    if scheme_family == "src":
+        tdag = Tdag(domain_size)
+        return max(
+            tdag.keywords_per_value(v)
+            for v in range(0, domain_size, max(1, domain_size // 64))
+        )
+    if scheme_family == "quadratic":
+        mid = domain_size // 2
+        return (mid + 1) * (domain_size - mid)
+    raise ValueError(f"unknown scheme family {scheme_family!r}")
+
+
+def tdag_cover_ratio(
+    domain_size: int, *, samples: int = 1000, seed: int = 0
+) -> "tuple[float, float]":
+    """(mean, max) of SRC subtree size over range size (Lemma 1 ≤ 4)."""
+    tdag = Tdag(domain_size)
+    rng = random.Random(seed)
+    worst = 0.0
+    total = 0.0
+    for _ in range(samples):
+        a, b = rng.randrange(domain_size), rng.randrange(domain_size)
+        lo, hi = min(a, b), max(a, b)
+        ratio = tdag.src_cover(lo, hi).size / (hi - lo + 1)
+        worst = max(worst, ratio)
+        total += ratio
+    return total / samples, worst

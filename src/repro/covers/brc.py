@@ -1,0 +1,54 @@
+"""Best Range Cover (BRC): the minimal dyadic decomposition of a range.
+
+BRC selects the minimum number of binary tree nodes whose subtrees cover
+the range *exactly* (the minimum dyadic intervals).  For a range of size
+``R`` there are ``O(log R)`` such nodes, at most two per level.
+
+The algorithm is the classical segment-tree decomposition: walk both
+endpoints upward simultaneously, peeling off a node whenever an endpoint
+is not aligned with its parent.
+"""
+
+from __future__ import annotations
+
+from repro.covers.dyadic import Node
+from repro.errors import InvalidRangeError
+
+
+def best_range_cover(lo: int, hi: int) -> list[Node]:
+    """Minimal dyadic cover of ``[lo, hi]`` (inclusive), left to right.
+
+    The returned nodes are disjoint, their union is exactly the range,
+    and no smaller set of dyadic nodes covers the range.
+
+    Raises
+    ------
+    InvalidRangeError
+        If ``lo > hi`` or either endpoint is negative.
+    """
+    if lo < 0 or hi < 0 or lo > hi:
+        raise InvalidRangeError(f"invalid range [{lo}, {hi}]")
+
+    left_side: list[Node] = []  # nodes peeled off the lower endpoint
+    right_side: list[Node] = []  # nodes peeled off the upper endpoint
+    level = 0
+    while lo <= hi:
+        if lo & 1:  # lo is a right child: it cannot merge with its sibling
+            left_side.append(Node(level, lo))
+            lo += 1
+        if not hi & 1:  # hi is a left child: likewise
+            right_side.append(Node(level, hi))
+            hi -= 1
+        if lo > hi:
+            break
+        lo >>= 1
+        hi >>= 1
+        level += 1
+
+    right_side.reverse()
+    return left_side + right_side
+
+
+def brc_node_count(lo: int, hi: int) -> int:
+    """Number of nodes in the BRC decomposition (cheap helper)."""
+    return len(best_range_cover(lo, hi))

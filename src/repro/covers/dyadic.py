@@ -1,0 +1,160 @@
+"""Dyadic range algebra over a binary tree on the attribute domain.
+
+Every RSSE scheme in the paper rests on the same combinatorial object: a
+full binary tree built bottom-up over the (power-of-two padded) attribute
+domain ``A = {0, …, m-1}``.  A node at ``level`` ℓ with ``index`` i covers
+the dyadic range ``[i·2^ℓ, (i+1)·2^ℓ - 1]``; leaves sit at level 0 and the
+root at level ``height = log2(m_padded)``.
+
+This module defines the :class:`Node` value type and the
+:class:`DomainTree` helper that validates values/ranges and enumerates
+root-to-leaf paths.  The cover algorithms themselves live in
+:mod:`repro.covers.brc`, :mod:`repro.covers.urc` and
+:mod:`repro.covers.tdag`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DomainError, InvalidRangeError
+
+
+@dataclass(frozen=True, order=True)
+class Node:
+    """A dyadic-range node ``(level, index)`` of the domain binary tree.
+
+    Immutable and totally ordered (by level, then index) so nodes can be
+    dict keys, set members, and sorted deterministically.
+    """
+
+    level: int
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.level < 0:
+            raise DomainError(f"node level must be >= 0, got {self.level}")
+        if self.index < 0:
+            raise DomainError(f"node index must be >= 0, got {self.index}")
+
+    @property
+    def lo(self) -> int:
+        """Smallest domain value covered by this node's subtree."""
+        return self.index << self.level
+
+    @property
+    def hi(self) -> int:
+        """Largest domain value covered by this node's subtree."""
+        return ((self.index + 1) << self.level) - 1
+
+    @property
+    def size(self) -> int:
+        """Number of leaves (domain values) under this node: ``2^level``."""
+        return 1 << self.level
+
+    def covers_value(self, value: int) -> bool:
+        """True iff ``value`` lies in this node's dyadic range."""
+        return self.lo <= value <= self.hi
+
+    def covers_range(self, lo: int, hi: int) -> bool:
+        """True iff the whole range ``[lo, hi]`` lies under this node."""
+        return self.lo <= lo and hi <= self.hi
+
+    def children(self) -> tuple["Node", "Node"]:
+        """The two level-(ℓ-1) children; leaves raise :class:`DomainError`."""
+        if self.level == 0:
+            raise DomainError("leaf nodes have no children")
+        return (
+            Node(self.level - 1, self.index * 2),
+            Node(self.level - 1, self.index * 2 + 1),
+        )
+
+    def parent(self) -> "Node":
+        """The level-(ℓ+1) parent node."""
+        return Node(self.level + 1, self.index // 2)
+
+    def label(self) -> bytes:
+        """Canonical keyword label for this node, used by SSE layers.
+
+        The encoding is unambiguous (``R:`` distinguishes regular binary
+        tree nodes from the TDAG's injected ``I:`` nodes) and fixed for
+        the lifetime of an index.
+        """
+        return b"R:%d:%d" % (self.level, self.index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"Node(level={self.level}, index={self.index}, range=[{self.lo},{self.hi}])"
+
+
+def leaf(value: int) -> Node:
+    """The level-0 node for a single domain value."""
+    return Node(0, value)
+
+
+class DomainTree:
+    """Binary tree metadata for a domain ``{0, …, m-1}``.
+
+    ``m`` need not be a power of two; the tree is built over the padded
+    size ``2^height`` with ``height = ceil(log2 m)``, exactly as one pads
+    in practice.  Values and query ranges are validated against the
+    *unpadded* ``m`` so applications cannot accidentally query padding.
+    """
+
+    def __init__(self, domain_size: int) -> None:
+        if domain_size < 1:
+            raise DomainError(f"domain size must be >= 1, got {domain_size}")
+        self.domain_size = domain_size
+        self.height = max(1, (domain_size - 1).bit_length())
+        self.padded_size = 1 << self.height
+
+    @classmethod
+    def from_bits(cls, bits: int) -> "DomainTree":
+        """Tree over a domain of exactly ``2^bits`` values."""
+        return cls(1 << bits)
+
+    @property
+    def root(self) -> Node:
+        """The root node covering the whole padded domain."""
+        return Node(self.height, 0)
+
+    def check_value(self, value: int) -> int:
+        """Validate a domain value, returning it unchanged."""
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise DomainError(f"domain value must be int, got {type(value).__name__}")
+        if not 0 <= value < self.domain_size:
+            raise DomainError(
+                f"value {value} outside domain [0, {self.domain_size - 1}]"
+            )
+        return value
+
+    def check_range(self, lo: int, hi: int) -> tuple[int, int]:
+        """Validate a query range ``[lo, hi]`` (inclusive ends)."""
+        self.check_value(lo)
+        self.check_value(hi)
+        if lo > hi:
+            raise InvalidRangeError(f"range lower bound {lo} exceeds upper bound {hi}")
+        return lo, hi
+
+    def path_nodes(self, value: int) -> list[Node]:
+        """Nodes on the root-to-leaf path of ``value`` (root first).
+
+        These are exactly the ``height + 1`` dyadic ranges containing the
+        value — the keywords Logarithmic-BRC/URC assign to a tuple.
+        """
+        self.check_value(value)
+        return [Node(lvl, value >> lvl) for lvl in range(self.height, -1, -1)]
+
+    def value_bits(self, value: int) -> list[int]:
+        """Big-endian bit path of ``value`` (length = tree height).
+
+        Bit ``0`` means "descend left", ``1`` "descend right" — the GGM
+        traversal convention of paper Section 2.2.
+        """
+        self.check_value(value)
+        return [(value >> i) & 1 for i in range(self.height - 1, -1, -1)]
+
+    def node_in_tree(self, node: Node) -> bool:
+        """True iff ``node`` exists within this (padded) tree."""
+        return 0 <= node.level <= self.height and node.index < (
+            1 << (self.height - node.level)
+        )

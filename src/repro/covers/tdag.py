@@ -1,0 +1,163 @@
+"""TDAG: the tree-like directed acyclic graph of Logarithmic-SRC(-i).
+
+A plain binary tree cannot cover an arbitrary range with a *single*
+subtree of size proportional to the range: ``[3, 4]`` over ``{0..7}``
+straddles the midpoint and forces the root.  The paper's TDAG fixes this
+by injecting, between every two adjacent nodes of every level, an extra
+node whose subtree spans the right half of the left node and the left
+half of the right node.  Lemma 1 then guarantees that any range of size
+``R`` is covered by a single TDAG subtree with at most ``4R ∈ O(R)``
+leaves.
+
+Node addressing
+---------------
+*Regular* nodes are the binary tree's ``(level, index)`` dyadic nodes.
+An *injected* node at level ℓ ≥ 1 with index i covers
+``[i·2^ℓ + 2^(ℓ-1), (i+1)·2^ℓ + 2^(ℓ-1) - 1]`` — the half-shifted grid.
+Injected nodes exist for ``i ∈ {0, …, 2^(h-ℓ) - 2}`` (there is no
+injected node hanging past the domain edge, and none at the root level
+of a height-h tree beyond ``h-1``... more precisely the count at level ℓ
+is ``2^(h-ℓ) - 1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.covers.dyadic import DomainTree, Node
+from repro.errors import DomainError
+
+
+@dataclass(frozen=True, order=True)
+class TdagNode:
+    """A TDAG node: a dyadic node, or a half-shifted injected node."""
+
+    level: int
+    index: int
+    injected: bool = False
+
+    def __post_init__(self) -> None:
+        if self.level < 0 or self.index < 0:
+            raise DomainError("TDAG node level/index must be >= 0")
+        if self.injected and self.level < 1:
+            raise DomainError("injected nodes exist only at level >= 1")
+
+    @property
+    def lo(self) -> int:
+        """Smallest domain value covered by this node's subtree."""
+        base = self.index << self.level
+        return base + (1 << (self.level - 1)) if self.injected else base
+
+    @property
+    def hi(self) -> int:
+        """Largest domain value covered by this node's subtree."""
+        return self.lo + self.size - 1
+
+    @property
+    def size(self) -> int:
+        """Number of leaves under this node: ``2^level``."""
+        return 1 << self.level
+
+    def covers_value(self, value: int) -> bool:
+        """True iff ``value`` lies under this node."""
+        return self.lo <= value <= self.hi
+
+    def covers_range(self, lo: int, hi: int) -> bool:
+        """True iff ``[lo, hi]`` lies entirely under this node."""
+        return self.lo <= lo and hi <= self.hi
+
+    def label(self) -> bytes:
+        """Canonical keyword label (``I:`` injected vs ``R:`` regular)."""
+        kind = b"I" if self.injected else b"R"
+        return b"%s:%d:%d" % (kind, self.level, self.index)
+
+    @classmethod
+    def from_dyadic(cls, node: Node) -> "TdagNode":
+        """Wrap a regular binary tree node as a TDAG node."""
+        return cls(node.level, node.index, injected=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        kind = "injected" if self.injected else "regular"
+        return f"TdagNode({kind}, level={self.level}, range=[{self.lo},{self.hi}])"
+
+
+class Tdag:
+    """TDAG built over a domain of ``domain_size`` values.
+
+    The structure is never materialized — all questions (which nodes
+    cover a value, which single node SRC-covers a range) are answered
+    arithmetically, so a TDAG over a 2^32 domain costs nothing to hold.
+    """
+
+    def __init__(self, domain_size: int) -> None:
+        self.tree = DomainTree(domain_size)
+        self.height = self.tree.height
+        self.domain_size = domain_size
+        self.padded_size = self.tree.padded_size
+
+    def node_exists(self, node: TdagNode) -> bool:
+        """True iff ``node`` is part of this TDAG."""
+        if node.level > self.height:
+            return False
+        width = 1 << (self.height - node.level)
+        if node.injected:
+            return node.index <= width - 2
+        return node.index <= width - 1
+
+    def injected_count(self, level: int) -> int:
+        """Number of injected nodes at ``level`` (0 at the root level)."""
+        if not 1 <= level <= self.height:
+            return 0
+        return (1 << (self.height - level)) - 1
+
+    def covering_nodes(self, value: int) -> list[TdagNode]:
+        """All TDAG nodes whose subtree contains ``value``.
+
+        These are the keywords Logarithmic-SRC assigns to a tuple with
+        attribute value ``value``: the ``height + 1`` regular path nodes
+        plus at most one injected node per level — ``O(log m)`` total.
+        """
+        self.tree.check_value(value)
+        nodes = [
+            TdagNode(n.level, n.index) for n in self.tree.path_nodes(value)
+        ]
+        for level in range(1, self.height + 1):
+            half = 1 << (level - 1)
+            shifted = value - half
+            if shifted < 0:
+                continue
+            index = shifted >> level
+            candidate = TdagNode(level, index, injected=True)
+            if self.node_exists(candidate) and candidate.covers_value(value):
+                nodes.append(candidate)
+        return nodes
+
+    def src_cover(self, lo: int, hi: int) -> TdagNode:
+        """Single Range Cover: the smallest TDAG node covering ``[lo, hi]``.
+
+        Runs in ``O(log m)`` by scanning levels upward from the smallest
+        level that could possibly fit the range.  Lemma 1 guarantees the
+        returned subtree has at most ``4·(hi - lo + 1)`` leaves.
+        """
+        lo, hi = self.tree.check_range(lo, hi)
+        range_size = hi - lo + 1
+        start_level = max(0, (range_size - 1).bit_length())
+        for level in range(start_level, self.height + 1):
+            if (lo >> level) == (hi >> level):
+                return TdagNode(level, lo >> level)
+            if level >= 1:
+                half = 1 << (level - 1)
+                if lo >= half and ((lo - half) >> level) == ((hi - half) >> level):
+                    candidate = TdagNode(level, (lo - half) >> level, injected=True)
+                    if self.node_exists(candidate):
+                        return candidate
+        # Unreachable: the root always covers any in-domain range.
+        raise AssertionError("SRC cover must exist; domain tree is inconsistent")
+
+    def keywords_per_value(self, value: int) -> int:
+        """Replication factor of a tuple with this attribute value."""
+        return len(self.covering_nodes(value))
+
+    def subtree_leaves(self, node: TdagNode) -> range:
+        """The contiguous domain interval under ``node`` as a ``range``."""
+        return range(node.lo, node.hi + 1)

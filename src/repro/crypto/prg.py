@@ -1,0 +1,68 @@
+"""GGM length-doubling pseudorandom generator.
+
+The DPRF of Kiayias et al. (CCS'13), which the Constant-BRC/URC schemes
+rely on, is built from the seminal GGM construction: a PRG
+``G : {0,1}^λ → {0,1}^{2λ}`` whose output splits into halves ``G0`` and
+``G1``.  Successive applications of ``G0``/``G1`` along the bit path of a
+domain value turn a single seed into an exponentially large PRF tree.
+
+Following the paper's implementation notes we realize ``G`` with
+HMAC-SHA-512: the 64-byte digest of the seed keyed on a fixed label
+splits exactly into two λ = 32-byte halves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.crypto.prf import KEY_LEN
+from repro.errors import KeyError_
+
+#: Seed length λ in bytes.  One HMAC-SHA-512 call emits exactly 2λ bytes.
+SEED_LEN = KEY_LEN
+
+_G_LABEL = b"repro.ggm.prg"
+
+
+def _expand(seed: bytes) -> bytes:
+    if not isinstance(seed, (bytes, bytearray)) or len(seed) != SEED_LEN:
+        raise KeyError_(f"GGM seed must be {SEED_LEN} bytes")
+    return hmac.new(bytes(seed), _G_LABEL, hashlib.sha512).digest()
+
+
+def g(seed: bytes) -> tuple[bytes, bytes]:
+    """Apply the PRG: return ``(G0(seed), G1(seed))``, each λ bytes."""
+    out = _expand(seed)
+    return out[:SEED_LEN], out[SEED_LEN:]
+
+
+def g0(seed: bytes) -> bytes:
+    """Left half of the PRG output (the ``0`` child in the GGM tree)."""
+    return _expand(seed)[:SEED_LEN]
+
+
+def g1(seed: bytes) -> bytes:
+    """Right half of the PRG output (the ``1`` child in the GGM tree)."""
+    return _expand(seed)[SEED_LEN:]
+
+
+def g_bit(seed: bytes, bit: int) -> bytes:
+    """Apply ``G_bit``; ``bit`` must be 0 or 1."""
+    if bit not in (0, 1):
+        raise ValueError(f"bit must be 0 or 1, got {bit}")
+    out = _expand(seed)
+    return out[:SEED_LEN] if bit == 0 else out[SEED_LEN:]
+
+
+def g_path(seed: bytes, bits: "list[int] | tuple[int, ...]") -> bytes:
+    """Apply the PRG along a bit path, most significant bit first.
+
+    ``g_path(k, [b_{ℓ-1}, …, b_0])`` equals
+    ``G_{b_0}(…(G_{b_{ℓ-1}}(k)))`` — the GGM evaluation of the value whose
+    binary expansion is ``b_{ℓ-1} … b_0`` (paper Section 2.2).
+    """
+    out = bytes(seed)
+    for bit in bits:
+        out = g_bit(out, bit)
+    return out

@@ -1,0 +1,54 @@
+"""Exception hierarchy shared across the RSSE library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+applications can catch library failures with a single ``except`` clause
+while still distinguishing the precise failure mode when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DomainError(ReproError, ValueError):
+    """A value or range does not fit the configured attribute domain."""
+
+
+class InvalidRangeError(DomainError):
+    """A query range is malformed (e.g. ``lo > hi`` or out of domain)."""
+
+
+class KeyError_(ReproError):
+    """A cryptographic key has the wrong size or type.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`KeyError`, which has entirely different semantics.
+    """
+
+
+class TokenError(ReproError):
+    """A search token is malformed, truncated, or from a foreign key."""
+
+
+class IntegrityError(ReproError):
+    """Authenticated decryption failed: the ciphertext was tampered with."""
+
+
+class QueryIntersectionError(ReproError):
+    """Constant-BRC/URC received a query intersecting an earlier query.
+
+    The paper proves the Constant schemes secure only for non-intersecting
+    adaptive queries (an inherent DPRF limitation); the client enforces the
+    constraint at the application level and raises this error.
+    """
+
+
+class IndexStateError(ReproError):
+    """An operation was issued against an index in the wrong lifecycle
+    state (e.g. searching before :meth:`build_index`)."""
+
+
+class UpdateError(ReproError):
+    """The batch-update manager was driven with inconsistent operations."""

@@ -1,0 +1,5 @@
+"""Extensions beyond the paper's core: its stated future-work direction."""
+
+from repro.extensions.multidim import MultiDimScheme
+
+__all__ = ["MultiDimScheme"]

@@ -1,0 +1,97 @@
+"""Multi-dimensional range search — the paper's stated future work.
+
+Section 9: "In our future work, we plan to focus on the considerably
+harder setting of multi-dimensional (i.e., multi-attribute) range
+queries."  This module provides the natural first construction in the
+RSSE framework: **per-dimension composition** — one independent
+single-attribute RSSE instance (fresh keys) per attribute, with the
+owner intersecting the per-dimension id sets during refinement.
+
+Security statement (be honest about it): the composition leaks the
+*per-dimension* access and structural patterns of each conjunct — i.e.
+the server learns which tuples match each 1-D projection of the query,
+a strict superset of the final intersection's access pattern.  That is
+exactly why the paper calls the multi-dimensional setting "considerably
+harder"; this composition is the practical baseline such future work
+would have to beat, not a claim of equal security to the 1-D schemes.
+
+Costs for d dimensions: index d× the chosen base scheme; query = d
+trapdoors; refinement intersects at the owner.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Sequence
+
+from repro.core.scheme import QueryOutcome, RangeScheme
+from repro.errors import DomainError, IndexStateError
+
+
+class MultiDimScheme:
+    """d-dimensional range search by per-dimension RSSE composition.
+
+    Parameters
+    ----------
+    scheme_factories:
+        One zero-argument factory per dimension, each returning a fresh
+        (un-built) :class:`~repro.core.scheme.RangeScheme`.  Fresh keys
+        per dimension are required — reuse would correlate the indexes.
+    """
+
+    def __init__(self, scheme_factories: "Sequence[Callable[[], RangeScheme]]") -> None:
+        if not scheme_factories:
+            raise DomainError("need at least one dimension")
+        self.schemes: "list[RangeScheme]" = [factory() for factory in scheme_factories]
+        self.dimensions = len(self.schemes)
+        self._built = False
+
+    def build_index(self, records: "Iterable[tuple]") -> None:
+        """Index tuples ``(id, v_1, …, v_d)`` across all dimensions."""
+        materialized = list(records)
+        for rec in materialized:
+            if len(rec) != self.dimensions + 1:
+                raise DomainError(
+                    f"record {rec!r} must have 1 id + {self.dimensions} values"
+                )
+        for dim, scheme in enumerate(self.schemes):
+            scheme.build_index([(rec[0], rec[1 + dim]) for rec in materialized])
+        self._built = True
+
+    def query(self, ranges: "Sequence[tuple]") -> QueryOutcome:
+        """Conjunctive range query: one ``(lo, hi)`` per dimension.
+
+        Runs each dimension's full 1-D protocol and intersects the
+        refined per-dimension answers at the owner.
+        """
+        if not self._built:
+            raise IndexStateError("call build_index() before querying")
+        if len(ranges) != self.dimensions:
+            raise DomainError(
+                f"need {self.dimensions} ranges, got {len(ranges)}"
+            )
+        trapdoor_seconds = server_seconds = 0.0
+        token_bytes = rounds = raw_total = 0
+        result: "frozenset | None" = None
+        for scheme, (lo, hi) in zip(self.schemes, ranges):
+            outcome = scheme.query(lo, hi)
+            trapdoor_seconds += outcome.trapdoor_seconds
+            server_seconds += outcome.server_seconds
+            token_bytes += outcome.token_bytes
+            rounds += outcome.rounds
+            raw_total += len(outcome.raw_ids)
+            result = outcome.ids if result is None else result & outcome.ids
+        assert result is not None
+        return QueryOutcome(
+            ids=result,
+            raw_ids=tuple(sorted(result)),
+            false_positives=raw_total - len(result),
+            token_bytes=token_bytes,
+            rounds=rounds,
+            trapdoor_seconds=trapdoor_seconds,
+            server_seconds=server_seconds,
+        )
+
+    def index_size_bytes(self) -> int:
+        """Combined index footprint across dimensions."""
+        return sum(scheme.index_size_bytes() for scheme in self.schemes)

@@ -1,0 +1,31 @@
+"""Experiment harness: metrics, tables, figure/table regeneration,
+scheme recommendation, and index self-checks."""
+
+from repro.harness.advisor import (
+    DatasetProfile,
+    Recommendation,
+    WorkloadProfile,
+    profile_dataset,
+    recommend,
+)
+from repro.harness.diagnostics import DiagnosticsReport, verify_scheme
+from repro.harness.metrics import Series, SeriesPoint, Stopwatch, mib, timed
+from repro.harness.tables import render_series, render_table, series_to_csv
+
+__all__ = [
+    "DatasetProfile",
+    "DiagnosticsReport",
+    "Recommendation",
+    "Series",
+    "SeriesPoint",
+    "Stopwatch",
+    "WorkloadProfile",
+    "mib",
+    "profile_dataset",
+    "recommend",
+    "render_series",
+    "render_table",
+    "series_to_csv",
+    "timed",
+    "verify_scheme",
+]

@@ -1,0 +1,70 @@
+"""Measurement utilities for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating wall-clock timer."""
+
+    seconds: float = 0.0
+
+    @contextmanager
+    def measure(self):
+        """Context manager adding the enclosed duration to the total."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.seconds += time.perf_counter() - start
+
+
+def timed(fn, *args, **kwargs):
+    """Run ``fn`` returning ``(result, wall_seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def mib(n_bytes: int) -> float:
+    """Bytes → MiB."""
+    return n_bytes / (1024.0 * 1024.0)
+
+
+@dataclass
+class SeriesPoint:
+    """One (x, per-scheme-value) point of a figure series."""
+
+    x: float
+    values: "dict[str, float]" = field(default_factory=dict)
+
+
+@dataclass
+class Series:
+    """A named figure: x-axis label, y-axis label, and its points."""
+
+    title: str
+    x_label: str
+    y_label: str
+    points: "list[SeriesPoint]" = field(default_factory=list)
+
+    def add(self, x: float, values: "dict[str, float]") -> None:
+        self.points.append(SeriesPoint(x, dict(values)))
+
+    def columns(self) -> "list[str]":
+        cols: list[str] = []
+        for point in self.points:
+            for key in point.values:
+                if key not in cols:
+                    cols.append(key)
+        return cols
+
+    def as_rows(self) -> "list[list]":
+        cols = self.columns()
+        return [
+            [point.x] + [point.values.get(c) for c in cols] for point in self.points
+        ]

@@ -1,0 +1,51 @@
+"""Plain-text table rendering and CSV export for experiment output."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.harness.metrics import Series
+
+
+def _format_cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(headers: "list[str]", rows: "list[list]") -> str:
+    """Fixed-width ASCII table."""
+    cells = [[_format_cell(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def fmt(row):
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+def render_series(series: Series) -> str:
+    """Render a figure series with its axis labels."""
+    headers = [series.x_label] + series.columns()
+    body = render_table(headers, series.as_rows())
+    return f"== {series.title} ==  (y: {series.y_label})\n{body}"
+
+
+def series_to_csv(series: Series) -> str:
+    """CSV text of a series (x column + one column per scheme)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow([series.x_label] + series.columns())
+    for row in series.as_rows():
+        writer.writerow(row)
+    return buf.getvalue()

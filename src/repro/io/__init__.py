@@ -1,0 +1,13 @@
+"""Persistence: passphrase keystore and pickle-free scheme snapshots."""
+
+from repro.io.keystore import unwrap, wrap
+from repro.io.snapshot import dump_scheme, load_scheme, restore_scheme, save_scheme
+
+__all__ = [
+    "dump_scheme",
+    "load_scheme",
+    "restore_scheme",
+    "save_scheme",
+    "unwrap",
+    "wrap",
+]

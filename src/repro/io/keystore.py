@@ -1,0 +1,66 @@
+"""Passphrase-based protection for owner-side state at rest.
+
+The owner's keys must survive process restarts without living in
+plaintext on disk.  This module wraps arbitrary secret blobs under a
+key derived from a passphrase with PBKDF2-HMAC-SHA-512 (stdlib), then
+encrypts with the library's authenticated :class:`SemanticCipher` —
+wrong passphrases and tampered files fail loudly via
+:class:`~repro.errors.IntegrityError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+
+from repro.crypto.prf import KEY_LEN
+from repro.crypto.symmetric import SemanticCipher
+from repro.errors import IntegrityError
+
+#: PBKDF2 iteration count — low enough for tests, high enough to matter;
+#: callers hardening for production should raise it.
+DEFAULT_ITERATIONS = 100_000
+
+_SALT_LEN = 16
+_MAGIC = b"RSSEKS1"
+
+
+def _derive(passphrase: str, salt: bytes, iterations: int) -> bytes:
+    return hashlib.pbkdf2_hmac(
+        "sha512", passphrase.encode("utf-8"), salt, iterations, dklen=KEY_LEN
+    )
+
+
+def wrap(
+    secret: bytes, passphrase: str, *, iterations: int = DEFAULT_ITERATIONS
+) -> bytes:
+    """Encrypt ``secret`` under ``passphrase``; returns a self-describing
+    blob (magic ‖ iterations ‖ salt ‖ authenticated ciphertext)."""
+    salt = secrets.token_bytes(_SALT_LEN)
+    cipher = SemanticCipher(_derive(passphrase, salt, iterations))
+    return (
+        _MAGIC
+        + iterations.to_bytes(4, "big")
+        + salt
+        + cipher.encrypt(bytes(secret))
+    )
+
+
+def unwrap(blob: bytes, passphrase: str) -> bytes:
+    """Inverse of :func:`wrap`.
+
+    Raises
+    ------
+    IntegrityError
+        On a wrong passphrase, tampering, or a non-keystore blob.
+    """
+    blob = bytes(blob)
+    if not blob.startswith(_MAGIC):
+        raise IntegrityError("not a keystore blob")
+    offset = len(_MAGIC)
+    iterations = int.from_bytes(blob[offset : offset + 4], "big")
+    offset += 4
+    salt = blob[offset : offset + _SALT_LEN]
+    offset += _SALT_LEN
+    cipher = SemanticCipher(_derive(passphrase, salt, iterations))
+    return cipher.decrypt(blob[offset:])

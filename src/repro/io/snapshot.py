@@ -1,0 +1,212 @@
+"""Explicit (pickle-free) snapshots of built RSSE schemes.
+
+A downstream deployment builds an index once and reopens it across
+restarts.  ``save_scheme``/``load_scheme`` serialize a built scheme —
+secret keys, encrypted tuple store, EDB(s), and scheme-specific state —
+into one tagged binary blob, optionally passphrase-wrapped through
+:mod:`repro.io.keystore`.
+
+The format is explicit field-by-field serialization, not pickling:
+loading a snapshot can execute nothing but our own parsers, so a
+hostile snapshot file degrades to an :class:`IntegrityError`/
+:class:`TokenError`, never code execution.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+from repro.core.constant import ConstantBrc, ConstantScheme, ConstantUrc
+from repro.core.log_src import LogarithmicSrc
+from repro.core.log_src_i import LogarithmicSrcI
+from repro.core.logarithmic import LogarithmicBrc, LogarithmicUrc
+from repro.core.scheme import RangeScheme
+from repro.covers.tdag import Tdag
+from repro.crypto.symmetric import SemanticCipher
+from repro.errors import IndexStateError, IntegrityError
+from repro.io import keystore
+from repro.sse.base import EncryptedIndex
+
+_MAGIC = b"RSSESNAP1"
+
+#: Scheme registry: name ↔ class (only schemes with snapshot support).
+_BY_NAME = {
+    cls.name: cls
+    for cls in (
+        ConstantBrc,
+        ConstantUrc,
+        LogarithmicBrc,
+        LogarithmicUrc,
+        LogarithmicSrc,
+        LogarithmicSrcI,
+    )
+}
+
+
+def _chunk(data: bytes) -> bytes:
+    return len(data).to_bytes(8, "big") + data
+
+
+class _Reader:
+    def __init__(self, blob: bytes) -> None:
+        self._blob = blob
+        self._offset = 0
+
+    def chunk(self) -> bytes:
+        if self._offset + 8 > len(self._blob):
+            raise IntegrityError("truncated snapshot")
+        length = int.from_bytes(self._blob[self._offset : self._offset + 8], "big")
+        self._offset += 8
+        end = self._offset + length
+        if end > len(self._blob):
+            raise IntegrityError("truncated snapshot chunk")
+        data = self._blob[self._offset : end]
+        self._offset = end
+        return data
+
+    def u64(self) -> int:
+        return int.from_bytes(self.chunk(), "big")
+
+    def done(self) -> bool:
+        return self._offset == len(self._blob)
+
+
+def _serialize_store(store: "dict[int, bytes]") -> bytes:
+    parts = [len(store).to_bytes(8, "big")]
+    for rid in sorted(store):
+        parts.append(struct.pack(">Q", rid))
+        parts.append(_chunk(store[rid]))
+    return b"".join(parts)
+
+
+def _parse_store(data: bytes) -> "dict[int, bytes]":
+    reader = _Reader(data)
+    # store count is a raw u64 prefix, then (id, chunk) pairs
+    count = int.from_bytes(data[:8], "big")
+    reader._offset = 8
+    store: dict[int, bytes] = {}
+    for _ in range(count):
+        rid = struct.unpack_from(">Q", data, reader._offset)[0]
+        reader._offset += 8
+        store[rid] = reader.chunk()
+    return store
+
+
+def dump_scheme(scheme: RangeScheme) -> bytes:
+    """Serialize a built scheme to a plaintext (unwrapped) snapshot."""
+    if not scheme._built:
+        raise IndexStateError("only built schemes can be snapshotted")
+    name = scheme.name
+    if name not in _BY_NAME:
+        raise IndexStateError(f"scheme {name!r} has no snapshot support")
+    parts = [
+        _MAGIC,
+        _chunk(name.encode()),
+        _chunk(scheme.domain_size.to_bytes(8, "big")),
+        _chunk(scheme._n.to_bytes(8, "big")),
+        _chunk(scheme._record_key),
+        _chunk(_serialize_store(scheme._encrypted_store)),
+    ]
+    if isinstance(scheme, ConstantScheme):
+        parts.append(_chunk(scheme._dprf_key))
+        parts.append(_chunk(scheme._index.to_bytes()))
+        # Persist the intersection guard: policy plus query history, so a
+        # restored scheme keeps enforcing the non-intersection constraint
+        # across restarts.
+        policy = b"\x00" if scheme.guard.policy == "raise" else b"\x01"
+        history = b"".join(
+            lo.to_bytes(8, "big") + hi.to_bytes(8, "big")
+            for lo, hi in scheme.guard._history
+        )
+        parts.append(_chunk(policy + history))
+    elif isinstance(scheme, LogarithmicSrcI):
+        parts.append(_chunk(scheme._key1))
+        parts.append(_chunk(scheme._key2))
+        parts.append(_chunk(scheme._index1.to_bytes()))
+        parts.append(_chunk(scheme._index2.to_bytes()))
+        parts.append(_chunk(scheme.distinct_values.to_bytes(8, "big")))
+        parts.append(_chunk(scheme.tdag2.domain_size.to_bytes(8, "big")))
+    else:  # Logarithmic-BRC/URC/SRC share the single-key layout
+        parts.append(_chunk(scheme._master_key))
+        parts.append(_chunk(scheme._index.to_bytes()))
+    return b"".join(parts)
+
+
+def restore_scheme(blob: bytes, *, rng: "random.Random | None" = None) -> RangeScheme:
+    """Reconstruct a scheme from :func:`dump_scheme` output."""
+    blob = bytes(blob)
+    if not blob.startswith(_MAGIC):
+        raise IntegrityError("not an RSSE snapshot")
+    reader = _Reader(blob[len(_MAGIC) :])
+    name = reader.chunk().decode()
+    cls = _BY_NAME.get(name)
+    if cls is None:
+        raise IntegrityError(f"snapshot names unknown scheme {name!r}")
+    domain_size = int.from_bytes(reader.chunk(), "big")
+    n = int.from_bytes(reader.chunk(), "big")
+    record_key = reader.chunk()
+    store = _parse_store(reader.chunk())
+
+    kwargs = {}
+    if rng is not None:
+        kwargs["rng"] = rng
+    scheme = cls(domain_size, **kwargs)
+    scheme._record_key = record_key
+    scheme._record_cipher = SemanticCipher(record_key, rng=scheme._rng)
+    scheme._encrypted_store = store
+    scheme._n = n
+
+    if issubclass(cls, ConstantScheme):
+        scheme._dprf_key = reader.chunk()
+        scheme._index = EncryptedIndex.from_bytes(reader.chunk())
+        guard_blob = reader.chunk()
+        scheme.guard.policy = "raise" if guard_blob[0] == 0 else "allow"
+        body = guard_blob[1:]
+        scheme.guard._history = [
+            (
+                int.from_bytes(body[i : i + 8], "big"),
+                int.from_bytes(body[i + 8 : i + 16], "big"),
+            )
+            for i in range(0, len(body), 16)
+        ]
+    elif cls is LogarithmicSrcI:
+        scheme._key1 = reader.chunk()
+        scheme._key2 = reader.chunk()
+        from repro.sse.base import PrfKeyDeriver
+
+        scheme._sse1 = scheme._sse_factory(PrfKeyDeriver(scheme._key1))
+        scheme._sse2 = scheme._sse_factory(PrfKeyDeriver(scheme._key2))
+        scheme._index1 = EncryptedIndex.from_bytes(reader.chunk())
+        scheme._index2 = EncryptedIndex.from_bytes(reader.chunk())
+        scheme.distinct_values = int.from_bytes(reader.chunk(), "big")
+        scheme.tdag2 = Tdag(int.from_bytes(reader.chunk(), "big"))
+    else:
+        master = reader.chunk()
+        scheme._master_key = master
+        from repro.sse.base import PrfKeyDeriver
+
+        scheme._sse = scheme._sse_factory(PrfKeyDeriver(master))
+        scheme._index = EncryptedIndex.from_bytes(reader.chunk())
+    if not reader.done():
+        raise IntegrityError("trailing bytes after snapshot payload")
+    scheme._built = True
+    return scheme
+
+
+def save_scheme(scheme: RangeScheme, path, passphrase: "str | None" = None) -> None:
+    """Snapshot ``scheme`` to ``path``; wrapped when a passphrase given."""
+    blob = dump_scheme(scheme)
+    if passphrase is not None:
+        blob = keystore.wrap(blob, passphrase)
+    with open(path, "wb") as fh:
+        fh.write(blob)
+
+
+def load_scheme(path, passphrase: "str | None" = None, *, rng=None) -> RangeScheme:
+    """Inverse of :func:`save_scheme`."""
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    if passphrase is not None:
+        blob = keystore.unwrap(blob, passphrase)
+    return restore_scheme(blob, rng=rng)

@@ -1,0 +1,53 @@
+"""Leakage accounting: L1/L2 profiles and leakage-only adversaries."""
+
+from repro.leakage.access_pattern import (
+    IdentificationReport,
+    identification_ambiguity,
+    src_query_identification,
+)
+from repro.leakage.baseline_attacks import (
+    DetAttackResult,
+    OpeAttackResult,
+    det_histogram_attack,
+    edb_at_rest_attack,
+    ope_rank_attack,
+)
+from repro.leakage.attacks import (
+    distinct_value_disclosure,
+    group_order_reconstruction,
+    order_reconstruction,
+    ordered_pair_accuracy,
+    partition_entropy,
+)
+from repro.leakage.profiles import (
+    L1Profile,
+    NodeDisclosure,
+    QueryLeakage,
+    constant_leakage,
+    logarithmic_leakage,
+    src_i_leakage,
+    src_leakage,
+)
+
+__all__ = [
+    "DetAttackResult",
+    "IdentificationReport",
+    "L1Profile",
+    "identification_ambiguity",
+    "src_query_identification",
+    "OpeAttackResult",
+    "det_histogram_attack",
+    "edb_at_rest_attack",
+    "ope_rank_attack",
+    "NodeDisclosure",
+    "QueryLeakage",
+    "constant_leakage",
+    "distinct_value_disclosure",
+    "group_order_reconstruction",
+    "logarithmic_leakage",
+    "order_reconstruction",
+    "ordered_pair_accuracy",
+    "partition_entropy",
+    "src_i_leakage",
+    "src_leakage",
+]

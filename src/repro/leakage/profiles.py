@@ -1,0 +1,299 @@
+"""Leakage functions L1/L2 of every scheme, as executable code.
+
+The paper's security methodology is: *formulate the leakage precisely,
+then prove a simulator needs nothing else*.  This module implements the
+leakage functions themselves — pure functions of the plaintext dataset
+and the query trace, exactly what the simulator in the ideal game
+receives.  They are deliberately computed **without** touching any
+ciphertext: leakage is a property of (D, A, W), not of a particular
+encryption run.
+
+Having leakage as data lets the test suite check the paper's qualitative
+claims mechanically (e.g. "Logarithmic-SRC reveals no result
+partitioning", "URC token multisets depend only on R") and lets
+:mod:`repro.leakage.attacks` quantify what an adversary extracts.
+
+Node aliasing: the leakage reveals a *pseudonym* per index node, stable
+across the trace (that is how search patterns on structure arise), but
+never the node's position.  We model aliases as dense integers in first-
+seen order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.covers.brc import best_range_cover
+from repro.covers.tdag import Tdag
+from repro.covers.urc import uniform_range_cover
+from repro.crypto.dprf import COVER_BRC, COVER_URC
+
+
+@dataclass(frozen=True)
+class L1Profile:
+    """Setup-time leakage: what the index alone reveals."""
+
+    scheme: str
+    n: int
+    m: int
+    #: SRC-i only: the size of I1 reveals the distinct-value count.
+    distinct_values: "int | None" = None
+
+
+@dataclass
+class NodeDisclosure:
+    """Per-cover-node structural leakage of one query.
+
+    ``alias`` is the node pseudonym; ``level`` its height (Constant
+    schemes disclose it; Logarithmic ones do not need to); ``ids`` the
+    result ids in the node's group; ``id_offsets`` — Constant only — the
+    exact mapping of ids to leaf offsets *within* the node's subtree,
+    the paper's ``idmap`` leakage that reveals relative order.
+    """
+
+    alias: int
+    level: "int | None"
+    ids: "tuple[int, ...]"
+    id_offsets: "dict[int, int] | None" = None
+
+
+@dataclass
+class QueryLeakage:
+    """L2 leakage of a single range query."""
+
+    #: Access pattern α: the ids the query returns (as the server sees).
+    access_pattern: "tuple[int, ...]"
+    #: Search pattern σ: index of the first identical earlier query, or
+    #: None when fresh.  (For SRC schemes, equality is at token level:
+    #: different ranges mapping to the same cover node *do* repeat.)
+    repeats_query: "int | None"
+    #: Structural disclosure per covering node.
+    nodes: "list[NodeDisclosure]" = field(default_factory=list)
+
+
+class _AliasTable:
+    """Dense pseudonyms for nodes, in first-seen order."""
+
+    def __init__(self) -> None:
+        self._table: dict = {}
+
+    def alias(self, key) -> int:
+        if key not in self._table:
+            self._table[key] = len(self._table)
+        return self._table[key]
+
+
+def _search_pattern(history: "list", key) -> "int | None":
+    for i, earlier in enumerate(history):
+        if earlier == key:
+            return i
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Per-scheme leakage functions
+# ---------------------------------------------------------------------------
+
+
+def constant_leakage(
+    records: Sequence, domain_size: int, queries: Sequence, cover: str = COVER_BRC
+) -> "tuple[L1Profile, list[QueryLeakage]]":
+    """L1/L2 of Constant-BRC/URC (paper Section 5).
+
+    The heavy disclosure: for every cover node, the *exact mapping* of
+    result ids to leaf positions inside the node's subtree — relative
+    order within each subtree is gone.
+    """
+    by_value: dict[int, list[int]] = {}
+    for doc_id, value in records:
+        by_value.setdefault(value, []).append(doc_id)
+    aliases = _AliasTable()
+    trace: list[QueryLeakage] = []
+    history: list = []
+    cover_fn = best_range_cover if cover == COVER_BRC else uniform_range_cover
+    for lo, hi in queries:
+        nodes = []
+        all_ids: list[int] = []
+        for node in cover_fn(lo, hi):
+            ids_here: list[int] = []
+            offsets: dict[int, int] = {}
+            for value in range(node.lo, node.hi + 1):
+                for doc_id in by_value.get(value, ()):
+                    ids_here.append(doc_id)
+                    offsets[doc_id] = value - node.lo
+            nodes.append(
+                NodeDisclosure(
+                    alias=aliases.alias(("c", node.level, node.index)),
+                    level=node.level,
+                    ids=tuple(ids_here),
+                    id_offsets=offsets,
+                )
+            )
+            all_ids.extend(ids_here)
+        trace.append(
+            QueryLeakage(
+                access_pattern=tuple(all_ids),
+                repeats_query=_search_pattern(history, (lo, hi)),
+                nodes=nodes,
+            )
+        )
+        history.append((lo, hi))
+    return L1Profile("constant-" + cover, len(records), domain_size), trace
+
+
+def logarithmic_leakage(
+    records: Sequence, domain_size: int, queries: Sequence, cover: str = COVER_BRC
+) -> "tuple[L1Profile, list[QueryLeakage]]":
+    """L1/L2 of Logarithmic-BRC/URC (Section 6.1).
+
+    Only the *partitioning* of result ids into per-subtree groups leaks;
+    within a group, ids are randomly permuted — no offsets.
+    """
+    by_value: dict[int, list[int]] = {}
+    for doc_id, value in records:
+        by_value.setdefault(value, []).append(doc_id)
+    aliases = _AliasTable()
+    trace: list[QueryLeakage] = []
+    history: list = []
+    cover_fn = best_range_cover if cover == COVER_BRC else uniform_range_cover
+    for lo, hi in queries:
+        nodes = []
+        all_ids: list[int] = []
+        for node in cover_fn(lo, hi):
+            ids_here = [
+                doc_id
+                for value in range(node.lo, node.hi + 1)
+                for doc_id in by_value.get(value, ())
+            ]
+            nodes.append(
+                NodeDisclosure(
+                    alias=aliases.alias(("l", node.level, node.index)),
+                    level=None,
+                    ids=tuple(sorted(ids_here)),  # group content, unordered
+                )
+            )
+            all_ids.extend(ids_here)
+        trace.append(
+            QueryLeakage(
+                access_pattern=tuple(sorted(all_ids)),
+                repeats_query=_search_pattern(history, (lo, hi)),
+                nodes=nodes,
+            )
+        )
+        history.append((lo, hi))
+    return L1Profile("logarithmic-" + cover, len(records), domain_size), trace
+
+
+def src_leakage(
+    records: Sequence, domain_size: int, queries: Sequence
+) -> "tuple[L1Profile, list[QueryLeakage]]":
+    """L2 of Logarithmic-SRC (Section 6.2): pure single-keyword SSE.
+
+    One node per query, one unordered id set (including the false
+    positives — the access pattern is what the server returns).  The
+    subtle extra: two *different* ranges covered by the same TDAG node
+    produce the same token, modeled by keying the search pattern on the
+    cover node rather than the range.
+    """
+    tdag = Tdag(domain_size)
+    by_value: dict[int, list[int]] = {}
+    for doc_id, value in records:
+        by_value.setdefault(value, []).append(doc_id)
+    aliases = _AliasTable()
+    trace: list[QueryLeakage] = []
+    history: list = []
+    for lo, hi in queries:
+        node = tdag.src_cover(lo, hi)
+        ids_here = sorted(
+            doc_id
+            for value in range(node.lo, min(node.hi, domain_size - 1) + 1)
+            for doc_id in by_value.get(value, ())
+        )
+        key = (node.injected, node.level, node.index)
+        trace.append(
+            QueryLeakage(
+                access_pattern=tuple(ids_here),
+                repeats_query=_search_pattern(history, key),
+                nodes=[
+                    NodeDisclosure(
+                        alias=aliases.alias(key), level=None, ids=tuple(ids_here)
+                    )
+                ],
+            )
+        )
+        history.append(key)
+    return L1Profile("logarithmic-src", len(records), domain_size), trace
+
+
+def src_i_leakage(
+    records: Sequence, domain_size: int, queries: Sequence
+) -> "tuple[L1Profile, list[QueryLeakage]]":
+    """L1/L2 of Logarithmic-SRC-i (Section 6.3).
+
+    Two independent SSE instances leak independently; additionally the
+    size of I1 reveals the dataset's distinct-value count and each round-1
+    answer reveals the distinct-value count under the cover.  Position
+    information within TDAG2 is still hidden (ids per node, unordered).
+    """
+    tdag1 = Tdag(domain_size)
+    values_sorted = sorted(value for _, value in records)
+    by_value: dict[int, list[int]] = {}
+    for doc_id, value in records:
+        by_value.setdefault(value, []).append(doc_id)
+    distinct = sorted(by_value)
+    aliases = _AliasTable()
+    trace: list[QueryLeakage] = []
+    history: list = []
+    for lo, hi in queries:
+        node1 = tdag1.src_cover(lo, hi)
+        distinct_under_cover = [
+            v for v in distinct if node1.lo <= v <= node1.hi
+        ]
+        # Round 2: ids under the position cover (superset of the result).
+        qualifying = [v for v in distinct_under_cover if lo <= v <= hi]
+        round2_ids: list[int] = []
+        if qualifying:
+            # Contiguous position interval of qualifying values, then the
+            # SRC cover over positions; the leaked ids are the tuples in
+            # the covered position window.
+            positions: dict[int, tuple[int, int]] = {}
+            cursor = 0
+            for v in distinct:
+                count = len(by_value[v])
+                positions[v] = (cursor, cursor + count - 1)
+                cursor += count
+            pos_lo = min(positions[v][0] for v in qualifying)
+            pos_hi = max(positions[v][1] for v in qualifying)
+            tdag2 = Tdag(max(1, len(records)))
+            node2 = tdag2.src_cover(pos_lo, pos_hi)
+            window_lo, window_hi = node2.lo, min(node2.hi, len(records) - 1)
+            # Which values occupy the window:
+            round2_ids = sorted(
+                doc_id
+                for v in distinct
+                if positions[v][1] >= window_lo and positions[v][0] <= window_hi
+                for doc_id in by_value[v]
+            )
+        key1 = ("i1", node1.injected, node1.level, node1.index)
+        trace.append(
+            QueryLeakage(
+                access_pattern=tuple(round2_ids),
+                repeats_query=_search_pattern(history, key1),
+                nodes=[
+                    NodeDisclosure(
+                        alias=aliases.alias(key1),
+                        level=None,
+                        ids=tuple(round2_ids),
+                        id_offsets=None,
+                    )
+                ],
+            )
+        )
+        history.append(key1)
+    return (
+        L1Profile(
+            "logarithmic-src-i", len(records), domain_size, distinct_values=len(distinct)
+        ),
+        trace,
+    )

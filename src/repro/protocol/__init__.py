@@ -1,0 +1,32 @@
+"""Explicit owner ↔ server wire protocol (the paper's two-party model)."""
+
+from repro.protocol.client import RemoteRangeClient
+from repro.protocol.interactive import RemoteConstantClient, RemoteSrcIClient
+from repro.protocol.messages import (
+    DropIndex,
+    FetchRequest,
+    FetchResponse,
+    SearchRequest,
+    SearchResponse,
+    UploadIndex,
+    UploadRecords,
+    parse_frame,
+    parse_message,
+)
+from repro.protocol.server import RsseServer
+
+__all__ = [
+    "DropIndex",
+    "FetchRequest",
+    "FetchResponse",
+    "RemoteConstantClient",
+    "RemoteRangeClient",
+    "RemoteSrcIClient",
+    "RsseServer",
+    "SearchRequest",
+    "SearchResponse",
+    "UploadIndex",
+    "UploadRecords",
+    "parse_frame",
+    "parse_message",
+]

@@ -1,0 +1,108 @@
+"""The owner-side client: keys stay here, only frames leave.
+
+``RemoteRangeClient`` wraps a Logarithmic-family scheme (BRC, URC or
+SRC) so that build and search run against an :class:`RsseServer` (or
+anything else with a ``handle(frame) -> frame | None`` transport),
+demonstrating that the library's trust boundary survives an actual
+serialization seam.  The client:
+
+1. builds the encrypted index locally, uploads it + the encrypted tuple
+   store, then *drops its own copies* — after setup the owner holds
+   nothing but keys;
+2. turns trapdoors into :class:`~repro.protocol.messages.SearchRequest`
+   frames and refines the returned ids by fetching + decrypting tuples.
+
+The interactive SRC-i and the Constant schemes are supported through
+the same message vocabulary (DPRF tokens use ``kind="dprf"``); this
+client keeps to the non-interactive family for clarity, and the test
+suite drives an interactive round trip manually.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable
+
+from repro.core.scheme import MultiKeywordToken, RangeScheme
+from repro.errors import IndexStateError
+from repro.protocol import messages as msg
+from repro.sse.encoding import decode_id, decode_record
+
+#: Transport: delivers one frame, returns the peer's response frame.
+Transport = Callable[[bytes], "bytes | None"]
+
+
+class RemoteRangeClient:
+    """Owner endpoint running a non-interactive RSSE scheme remotely."""
+
+    def __init__(
+        self,
+        scheme: RangeScheme,
+        transport: Transport,
+        *,
+        index_id: "int | None" = None,
+        rng: "random.Random | None" = None,
+    ) -> None:
+        self._scheme = scheme
+        self._transport = transport
+        rng = rng if rng is not None else random.SystemRandom()
+        self.index_id = index_id if index_id is not None else rng.randrange(1 << 62)
+        self._uploaded = False
+
+    # -- setup -------------------------------------------------------------------
+
+    def outsource(self, records: "Iterable[tuple]") -> None:
+        """Build locally, upload EDB + encrypted tuples, forget local copies."""
+        self._scheme.build_index(records)
+        edb = self._scheme._index  # Logarithmic-family single index
+        if edb is None:
+            raise IndexStateError("scheme did not build an index")
+        self._transport(msg.UploadIndex(self.index_id, edb.to_bytes()).to_frame())
+        entries = list(self._scheme._encrypted_store.items())
+        self._transport(msg.UploadRecords(self.index_id, entries).to_frame())
+        # The owner keeps keys only: drop the local EDB and tuple store.
+        self._scheme._index = None
+        self._scheme._encrypted_store = {}
+        self._uploaded = True
+
+    # -- query --------------------------------------------------------------------
+
+    def query(self, lo: int, hi: int) -> "frozenset[int]":
+        """Full remote protocol: trapdoor → search frame → fetch → refine."""
+        if not self._uploaded:
+            raise IndexStateError("call outsource() before querying")
+        token = self._scheme.trapdoor(lo, hi)
+        raw_tokens = [
+            kw.label_key + kw.value_key for kw in self._iter_keyword_tokens(token)
+        ]
+        response_frame = self._transport(
+            msg.SearchRequest(self.index_id, "sse", raw_tokens).to_frame()
+        )
+        response = msg.parse_message(response_frame)
+        ids = [decode_id(p) for p in response.payloads]
+        if not ids:
+            return frozenset()
+        fetch_frame = self._transport(
+            msg.FetchRequest(self.index_id, ids).to_frame()
+        )
+        fetched = msg.parse_message(fetch_frame)
+        matched = set()
+        for blob in fetched.blobs:
+            rid, value = decode_record(self._scheme._record_cipher.decrypt(blob))
+            if lo <= value <= hi:
+                matched.add(rid)
+        return frozenset(matched)
+
+    def retire(self) -> None:
+        """Ask the server to delete the index (e.g. after consolidation)."""
+        self._transport(msg.DropIndex(self.index_id).to_frame())
+        self._uploaded = False
+
+    @staticmethod
+    def _iter_keyword_tokens(token: MultiKeywordToken):
+        if not isinstance(token, MultiKeywordToken):
+            raise IndexStateError(
+                "RemoteRangeClient supports the non-interactive keyword-token "
+                "schemes (Logarithmic-BRC/URC/SRC, Quadratic)"
+            )
+        return iter(token)

@@ -1,0 +1,221 @@
+"""Wire messages of the owner ↔ server protocol.
+
+The paper's model is two machines: the owner keeps keys, the server
+keeps encrypted indexes.  This module pins down the bytes that cross
+the boundary, so the separation is enforced by construction instead of
+by convention: the server-side classes in :mod:`repro.protocol.server`
+can only ever see what these messages carry.
+
+Every message serializes to a tagged, length-prefixed binary frame —
+no pickling, no implicit trust in the peer.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import TokenError
+
+_HEADER = struct.Struct(">BI")  # message tag, body length
+
+# Message tags.
+TAG_UPLOAD_INDEX = 1
+TAG_UPLOAD_RECORDS = 2
+TAG_SEARCH_REQUEST = 3
+TAG_SEARCH_RESPONSE = 4
+TAG_FETCH_REQUEST = 5
+TAG_FETCH_RESPONSE = 6
+TAG_DROP_INDEX = 7
+
+
+def _pack_chunks(chunks: "list[bytes]") -> bytes:
+    parts = [len(chunks).to_bytes(4, "big")]
+    for chunk in chunks:
+        parts.append(len(chunk).to_bytes(4, "big"))
+        parts.append(chunk)
+    return b"".join(parts)
+
+
+def _unpack_chunks(body: bytes, offset: int = 0) -> "tuple[list[bytes], int]":
+    count = int.from_bytes(body[offset : offset + 4], "big")
+    offset += 4
+    chunks = []
+    for _ in range(count):
+        length = int.from_bytes(body[offset : offset + 4], "big")
+        offset += 4
+        if offset + length > len(body):
+            raise TokenError("truncated protocol frame")
+        chunks.append(body[offset : offset + length])
+        offset += length
+    return chunks, offset
+
+
+def _frame(tag: int, body: bytes) -> bytes:
+    return _HEADER.pack(tag, len(body)) + body
+
+
+def parse_frame(frame: bytes) -> "tuple[int, bytes]":
+    """Split a frame into (tag, body), validating the length prefix."""
+    if len(frame) < _HEADER.size:
+        raise TokenError("protocol frame shorter than header")
+    tag, length = _HEADER.unpack_from(frame)
+    body = frame[_HEADER.size :]
+    if len(body) != length:
+        raise TokenError(
+            f"frame length mismatch: header says {length}, got {len(body)}"
+        )
+    return tag, body
+
+
+@dataclass(frozen=True)
+class UploadIndex:
+    """Owner → server: store an EDB under a fresh index handle."""
+
+    index_id: int
+    edb_bytes: bytes
+
+    def to_frame(self) -> bytes:
+        return _frame(
+            TAG_UPLOAD_INDEX,
+            self.index_id.to_bytes(8, "big") + self.edb_bytes,
+        )
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "UploadIndex":
+        return cls(int.from_bytes(body[:8], "big"), body[8:])
+
+
+@dataclass(frozen=True)
+class UploadRecords:
+    """Owner → server: store encrypted tuples for later retrieval."""
+
+    index_id: int
+    entries: "list[tuple[int, bytes]]"  # (record id, ciphertext)
+
+    def to_frame(self) -> bytes:
+        chunks = []
+        for rid, blob in self.entries:
+            chunks.append(rid.to_bytes(8, "big") + blob)
+        return _frame(
+            TAG_UPLOAD_RECORDS,
+            self.index_id.to_bytes(8, "big") + _pack_chunks(chunks),
+        )
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "UploadRecords":
+        index_id = int.from_bytes(body[:8], "big")
+        chunks, _ = _unpack_chunks(body, 8)
+        entries = [(int.from_bytes(c[:8], "big"), c[8:]) for c in chunks]
+        return cls(index_id, entries)
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """Owner → server: keyword tokens for one index.
+
+    Tokens travel as opaque 32-byte (label_key ‖ value_key) strings, or
+    33-byte (seed ‖ level) DPRF delegation tokens; ``kind`` says which.
+    """
+
+    index_id: int
+    kind: str  # "sse" or "dprf"
+    tokens: "list[bytes]"
+
+    def to_frame(self) -> bytes:
+        kind_byte = b"\x00" if self.kind == "sse" else b"\x01"
+        return _frame(
+            TAG_SEARCH_REQUEST,
+            self.index_id.to_bytes(8, "big") + kind_byte + _pack_chunks(self.tokens),
+        )
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "SearchRequest":
+        index_id = int.from_bytes(body[:8], "big")
+        kind = "sse" if body[8] == 0 else "dprf"
+        tokens, _ = _unpack_chunks(body, 9)
+        return cls(index_id, kind, tokens)
+
+
+@dataclass(frozen=True)
+class SearchResponse:
+    """Server → owner: the payloads the tokens unlocked."""
+
+    payloads: "list[bytes]" = field(default_factory=list)
+
+    def to_frame(self) -> bytes:
+        return _frame(TAG_SEARCH_RESPONSE, _pack_chunks(self.payloads))
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "SearchResponse":
+        payloads, _ = _unpack_chunks(body)
+        return cls(payloads)
+
+
+@dataclass(frozen=True)
+class FetchRequest:
+    """Owner → server: retrieve encrypted tuples by id."""
+
+    index_id: int
+    record_ids: "list[int]"
+
+    def to_frame(self) -> bytes:
+        chunks = [rid.to_bytes(8, "big") for rid in self.record_ids]
+        return _frame(
+            TAG_FETCH_REQUEST, self.index_id.to_bytes(8, "big") + _pack_chunks(chunks)
+        )
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "FetchRequest":
+        index_id = int.from_bytes(body[:8], "big")
+        chunks, _ = _unpack_chunks(body, 8)
+        return cls(index_id, [int.from_bytes(c, "big") for c in chunks])
+
+
+@dataclass(frozen=True)
+class FetchResponse:
+    """Server → owner: the requested ciphertexts (order preserved)."""
+
+    blobs: "list[bytes]"
+
+    def to_frame(self) -> bytes:
+        return _frame(TAG_FETCH_RESPONSE, _pack_chunks(self.blobs))
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "FetchResponse":
+        blobs, _ = _unpack_chunks(body)
+        return cls(blobs)
+
+
+@dataclass(frozen=True)
+class DropIndex:
+    """Owner → server: delete an index (consolidation cleanup)."""
+
+    index_id: int
+
+    def to_frame(self) -> bytes:
+        return _frame(TAG_DROP_INDEX, self.index_id.to_bytes(8, "big"))
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "DropIndex":
+        return cls(int.from_bytes(body[:8], "big"))
+
+
+_PARSERS = {
+    TAG_UPLOAD_INDEX: UploadIndex.from_body,
+    TAG_UPLOAD_RECORDS: UploadRecords.from_body,
+    TAG_SEARCH_REQUEST: SearchRequest.from_body,
+    TAG_SEARCH_RESPONSE: SearchResponse.from_body,
+    TAG_FETCH_REQUEST: FetchRequest.from_body,
+    TAG_FETCH_RESPONSE: FetchResponse.from_body,
+    TAG_DROP_INDEX: DropIndex.from_body,
+}
+
+
+def parse_message(frame: bytes):
+    """Decode any protocol frame into its message object."""
+    tag, body = parse_frame(frame)
+    parser = _PARSERS.get(tag)
+    if parser is None:
+        raise TokenError(f"unknown protocol tag {tag}")
+    return parser(body)

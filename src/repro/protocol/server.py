@@ -1,0 +1,115 @@
+"""The untrusted server: stores EDBs and ciphertexts, answers tokens.
+
+This class enforces the paper's trust boundary structurally: it is
+constructed with *no* arguments — everything it ever knows arrived in a
+protocol frame.  It holds encrypted indexes (opaque label → ciphertext
+dictionaries), encrypted tuple stores, and evaluates searches from
+tokens alone.  Its search logic is deliberately key-free:
+
+- SSE tokens: walk the per-keyword counter chain exactly as
+  :class:`~repro.sse.pibas.PiBas` prescribes (label derivation from the
+  token's label key is public);
+- DPRF tokens: expand GGM seeds with the public ``G`` and re-derive the
+  per-keyword tokens from leaf values, the Constant-scheme contract.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.dprf import DelegationToken, GgmDprf
+from repro.errors import IndexStateError, TokenError
+from repro.protocol import messages as msg
+from repro.sse.base import SUBKEY_LEN, EncryptedIndex, KeywordToken, token_from_secret
+from repro.sse.pibas import search as pibas_search
+
+
+def _keyword_token(raw: bytes) -> KeywordToken:
+    if len(raw) != 2 * SUBKEY_LEN:
+        raise TokenError(f"SSE wire token must be {2 * SUBKEY_LEN} bytes")
+    return KeywordToken(raw[:SUBKEY_LEN], raw[SUBKEY_LEN:])
+
+
+def _delegation_token(raw: bytes) -> DelegationToken:
+    if len(raw) < 2:
+        raise TokenError("DPRF wire token too short")
+    return DelegationToken(raw[:-1], raw[-1])
+
+
+class RsseServer:
+    """In-process model of the untrusted storage/search server."""
+
+    def __init__(self) -> None:
+        self._indexes: dict[int, EncryptedIndex] = {}
+        self._records: dict[int, dict[int, bytes]] = {}
+
+    # -- message dispatch -----------------------------------------------------
+
+    def handle(self, frame: bytes) -> "bytes | None":
+        """Process one protocol frame, returning a response frame or None."""
+        message = msg.parse_message(frame)
+        if isinstance(message, msg.UploadIndex):
+            self._indexes[message.index_id] = EncryptedIndex.from_bytes(
+                message.edb_bytes
+            )
+            self._records.setdefault(message.index_id, {})
+            return None
+        if isinstance(message, msg.UploadRecords):
+            store = self._records.setdefault(message.index_id, {})
+            for rid, blob in message.entries:
+                store[rid] = blob
+            return None
+        if isinstance(message, msg.SearchRequest):
+            return self._search(message).to_frame()
+        if isinstance(message, msg.FetchRequest):
+            return self._fetch(message).to_frame()
+        if isinstance(message, msg.DropIndex):
+            self._indexes.pop(message.index_id, None)
+            self._records.pop(message.index_id, None)
+            return None
+        raise TokenError(f"server cannot handle {type(message).__name__}")
+
+    # -- operations -------------------------------------------------------------
+
+    def _index_for(self, index_id: int) -> EncryptedIndex:
+        index = self._indexes.get(index_id)
+        if index is None:
+            raise IndexStateError(f"unknown index handle {index_id}")
+        return index
+
+    def _search(self, request: msg.SearchRequest) -> msg.SearchResponse:
+        index = self._index_for(request.index_id)
+        payloads: list[bytes] = []
+        if request.kind == "sse":
+            for raw in request.tokens:
+                payloads.extend(pibas_search(index, _keyword_token(raw)))
+        else:
+            for raw in request.tokens:
+                for leaf in GgmDprf.expand_token(_delegation_token(raw)):
+                    payloads.extend(
+                        pibas_search(index, token_from_secret(leaf))
+                    )
+        return msg.SearchResponse(payloads)
+
+    def _fetch(self, request: msg.FetchRequest) -> msg.FetchResponse:
+        store = self._records.get(request.index_id)
+        if store is None:
+            raise IndexStateError(f"unknown index handle {request.index_id}")
+        blobs = []
+        for rid in request.record_ids:
+            blob = store.get(rid)
+            if blob is None:
+                raise IndexStateError(f"unknown record id {rid}")
+            blobs.append(blob)
+        return msg.FetchResponse(blobs)
+
+    # -- introspection (what an adversary can tally) -----------------------------
+
+    def stored_bytes(self) -> int:
+        """Total bytes at rest — the honest-but-curious server's view."""
+        total = sum(idx.serialized_size() for idx in self._indexes.values())
+        for store in self._records.values():
+            total += sum(8 + len(blob) for blob in store.values())
+        return total
+
+    def index_count(self) -> int:
+        """Number of live index handles."""
+        return len(self._indexes)

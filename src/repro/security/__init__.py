@@ -1,0 +1,25 @@
+"""The ideal-real security game (Figure 2) with a working simulator."""
+
+from repro.security.game import (
+    GameTranscript,
+    run_ideal_game,
+    run_real_game,
+    transcripts_consistent,
+)
+from repro.security.leakage_fn import SseL1, SseL2Entry, sse_l1, sse_l2
+from repro.security.reduction import logarithmic_reduction, src_reduction
+from repro.security.simulator import SseSimulator
+
+__all__ = [
+    "GameTranscript",
+    "SseL1",
+    "SseL2Entry",
+    "SseSimulator",
+    "logarithmic_reduction",
+    "run_ideal_game",
+    "run_real_game",
+    "src_reduction",
+    "sse_l1",
+    "sse_l2",
+    "transcripts_consistent",
+]

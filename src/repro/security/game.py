@@ -1,0 +1,143 @@
+"""The ideal-real security game of paper Figure 2, as executable code.
+
+The paper proves security in the Curtmola et al. framework: formulate
+leakage functions L1/L2, then exhibit a *simulator* that — given only
+the leakage — fakes the index and the tokens so well that no adversary
+distinguishes the simulation from the real protocol.
+
+A unit test cannot verify computational indistinguishability, but it
+can verify everything the proof needs to be *possible*, and those
+checks have real teeth:
+
+1. **Simulatability** — the simulator in :mod:`repro.security.simulator`
+   constructs a fake EDB and fake tokens from L1/L2 alone (the code has
+   no access to keys or plaintexts; the module boundary enforces it).
+2. **Consistency** — running the *real* Search algorithm on the fake
+   index with the fake tokens returns exactly the leaked access
+   patterns, for adaptive query sequences with repeats.  If our schemes
+   actually needed more leakage than formulated (the flaw the paper
+   calls out in prior work), this is where it would surface: the
+   simulator would be unable to produce a consistent transcript.
+3. **Shape equality** — the real and ideal transcripts agree on every
+   quantity the adversary observes directly: EDB entry count, entry
+   size multiset, token sizes, search-pattern repeats.
+
+``run_real_game`` / ``run_ideal_game`` execute the two columns of
+Figure 2 for the single-keyword SSE underlying all schemes, driven by
+an (adaptive) query sequence; :func:`transcripts_consistent` performs
+the distinguisher's bookkeeping.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.crypto.prf import generate_key
+from repro.security.leakage_fn import sse_l1, sse_l2
+from repro.security.simulator import SseSimulator
+from repro.sse.base import PrfKeyDeriver
+from repro.sse.pibas import PiBas, search as pibas_search
+
+
+@dataclass
+class GameTranscript:
+    """The adversary's view ``v = (I, t)`` plus the search outputs."""
+
+    edb_entry_count: int
+    edb_entry_sizes: "tuple[int, ...]"  # sorted (label+ct) sizes
+    token_sizes: "tuple[int, ...]"
+    search_outputs: "list[list[bytes]]" = field(default_factory=list)
+    token_repeats: "list[int | None]" = field(default_factory=list)
+
+
+def run_real_game(
+    multimap: "Mapping[bytes, list[bytes]]",
+    queries: "Sequence[bytes]",
+    *,
+    rng: "random.Random | None" = None,
+) -> GameTranscript:
+    """Left column of Figure 2: the actual protocol."""
+    rng = rng if rng is not None else random.SystemRandom()
+    sse = PiBas(PrfKeyDeriver(generate_key(rng)), shuffle_rng=rng)
+    index = sse.build_index(multimap)
+    transcript = GameTranscript(
+        edb_entry_count=len(index),
+        edb_entry_sizes=tuple(
+            sorted(len(k) + len(v) for k, v in index._entries.items())
+        ),
+        token_sizes=(),
+    )
+    tokens = []
+    seen: list[bytes] = []
+    token_sizes = []
+    for keyword in queries:
+        token = sse.trapdoor(keyword)
+        tokens.append(token)
+        token_sizes.append(token.serialized_size())
+        repeat = next((i for i, w in enumerate(seen) if w == keyword), None)
+        transcript.token_repeats.append(repeat)
+        seen.append(keyword)
+        transcript.search_outputs.append(sorted(sse.search(index, token)))
+    transcript.token_sizes = tuple(token_sizes)
+    return transcript
+
+
+def run_ideal_game(
+    multimap: "Mapping[bytes, list[bytes]]",
+    queries: "Sequence[bytes]",
+    *,
+    rng: "random.Random | None" = None,
+) -> GameTranscript:
+    """Right column of Figure 2: the simulator, fed leakage only.
+
+    The leakage functions are evaluated here (they take the plaintext
+    data, as in the definition); the *simulator object* receives nothing
+    else — in particular no keys and no keyword strings.
+    """
+    rng = rng if rng is not None else random.SystemRandom()
+    l1 = sse_l1(multimap)
+    simulator = SseSimulator(l1, rng=rng)
+    index = simulator.fake_index()
+    transcript = GameTranscript(
+        edb_entry_count=len(index),
+        edb_entry_sizes=tuple(
+            sorted(len(k) + len(v) for k, v in index._entries.items())
+        ),
+        token_sizes=(),
+    )
+    history: list[bytes] = []
+    token_sizes = []
+    for keyword in queries:
+        history.append(keyword)
+        l2 = sse_l2(multimap, history)
+        token = simulator.fake_token(l2[-1])
+        token_sizes.append(token.serialized_size())
+        transcript.token_repeats.append(l2[-1].repeats)
+        # The *real, public* Search algorithm must work on the fakes.
+        transcript.search_outputs.append(sorted(pibas_search(index, token)))
+    transcript.token_sizes = tuple(token_sizes)
+    return transcript
+
+
+def transcripts_consistent(
+    real: GameTranscript, ideal: GameTranscript
+) -> "list[str]":
+    """The distinguisher's checklist; returns human-readable violations
+    (empty list = the views agree on everything checkable)."""
+    problems = []
+    if real.edb_entry_count != ideal.edb_entry_count:
+        problems.append(
+            f"EDB entry count differs: {real.edb_entry_count} vs "
+            f"{ideal.edb_entry_count}"
+        )
+    if real.edb_entry_sizes != ideal.edb_entry_sizes:
+        problems.append("EDB entry size multisets differ")
+    if real.token_sizes != ideal.token_sizes:
+        problems.append("token size sequences differ")
+    if real.token_repeats != ideal.token_repeats:
+        problems.append("search patterns differ")
+    if real.search_outputs != ideal.search_outputs:
+        problems.append("access patterns differ")
+    return problems

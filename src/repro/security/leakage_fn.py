@@ -1,0 +1,57 @@
+"""The SSE leakage functions L1/L2 for the security game.
+
+Exactly the leakage the paper attributes to its underlying SSE
+(Section 2.2, instantiated for our Π_bas-style EDB):
+
+- ``L1(D)``: the number of postings and their payload sizes — what the
+  index alone reveals (the paper states an upper bound ``maxn``; an
+  unpadded EDB reveals the exact count, which is what we model).
+- ``L2(D, W)``: per query, the access pattern ``id(w)`` (the payloads
+  retrieved) and the search pattern (index of the first identical
+  earlier query, if any).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class SseL1:
+    """Setup leakage: posting count and the payload-length multiset."""
+
+    entry_count: int
+    payload_sizes: "tuple[int, ...]"
+
+
+@dataclass(frozen=True)
+class SseL2Entry:
+    """Per-query leakage: access pattern + search pattern."""
+
+    access_pattern: "tuple[bytes, ...]"
+    repeats: "int | None"
+
+
+def sse_l1(multimap: "Mapping[bytes, list[bytes]]") -> SseL1:
+    """Evaluate L1 on the plaintext multimap."""
+    sizes = sorted(
+        len(payload) for payloads in multimap.values() for payload in payloads
+    )
+    return SseL1(entry_count=len(sizes), payload_sizes=tuple(sizes))
+
+
+def sse_l2(
+    multimap: "Mapping[bytes, list[bytes]]", queries: "Sequence[bytes]"
+) -> "list[SseL2Entry]":
+    """Evaluate L2 on the plaintext multimap and the query history."""
+    out: list[SseL2Entry] = []
+    for i, keyword in enumerate(queries):
+        repeat = next((j for j in range(i) if queries[j] == keyword), None)
+        out.append(
+            SseL2Entry(
+                access_pattern=tuple(multimap.get(keyword, ())),
+                repeats=repeat,
+            )
+        )
+    return out

@@ -1,0 +1,60 @@
+"""Range-to-keyword reduction for the RSSE security game.
+
+The paper's RSSE game is the SSE game of Figure 2 with ranges in place
+of keywords; a scheme's security proof reduces each range query to the
+keyword queries its cover emits, plus the structural leakage formalized
+in :mod:`repro.leakage.profiles`.  This module performs exactly that
+reduction for the Logarithmic family, so the SSE game machinery can
+exercise the RSSE constructions end to end:
+
+- the dataset becomes the node-keyword multimap of BuildIndex;
+- each range query becomes the sequence of cover-node keywords of
+  Trpdr (so search patterns include cross-range node re-use — the alias
+  repetition leakage the paper's L2 makes explicit).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.covers.brc import best_range_cover
+from repro.covers.dyadic import DomainTree
+from repro.covers.tdag import Tdag
+from repro.covers.urc import uniform_range_cover
+from repro.sse.encoding import encode_id
+
+
+def logarithmic_reduction(
+    records: "Sequence[tuple[int, int]]",
+    domain_size: int,
+    ranges: "Sequence[tuple[int, int]]",
+    *,
+    cover: str = "brc",
+) -> "tuple[dict[bytes, list[bytes]], list[bytes]]":
+    """Reduce Logarithmic-BRC/URC to (multimap, keyword stream)."""
+    tree = DomainTree(domain_size)
+    multimap: dict[bytes, list[bytes]] = {}
+    for doc_id, value in records:
+        for node in tree.path_nodes(value):
+            multimap.setdefault(node.label(), []).append(encode_id(doc_id))
+    cover_fn = best_range_cover if cover == "brc" else uniform_range_cover
+    keywords = [
+        node.label() for lo, hi in ranges for node in cover_fn(lo, hi)
+    ]
+    return multimap, keywords
+
+
+def src_reduction(
+    records: "Sequence[tuple[int, int]]",
+    domain_size: int,
+    ranges: "Sequence[tuple[int, int]]",
+) -> "tuple[dict[bytes, list[bytes]], list[bytes]]":
+    """Reduce Logarithmic-SRC to (multimap, keyword stream) — one
+    keyword per range, so two ranges under the same TDAG node repeat."""
+    tdag = Tdag(domain_size)
+    multimap: dict[bytes, list[bytes]] = {}
+    for doc_id, value in records:
+        for node in tdag.covering_nodes(value):
+            multimap.setdefault(node.label(), []).append(encode_id(doc_id))
+    keywords = [tdag.src_cover(lo, hi).label() for lo, hi in ranges]
+    return multimap, keywords

@@ -1,0 +1,88 @@
+"""The simulator S of the ideal game — builds everything from leakage.
+
+This class is the constructive heart of the security proof: it receives
+``L1`` at setup and one ``L2`` entry per (adaptive) query, and must
+output an index and tokens on which the *real public Search algorithm*
+behaves exactly as in the real game.
+
+How it fakes:
+
+- **Setup** (``fake_index``): emit ``L1.entry_count`` entries with
+  uniformly random labels and random ciphertexts of the right sizes
+  (PiBas ciphertexts are length-prefixed payloads under a PRF pad, so
+  a ciphertext of a size-s payload is ``s + 4`` pseudorandom bytes —
+  indistinguishable from uniform without the key).
+- **Query** (``fake_token``): for a fresh query, sample a random
+  per-keyword secret, derive its token (tokens are PRF outputs in the
+  real game — uniform to anyone without the master key), then *program*
+  the index: delete as many unopened dummy entries as the access
+  pattern has payloads and insert, at the token's label chain, real
+  encryptions of the leaked payloads.  Repeated queries replay the
+  stored token.
+
+If any RSSE layer leaked less than it actually needs (the flaw the
+paper identifies in Goh-style definitions), programming would fail or
+search would return the wrong access pattern — which the game test
+would catch.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import IndexStateError
+from repro.security.leakage_fn import SseL1, SseL2Entry
+from repro.sse.base import LABEL_LEN, EncryptedIndex, KeywordToken, token_from_secret
+from repro.sse.pibas import _label, _xor_pad
+
+
+class SseSimulator:
+    """Leakage-only simulator for the Π_bas-style SSE."""
+
+    def __init__(self, l1: SseL1, *, rng: "random.Random | None" = None) -> None:
+        self._l1 = l1
+        self._rng = rng if rng is not None else random.SystemRandom()
+        self._index: "EncryptedIndex | None" = None
+        #: Unopened dummy labels, grouped by payload size so programming
+        #: swaps like for like and the entry-size multiset never drifts.
+        self._dummies_by_size: "dict[int, list[bytes]]" = {}
+        self._tokens: "list[KeywordToken]" = []  # per-query, for replays
+
+    def fake_index(self) -> EncryptedIndex:
+        """Setup-time simulation from L1 alone."""
+        index = EncryptedIndex()
+        self._dummies_by_size = {}
+        for size in self._l1.payload_sizes:
+            label = self._rng.randbytes(LABEL_LEN)
+            while label in index:  # vanishing probability, but be exact
+                label = self._rng.randbytes(LABEL_LEN)
+            index.put(label, self._rng.randbytes(size + 4))
+            self._dummies_by_size.setdefault(size, []).append(label)
+        self._index = index
+        return index
+
+    def fake_token(self, l2: SseL2Entry) -> KeywordToken:
+        """Adaptive per-query simulation from one L2 entry."""
+        if self._index is None:
+            raise IndexStateError("fake_index() must run before fake_token()")
+        if l2.repeats is not None:
+            token = self._tokens[l2.repeats]
+            self._tokens.append(token)
+            return token
+        token = token_from_secret(self._rng.randbytes(32))
+        # Program the index: consume unopened dummies of matching sizes,
+        # then install the leaked access pattern at the token's labels.
+        for payload in l2.access_pattern:
+            pool = self._dummies_by_size.get(len(payload))
+            if not pool:
+                raise IndexStateError(
+                    "leakage accounting violated: access pattern exceeds "
+                    "the postings L1 declared"
+                )
+            self._index._entries.pop(pool.pop())
+        for counter, payload in enumerate(l2.access_pattern):
+            body = len(payload).to_bytes(4, "big") + payload
+            ct = _xor_pad(token.value_key, counter, body)
+            self._index._entries[_label(token.label_key, counter)] = ct
+        self._tokens.append(token)
+        return token

@@ -1,0 +1,42 @@
+"""Single-keyword Searchable Symmetric Encryption substrate.
+
+Two interchangeable EDB constructions (both Cash et al. NDSS'14 style):
+
+- :class:`~repro.sse.pibas.PiBas` — one posting per entry, zero padding;
+- :class:`~repro.sse.pipack.PiPack` — block packing, the paper's
+  space-efficiency configuration.
+
+RSSE schemes receive an ``sse_factory`` callable of signature
+``(deriver) -> SseScheme`` and never depend on a concrete class.
+"""
+
+from repro.sse.base import (
+    LABEL_LEN,
+    SUBKEY_LEN,
+    CallbackKeyDeriver,
+    EncryptedIndex,
+    KeyDeriver,
+    KeywordToken,
+    PrfKeyDeriver,
+    SseScheme,
+    token_from_secret,
+)
+from repro.sse.pi2lev import Pi2Lev
+from repro.sse.pibas import PiBas
+from repro.sse.pipack import DEFAULT_BLOCK_SIZE, PiPack
+
+__all__ = [
+    "CallbackKeyDeriver",
+    "DEFAULT_BLOCK_SIZE",
+    "EncryptedIndex",
+    "KeyDeriver",
+    "KeywordToken",
+    "LABEL_LEN",
+    "Pi2Lev",
+    "PiBas",
+    "PiPack",
+    "PrfKeyDeriver",
+    "SUBKEY_LEN",
+    "SseScheme",
+    "token_from_secret",
+]

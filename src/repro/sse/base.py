@@ -1,0 +1,199 @@
+"""Abstract single-keyword SSE interface and the keyword-key seam.
+
+The paper's central engineering claim is that *any* secure SSE scheme
+can be used as a black box by an RSSE construction.  This module defines
+that black-box boundary:
+
+``SseScheme``
+    ``build_index`` turns a keyword → payload multimap into an
+    ``EncryptedIndex`` (the EDB handed to the server); ``trapdoor`` maps
+    a keyword to a :class:`KeywordToken`; ``search`` runs server-side on
+    the EDB and a token.
+
+``KeyDeriver``
+    The one seam the Constant schemes need: how per-keyword secret
+    material is derived.  The default :class:`PrfKeyDeriver` is the
+    textbook ``F(k, w)``; :class:`DprfKeyDeriver` derives the same
+    material from a GGM/DPRF leaf so that the *server* can re-derive
+    tokens from delegated seeds (see :mod:`repro.core.constant`).
+
+Security note: the token exposes only per-keyword pseudorandom keys; the
+master key never leaves the owner.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.crypto.prf import KEY_LEN, derive_subkey, prf
+from repro.errors import TokenError
+
+#: Length of the per-keyword label and value subkeys inside a token.
+SUBKEY_LEN = 16
+
+#: Length of an EDB label (truncated PRF output).
+LABEL_LEN = 16
+
+
+@dataclass(frozen=True)
+class KeywordToken:
+    """Per-keyword search token ``(label_key, value_key)``.
+
+    ``label_key`` drives EDB label derivation (the K1 of Cash et al.);
+    ``value_key`` decrypts the matching payloads (K2).  Exposing the pair
+    lets the server retrieve exactly this keyword's postings and nothing
+    else.
+    """
+
+    label_key: bytes
+    value_key: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.label_key) != SUBKEY_LEN or len(self.value_key) != SUBKEY_LEN:
+            raise TokenError(
+                f"keyword token subkeys must be {SUBKEY_LEN} bytes each"
+            )
+
+    def serialized_size(self) -> int:
+        """Wire size in bytes of this token."""
+        return len(self.label_key) + len(self.value_key)
+
+
+def token_from_secret(secret: bytes) -> KeywordToken:
+    """Publicly derive a :class:`KeywordToken` from per-keyword secret bytes.
+
+    Used in two places: the PRF deriver feeds it ``F(k, w)``; the
+    Constant schemes feed it an expanded DPRF *leaf* value.  Anyone who
+    knows the secret can derive the token — that is exactly the DPRF
+    delegation contract.
+    """
+    expanded = prf(secret.ljust(KEY_LEN, b"\x00")[:KEY_LEN], b"repro.sse.token")
+    return KeywordToken(expanded[:SUBKEY_LEN], expanded[SUBKEY_LEN : 2 * SUBKEY_LEN])
+
+
+class KeyDeriver(ABC):
+    """Strategy mapping a keyword to its per-keyword token."""
+
+    @abstractmethod
+    def derive(self, keyword: bytes) -> KeywordToken:
+        """Return the token for ``keyword``."""
+
+
+class PrfKeyDeriver(KeyDeriver):
+    """Standard PRF-based derivation: token = H(F(k, w))."""
+
+    def __init__(self, master_key: bytes) -> None:
+        self._key = derive_subkey(master_key, b"sse.keyword")
+
+    def derive(self, keyword: bytes) -> KeywordToken:
+        return token_from_secret(prf(self._key, keyword)[:KEY_LEN])
+
+
+class CallbackKeyDeriver(KeyDeriver):
+    """Adapter turning any ``keyword -> secret bytes`` callable into a deriver.
+
+    The Constant schemes use this with ``dprf.evaluate`` so that index
+    construction and delegated search derive identical tokens.
+    """
+
+    def __init__(self, secret_fn) -> None:
+        self._secret_fn = secret_fn
+
+    def derive(self, keyword: bytes) -> KeywordToken:
+        return token_from_secret(self._secret_fn(keyword))
+
+
+class EncryptedIndex:
+    """The server-side EDB: an opaque label → ciphertext dictionary.
+
+    Knows nothing about keywords or ranges; supports exact size
+    accounting and full (de)serialization so experiments can measure true
+    index bytes.
+    """
+
+    def __init__(self, entries: "dict[bytes, bytes] | None" = None) -> None:
+        self._entries: dict[bytes, bytes] = dict(entries or {})
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, label: bytes) -> bool:
+        return label in self._entries
+
+    def get(self, label: bytes) -> "bytes | None":
+        """Fetch one ciphertext by label (``None`` when absent)."""
+        return self._entries.get(label)
+
+    def put(self, label: bytes, ciphertext: bytes) -> None:
+        """Insert an entry; duplicate labels indicate a broken build."""
+        if label in self._entries:
+            raise TokenError("duplicate EDB label: PRF collision or misuse")
+        self._entries[label] = ciphertext
+
+    def serialized_size(self) -> int:
+        """Exact byte size of the EDB contents (labels + ciphertexts)."""
+        return sum(len(k) + len(v) for k, v in self._entries.items())
+
+    def to_bytes(self) -> bytes:
+        """Serialize the whole EDB (length-prefixed entries)."""
+        parts = [len(self._entries).to_bytes(8, "big")]
+        for label in sorted(self._entries):
+            ct = self._entries[label]
+            parts.append(len(label).to_bytes(4, "big"))
+            parts.append(label)
+            parts.append(len(ct).to_bytes(4, "big"))
+            parts.append(ct)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "EncryptedIndex":
+        """Inverse of :meth:`to_bytes`."""
+        count = int.from_bytes(blob[:8], "big")
+        entries: dict[bytes, bytes] = {}
+        offset = 8
+        for _ in range(count):
+            klen = int.from_bytes(blob[offset : offset + 4], "big")
+            offset += 4
+            label = blob[offset : offset + klen]
+            offset += klen
+            vlen = int.from_bytes(blob[offset : offset + 4], "big")
+            offset += 4
+            entries[label] = blob[offset : offset + vlen]
+            offset += vlen
+        return cls(entries)
+
+    def tamper(self, position: int = 0) -> None:
+        """Flip one ciphertext byte (failure-injection hook for tests)."""
+        for label in sorted(self._entries):
+            ct = bytearray(self._entries[label])
+            ct[position % len(ct)] ^= 0xFF
+            self._entries[label] = bytes(ct)
+            return
+
+
+class SseScheme(ABC):
+    """Black-box single-keyword SSE: BuildIndex / Trpdr / Search.
+
+    ``Setup`` is the constructor: a scheme instance binds a master key
+    (through its :class:`KeyDeriver`) at creation time.
+    """
+
+    #: Human-readable scheme name (reported by the harness).
+    name: str = "sse"
+
+    def __init__(self, deriver: KeyDeriver) -> None:
+        self._deriver = deriver
+
+    @abstractmethod
+    def build_index(self, multimap: Mapping[bytes, Iterable[bytes]]) -> EncryptedIndex:
+        """Encrypt a keyword → payloads multimap into an EDB."""
+
+    def trapdoor(self, keyword: bytes) -> KeywordToken:
+        """Owner-side token generation for one keyword."""
+        return self._deriver.derive(keyword)
+
+    @abstractmethod
+    def search(self, index: EncryptedIndex, token: KeywordToken) -> list[bytes]:
+        """Server-side retrieval of all payloads under the token's keyword."""

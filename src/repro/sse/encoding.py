@@ -1,0 +1,82 @@
+"""Canonical byte encodings shared by the SSE and RSSE layers.
+
+SSE schemes index opaque byte payloads under byte keywords.  This module
+pins down the encodings so that indexes are deterministic, sizes are
+measurable, and round-trips are exact:
+
+- tuple identifiers: unsigned 64-bit big-endian (8 bytes);
+- domain values used as keywords: ``V:`` prefix + 8-byte value;
+- (value, position-range) triples for Logarithmic-SRC-i's first index:
+  three 8-byte integers (24 bytes);
+- counters inside EDB label derivation: 8-byte big-endian.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import TokenError
+
+#: Size in bytes of an encoded tuple identifier.
+ID_LEN = 8
+
+#: Size in bytes of an encoded (value, pos_lo, pos_hi) triple.
+TRIPLE_LEN = 24
+
+_U64 = struct.Struct(">Q")
+_TRIPLE = struct.Struct(">QQQ")
+
+
+def encode_id(doc_id: int) -> bytes:
+    """Encode a tuple identifier as 8 big-endian bytes."""
+    if not 0 <= doc_id < 1 << 64:
+        raise ValueError(f"id {doc_id} outside unsigned 64-bit range")
+    return _U64.pack(doc_id)
+
+
+def decode_id(payload: bytes) -> int:
+    """Inverse of :func:`encode_id`."""
+    if len(payload) != ID_LEN:
+        raise TokenError(f"id payload must be {ID_LEN} bytes, got {len(payload)}")
+    return _U64.unpack(payload)[0]
+
+
+def encode_counter(counter: int) -> bytes:
+    """Encode an EDB entry counter for label derivation."""
+    return _U64.pack(counter)
+
+
+def value_keyword(value: int) -> bytes:
+    """Keyword label for a raw domain value (Constant schemes)."""
+    return b"V:" + _U64.pack(value)
+
+
+def range_keyword(lo: int, hi: int) -> bytes:
+    """Keyword label for an explicit subrange (Quadratic scheme)."""
+    return b"Q:" + _U64.pack(lo) + _U64.pack(hi)
+
+
+def encode_triple(value: int, pos_lo: int, pos_hi: int) -> bytes:
+    """Encode a (domain value, tuple-position range) document (SRC-i I1)."""
+    return _TRIPLE.pack(value, pos_lo, pos_hi)
+
+
+def decode_triple(payload: bytes) -> tuple[int, int, int]:
+    """Inverse of :func:`encode_triple`."""
+    if len(payload) != TRIPLE_LEN:
+        raise TokenError(
+            f"triple payload must be {TRIPLE_LEN} bytes, got {len(payload)}"
+        )
+    return _TRIPLE.unpack(payload)
+
+
+def encode_record(doc_id: int, value: int) -> bytes:
+    """Serialize a full tuple ``(id, a)`` for semantic encryption at rest."""
+    return _U64.pack(doc_id) + _U64.pack(value)
+
+
+def decode_record(payload: bytes) -> tuple[int, int]:
+    """Inverse of :func:`encode_record`."""
+    if len(payload) != 16:
+        raise TokenError(f"record payload must be 16 bytes, got {len(payload)}")
+    return _U64.unpack_from(payload, 0)[0], _U64.unpack_from(payload, 8)[0]

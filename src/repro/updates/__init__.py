@@ -1,0 +1,15 @@
+"""Batch updates with forward privacy over static RSSE indexes."""
+
+from repro.updates.batch import OP_LEN, OpKind, UpdateOp, delete, insert, modify
+from repro.updates.manager import BatchUpdateManager, UpdateStats
+
+__all__ = [
+    "BatchUpdateManager",
+    "OP_LEN",
+    "OpKind",
+    "UpdateOp",
+    "UpdateStats",
+    "delete",
+    "insert",
+    "modify",
+]

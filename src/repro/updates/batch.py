@@ -1,0 +1,77 @@
+"""Update operations for the batch framework (paper Section 7).
+
+Updates arrive in batches.  Every operation — insertion, deletion,
+modification — is materialized as an *insertion* into the batch's fresh
+index; deletions carry a flag and modifications decompose into a
+tombstone for the old value plus an insertion of the new one, exactly as
+the paper (and Vertica-style LSM systems) prescribe.
+
+The operation payloads are encrypted server-side; only after client-side
+decryption does the owner learn which returned entries are tombstones
+and filter accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import UpdateError
+
+#: Serialized operation payload length: kind(1) ‖ id(8) ‖ value(8).
+OP_LEN = 17
+
+
+class OpKind(Enum):
+    """The update flavours supported by the batch framework."""
+
+    INSERT = 0
+    DELETE = 1
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """One logical operation on tuple ``record_id`` at attribute ``value``.
+
+    For a deletion, ``value`` must be the value the tuple was inserted
+    with — the tombstone must land in the same query ranges as the
+    original insertion to be able to cancel it at refinement time.
+    """
+
+    kind: OpKind
+    record_id: int
+    value: int
+
+    def encode(self) -> bytes:
+        """Fixed-size serialization for semantic encryption at rest."""
+        return (
+            bytes([self.kind.value])
+            + self.record_id.to_bytes(8, "big")
+            + self.value.to_bytes(8, "big")
+        )
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "UpdateOp":
+        """Inverse of :meth:`encode`."""
+        if len(payload) != OP_LEN:
+            raise UpdateError(f"op payload must be {OP_LEN} bytes, got {len(payload)}")
+        return cls(
+            OpKind(payload[0]),
+            int.from_bytes(payload[1:9], "big"),
+            int.from_bytes(payload[9:17], "big"),
+        )
+
+
+def insert(record_id: int, value: int) -> UpdateOp:
+    """Insertion of a new tuple."""
+    return UpdateOp(OpKind.INSERT, record_id, value)
+
+
+def delete(record_id: int, value: int) -> UpdateOp:
+    """Deletion tombstone; ``value`` is the tuple's indexed value."""
+    return UpdateOp(OpKind.DELETE, record_id, value)
+
+
+def modify(record_id: int, old_value: int, new_value: int) -> "list[UpdateOp]":
+    """Modification = tombstone(old value) + insertion(new value)."""
+    return [delete(record_id, old_value), insert(record_id, new_value)]

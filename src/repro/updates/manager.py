@@ -1,0 +1,237 @@
+"""LSM-style batch update manager with forward privacy (Section 7).
+
+The paper's update strategy deliberately avoids dynamic SSE: every batch
+becomes an independent *static* RSSE instance under a **fresh key**, and
+indexes are periodically consolidated hierarchically — after ``s``
+indexes accumulate at a level, the owner downloads them, merges the
+surviving tuples (applying tombstones), re-encrypts under a new key, and
+uploads a single index one level up, exactly like a log-structured merge
+tree (the Vertica citation).  This keeps ``O(s·log_s b)`` active indexes
+after ``b`` batches and gives forward privacy for free: a trapdoor
+issued against yesterday's keys is useless against tomorrow's index.
+
+A range query fans out to every active index; the owner merges the
+per-index answers newest-first so that a tombstone in a newer batch
+suppresses the insertion it targets in an older one.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.core.scheme import QueryOutcome, RangeScheme
+from repro.crypto.prf import generate_key
+from repro.crypto.symmetric import SemanticCipher
+from repro.errors import UpdateError
+from repro.updates.batch import OpKind, UpdateOp
+
+#: Factory producing a fresh scheme instance (fresh keys) per batch.
+SchemeFactory = Callable[[], RangeScheme]
+
+
+@dataclass
+class _ActiveIndex:
+    """One static RSSE instance plus its encrypted operation log."""
+
+    scheme: RangeScheme
+    cipher: SemanticCipher
+    op_store: "dict[int, bytes]"  # synthetic id -> Enc(op)
+    level: int
+    newest_seq: int  # recency: higher = contains newer operations
+
+
+@dataclass
+class UpdateStats:
+    """Bookkeeping the ablation experiments report."""
+
+    batches_ingested: int = 0
+    consolidations: int = 0
+    tuples_reencrypted: int = 0
+    tombstones_purged: int = 0
+
+
+class BatchUpdateManager:
+    """Owns the batch lifecycle: ingest → consolidate → query.
+
+    Parameters
+    ----------
+    scheme_factory:
+        Zero-argument callable returning a fresh (un-built) scheme; a new
+        instance — hence new keys — is created per batch and per merge.
+        The factory MUST produce schemes with independent keys on every
+        call (the default CSPRNG-backed constructors do).  Passing a
+        fixed-seed ``rng`` into every instance silently voids forward
+        privacy: old trapdoors would decrypt new batches.
+    consolidation_step:
+        The paper's ``s``: how many sibling indexes trigger a merge.
+    rng:
+        Randomness for synthetic-id free list and ciphers (testing hook).
+    """
+
+    def __init__(
+        self,
+        scheme_factory: SchemeFactory,
+        *,
+        consolidation_step: int = 4,
+        rng: "random.Random | None" = None,
+    ) -> None:
+        if consolidation_step < 2:
+            raise UpdateError(
+                f"consolidation step must be >= 2, got {consolidation_step}"
+            )
+        self._factory = scheme_factory
+        self.s = consolidation_step
+        self._rng = rng if rng is not None else random.SystemRandom()
+        self._indexes: list[_ActiveIndex] = []
+        self._next_synthetic = 0
+        self._seq = 0
+        self.stats = UpdateStats()
+
+    # -- ingest ------------------------------------------------------------
+
+    def apply_batch(self, ops: "Iterable[UpdateOp]") -> None:
+        """Ingest one batch as a fresh static index, then consolidate."""
+        ops = list(ops)
+        if not ops:
+            raise UpdateError("empty update batch")
+        self._seq += 1
+        self._indexes.append(self._build_index(ops, level=0, seq=self._seq))
+        self.stats.batches_ingested += 1
+        self._maybe_consolidate()
+
+    def _build_index(
+        self, ops: "Sequence[UpdateOp]", *, level: int, seq: int
+    ) -> _ActiveIndex:
+        scheme = self._factory()
+        cipher = SemanticCipher(generate_key(self._rng), rng=self._rng)
+        op_store: dict[int, bytes] = {}
+        records = []
+        for op in ops:
+            synthetic = self._next_synthetic
+            self._next_synthetic += 1
+            op_store[synthetic] = cipher.encrypt(op.encode())
+            records.append((synthetic, op.value))
+        scheme.build_index(records)
+        return _ActiveIndex(scheme, cipher, op_store, level, seq)
+
+    # -- consolidation -------------------------------------------------------
+
+    def _maybe_consolidate(self) -> None:
+        while True:
+            by_level: dict[int, list[_ActiveIndex]] = {}
+            for idx in self._indexes:
+                by_level.setdefault(idx.level, []).append(idx)
+            full = [lvl for lvl, group in by_level.items() if len(group) >= self.s]
+            if not full:
+                return
+            self._consolidate_level(min(full), by_level[min(full)])
+
+    def _consolidate_level(self, level: int, group: "list[_ActiveIndex]") -> None:
+        """Merge ``s`` sibling indexes into one re-encrypted parent."""
+        group = sorted(group, key=lambda idx: idx.newest_seq)[: self.s]
+        # The owner downloads and decrypts the involved op logs, strictly
+        # newest operation first (synthetic ids grow with recency).
+        ops_newest_first: list[UpdateOp] = []
+        for idx in sorted(group, key=lambda i: i.newest_seq, reverse=True):
+            for synthetic in sorted(idx.op_store, reverse=True):
+                ops_newest_first.append(
+                    UpdateOp.decode(idx.cipher.decrypt(idx.op_store[synthetic]))
+                )
+        # Newest-wins cancellation: a tombstone consumes every *older*
+        # insert of the same tuple inside this merge; a newer insert
+        # (modification) is untouched by an older tombstone.
+        tombstoned: set[int] = set()
+        survivors: list[UpdateOp] = []
+        for op in ops_newest_first:
+            if op.kind is OpKind.DELETE:
+                tombstoned.add(op.record_id)
+                survivors.append(op)  # may still cancel inserts in older levels
+            elif op.record_id not in tombstoned:
+                survivors.append(op)
+            else:
+                self.stats.tombstones_purged += 1
+        # When no older level can hold a matching insert, every tombstone
+        # has done its job inside this merge and can be dropped.
+        older_levels_exist = any(
+            i.level > level for i in self._indexes if i not in group
+        )
+        if not older_levels_exist:
+            before = len(survivors)
+            survivors = [op for op in survivors if op.kind is OpKind.INSERT]
+            self.stats.tombstones_purged += before - len(survivors)
+        for idx in group:
+            self._indexes.remove(idx)
+        if survivors:
+            # Re-reverse so synthetic ids keep growing with recency in the
+            # merged index (oldest op gets the smallest id).
+            merged = self._build_index(
+                list(reversed(survivors)),
+                level=level + 1,
+                seq=max(i.newest_seq for i in group),
+            )
+            self._indexes.append(merged)
+            self.stats.tuples_reencrypted += len(survivors)
+        self.stats.consolidations += 1
+
+    # -- query ---------------------------------------------------------------
+
+    def query(self, lo: int, hi: int) -> QueryOutcome:
+        """Fan a range query over all active indexes and merge the answers.
+
+        The owner issues one trapdoor per active index (with that index's
+        keys), collects per-index results, decrypts the operation flags,
+        and applies newest-wins resolution: a DELETE suppresses any
+        INSERT of the same tuple id coming from an older index (or from
+        the same index, where recency is already resolved).
+        """
+        trapdoor_seconds = server_seconds = 0.0
+        token_bytes = 0
+        raw_total = 0
+        live: dict[int, UpdateOp] = {}
+        decided: set[int] = set()
+        for idx in sorted(self._indexes, key=lambda i: i.newest_seq, reverse=True):
+            outcome = idx.scheme.query(lo, hi)
+            trapdoor_seconds += outcome.trapdoor_seconds
+            server_seconds += outcome.server_seconds
+            token_bytes += outcome.token_bytes
+            raw_total += len(outcome.raw_ids)
+            # Within an index, higher synthetic id = more recent operation;
+            # the first (newest) op seen for a tuple decides its fate.
+            for synthetic in sorted(outcome.ids, reverse=True):
+                op = UpdateOp.decode(idx.cipher.decrypt(idx.op_store[synthetic]))
+                if op.record_id in decided:
+                    continue
+                decided.add(op.record_id)
+                if op.kind is OpKind.INSERT:
+                    live[op.record_id] = op
+        matched = frozenset(live)
+        return QueryOutcome(
+            ids=matched,
+            raw_ids=tuple(live),
+            false_positives=raw_total - len(matched),
+            token_bytes=token_bytes,
+            rounds=len(self._indexes),
+            trapdoor_seconds=trapdoor_seconds,
+            server_seconds=server_seconds,
+        )
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def active_indexes(self) -> int:
+        """Number of live static indexes (``O(s·log_s b)`` bound)."""
+        return len(self._indexes)
+
+    def total_index_bytes(self) -> int:
+        """Combined EDB footprint across active indexes."""
+        return sum(idx.scheme.index_size_bytes() for idx in self._indexes)
+
+    def levels(self) -> "dict[int, int]":
+        """Histogram level → index count (LSM shape introspection)."""
+        hist: dict[int, int] = {}
+        for idx in self._indexes:
+            hist[idx.level] = hist.get(idx.level, 0) + 1
+        return dict(sorted(hist.items()))

@@ -1,0 +1,39 @@
+"""Synthetic datasets (Gowalla/USPS stand-ins) and query workloads."""
+
+from repro.workloads.datasets import (
+    GOWALLA_DOMAIN,
+    USPS_DOMAIN,
+    clustered,
+    distinct_fraction,
+    gowalla_like,
+    uniform,
+    usps_like,
+    with_distinct_fraction,
+    zipf,
+)
+from repro.workloads.queries import (
+    fixed_size_ranges,
+    non_intersecting_ranges,
+    percent_of_domain_ranges,
+    random_range,
+    random_ranges,
+    sweep,
+)
+
+__all__ = [
+    "GOWALLA_DOMAIN",
+    "USPS_DOMAIN",
+    "clustered",
+    "distinct_fraction",
+    "fixed_size_ranges",
+    "gowalla_like",
+    "non_intersecting_ranges",
+    "percent_of_domain_ranges",
+    "random_range",
+    "random_ranges",
+    "sweep",
+    "uniform",
+    "usps_like",
+    "with_distinct_fraction",
+    "zipf",
+]

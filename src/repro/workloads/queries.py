@@ -1,0 +1,91 @@
+"""Query workload generators mirroring the paper's experiments.
+
+Three query shapes appear in the evaluation:
+
+- Figures 6–7: 200K random queries per *range size expressed as a
+  percentage of the domain* (10% … 100%), position uniform.
+- Figure 8: ranges of absolute size 1 … 100 over a 2^20 domain, 1000
+  random positions per size.
+- generic uniform random ranges (used by tests and ablations).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+
+def random_range(domain_size: int, rng: "random.Random") -> "tuple[int, int]":
+    """One uniformly random non-empty range over the domain."""
+    a = rng.randrange(domain_size)
+    b = rng.randrange(domain_size)
+    return (a, b) if a <= b else (b, a)
+
+
+def random_ranges(
+    domain_size: int, count: int, *, seed: int = 0
+) -> "list[tuple[int, int]]":
+    """``count`` uniformly random ranges."""
+    rng = random.Random(seed)
+    return [random_range(domain_size, rng) for _ in range(count)]
+
+
+def fixed_size_ranges(
+    domain_size: int, range_size: int, count: int, *, seed: int = 0
+) -> "list[tuple[int, int]]":
+    """``count`` ranges of exactly ``range_size``, positions uniform."""
+    if not 1 <= range_size <= domain_size:
+        raise ValueError(
+            f"range size must be in [1, {domain_size}], got {range_size}"
+        )
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        lo = rng.randrange(domain_size - range_size + 1)
+        out.append((lo, lo + range_size - 1))
+    return out
+
+
+def percent_of_domain_ranges(
+    domain_size: int, percent: float, count: int, *, seed: int = 0
+) -> "list[tuple[int, int]]":
+    """Ranges sized to ``percent``% of the domain (Figures 6–7 sweep)."""
+    if not 0.0 < percent <= 100.0:
+        raise ValueError(f"percent must be in (0, 100], got {percent}")
+    range_size = max(1, round(domain_size * percent / 100.0))
+    return fixed_size_ranges(domain_size, range_size, count, seed=seed)
+
+
+def non_intersecting_ranges(
+    domain_size: int, count: int, *, seed: int = 0
+) -> "list[tuple[int, int]]":
+    """Pairwise-disjoint ranges — the workload Constant-* is proven for.
+
+    Partitions the domain into ``count`` strides and samples one range
+    inside each, guaranteeing disjointness.
+    """
+    if count < 1 or count > domain_size:
+        raise ValueError(f"count must be in [1, {domain_size}], got {count}")
+    rng = random.Random(seed)
+    stride = domain_size // count
+    out = []
+    for i in range(count):
+        base = i * stride
+        lo = base + rng.randrange(stride)
+        hi = lo + rng.randrange(base + stride - lo)
+        out.append((lo, min(hi, base + stride - 1)))
+    return out
+
+
+def sweep(
+    domain_size: int,
+    percents: "tuple[float, ...]" = (10, 20, 30, 40, 50, 60, 70, 80, 90, 100),
+    queries_per_point: int = 20,
+    *,
+    seed: int = 0,
+) -> "Iterator[tuple[float, list[tuple[int, int]]]]":
+    """The Figures 6–7 sweep: (percent, queries) pairs."""
+    for i, percent in enumerate(percents):
+        yield percent, percent_of_domain_ranges(
+            domain_size, percent, queries_per_point, seed=seed + i
+        )

@@ -1,0 +1,39 @@
+"""Shared fixtures for the RSSE test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.plaintext import PlaintextRangeIndex
+
+
+@pytest.fixture
+def rng():
+    """A deterministically seeded RNG; reseeded per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def small_records(rng):
+    """300 records over a 512-value domain with some duplicate values."""
+    return [(i, rng.randrange(512)) for i in range(300)]
+
+
+@pytest.fixture
+def small_oracle(small_records):
+    """Plaintext oracle for ``small_records``."""
+    return PlaintextRangeIndex(small_records)
+
+
+@pytest.fixture
+def skewed_records(rng):
+    """400 records where one value holds half the mass (SRC worst case)."""
+    heavy = [(i, 100) for i in range(200)]
+    rest = [(200 + i, rng.randrange(512)) for i in range(200)]
+    return heavy + rest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running integration test")

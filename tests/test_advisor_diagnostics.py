@@ -1,0 +1,148 @@
+"""Tests for the scheme advisor and the index self-check."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.registry import make_scheme
+from repro.harness.advisor import (
+    DatasetProfile,
+    WorkloadProfile,
+    profile_dataset,
+    recommend,
+)
+from repro.harness.diagnostics import verify_scheme
+from repro.workloads.datasets import usps_like, with_distinct_fraction
+
+
+class TestProfiling:
+    def test_uniform_profile(self):
+        records = with_distinct_fraction(1000, 1 << 16, 0.95, seed=1)
+        profile = profile_dataset(records, 1 << 16)
+        assert profile.n == 1000
+        assert profile.distinct_fraction > 0.9
+        assert profile.max_value_share < 0.02
+
+    def test_skewed_profile(self):
+        records = usps_like(1000, seed=1)
+        profile = profile_dataset(records, 276_841)
+        assert profile.distinct_fraction < 0.1
+        assert profile.max_value_share > 0.02
+
+    def test_empty_dataset(self):
+        profile = profile_dataset([], 100)
+        assert profile.n == 0 and profile.distinct_fraction == 0.0
+
+
+class TestRecommendation:
+    UNIFORM = DatasetProfile(10_000, 1 << 20, 0.95, 0.001)
+    SKEWED = DatasetProfile(10_000, 1 << 20, 0.05, 0.30)
+
+    def test_default_is_logarithmic_urc(self):
+        assert recommend(self.UNIFORM).scheme == "logarithmic-urc"
+
+    def test_no_false_positives_forces_exact_scheme(self):
+        rec = recommend(self.SKEWED, WorkloadProfile(false_positives_ok=False))
+        assert rec.scheme == "logarithmic-urc"
+
+    def test_hide_order_uniform_prefers_src(self):
+        rec = recommend(self.UNIFORM, WorkloadProfile(hide_order=True))
+        assert rec.scheme == "logarithmic-src"
+
+    def test_hide_order_skewed_prefers_src_i(self):
+        rec = recommend(self.SKEWED, WorkloadProfile(hide_order=True))
+        assert rec.scheme == "logarithmic-src-i"
+        assert any("skew" in reason for reason in rec.reasons)
+
+    def test_hide_order_skewed_non_interactive_falls_back(self):
+        rec = recommend(
+            self.SKEWED, WorkloadProfile(hide_order=True, interactive_ok=False)
+        )
+        assert rec.scheme == "logarithmic-src"
+
+    def test_storage_cap_with_batch_queries_gives_constant(self):
+        rec = recommend(
+            self.UNIFORM,
+            WorkloadProfile(max_storage_factor=2.0, intersecting_queries=False),
+        )
+        assert rec.scheme == "constant-urc"
+
+    def test_storage_cap_with_intersections_cannot_use_constant(self):
+        rec = recommend(
+            self.UNIFORM,
+            WorkloadProfile(max_storage_factor=2.0, intersecting_queries=True),
+        )
+        assert rec.scheme == "logarithmic-brc"
+
+    def test_reasons_always_present(self):
+        for workload in (
+            WorkloadProfile(),
+            WorkloadProfile(hide_order=True),
+            WorkloadProfile(false_positives_ok=False),
+        ):
+            assert recommend(self.UNIFORM, workload).reasons
+
+    def test_recommended_scheme_actually_works(self):
+        """End-to-end: profile → recommend → build → query correctly."""
+        records = usps_like(300, seed=3)
+        profile = profile_dataset(records, 276_841)
+        rec = recommend(profile, WorkloadProfile(hide_order=True))
+        scheme = make_scheme(rec.scheme, 276_841, rng=random.Random(1))
+        scheme.build_index(records)
+        expected = sorted(i for i, v in records if 10_000 <= v <= 90_000)
+        assert sorted(scheme.query(10_000, 90_000).ids) == expected
+
+
+class TestDiagnostics:
+    def test_healthy_scheme(self, small_records):
+        scheme = make_scheme("logarithmic-brc", 512, rng=random.Random(1))
+        scheme.build_index(small_records)
+        report = verify_scheme(
+            scheme, probes=10, oracle_records=small_records, rng=random.Random(2)
+        )
+        assert report.healthy
+        assert report.queries_run == 10
+        assert report.false_positive_total == 0
+
+    def test_healthy_fp_scheme(self, small_records):
+        scheme = make_scheme("logarithmic-src", 512, rng=random.Random(1))
+        scheme.build_index(small_records)
+        report = verify_scheme(
+            scheme, probes=10, oracle_records=small_records, rng=random.Random(2)
+        )
+        assert report.healthy  # FPs are allowed for SRC, refined away
+
+    def test_detects_tampered_record_store(self, small_records):
+        scheme = make_scheme("logarithmic-brc", 512, rng=random.Random(1))
+        scheme.build_index(small_records)
+        for rid in list(scheme._encrypted_store)[:50]:
+            blob = bytearray(scheme._encrypted_store[rid])
+            blob[-1] ^= 0xFF
+            scheme._encrypted_store[rid] = bytes(blob)
+        report = verify_scheme(scheme, probes=10, rng=random.Random(2))
+        assert not report.healthy
+        assert report.integrity_errors > 0
+
+    def test_detects_oracle_disagreement(self, small_records):
+        scheme = make_scheme("logarithmic-brc", 512, rng=random.Random(1))
+        scheme.build_index(small_records)
+        wrong_oracle = [(i, (v + 7) % 512) for i, v in small_records]
+        report = verify_scheme(
+            scheme, probes=10, oracle_records=wrong_oracle, rng=random.Random(2)
+        )
+        assert not report.healthy
+        assert any("disagrees" in f for f in report.failures)
+
+    def test_works_on_restored_snapshot(self, small_records, tmp_path):
+        from repro.io import load_scheme, save_scheme
+
+        scheme = make_scheme("logarithmic-src-i", 512, rng=random.Random(1))
+        scheme.build_index(small_records)
+        save_scheme(scheme, tmp_path / "x.rsse", passphrase="p")
+        restored = load_scheme(tmp_path / "x.rsse", passphrase="p")
+        report = verify_scheme(
+            restored, probes=8, oracle_records=small_records, rng=random.Random(3)
+        )
+        assert report.healthy

@@ -1,0 +1,33 @@
+"""Tests for the prior-work comparison experiment."""
+
+from __future__ import annotations
+
+from repro.harness.baseline_comparison import compare_baselines
+from repro.harness.cli import run_experiment
+
+
+class TestComparison:
+    def test_rows_and_ordering(self):
+        rows = {r.approach.split(" ")[0]: r for r in compare_baselines(
+            n=300, domain=1 << 12, query_count=4, seed=5
+        )}
+        assert set(rows) == {"rsse", "ope", "det"}
+        # The paper's trade-off, measured: RSSE pays storage…
+        assert rows["rsse"].index_bytes > rows["ope"].index_bytes
+        # …and the baselines pay privacy.
+        assert rows["ope"].order_leak_correlation > 0.99
+        assert rows["rsse"].order_leak_correlation == 0.0
+        assert rows["ope"].histogram_disclosed
+        assert rows["det"].histogram_disclosed
+        assert not rows["rsse"].histogram_disclosed
+
+    def test_ope_exactness_vs_det_fps(self):
+        rows = {r.approach.split(" ")[0]: r for r in compare_baselines(
+            n=300, domain=1 << 12, query_count=4, seed=6
+        )}
+        assert rows["ope"].avg_false_positives == 0.0
+        assert rows["det"].avg_false_positives >= 0.0
+
+    def test_cli_rendering(self):
+        out = run_experiment("compare-baselines")
+        assert "rsse" in out and "ope" in out and "histogram" in out

@@ -1,0 +1,74 @@
+"""Unit tests for the Bloom filter substrate."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.bloom import BloomFilter, optimal_bits, optimal_hashes
+
+
+class TestSizing:
+    def test_bits_grow_with_elements(self):
+        assert optimal_bits(1000, 0.01) > optimal_bits(100, 0.01)
+
+    def test_bits_grow_with_precision(self):
+        assert optimal_bits(100, 0.001) > optimal_bits(100, 0.01)
+
+    def test_zero_elements_minimal(self):
+        assert optimal_bits(0, 0.01) == 8
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 2.0])
+    def test_bad_fp_rate(self, bad):
+        with pytest.raises(ValueError):
+            optimal_bits(10, bad)
+
+    def test_hash_count_positive(self):
+        assert optimal_hashes(100, 10) >= 1
+        assert optimal_hashes(8, 0) == 1
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        bf = BloomFilter(500, 0.01)
+        elements = [f"e{i}".encode() for i in range(500)]
+        for e in elements:
+            bf.add(e)
+        assert all(e in bf for e in elements)
+
+    def test_empty_filter_rejects_everything(self):
+        bf = BloomFilter(100, 0.01)
+        assert b"anything" not in bf
+
+    def test_false_positive_rate_near_design(self):
+        rng = random.Random(1)
+        bf = BloomFilter(2000, 0.01)
+        for i in range(2000):
+            bf.add(f"member{i}".encode())
+        trials = 20_000
+        fps = sum(1 for i in range(trials) if f"other{i}".encode() in bf)
+        assert fps / trials < 0.03  # within 3x of the 1% design point
+
+    def test_hashed_api_matches_bytes_api(self):
+        bf1 = BloomFilter(100, 0.01)
+        bf2 = BloomFilter(100, 0.01)
+        for i in range(50):
+            element = f"x{i}".encode()
+            bf1.add(element)
+            bf2.add_hashed(*BloomFilter.hash_pair(element))
+        for i in range(50):
+            element = f"x{i}".encode()
+            assert element in bf2
+            assert bf1.contains_hashed(*BloomFilter.hash_pair(element))
+
+    def test_size_bytes(self):
+        bf = BloomFilter(1000, 0.01)
+        assert bf.size_bytes() == (bf.bits + 7) // 8
+
+    def test_overload_degrades_not_breaks(self):
+        bf = BloomFilter(10, 0.01)
+        elements = [f"e{i}".encode() for i in range(500)]
+        for e in elements:
+            bf.add(e)
+        assert all(e in bf for e in elements)  # still no false negatives

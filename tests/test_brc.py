@@ -1,0 +1,101 @@
+"""Unit and property tests for the Best Range Cover."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.covers.brc import best_range_cover, brc_node_count
+from repro.covers.dyadic import Node
+from repro.errors import InvalidRangeError
+
+
+def covered_values(nodes):
+    out = []
+    for node in nodes:
+        out.extend(range(node.lo, node.hi + 1))
+    return out
+
+
+class TestPaperExamples:
+    def test_range_2_7(self):
+        # Paper Figure 1: [2, 7] covered by N2,3 and N4,7.
+        assert best_range_cover(2, 7) == [Node(1, 1), Node(2, 1)]
+
+    def test_range_1_6(self):
+        # Paper: [1, 6] covered by N1, N2,3, N4,5, N6.
+        assert best_range_cover(1, 6) == [
+            Node(0, 1),
+            Node(1, 1),
+            Node(1, 2),
+            Node(0, 6),
+        ]
+
+    def test_single_value(self):
+        assert best_range_cover(5, 5) == [Node(0, 5)]
+
+    def test_aligned_range_single_node(self):
+        assert best_range_cover(4, 7) == [Node(2, 1)]
+        assert best_range_cover(0, 7) == [Node(3, 0)]
+
+    def test_invalid(self):
+        with pytest.raises(InvalidRangeError):
+            best_range_cover(5, 3)
+        with pytest.raises(InvalidRangeError):
+            best_range_cover(-1, 3)
+
+
+class TestExhaustiveSmallDomain:
+    def test_all_ranges_of_domain_64(self):
+        for lo in range(64):
+            for hi in range(lo, 64):
+                nodes = best_range_cover(lo, hi)
+                assert sorted(covered_values(nodes)) == list(range(lo, hi + 1))
+
+    def test_at_most_two_nodes_per_level(self):
+        for lo in range(64):
+            for hi in range(lo, 64):
+                levels = [n.level for n in best_range_cover(lo, hi)]
+                for lvl in set(levels):
+                    assert levels.count(lvl) <= 2
+
+    def test_left_to_right_order(self):
+        for lo in range(0, 64, 3):
+            for hi in range(lo, 64, 5):
+                nodes = best_range_cover(lo, hi)
+                assert all(a.hi < b.lo for a, b in zip(nodes, nodes[1:]))
+
+
+@st.composite
+def ranges(draw, max_value=1 << 30):
+    lo = draw(st.integers(0, max_value))
+    hi = draw(st.integers(lo, max_value))
+    return lo, hi
+
+
+class TestProperties:
+    @given(ranges(max_value=1 << 14))
+    @settings(max_examples=300)
+    def test_exact_disjoint_cover(self, rng):
+        lo, hi = rng
+        nodes = best_range_cover(lo, hi)
+        values = covered_values(nodes)
+        assert len(values) == len(set(values)) == hi - lo + 1
+        assert min(values) == lo and max(values) == hi
+
+    @given(ranges())
+    @settings(max_examples=300)
+    def test_logarithmic_node_count(self, rng):
+        lo, hi = rng
+        size = hi - lo + 1
+        assert brc_node_count(lo, hi) <= 2 * size.bit_length()
+
+    @given(ranges(max_value=1 << 12))
+    def test_minimality_against_greedy_merge(self, rng):
+        # No two adjacent cover nodes may be mergeable siblings — a
+        # mergeable pair would contradict minimality.
+        lo, hi = rng
+        nodes = best_range_cover(lo, hi)
+        for a, b in zip(nodes, nodes[1:]):
+            if a.level == b.level and a.index + 1 == b.index and a.index % 2 == 0:
+                pytest.fail(f"mergeable siblings {a!r}, {b!r} in cover of [{lo},{hi}]")

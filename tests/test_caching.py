@@ -1,0 +1,113 @@
+"""Tests for the Constant-scheme query cache (the paper's mitigation)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.plaintext import PlaintextRangeIndex
+from repro.core.caching import CachingConstantClient
+from repro.core.constant import ConstantBrc, ConstantUrc
+from repro.core.logarithmic import LogarithmicBrc
+from repro.errors import IndexStateError
+
+DOMAIN = 512
+
+
+def make_client(records, seed=1, cls=ConstantBrc):
+    scheme = cls(DOMAIN, rng=random.Random(seed))  # guard policy: raise
+    scheme.build_index(records)
+    return CachingConstantClient(scheme)
+
+
+class TestConstruction:
+    def test_requires_constant_scheme(self):
+        with pytest.raises(IndexStateError):
+            CachingConstantClient(LogarithmicBrc(64, rng=random.Random(1)))
+
+    def test_requires_raise_policy(self):
+        scheme = ConstantBrc(64, rng=random.Random(1), intersection_policy="allow")
+        with pytest.raises(IndexStateError):
+            CachingConstantClient(scheme)
+
+
+class TestIntersectionFreedom:
+    def test_overlapping_queries_work(self, small_records, small_oracle):
+        client = make_client(small_records)
+        # These overlap heavily — raw Constant would raise on the second.
+        for lo, hi in [(10, 100), (50, 150), (0, 200), (120, 130)]:
+            assert sorted(client.query(lo, hi)) == sorted(small_oracle.query(lo, hi))
+
+    def test_repeated_query_served_from_cache(self, small_records, small_oracle):
+        client = make_client(small_records)
+        client.query(100, 200)
+        before = client.stats.server_subqueries
+        assert sorted(client.query(100, 200)) == sorted(
+            small_oracle.query(100, 200)
+        )
+        assert client.stats.server_subqueries == before
+        assert client.stats.served_fully_from_cache == 1
+
+    def test_subset_query_served_from_cache(self, small_records, small_oracle):
+        client = make_client(small_records)
+        client.query(50, 300)
+        before = client.stats.server_subqueries
+        assert sorted(client.query(100, 200)) == sorted(
+            small_oracle.query(100, 200)
+        )
+        assert client.stats.server_subqueries == before
+
+    def test_partial_overlap_fetches_only_gap(self, small_records):
+        client = make_client(small_records)
+        client.query(100, 200)
+        client.query(150, 320)  # gap is [201, 320]
+        assert (201, 320) in client.cached_intervals
+
+    def test_server_sees_disjoint_ranges_only(self, small_records):
+        """The underlying guard is live and never trips: structural proof
+        that every server-visible range is legal."""
+        client = make_client(small_records)
+        rng = random.Random(9)
+        for _ in range(25):
+            a, b = rng.randrange(DOMAIN), rng.randrange(DOMAIN)
+            client.query(min(a, b), max(a, b))  # must never raise
+        history = client._scheme.guard._history
+        for i in range(len(history)):
+            for j in range(i + 1, len(history)):
+                l1, h1 = history[i]
+                l2, h2 = history[j]
+                assert h1 < l2 or h2 < l1, "server observed intersecting ranges"
+
+    def test_urc_variant(self, small_records, small_oracle):
+        client = make_client(small_records, cls=ConstantUrc)
+        for lo, hi in [(10, 100), (50, 150)]:
+            assert sorted(client.query(lo, hi)) == sorted(small_oracle.query(lo, hi))
+
+
+class TestCorrectnessProperty:
+    @given(
+        queries=st.lists(
+            st.tuples(st.integers(0, DOMAIN - 1), st.integers(0, DOMAIN - 1)),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_arbitrary_query_sequences(self, queries):
+        rng = random.Random(5)
+        records = [(i, rng.randrange(DOMAIN)) for i in range(120)]
+        oracle = PlaintextRangeIndex(records)
+        client = make_client(records, seed=7)
+        for a, b in queries:
+            lo, hi = min(a, b), max(a, b)
+            assert sorted(client.query(lo, hi)) == sorted(oracle.query(lo, hi))
+
+    def test_full_domain_then_anything(self, small_records, small_oracle):
+        client = make_client(small_records)
+        client.query(0, DOMAIN - 1)
+        before = client.stats.server_subqueries
+        for lo, hi in [(0, 0), (100, 400), (511, 511)]:
+            assert sorted(client.query(lo, hi)) == sorted(small_oracle.query(lo, hi))
+        assert client.stats.server_subqueries == before  # everything cached

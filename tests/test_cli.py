@@ -1,0 +1,52 @@
+"""Tests for the rsse-experiments command-line interface."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.harness.cli import main, run_experiment
+
+
+class TestArgumentHandling:
+    def test_rejects_unknown_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+    def test_help_lists_experiments(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "fig5a" in out and "table2" in out
+
+
+class TestFastExperimentsThroughMain:
+    def test_ablation_tdag(self, capsys):
+        assert main(["ablation-tdag"]) == 0
+        out = capsys.readouterr().out
+        assert "Lemma 1" in out and "worst" in out
+
+    def test_ablation_urc(self, capsys):
+        assert main(["ablation-urc"]) == 0
+        out = capsys.readouterr().out
+        assert "urc min" in out
+
+    def test_fig8a_with_csv(self, tmp_path: pathlib.Path, capsys):
+        assert main(["fig8a", "--csv-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Query size" in out
+        csv_file = tmp_path / "fig8a.csv"
+        assert csv_file.exists()
+        header = csv_file.read_text().splitlines()[0]
+        assert header.startswith("range size,")
+
+    def test_fig8b_renders_ms(self, capsys):
+        assert main(["fig8b"]) == 0
+        assert "ms" in capsys.readouterr().out
+
+
+class TestRunExperimentContract:
+    def test_every_fast_name_returns_text(self):
+        for name in ("ablation-tdag", "ablation-urc", "fig8a", "fig8b"):
+            assert run_experiment(name).strip()

@@ -1,0 +1,94 @@
+"""Unit tests for the RangeScheme base class and its value types."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.scheme import MultiKeywordToken, QueryOutcome, Record
+from repro.core.logarithmic import LogarithmicBrc
+from repro.sse.base import KeywordToken
+
+
+class TestRecord:
+    def test_fields(self):
+        rec = Record(3, 99)
+        assert rec.id == 3 and rec.value == 99
+
+    def test_frozen(self):
+        rec = Record(3, 99)
+        with pytest.raises(AttributeError):
+            rec.id = 4  # type: ignore[misc]
+
+    def test_accepted_by_build_index(self):
+        scheme = LogarithmicBrc(128, rng=random.Random(1))
+        scheme.build_index([Record(0, 5), (1, 6)])  # mixed forms fine
+        assert scheme.query(5, 6).ids == {0, 1}
+
+
+class TestQueryOutcome:
+    def _outcome(self, ids, raw, fps):
+        return QueryOutcome(
+            ids=frozenset(ids),
+            raw_ids=tuple(raw),
+            false_positives=fps,
+            token_bytes=32,
+            rounds=1,
+            trapdoor_seconds=0.0,
+            server_seconds=0.0,
+        )
+
+    def test_result_size(self):
+        assert self._outcome({1, 2}, (1, 2, 3), 1).result_size == 2
+
+    def test_fp_rate(self):
+        assert self._outcome({1}, (1, 2), 1).false_positive_rate == 0.5
+
+    def test_fp_rate_empty(self):
+        assert self._outcome(set(), (), 0).false_positive_rate == 0.0
+
+
+class TestMultiKeywordToken:
+    def test_len_iter_size(self):
+        tokens = [KeywordToken(b"a" * 16, b"b" * 16) for _ in range(3)]
+        token = MultiKeywordToken(list(tokens))
+        assert len(token) == 3
+        assert list(token) == tokens
+        assert token.serialized_size() == 96
+
+    def test_empty(self):
+        token = MultiKeywordToken()
+        assert len(token) == 0 and token.serialized_size() == 0
+
+
+class TestSchemeBookkeeping:
+    def test_size_property(self, small_records):
+        scheme = LogarithmicBrc(512, rng=random.Random(1))
+        scheme.build_index(small_records)
+        assert scheme.size == len(small_records)
+
+    def test_resolve_returns_decrypted_records(self, small_records):
+        scheme = LogarithmicBrc(512, rng=random.Random(1))
+        scheme.build_index(small_records)
+        values = dict(small_records)
+        got = scheme.resolve([0, 5, 10])
+        assert [(r.id, r.value) for r in got] == [
+            (0, values[0]),
+            (5, values[5]),
+            (10, values[10]),
+        ]
+
+    def test_token_size_bytes_on_iterables(self):
+        tokens = [KeywordToken(b"a" * 16, b"b" * 16)]
+        assert LogarithmicBrc.token_size_bytes(MultiKeywordToken(tokens)) == 32
+        # Also on bare lists of sized parts.
+        assert LogarithmicBrc.token_size_bytes(tokens) == 32
+
+    def test_record_store_is_semantically_encrypted(self, small_records):
+        """Two builds of the same data yield different ciphertexts."""
+        a = LogarithmicBrc(512, rng=random.Random(1))
+        b = LogarithmicBrc(512, rng=random.Random(2))
+        a.build_index(small_records)
+        b.build_index(small_records)
+        assert a._encrypted_store[0] != b._encrypted_store[0]

@@ -1,0 +1,82 @@
+"""Tests for the cover-analysis utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.covers.analysis import (
+    brc_count_distribution,
+    expected_brc_nodes,
+    replication_factor,
+    tdag_cover_ratio,
+    worst_case_cover_size,
+)
+from repro.covers.urc import urc_node_count
+
+
+class TestBrcDistribution:
+    def test_exhaustive_counts_all_positions(self):
+        dist = brc_count_distribution(6, 64)
+        assert sum(dist.values()) == 64 - 6 + 1
+
+    def test_single_value_ranges_always_one_node(self):
+        dist = brc_count_distribution(1, 256)
+        assert dist == {1: 256}
+
+    def test_aligned_power_of_two_varies(self):
+        dist = brc_count_distribution(8, 256)
+        assert 1 in dist  # aligned positions need a single node
+        assert max(dist) == worst_case_cover_size(8)
+
+    def test_sampled_path(self):
+        dist = brc_count_distribution(100, 1 << 20, samples=300, seed=1)
+        assert sum(dist.values()) == 300
+        assert max(dist) <= worst_case_cover_size(100)
+
+    def test_bad_range_size(self):
+        with pytest.raises(ValueError):
+            brc_count_distribution(0, 64)
+        with pytest.raises(ValueError):
+            brc_count_distribution(65, 64)
+
+    def test_expected_between_min_and_worst(self):
+        mean = expected_brc_nodes(37, 1 << 12)
+        dist = brc_count_distribution(37, 1 << 12)
+        assert min(dist) <= mean <= max(dist)
+
+
+class TestWorstCase:
+    def test_matches_urc(self):
+        for size in (1, 2, 6, 100, 1000):
+            assert worst_case_cover_size(size) == urc_node_count(size)
+
+    def test_brc_never_exceeds_worst_case_exhaustive(self):
+        for size in (3, 6, 12):
+            dist = brc_count_distribution(size, 128)
+            assert max(dist) <= worst_case_cover_size(size)
+
+
+class TestReplication:
+    def test_constant_is_one(self):
+        assert replication_factor(1 << 10, "constant") == 1
+
+    def test_logarithmic_is_height_plus_one(self):
+        assert replication_factor(1 << 10, "logarithmic") == 11
+
+    def test_src_at_most_double_logarithmic(self):
+        log = replication_factor(1 << 10, "logarithmic")
+        src = replication_factor(1 << 10, "src")
+        assert log < src <= 2 * log
+
+    def test_quadratic_is_quadratic(self):
+        assert replication_factor(16, "quadratic") == 9 * 8
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            replication_factor(16, "cubic")
+
+
+class TestTdagRatio:
+    def test_lemma1_bound(self):
+        mean, worst = tdag_cover_ratio(1 << 14, samples=500, seed=3)
+        assert 1.0 <= mean <= worst <= 4.0

@@ -1,0 +1,176 @@
+"""Unit and property tests for the GGM-based Delegatable PRF.
+
+The delegation contract under test: for any range, expanding the
+delegated tokens yields *exactly* the multiset of leaf PRF values the
+key holder would compute directly — nothing more, nothing less.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.covers.dyadic import Node
+from repro.crypto.dprf import COVER_BRC, COVER_URC, DelegationToken, GgmDprf
+from repro.crypto.prg import SEED_LEN
+from repro.errors import InvalidRangeError, KeyError_, TokenError
+
+KEY = GgmDprf.generate_key(random.Random(1))
+
+
+class TestEvaluate:
+    def test_deterministic(self):
+        dprf = GgmDprf(256)
+        assert dprf.evaluate(KEY, 77) == dprf.evaluate(KEY, 77)
+
+    def test_injective_on_small_domain(self):
+        dprf = GgmDprf(64)
+        values = {dprf.evaluate(KEY, v) for v in range(64)}
+        assert len(values) == 64
+
+    def test_key_sensitivity(self):
+        dprf = GgmDprf(64)
+        other = GgmDprf.generate_key(random.Random(2))
+        assert dprf.evaluate(KEY, 5) != dprf.evaluate(other, 5)
+
+    def test_paper_example_value_6(self):
+        # f_k(6) = G0(G1(G1(k))) over domain {0..7}.
+        from repro.crypto.prg import g0, g1
+
+        dprf = GgmDprf(8)
+        assert dprf.evaluate(KEY, 6) == g0(g1(g1(KEY)))
+
+    def test_rejects_out_of_domain(self):
+        dprf = GgmDprf(8)
+        with pytest.raises(Exception):
+            dprf.evaluate(KEY, 8)
+
+    def test_rejects_bad_key(self):
+        dprf = GgmDprf(8)
+        with pytest.raises(KeyError_):
+            dprf.evaluate(b"short", 3)
+
+
+class TestNodeSeed:
+    def test_root_seed_is_key(self):
+        dprf = GgmDprf(8)
+        assert dprf.node_seed(KEY, Node(3, 0)) == KEY
+
+    def test_leaf_seed_is_evaluation(self):
+        dprf = GgmDprf(8)
+        assert dprf.node_seed(KEY, Node(0, 6)) == dprf.evaluate(KEY, 6)
+
+    def test_outside_tree_rejected(self):
+        dprf = GgmDprf(8)
+        with pytest.raises(InvalidRangeError):
+            dprf.node_seed(KEY, Node(4, 0))
+
+
+class TestDelegationToken:
+    def test_leaf_count(self):
+        token = DelegationToken(bytes(SEED_LEN), 3)
+        assert token.leaf_count == 8
+
+    def test_serialized_size(self):
+        token = DelegationToken(bytes(SEED_LEN), 3)
+        assert token.serialized_size() == SEED_LEN + 1
+
+    def test_rejects_negative_level(self):
+        with pytest.raises(TokenError):
+            DelegationToken(bytes(SEED_LEN), -1)
+
+    def test_rejects_bad_seed_length(self):
+        with pytest.raises(TokenError):
+            DelegationToken(b"short", 1)
+
+
+class TestExpansion:
+    def test_level_zero_is_identity(self):
+        token = DelegationToken(KEY, 0)
+        assert GgmDprf.expand_token(token) == [KEY]
+
+    def test_expansion_count(self):
+        for level in range(5):
+            token = DelegationToken(KEY, level)
+            assert len(GgmDprf.expand_token(token)) == 1 << level
+
+    def test_expansion_matches_direct_evaluation(self):
+        dprf = GgmDprf(16)
+        # Node(2, 1) covers values 4..7.
+        seed = dprf.node_seed(KEY, Node(2, 1))
+        expanded = GgmDprf.expand_token(DelegationToken(seed, 2))
+        direct = [dprf.evaluate(KEY, v) for v in range(4, 8)]
+        assert expanded == direct
+
+
+@st.composite
+def domain_ranges(draw):
+    bits = draw(st.integers(1, 12))
+    domain = 1 << bits
+    lo = draw(st.integers(0, domain - 1))
+    hi = draw(st.integers(lo, domain - 1))
+    return domain, lo, hi
+
+
+class TestDelegation:
+    @pytest.mark.parametrize("cover", [COVER_BRC, COVER_URC])
+    def test_delegation_equals_direct_exhaustive(self, cover):
+        dprf = GgmDprf(32)
+        for lo in range(32):
+            for hi in range(lo, 32):
+                tokens = dprf.delegate(
+                    KEY, lo, hi, cover=cover, shuffle_rng=random.Random(0)
+                )
+                expanded = sorted(GgmDprf.expand_all(tokens))
+                direct = sorted(dprf.evaluate(KEY, v) for v in range(lo, hi + 1))
+                assert expanded == direct, (cover, lo, hi)
+
+    @pytest.mark.parametrize("cover", [COVER_BRC, COVER_URC])
+    @given(domain_ranges())
+    @settings(max_examples=100)
+    def test_delegation_equals_direct_random(self, cover, dr):
+        domain, lo, hi = dr
+        dprf = GgmDprf(domain)
+        tokens = dprf.delegate(KEY, lo, hi, cover=cover, shuffle_rng=random.Random(0))
+        assert sorted(GgmDprf.expand_all(tokens)) == sorted(
+            dprf.evaluate(KEY, v) for v in range(lo, hi + 1)
+        )
+
+    def test_tokens_are_shuffled(self):
+        dprf = GgmDprf(1 << 10)
+        orders = {
+            tuple(t.seed for t in dprf.delegate(KEY, 3, 900, shuffle_rng=random.Random(s)))
+            for s in range(20)
+        }
+        assert len(orders) > 1  # permutation actually varies
+
+    def test_urc_token_count_position_independent(self):
+        dprf = GgmDprf(1 << 10)
+        counts = {
+            len(dprf.delegate(KEY, lo, lo + 99, cover=COVER_URC, shuffle_rng=random.Random(0)))
+            for lo in range(0, 900, 37)
+        }
+        assert len(counts) == 1
+
+    def test_brc_token_count_varies_with_position(self):
+        dprf = GgmDprf(1 << 10)
+        counts = {
+            len(dprf.delegate(KEY, lo, lo + 99, cover=COVER_BRC, shuffle_rng=random.Random(0)))
+            for lo in range(0, 900, 7)
+        }
+        assert len(counts) > 1
+
+    def test_unknown_cover_rejected(self):
+        dprf = GgmDprf(16)
+        with pytest.raises(ValueError):
+            dprf.delegate(KEY, 0, 3, cover="src")
+
+    def test_delegation_does_not_reveal_outside_range(self):
+        """Expanded values of [lo, hi] never include a leaf outside it."""
+        dprf = GgmDprf(64)
+        tokens = dprf.delegate(KEY, 10, 20, shuffle_rng=random.Random(0))
+        expanded = set(GgmDprf.expand_all(tokens))
+        outside = {dprf.evaluate(KEY, v) for v in list(range(0, 10)) + list(range(21, 64))}
+        assert not expanded & outside

@@ -1,0 +1,147 @@
+"""Unit tests for the dyadic node algebra and DomainTree."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.covers.dyadic import DomainTree, Node, leaf
+from repro.errors import DomainError, InvalidRangeError
+
+
+class TestNode:
+    def test_leaf_range(self):
+        node = Node(0, 5)
+        assert (node.lo, node.hi, node.size) == (5, 5, 1)
+
+    def test_internal_range(self):
+        node = Node(2, 1)  # covers [4, 7]
+        assert (node.lo, node.hi, node.size) == (4, 7, 4)
+
+    def test_covers_value(self):
+        node = Node(2, 1)
+        assert node.covers_value(4) and node.covers_value(7)
+        assert not node.covers_value(3) and not node.covers_value(8)
+
+    def test_covers_range(self):
+        node = Node(3, 0)  # [0, 7]
+        assert node.covers_range(2, 7)
+        assert not node.covers_range(2, 8)
+
+    def test_children(self):
+        left, right = Node(2, 1).children()
+        assert (left.lo, left.hi) == (4, 5)
+        assert (right.lo, right.hi) == (6, 7)
+
+    def test_leaf_has_no_children(self):
+        with pytest.raises(DomainError):
+            Node(0, 3).children()
+
+    def test_parent(self):
+        assert Node(1, 2).parent() == Node(2, 1)
+        assert Node(1, 3).parent() == Node(2, 1)
+
+    def test_parent_child_round_trip(self):
+        node = Node(3, 5)
+        for child in node.children():
+            assert child.parent() == node
+
+    def test_label_unambiguous(self):
+        assert Node(1, 2).label() != Node(2, 1).label()
+
+    def test_ordering(self):
+        assert Node(0, 1) < Node(0, 2) < Node(1, 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(DomainError):
+            Node(-1, 0)
+        with pytest.raises(DomainError):
+            Node(0, -1)
+
+    def test_leaf_helper(self):
+        assert leaf(9) == Node(0, 9)
+
+    @given(st.integers(0, 20), st.integers(0, 1 << 20))
+    def test_size_matches_range(self, level, index):
+        node = Node(level, index)
+        assert node.hi - node.lo + 1 == node.size == 1 << level
+
+
+class TestDomainTree:
+    def test_power_of_two_domain(self):
+        tree = DomainTree(8)
+        assert tree.height == 3 and tree.padded_size == 8
+
+    def test_non_power_of_two_padded(self):
+        tree = DomainTree(5)
+        assert tree.height == 3 and tree.padded_size == 8
+
+    def test_domain_of_one(self):
+        tree = DomainTree(1)
+        assert tree.padded_size == 2  # minimum height 1
+        tree.check_value(0)
+        with pytest.raises(DomainError):
+            tree.check_value(1)
+
+    def test_from_bits(self):
+        tree = DomainTree.from_bits(10)
+        assert tree.domain_size == 1024 and tree.height == 10
+
+    def test_root_covers_everything(self):
+        tree = DomainTree(100)
+        assert tree.root.covers_range(0, 99)
+
+    def test_invalid_domain(self):
+        with pytest.raises(DomainError):
+            DomainTree(0)
+
+    def test_check_value_bounds(self):
+        tree = DomainTree(10)
+        tree.check_value(0)
+        tree.check_value(9)
+        for bad in (-1, 10, 11):
+            with pytest.raises(DomainError):
+                tree.check_value(bad)
+
+    def test_check_value_rejects_bool_and_float(self):
+        tree = DomainTree(10)
+        with pytest.raises(DomainError):
+            tree.check_value(True)
+        with pytest.raises(DomainError):
+            tree.check_value(1.5)  # type: ignore[arg-type]
+
+    def test_check_range_inverted(self):
+        tree = DomainTree(10)
+        with pytest.raises(InvalidRangeError):
+            tree.check_range(5, 3)
+
+    def test_path_nodes_root_to_leaf(self):
+        tree = DomainTree(8)
+        path = tree.path_nodes(6)
+        assert path[0] == tree.root
+        assert path[-1] == Node(0, 6)
+        assert len(path) == 4
+        for node in path:
+            assert node.covers_value(6)
+
+    def test_value_bits_match_paper_example(self):
+        # Value 6 over {0..7} is (110)2: right, right, left.
+        tree = DomainTree(8)
+        assert tree.value_bits(6) == [1, 1, 0]
+
+    def test_node_in_tree(self):
+        tree = DomainTree(8)
+        assert tree.node_in_tree(Node(3, 0))
+        assert not tree.node_in_tree(Node(3, 1))
+        assert not tree.node_in_tree(Node(4, 0))
+        assert tree.node_in_tree(Node(0, 7))
+        assert not tree.node_in_tree(Node(0, 8))
+
+    @given(st.integers(2, 1 << 16), st.data())
+    def test_path_consistency(self, domain, data):
+        tree = DomainTree(domain)
+        value = data.draw(st.integers(0, domain - 1))
+        path = tree.path_nodes(value)
+        assert len(path) == tree.height + 1
+        for parent, child in zip(path, path[1:]):
+            assert child.parent() == parent

@@ -1,0 +1,78 @@
+"""Unit tests for the canonical byte encodings."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TokenError
+from repro.sse.encoding import (
+    ID_LEN,
+    TRIPLE_LEN,
+    decode_id,
+    decode_record,
+    decode_triple,
+    encode_counter,
+    encode_id,
+    encode_record,
+    encode_triple,
+    range_keyword,
+    value_keyword,
+)
+
+
+class TestIds:
+    @given(st.integers(0, (1 << 64) - 1))
+    def test_round_trip(self, doc_id):
+        assert decode_id(encode_id(doc_id)) == doc_id
+
+    def test_fixed_length(self):
+        assert len(encode_id(0)) == len(encode_id((1 << 64) - 1)) == ID_LEN
+
+    @pytest.mark.parametrize("bad", [-1, 1 << 64])
+    def test_out_of_range(self, bad):
+        with pytest.raises(ValueError):
+            encode_id(bad)
+
+    def test_decode_rejects_wrong_length(self):
+        with pytest.raises(TokenError):
+            decode_id(b"\x00" * 7)
+
+
+class TestTriples:
+    @given(st.integers(0, 1 << 40), st.integers(0, 1 << 30), st.integers(0, 1 << 30))
+    def test_round_trip(self, value, lo, hi):
+        assert decode_triple(encode_triple(value, lo, hi)) == (value, lo, hi)
+
+    def test_fixed_length(self):
+        assert len(encode_triple(1, 2, 3)) == TRIPLE_LEN
+
+    def test_decode_rejects_wrong_length(self):
+        with pytest.raises(TokenError):
+            decode_triple(b"\x00" * 23)
+
+
+class TestRecords:
+    @given(st.integers(0, 1 << 60), st.integers(0, 1 << 60))
+    def test_round_trip(self, doc_id, value):
+        assert decode_record(encode_record(doc_id, value)) == (doc_id, value)
+
+    def test_decode_rejects_wrong_length(self):
+        with pytest.raises(TokenError):
+            decode_record(b"\x00" * 15)
+
+
+class TestKeywords:
+    def test_value_keywords_distinct(self):
+        assert value_keyword(1) != value_keyword(2)
+
+    def test_range_keywords_distinct(self):
+        assert range_keyword(0, 5) != range_keyword(0, 6) != range_keyword(1, 6)
+
+    def test_namespaces_disjoint(self):
+        # A value keyword can never collide with a range keyword.
+        assert value_keyword(1)[:2] != range_keyword(1, 1)[:2]
+
+    def test_counter_monotone_encoding(self):
+        assert encode_counter(1) != encode_counter(2)
+        assert len(encode_counter(0)) == 8

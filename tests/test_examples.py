@@ -1,0 +1,38 @@
+"""The examples are documentation — they must actually run.
+
+Each example is executed as a subprocess exactly the way the README
+tells users to run it; its internal assertions are the test.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(example):
+    result = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{example.name} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{example.name} produced no output"
+
+
+def test_example_inventory():
+    """README promises at least quickstart + four scenario examples."""
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 5

@@ -1,0 +1,134 @@
+"""Tests for the multi-dimensional composition and Quadratic padding."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.quadratic import Quadratic
+from repro.core.registry import make_scheme
+from repro.errors import DomainError, IndexStateError
+from repro.extensions import MultiDimScheme
+
+
+def factory(name="logarithmic-brc", domain=256, seed=0):
+    seeder = random.Random(seed)
+
+    def make():
+        return make_scheme(name, domain, rng=random.Random(seeder.randrange(2**62)))
+
+    return make
+
+
+class TestMultiDim:
+    def test_two_dimensional_conjunction(self):
+        md = MultiDimScheme([factory(seed=1), factory(seed=2)])
+        # (id, x, y) points on a small grid.
+        points = [(i, (i * 17) % 256, (i * 41) % 256) for i in range(100)]
+        md.build_index(points)
+        xr, yr = (20, 180), (50, 220)
+        expected = {
+            i for i, x, y in points if xr[0] <= x <= xr[1] and yr[0] <= y <= yr[1]
+        }
+        outcome = md.query([xr, yr])
+        assert outcome.ids == expected
+        assert outcome.rounds == 2
+
+    def test_three_dimensions_mixed_schemes(self):
+        md = MultiDimScheme(
+            [
+                factory("logarithmic-brc", seed=3),
+                factory("logarithmic-src", seed=4),
+                factory("logarithmic-src-i", seed=5),
+            ]
+        )
+        points = [(i, i % 256, (i * 7) % 256, (255 - i) % 256) for i in range(80)]
+        md.build_index(points)
+        ranges = [(0, 128), (10, 200), (100, 255)]
+        expected = {
+            rec[0]
+            for rec in points
+            if all(lo <= rec[1 + d] <= hi for d, (lo, hi) in enumerate(ranges))
+        }
+        assert md.query(ranges).ids == expected
+
+    def test_empty_intersection(self):
+        md = MultiDimScheme([factory(seed=6), factory(seed=7)])
+        md.build_index([(1, 10, 200), (2, 200, 10)])
+        assert md.query([(0, 50), (0, 50)]).ids == frozenset()
+
+    def test_arity_checked(self):
+        md = MultiDimScheme([factory(seed=8), factory(seed=9)])
+        with pytest.raises(DomainError):
+            md.build_index([(1, 10)])  # missing second value
+        md.build_index([(1, 10, 20)])
+        with pytest.raises(DomainError):
+            md.query([(0, 50)])
+
+    def test_zero_dimensions_rejected(self):
+        with pytest.raises(DomainError):
+            MultiDimScheme([])
+
+    def test_query_before_build(self):
+        md = MultiDimScheme([factory(seed=10)])
+        with pytest.raises(IndexStateError):
+            md.query([(0, 1)])
+
+    def test_index_size_sums_dimensions(self):
+        md = MultiDimScheme([factory(seed=11), factory(seed=12)])
+        md.build_index([(i, i % 256, (i * 3) % 256) for i in range(50)])
+        assert md.index_size_bytes() == sum(
+            s.index_size_bytes() for s in md.schemes
+        )
+
+    def test_dimensions_use_independent_keys(self):
+        """A trapdoor for dimension 0 must find nothing in dimension 1."""
+        md = MultiDimScheme([factory(seed=13), factory(seed=14)])
+        md.build_index([(i, 100, 100) for i in range(20)])
+        token = md.schemes[0].trapdoor(0, 255)
+        assert md.schemes[1].search(token) == []
+
+
+class TestQuadraticPadding:
+    def test_padded_index_size_depends_only_on_n_and_m(self):
+        """The paper's padding argument: two datasets with wildly
+        different distributions must produce byte-identical index sizes."""
+        m, n = 12, 8
+        uniform_data = [(i, i % m) for i in range(n)]
+        skewed_data = [(i, 0) for i in range(n)]
+        sizes = []
+        for data in (uniform_data, skewed_data):
+            scheme = Quadratic(m, padded=True, rng=random.Random(1))
+            scheme.build_index(data)
+            sizes.append(scheme.index_size_bytes())
+        assert sizes[0] == sizes[1]
+
+    def test_unpadded_leaks_distribution(self):
+        m, n = 12, 8
+        sizes = []
+        for data in ([(i, i % m) for i in range(n)], [(i, 0) for i in range(n)]):
+            scheme = Quadratic(m, padded=False, rng=random.Random(1))
+            scheme.build_index(data)
+            sizes.append(scheme.index_size_bytes())
+        assert sizes[0] != sizes[1]
+
+    def test_padded_queries_still_exact(self):
+        scheme = Quadratic(16, padded=True, rng=random.Random(2))
+        records = [(i, (i * 5) % 16) for i in range(10)]
+        scheme.build_index(records)
+        for lo, hi in [(0, 15), (3, 9), (7, 7)]:
+            expected = sorted(i for i, v in records if lo <= v <= hi)
+            assert sorted(scheme.query(lo, hi).ids) == expected
+
+    def test_padding_counted_as_false_positives(self):
+        scheme = Quadratic(8, padded=True, rng=random.Random(3))
+        scheme.build_index([(0, 2), (1, 5)])
+        outcome = scheme.query(2, 2)
+        assert outcome.ids == {0}
+        assert outcome.false_positives == 1  # one dummy padded the list
+
+    def test_id_collision_with_padding_space_rejected(self):
+        scheme = Quadratic(8, padded=True, rng=random.Random(4))
+        with pytest.raises(DomainError):
+            scheme.build_index([((1 << 64) - 2, 3)])

@@ -1,0 +1,188 @@
+"""Failure injection: corrupted state, hostile inputs, misuse.
+
+A production library must fail loudly and precisely.  Every test here
+drives a component outside its contract and pins the failure mode.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.constant import ConstantBrc
+from repro.core.logarithmic import LogarithmicBrc
+from repro.core.log_src_i import LogarithmicSrcI
+from repro.core.scheme import RangeScheme
+from repro.crypto.dprf import DelegationToken, GgmDprf
+from repro.crypto.prf import generate_key
+from repro.errors import (
+    DomainError,
+    IndexStateError,
+    IntegrityError,
+    ReproError,
+    TokenError,
+)
+from repro.sse.base import EncryptedIndex, KeywordToken, PrfKeyDeriver
+from repro.sse.encoding import encode_id
+from repro.sse.pibas import PiBas
+
+
+def records(n=50, domain=512, seed=1):
+    rng = random.Random(seed)
+    return [(i, rng.randrange(domain)) for i in range(n)]
+
+
+class TestHierarchy:
+    def test_all_library_errors_catchable_at_base(self):
+        for exc in (DomainError, IndexStateError, IntegrityError, TokenError):
+            assert issubclass(exc, ReproError)
+
+    def test_domain_error_is_value_error(self):
+        assert issubclass(DomainError, ValueError)
+
+
+class TestTamperedServerState:
+    def test_tampered_edb_entry_detected_or_garbled(self):
+        sse = PiBas(PrfKeyDeriver(generate_key(random.Random(1))))
+        index = sse.build_index({b"w": [encode_id(1), encode_id(2)]})
+        index.tamper()
+        token = sse.trapdoor(b"w")
+        try:
+            out = sse.search(index, token)
+            assert sorted(out) != [encode_id(1), encode_id(2)]
+        except TokenError:
+            pass
+
+    def test_record_store_tampering_detected(self):
+        scheme = LogarithmicBrc(512, rng=random.Random(2))
+        scheme.build_index(records())
+        some_id = next(iter(scheme._encrypted_store))
+        blob = bytearray(scheme._encrypted_store[some_id])
+        blob[-1] ^= 0xFF
+        scheme._encrypted_store[some_id] = bytes(blob)
+        with pytest.raises(IntegrityError):
+            scheme.query(0, 511)
+
+    def test_server_returning_unknown_id_detected(self):
+        scheme = LogarithmicBrc(512, rng=random.Random(2))
+        scheme.build_index(records())
+        with pytest.raises(IndexStateError):
+            scheme.resolve([999_999])
+
+
+class TestHostileTokens:
+    def test_truncated_keyword_token(self):
+        with pytest.raises(TokenError):
+            KeywordToken(b"\x00" * 15, b"\x00" * 16)
+
+    def test_truncated_dprf_token(self):
+        with pytest.raises(TokenError):
+            DelegationToken(b"\x00" * 31, 2)
+
+    def test_oversized_dprf_level_returns_no_results(self):
+        """A forged token with an absurd level expands to garbage leaves,
+        which cannot match any EDB label (but must not crash)."""
+        scheme = ConstantBrc(64, rng=random.Random(3), intersection_policy="allow")
+        scheme.build_index(records(20, 64))
+        forged = DelegationToken(bytes(32), 3)
+        from repro.core.constant import DprfRangeToken
+
+        assert scheme.search(DprfRangeToken([forged])) == []
+
+
+class TestLifecycleMisuse:
+    def test_double_build_replaces_index(self):
+        scheme = LogarithmicBrc(512, rng=random.Random(4))
+        scheme.build_index(records(seed=1))
+        first = scheme.query(0, 511).ids
+        scheme.build_index(records(seed=2))
+        second = scheme.query(0, 511).ids
+        assert first == second == frozenset(range(50))
+
+    def test_index_size_before_build(self):
+        scheme = LogarithmicBrc(512)
+        with pytest.raises(IndexStateError):
+            scheme.index_size_bytes()
+
+    def test_src_i_phase2_before_build(self):
+        scheme = LogarithmicSrcI(512)
+        with pytest.raises(IndexStateError):
+            scheme.trapdoor_phase2(0, 1)
+
+    def test_abstract_base_not_instantiable(self):
+        with pytest.raises(TypeError):
+            RangeScheme(16)  # type: ignore[abstract]
+
+
+class TestHostileInputs:
+    @pytest.mark.parametrize("bad_domain", [0, -5])
+    def test_bad_domain_sizes(self, bad_domain):
+        with pytest.raises(DomainError):
+            LogarithmicBrc(bad_domain)
+
+    def test_non_integer_values_rejected(self):
+        scheme = LogarithmicBrc(512, rng=random.Random(5))
+        with pytest.raises(DomainError):
+            scheme.build_index([(1, "not-an-int")])  # type: ignore[list-item]
+
+    def test_boolean_value_rejected(self):
+        # bool is an int subclass; the domain check must still refuse it,
+        # otherwise True silently indexes as 1.
+        scheme = LogarithmicBrc(512, rng=random.Random(5))
+        with pytest.raises(DomainError):
+            scheme.build_index([(1, True)])
+
+    def test_huge_id_round_trips(self):
+        scheme = LogarithmicBrc(512, rng=random.Random(5))
+        big = (1 << 64) - 1
+        scheme.build_index([(big, 44)])
+        assert scheme.query(44, 44).ids == {big}
+
+    def test_id_overflow_rejected(self):
+        scheme = LogarithmicBrc(512, rng=random.Random(5))
+        with pytest.raises(DomainError):
+            scheme.build_index([(1 << 64, 44)])
+
+    def test_negative_id_rejected(self):
+        scheme = LogarithmicBrc(512, rng=random.Random(5))
+        with pytest.raises(DomainError):
+            scheme.build_index([(-1, 44)])
+
+    def test_boolean_id_rejected(self):
+        scheme = LogarithmicBrc(512, rng=random.Random(5))
+        with pytest.raises(DomainError):
+            scheme.build_index([(True, 44)])
+
+
+class TestMinimalDomains:
+    def test_domain_of_one(self):
+        scheme = LogarithmicBrc(1, rng=random.Random(6))
+        scheme.build_index([(0, 0), (1, 0)])
+        assert scheme.query(0, 0).ids == {0, 1}
+
+    def test_domain_of_two(self):
+        for name_cls in (LogarithmicBrc, LogarithmicSrcI):
+            scheme = name_cls(2, rng=random.Random(6))
+            scheme.build_index([(0, 0), (1, 1)])
+            assert scheme.query(0, 0).ids == {0}
+            assert scheme.query(1, 1).ids == {1}
+            assert scheme.query(0, 1).ids == {0, 1}
+
+    def test_constant_on_domain_of_two(self):
+        scheme = ConstantBrc(2, rng=random.Random(6), intersection_policy="allow")
+        scheme.build_index([(0, 0), (1, 1)])
+        assert scheme.query(0, 1).ids == {0, 1}
+
+
+class TestEncryptedIndexEdgeCases:
+    def test_from_bytes_empty(self):
+        index = EncryptedIndex.from_bytes(EncryptedIndex().to_bytes())
+        assert len(index) == 0
+
+    def test_contains(self):
+        index = EncryptedIndex({b"l" * 16: b"v"})
+        assert b"l" * 16 in index and b"m" * 16 not in index
+
+    def test_tamper_on_empty_is_noop(self):
+        EncryptedIndex().tamper()  # must not raise

@@ -1,0 +1,152 @@
+"""Tests for the experiment harness (scaled-down runs + rendering)."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.harness import experiments
+from repro.harness.cli import run_experiment
+from repro.harness.metrics import Series, Stopwatch, mib, timed
+from repro.harness.tables import render_series, render_table, series_to_csv
+
+
+class TestMetrics:
+    def test_timed(self):
+        result, seconds = timed(sum, [1, 2, 3])
+        assert result == 6 and seconds >= 0
+
+    def test_stopwatch_accumulates(self):
+        watch = Stopwatch()
+        with watch.measure():
+            pass
+        with watch.measure():
+            pass
+        assert watch.seconds >= 0
+
+    def test_mib(self):
+        assert mib(1024 * 1024) == 1.0
+
+    def test_series_columns_ordered(self):
+        series = Series("t", "x", "y")
+        series.add(1, {"a": 1.0, "b": 2.0})
+        series.add(2, {"b": 3.0, "c": 4.0})
+        assert series.columns() == ["a", "b", "c"]
+        rows = series.as_rows()
+        assert rows[1] == [2, None, 3.0, 4.0]
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        text = render_table(["name", "value"], [["a", 1.0], ["bb", 22.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_render_series_includes_title(self):
+        series = Series("My Figure", "x", "seconds")
+        series.add(1, {"s": 0.5})
+        out = render_series(series)
+        assert "My Figure" in out and "seconds" in out
+
+    def test_csv_round_shape(self):
+        series = Series("t", "x", "y")
+        series.add(1, {"a": 1.0})
+        csv_text = series_to_csv(series)
+        assert csv_text.splitlines()[0] == "x,a"
+
+    def test_none_rendered_as_dash(self):
+        assert "-" in render_table(["c"], [[None]])
+
+
+class TestScaledExperiments:
+    """Tiny-parameter runs asserting the paper's qualitative shapes."""
+
+    def test_fig5_ordering(self):
+        size_series, time_series = experiments.fig5(
+            sizes=(100, 200), domain=1 << 14, include_pb=False, seed=1
+        )
+        for point in size_series.points:
+            v = point.values
+            assert (
+                v["constant-brc/urc"]
+                < v["logarithmic-brc/urc"]
+                < v["logarithmic-src"]
+                <= v["logarithmic-src-i"]
+            )
+        # Construction time grows with n for every scheme.
+        first, second = time_series.points
+        for scheme in time_series.columns():
+            assert second.values[scheme] > 0
+
+    def test_table2_src_i_compact_under_skew(self):
+        rows = {name: (size, t) for name, size, t in experiments.table2(n=400, include_pb=False, seed=1)}
+        # Under 5%-distinct skew, SRC-i's extra index is nearly free:
+        src = rows["logarithmic-src"][0]
+        srci = rows["logarithmic-src-i"][0]
+        assert srci < src * 1.6  # paper: "adds minimal overheads"
+
+    def test_fig6_fp_rate_decreases(self):
+        series = experiments.fig6(
+            "usps", n=500, queries_per_point=6, percents=(10, 90), seed=2
+        )
+        first, last = series.points
+        for scheme in ("logarithmic-src", "logarithmic-src-i"):
+            assert last.values[scheme] <= first.values[scheme] + 0.05
+
+    def test_fig7_log_scheme_near_floor(self):
+        series = experiments.fig7(
+            "usps",
+            n=400,
+            queries_per_point=3,
+            percents=(20,),
+            include_pb=False,
+            seed=2,
+        )
+        point = series.points[0]
+        # Logarithmic-BRC/URC coincide with pure SSE retrieval (paper).
+        assert point.values["logarithmic-brc/urc"] < 6 * point.values["sse-floor"] + 1e-3
+
+    def test_fig8_shapes(self):
+        size_series, time_series = experiments.fig8(
+            domain=1 << 16, range_sizes=(1, 64), queries_per_size=10, seed=3
+        )
+        small, large = size_series.points
+        # SRC families: constant query size; BRC/URC: growing.
+        assert small.values["logarithmic-src"] == large.values["logarithmic-src"] == 32
+        assert small.values["logarithmic-src-i"] == large.values["logarithmic-src-i"] == 64
+        assert large.values["logarithmic-brc"] > small.values["logarithmic-brc"]
+        assert large.values["constant-urc"] >= large.values["constant-brc"]
+
+    def test_table1_linear(self):
+        rows = experiments.table1(n_small=150, n_large=600, domain=1 << 12, seed=1)
+        for _, _, factor, verdict in rows:
+            assert verdict == "linear-in-n ok", (factor, verdict)
+
+    def test_ablation_urc_canonical(self):
+        rows = experiments.ablation_urc(domain=1 << 12, range_sizes=(50,), trials=40, seed=1)
+        ((_, brc_min, brc_max, urc_min, urc_max),) = rows
+        assert urc_min == urc_max  # canonical
+        assert brc_min <= urc_max
+
+    def test_ablation_tdag_lemma1(self):
+        avg, worst = experiments.ablation_tdag(domain=1 << 12, trials=200, seed=1)
+        assert 1.0 <= avg <= worst <= 4.0
+
+    def test_ablation_updates_monotone(self):
+        rows = experiments.ablation_updates(
+            steps=(2, 8), batches=8, batch_size=8, domain=1 << 10, seed=1
+        )
+        by_s = {s: active for s, active, _, _ in rows}
+        assert by_s[2] <= by_s[8] + 2  # smaller s merges more aggressively
+
+
+class TestCli:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment("fig99")
+
+    def test_cli_renders_ablations(self, tmp_path: pathlib.Path):
+        out = run_experiment("ablation-tdag")
+        assert "Lemma 1" in out

@@ -1,0 +1,152 @@
+"""End-to-end integration tests across modules.
+
+These exercise the paths a real deployment would: realistic workloads,
+black-box SSE swapping, index serialization across a simulated network
+boundary, schemes driven through the update manager, and the costs
+reported by QueryOutcome.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.plaintext import PlaintextRangeIndex
+from repro.core.registry import EXPERIMENT_SCHEMES, make_scheme
+from repro.sse.base import EncryptedIndex
+from repro.sse.pipack import PiPack
+from repro.updates import BatchUpdateManager, delete, insert
+from repro.workloads.datasets import usps_like, with_distinct_fraction
+from repro.workloads.queries import percent_of_domain_ranges, random_ranges
+
+DOMAIN = 1 << 14
+
+
+def scheme_for(name, seed=11, domain=DOMAIN, **kwargs):
+    extra = {"intersection_policy": "allow"} if name.startswith("constant") else {}
+    extra.update(kwargs)
+    return make_scheme(name, domain, rng=random.Random(seed), **extra)
+
+
+@pytest.mark.parametrize("name", EXPERIMENT_SCHEMES)
+def test_realistic_uniform_workload(name):
+    records = with_distinct_fraction(800, DOMAIN, 0.95, seed=21)
+    oracle = PlaintextRangeIndex(records)
+    scheme = scheme_for(name)
+    scheme.build_index(records)
+    for lo, hi in random_ranges(DOMAIN, 15, seed=22):
+        assert sorted(scheme.query(lo, hi).ids) == sorted(oracle.query(lo, hi))
+
+
+@pytest.mark.parametrize("name", ("logarithmic-src", "logarithmic-src-i"))
+def test_realistic_skewed_workload(name):
+    records = usps_like(800, seed=23)
+    domain = 276_841
+    oracle = PlaintextRangeIndex(records)
+    scheme = scheme_for(name, domain=domain)
+    scheme.build_index(records)
+    for lo, hi in percent_of_domain_ranges(domain, 5, 10, seed=24):
+        outcome = scheme.query(lo, hi)
+        assert sorted(outcome.ids) == sorted(oracle.query(lo, hi))
+        assert outcome.false_positive_rate <= 1.0
+
+
+class TestServerBoundary:
+    """The EDB must survive serialization — i.e. actually be shippable."""
+
+    def test_logarithmic_index_round_trips(self, small_records, small_oracle):
+        scheme = scheme_for("logarithmic-brc", domain=512)
+        scheme.build_index(small_records)
+        # Simulate upload/download of the EDB.
+        wire = scheme._index.to_bytes()
+        scheme._index = EncryptedIndex.from_bytes(wire)
+        assert sorted(scheme.query(10, 200).ids) == sorted(
+            small_oracle.query(10, 200)
+        )
+
+    def test_src_i_double_index_round_trips(self, small_records, small_oracle):
+        scheme = scheme_for("logarithmic-src-i", domain=512)
+        scheme.build_index(small_records)
+        scheme._index1 = EncryptedIndex.from_bytes(scheme._index1.to_bytes())
+        scheme._index2 = EncryptedIndex.from_bytes(scheme._index2.to_bytes())
+        assert sorted(scheme.query(10, 200).ids) == sorted(
+            small_oracle.query(10, 200)
+        )
+
+
+class TestQueryOutcomeAccounting:
+    def test_token_bytes_positive_and_consistent(self, small_records):
+        for name in EXPERIMENT_SCHEMES:
+            scheme = scheme_for(name, domain=512)
+            scheme.build_index(small_records)
+            outcome = scheme.query(100, 300)
+            assert outcome.token_bytes > 0, name
+            assert outcome.trapdoor_seconds >= 0 and outcome.server_seconds >= 0
+
+    def test_src_constant_token_size_independent_of_range(self, small_records):
+        scheme = scheme_for("logarithmic-src", domain=512)
+        scheme.build_index(small_records)
+        sizes = {scheme.query(lo, hi).token_bytes for lo, hi in [(0, 3), (0, 400), (77, 300)]}
+        assert len(sizes) == 1
+
+    def test_result_size_property(self, small_records, small_oracle):
+        scheme = scheme_for("logarithmic-brc", domain=512)
+        scheme.build_index(small_records)
+        outcome = scheme.query(0, 511)
+        assert outcome.result_size == len(small_oracle.query(0, 511))
+        assert outcome.false_positive_rate == 0.0
+
+
+class TestUpdateManagerWithEveryScheme:
+    @pytest.mark.parametrize("name", EXPERIMENT_SCHEMES)
+    def test_insert_delete_cycle(self, name):
+        seeder = random.Random(31)
+        mgr = BatchUpdateManager(
+            lambda: scheme_for(name, seed=seeder.randrange(2**62), domain=1 << 10),
+            consolidation_step=2,
+            rng=random.Random(32),
+        )
+        mgr.apply_batch([insert(i, (37 * i) % 1024) for i in range(30)])
+        mgr.apply_batch([delete(5, (37 * 5) % 1024), insert(100, 512)])
+        expected = {i for i in range(30) if i != 5 and 100 <= (37 * i) % 1024 <= 600}
+        expected |= {100}
+        assert mgr.query(100, 600).ids == expected
+
+
+class TestBlackBoxSseSwap:
+    def test_pipack_block_sizes(self, small_records, small_oracle):
+        for block_size in (1, 4, 32):
+            factory = lambda deriver: PiPack(deriver, block_size=block_size)  # noqa: E731
+            scheme = scheme_for("logarithmic-src", domain=512, sse_factory=factory)
+            scheme.build_index(small_records)
+            assert sorted(scheme.query(20, 450).ids) == sorted(
+                small_oracle.query(20, 450)
+            )
+
+    def test_packing_shrinks_long_posting_lists(self):
+        """Packing wins when posting lists are long (few distinct values);
+        on sparse lists the block padding can dominate — that is the
+        space/padding trade-off the paper's S/K parameters tune."""
+        heavy = [(i, (i % 4) * 100) for i in range(300)]  # 4 distinct values
+        for name in ("logarithmic-brc", "logarithmic-src"):
+            flat = scheme_for(name, domain=512)
+            packed = scheme_for(
+                name,
+                domain=512,
+                sse_factory=lambda d: PiPack(d, block_size=16),
+            )
+            flat.build_index(heavy)
+            packed.build_index(heavy)
+            assert packed.index_size_bytes() < flat.index_size_bytes(), name
+
+
+class TestScaleSmoke:
+    @pytest.mark.slow
+    def test_ten_thousand_records(self):
+        records = with_distinct_fraction(10_000, 1 << 20, 0.95, seed=41)
+        oracle = PlaintextRangeIndex(records)
+        scheme = scheme_for("logarithmic-src-i", domain=1 << 20)
+        scheme.build_index(records)
+        for lo, hi in random_ranges(1 << 20, 5, seed=42):
+            assert sorted(scheme.query(lo, hi).ids) == sorted(oracle.query(lo, hi))

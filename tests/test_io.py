@@ -1,0 +1,124 @@
+"""Tests for the keystore and snapshot persistence layer."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.plaintext import PlaintextRangeIndex
+from repro.core.registry import EXPERIMENT_SCHEMES, make_scheme
+from repro.errors import IndexStateError, IntegrityError, QueryIntersectionError
+from repro.io import dump_scheme, load_scheme, restore_scheme, save_scheme, unwrap, wrap
+
+
+class TestKeystore:
+    def test_round_trip(self):
+        blob = wrap(b"secret-keys", "hunter2", iterations=1000)
+        assert unwrap(blob, "hunter2") == b"secret-keys"
+
+    def test_wrong_passphrase(self):
+        blob = wrap(b"secret-keys", "hunter2", iterations=1000)
+        with pytest.raises(IntegrityError):
+            unwrap(blob, "hunter3")
+
+    def test_tampered_blob(self):
+        blob = bytearray(wrap(b"secret-keys", "hunter2", iterations=1000))
+        blob[-1] ^= 0x01
+        with pytest.raises(IntegrityError):
+            unwrap(bytes(blob), "hunter2")
+
+    def test_not_a_keystore(self):
+        with pytest.raises(IntegrityError):
+            unwrap(b"garbage", "x")
+
+    def test_randomized_wrapping(self):
+        a = wrap(b"same", "pw", iterations=1000)
+        b = wrap(b"same", "pw", iterations=1000)
+        assert a != b  # fresh salt + nonce every time
+
+    def test_unicode_passphrase(self):
+        blob = wrap(b"s", "päßwörd ✓", iterations=1000)
+        assert unwrap(blob, "päßwörd ✓") == b"s"
+
+
+def build(name, records, domain=512, seed=1):
+    extra = {"intersection_policy": "allow"} if name.startswith("constant") else {}
+    scheme = make_scheme(name, domain, rng=random.Random(seed), **extra)
+    scheme.build_index(records)
+    return scheme
+
+
+@pytest.mark.parametrize("name", EXPERIMENT_SCHEMES)
+class TestSnapshotRoundTrip:
+    def test_restored_scheme_answers_identically(self, name, small_records, small_oracle):
+        scheme = build(name, small_records)
+        restored = restore_scheme(dump_scheme(scheme))
+        if name.startswith("constant"):
+            restored.guard.policy = "allow"
+        for lo, hi in [(0, 511), (37, 411), (250, 250)]:
+            assert sorted(restored.query(lo, hi).ids) == sorted(
+                small_oracle.query(lo, hi)
+            )
+
+    def test_file_round_trip_with_passphrase(
+        self, name, small_records, small_oracle, tmp_path
+    ):
+        scheme = build(name, small_records)
+        path = tmp_path / "index.rsse"
+        save_scheme(scheme, path, passphrase="s3cret")
+        restored = load_scheme(path, passphrase="s3cret")
+        if name.startswith("constant"):
+            restored.guard.policy = "allow"
+        assert sorted(restored.query(10, 60).ids) == sorted(
+            small_oracle.query(10, 60)
+        )
+
+    def test_wrong_passphrase_rejected(self, name, small_records, tmp_path):
+        scheme = build(name, small_records)
+        path = tmp_path / "index.rsse"
+        save_scheme(scheme, path, passphrase="right")
+        with pytest.raises(IntegrityError):
+            load_scheme(path, passphrase="wrong")
+
+
+class TestSnapshotEdgeCases:
+    def test_unbuilt_scheme_rejected(self):
+        scheme = make_scheme("logarithmic-brc", 64)
+        with pytest.raises(IndexStateError):
+            dump_scheme(scheme)
+
+    def test_truncated_snapshot(self, small_records):
+        blob = dump_scheme(build("logarithmic-brc", small_records))
+        with pytest.raises(IntegrityError):
+            restore_scheme(blob[: len(blob) // 2])
+
+    def test_trailing_garbage_rejected(self, small_records):
+        blob = dump_scheme(build("logarithmic-brc", small_records))
+        with pytest.raises(IntegrityError):
+            restore_scheme(blob + b"extra")
+
+    def test_not_a_snapshot(self):
+        with pytest.raises(IntegrityError):
+            restore_scheme(b"whatever this is")
+
+    def test_guard_history_survives(self, small_records):
+        """The Constant schemes' non-intersection constraint must hold
+        across save/load — old queries stay forbidden territory."""
+        scheme = make_scheme("constant-brc", 512, rng=random.Random(1))
+        scheme.build_index(small_records)
+        scheme.query(10, 20)
+        restored = restore_scheme(dump_scheme(scheme))
+        with pytest.raises(QueryIntersectionError):
+            restored.query(15, 30)
+        restored.query(30, 40)  # disjoint: still fine
+
+    def test_empty_dataset_snapshot(self):
+        scheme = build("logarithmic-src", [])
+        restored = restore_scheme(dump_scheme(scheme))
+        assert restored.query(0, 511).ids == frozenset()
+
+    def test_src_i_distinct_values_survive(self, small_records):
+        scheme = build("logarithmic-src-i", small_records)
+        restored = restore_scheme(dump_scheme(scheme))
+        assert restored.distinct_values == scheme.distinct_values

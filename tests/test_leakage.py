@@ -1,0 +1,137 @@
+"""Tests for leakage profiles and the leakage-only adversaries.
+
+These tests mechanize Table 1's security ranking: the information an
+adversary extracts must strictly shrink going Constant → Logarithmic →
+SRC, and each leakage function must expose exactly what the paper's L2
+definitions say — no more, no less.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.dprf import COVER_BRC, COVER_URC
+from repro.leakage import (
+    constant_leakage,
+    distinct_value_disclosure,
+    group_order_reconstruction,
+    logarithmic_leakage,
+    order_reconstruction,
+    ordered_pair_accuracy,
+    partition_entropy,
+    src_i_leakage,
+    src_leakage,
+)
+
+DOMAIN = 256
+
+
+@pytest.fixture
+def records(rng):
+    return [(i, rng.randrange(DOMAIN)) for i in range(150)]
+
+
+QUERIES = [(10, 90), (100, 200), (5, 250), (30, 60)]
+
+
+class TestConstantLeakage:
+    def test_discloses_offsets(self, records):
+        _, trace = constant_leakage(records, DOMAIN, QUERIES)
+        assert any(node.id_offsets for q in trace for node in q.nodes)
+
+    def test_order_reconstruction_sound(self, records):
+        _, trace = constant_leakage(records, DOMAIN, QUERIES)
+        pairs = order_reconstruction(trace)
+        assert pairs
+        assert ordered_pair_accuracy(pairs, records) == 1.0
+
+    def test_levels_disclosed(self, records):
+        _, trace = constant_leakage(records, DOMAIN, QUERIES)
+        assert all(node.level is not None for q in trace for node in q.nodes)
+
+    def test_urc_cover_also_supported(self, records):
+        _, trace = constant_leakage(records, DOMAIN, QUERIES, cover=COVER_URC)
+        assert order_reconstruction(trace)
+
+    def test_l1_is_n_and_m(self, records):
+        profile, _ = constant_leakage(records, DOMAIN, QUERIES)
+        assert profile.n == len(records) and profile.m == DOMAIN
+        assert profile.distinct_values is None
+
+
+class TestLogarithmicLeakage:
+    def test_no_offsets_disclosed(self, records):
+        _, trace = logarithmic_leakage(records, DOMAIN, QUERIES)
+        assert all(node.id_offsets is None for q in trace for node in q.nodes)
+        assert order_reconstruction(trace) == set()
+
+    def test_partitioning_disclosed(self, records):
+        _, trace = logarithmic_leakage(records, DOMAIN, QUERIES)
+        multi_group = [q for q in trace if len([n for n in q.nodes if n.ids]) > 1]
+        assert multi_group, "BRC covers should split results into groups"
+        assert partition_entropy(trace) > 0
+
+    def test_group_union_is_access_pattern(self, records):
+        _, trace = logarithmic_leakage(records, DOMAIN, QUERIES)
+        for q in trace:
+            union = sorted(i for node in q.nodes for i in node.ids)
+            assert union == sorted(q.access_pattern)
+
+
+class TestSrcLeakage:
+    def test_single_group_zero_entropy(self, records):
+        _, trace = src_leakage(records, DOMAIN, QUERIES)
+        assert all(len(q.nodes) == 1 for q in trace)
+        assert partition_entropy(trace) == 0.0
+        assert order_reconstruction(trace) == set()
+        assert group_order_reconstruction(trace) == set()
+
+    def test_access_pattern_includes_false_positives(self):
+        # One tuple in range, heavy value just outside: the SRC node
+        # leaks the flood — the paper's motivating example for SRC-i.
+        records = [(0, 4)] + [(i + 1, 2) for i in range(50)]
+        _, trace = src_leakage(records, 8, [(3, 5)])
+        assert len(trace[0].access_pattern) == 51
+
+    def test_search_pattern_collapses_same_cover(self, records):
+        # Figure 3: [2,7] and [1,6] both SRC-cover to the root.
+        _, trace = src_leakage(records, 8, [(2, 7), (1, 6)])
+        assert trace[1].repeats_query == 0
+
+
+class TestSrcILeakage:
+    def test_l1_reveals_distinct_count(self, records):
+        profile, _ = src_i_leakage(records, DOMAIN, QUERIES)
+        assert profile.distinct_values == len({v for _, v in records})
+
+    def test_round2_window_smaller_than_src_flood(self):
+        records = [(0, 4)] + [(i + 1, 2) for i in range(50)]
+        _, src_trace = src_leakage(records, 8, [(3, 5)])
+        _, srci_trace = src_i_leakage(records, 8, [(3, 5)])
+        assert len(srci_trace[0].access_pattern) < len(src_trace[0].access_pattern)
+
+    def test_disclosure_counts_nonnegative(self, records):
+        _, trace = src_i_leakage(records, DOMAIN, QUERIES)
+        assert all(c >= 0 for c in distinct_value_disclosure(trace))
+
+
+class TestSecurityRanking:
+    def test_strictly_less_information_up_the_ranking(self, records):
+        """Table 1's ordering, measured: exact-order pairs and partition
+        entropy shrink monotonically Constant → Logarithmic → SRC."""
+        _, tc = constant_leakage(records, DOMAIN, QUERIES)
+        _, tl = logarithmic_leakage(records, DOMAIN, QUERIES)
+        _, ts = src_leakage(records, DOMAIN, QUERIES)
+        assert len(order_reconstruction(tc)) > 0
+        assert len(order_reconstruction(tl)) == 0
+        assert len(order_reconstruction(ts)) == 0
+        assert partition_entropy(tl) > partition_entropy(ts) == 0.0
+
+    def test_search_patterns_shared_by_all(self, records):
+        for fn in (constant_leakage, logarithmic_leakage):
+            _, trace = fn(records, DOMAIN, [(5, 9), (5, 9), (6, 9)])
+            assert trace[0].repeats_query is None
+            assert trace[1].repeats_query == 0
+            assert trace[2].repeats_query is None

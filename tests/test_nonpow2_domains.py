@@ -1,0 +1,100 @@
+"""Non-power-of-two domains: the padding boundary is where bugs live.
+
+Every tree in the library pads the domain to ``2^ceil(log2 m)``; values
+and queries near ``m-1`` sit against padding the server must never
+conflate with real data.  These tests pin the boundary for every scheme
+and substrate.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.pb import PbScheme
+from repro.baselines.plaintext import PlaintextRangeIndex
+from repro.core.registry import EXPERIMENT_SCHEMES, make_scheme
+from repro.covers.brc import best_range_cover
+from repro.covers.tdag import Tdag
+from repro.covers.urc import uniform_range_cover
+from repro.crypto.dprf import GgmDprf
+from repro.errors import DomainError
+
+#: Deliberately awkward domain sizes: odd, prime, one-past-pow2, pow2-1.
+DOMAINS = (3, 97, 300, 513, 1023)
+
+
+def records_for(domain, n=80, seed=1):
+    rng = random.Random(seed)
+    values = [rng.randrange(domain) for _ in range(n - 2)]
+    values += [0, domain - 1]  # force both extremes into the dataset
+    return [(i, v) for i, v in enumerate(values)]
+
+
+@pytest.mark.parametrize("domain", DOMAINS)
+@pytest.mark.parametrize("name", EXPERIMENT_SCHEMES)
+class TestSchemesOnAwkwardDomains:
+    def test_boundary_queries_exact(self, name, domain):
+        records = records_for(domain)
+        oracle = PlaintextRangeIndex(records)
+        extra = {"intersection_policy": "allow"} if name.startswith("constant") else {}
+        scheme = make_scheme(name, domain, rng=random.Random(2), **extra)
+        scheme.build_index(records)
+        probes = [
+            (0, domain - 1),
+            (domain - 1, domain - 1),
+            (0, 0),
+            (domain // 2, domain - 1),
+        ]
+        for lo, hi in probes:
+            assert sorted(scheme.query(lo, hi).ids) == sorted(
+                oracle.query(lo, hi)
+            ), (name, domain, lo, hi)
+
+    def test_padding_values_rejected(self, name, domain):
+        extra = {"intersection_policy": "allow"} if name.startswith("constant") else {}
+        scheme = make_scheme(name, domain, rng=random.Random(2), **extra)
+        with pytest.raises(DomainError):
+            scheme.build_index([(0, domain)])  # first padded value
+        scheme2 = make_scheme(name, domain, rng=random.Random(2), **extra)
+        scheme2.build_index([(0, 0)])
+        with pytest.raises(DomainError):
+            scheme2.query(0, domain)
+
+
+@pytest.mark.parametrize("domain", DOMAINS)
+class TestSubstratesOnAwkwardDomains:
+    def test_pb_boundary(self, domain):
+        records = records_for(domain, n=40)
+        oracle = PlaintextRangeIndex(records)
+        scheme = PbScheme(domain, rng=random.Random(3))
+        scheme.build_index(records)
+        assert sorted(scheme.query(0, domain - 1).ids) == sorted(
+            oracle.query(0, domain - 1)
+        )
+
+    def test_covers_never_emit_padding_only_nodes_for_real_ranges(self, domain):
+        # Covers of in-domain ranges may extend into padding only via a
+        # node that also contains real values — but BRC/URC are exact,
+        # so no emitted node may lie entirely in padding.
+        for cover_fn in (best_range_cover, uniform_range_cover):
+            nodes = cover_fn(0, domain - 1)
+            for node in nodes:
+                assert node.lo <= domain - 1
+
+    def test_tdag_src_cover_at_boundary(self, domain):
+        tdag = Tdag(domain)
+        node = tdag.src_cover(domain - 1, domain - 1)
+        assert node.covers_value(domain - 1)
+        node_full = tdag.src_cover(0, domain - 1)
+        assert node_full.covers_range(0, domain - 1)
+
+    def test_dprf_delegation_at_boundary(self, domain):
+        dprf = GgmDprf(domain)
+        key = GgmDprf.generate_key(random.Random(4))
+        lo = max(0, domain - 5)
+        tokens = dprf.delegate(key, lo, domain - 1, shuffle_rng=random.Random(0))
+        expanded = sorted(GgmDprf.expand_all(tokens))
+        direct = sorted(dprf.evaluate(key, v) for v in range(lo, domain))
+        assert expanded == direct

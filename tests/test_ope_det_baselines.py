@@ -1,0 +1,177 @@
+"""Tests for the OPE and DET-bucketization baselines and their attacks."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.det_bucket import DetBucketIndex
+from repro.baselines.ope import BoldyrevaOpe, OpeRangeIndex
+from repro.baselines.plaintext import PlaintextRangeIndex
+from repro.crypto.prf import generate_key
+from repro.errors import DomainError
+from repro.leakage.baseline_attacks import (
+    det_histogram_attack,
+    edb_at_rest_attack,
+    ope_rank_attack,
+)
+
+KEY = generate_key(random.Random(1))
+
+
+class TestBoldyrevaOpe:
+    def test_deterministic(self):
+        ope = BoldyrevaOpe(KEY, 1 << 10)
+        assert ope.encrypt(500) == ope.encrypt(500)
+
+    def test_strictly_monotone_exhaustive_small(self):
+        ope = BoldyrevaOpe(KEY, 256)
+        cts = [ope.encrypt(v) for v in range(256)]
+        assert all(a < b for a, b in zip(cts, cts[1:]))
+
+    def test_ciphertexts_within_space(self):
+        ope = BoldyrevaOpe(KEY, 256, expansion=4)
+        for v in range(0, 256, 17):
+            assert 0 <= ope.encrypt(v) < ope.cipher_space
+
+    def test_key_sensitivity(self):
+        other = generate_key(random.Random(2))
+        a = BoldyrevaOpe(KEY, 1 << 10)
+        b = BoldyrevaOpe(other, 1 << 10)
+        assert [a.encrypt(v) for v in range(0, 1024, 100)] != [
+            b.encrypt(v) for v in range(0, 1024, 100)
+        ]
+
+    @given(st.integers(2, 1 << 16), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_random_pairs(self, domain, data):
+        v1 = data.draw(st.integers(0, domain - 1))
+        v2 = data.draw(st.integers(0, domain - 1))
+        ope = BoldyrevaOpe(KEY, domain)
+        c1, c2 = ope.encrypt(v1), ope.encrypt(v2)
+        assert (v1 < v2) == (c1 < c2) or v1 == v2
+
+    def test_domain_checks(self):
+        ope = BoldyrevaOpe(KEY, 16)
+        with pytest.raises(DomainError):
+            ope.encrypt(16)
+        with pytest.raises(DomainError):
+            BoldyrevaOpe(KEY, 0)
+        with pytest.raises(DomainError):
+            BoldyrevaOpe(KEY, 16, expansion=1)
+
+
+class TestOpeRangeIndex:
+    def test_matches_oracle(self, small_records, small_oracle):
+        index = OpeRangeIndex(KEY, 512)
+        index.build_index(small_records)
+        for lo, hi in [(0, 511), (10, 40), (250, 250), (100, 300)]:
+            assert sorted(index.query(lo, hi)) == sorted(small_oracle.query(lo, hi))
+
+    def test_no_false_positives(self, small_records, small_oracle):
+        index = OpeRangeIndex(KEY, 512)
+        index.build_index(small_records)
+        assert len(index.query(100, 300)) == small_oracle.count(100, 300)
+
+    def test_inverted_range_empty(self, small_records):
+        index = OpeRangeIndex(KEY, 512)
+        index.build_index(small_records)
+        assert index.query(40, 10) == []
+
+    def test_index_size(self, small_records):
+        index = OpeRangeIndex(KEY, 512)
+        index.build_index(small_records)
+        assert index.index_size_bytes() == 16 * len(small_records)
+
+
+class TestDetBucketIndex:
+    def test_superset_of_oracle(self, small_records, small_oracle):
+        index = DetBucketIndex(KEY, 512, buckets=32)
+        index.build_index(small_records)
+        for lo, hi in [(0, 511), (10, 40), (250, 250)]:
+            assert set(small_oracle.query(lo, hi)) <= set(index.query(lo, hi))
+
+    def test_edge_false_positives_only(self, small_records):
+        """FPs can come only from the two edge buckets of the range."""
+        index = DetBucketIndex(KEY, 512, buckets=32)
+        index.build_index(small_records)
+        values = dict(small_records)
+        width = index._width
+        lo, hi = 100, 300
+        for doc_id in index.query(lo, hi):
+            v = values[doc_id]
+            assert (lo // width) * width <= v < (hi // width + 1) * width
+
+    def test_fewer_buckets_more_false_positives(self, small_records, small_oracle):
+        coarse = DetBucketIndex(KEY, 512, buckets=4)
+        fine = DetBucketIndex(KEY, 512, buckets=128)
+        for index in (coarse, fine):
+            index.build_index(small_records)
+        r = small_oracle.count(100, 140)
+        assert len(coarse.query(100, 140)) - r >= len(fine.query(100, 140)) - r
+
+    def test_exact_when_buckets_equal_domain(self, small_records, small_oracle):
+        index = DetBucketIndex(KEY, 512, buckets=512)
+        index.build_index(small_records)
+        assert sorted(index.query(7, 300)) == sorted(small_oracle.query(7, 300))
+
+    def test_histogram_is_visible(self, skewed_records):
+        index = DetBucketIndex(KEY, 512, buckets=16)
+        index.build_index(skewed_records)
+        hist = index.histogram_view()
+        # The heavy value's bucket dominates — exactly the leak.
+        assert max(hist) >= 200
+
+    def test_bucket_bounds(self):
+        with pytest.raises(DomainError):
+            DetBucketIndex(KEY, 16, buckets=0)
+        with pytest.raises(DomainError):
+            DetBucketIndex(KEY, 16, buckets=17)
+
+
+class TestBaselineAttacks:
+    def test_ope_order_fully_recovered(self, small_records):
+        index = OpeRangeIndex(KEY, 512)
+        index.build_index(small_records)
+        values = dict(small_records)
+        truth = [values[i] for i in index._ids]
+        result = ope_rank_attack(
+            index.ciphertexts(), index.ope.cipher_space, 512, truth
+        )
+        assert result.rank_correlation > 0.999
+        assert result.mean_relative_error < 0.25
+
+    def test_ope_attack_on_uniform_data_estimates_values(self):
+        rng = random.Random(3)
+        records = [(i, rng.randrange(1 << 12)) for i in range(500)]
+        index = OpeRangeIndex(KEY, 1 << 12)
+        index.build_index(records)
+        values = dict(records)
+        truth = [values[i] for i in index._ids]
+        result = ope_rank_attack(
+            index.ciphertexts(), index.ope.cipher_space, 1 << 12, truth
+        )
+        assert result.mean_relative_error < 0.15  # values nearly recovered
+
+    def test_det_attack_localizes_skewed_data(self, skewed_records):
+        index = DetBucketIndex(KEY, 512, buckets=16)
+        index.build_index(skewed_records)
+        occupancies = [len(ids) for ids in index._store.values()]
+        # Perfect auxiliary knowledge: the reference IS the histogram.
+        result = det_histogram_attack(occupancies, occupancies)
+        assert result.histogram_distance == 0.0
+        assert result.localization_accuracy > 0.5
+
+    def test_rsse_edb_yields_nothing(self, small_records):
+        from repro.core.logarithmic import LogarithmicBrc
+
+        scheme = LogarithmicBrc(512, rng=random.Random(4))
+        scheme.build_index(small_records)
+        result = edb_at_rest_attack(scheme._index.to_bytes())
+        assert result.rank_correlation == 0.0
+
+    def test_empty_inputs(self):
+        assert ope_rank_attack([], 10, 10, []).rank_correlation == 0.0
+        assert det_histogram_attack([], []).localization_accuracy == 0.0

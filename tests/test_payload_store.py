@@ -1,0 +1,61 @@
+"""Tests for the encrypted document payload store."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.registry import make_scheme
+from repro.errors import DomainError, IntegrityError
+
+
+def build_with_payloads(name="logarithmic-brc", seed=1):
+    scheme = make_scheme(name, 512, rng=random.Random(seed))
+    records = [(i, i * 5 % 512) for i in range(40)]
+    payloads = {i: b"document-body-%d" % i for i in range(0, 40, 2)}
+    scheme.build_index(records, payloads=payloads)
+    return scheme, records, payloads
+
+
+class TestPayloadStore:
+    def test_query_then_fetch(self):
+        scheme, records, payloads = build_with_payloads()
+        outcome = scheme.query(0, 511)
+        docs = scheme.fetch_payloads(sorted(outcome.ids))
+        assert docs == payloads  # only even ids carried documents
+
+    def test_partial_coverage_is_fine(self):
+        scheme, _, _ = build_with_payloads()
+        docs = scheme.fetch_payloads([1, 3, 5])  # odd ids: no payloads
+        assert docs == {}
+
+    def test_payloads_encrypted_at_rest(self):
+        scheme, _, payloads = build_with_payloads()
+        for doc_id, blob in scheme._payload_store.items():
+            assert payloads[doc_id] not in blob
+
+    def test_unknown_payload_id_rejected(self):
+        scheme = make_scheme("logarithmic-brc", 512, rng=random.Random(2))
+        with pytest.raises(DomainError):
+            scheme.build_index([(0, 5)], payloads={9: b"orphan"})
+
+    def test_tampered_payload_detected(self):
+        scheme, _, _ = build_with_payloads()
+        blob = bytearray(scheme._payload_store[0])
+        blob[-1] ^= 0xFF
+        scheme._payload_store[0] = bytes(blob)
+        with pytest.raises(IntegrityError):
+            scheme.fetch_payloads([0])
+
+    def test_works_for_src_i(self):
+        scheme, records, payloads = build_with_payloads("logarithmic-src-i", seed=3)
+        outcome = scheme.query(0, 100)
+        matched_payload_ids = sorted(set(outcome.ids) & set(payloads))
+        docs = scheme.fetch_payloads(sorted(outcome.ids))
+        assert sorted(docs) == matched_payload_ids
+
+    def test_empty_payloads_default(self):
+        scheme = make_scheme("logarithmic-brc", 512, rng=random.Random(4))
+        scheme.build_index([(0, 5)])
+        assert scheme.fetch_payloads([0]) == {}

@@ -1,0 +1,95 @@
+"""Unit tests for the PB baseline (Li et al.)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.pb import PbScheme
+from repro.baselines.plaintext import PlaintextRangeIndex
+
+
+def build_pb(records, domain=512, seed=3, **kwargs):
+    scheme = PbScheme(domain, rng=random.Random(seed), **kwargs)
+    scheme.build_index(records)
+    return scheme
+
+
+class TestCorrectness:
+    def test_no_false_negatives(self, small_records, small_oracle):
+        scheme = build_pb(small_records)
+        for lo, hi in [(0, 511), (10, 40), (250, 250), (100, 300)]:
+            returned = set(scheme.search(scheme.trapdoor(lo, hi)))
+            assert set(small_oracle.query(lo, hi)) <= returned
+
+    def test_refined_results_exact(self, small_records, small_oracle):
+        scheme = build_pb(small_records)
+        for lo, hi in [(0, 511), (10, 40), (250, 250)]:
+            assert sorted(scheme.query(lo, hi).ids) == sorted(
+                small_oracle.query(lo, hi)
+            )
+
+    def test_empty_dataset(self):
+        scheme = build_pb([])
+        assert scheme.query(0, 511).ids == frozenset()
+
+    def test_bloom_fp_rate_controls_false_positives(self, small_records):
+        sloppy = build_pb(small_records, fp_rate=0.2)
+        tight = build_pb(small_records, fp_rate=0.001)
+        queries = [(10, 40), (100, 300), (400, 500)]
+        fps_sloppy = sum(sloppy.query(lo, hi).false_positives for lo, hi in queries)
+        fps_tight = sum(tight.query(lo, hi).false_positives for lo, hi in queries)
+        assert fps_tight <= fps_sloppy
+
+    def test_tighter_filter_costs_more_storage(self, small_records):
+        sloppy = build_pb(small_records, fp_rate=0.2)
+        tight = build_pb(small_records, fp_rate=0.001)
+        assert tight.index_size_bytes() > sloppy.index_size_bytes()
+
+
+class TestStructure:
+    def test_storage_superlinear_in_n(self):
+        """PB is O(n log n log m): per-tuple bytes must *grow* with n,
+        whereas Logarithmic's O(n log m) per-tuple bytes stay flat.
+        (At laptop scale PB's absolute size can still be smaller — the
+        log n factor only dominates at the paper's millions of tuples.)
+        """
+        from repro.core.logarithmic import LogarithmicBrc
+
+        def per_tuple(scheme_cls, n, **kwargs):
+            rng = random.Random(1)
+            records = [(i, rng.randrange(1 << 14)) for i in range(n)]
+            scheme = scheme_cls(1 << 14, rng=random.Random(2), **kwargs)
+            scheme.build_index(records)
+            return scheme.index_size_bytes() / n
+
+        assert per_tuple(PbScheme, 1024) > per_tuple(PbScheme, 128) * 1.15
+        log_small = per_tuple(LogarithmicBrc, 128)
+        log_large = per_tuple(LogarithmicBrc, 1024)
+        assert abs(log_large - log_small) / log_small < 0.05
+
+    def test_trapdoor_is_brc_sized(self):
+        scheme = build_pb([(0, 5)])
+        token = scheme.trapdoor(2, 7)
+        assert len(token) == 2  # BRC of [2,7] = 2 nodes
+
+    def test_trapdoor_labels_keyed(self):
+        a = PbScheme(512, rng=random.Random(1))
+        b = PbScheme(512, rng=random.Random(2))
+        for scheme in (a, b):
+            scheme.build_index([(0, 5)])
+        assert set(a.trapdoor(2, 7).labels) != set(b.trapdoor(2, 7).labels)
+
+    def test_foreign_trapdoor_finds_near_nothing(self, small_records):
+        scheme = build_pb(small_records)
+        foreign = PbScheme(512, rng=random.Random(99))
+        foreign.build_index(small_records)
+        token = foreign.trapdoor(0, 511)
+        # Foreign labels only hit via Bloom false positives, never the
+        # full result set.
+        assert len(scheme.search(token)) < len(small_records) // 2
+
+    def test_node_count_is_2n_minus_1(self, small_records):
+        scheme = build_pb(small_records)
+        assert scheme._node_count == 2 * len(small_records) - 1

@@ -1,0 +1,118 @@
+"""Tests for the Π_2lev two-level SSE backend."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.plaintext import PlaintextRangeIndex
+from repro.core.registry import EXPERIMENT_SCHEMES, make_scheme
+from repro.crypto.prf import generate_key
+from repro.errors import TokenError
+from repro.sse.base import PrfKeyDeriver
+from repro.sse.encoding import encode_id
+from repro.sse.pi2lev import Pi2Lev
+from repro.sse.pibas import PiBas
+
+KEY = generate_key(random.Random(1))
+
+
+def make(block_factor=8, inline_limit=2, seed=0):
+    return Pi2Lev(
+        PrfKeyDeriver(KEY),
+        block_factor=block_factor,
+        inline_limit=inline_limit,
+        shuffle_rng=random.Random(seed),
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("count", [0, 1, 2, 3, 7, 8, 9, 16, 17, 100])
+    def test_list_lengths_around_boundaries(self, count):
+        sse = make()
+        payloads = [encode_id(i) for i in range(count)]
+        index = sse.build_index({b"w": payloads})
+        assert sorted(sse.search(index, sse.trapdoor(b"w"))) == sorted(payloads)
+
+    def test_mixed_short_and_long_lists(self):
+        sse = make()
+        multimap = {
+            b"short": [encode_id(1)],
+            b"medium": [encode_id(i) for i in range(5)],
+            b"long": [encode_id(i) for i in range(100, 180)],
+        }
+        index = sse.build_index(multimap)
+        for kw, payloads in multimap.items():
+            assert sorted(sse.search(index, sse.trapdoor(kw))) == sorted(payloads)
+
+    def test_absent_keyword(self):
+        sse = make()
+        index = sse.build_index({b"w": [encode_id(1)]})
+        assert sse.search(index, sse.trapdoor(b"other")) == []
+
+    @given(
+        st.dictionaries(
+            st.binary(min_size=1, max_size=6),
+            st.lists(st.integers(0, 1 << 30), max_size=40),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_random(self, raw):
+        multimap = {kw: [encode_id(i) for i in ids] for kw, ids in raw.items()}
+        sse = make()
+        index = sse.build_index(multimap)
+        for kw, payloads in multimap.items():
+            assert sorted(sse.search(index, sse.trapdoor(kw))) == sorted(payloads)
+
+
+class TestTwoLevelStructure:
+    def test_short_lists_are_single_entry(self):
+        sse = make(inline_limit=2)
+        index = sse.build_index({b"w": [encode_id(1), encode_id(2)]})
+        assert len(index) == 1  # inlined: dictionary entry only
+
+    def test_long_lists_spill_blocks(self):
+        sse = make(block_factor=8, inline_limit=2)
+        index = sse.build_index({b"w": [encode_id(i) for i in range(64)]})
+        # 8 blocks + 8 pointers.
+        assert len(index) == 16
+
+    def test_storage_beats_pibas_on_heavy_lists(self):
+        payloads = [encode_id(i) for i in range(512)]
+        two_level = make(block_factor=32).build_index({b"w": payloads})
+        flat = PiBas(PrfKeyDeriver(KEY), shuffle_rng=random.Random(0)).build_index(
+            {b"w": payloads}
+        )
+        assert two_level.serialized_size() < flat.serialized_size()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            make(block_factor=0)
+        with pytest.raises(ValueError):
+            make(block_factor=8, inline_limit=9)
+
+    def test_variable_length_payloads_rejected(self):
+        sse = make()
+        with pytest.raises(TokenError):
+            sse.build_index({b"w": [b"aa", b"bbb"]})
+
+    def test_foreign_token_empty(self):
+        sse = make()
+        index = sse.build_index({b"w": [encode_id(i) for i in range(50)]})
+        foreign = PrfKeyDeriver(generate_key(random.Random(9))).derive(b"w")
+        assert sse.search(index, foreign) == []
+
+
+@pytest.mark.parametrize("name", EXPERIMENT_SCHEMES)
+def test_pi2lev_drives_every_scheme(name, small_records, small_oracle):
+    """The paper's actual SSE backend works as the black box everywhere."""
+    extra = {"intersection_policy": "allow"} if name.startswith("constant") else {}
+    scheme = make_scheme(
+        name, 512, rng=random.Random(5), sse_factory=Pi2Lev, **extra
+    )
+    scheme.build_index(small_records)
+    for lo, hi in [(37, 411), (0, 511), (250, 250)]:
+        assert sorted(scheme.query(lo, hi).ids) == sorted(small_oracle.query(lo, hi))

@@ -1,0 +1,50 @@
+"""Unit tests for the plaintext oracle index."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.plaintext import PlaintextRangeIndex
+
+
+class TestBasics:
+    def test_empty(self):
+        index = PlaintextRangeIndex([])
+        assert index.query(0, 100) == [] and index.count(0, 100) == 0
+
+    def test_point_query(self):
+        index = PlaintextRangeIndex([(1, 5), (2, 7), (3, 5)])
+        assert sorted(index.query(5, 5)) == [1, 3]
+
+    def test_inverted_range_empty(self):
+        index = PlaintextRangeIndex([(1, 5)])
+        assert index.query(9, 2) == []
+
+    def test_count_matches_query(self):
+        index = PlaintextRangeIndex([(i, i % 10) for i in range(100)])
+        for lo in range(10):
+            for hi in range(lo, 10):
+                assert index.count(lo, hi) == len(index.query(lo, hi))
+
+    def test_distinct_values(self):
+        index = PlaintextRangeIndex([(0, 1), (1, 1), (2, 2)])
+        assert index.distinct_values() == 2
+
+    def test_len(self):
+        assert len(PlaintextRangeIndex([(0, 1), (1, 2)])) == 2
+
+
+class TestBruteForceEquivalence:
+    @given(
+        st.lists(st.tuples(st.integers(0, 1000), st.integers(0, 255)), max_size=80),
+        st.integers(0, 255),
+        st.integers(0, 255),
+    )
+    @settings(max_examples=150)
+    def test_matches_scan(self, pairs, a, b):
+        # De-duplicate ids while keeping arbitrary values.
+        records = list({doc_id: value for doc_id, value in pairs}.items())
+        lo, hi = min(a, b), max(a, b)
+        index = PlaintextRangeIndex(records)
+        expected = sorted(i for i, v in records if lo <= v <= hi)
+        assert sorted(index.query(lo, hi)) == expected

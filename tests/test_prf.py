@@ -1,0 +1,110 @@
+"""Unit tests for the PRF substrate."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto import prf as prf_mod
+from repro.crypto.prf import (
+    KEY_LEN,
+    PRF_OUT_LEN,
+    derive_subkey,
+    fingerprint,
+    generate_key,
+    prf,
+    prf_truncated,
+)
+from repro.errors import KeyError_
+
+
+class TestGenerateKey:
+    def test_length(self):
+        assert len(generate_key()) == KEY_LEN
+
+    def test_distinct(self):
+        assert generate_key() != generate_key()
+
+    def test_injected_rng_is_deterministic(self):
+        a = generate_key(random.Random(1))
+        b = generate_key(random.Random(1))
+        assert a == b
+
+    def test_injected_rng_differs_from_csprng_path(self):
+        assert generate_key(random.Random(1)) != generate_key()
+
+
+class TestPrf:
+    def test_output_length(self):
+        key = generate_key(random.Random(2))
+        assert len(prf(key, b"hello")) == PRF_OUT_LEN
+
+    def test_deterministic(self):
+        key = generate_key(random.Random(2))
+        assert prf(key, b"x") == prf(key, b"x")
+
+    def test_message_sensitivity(self):
+        key = generate_key(random.Random(2))
+        assert prf(key, b"x") != prf(key, b"y")
+
+    def test_key_sensitivity(self):
+        assert prf(generate_key(random.Random(1)), b"x") != prf(
+            generate_key(random.Random(2)), b"x"
+        )
+
+    def test_empty_message_ok(self):
+        key = generate_key(random.Random(2))
+        assert len(prf(key, b"")) == PRF_OUT_LEN
+
+    @pytest.mark.parametrize("bad", [b"", b"short", b"x" * 33, b"x" * 64])
+    def test_rejects_bad_key_length(self, bad):
+        with pytest.raises(KeyError_):
+            prf(bad, b"m")
+
+    def test_rejects_non_bytes_key(self):
+        with pytest.raises(KeyError_):
+            prf("k" * 32, b"m")  # type: ignore[arg-type]
+
+    def test_accepts_bytearray_key(self):
+        key = bytearray(generate_key(random.Random(3)))
+        assert prf(key, b"m") == prf(bytes(key), b"m")
+
+
+class TestTruncation:
+    def test_is_prefix(self):
+        key = generate_key(random.Random(4))
+        assert prf_truncated(key, b"m", 16) == prf(key, b"m")[:16]
+
+    @pytest.mark.parametrize("n", [0, -1, PRF_OUT_LEN + 1])
+    def test_rejects_bad_lengths(self, n):
+        key = generate_key(random.Random(4))
+        with pytest.raises(ValueError):
+            prf_truncated(key, b"m", n)
+
+
+class TestSubkeys:
+    def test_length(self):
+        key = generate_key(random.Random(5))
+        assert len(derive_subkey(key, b"a")) == KEY_LEN
+
+    def test_purpose_separation(self):
+        key = generate_key(random.Random(5))
+        assert derive_subkey(key, b"a") != derive_subkey(key, b"b")
+
+    def test_differs_from_master(self):
+        key = generate_key(random.Random(5))
+        assert derive_subkey(key, b"a") != key
+
+    def test_usable_as_prf_key(self):
+        key = generate_key(random.Random(5))
+        sub = derive_subkey(key, b"child")
+        assert len(prf(sub, b"m")) == PRF_OUT_LEN
+
+
+class TestFingerprint:
+    def test_sha1_length(self):
+        assert len(fingerprint(b"data")) == 20
+
+    def test_deterministic_and_keyless(self):
+        assert fingerprint(b"data") == fingerprint(b"data")

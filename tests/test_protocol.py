@@ -1,0 +1,148 @@
+"""Tests for the owner ↔ server wire protocol."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.plaintext import PlaintextRangeIndex
+from repro.core.constant import ConstantBrc
+from repro.core.log_src import LogarithmicSrc
+from repro.core.logarithmic import LogarithmicBrc
+from repro.errors import IndexStateError, TokenError
+from repro.protocol import (
+    DropIndex,
+    FetchRequest,
+    RemoteRangeClient,
+    RsseServer,
+    SearchRequest,
+    UploadIndex,
+    UploadRecords,
+    parse_frame,
+    parse_message,
+)
+from repro.protocol.messages import SearchResponse, FetchResponse
+
+
+class TestFrames:
+    @pytest.mark.parametrize(
+        "message",
+        [
+            UploadIndex(7, b"edb-bytes"),
+            UploadRecords(7, [(1, b"blob1"), (2, b"blob2")]),
+            SearchRequest(7, "sse", [b"t" * 32, b"u" * 32]),
+            SearchRequest(7, "dprf", [b"s" * 33]),
+            SearchResponse([b"p1", b"p2"]),
+            FetchRequest(7, [1, 2, 3]),
+            FetchResponse([b"b1"]),
+            DropIndex(7),
+        ],
+        ids=lambda m: type(m).__name__ + "-" + getattr(m, "kind", ""),
+    )
+    def test_round_trip(self, message):
+        assert parse_message(message.to_frame()) == message
+
+    def test_truncated_frame_rejected(self):
+        with pytest.raises(TokenError):
+            parse_frame(b"\x01")
+
+    def test_length_mismatch_rejected(self):
+        frame = UploadIndex(1, b"x").to_frame()
+        with pytest.raises(TokenError):
+            parse_frame(frame + b"extra")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(TokenError):
+            parse_message(b"\x63" + (1).to_bytes(4, "big") + b"x")
+
+    def test_truncated_chunk_list_rejected(self):
+        good = SearchRequest(1, "sse", [b"t" * 32]).to_frame()
+        # Corrupt the inner chunk length to point past the body.
+        bad = bytearray(good)
+        bad[-33] = 0xFF
+        with pytest.raises(TokenError):
+            parse_message(bytes(bad))
+
+
+class TestServer:
+    def test_unknown_index_handle(self):
+        server = RsseServer()
+        with pytest.raises(IndexStateError):
+            server.handle(SearchRequest(99, "sse", [b"t" * 32]).to_frame())
+
+    def test_drop_is_idempotent(self):
+        server = RsseServer()
+        server.handle(DropIndex(4).to_frame())  # no raise
+
+    def test_bad_wire_token_length(self):
+        server = RsseServer()
+        server.handle(UploadIndex(1, b"").to_frame())
+        # Empty EDB parses as zero entries; a malformed token must raise.
+        with pytest.raises(TokenError):
+            server.handle(SearchRequest(1, "sse", [b"short"]).to_frame())
+
+    def test_stored_bytes_accounting(self):
+        server = RsseServer()
+        server.handle(UploadIndex(1, b"").to_frame())
+        server.handle(UploadRecords(1, [(5, b"0123456789")]).to_frame())
+        assert server.stored_bytes() == 8 + 10  # record id + blob; EDB empty
+        assert server.index_count() == 1
+
+
+@pytest.mark.parametrize("scheme_cls", [LogarithmicBrc, LogarithmicSrc])
+class TestRemoteRoundTrip:
+    def test_remote_equals_oracle(self, scheme_cls, small_records, small_oracle):
+        server = RsseServer()
+        scheme = scheme_cls(512, rng=random.Random(1))
+        client = RemoteRangeClient(
+            scheme, server.handle, rng=random.Random(2)
+        )
+        client.outsource(small_records)
+        # The owner kept nothing but keys:
+        assert scheme._index is None and scheme._encrypted_store == {}
+        for lo, hi in [(0, 511), (37, 411), (250, 250)]:
+            assert sorted(client.query(lo, hi)) == sorted(small_oracle.query(lo, hi))
+
+    def test_retire_removes_server_state(self, scheme_cls, small_records):
+        server = RsseServer()
+        client = RemoteRangeClient(
+            scheme_cls(512, rng=random.Random(1)), server.handle, rng=random.Random(2)
+        )
+        client.outsource(small_records)
+        assert server.index_count() == 1
+        client.retire()
+        assert server.index_count() == 0
+        with pytest.raises(IndexStateError):
+            client.query(0, 10)
+
+
+class TestRemoteDprf:
+    def test_constant_scheme_over_the_wire(self, small_records, small_oracle):
+        """Drive a Constant-BRC search through DPRF wire tokens manually:
+        the server expands GGM seeds itself and never sees the range."""
+        server = RsseServer()
+        scheme = ConstantBrc(512, rng=random.Random(1), intersection_policy="allow")
+        scheme.build_index(small_records)
+        server.handle(UploadIndex(3, scheme._index.to_bytes()).to_frame())
+        server.handle(
+            UploadRecords(3, list(scheme._encrypted_store.items())).to_frame()
+        )
+        lo, hi = 100, 180
+        token = scheme.trapdoor(lo, hi)
+        wire_tokens = [t.seed + bytes([t.level]) for t in token]
+        response = parse_message(
+            server.handle(SearchRequest(3, "dprf", wire_tokens).to_frame())
+        )
+        from repro.sse.encoding import decode_id
+
+        ids = [decode_id(p) for p in response.payloads]
+        assert sorted(ids) == sorted(small_oracle.query(lo, hi))
+
+    def test_query_before_outsource(self):
+        server = RsseServer()
+        client = RemoteRangeClient(
+            LogarithmicBrc(64, rng=random.Random(1)), server.handle
+        )
+        with pytest.raises(IndexStateError):
+            client.query(0, 1)

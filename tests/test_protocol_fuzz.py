@@ -1,0 +1,91 @@
+"""Fuzzing the protocol parser and server with hostile bytes.
+
+A server on the network boundary must treat every inbound frame as
+attacker-controlled.  These tests feed random and mutated frames to the
+parser and the server and require the library's own exceptions — never
+unhandled ``IndexError``/``struct.error``/infinite work.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.logarithmic import LogarithmicBrc
+from repro.errors import ReproError
+from repro.protocol import (
+    RsseServer,
+    SearchRequest,
+    UploadIndex,
+    parse_frame,
+    parse_message,
+)
+
+
+class TestParserFuzz:
+    @given(st.binary(max_size=200))
+    @settings(max_examples=200)
+    def test_random_bytes_never_crash_parser(self, blob):
+        try:
+            parse_message(blob)
+        except ReproError:
+            pass  # the only acceptable failure mode
+
+    @given(st.binary(min_size=5, max_size=200), st.data())
+    @settings(max_examples=100)
+    def test_mutated_valid_frames(self, garbage, data):
+        frame = bytearray(SearchRequest(1, "sse", [b"t" * 32]).to_frame())
+        pos = data.draw(st.integers(0, len(frame) - 1))
+        frame[pos] ^= data.draw(st.integers(1, 255))
+        try:
+            parse_message(bytes(frame))
+        except ReproError:
+            pass
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=100)
+    def test_parse_frame_contract(self, blob):
+        try:
+            tag, body = parse_frame(blob)
+        except ReproError:
+            return
+        assert isinstance(tag, int) and isinstance(body, bytes)
+
+
+class TestServerFuzz:
+    @given(st.binary(max_size=300))
+    @settings(max_examples=150)
+    def test_server_survives_garbage(self, blob):
+        server = RsseServer()
+        try:
+            server.handle(blob)
+        except ReproError:
+            pass
+
+    @given(st.lists(st.binary(min_size=1, max_size=64), max_size=4))
+    @settings(max_examples=100)
+    def test_server_rejects_malformed_tokens_cleanly(self, tokens):
+        server = RsseServer()
+        scheme = LogarithmicBrc(64, rng=random.Random(1))
+        scheme.build_index([(0, 5), (1, 44)])
+        server.handle(UploadIndex(1, scheme._index.to_bytes()).to_frame())
+        try:
+            server.handle(SearchRequest(1, "sse", tokens).to_frame())
+        except ReproError:
+            pass
+
+    def test_dprf_token_with_huge_level_is_bounded(self):
+        """A forged DPRF token cannot make the server expand 2^255
+        leaves: levels are a single byte and capped by cost = 2^level
+        — verify a large-but-parseable one is either rejected or
+        completes against an empty index within the byte's range."""
+        server = RsseServer()
+        server.handle(UploadIndex(1, b"").to_frame())
+        # level 16 = 65k expansions: bounded, completes, finds nothing.
+        frame = SearchRequest(1, "dprf", [b"s" * 32 + bytes([16])]).to_frame()
+        from repro.protocol.messages import parse_message as pm
+
+        response = pm(server.handle(frame))
+        assert response.payloads == []

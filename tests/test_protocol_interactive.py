@@ -1,0 +1,93 @@
+"""Tests for the DPRF and interactive remote clients."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.constant import ConstantBrc
+from repro.core.log_src_i import LogarithmicSrcI
+from repro.core.logarithmic import LogarithmicBrc
+from repro.errors import IndexStateError, QueryIntersectionError
+from repro.protocol import RemoteConstantClient, RemoteSrcIClient, RsseServer
+
+
+class TestRemoteConstantClient:
+    def test_matches_oracle(self, small_records, small_oracle):
+        server = RsseServer()
+        scheme = ConstantBrc(512, rng=random.Random(1), intersection_policy="allow")
+        client = RemoteConstantClient(scheme, server.handle, rng=random.Random(2))
+        client.outsource(small_records)
+        assert scheme._index is None
+        for lo, hi in [(0, 511), (100, 180), (250, 250)]:
+            assert sorted(client.query(lo, hi)) == sorted(small_oracle.query(lo, hi))
+
+    def test_guard_still_enforced_remotely(self, small_records):
+        server = RsseServer()
+        scheme = ConstantBrc(512, rng=random.Random(1))  # policy: raise
+        client = RemoteConstantClient(scheme, server.handle, rng=random.Random(2))
+        client.outsource(small_records)
+        client.query(10, 20)
+        with pytest.raises(QueryIntersectionError):
+            client.query(15, 30)
+
+    def test_wrong_scheme_type_rejected(self):
+        server = RsseServer()
+        with pytest.raises(IndexStateError):
+            RemoteConstantClient(
+                LogarithmicBrc(64, rng=random.Random(1)), server.handle
+            )
+
+    def test_query_before_outsource(self, small_records):
+        server = RsseServer()
+        scheme = ConstantBrc(512, rng=random.Random(1), intersection_policy="allow")
+        client = RemoteConstantClient(scheme, server.handle)
+        with pytest.raises(IndexStateError):
+            client.query(0, 5)
+
+
+class TestRemoteSrcIClient:
+    def test_two_round_protocol_matches_oracle(self, small_records, small_oracle):
+        server = RsseServer()
+        scheme = LogarithmicSrcI(512, rng=random.Random(1))
+        client = RemoteSrcIClient(scheme, server.handle, rng=random.Random(2))
+        client.outsource(small_records)
+        assert scheme._index1 is None and scheme._index2 is None
+        for lo, hi in [(0, 511), (40, 260), (250, 250), (0, 0)]:
+            assert sorted(client.query(lo, hi)) == sorted(small_oracle.query(lo, hi))
+
+    def test_empty_first_round_short_circuits(self):
+        server = RsseServer()
+        scheme = LogarithmicSrcI(512, rng=random.Random(1))
+        client = RemoteSrcIClient(scheme, server.handle, rng=random.Random(2))
+        client.outsource([(0, 10), (1, 500)])
+        assert client.query(100, 300) == frozenset()
+
+    def test_two_indexes_uploaded(self, small_records):
+        server = RsseServer()
+        scheme = LogarithmicSrcI(512, rng=random.Random(1))
+        client = RemoteSrcIClient(scheme, server.handle, rng=random.Random(2))
+        client.outsource(small_records)
+        assert server.index_count() == 2
+
+    def test_wrong_scheme_type_rejected(self):
+        server = RsseServer()
+        with pytest.raises(IndexStateError):
+            RemoteSrcIClient(LogarithmicBrc(64, rng=random.Random(1)), server.handle)
+
+    def test_transport_counting(self, small_records, small_oracle):
+        """A full SRC-i query is exactly 3 frames: round 1, round 2, fetch."""
+        server = RsseServer()
+        frames = []
+
+        def counting_transport(frame):
+            frames.append(frame)
+            return server.handle(frame)
+
+        scheme = LogarithmicSrcI(512, rng=random.Random(1))
+        client = RemoteSrcIClient(scheme, counting_transport, rng=random.Random(2))
+        client.outsource(small_records)
+        frames.clear()
+        client.query(40, 260)
+        assert len(frames) == 3

@@ -1,0 +1,218 @@
+"""Scheme-specific behaviour beyond plain correctness.
+
+Each class pins down a property the paper attributes to exactly one
+construction: Quadratic's single-token queries, Constant's intersection
+guard and O(n) index, Logarithmic's token counts, SRC's single token,
+SRC-i's two rounds and distinct-value compaction.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.constant import ConstantBrc, ConstantUrc, DprfRangeToken
+from repro.core.log_src import LogarithmicSrc
+from repro.core.log_src_i import LogarithmicSrcI
+from repro.core.logarithmic import LogarithmicBrc, LogarithmicUrc
+from repro.core.quadratic import Quadratic
+from repro.core.scheme import MultiKeywordToken
+from repro.errors import DomainError, IndexStateError, QueryIntersectionError
+
+
+def records_uniform(n, domain, seed=1):
+    rng = random.Random(seed)
+    return [(i, rng.randrange(domain)) for i in range(n)]
+
+
+class TestQuadratic:
+    def test_single_token_queries(self):
+        scheme = Quadratic(32, rng=random.Random(1))
+        scheme.build_index(records_uniform(20, 32))
+        token = scheme.trapdoor(3, 19)
+        assert len(token) == 1
+
+    def test_domain_ceiling_enforced(self):
+        with pytest.raises(DomainError):
+            Quadratic(1000)
+
+    def test_ceiling_configurable(self):
+        Quadratic(300, max_domain=300)  # no raise
+
+    def test_replication_factor_quadratic(self):
+        # A single tuple at value v is replicated into (v+1)*(m-v)
+        # subranges; its index entries must match exactly.
+        scheme = Quadratic(8, rng=random.Random(1))
+        scheme.build_index([(0, 3)])
+        assert len(scheme._index) == (3 + 1) * (8 - 3)
+
+
+class TestConstantSchemes:
+    def test_index_entries_linear_in_n(self):
+        scheme = ConstantBrc(1 << 16, rng=random.Random(1), intersection_policy="allow")
+        scheme.build_index(records_uniform(100, 1 << 16))
+        assert len(scheme._index) == 100  # exactly one entry per tuple
+
+    def test_intersection_guard_raises(self):
+        scheme = ConstantBrc(256, rng=random.Random(1))
+        scheme.build_index(records_uniform(10, 256))
+        scheme.query(10, 20)
+        with pytest.raises(QueryIntersectionError):
+            scheme.query(15, 30)
+
+    def test_non_intersecting_queries_allowed(self):
+        scheme = ConstantBrc(256, rng=random.Random(1))
+        scheme.build_index(records_uniform(10, 256))
+        scheme.query(10, 20)
+        scheme.query(21, 30)  # touching but disjoint: fine
+        scheme.query(0, 9)
+
+    def test_guard_reset(self):
+        scheme = ConstantUrc(256, rng=random.Random(1))
+        scheme.build_index(records_uniform(10, 256))
+        scheme.query(10, 20)
+        scheme.guard.reset()
+        scheme.query(15, 30)  # permitted after reset
+
+    def test_allow_policy_permits_intersections(self):
+        scheme = ConstantBrc(256, rng=random.Random(1), intersection_policy="allow")
+        scheme.build_index(records_uniform(10, 256))
+        scheme.query(10, 20)
+        scheme.query(15, 30)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantBrc(256, intersection_policy="maybe")
+
+    def test_token_is_dprf_delegation(self):
+        scheme = ConstantBrc(256, rng=random.Random(1), intersection_policy="allow")
+        scheme.build_index(records_uniform(10, 256))
+        token = scheme.trapdoor(0, 255)
+        assert isinstance(token, DprfRangeToken)
+        # Whole domain = single root token.
+        assert len(token) == 1 and token.tokens[0].level == 8
+
+    def test_brc_vs_urc_token_counts(self):
+        brc = ConstantBrc(256, rng=random.Random(1), intersection_policy="allow")
+        urc = ConstantUrc(256, rng=random.Random(1), intersection_policy="allow")
+        for scheme in (brc, urc):
+            scheme.build_index(records_uniform(10, 256))
+        # Aligned range [64, 127]: BRC needs 1 node, URC breaks it down.
+        assert len(brc.trapdoor(64, 127)) == 1
+        assert len(urc.trapdoor(64, 127)) > 1
+
+
+class TestLogarithmicSchemes:
+    def test_index_entries_logarithmic_replication(self):
+        domain_bits = 10
+        scheme = LogarithmicBrc(1 << domain_bits, rng=random.Random(1))
+        scheme.build_index(records_uniform(50, 1 << domain_bits))
+        assert len(scheme._index) == 50 * (domain_bits + 1)
+
+    def test_token_count_matches_cover(self):
+        scheme = LogarithmicBrc(256, rng=random.Random(1))
+        scheme.build_index(records_uniform(10, 256))
+        assert len(scheme.trapdoor(2, 7)) == 2  # paper Fig 1: N2,3 + N4,7
+
+    def test_urc_token_count_position_independent(self):
+        scheme = LogarithmicUrc(1 << 12, rng=random.Random(1))
+        scheme.build_index(records_uniform(10, 1 << 12))
+        counts = {len(scheme.trapdoor(lo, lo + 99)) for lo in range(0, 3000, 83)}
+        assert len(counts) == 1
+
+    def test_result_partitions_union_is_answer(self, small_records, small_oracle):
+        scheme = LogarithmicBrc(512, rng=random.Random(1))
+        scheme.build_index(small_records)
+        token = scheme.trapdoor(50, 300)
+        partitions = scheme.result_partitions(token)
+        flattened = sorted(i for group in partitions for i in group)
+        assert flattened == sorted(small_oracle.query(50, 300))
+
+    def test_tokens_shuffled_across_queries(self):
+        scheme = LogarithmicBrc(1 << 12, rng=random.Random(1))
+        scheme.build_index(records_uniform(5, 1 << 12))
+        orders = {
+            tuple(t.label_key for t in scheme.trapdoor(3, 2900)) for _ in range(10)
+        }
+        assert len(orders) > 1
+
+
+class TestLogarithmicSrc:
+    def test_always_single_token(self):
+        scheme = LogarithmicSrc(1 << 12, rng=random.Random(1))
+        scheme.build_index(records_uniform(50, 1 << 12))
+        for lo, hi in [(0, 0), (5, 3000), (0, (1 << 12) - 1), (2047, 2048)]:
+            assert len(scheme.trapdoor(lo, hi)) == 1
+
+    def test_same_cover_same_token_keyword(self):
+        """Two ranges under the same TDAG node produce the same token —
+        the subtle search-pattern extension of Section 6.2."""
+        scheme = LogarithmicSrc(8, rng=random.Random(1))
+        scheme.build_index([(0, 2)])
+        t1 = scheme.trapdoor(2, 7)  # SRC -> root
+        t2 = scheme.trapdoor(1, 6)  # SRC -> root as well
+        assert t1.tokens[0] == t2.tokens[0]
+
+
+class TestLogarithmicSrcI:
+    def test_two_rounds_reported(self, small_records):
+        scheme = LogarithmicSrcI(512, rng=random.Random(1))
+        scheme.build_index(small_records)
+        outcome = scheme.query(50, 300)
+        assert outcome.rounds == 2
+
+    def test_single_round_when_nothing_qualifies(self):
+        scheme = LogarithmicSrcI(512, rng=random.Random(1))
+        scheme.build_index([(0, 10), (1, 500)])
+        outcome = scheme.query(100, 300)
+        assert outcome.rounds == 1 and outcome.ids == frozenset()
+
+    def test_distinct_value_compaction(self):
+        # 100 tuples, only 3 distinct values -> I1 indexes 3 documents.
+        records = [(i, [10, 20, 30][i % 3]) for i in range(100)]
+        scheme = LogarithmicSrcI(64, rng=random.Random(1))
+        scheme.build_index(records)
+        assert scheme.distinct_values == 3
+
+    def test_phase_methods_compose(self, small_records, small_oracle):
+        scheme = LogarithmicSrcI(512, rng=random.Random(1))
+        scheme.build_index(small_records)
+        lo, hi = 40, 260
+        token1 = scheme.trapdoor_phase1(lo, hi)
+        triples = scheme.search_phase1(token1)
+        merged = scheme.merge_qualifying(triples, lo, hi)
+        assert merged is not None
+        token2 = scheme.trapdoor_phase2(*merged)
+        raw = scheme.search_phase2(token2)
+        refined = {rec.id for rec in scheme.resolve(raw) if lo <= rec.value <= hi}
+        assert sorted(refined) == sorted(small_oracle.query(lo, hi))
+
+    def test_plain_search_rejected(self, small_records):
+        scheme = LogarithmicSrcI(512, rng=random.Random(1))
+        scheme.build_index(small_records)
+        with pytest.raises(IndexStateError):
+            scheme.search(scheme.trapdoor(0, 10))
+
+    def test_merged_positions_contiguous(self, small_records):
+        scheme = LogarithmicSrcI(512, rng=random.Random(1))
+        scheme.build_index(small_records)
+        token1 = scheme.trapdoor_phase1(100, 200)
+        triples = scheme.search_phase1(token1)
+        qualifying = sorted(t for t in triples if 100 <= t[0] <= 200)
+        for (v1, l1, h1), (v2, l2, h2) in zip(qualifying, qualifying[1:]):
+            assert h1 + 1 == l2, "qualifying position runs must be contiguous"
+
+
+class TestTokenSizes:
+    def test_multi_keyword_token_size(self):
+        scheme = LogarithmicBrc(256, rng=random.Random(1))
+        scheme.build_index(records_uniform(10, 256))
+        token = scheme.trapdoor(2, 7)
+        assert token.serialized_size() == 32 * len(token)
+
+    def test_dprf_token_size(self):
+        scheme = ConstantBrc(256, rng=random.Random(1), intersection_policy="allow")
+        scheme.build_index(records_uniform(10, 256))
+        token = scheme.trapdoor(2, 7)
+        assert token.serialized_size() == 33 * len(token)

@@ -1,0 +1,174 @@
+"""Cross-scheme correctness: every RSSE construction against the oracle.
+
+The contract: for any dataset and any query, the refined result equals
+the plaintext oracle exactly; the raw server answer is a superset only
+for the schemes whose Table 1 row admits false positives.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.pb import PbScheme
+from repro.baselines.plaintext import PlaintextRangeIndex
+from repro.core.registry import EXPERIMENT_SCHEMES, make_scheme
+from repro.errors import DomainError, IndexStateError
+from repro.sse.pipack import PiPack
+
+DOMAIN = 512
+
+ALL_SCHEMES = EXPERIMENT_SCHEMES + ("pb",)
+
+
+def build(name, records, domain=DOMAIN, seed=1, **kwargs):
+    if name == "pb":
+        scheme = PbScheme(domain, rng=random.Random(seed), **kwargs)
+    else:
+        extra = {"intersection_policy": "allow"} if name.startswith("constant") else {}
+        extra.update(kwargs)
+        scheme = make_scheme(name, domain, rng=random.Random(seed), **extra)
+    scheme.build_index(records)
+    return scheme
+
+
+QUERIES = [(0, 511), (100, 100), (0, 0), (511, 511), (37, 411), (200, 210)]
+
+
+@pytest.mark.parametrize("name", ALL_SCHEMES)
+class TestAgainstOracle:
+    def test_exact_results(self, name, small_records, small_oracle):
+        scheme = build(name, small_records)
+        for lo, hi in QUERIES:
+            outcome = scheme.query(lo, hi)
+            assert sorted(outcome.ids) == sorted(small_oracle.query(lo, hi)), (
+                name,
+                lo,
+                hi,
+            )
+
+    def test_raw_answer_is_superset(self, name, small_records):
+        scheme = build(name, small_records)
+        for lo, hi in QUERIES:
+            outcome = scheme.query(lo, hi)
+            assert outcome.ids <= set(outcome.raw_ids) | outcome.ids
+            assert outcome.false_positives == len(set(outcome.raw_ids)) - len(
+                outcome.ids
+            ) + (len(outcome.raw_ids) - len(set(outcome.raw_ids)))
+
+    def test_no_false_positives_when_promised(self, name, small_records):
+        scheme = build(name, small_records)
+        if scheme.may_false_positive:
+            pytest.skip("scheme admits false positives by design")
+        for lo, hi in QUERIES:
+            assert scheme.query(lo, hi).false_positives == 0
+
+    def test_empty_result_range(self, name):
+        records = [(0, 10), (1, 500)]
+        scheme = build(name, records)
+        outcome = scheme.query(100, 300)
+        assert outcome.ids == frozenset()
+
+    def test_empty_dataset(self, name):
+        scheme = build(name, [])
+        assert scheme.query(0, DOMAIN - 1).ids == frozenset()
+
+    def test_single_record(self, name):
+        scheme = build(name, [(42, 77)])
+        assert scheme.query(77, 77).ids == {42}
+        assert scheme.query(0, 76).ids == frozenset()
+        assert scheme.query(78, DOMAIN - 1).ids == frozenset()
+
+    def test_all_records_same_value(self, name):
+        records = [(i, 33) for i in range(40)]
+        scheme = build(name, records)
+        assert scheme.query(33, 33).ids == set(range(40))
+        assert scheme.query(0, 32).ids == frozenset()
+
+    def test_duplicate_ids_rejected(self, name):
+        with pytest.raises(DomainError):
+            build(name, [(1, 5), (1, 9)])
+
+    def test_out_of_domain_value_rejected(self, name):
+        with pytest.raises(DomainError):
+            build(name, [(1, DOMAIN)])
+
+    def test_out_of_domain_query_rejected(self, name, small_records):
+        scheme = build(name, small_records)
+        with pytest.raises(DomainError):
+            scheme.query(0, DOMAIN)
+        with pytest.raises(DomainError):
+            scheme.query(-1, 5)
+        with pytest.raises(DomainError):
+            scheme.query(10, 5)
+
+    def test_query_before_build_rejected(self, name):
+        if name == "pb":
+            scheme = PbScheme(DOMAIN, rng=random.Random(1))
+        else:
+            extra = (
+                {"intersection_policy": "allow"} if name.startswith("constant") else {}
+            )
+            scheme = make_scheme(name, DOMAIN, rng=random.Random(1), **extra)
+        with pytest.raises(IndexStateError):
+            scheme.query(0, 5)
+
+
+@pytest.mark.parametrize("name", EXPERIMENT_SCHEMES)
+def test_pipack_backend_equivalent(name, small_records, small_oracle):
+    """The SSE black box is swappable: PiPack yields identical answers."""
+    scheme = build(name, small_records, sse_factory=PiPack)
+    for lo, hi in [(37, 411), (0, 511), (250, 250)]:
+        assert sorted(scheme.query(lo, hi).ids) == sorted(small_oracle.query(lo, hi))
+
+
+class TestSkewedData:
+    """The SRC worst case the paper motivates SRC-i with."""
+
+    def test_src_floods_on_skew(self, skewed_records):
+        scheme = build("logarithmic-src", skewed_records)
+        oracle = PlaintextRangeIndex(skewed_records)
+        # A small query adjacent to the heavy value 100.
+        outcome = scheme.query(101, 110)
+        assert sorted(outcome.ids) == sorted(oracle.query(101, 110))
+        assert outcome.false_positives > 0
+
+    def test_src_i_bounds_false_positives(self, skewed_records):
+        src = build("logarithmic-src", skewed_records)
+        srci = build("logarithmic-src-i", skewed_records)
+        # Queries near the heavy value: SRC-i must not return the flood.
+        total_src = total_srci = 0
+        for lo, hi in [(101, 110), (90, 99), (101, 150), (95, 99)]:
+            total_src += src.query(lo, hi).false_positives
+            total_srci += srci.query(lo, hi).false_positives
+        assert total_srci < total_src
+
+    def test_src_i_fp_bound_O_R_plus_r(self, skewed_records):
+        """SRC-i false positives stay within the analytic 4(R + r) slack."""
+        scheme = build("logarithmic-src-i", skewed_records)
+        for lo, hi in [(101, 110), (0, 50), (480, 511), (99, 101)]:
+            outcome = scheme.query(lo, hi)
+            R = hi - lo + 1
+            r = len(outcome.ids)
+            assert outcome.false_positives <= 4 * (R + r) + 4, (lo, hi)
+
+
+@st.composite
+def dataset_and_query(draw):
+    n = draw(st.integers(0, 60))
+    records = [(i, draw(st.integers(0, 127))) for i in range(n)]
+    lo = draw(st.integers(0, 127))
+    hi = draw(st.integers(lo, 127))
+    return records, lo, hi
+
+
+@pytest.mark.parametrize("name", ALL_SCHEMES)
+@given(data=dataset_and_query())
+@settings(max_examples=25, deadline=None)
+def test_property_random_datasets(name, data):
+    records, lo, hi = data
+    scheme = build(name, records, domain=128, seed=3)
+    oracle = PlaintextRangeIndex(records)
+    assert sorted(scheme.query(lo, hi).ids) == sorted(oracle.query(lo, hi))

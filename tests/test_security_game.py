@@ -1,0 +1,156 @@
+"""Tests for the mechanized ideal-real security game.
+
+The central assertion: a simulator holding nothing but the formulated
+L1/L2 leakage produces an index and tokens on which the real public
+Search algorithm reproduces the real game's transcript exactly — for
+adaptive query sequences, with repeats, across the RSSE reductions.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import IndexStateError
+from repro.security import (
+    SseSimulator,
+    logarithmic_reduction,
+    run_ideal_game,
+    run_real_game,
+    src_reduction,
+    sse_l1,
+    sse_l2,
+    transcripts_consistent,
+)
+from repro.sse.encoding import encode_id
+
+MULTIMAP = {
+    b"alpha": [encode_id(i) for i in range(8)],
+    b"beta": [encode_id(100)],
+    b"gamma": [encode_id(i) for i in range(50, 70)],
+    b"delta": [],
+}
+
+
+def run_both(multimap, queries, seed=7):
+    real = run_real_game(multimap, queries, rng=random.Random(seed))
+    ideal = run_ideal_game(multimap, queries, rng=random.Random(seed + 1))
+    return real, ideal
+
+
+class TestSseGame:
+    def test_simple_queries(self):
+        real, ideal = run_both(MULTIMAP, [b"alpha", b"gamma"])
+        assert transcripts_consistent(real, ideal) == []
+
+    def test_repeated_queries_share_tokens(self):
+        real, ideal = run_both(MULTIMAP, [b"alpha", b"beta", b"alpha", b"alpha"])
+        assert transcripts_consistent(real, ideal) == []
+        assert ideal.token_repeats == [None, None, 0, 0]
+
+    def test_absent_keyword(self):
+        real, ideal = run_both(MULTIMAP, [b"nope", b"alpha", b"nope"])
+        assert transcripts_consistent(real, ideal) == []
+        assert real.search_outputs[0] == []
+
+    def test_empty_query_sequence(self):
+        real, ideal = run_both(MULTIMAP, [])
+        assert transcripts_consistent(real, ideal) == []
+
+    def test_full_exhaustion(self):
+        """Query every keyword: the simulator must program the entire
+        dummy pool without running out or leaving inconsistencies."""
+        real, ideal = run_both(MULTIMAP, sorted(MULTIMAP))
+        assert transcripts_consistent(real, ideal) == []
+
+    @given(
+        st.dictionaries(
+            st.binary(min_size=1, max_size=4),
+            st.lists(st.integers(0, 1 << 20), max_size=12),
+            max_size=6,
+        ),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_adaptive_sequences(self, raw, data):
+        multimap = {kw: [encode_id(i) for i in ids] for kw, ids in raw.items()}
+        pool = sorted(multimap) + [b"\xff-missing"]
+        queries = [
+            data.draw(st.sampled_from(pool))
+            for _ in range(data.draw(st.integers(0, 6)))
+        ]
+        real, ideal = run_both(multimap, queries, seed=3)
+        assert transcripts_consistent(real, ideal) == []
+
+
+class TestSimulatorContract:
+    def test_token_before_index_rejected(self):
+        sim = SseSimulator(sse_l1(MULTIMAP), rng=random.Random(1))
+        from repro.security.leakage_fn import SseL2Entry
+
+        with pytest.raises(IndexStateError):
+            sim.fake_token(SseL2Entry((), None))
+
+    def test_overclaimed_access_pattern_rejected(self):
+        """If a (buggy) leakage claims more results than L1 declared
+        postings, simulation must fail loudly — this is the consistency
+        check that catches under-formulated leakage."""
+        from repro.security.leakage_fn import SseL2Entry
+
+        sim = SseSimulator(sse_l1({b"w": [encode_id(1)]}), rng=random.Random(1))
+        sim.fake_index()
+        with pytest.raises(IndexStateError):
+            sim.fake_token(SseL2Entry((encode_id(1), encode_id(2)), None))
+
+    def test_fake_index_matches_l1_exactly(self):
+        l1 = sse_l1(MULTIMAP)
+        sim = SseSimulator(l1, rng=random.Random(2))
+        index = sim.fake_index()
+        assert len(index) == l1.entry_count
+
+    def test_leakage_functions(self):
+        l1 = sse_l1(MULTIMAP)
+        assert l1.entry_count == 29
+        l2 = sse_l2(MULTIMAP, [b"beta", b"beta", b"alpha"])
+        assert l2[0].repeats is None
+        assert l2[1].repeats == 0
+        assert l2[2].repeats is None
+        assert l2[0].access_pattern == (encode_id(100),)
+
+
+class TestRsseReductions:
+    def test_logarithmic_brc_game(self, small_records):
+        multimap, keywords = logarithmic_reduction(
+            small_records, 512, [(10, 90), (100, 300), (10, 90)], cover="brc"
+        )
+        real, ideal = run_both(multimap, keywords, seed=11)
+        assert transcripts_consistent(real, ideal) == []
+
+    def test_logarithmic_urc_game(self, small_records):
+        multimap, keywords = logarithmic_reduction(
+            small_records, 512, [(3, 461), (77, 78)], cover="urc"
+        )
+        real, ideal = run_both(multimap, keywords, seed=12)
+        assert transcripts_consistent(real, ideal) == []
+
+    def test_src_game_with_alias_collisions(self, small_records):
+        # [2,7] and [1,6] over a subrange share an SRC node: the ideal
+        # game must reproduce the token repetition.
+        multimap, keywords = src_reduction(
+            small_records, 512, [(2, 7), (1, 6), (100, 300)]
+        )
+        assert keywords[0] == keywords[1]
+        real, ideal = run_both(multimap, keywords, seed=13)
+        assert transcripts_consistent(real, ideal) == []
+
+    def test_cross_range_node_reuse(self, small_records):
+        """Two overlapping ranges share dyadic nodes; the shared node's
+        token must repeat in both worlds (the paper's alias leakage)."""
+        multimap, keywords = logarithmic_reduction(
+            small_records, 512, [(0, 255), (0, 255)], cover="brc"
+        )
+        real, ideal = run_both(multimap, keywords, seed=14)
+        assert transcripts_consistent(real, ideal) == []
+        assert any(r is not None for r in ideal.token_repeats)

@@ -1,0 +1,180 @@
+"""Unit and property tests for the SSE substrate (PiBas, PiPack)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.prf import generate_key
+from repro.errors import TokenError
+from repro.sse.base import (
+    CallbackKeyDeriver,
+    EncryptedIndex,
+    KeywordToken,
+    PrfKeyDeriver,
+    token_from_secret,
+)
+from repro.sse.encoding import encode_id
+from repro.sse.pibas import PiBas
+from repro.sse.pipack import PiPack
+
+KEY = generate_key(random.Random(1))
+
+
+def make_pibas(seed=0):
+    return PiBas(PrfKeyDeriver(KEY), shuffle_rng=random.Random(seed))
+
+
+def make_pipack(seed=0, block_size=4):
+    return PiPack(PrfKeyDeriver(KEY), block_size=block_size, shuffle_rng=random.Random(seed))
+
+
+MULTIMAP = {
+    b"alpha": [encode_id(i) for i in range(10)],
+    b"beta": [encode_id(100)],
+    b"gamma": [encode_id(i) for i in range(200, 230)],
+}
+
+
+@pytest.fixture(params=["pibas", "pipack"])
+def sse(request):
+    return make_pibas() if request.param == "pibas" else make_pipack()
+
+
+class TestSearchCorrectness:
+    def test_exact_retrieval(self, sse):
+        index = sse.build_index(MULTIMAP)
+        for keyword, payloads in MULTIMAP.items():
+            token = sse.trapdoor(keyword)
+            assert sorted(sse.search(index, token)) == sorted(payloads)
+
+    def test_absent_keyword_empty(self, sse):
+        index = sse.build_index(MULTIMAP)
+        assert sse.search(index, sse.trapdoor(b"nope")) == []
+
+    def test_empty_multimap(self, sse):
+        index = sse.build_index({})
+        assert len(index) == 0
+        assert sse.search(index, sse.trapdoor(b"alpha")) == []
+
+    def test_empty_posting_list(self, sse):
+        index = sse.build_index({b"w": []})
+        assert sse.search(index, sse.trapdoor(b"w")) == []
+
+    @given(st.dictionaries(st.binary(min_size=1, max_size=8),
+                           st.lists(st.integers(0, 1 << 32), max_size=20),
+                           max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_random_multimaps(self, raw):
+        multimap = {kw: [encode_id(i) for i in ids] for kw, ids in raw.items()}
+        for sse in (make_pibas(), make_pipack()):
+            index = sse.build_index(multimap)
+            for kw, payloads in multimap.items():
+                assert sorted(sse.search(index, sse.trapdoor(kw))) == sorted(payloads)
+
+
+class TestSecurityShape:
+    def test_postings_shuffled(self):
+        """EDB entry order must not reflect insertion order."""
+        payloads = [encode_id(i) for i in range(50)]
+        a = make_pibas(seed=1).search(
+            make_pibas(seed=1).build_index({b"w": payloads}),
+            make_pibas(seed=1).trapdoor(b"w"),
+        )
+        b = make_pibas(seed=2).search(
+            make_pibas(seed=2).build_index({b"w": payloads}),
+            make_pibas(seed=2).trapdoor(b"w"),
+        )
+        assert sorted(a) == sorted(b)
+        assert a != b  # different permutations with overwhelming probability
+
+    def test_foreign_token_finds_nothing(self, sse):
+        index = sse.build_index(MULTIMAP)
+        foreign = PrfKeyDeriver(generate_key(random.Random(9))).derive(b"alpha")
+        assert sse.search(index, foreign) == []
+
+    def test_labels_look_unrelated_to_keywords(self, sse):
+        index = sse.build_index({b"aaaa": [encode_id(1)], b"aaab": [encode_id(2)]})
+        labels = list(index.to_bytes())
+        assert b"aaaa" not in bytes(labels)
+
+    def test_token_sizes_fixed(self):
+        token = PrfKeyDeriver(KEY).derive(b"w")
+        assert token.serialized_size() == 32
+
+
+class TestTokenDerivation:
+    def test_token_from_secret_deterministic(self):
+        assert token_from_secret(b"s" * 32) == token_from_secret(b"s" * 32)
+
+    def test_callback_deriver_matches_direct(self):
+        secret_fn = lambda kw: bytes(32)  # noqa: E731
+        deriver = CallbackKeyDeriver(secret_fn)
+        assert deriver.derive(b"anything") == token_from_secret(bytes(32))
+
+    def test_keyword_token_validates_lengths(self):
+        with pytest.raises(TokenError):
+            KeywordToken(b"short", b"x" * 16)
+
+
+class TestEncryptedIndex:
+    def test_serialization_round_trip(self, sse):
+        index = sse.build_index(MULTIMAP)
+        clone = EncryptedIndex.from_bytes(index.to_bytes())
+        token = sse.trapdoor(b"gamma")
+        assert sorted(sse.search(clone, token)) == sorted(MULTIMAP[b"gamma"])
+
+    def test_serialized_size_counts_all_bytes(self):
+        index = EncryptedIndex({b"k" * 16: b"v" * 10, b"j" * 16: b"w" * 4})
+        assert index.serialized_size() == 16 + 10 + 16 + 4
+
+    def test_duplicate_label_rejected(self):
+        index = EncryptedIndex()
+        index.put(b"l" * 16, b"x")
+        with pytest.raises(TokenError):
+            index.put(b"l" * 16, b"y")
+
+    def test_tamper_breaks_search(self):
+        sse = make_pibas()
+        index = sse.build_index({b"w": [encode_id(7)]})
+        index.tamper()
+        token = sse.trapdoor(b"w")
+        try:
+            out = sse.search(index, token)
+            assert out != [encode_id(7)]
+        except TokenError:
+            pass  # detected corruption is also acceptable
+
+
+class TestPiPackSpecifics:
+    def test_block_size_bounds(self):
+        with pytest.raises(ValueError):
+            PiPack(PrfKeyDeriver(KEY), block_size=0)
+        with pytest.raises(ValueError):
+            PiPack(PrfKeyDeriver(KEY), block_size=256)
+
+    def test_mixed_payload_lengths_rejected(self):
+        sse = make_pipack()
+        with pytest.raises(TokenError):
+            sse.build_index({b"w": [b"aa", b"bbb"]})
+
+    def test_packing_reduces_entries(self):
+        payloads = [encode_id(i) for i in range(64)]
+        packed = make_pipack(block_size=8).build_index({b"w": payloads})
+        flat = make_pibas().build_index({b"w": payloads})
+        assert len(packed) == 8 and len(flat) == 64
+
+    def test_packing_reduces_bytes(self):
+        payloads = [encode_id(i) for i in range(64)]
+        packed = make_pipack(block_size=8).build_index({b"w": payloads})
+        flat = make_pibas().build_index({b"w": payloads})
+        assert packed.serialized_size() < flat.serialized_size()
+
+    @pytest.mark.parametrize("count", [1, 7, 8, 9, 63, 64, 65])
+    def test_partial_final_block(self, count):
+        sse = make_pipack(block_size=8)
+        payloads = [encode_id(i) for i in range(count)]
+        index = sse.build_index({b"w": payloads})
+        assert sorted(sse.search(index, sse.trapdoor(b"w"))) == sorted(payloads)

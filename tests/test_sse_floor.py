@@ -1,0 +1,45 @@
+"""Unit tests for the pure-SSE retrieval floor."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.sse_floor import SseFloor
+
+
+class TestSseFloor:
+    def test_retrieves_exactly_r(self):
+        floor = SseFloor(100, rng=random.Random(1))
+        assert len(floor.retrieve(0)) == 0
+        assert len(floor.retrieve(37)) == 37
+        assert len(floor.retrieve(100)) == 100
+
+    def test_all_ids_distinct(self):
+        floor = SseFloor(50, rng=random.Random(1))
+        ids = floor.retrieve(50)
+        assert len(set(ids)) == 50 and set(ids) == set(range(50))
+
+    def test_r_out_of_bounds(self):
+        floor = SseFloor(10, rng=random.Random(1))
+        with pytest.raises(ValueError):
+            floor.retrieve(11)
+        with pytest.raises(ValueError):
+            floor.retrieve(-1)
+
+    def test_work_scales_with_r(self):
+        """The floor's whole point: retrieving r costs Θ(r)."""
+        import time
+
+        floor = SseFloor(4000, rng=random.Random(1))
+
+        def cost(r, reps=3):
+            best = float("inf")
+            for _ in range(reps):
+                start = time.perf_counter()
+                floor.retrieve(r)
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        assert cost(4000) > cost(200)

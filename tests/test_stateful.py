@@ -1,0 +1,124 @@
+"""Stateful property testing: hypothesis drives the system like a user.
+
+Two rule-based machines:
+
+- ``UpdateMachine`` — random batches of inserts/deletes/modifies flow
+  through the LSM manager while a dict model tracks the truth; every
+  step's range query must agree.
+- ``SchemeMachine`` — builds/queries schemes with interleaved snapshot
+  round-trips, checking the oracle at each step.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.registry import make_scheme
+from repro.io import dump_scheme, restore_scheme
+from repro.updates import BatchUpdateManager, delete, insert, modify
+
+DOMAIN = 256
+
+
+class UpdateMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        seeder = random.Random(97)
+        self.manager = BatchUpdateManager(
+            lambda: make_scheme(
+                "logarithmic-brc",
+                DOMAIN,
+                rng=random.Random(seeder.randrange(2**62)),
+            ),
+            consolidation_step=2,
+            rng=random.Random(5),
+        )
+        self.model: dict[int, int] = {}
+        self.next_id = 0
+
+    @rule(values=st.lists(st.integers(0, DOMAIN - 1), min_size=1, max_size=5))
+    def insert_batch(self, values):
+        ops = []
+        for value in values:
+            ops.append(insert(self.next_id, value))
+            self.model[self.next_id] = value
+            self.next_id += 1
+        self.manager.apply_batch(ops)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete_one(self, data):
+        victim = data.draw(st.sampled_from(sorted(self.model)))
+        self.manager.apply_batch([delete(victim, self.model.pop(victim))])
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), new_value=st.integers(0, DOMAIN - 1))
+    def modify_one(self, data, new_value):
+        victim = data.draw(st.sampled_from(sorted(self.model)))
+        self.manager.apply_batch(modify(victim, self.model[victim], new_value))
+        self.model[victim] = new_value
+
+    @precondition(lambda self: self.manager.active_indexes > 0)
+    @invariant()
+    def query_agrees_with_model(self):
+        lo, hi = 60, 199
+        expected = {i for i, v in self.model.items() if lo <= v <= hi}
+        assert self.manager.query(lo, hi).ids == expected
+
+    @precondition(lambda self: self.manager.active_indexes > 0)
+    @invariant()
+    def full_domain_agrees(self):
+        assert self.manager.query(0, DOMAIN - 1).ids == set(self.model)
+
+
+class SchemeMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.scheme = None
+        self.records: dict[int, int] = {}
+
+    @initialize(
+        values=st.lists(st.integers(0, DOMAIN - 1), min_size=1, max_size=30),
+        name=st.sampled_from(
+            ["logarithmic-brc", "logarithmic-src", "logarithmic-src-i"]
+        ),
+    )
+    def build(self, values, name):
+        self.records = dict(enumerate(values))
+        self.scheme = make_scheme(name, DOMAIN, rng=random.Random(3))
+        self.scheme.build_index(sorted(self.records.items()))
+
+    @rule(a=st.integers(0, DOMAIN - 1), b=st.integers(0, DOMAIN - 1))
+    def query(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        expected = {i for i, v in self.records.items() if lo <= v <= hi}
+        assert self.scheme.query(lo, hi).ids == expected
+
+    @rule()
+    def snapshot_round_trip(self):
+        self.scheme = restore_scheme(dump_scheme(self.scheme))
+
+    @invariant()
+    def size_stable(self):
+        if self.scheme is not None:
+            assert self.scheme.size == len(self.records)
+
+
+TestUpdateMachine = UpdateMachine.TestCase
+TestUpdateMachine.settings = settings(
+    max_examples=12, stateful_step_count=8, deadline=None
+)
+TestSchemeMachine = SchemeMachine.TestCase
+TestSchemeMachine.settings = settings(
+    max_examples=12, stateful_step_count=8, deadline=None
+)

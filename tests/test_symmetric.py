@@ -1,0 +1,97 @@
+"""Unit tests for the semantic (randomized, authenticated) cipher."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.prf import generate_key
+from repro.crypto.symmetric import NONCE_LEN, TAG_LEN, SemanticCipher, active_backend
+from repro.errors import IntegrityError, KeyError_
+
+KEY = generate_key(random.Random(1))
+
+
+@pytest.fixture
+def cipher():
+    return SemanticCipher(KEY)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "plaintext",
+        [b"", b"a", b"hello world", bytes(range(256)), b"x" * 10_000],
+    )
+    def test_round_trip(self, cipher, plaintext):
+        assert cipher.decrypt(cipher.encrypt(plaintext)) == plaintext
+
+    def test_randomized(self, cipher):
+        assert cipher.encrypt(b"same") != cipher.encrypt(b"same")
+
+    def test_overhead_exact(self, cipher):
+        assert len(cipher.encrypt(b"abc")) == 3 + cipher.overhead
+        assert cipher.overhead == NONCE_LEN + TAG_LEN
+
+    def test_unauthenticated_overhead(self):
+        c = SemanticCipher(KEY, authenticated=False)
+        assert c.overhead == NONCE_LEN
+        assert c.decrypt(c.encrypt(b"abc")) == b"abc"
+
+    def test_injected_rng_reproducible(self):
+        c1 = SemanticCipher(KEY, rng=random.Random(9))
+        c2 = SemanticCipher(KEY, rng=random.Random(9))
+        assert c1.encrypt(b"m") == c2.encrypt(b"m")
+
+
+class TestKeySeparation:
+    def test_wrong_key_fails_auth(self):
+        good = SemanticCipher(KEY)
+        bad = SemanticCipher(generate_key(random.Random(2)))
+        with pytest.raises(IntegrityError):
+            bad.decrypt(good.encrypt(b"secret"))
+
+    def test_rejects_bad_key(self):
+        with pytest.raises(KeyError_):
+            SemanticCipher(b"short")
+
+
+class TestTampering:
+    def test_flipped_ct_byte_detected(self, cipher):
+        blob = bytearray(cipher.encrypt(b"payload"))
+        blob[NONCE_LEN] ^= 0x01
+        with pytest.raises(IntegrityError):
+            cipher.decrypt(bytes(blob))
+
+    def test_flipped_tag_byte_detected(self, cipher):
+        blob = bytearray(cipher.encrypt(b"payload"))
+        blob[-1] ^= 0x01
+        with pytest.raises(IntegrityError):
+            cipher.decrypt(bytes(blob))
+
+    def test_flipped_nonce_detected(self, cipher):
+        blob = bytearray(cipher.encrypt(b"payload"))
+        blob[0] ^= 0x01
+        with pytest.raises(IntegrityError):
+            cipher.decrypt(bytes(blob))
+
+    def test_truncated_blob_detected(self, cipher):
+        with pytest.raises(IntegrityError):
+            cipher.decrypt(cipher.encrypt(b"payload")[: NONCE_LEN + 2])
+
+    def test_empty_blob_detected(self, cipher):
+        with pytest.raises(IntegrityError):
+            cipher.decrypt(b"")
+
+    def test_unauthenticated_mode_does_not_detect(self):
+        # Documented trade-off: without the MAC, tampering silently
+        # corrupts the plaintext instead of raising.
+        c = SemanticCipher(KEY, authenticated=False)
+        blob = bytearray(c.encrypt(b"payload"))
+        blob[NONCE_LEN] ^= 0x01
+        assert c.decrypt(bytes(blob)) != b"payload"
+
+
+class TestBackend:
+    def test_backend_reported(self):
+        assert active_backend() in ("aes-ctr", "hmac-ctr")

@@ -1,0 +1,152 @@
+"""Unit and property tests for the TDAG and the SRC cover (Lemma 1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.covers.tdag import Tdag, TdagNode
+from repro.errors import DomainError
+
+
+class TestTdagNode:
+    def test_regular_matches_dyadic(self):
+        node = TdagNode(2, 1)
+        assert (node.lo, node.hi) == (4, 7)
+
+    def test_injected_is_half_shifted(self):
+        # Paper Figure 3: N1,2 and N2,5.
+        assert (TdagNode(1, 0, injected=True).lo, TdagNode(1, 0, injected=True).hi) == (1, 2)
+        assert (TdagNode(2, 0, injected=True).lo, TdagNode(2, 0, injected=True).hi) == (2, 5)
+
+    def test_injected_level_zero_rejected(self):
+        with pytest.raises(DomainError):
+            TdagNode(0, 0, injected=True)
+
+    def test_labels_distinguish_kinds(self):
+        assert TdagNode(1, 0).label() != TdagNode(1, 0, injected=True).label()
+
+
+class TestStructure:
+    def test_injected_counts_figure3(self):
+        # Domain 8 (height 3): 3 injected at level 1, 1 at level 2, 0 at 3.
+        tdag = Tdag(8)
+        assert tdag.injected_count(1) == 3
+        assert tdag.injected_count(2) == 1
+        assert tdag.injected_count(3) == 0
+
+    def test_node_exists_boundaries(self):
+        tdag = Tdag(8)
+        assert tdag.node_exists(TdagNode(1, 2, injected=True))  # N5,6
+        assert not tdag.node_exists(TdagNode(1, 3, injected=True))  # past edge
+        assert tdag.node_exists(TdagNode(3, 0))
+        assert not tdag.node_exists(TdagNode(4, 0))
+
+    def test_covering_nodes_count_logarithmic(self):
+        tdag = Tdag(1 << 10)
+        for value in (0, 1, 511, 512, 1023):
+            nodes = tdag.covering_nodes(value)
+            assert len(nodes) <= 2 * (tdag.height + 1)
+            for node in nodes:
+                assert node.covers_value(value)
+
+    def test_covering_nodes_includes_injected(self):
+        tdag = Tdag(8)
+        nodes = tdag.covering_nodes(2)
+        assert TdagNode(2, 0, injected=True) in nodes  # N2,5 contains 2
+        assert TdagNode(1, 0, injected=True) in nodes  # N1,2 contains 2
+
+    def test_covering_nodes_exhaustive_domain_16(self):
+        """Every (value, node) pair agrees with arithmetic containment."""
+        tdag = Tdag(16)
+        all_nodes = []
+        for level in range(tdag.height + 1):
+            for index in range(1 << (tdag.height - level)):
+                all_nodes.append(TdagNode(level, index))
+            for index in range(tdag.injected_count(level)):
+                all_nodes.append(TdagNode(level, index, injected=True))
+        for value in range(16):
+            covering = set(tdag.covering_nodes(value))
+            for node in all_nodes:
+                assert (node in covering) == node.covers_value(value), (value, node)
+
+    def test_at_most_one_injected_per_level(self):
+        tdag = Tdag(1 << 8)
+        for value in range(256):
+            per_level = {}
+            for node in tdag.covering_nodes(value):
+                if node.injected:
+                    assert node.level not in per_level, (value, node)
+                    per_level[node.level] = node
+
+
+class TestSrcCover:
+    def test_paper_example_2_7(self):
+        # Figure 3: [2, 7] covered by the root N0,7.
+        tdag = Tdag(8)
+        node = tdag.src_cover(2, 7)
+        assert (node.lo, node.hi) == (0, 7) and not node.injected
+
+    def test_paper_example_3_5(self):
+        # Figure 3: [3, 5] covered by injected N2,5.
+        tdag = Tdag(8)
+        node = tdag.src_cover(3, 5)
+        assert (node.lo, node.hi) == (2, 5) and node.injected
+
+    def test_single_value_is_leaf(self):
+        tdag = Tdag(8)
+        node = tdag.src_cover(4, 4)
+        assert (node.level, node.lo) == (0, 4)
+
+    def test_full_domain_is_root(self):
+        tdag = Tdag(64)
+        node = tdag.src_cover(0, 63)
+        assert node.size == 64
+
+    def test_exhaustive_lemma1_domain_128(self):
+        """Lemma 1, checked for every range of a 128-value domain: the SRC
+        node covers the range and its subtree has at most 4R leaves."""
+        tdag = Tdag(128)
+        for lo in range(128):
+            for hi in range(lo, 128):
+                node = tdag.src_cover(lo, hi)
+                assert node.covers_range(lo, hi), (lo, hi, node)
+                assert node.size <= 4 * (hi - lo + 1), (lo, hi, node)
+
+    def test_minimality_exhaustive_domain_32(self):
+        """No TDAG node strictly smaller than the SRC answer covers the
+        range (the cover is the smallest subtree, as the paper requires)."""
+        tdag = Tdag(32)
+        for lo in range(32):
+            for hi in range(lo, 32):
+                chosen = tdag.src_cover(lo, hi)
+                for level in range(chosen.level):
+                    width = 1 << (tdag.height - level)
+                    for index in range(width):
+                        assert not TdagNode(level, index).covers_range(lo, hi)
+                    for index in range(tdag.injected_count(level)):
+                        assert not TdagNode(level, index, injected=True).covers_range(lo, hi)
+
+    @given(st.integers(1, 1 << 20), st.data())
+    @settings(max_examples=300)
+    def test_lemma1_random_large_domain(self, size, data):
+        domain = 1 << 20
+        lo = data.draw(st.integers(0, domain - size))
+        hi = lo + size - 1
+        node = Tdag(domain).src_cover(lo, hi)
+        assert node.covers_range(lo, hi)
+        assert node.size <= 4 * size
+
+    def test_invalid_range_rejected(self):
+        tdag = Tdag(16)
+        with pytest.raises(Exception):
+            tdag.src_cover(5, 3)
+        with pytest.raises(Exception):
+            tdag.src_cover(0, 16)
+
+
+class TestKeywordBudget:
+    def test_keywords_per_value_bounded(self):
+        tdag = Tdag(1 << 12)
+        for value in range(0, 1 << 12, 97):
+            assert tdag.keywords_per_value(value) <= 2 * (tdag.height + 1)

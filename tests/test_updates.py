@@ -1,0 +1,204 @@
+"""Unit and integration tests for the batch-update framework."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.logarithmic import LogarithmicBrc
+from repro.core.log_src_i import LogarithmicSrcI
+from repro.errors import UpdateError
+from repro.updates import (
+    BatchUpdateManager,
+    OpKind,
+    UpdateOp,
+    delete,
+    insert,
+    modify,
+)
+
+DOMAIN = 1 << 12
+
+
+def make_manager(s=3, seed=5, scheme_cls=LogarithmicBrc):
+    # Each factory call must yield *independent* keys (forward privacy!),
+    # so derive a fresh seed per instance from one master RNG.
+    seeder = random.Random(seed * 7919)
+    return BatchUpdateManager(
+        lambda: scheme_cls(DOMAIN, rng=random.Random(seeder.randrange(2**62))),
+        consolidation_step=s,
+        rng=random.Random(seed),
+    )
+
+
+class TestOps:
+    def test_encode_round_trip(self):
+        for op in (insert(5, 99), delete(7, 3)):
+            assert UpdateOp.decode(op.encode()) == op
+
+    def test_decode_rejects_bad_length(self):
+        with pytest.raises(UpdateError):
+            UpdateOp.decode(b"\x00" * 5)
+
+    def test_modify_decomposes(self):
+        ops = modify(5, 10, 20)
+        assert ops[0] == delete(5, 10) and ops[1] == insert(5, 20)
+
+    def test_kind_values_stable(self):
+        assert OpKind.INSERT.value == 0 and OpKind.DELETE.value == 1
+
+
+class TestLifecycle:
+    def test_empty_batch_rejected(self):
+        with pytest.raises(UpdateError):
+            make_manager().apply_batch([])
+
+    def test_bad_consolidation_step(self):
+        with pytest.raises(UpdateError):
+            make_manager(s=1)
+
+    def test_insert_then_query(self):
+        mgr = make_manager()
+        mgr.apply_batch([insert(i, i) for i in range(10)])
+        assert mgr.query(3, 6).ids == {3, 4, 5, 6}
+
+    def test_delete_suppresses_older_insert(self):
+        mgr = make_manager()
+        mgr.apply_batch([insert(1, 100), insert(2, 101)])
+        mgr.apply_batch([delete(1, 100)])
+        assert mgr.query(90, 110).ids == {2}
+
+    def test_delete_and_reinsert(self):
+        mgr = make_manager()
+        mgr.apply_batch([insert(1, 100)])
+        mgr.apply_batch([delete(1, 100)])
+        mgr.apply_batch([insert(1, 100)])
+        assert mgr.query(100, 100).ids == {1}
+
+    def test_modify_moves_value(self):
+        mgr = make_manager()
+        mgr.apply_batch([insert(1, 100)])
+        mgr.apply_batch(modify(1, 100, 200))
+        assert mgr.query(100, 100).ids == frozenset()
+        assert mgr.query(200, 200).ids == {1}
+
+    def test_modify_within_single_batch(self):
+        mgr = make_manager()
+        mgr.apply_batch([insert(1, 100)] + modify(1, 100, 200))
+        assert mgr.query(0, DOMAIN - 1).ids == {1}
+        assert mgr.query(200, 200).ids == {1}
+        assert mgr.query(100, 100).ids == frozenset()
+
+
+class TestConsolidation:
+    def test_merge_triggered_at_step(self):
+        mgr = make_manager(s=3)
+        for b in range(3):
+            mgr.apply_batch([insert(b, b)])
+        assert mgr.stats.consolidations == 1
+        assert mgr.active_indexes == 1
+        assert mgr.levels() == {1: 1}
+
+    def test_hierarchical_merging(self):
+        mgr = make_manager(s=2)
+        for b in range(8):
+            mgr.apply_batch([insert(b, b)])
+        # 8 batches with s=2 cascade into a single level-3 index.
+        assert mgr.levels() == {3: 1}
+        assert mgr.query(0, 7).ids == set(range(8))
+
+    def test_bounded_active_indexes(self):
+        mgr = make_manager(s=4)
+        for b in range(21):
+            mgr.apply_batch([insert(b, b % DOMAIN)])
+        # O(s * log_s b): far below the 21 un-merged indexes.
+        assert mgr.active_indexes <= 8
+
+    def test_tombstones_purged_on_full_merge(self):
+        mgr = make_manager(s=2)
+        mgr.apply_batch([insert(1, 10), insert(2, 20)])
+        mgr.apply_batch([delete(1, 10)])
+        # Merge happened (2 batches, s=2) and no older level exists, so
+        # the tombstone must be gone and the answer correct.
+        assert mgr.stats.consolidations == 1
+        assert mgr.query(0, 30).ids == {2}
+        assert mgr.stats.tombstones_purged >= 1
+
+    def test_consolidated_equals_unconsolidated(self):
+        """An LSM-managed dataset answers exactly like one big index."""
+        rng = random.Random(42)
+        ops_per_batch = [
+            [insert(b * 10 + i, rng.randrange(DOMAIN)) for i in range(10)]
+            for b in range(9)
+        ]
+        merged_mgr = make_manager(s=3, seed=1)
+        flat_mgr = make_manager(s=100, seed=2)  # never consolidates
+        for ops in ops_per_batch:
+            merged_mgr.apply_batch(list(ops))
+            flat_mgr.apply_batch(list(ops))
+        assert merged_mgr.active_indexes < flat_mgr.active_indexes
+        for lo, hi in [(0, DOMAIN - 1), (100, 900), (0, 0)]:
+            assert merged_mgr.query(lo, hi).ids == flat_mgr.query(lo, hi).ids
+
+
+class TestForwardPrivacy:
+    def test_fresh_keys_per_batch(self):
+        """A trapdoor for batch 1's index retrieves nothing from batch 2's
+        index — the token-non-transferability behind forward privacy."""
+        mgr = make_manager(s=10)
+        mgr.apply_batch([insert(1, 100)])
+        mgr.apply_batch([insert(2, 100)])
+        first, second = mgr._indexes
+        token = first.scheme.trapdoor(50, 150)
+        assert second.scheme.search(token) == []
+
+    def test_consolidation_reencrypts(self):
+        """After a merge, pre-merge trapdoors are useless on the new index."""
+        mgr = make_manager(s=2)
+        mgr.apply_batch([insert(1, 100)])
+        old_scheme = mgr._indexes[0].scheme
+        old_token = old_scheme.trapdoor(50, 150)
+        mgr.apply_batch([insert(2, 100)])  # triggers merge
+        new_scheme = mgr._indexes[0].scheme
+        assert new_scheme is not old_scheme
+        assert new_scheme.search(old_token) == []
+
+
+class TestWithInteractiveScheme:
+    def test_src_i_as_underlying_scheme(self):
+        mgr = make_manager(scheme_cls=LogarithmicSrcI)
+        mgr.apply_batch([insert(i, i * 3) for i in range(30)])
+        mgr.apply_batch([delete(5, 15)])
+        assert mgr.query(0, 30).ids == {0, 1, 2, 3, 4, 6, 7, 8, 9, 10}
+
+
+class TestRandomizedEquivalence:
+    def test_against_dict_model(self):
+        """Drive random ops; the manager must match a dict reference."""
+        rng = random.Random(123)
+        mgr = make_manager(s=3, seed=9)
+        model: dict[int, int] = {}
+        next_id = 0
+        for _ in range(12):
+            batch = []
+            for _ in range(rng.randrange(1, 8)):
+                action = rng.random()
+                if action < 0.6 or not model:
+                    value = rng.randrange(DOMAIN)
+                    batch.append(insert(next_id, value))
+                    model[next_id] = value
+                    next_id += 1
+                elif action < 0.85:
+                    victim = rng.choice(list(model))
+                    batch.append(delete(victim, model.pop(victim)))
+                else:
+                    victim = rng.choice(list(model))
+                    new_value = rng.randrange(DOMAIN)
+                    batch.extend(modify(victim, model[victim], new_value))
+                    model[victim] = new_value
+            mgr.apply_batch(batch)
+            lo = rng.randrange(DOMAIN)
+            hi = rng.randrange(lo, DOMAIN)
+            expected = {i for i, v in model.items() if lo <= v <= hi}
+            assert mgr.query(lo, hi).ids == expected

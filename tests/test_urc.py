@@ -1,0 +1,114 @@
+"""Unit and property tests for the Uniform Range Cover.
+
+The load-bearing property (the reason URC exists): the multiset of node
+*levels* in the cover depends only on the range size, never on its
+position — so token counts cannot betray where a query sits.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.covers.dyadic import Node
+from repro.covers.urc import (
+    canonical_level_multiset,
+    uniform_range_cover,
+    urc_node_count,
+)
+
+
+def covered_values(nodes):
+    out = []
+    for node in nodes:
+        out.extend(range(node.lo, node.hi + 1))
+    return out
+
+
+class TestPaperExamples:
+    def test_range_2_7_breaks_to_four_nodes(self):
+        # Paper Figure 1: URC covers [2, 7] with N2, N3, N4,5, N6,7.
+        assert uniform_range_cover(2, 7) == [
+            Node(0, 2),
+            Node(0, 3),
+            Node(1, 2),
+            Node(1, 3),
+        ]
+
+    def test_range_1_6_same_level_multiset(self):
+        # Paper: [1, 6] is represented by the same number of nodes at the
+        # same levels as [2, 7].
+        levels_a = Counter(n.level for n in uniform_range_cover(2, 7))
+        levels_b = Counter(n.level for n in uniform_range_cover(1, 6))
+        assert levels_a == levels_b == Counter({0: 2, 1: 2})
+
+    def test_single_value(self):
+        assert uniform_range_cover(9, 9) == [Node(0, 9)]
+
+
+class TestCanonicalMultiset:
+    def test_r1(self):
+        assert canonical_level_multiset(1) == Counter({0: 1})
+
+    def test_r6(self):
+        assert canonical_level_multiset(6) == Counter({0: 2, 1: 2})
+
+    def test_sums_to_range_size(self):
+        for size in range(1, 200):
+            multiset = canonical_level_multiset(size)
+            assert sum(count << lvl for lvl, count in multiset.items()) == size
+
+    def test_every_level_below_max_present(self):
+        for size in range(2, 200):
+            multiset = canonical_level_multiset(size)
+            for lvl in range(max(multiset)):
+                assert multiset[lvl] >= 1, (size, multiset)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            canonical_level_multiset(0)
+
+    def test_node_count_logarithmic(self):
+        for size in range(1, 2000):
+            assert urc_node_count(size) <= 2 * size.bit_length() + 1
+
+
+class TestPositionIndependence:
+    def test_exhaustive_domain_128(self):
+        """For every size, every position in a 128-value domain yields the
+        canonical multiset — the core URC guarantee, checked exhaustively."""
+        for size in range(1, 65):
+            expected = canonical_level_multiset(size)
+            for lo in range(0, 128 - size + 1):
+                got = Counter(n.level for n in uniform_range_cover(lo, lo + size - 1))
+                assert got == expected, (size, lo)
+
+    @given(st.integers(1, 1 << 12), st.data())
+    @settings(max_examples=200)
+    def test_random_positions_large_domain(self, size, data):
+        lo = data.draw(st.integers(0, (1 << 20) - size))
+        got = Counter(n.level for n in uniform_range_cover(lo, lo + size - 1))
+        assert got == canonical_level_multiset(size)
+
+
+class TestExactness:
+    def test_exhaustive_small(self):
+        for lo in range(32):
+            for hi in range(lo, 32):
+                nodes = uniform_range_cover(lo, hi)
+                values = covered_values(nodes)
+                assert sorted(values) == list(range(lo, hi + 1)), (lo, hi)
+
+    @given(st.integers(0, 1 << 14), st.integers(0, 1 << 10))
+    @settings(max_examples=200)
+    def test_disjoint_exact_random(self, lo, width):
+        hi = lo + width
+        values = covered_values(uniform_range_cover(lo, hi))
+        assert len(values) == len(set(values)) == hi - lo + 1
+        assert min(values) == lo and max(values) == hi
+
+    def test_sorted_left_to_right(self):
+        nodes = uniform_range_cover(3, 100)
+        assert all(a.hi < b.lo for a, b in zip(nodes, nodes[1:]))

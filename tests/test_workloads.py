@@ -1,0 +1,138 @@
+"""Tests for dataset and query generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.datasets import (
+    GOWALLA_DOMAIN,
+    USPS_DOMAIN,
+    clustered,
+    distinct_fraction,
+    gowalla_like,
+    uniform,
+    usps_like,
+    with_distinct_fraction,
+    zipf,
+)
+from repro.workloads.queries import (
+    fixed_size_ranges,
+    non_intersecting_ranges,
+    percent_of_domain_ranges,
+    random_ranges,
+    sweep,
+)
+
+
+class TestDatasets:
+    @pytest.mark.parametrize(
+        "gen", [uniform, gowalla_like, usps_like]
+    )
+    def test_shape(self, gen):
+        records = (
+            gen(500, domain_size=10_000, seed=3)
+            if gen is uniform
+            else gen(500, seed=3)
+        )
+        assert len(records) == 500
+        assert sorted(i for i, _ in records) == list(range(500))
+
+    def test_values_in_domain(self):
+        for doc_id, value in gowalla_like(300, seed=1):
+            assert 0 <= value < GOWALLA_DOMAIN
+        for doc_id, value in usps_like(300, seed=1):
+            assert 0 <= value < USPS_DOMAIN
+
+    def test_gowalla_distinct_fraction(self):
+        records = gowalla_like(4000, domain_size=1 << 24, seed=5)
+        assert 0.90 <= distinct_fraction(records) <= 1.0
+
+    def test_usps_distinct_fraction(self):
+        records = usps_like(4000, seed=5)
+        assert 0.03 <= distinct_fraction(records) <= 0.08
+
+    def test_usps_is_skewed(self):
+        records = usps_like(4000, seed=5)
+        from collections import Counter
+
+        counts = Counter(v for _, v in records).most_common()
+        # Zipf-weighted masses: top value holds far more than the mean.
+        assert counts[0][1] > 5 * (len(records) / len(counts))
+
+    def test_seed_determinism(self):
+        assert gowalla_like(200, seed=9) == gowalla_like(200, seed=9)
+        assert gowalla_like(200, seed=9) != gowalla_like(200, seed=10)
+
+    def test_distinct_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            with_distinct_fraction(10, 100, 0.0)
+        with pytest.raises(ValueError):
+            with_distinct_fraction(10, 100, 1.5)
+
+    def test_pool_larger_than_domain_clamped(self):
+        records = with_distinct_fraction(50, 10, 1.0, seed=1)
+        assert len(records) == 50
+        assert all(0 <= v < 10 for _, v in records)
+
+    def test_zipf_skew(self):
+        records = zipf(2000, 500, exponent=1.5, seed=2)
+        assert distinct_fraction(records) < 0.25
+
+    def test_clustered_values_clipped(self):
+        records = clustered(500, 1000, clusters=4, seed=2)
+        assert all(0 <= v < 1000 for _, v in records)
+
+    def test_distinct_fraction_empty(self):
+        assert distinct_fraction([]) == 0.0
+
+
+class TestQueries:
+    def test_random_ranges_valid(self):
+        for lo, hi in random_ranges(1000, 200, seed=4):
+            assert 0 <= lo <= hi < 1000
+
+    def test_fixed_size_exact(self):
+        for lo, hi in fixed_size_ranges(1000, 37, 100, seed=4):
+            assert hi - lo + 1 == 37 and 0 <= lo and hi < 1000
+
+    def test_fixed_size_bounds(self):
+        with pytest.raises(ValueError):
+            fixed_size_ranges(100, 0, 5)
+        with pytest.raises(ValueError):
+            fixed_size_ranges(100, 101, 5)
+
+    def test_full_domain_range(self):
+        (query,) = fixed_size_ranges(100, 100, 1, seed=1)
+        assert query == (0, 99)
+
+    def test_percent_of_domain(self):
+        for lo, hi in percent_of_domain_ranges(1000, 10, 50, seed=4):
+            assert hi - lo + 1 == 100
+
+    def test_percent_bounds(self):
+        with pytest.raises(ValueError):
+            percent_of_domain_ranges(1000, 0, 5)
+        with pytest.raises(ValueError):
+            percent_of_domain_ranges(1000, 101, 5)
+
+    def test_non_intersecting(self):
+        queries = non_intersecting_ranges(10_000, 20, seed=4)
+        assert len(queries) == 20
+        for (l1, h1), (l2, h2) in zip(queries, queries[1:]):
+            assert h1 < l2
+
+    def test_non_intersecting_feeds_constant_scheme(self):
+        """The generated workload must pass the intersection guard."""
+        import random as _random
+
+        from repro.core.constant import ConstantBrc
+
+        scheme = ConstantBrc(1 << 12, rng=_random.Random(1))
+        scheme.build_index([(i, i) for i in range(100)])
+        for lo, hi in non_intersecting_ranges(1 << 12, 10, seed=3):
+            scheme.query(lo, hi)  # must not raise
+
+    def test_sweep_shape(self):
+        points = list(sweep(1000, percents=(10, 50), queries_per_point=5, seed=1))
+        assert [p for p, _ in points] == [10, 50]
+        assert all(len(qs) == 5 for _, qs in points)
