@@ -1,37 +1,57 @@
 #!/usr/bin/env python3
-"""Quickstart: encrypted range search in a dozen lines.
+"""Quickstart: an updatable encrypted range store in a dozen lines.
 
-An owner outsources a small dataset to an (untrusted) server and runs
-range queries that reveal nothing but the formulated leakage.  This uses
-Logarithmic-SRC-i — the paper's best security/efficiency trade-off.
+``RangeStore`` is the library's front door: it composes an RSSE scheme
+(Logarithmic-SRC-i by default — the paper's best security/efficiency
+trade-off), the forward-private batch-update manager, and a pluggable
+storage backend behind one insert/delete/search/save/load API.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import make_scheme
+import os
+import tempfile
 
-# Setup + BuildIndex: the owner encrypts and indexes (id, value) tuples.
-# Here: sensor readings with a 16-bit measurement domain.
-scheme = make_scheme("logarithmic-src-i", domain_size=1 << 16)
-readings = [
-    (101, 2_310),
-    (102, 47_000),
-    (103, 2_355),
-    (104, 61_200),
-    (105, 2_290),
-]
-scheme.build_index(readings)
+from repro import RangeStore
 
-# Trpdr + Search + refinement, all in one call: which sensors reported
-# a value between 2,000 and 3,000?
-outcome = scheme.query(2_000, 3_000)
+# Open a store over a 16-bit measurement domain and insert sensor
+# readings.  Writes buffer owner-side and flush as one encrypted batch.
+store = RangeStore.open("logarithmic-src-i", domain_size=1 << 16)
+store.insert_many(
+    [
+        (101, 2_310),
+        (102, 47_000),
+        (103, 2_355),
+        (104, 61_200),
+        (105, 2_290),
+    ]
+)
+
+# Which sensors reported a value between 2,000 and 3,000?  One call runs
+# trapdoor → (two-round) encrypted search → client-side refinement.
+outcome = store.search(2_000, 3_000)
 
 print("matching ids:       ", sorted(outcome.ids))
 print("server returned:    ", len(outcome.raw_ids), "candidates")
 print("false positives:    ", outcome.false_positives)
 print("query token bytes:  ", outcome.token_bytes)
+print("response bytes:     ", outcome.response_bytes)
 print("protocol rounds:    ", outcome.rounds)
-print("index size (bytes): ", scheme.index_size_bytes())
+print("index size (bytes): ", store.index_bytes())
 
 assert sorted(outcome.ids) == [101, 103, 105]
-print("\nOK — the encrypted index answered exactly.")
+
+# Updates are first-class: tombstone one reading, add another.
+store.delete(103, 2_355)
+store.insert(106, 2_500)
+assert sorted(store.search(2_000, 3_000).ids) == [101, 105, 106]
+
+# Persistence: checkpoint everything (keys included — always use a
+# passphrase) and reopen it elsewhere.
+with tempfile.TemporaryDirectory() as tmp:
+    path = os.path.join(tmp, "sensors.rsse")
+    store.save(path, passphrase="s3cret")
+    reopened = RangeStore.open_snapshot(path, passphrase="s3cret")
+    assert sorted(reopened.search(2_000, 3_000).ids) == [101, 105, 106]
+
+print("\nOK — the encrypted store answered exactly, before and after reload.")

@@ -83,6 +83,11 @@ class PbScheme(RangeScheme):
         self._bloom_bytes = 0
         self._node_count = 0
 
+    def index_names(self) -> "tuple[str, ...]":
+        """PB's index is a Bloom-filter tree, not a label→value EDB —
+        the scheme cannot be outsourced over the EDB wire protocol."""
+        return ()
+
     # -- BuildIndex -----------------------------------------------------------
 
     def _dr_label(self, node) -> bytes:

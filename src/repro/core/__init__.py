@@ -24,6 +24,7 @@ from repro.core.scheme import (
     RangeScheme,
     Record,
 )
+from repro.core.split import EncryptedDatabase, ServerState
 
 __all__ = [
     "CacheStats",
@@ -33,6 +34,7 @@ __all__ = [
     "ConstantUrc",
     "DprfRangeToken",
     "EXPERIMENT_SCHEMES",
+    "EncryptedDatabase",
     "IntersectionGuard",
     "LogarithmicBrc",
     "LogarithmicScheme",
@@ -45,6 +47,7 @@ __all__ = [
     "RangeScheme",
     "Record",
     "SCHEMES",
+    "ServerState",
     "SECURITY_LEVELS",
     "make_scheme",
 ]

@@ -22,9 +22,10 @@ from collections import defaultdict
 from dataclasses import dataclass
 
 from repro.core.scheme import RangeScheme, Record
+from repro.core.split import EdbSlot
 from repro.crypto.dprf import COVER_BRC, COVER_URC, DelegationToken, GgmDprf
 from repro.errors import QueryIntersectionError
-from repro.sse.base import CallbackKeyDeriver, EncryptedIndex, token_from_secret
+from repro.sse.base import CallbackKeyDeriver, token_from_secret
 from repro.sse.encoding import decode_id, encode_id
 
 
@@ -34,8 +35,15 @@ class DprfRangeToken:
 
     tokens: "list[DelegationToken]"
 
+    #: Wire search kind understood by the protocol server.
+    wire_kind = "dprf"
+
     def serialized_size(self) -> int:
         return sum(t.serialized_size() for t in self.tokens)
+
+    def wire_tokens(self) -> "list[bytes]":
+        """Opaque per-seed wire encodings (seed ‖ level)."""
+        return [t.seed + bytes([t.level]) for t in self.tokens]
 
     def __len__(self) -> int:
         return len(self.tokens)
@@ -75,6 +83,9 @@ class ConstantScheme(RangeScheme):
     may_false_positive = False
     cover = COVER_BRC
 
+    #: The single EDB, resident in the scheme's server role.
+    _index = EdbSlot("edb")
+
     def __init__(self, domain_size: int, *, intersection_policy: str = "raise", **kwargs) -> None:
         super().__init__(domain_size, **kwargs)
         self._dprf = GgmDprf(domain_size)
@@ -87,7 +98,6 @@ class ConstantScheme(RangeScheme):
             )
         )
         self._sse = self._sse_factory(deriver)
-        self._index: "EncryptedIndex | None" = None
         self.guard = IntersectionGuard(intersection_policy)
 
     def _keyword(self, value: int) -> bytes:

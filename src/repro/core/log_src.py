@@ -16,9 +16,10 @@ from __future__ import annotations
 from collections import defaultdict
 
 from repro.core.scheme import MultiKeywordToken, RangeScheme, Record
+from repro.core.split import EdbSlot
 from repro.covers.tdag import Tdag
 from repro.crypto.prf import generate_key
-from repro.sse.base import EncryptedIndex, PrfKeyDeriver
+from repro.sse.base import PrfKeyDeriver
 from repro.sse.encoding import decode_id, encode_id
 
 
@@ -28,12 +29,14 @@ class LogarithmicSrc(RangeScheme):
     name = "logarithmic-src"
     may_false_positive = True
 
+    #: The single EDB, resident in the scheme's server role.
+    _index = EdbSlot("edb")
+
     def __init__(self, domain_size: int, **kwargs) -> None:
         super().__init__(domain_size, **kwargs)
         self.tdag = Tdag(domain_size)
         self._master_key = generate_key(self._rng)
         self._sse = self._sse_factory(PrfKeyDeriver(self._master_key))
-        self._index: "EncryptedIndex | None" = None
 
     def _build(self, records: "list[Record]") -> None:
         multimap: dict[bytes, list[bytes]] = defaultdict(list)

@@ -27,11 +27,12 @@ import time
 from collections import defaultdict
 
 from repro.core.scheme import MultiKeywordToken, QueryOutcome, RangeScheme, Record
+from repro.core.split import EdbSlot
 from repro.covers.tdag import Tdag
 from repro.crypto.prf import generate_key
 from repro.errors import IndexStateError
-from repro.sse.base import EncryptedIndex, PrfKeyDeriver
-from repro.sse.encoding import decode_id, decode_triple, encode_id, encode_triple
+from repro.sse.base import PrfKeyDeriver
+from repro.sse.encoding import TRIPLE_LEN, decode_id, decode_triple, encode_id, encode_triple
 
 
 class LogarithmicSrcI(RangeScheme):
@@ -39,6 +40,11 @@ class LogarithmicSrcI(RangeScheme):
 
     name = "logarithmic-src-i"
     may_false_positive = True
+    interactive = True
+
+    #: The two EDBs (domain-side I1, position-side I2) in the server role.
+    _index1 = EdbSlot("edb1")
+    _index2 = EdbSlot("edb2")
 
     def __init__(self, domain_size: int, **kwargs) -> None:
         super().__init__(domain_size, **kwargs)
@@ -48,9 +54,10 @@ class LogarithmicSrcI(RangeScheme):
         self._key2 = generate_key(self._rng)
         self._sse1 = self._sse_factory(PrfKeyDeriver(self._key1))
         self._sse2 = self._sse_factory(PrfKeyDeriver(self._key2))
-        self._index1: "EncryptedIndex | None" = None
-        self._index2: "EncryptedIndex | None" = None
         self.distinct_values = 0
+
+    def index_names(self) -> "tuple[str, ...]":
+        return ("edb1", "edb2")
 
     # -- BuildIndex ----------------------------------------------------------
 
@@ -135,19 +142,20 @@ class LogarithmicSrcI(RangeScheme):
     def query(self, lo: int, hi: int) -> QueryOutcome:
         """Two-round protocol with per-side timing attribution."""
         self._require_built()
-        owner = server = 0.0
+        trapdoor = server = refine = 0.0
 
         t0 = time.perf_counter()
         token1 = self.trapdoor_phase1(lo, hi)
-        owner += time.perf_counter() - t0
+        trapdoor += time.perf_counter() - t0
 
         t0 = time.perf_counter()
         triples = self.search_phase1(token1)
         server += time.perf_counter() - t0
+        response_bytes = TRIPLE_LEN * len(triples)
 
         t0 = time.perf_counter()
         merged = self.merge_qualifying(triples, lo, hi)
-        owner += time.perf_counter() - t0
+        refine += time.perf_counter() - t0
         token_bytes = token1.serialized_size()
 
         if merged is None:
@@ -157,30 +165,40 @@ class LogarithmicSrcI(RangeScheme):
                 false_positives=0,
                 token_bytes=token_bytes,
                 rounds=1,
-                trapdoor_seconds=owner,
+                trapdoor_seconds=trapdoor,
                 server_seconds=server,
+                refine_seconds=refine,
+                response_bytes=response_bytes,
             )
 
         t0 = time.perf_counter()
         token2 = self.trapdoor_phase2(*merged)
-        owner += time.perf_counter() - t0
+        trapdoor += time.perf_counter() - t0
         token_bytes += token2.serialized_size()
 
         t0 = time.perf_counter()
         raw_ids = self.search_phase2(token2)
         server += time.perf_counter() - t0
 
+        t0 = time.perf_counter()
+        blobs = self.server.fetch_tuples(raw_ids)
         matched = frozenset(
-            rec.id for rec in self.resolve(raw_ids) if lo <= rec.value <= hi
+            rec.id
+            for rec in (self.decrypt_record(blob) for blob in blobs)
+            if lo <= rec.value <= hi
         )
+        refine += time.perf_counter() - t0
+        response_bytes += 8 * len(raw_ids) + sum(len(b) for b in blobs)
         return QueryOutcome(
             ids=matched,
             raw_ids=tuple(raw_ids),
             false_positives=len(raw_ids) - len(matched),
             token_bytes=token_bytes,
             rounds=2,
-            trapdoor_seconds=owner,
+            trapdoor_seconds=trapdoor,
             server_seconds=server,
+            refine_seconds=refine,
+            response_bytes=response_bytes,
         )
 
     # -- base-class interface -------------------------------------------------

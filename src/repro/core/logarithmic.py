@@ -18,11 +18,12 @@ from __future__ import annotations
 from collections import defaultdict
 
 from repro.core.scheme import MultiKeywordToken, RangeScheme, Record
+from repro.core.split import EdbSlot
 from repro.covers.brc import best_range_cover
 from repro.covers.dyadic import DomainTree
 from repro.covers.urc import uniform_range_cover
 from repro.crypto.prf import generate_key
-from repro.sse.base import EncryptedIndex, PrfKeyDeriver
+from repro.sse.base import PrfKeyDeriver
 from repro.sse.encoding import decode_id, encode_id
 
 
@@ -31,12 +32,14 @@ class LogarithmicScheme(RangeScheme):
 
     may_false_positive = False
 
+    #: The single EDB, resident in the scheme's server role.
+    _index = EdbSlot("edb")
+
     def __init__(self, domain_size: int, **kwargs) -> None:
         super().__init__(domain_size, **kwargs)
         self.tree = DomainTree(domain_size)
         self._master_key = generate_key(self._rng)
         self._sse = self._sse_factory(PrfKeyDeriver(self._master_key))
-        self._index: "EncryptedIndex | None" = None
 
     def _cover(self, lo: int, hi: int):
         raise NotImplementedError

@@ -18,8 +18,9 @@ from __future__ import annotations
 from collections import defaultdict
 
 from repro.core.scheme import MultiKeywordToken, RangeScheme, Record
+from repro.core.split import EdbSlot
 from repro.errors import DomainError
-from repro.sse.base import EncryptedIndex, PrfKeyDeriver
+from repro.sse.base import PrfKeyDeriver
 from repro.sse.encoding import decode_id, encode_id, range_keyword
 from repro.crypto.prf import generate_key
 
@@ -45,6 +46,9 @@ class Quadratic(RangeScheme):
 
     name = "quadratic"
 
+    #: The single EDB, resident in the scheme's server role.
+    _index = EdbSlot("edb")
+
     def __init__(
         self,
         domain_size: int,
@@ -62,7 +66,6 @@ class Quadratic(RangeScheme):
         self.padded = padded
         self._master_key = generate_key(self._rng)
         self._sse = self._sse_factory(PrfKeyDeriver(self._master_key))
-        self._index: "EncryptedIndex | None" = None
 
     def _build(self, records: "list[Record]") -> None:
         multimap: dict[bytes, list[bytes]] = defaultdict(list)
@@ -88,12 +91,12 @@ class Quadratic(RangeScheme):
                         dummy += 1
         self._index = self._sse.build_index(multimap)
 
-    def resolve(self, ids):
+    def fetchable_ids(self, ids):
         """Client refinement; in padded mode, silently drops the dummy ids
         (only the owner can tell them apart — the server cannot)."""
         if self.padded:
-            ids = [i for i in ids if i < self._dummy_floor]
-        return super().resolve(ids)
+            return [i for i in ids if i < self._dummy_floor]
+        return list(ids)
 
     def trapdoor(self, lo: int, hi: int) -> MultiKeywordToken:
         lo, hi = self.check_range(lo, hi)

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.baselines.pb import PbScheme
 from repro.core.constant import ConstantBrc, ConstantUrc
 from repro.core.log_src import LogarithmicSrc
 from repro.core.log_src_i import LogarithmicSrcI
@@ -16,7 +17,9 @@ from repro.core.logarithmic import LogarithmicBrc, LogarithmicUrc
 from repro.core.quadratic import Quadratic
 from repro.core.scheme import RangeScheme
 
-#: All RSSE constructions of the paper, keyed by their Table 1 names.
+#: All RSSE constructions of the paper, keyed by their Table 1 names,
+#: plus the measured PB baseline of Li et al. (so the CLI and the
+#: comparison experiments can select it like any scheme).
 SCHEMES: "dict[str, Callable[..., RangeScheme]]" = {
     "quadratic": Quadratic,
     "constant-brc": ConstantBrc,
@@ -25,6 +28,7 @@ SCHEMES: "dict[str, Callable[..., RangeScheme]]" = {
     "logarithmic-urc": LogarithmicUrc,
     "logarithmic-src": LogarithmicSrc,
     "logarithmic-src-i": LogarithmicSrcI,
+    "pb": PbScheme,
 }
 
 #: The schemes the paper's experiments run (Quadratic excluded for its

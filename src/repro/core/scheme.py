@@ -8,14 +8,21 @@ in the paper, by four algorithms:
 - ``Trpdr``   → :meth:`RangeScheme.trapdoor`;
 - ``Search``  → :meth:`RangeScheme.search` (server side).
 
-Every concrete scheme reduces the range to keywords differently but
-shares this lifecycle, the encrypted at-rest tuple store, and the final
-client-side refinement step (fetch ciphertexts for returned ids, decrypt,
-drop false positives) — which the paper describes as orthogonal to the
-SSE search itself.
+The paper's two-party model is reflected structurally: every scheme is
+the composition of an **owner role** (key material, ``build_index``,
+``trapdoor``, refinement — the methods of this class) and a **server
+role** (:class:`~repro.core.split.EncryptedDatabase`, held at
+``scheme.server``: encrypted indexes, encrypted tuples, encrypted
+payloads, key-free search).  In-process the two live in one object for
+convenience; :meth:`RangeScheme.export_server_state` hands the server
+role's entire state over a serialization boundary (and can *detach* it,
+after which the owner holds nothing but keys), which is how the
+:mod:`repro.protocol` clients outsource to a real
+:class:`~repro.protocol.server.RsseServer`.
 
 The class also centralizes the measurement hooks the evaluation needs:
-exact index bytes, token wire bytes, trapdoor and server wall-clock.
+exact index bytes, token wire bytes, trapdoor/server/refinement
+wall-clock and response bytes.
 """
 
 from __future__ import annotations
@@ -26,12 +33,14 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 
+from repro.core.split import EncryptedDatabase, ServerState
 from repro.crypto.prf import generate_key
 from repro.crypto.symmetric import SemanticCipher
 from repro.errors import DomainError, IndexStateError
 from repro.sse.base import KeyDeriver, SseScheme
 from repro.sse.encoding import decode_record, encode_record
 from repro.sse.pibas import PiBas
+from repro.storage.backend import StorageBackend
 
 #: Factory signature every scheme accepts: ``deriver -> SseScheme``.
 SseFactory = Callable[[KeyDeriver], SseScheme]
@@ -52,7 +61,11 @@ class QueryOutcome:
 
     ``ids`` is the exact answer after client refinement; ``raw_ids`` is
     what the server returned (it may include false positives for the
-    SRC family and PB).  Cost fields feed Figures 7 and 8.
+    SRC family and PB).  Cost fields feed Figures 7 and 8:
+    ``trapdoor_seconds`` and ``refine_seconds`` are owner-side work,
+    ``server_seconds`` is server-side work, and ``response_bytes``
+    counts the server→owner bytes (search results plus fetched
+    ciphertexts).
     """
 
     ids: frozenset
@@ -62,6 +75,8 @@ class QueryOutcome:
     rounds: int
     trapdoor_seconds: float
     server_seconds: float
+    refine_seconds: float = 0.0
+    response_bytes: int = 0
 
     @property
     def result_size(self) -> int:
@@ -88,6 +103,11 @@ class RangeScheme(ABC):
         Optional seeded :class:`random.Random` driving every shuffle and
         nonce in the scheme — inject for reproducible tests; leave
         ``None`` for CSPRNG-backed production behaviour.
+    backend:
+        Optional :class:`~repro.storage.StorageBackend` for the scheme's
+        server role (``scheme.server``).  In-memory when omitted.  Give
+        every scheme its own backend (or a
+        :class:`~repro.storage.PrefixedBackend` slice of a shared one).
     """
 
     #: Scheme name as it appears in the paper's tables/figures.
@@ -96,12 +116,17 @@ class RangeScheme(ABC):
     #: Whether the server's answer can contain false positives.
     may_false_positive: bool = False
 
+    #: Whether the query protocol needs more than one owner↔server round
+    #: (only Logarithmic-SRC-i, which exposes explicit phase methods).
+    interactive: bool = False
+
     def __init__(
         self,
         domain_size: int,
         *,
         sse_factory: "SseFactory | None" = None,
         rng: "random.Random | None" = None,
+        backend: "StorageBackend | None" = None,
     ) -> None:
         if domain_size < 1:
             raise DomainError(f"domain size must be >= 1, got {domain_size}")
@@ -110,12 +135,30 @@ class RangeScheme(ABC):
         self._rng = rng if rng is not None else random.SystemRandom()
         self._record_key = generate_key(self._rng)
         self._record_cipher = SemanticCipher(self._record_key, rng=self._rng)
-        #: Server-side encrypted tuple store: id -> Enc(record).
-        self._encrypted_store: dict[int, bytes] = {}
-        #: Server-side encrypted payload store: id -> Enc(document bytes).
-        self._payload_store: dict[int, bytes] = {}
+        #: The server-side role: EDBs + encrypted tuple/payload stores.
+        self.server = EncryptedDatabase(backend)
         self._built = False
         self._n = 0
+
+    # -- server-side stores (legacy attribute views) -------------------------
+
+    @property
+    def _encrypted_store(self):
+        """Server-side encrypted tuple store: id -> Enc(record)."""
+        return self.server.tuple_store
+
+    @_encrypted_store.setter
+    def _encrypted_store(self, entries) -> None:
+        self.server.replace_tuples(entries)
+
+    @property
+    def _payload_store(self):
+        """Server-side encrypted payload store: id -> Enc(document)."""
+        return self.server.payload_store
+
+    @_payload_store.setter
+    def _payload_store(self, entries) -> None:
+        self.server.replace_payloads(entries)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -157,21 +200,22 @@ class RangeScheme(ABC):
                 )
             seen_ids.add(rec.id)
             normalized.append(rec)
-        self._encrypted_store = {
-            rec.id: self._record_cipher.encrypt(encode_record(rec.id, rec.value))
+        self.server.replace_tuples(
+            (rec.id, self._record_cipher.encrypt(encode_record(rec.id, rec.value)))
             for rec in normalized
-        }
-        self._payload_store = {}
+        )
         if payloads is not None:
             unknown = set(payloads) - seen_ids
             if unknown:
                 raise DomainError(
                     f"payloads reference unindexed ids: {sorted(unknown)[:5]}"
                 )
-            self._payload_store = {
-                doc_id: self._record_cipher.encrypt(bytes(blob))
+            self.server.replace_payloads(
+                (doc_id, self._record_cipher.encrypt(bytes(blob)))
                 for doc_id, blob in payloads.items()
-            }
+            )
+        else:
+            self.server.replace_payloads(())
         self._n = len(normalized)
         self._build(normalized)
         self._built = True
@@ -189,18 +233,77 @@ class RangeScheme(ABC):
         """``Search``: server-side evaluation, returns matching ids
         (a superset of the true answer for FP-prone schemes)."""
 
+    # -- the trust-boundary seam ---------------------------------------------
+
+    def index_names(self) -> "tuple[str, ...]":
+        """Names of the scheme's server-side EDBs (empty: not remotable)."""
+        return ("edb",)
+
+    def export_server_state(self, *, detach: bool = False) -> ServerState:
+        """Hand over everything the server should hold for this scheme.
+
+        With ``detach=True`` the local server role is cleared afterwards
+        — the owner then holds *nothing but keys* (plus public domain
+        metadata), which is the paper's outsourced configuration.  The
+        owner can still issue trapdoors and refine results; only
+        in-process :meth:`query` becomes unavailable until a state is
+        re-imported.
+        """
+        self._require_built()
+        state = self.server.export_state()
+        for name in self.index_names():
+            if name not in state.indexes:
+                raise IndexStateError(f"scheme built no index named {name!r}")
+        if detach:
+            self.server.clear()
+        return state
+
+    def import_server_state(self, state: ServerState) -> None:
+        """Install server-side state exported by a matching scheme.
+
+        Only meaningful on a scheme holding the matching key material
+        (the same instance, or one restored from a key snapshot) —
+        otherwise queries will simply decrypt garbage and fail.
+        """
+        for name in self.index_names():
+            if name not in state.indexes:
+                raise IndexStateError(f"server state lacks index {name!r}")
+        self.server.import_state(state)
+        self._n = len(state.tuples)
+        self._built = True
+
+    def decrypt_record(self, blob: bytes) -> Record:
+        """Owner-side decryption of one encrypted tuple (refinement step)."""
+        rid, value = decode_record(self._record_cipher.decrypt(blob))
+        return Record(rid, value)
+
+    def decrypt_payload(self, blob: bytes) -> bytes:
+        """Owner-side decryption of one encrypted payload document."""
+        return self._record_cipher.decrypt(blob)
+
+    def _install_record_key(self, record_key: bytes) -> None:
+        """Adopt a persisted record key (snapshot restore path)."""
+        self._record_key = record_key
+        self._record_cipher = SemanticCipher(record_key, rng=self._rng)
+
     # -- client refinement & the full protocol ------------------------------
+
+    def fetchable_ids(self, ids: Sequence[int]) -> "list[int]":
+        """Candidate ids that actually have server-side tuples.
+
+        The identity for every scheme except padded Quadratic, whose
+        dummy ids exist only inside the EDB and must be dropped before
+        the tuple fetch (only the owner can tell them apart).  Remote
+        clients call this between search and fetch.
+        """
+        return list(ids)
 
     def resolve(self, ids: Sequence[int]) -> "list[Record]":
         """Fetch and decrypt the tuples for ``ids`` (client refinement)."""
-        records = []
-        for doc_id in ids:
-            blob = self._encrypted_store.get(doc_id)
-            if blob is None:
-                raise IndexStateError(f"server returned unknown id {doc_id}")
-            rid, value = decode_record(self._record_cipher.decrypt(blob))
-            records.append(Record(rid, value))
-        return records
+        return [
+            self.decrypt_record(blob)
+            for blob in self.server.fetch_tuples(self.fetchable_ids(ids))
+        ]
 
     def fetch_payloads(self, ids: Sequence[int]) -> "dict[int, bytes]":
         """Fetch and decrypt the full documents for (matched) ids.
@@ -208,12 +311,10 @@ class RangeScheme(ABC):
         Ids without an attached payload are simply absent from the
         result — indexing payloads is optional per tuple.
         """
-        out: dict[int, bytes] = {}
-        for doc_id in ids:
-            blob = self._payload_store.get(doc_id)
-            if blob is not None:
-                out[doc_id] = self._record_cipher.decrypt(blob)
-        return out
+        return {
+            doc_id: self.decrypt_payload(blob)
+            for doc_id, blob in self.server.fetch_payloads(ids)
+        }
 
     def query(self, lo: int, hi: int) -> QueryOutcome:
         """Full round trip: trapdoor → server search → refinement.
@@ -227,9 +328,13 @@ class RangeScheme(ABC):
         t1 = time.perf_counter()
         raw_ids = self.search(token)
         t2 = time.perf_counter()
+        blobs = self.server.fetch_tuples(self.fetchable_ids(raw_ids))
         matched = frozenset(
-            rec.id for rec in self.resolve(raw_ids) if lo <= rec.value <= hi
+            rec.id
+            for rec in (self.decrypt_record(blob) for blob in blobs)
+            if lo <= rec.value <= hi
         )
+        t3 = time.perf_counter()
         return QueryOutcome(
             ids=matched,
             raw_ids=tuple(raw_ids),
@@ -238,6 +343,8 @@ class RangeScheme(ABC):
             rounds=1,
             trapdoor_seconds=t1 - t0,
             server_seconds=t2 - t1,
+            refine_seconds=t3 - t2,
+            response_bytes=8 * len(raw_ids) + sum(len(b) for b in blobs),
         )
 
     # -- measurement hooks ---------------------------------------------------
@@ -287,8 +394,15 @@ class MultiKeywordToken:
 
     tokens: list = field(default_factory=list)
 
+    #: Wire search kind understood by the protocol server.
+    wire_kind = "sse"
+
     def serialized_size(self) -> int:
         return sum(t.serialized_size() for t in self.tokens)
+
+    def wire_tokens(self) -> "list[bytes]":
+        """Opaque per-keyword wire encodings (label_key ‖ value_key)."""
+        return [t.label_key + t.value_key for t in self.tokens]
 
     def __len__(self) -> int:
         return len(self.tokens)

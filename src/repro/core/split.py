@@ -1,0 +1,281 @@
+"""The trust-boundary split: the server-side role as a first-class object.
+
+The paper's model has exactly two parties.  The *owner* holds keys and
+runs ``BuildIndex``/``Trpdr``/refinement; the *server* holds encrypted
+indexes, encrypted tuples and encrypted payloads, and evaluates searches
+from tokens alone.  :class:`EncryptedDatabase` is that server-side role:
+it stores everything through a :class:`~repro.storage.StorageBackend`
+and offers only key-free operations.  A :class:`~repro.core.scheme.RangeScheme`
+composes one in-process (``scheme.server``); the wire-protocol
+:class:`~repro.protocol.server.RsseServer` hosts one per index handle.
+
+:class:`ServerState` is the owner→server transfer object: everything a
+scheme's ``export_server_state()`` hands over (and all the owner then
+*stops* holding, when detaching).  It is deliberately all-bytes so it
+can cross a serialization boundary unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.crypto.dprf import DelegationToken, GgmDprf
+from repro.errors import IndexStateError, TokenError
+from repro.sse.base import EncryptedIndex, KeywordToken, token_from_secret
+from repro.sse.pibas import search as pibas_search
+from repro.storage.backend import InMemoryBackend, NamespaceMap, StorageBackend
+
+#: Backend namespace prefix for named encrypted indexes.
+_EDB_NS = "edb/"
+#: Backend namespace for the encrypted tuple store (id -> Enc(record)).
+_TUPLES_NS = "tuples"
+#: Backend namespace for the encrypted payload store (id -> Enc(document)).
+_PAYLOADS_NS = "payloads"
+#: Backend namespace of presence markers for named indexes.
+_META_NS = "edbmeta"
+
+
+@dataclass
+class ServerState:
+    """Everything the server holds for one scheme — and nothing more.
+
+    ``indexes`` maps index name (``"edb"``, or ``"edb1"``/``"edb2"`` for
+    the double-index SRC-i) to serialized EDB bytes; ``tuples`` and
+    ``payloads`` are ``(record id, ciphertext)`` pairs.  No key material
+    ever appears here.
+    """
+
+    indexes: "dict[str, bytes]" = field(default_factory=dict)
+    tuples: "list[tuple[int, bytes]]" = field(default_factory=list)
+    payloads: "list[tuple[int, bytes]]" = field(default_factory=list)
+
+
+class BackendIndex:
+    """:class:`~repro.sse.base.EncryptedIndex`-compatible view over a
+    backend namespace.
+
+    SSE search algorithms only ever call ``get(label)``, so any scheme's
+    (key-free) search runs unmodified against backend-resident EDBs.
+    """
+
+    def __init__(self, backend: StorageBackend, ns: str) -> None:
+        self._backend = backend
+        self._ns = ns
+
+    def __len__(self) -> int:
+        return self._backend.count(self._ns)
+
+    def __contains__(self, label: bytes) -> bool:
+        return self._backend.get(self._ns, label) is not None
+
+    def get(self, label: bytes) -> "bytes | None":
+        """Fetch one ciphertext by label (``None`` when absent)."""
+        return self._backend.get(self._ns, label)
+
+    def put(self, label: bytes, ciphertext: bytes) -> None:
+        """Insert an entry; duplicate labels indicate a broken build."""
+        if label in self:
+            raise TokenError("duplicate EDB label: PRF collision or misuse")
+        self._backend.put(self._ns, label, ciphertext)
+
+    def items(self) -> "Iterable[tuple[bytes, bytes]]":
+        return self._backend.items(self._ns)
+
+    def serialized_size(self) -> int:
+        """Exact byte size of the EDB contents (labels + ciphertexts)."""
+        return sum(len(k) + len(v) for k, v in self._backend.items(self._ns))
+
+    def to_bytes(self) -> bytes:
+        """Serialize in the same format as :meth:`EncryptedIndex.to_bytes`."""
+        return EncryptedIndex(dict(self._backend.items(self._ns))).to_bytes()
+
+
+class EncryptedDatabase:
+    """The untrusted server's state for one scheme: named EDBs, the
+    encrypted tuple store, and the encrypted payload store.
+
+    All operations are key-free; everything persists through the
+    supplied :class:`~repro.storage.StorageBackend` (in-memory when
+    omitted).  When several databases share a physical backend, wrap it
+    with :class:`~repro.storage.PrefixedBackend` per database.
+    """
+
+    def __init__(self, backend: "StorageBackend | None" = None) -> None:
+        self.backend = backend if backend is not None else InMemoryBackend()
+
+    # -- named encrypted indexes -------------------------------------------
+
+    def put_index(self, name: str, index) -> None:
+        """Store (replacing) a named EDB from any ``items()``-bearing index."""
+        entries = list(index.items())
+        self.backend.drop(_EDB_NS + name)
+        self.backend.put_many(_EDB_NS + name, entries)
+        self.backend.put(_META_NS, name.encode(), b"\x01")
+
+    def get_index(self, name: str) -> "BackendIndex | None":
+        """A live view of a named EDB, or ``None`` when never stored."""
+        if self.backend.get(_META_NS, name.encode()) is None:
+            return None
+        return BackendIndex(self.backend, _EDB_NS + name)
+
+    def drop_index(self, name: str) -> None:
+        """Remove a named EDB (no-op when absent)."""
+        self.backend.drop(_EDB_NS + name)
+        self.backend.delete(_META_NS, name.encode())
+
+    def index_names(self) -> "list[str]":
+        """Names of the EDBs currently stored."""
+        return sorted(key.decode() for key in self.backend.keys(_META_NS))
+
+    def index_size_bytes(self, name: "str | None" = None) -> int:
+        """Exact EDB bytes at rest (one index, or all of them)."""
+        names = [name] if name is not None else self.index_names()
+        total = 0
+        for n in names:
+            index = self.get_index(n)
+            if index is not None:
+                total += index.serialized_size()
+        return total
+
+    # -- encrypted tuple & payload stores ------------------------------------
+
+    @property
+    def tuple_store(self) -> NamespaceMap:
+        """Mutable id → ciphertext view of the encrypted tuple store."""
+        return NamespaceMap(self.backend, _TUPLES_NS)
+
+    @property
+    def payload_store(self) -> NamespaceMap:
+        """Mutable id → ciphertext view of the encrypted payload store."""
+        return NamespaceMap(self.backend, _PAYLOADS_NS)
+
+    def replace_tuples(self, entries: "Mapping[int, bytes] | Iterable[tuple[int, bytes]]") -> None:
+        """Drop and repopulate the tuple store in one bulk write."""
+        items = entries.items() if isinstance(entries, Mapping) else entries
+        self.backend.drop(_TUPLES_NS)
+        self.backend.put_many(
+            _TUPLES_NS, ((NamespaceMap._key(rid), bytes(b)) for rid, b in items)
+        )
+
+    def replace_payloads(self, entries: "Mapping[int, bytes] | Iterable[tuple[int, bytes]]") -> None:
+        """Drop and repopulate the payload store in one bulk write."""
+        items = entries.items() if isinstance(entries, Mapping) else entries
+        self.backend.drop(_PAYLOADS_NS)
+        self.backend.put_many(
+            _PAYLOADS_NS, ((NamespaceMap._key(rid), bytes(b)) for rid, b in items)
+        )
+
+    def fetch_tuples(self, ids: "Sequence[int]") -> "list[bytes]":
+        """Fetch encrypted tuples in request order.
+
+        Unknown ids are collected and reported *all at once* — a client
+        retrying after a partial failure learns the full gap, not just
+        the first hole.
+        """
+        store = self.tuple_store
+        blobs: list[bytes] = []
+        missing: list[int] = []
+        for rid in ids:
+            blob = store.get(rid)
+            if blob is None:
+                missing.append(rid)
+            else:
+                blobs.append(blob)
+        if missing:
+            raise IndexStateError(
+                f"server returned unknown record ids {sorted(set(missing))}"
+            )
+        return blobs
+
+    def fetch_payloads(self, ids: "Sequence[int]") -> "list[tuple[int, bytes]]":
+        """Fetch encrypted payloads; ids without one are simply absent."""
+        store = self.payload_store
+        out: list[tuple[int, bytes]] = []
+        for rid in ids:
+            blob = store.get(rid)
+            if blob is not None:
+                out.append((rid, blob))
+        return out
+
+    # -- key-free search -------------------------------------------------------
+
+    def _require_index(self, name: str) -> BackendIndex:
+        index = self.get_index(name)
+        if index is None:
+            raise IndexStateError(f"no encrypted index named {name!r}")
+        return index
+
+    def sse_search(self, name: str, token: KeywordToken) -> "list[bytes]":
+        """Π_bas counter walk with one keyword token (the wire contract)."""
+        return pibas_search(self._require_index(name), token)
+
+    def dprf_search(
+        self, name: str, tokens: "Iterable[DelegationToken]"
+    ) -> "list[bytes]":
+        """Expand GGM delegation tokens and search every derived keyword."""
+        index = self._require_index(name)
+        payloads: list[bytes] = []
+        for token in tokens:
+            for leaf in GgmDprf.expand_token(token):
+                payloads.extend(pibas_search(index, token_from_secret(leaf)))
+        return payloads
+
+    # -- accounting & lifecycle -------------------------------------------------
+
+    def stored_bytes(self) -> int:
+        """Total bytes at rest — the honest-but-curious server's tally."""
+        total = self.index_size_bytes()
+        for ns in (_TUPLES_NS, _PAYLOADS_NS):
+            total += sum(8 + len(v) for _, v in self.backend.items(ns))
+        return total
+
+    def clear(self) -> None:
+        """Forget everything (detach: the owner keeps keys only)."""
+        for name in self.index_names():
+            self.drop_index(name)
+        self.backend.drop(_TUPLES_NS)
+        self.backend.drop(_PAYLOADS_NS)
+
+    def export_state(self) -> ServerState:
+        """Snapshot all server-side state into a transfer object."""
+        return ServerState(
+            indexes={
+                name: self._require_index(name).to_bytes()
+                for name in self.index_names()
+            },
+            tuples=sorted(self.tuple_store.items()),
+            payloads=sorted(self.payload_store.items()),
+        )
+
+    def import_state(self, state: ServerState) -> None:
+        """Load a transfer object (replacing current contents)."""
+        self.clear()
+        for name, blob in state.indexes.items():
+            self.put_index(name, EncryptedIndex.from_bytes(blob))
+        self.replace_tuples(state.tuples)
+        self.replace_payloads(state.payloads)
+
+
+class EdbSlot:
+    """Descriptor exposing a named server-side EDB as a scheme attribute.
+
+    Concrete schemes declare ``_index = EdbSlot("edb")`` so their build
+    and search code keeps reading naturally while the EDB itself lives
+    in the scheme's :class:`EncryptedDatabase` (and hence behind the
+    storage backend).  Assigning ``None`` drops the index.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        return obj.server.get_index(self.name)
+
+    def __set__(self, obj, value) -> None:
+        if value is None:
+            obj.server.drop_index(self.name)
+        else:
+            obj.server.put_index(self.name, value)

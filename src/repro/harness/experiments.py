@@ -17,7 +17,6 @@ from __future__ import annotations
 import random
 import time
 
-from repro.baselines.pb import PbScheme
 from repro.baselines.plaintext import PlaintextRangeIndex
 from repro.baselines.sse_floor import SseFloor
 from repro.core.registry import make_scheme
@@ -90,7 +89,7 @@ def fig5(
             sizes_row[label] = mib(scheme.index_size_bytes())
             times_row[label] = build_s
         if include_pb:
-            pb = PbScheme(domain, rng=random.Random(seed))
+            pb = _fresh("pb", domain, seed)
             _, build_s = timed(pb.build_index, records)
             sizes_row["pb"] = mib(pb.index_size_bytes())
             times_row["pb"] = build_s
@@ -116,7 +115,7 @@ def table2(
         _, build_s = timed(scheme.build_index, records)
         rows.append((label, mib(scheme.index_size_bytes()), build_s))
     if include_pb:
-        pb = PbScheme(domain, rng=random.Random(seed))
+        pb = _fresh("pb", domain, seed)
         _, build_s = timed(pb.build_index, records)
         rows.append(("pb", mib(pb.index_size_bytes()), build_s))
     return rows
@@ -191,7 +190,7 @@ def fig7(
         scheme.build_index(records)
     pb = None
     if include_pb:
-        pb = PbScheme(domain, rng=random.Random(seed))
+        pb = _fresh("pb", domain, seed)
         pb.build_index(records)
     oracle = PlaintextRangeIndex(records)
     floor = SseFloor(len(records), rng=random.Random(seed))

@@ -2,9 +2,16 @@
 
 A downstream deployment builds an index once and reopens it across
 restarts.  ``save_scheme``/``load_scheme`` serialize a built scheme —
-secret keys, encrypted tuple store, EDB(s), and scheme-specific state —
-into one tagged binary blob, optionally passphrase-wrapped through
-:mod:`repro.io.keystore`.
+secret keys, encrypted tuple/payload stores, EDB(s), and
+scheme-specific state — into one tagged binary blob, optionally
+passphrase-wrapped through :mod:`repro.io.keystore`.
+
+Server-side state flows through the trust-boundary seam
+(:meth:`~repro.core.scheme.RangeScheme.export_server_state` /
+:meth:`~repro.core.scheme.RangeScheme.import_server_state`), so the
+snapshot layer never reaches into a scheme's stores; restoring accepts
+an optional :class:`~repro.storage.StorageBackend` to rehydrate into
+(e.g. a SQLite file).
 
 The format is explicit field-by-field serialization, not pickling:
 loading a snapshot can execute nothing but our own parsers, so a
@@ -22,13 +29,13 @@ from repro.core.log_src import LogarithmicSrc
 from repro.core.log_src_i import LogarithmicSrcI
 from repro.core.logarithmic import LogarithmicBrc, LogarithmicUrc
 from repro.core.scheme import RangeScheme
+from repro.core.split import ServerState
 from repro.covers.tdag import Tdag
-from repro.crypto.symmetric import SemanticCipher
 from repro.errors import IndexStateError, IntegrityError
 from repro.io import keystore
-from repro.sse.base import EncryptedIndex
+from repro.storage.backend import StorageBackend
 
-_MAGIC = b"RSSESNAP1"
+_MAGIC = b"RSSESNAP2"
 
 #: Scheme registry: name ↔ class (only schemes with snapshot support).
 _BY_NAME = {
@@ -72,25 +79,28 @@ class _Reader:
         return self._offset == len(self._blob)
 
 
-def _serialize_store(store: "dict[int, bytes]") -> bytes:
-    parts = [len(store).to_bytes(8, "big")]
-    for rid in sorted(store):
+def _serialize_store(entries: "list[tuple[int, bytes]]") -> bytes:
+    entries = sorted(entries)
+    parts = [len(entries).to_bytes(8, "big")]
+    for rid, blob in entries:
         parts.append(struct.pack(">Q", rid))
-        parts.append(_chunk(store[rid]))
+        parts.append(_chunk(blob))
     return b"".join(parts)
 
 
-def _parse_store(data: bytes) -> "dict[int, bytes]":
+def _parse_store(data: bytes) -> "list[tuple[int, bytes]]":
     reader = _Reader(data)
     # store count is a raw u64 prefix, then (id, chunk) pairs
     count = int.from_bytes(data[:8], "big")
     reader._offset = 8
-    store: dict[int, bytes] = {}
+    entries: list[tuple[int, bytes]] = []
     for _ in range(count):
+        if reader._offset + 8 > len(data):
+            raise IntegrityError("truncated snapshot store")
         rid = struct.unpack_from(">Q", data, reader._offset)[0]
         reader._offset += 8
-        store[rid] = reader.chunk()
-    return store
+        entries.append((rid, reader.chunk()))
+    return entries
 
 
 def dump_scheme(scheme: RangeScheme) -> bytes:
@@ -100,17 +110,19 @@ def dump_scheme(scheme: RangeScheme) -> bytes:
     name = scheme.name
     if name not in _BY_NAME:
         raise IndexStateError(f"scheme {name!r} has no snapshot support")
+    state = scheme.export_server_state()
     parts = [
         _MAGIC,
         _chunk(name.encode()),
         _chunk(scheme.domain_size.to_bytes(8, "big")),
         _chunk(scheme._n.to_bytes(8, "big")),
         _chunk(scheme._record_key),
-        _chunk(_serialize_store(scheme._encrypted_store)),
+        _chunk(_serialize_store(state.tuples)),
+        _chunk(_serialize_store(state.payloads)),
     ]
     if isinstance(scheme, ConstantScheme):
         parts.append(_chunk(scheme._dprf_key))
-        parts.append(_chunk(scheme._index.to_bytes()))
+        parts.append(_chunk(state.indexes["edb"]))
         # Persist the intersection guard: policy plus query history, so a
         # restored scheme keeps enforcing the non-intersection constraint
         # across restarts.
@@ -123,18 +135,27 @@ def dump_scheme(scheme: RangeScheme) -> bytes:
     elif isinstance(scheme, LogarithmicSrcI):
         parts.append(_chunk(scheme._key1))
         parts.append(_chunk(scheme._key2))
-        parts.append(_chunk(scheme._index1.to_bytes()))
-        parts.append(_chunk(scheme._index2.to_bytes()))
+        parts.append(_chunk(state.indexes["edb1"]))
+        parts.append(_chunk(state.indexes["edb2"]))
         parts.append(_chunk(scheme.distinct_values.to_bytes(8, "big")))
         parts.append(_chunk(scheme.tdag2.domain_size.to_bytes(8, "big")))
     else:  # Logarithmic-BRC/URC/SRC share the single-key layout
         parts.append(_chunk(scheme._master_key))
-        parts.append(_chunk(scheme._index.to_bytes()))
+        parts.append(_chunk(state.indexes["edb"]))
     return b"".join(parts)
 
 
-def restore_scheme(blob: bytes, *, rng: "random.Random | None" = None) -> RangeScheme:
-    """Reconstruct a scheme from :func:`dump_scheme` output."""
+def restore_scheme(
+    blob: bytes,
+    *,
+    rng: "random.Random | None" = None,
+    backend: "StorageBackend | None" = None,
+) -> RangeScheme:
+    """Reconstruct a scheme from :func:`dump_scheme` output.
+
+    ``backend`` optionally rehydrates the restored server-side state
+    into persistent storage instead of memory.
+    """
     blob = bytes(blob)
     if not blob.startswith(_MAGIC):
         raise IntegrityError("not an RSSE snapshot")
@@ -146,20 +167,21 @@ def restore_scheme(blob: bytes, *, rng: "random.Random | None" = None) -> RangeS
     domain_size = int.from_bytes(reader.chunk(), "big")
     n = int.from_bytes(reader.chunk(), "big")
     record_key = reader.chunk()
-    store = _parse_store(reader.chunk())
+    tuples = _parse_store(reader.chunk())
+    payloads = _parse_store(reader.chunk())
 
     kwargs = {}
     if rng is not None:
         kwargs["rng"] = rng
+    if backend is not None:
+        kwargs["backend"] = backend
     scheme = cls(domain_size, **kwargs)
-    scheme._record_key = record_key
-    scheme._record_cipher = SemanticCipher(record_key, rng=scheme._rng)
-    scheme._encrypted_store = store
-    scheme._n = n
+    scheme._install_record_key(record_key)
+    state = ServerState(tuples=tuples, payloads=payloads)
 
     if issubclass(cls, ConstantScheme):
         scheme._dprf_key = reader.chunk()
-        scheme._index = EncryptedIndex.from_bytes(reader.chunk())
+        state.indexes["edb"] = reader.chunk()
         guard_blob = reader.chunk()
         scheme.guard.policy = "raise" if guard_blob[0] == 0 else "allow"
         body = guard_blob[1:]
@@ -177,8 +199,8 @@ def restore_scheme(blob: bytes, *, rng: "random.Random | None" = None) -> RangeS
 
         scheme._sse1 = scheme._sse_factory(PrfKeyDeriver(scheme._key1))
         scheme._sse2 = scheme._sse_factory(PrfKeyDeriver(scheme._key2))
-        scheme._index1 = EncryptedIndex.from_bytes(reader.chunk())
-        scheme._index2 = EncryptedIndex.from_bytes(reader.chunk())
+        state.indexes["edb1"] = reader.chunk()
+        state.indexes["edb2"] = reader.chunk()
         scheme.distinct_values = int.from_bytes(reader.chunk(), "big")
         scheme.tdag2 = Tdag(int.from_bytes(reader.chunk(), "big"))
     else:
@@ -187,10 +209,11 @@ def restore_scheme(blob: bytes, *, rng: "random.Random | None" = None) -> RangeS
         from repro.sse.base import PrfKeyDeriver
 
         scheme._sse = scheme._sse_factory(PrfKeyDeriver(master))
-        scheme._index = EncryptedIndex.from_bytes(reader.chunk())
+        state.indexes["edb"] = reader.chunk()
     if not reader.done():
         raise IntegrityError("trailing bytes after snapshot payload")
-    scheme._built = True
+    scheme.import_server_state(state)
+    scheme._n = n
     return scheme
 
 
@@ -203,10 +226,16 @@ def save_scheme(scheme: RangeScheme, path, passphrase: "str | None" = None) -> N
         fh.write(blob)
 
 
-def load_scheme(path, passphrase: "str | None" = None, *, rng=None) -> RangeScheme:
+def load_scheme(
+    path,
+    passphrase: "str | None" = None,
+    *,
+    rng=None,
+    backend: "StorageBackend | None" = None,
+) -> RangeScheme:
     """Inverse of :func:`save_scheme`."""
     with open(path, "rb") as fh:
         blob = fh.read()
     if passphrase is not None:
         blob = keystore.unwrap(blob, passphrase)
-    return restore_scheme(blob, rng=rng)
+    return restore_scheme(blob, rng=rng, backend=backend)

@@ -4,11 +4,14 @@ from repro.protocol.client import RemoteRangeClient
 from repro.protocol.interactive import RemoteConstantClient, RemoteSrcIClient
 from repro.protocol.messages import (
     DropIndex,
+    FetchPayloads,
     FetchRequest,
     FetchResponse,
+    PayloadResponse,
     SearchRequest,
     SearchResponse,
     UploadIndex,
+    UploadPayloads,
     UploadRecords,
     parse_frame,
     parse_message,
@@ -17,8 +20,10 @@ from repro.protocol.server import RsseServer
 
 __all__ = [
     "DropIndex",
+    "FetchPayloads",
     "FetchRequest",
     "FetchResponse",
+    "PayloadResponse",
     "RemoteConstantClient",
     "RemoteRangeClient",
     "RemoteSrcIClient",
@@ -26,6 +31,7 @@ __all__ = [
     "SearchRequest",
     "SearchResponse",
     "UploadIndex",
+    "UploadPayloads",
     "UploadRecords",
     "parse_frame",
     "parse_message",

@@ -1,39 +1,53 @@
 """The owner-side client: keys stay here, only frames leave.
 
-``RemoteRangeClient`` wraps a Logarithmic-family scheme (BRC, URC or
-SRC) so that build and search run against an :class:`RsseServer` (or
-anything else with a ``handle(frame) -> frame | None`` transport),
-demonstrating that the library's trust boundary survives an actual
-serialization seam.  The client:
+``RemoteRangeClient`` wraps **any** registry scheme so that build and
+search run against an :class:`RsseServer` (or anything else with a
+``handle(frame) -> frame | None`` transport), demonstrating that the
+library's trust boundary survives an actual serialization seam.  The
+client:
 
-1. builds the encrypted index locally, uploads it + the encrypted tuple
-   store, then *drops its own copies* — after setup the owner holds
-   nothing but keys;
+1. builds the encrypted index locally, uploads the scheme's entire
+   server-side state (EDBs + encrypted tuples + encrypted payloads) via
+   :meth:`~repro.core.scheme.RangeScheme.export_server_state`, then
+   *detaches* — after setup the owner holds nothing but keys;
 2. turns trapdoors into :class:`~repro.protocol.messages.SearchRequest`
    frames and refines the returned ids by fetching + decrypting tuples.
 
-The interactive SRC-i and the Constant schemes are supported through
-the same message vocabulary (DPRF tokens use ``kind="dprf"``); this
-client keeps to the non-interactive family for clarity, and the test
-suite drives an interactive round trip manually.
+Every scheme family is covered through public scheme APIs only:
+
+- Quadratic / Logarithmic-BRC/URC/SRC ship per-keyword SSE tokens
+  (``kind="sse"``);
+- Constant-BRC/URC delegate DPRF seeds (``kind="dprf"``) that the
+  server expands itself;
+- Logarithmic-SRC-i runs its two-round protocol (round 1 on the domain
+  index, owner-side merge, round 2 on the position index).
+
+:meth:`query_many` batches a workload: all trapdoors are computed
+up-front (pipelined ahead of any transport round-trip) and the final
+tuple fetch is coalesced into a single frame for the whole batch.
+
+Wire caveat: the server re-derives labels with the Π_bas algorithm, so
+remote search requires schemes built with the default PiBas SSE factory
+(in-process queries support any black-box SSE).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Iterable
+import time
+from typing import Callable, Iterable, Sequence
 
-from repro.core.scheme import MultiKeywordToken, RangeScheme
+from repro.core.scheme import QueryOutcome, RangeScheme
 from repro.errors import IndexStateError
 from repro.protocol import messages as msg
-from repro.sse.encoding import decode_id, decode_record
+from repro.sse.encoding import decode_id, decode_triple
 
 #: Transport: delivers one frame, returns the peer's response frame.
 Transport = Callable[[bytes], "bytes | None"]
 
 
 class RemoteRangeClient:
-    """Owner endpoint running a non-interactive RSSE scheme remotely."""
+    """Owner endpoint running any RSSE scheme against a remote server."""
 
     def __init__(
         self,
@@ -43,66 +57,295 @@ class RemoteRangeClient:
         index_id: "int | None" = None,
         rng: "random.Random | None" = None,
     ) -> None:
+        names = scheme.index_names()
+        if not names:
+            raise IndexStateError(
+                f"scheme {scheme.name!r} exposes no server-side EDB and "
+                "cannot be outsourced over the wire protocol"
+            )
         self._scheme = scheme
         self._transport = transport
         rng = rng if rng is not None else random.SystemRandom()
-        self.index_id = index_id if index_id is not None else rng.randrange(1 << 62)
+        base = index_id if index_id is not None else rng.randrange(1 << 62)
+        self.index_id = base
+        #: One wire handle per named EDB (SRC-i uploads two indexes).
+        self._index_ids: dict[str, int] = {
+            name: base + offset for offset, name in enumerate(names)
+        }
         self._uploaded = False
 
     # -- setup -------------------------------------------------------------------
 
-    def outsource(self, records: "Iterable[tuple]") -> None:
-        """Build locally, upload EDB + encrypted tuples, forget local copies."""
-        self._scheme.build_index(records)
-        edb = self._scheme._index  # Logarithmic-family single index
-        if edb is None:
-            raise IndexStateError("scheme did not build an index")
-        self._transport(msg.UploadIndex(self.index_id, edb.to_bytes()).to_frame())
-        entries = list(self._scheme._encrypted_store.items())
-        self._transport(msg.UploadRecords(self.index_id, entries).to_frame())
-        # The owner keeps keys only: drop the local EDB and tuple store.
-        self._scheme._index = None
-        self._scheme._encrypted_store = {}
+    @property
+    def _records_id(self) -> int:
+        """The handle holding the encrypted tuple store (the index that
+        answers the final per-query fetch — I2 for SRC-i)."""
+        return self._index_ids[self._scheme.index_names()[-1]]
+
+    def outsource(self, records: "Iterable[tuple]", *, payloads=None) -> None:
+        """Build locally, upload the full server state, detach local copies."""
+        self._scheme.build_index(records, payloads=payloads)
+        state = self._scheme.export_server_state(detach=True)
+        for name, handle in self._index_ids.items():
+            self._transport(msg.UploadIndex(handle, state.indexes[name]).to_frame())
+        self._transport(msg.UploadRecords(self._records_id, state.tuples).to_frame())
+        if state.payloads:
+            self._transport(
+                msg.UploadPayloads(self._records_id, state.payloads).to_frame()
+            )
         self._uploaded = True
 
     # -- query --------------------------------------------------------------------
 
     def query(self, lo: int, hi: int) -> "frozenset[int]":
-        """Full remote protocol: trapdoor → search frame → fetch → refine."""
-        if not self._uploaded:
-            raise IndexStateError("call outsource() before querying")
+        """Full remote protocol: trapdoor → search frame(s) → fetch → refine."""
+        return self.query_outcome(lo, hi).ids
+
+    def query_outcome(self, lo: int, hi: int) -> QueryOutcome:
+        """Like :meth:`query`, with the full cost breakdown.
+
+        ``server_seconds`` is transport wall-clock (including
+        serialization), ``response_bytes`` counts every server→owner
+        frame byte — the remote analogues of the in-process metrics.
+        """
+        self._require_uploaded()
+        if self._scheme.interactive:
+            return self._interactive_outcome(lo, hi)
+        t0 = time.perf_counter()
         token = self._scheme.trapdoor(lo, hi)
-        raw_tokens = [
-            kw.label_key + kw.value_key for kw in self._iter_keyword_tokens(token)
+        t1 = time.perf_counter()
+        response, server_s, resp_bytes = self._search_round(
+            self._index_ids[self._scheme.index_names()[0]], token
+        )
+        raw_ids = [decode_id(p) for p in response.payloads]
+        return self._finish(
+            lo,
+            hi,
+            raw_ids,
+            token_bytes=self._scheme.token_size_bytes(token),
+            rounds=1,
+            trapdoor_s=t1 - t0,
+            server_s=server_s,
+            response_bytes=resp_bytes,
+        )
+
+    def query_many(
+        self, ranges: "Sequence[tuple[int, int]]"
+    ) -> "list[frozenset[int]]":
+        """Batched queries: trapdoors pipelined ahead of transport, one
+        coalesced tuple fetch for the whole batch.
+
+        Returns one refined id-set per input range, in order.
+        """
+        self._require_uploaded()
+        if self._scheme.interactive:
+            raw_per_range = self._interactive_raw_many(ranges)
+        else:
+            # Pipeline stage 1: all trapdoors before any round-trip.
+            tokens = [self._scheme.trapdoor(lo, hi) for lo, hi in ranges]
+            handle = self._index_ids[self._scheme.index_names()[0]]
+            raw_per_range = []
+            for token in tokens:
+                response, _, _ = self._search_round(handle, token)
+                raw_per_range.append([decode_id(p) for p in response.payloads])
+        # Drop EDB-only ids (padded Quadratic's dummies), then issue a
+        # single fetch for the union of all candidate ids.
+        fetchable_per_range = [
+            self._scheme.fetchable_ids(raw) for raw in raw_per_range
         ]
-        response_frame = self._transport(
-            msg.SearchRequest(self.index_id, "sse", raw_tokens).to_frame()
-        )
-        response = msg.parse_message(response_frame)
-        ids = [decode_id(p) for p in response.payloads]
+        union = sorted({rid for ids in fetchable_per_range for rid in ids})
+        records = self._fetch_records(union)
+        results: list[frozenset[int]] = []
+        for (lo, hi), ids in zip(ranges, fetchable_per_range):
+            results.append(
+                frozenset(
+                    records[rid].id
+                    for rid in ids
+                    if lo <= records[rid].value <= hi
+                )
+            )
+        return results
+
+    def fetch_payloads(self, ids: "Sequence[int]") -> "dict[int, bytes]":
+        """Fetch and decrypt the full documents for (matched) ids."""
+        self._require_uploaded()
         if not ids:
-            return frozenset()
-        fetch_frame = self._transport(
-            msg.FetchRequest(self.index_id, ids).to_frame()
+            return {}
+        response = msg.parse_message(
+            self._transport(
+                msg.FetchPayloads(self._records_id, list(ids)).to_frame()
+            )
         )
-        fetched = msg.parse_message(fetch_frame)
-        matched = set()
-        for blob in fetched.blobs:
-            rid, value = decode_record(self._scheme._record_cipher.decrypt(blob))
-            if lo <= value <= hi:
-                matched.add(rid)
-        return frozenset(matched)
+        return {
+            rid: self._scheme.decrypt_payload(blob)
+            for rid, blob in response.entries
+        }
 
     def retire(self) -> None:
-        """Ask the server to delete the index (e.g. after consolidation)."""
-        self._transport(msg.DropIndex(self.index_id).to_frame())
+        """Ask the server to delete the index (e.g. after consolidation).
+
+        Idempotent: a no-op when nothing was ever uploaded (or it was
+        already retired).
+        """
+        if not self._uploaded:
+            return
+        for handle in self._index_ids.values():
+            self._transport(msg.DropIndex(handle).to_frame())
         self._uploaded = False
 
-    @staticmethod
-    def _iter_keyword_tokens(token: MultiKeywordToken):
-        if not isinstance(token, MultiKeywordToken):
-            raise IndexStateError(
-                "RemoteRangeClient supports the non-interactive keyword-token "
-                "schemes (Logarithmic-BRC/URC/SRC, Quadratic)"
+    # -- protocol plumbing ---------------------------------------------------------
+
+    def _require_uploaded(self) -> None:
+        if not self._uploaded:
+            raise IndexStateError("call outsource() before querying")
+
+    def _search_round(self, handle: int, token):
+        """One SearchRequest round-trip; returns (response, seconds, bytes)."""
+        frame = msg.SearchRequest(
+            handle, token.wire_kind, token.wire_tokens()
+        ).to_frame()
+        t0 = time.perf_counter()
+        response_frame = self._transport(frame)
+        elapsed = time.perf_counter() - t0
+        return (
+            msg.parse_message(response_frame),
+            elapsed,
+            len(response_frame),
+        )
+
+    def _fetch_records(self, ids: "Sequence[int]"):
+        """Fetch + decrypt tuples, returning ``{id: Record}``."""
+        if not ids:
+            return {}
+        frame = msg.FetchRequest(self._records_id, list(ids)).to_frame()
+        response = msg.parse_message(self._transport(frame))
+        records = {}
+        for rid, blob in zip(ids, response.blobs):
+            rec = self._scheme.decrypt_record(blob)
+            records[rid] = rec
+        return records
+
+    def _finish(
+        self,
+        lo: int,
+        hi: int,
+        raw_ids: "list[int]",
+        *,
+        token_bytes: int,
+        rounds: int,
+        trapdoor_s: float,
+        server_s: float,
+        response_bytes: int,
+    ) -> QueryOutcome:
+        """Common tail: fetch candidates, refine, assemble the outcome."""
+        fetch_s = 0.0
+        t0 = time.perf_counter()
+        # Padded Quadratic's dummy ids exist only inside the EDB;
+        # filter them out before asking the server for tuples.
+        fetch_ids = self._scheme.fetchable_ids(raw_ids)
+        if fetch_ids:
+            unique = sorted(set(fetch_ids))
+            frame = msg.FetchRequest(self._records_id, unique).to_frame()
+            t_fetch = time.perf_counter()
+            response_frame = self._transport(frame)
+            fetch_s = time.perf_counter() - t_fetch
+            fetched = msg.parse_message(response_frame)
+            response_bytes += len(response_frame)
+            matched = frozenset(
+                rec.id
+                for rec in (
+                    self._scheme.decrypt_record(blob) for blob in fetched.blobs
+                )
+                if lo <= rec.value <= hi
             )
-        return iter(token)
+        else:
+            matched = frozenset()
+        refine_s = time.perf_counter() - t0 - fetch_s
+        return QueryOutcome(
+            ids=matched,
+            raw_ids=tuple(raw_ids),
+            false_positives=len(raw_ids) - len(matched),
+            token_bytes=token_bytes,
+            rounds=rounds,
+            trapdoor_seconds=trapdoor_s,
+            server_seconds=server_s + fetch_s,
+            refine_seconds=refine_s,
+            response_bytes=response_bytes,
+        )
+
+    # -- the interactive (SRC-i) protocol ------------------------------------------
+
+    def _round1(self, lo: int, hi: int):
+        """Round 1 + owner merge; returns (merged interval or None, stats)."""
+        t0 = time.perf_counter()
+        token1 = self._scheme.trapdoor_phase1(lo, hi)
+        trapdoor_s = time.perf_counter() - t0
+        response, server_s, resp_bytes = self._search_round(
+            self._index_ids["edb1"], token1
+        )
+        t0 = time.perf_counter()
+        triples = [decode_triple(p) for p in response.payloads]
+        merged = self._scheme.merge_qualifying(triples, lo, hi)
+        refine_s = time.perf_counter() - t0
+        return merged, token1.serialized_size(), trapdoor_s, server_s, refine_s, resp_bytes
+
+    def _interactive_outcome(self, lo: int, hi: int) -> QueryOutcome:
+        merged, token_bytes, trapdoor_s, server_s, refine_s, resp_bytes = (
+            self._round1(lo, hi)
+        )
+        if merged is None:
+            return QueryOutcome(
+                ids=frozenset(),
+                raw_ids=(),
+                false_positives=0,
+                token_bytes=token_bytes,
+                rounds=1,
+                trapdoor_seconds=trapdoor_s,
+                server_seconds=server_s,
+                refine_seconds=refine_s,
+                response_bytes=resp_bytes,
+            )
+        t0 = time.perf_counter()
+        token2 = self._scheme.trapdoor_phase2(*merged)
+        trapdoor_s += time.perf_counter() - t0
+        response, server2_s, resp2_bytes = self._search_round(
+            self._index_ids["edb2"], token2
+        )
+        raw_ids = [decode_id(p) for p in response.payloads]
+        outcome = self._finish(
+            lo,
+            hi,
+            raw_ids,
+            token_bytes=token_bytes + token2.serialized_size(),
+            rounds=2,
+            trapdoor_s=trapdoor_s,
+            server_s=server_s + server2_s,
+            response_bytes=resp_bytes + resp2_bytes,
+        )
+        outcome.refine_seconds += refine_s
+        return outcome
+
+    def _interactive_raw_many(
+        self, ranges: "Sequence[tuple[int, int]]"
+    ) -> "list[list[int]]":
+        """Two-round raw candidate ids per range (fetch left to the caller).
+
+        Round-1 trapdoors are pipelined up-front; round 2 necessarily
+        waits on each round-1 answer (the position interval depends on
+        it), exactly as in the paper's interactive protocol.
+        """
+        phase1_tokens = [
+            self._scheme.trapdoor_phase1(lo, hi) for lo, hi in ranges
+        ]
+        raw_per_range: list[list[int]] = []
+        for (lo, hi), token1 in zip(ranges, phase1_tokens):
+            response, _, _ = self._search_round(self._index_ids["edb1"], token1)
+            triples = [decode_triple(p) for p in response.payloads]
+            merged = self._scheme.merge_qualifying(triples, lo, hi)
+            if merged is None:
+                raw_per_range.append([])
+                continue
+            token2 = self._scheme.trapdoor_phase2(*merged)
+            response, _, _ = self._search_round(self._index_ids["edb2"], token2)
+            raw_per_range.append([decode_id(p) for p in response.payloads])
+        return raw_per_range

@@ -1,4 +1,8 @@
-"""Remote clients for the schemes the basic client cannot drive.
+"""Scheme-specialized remote clients (compatibility façades).
+
+:class:`~repro.protocol.client.RemoteRangeClient` now drives every
+scheme family through public scheme APIs; these subclasses survive as
+type-checked entry points with the historical constructor signatures:
 
 :class:`RemoteConstantClient` ships DPRF delegation tokens over the
 wire (``kind="dprf"``): the server expands GGM seeds itself, so a
@@ -15,17 +19,14 @@ Figure 4, with each round a single
 from __future__ import annotations
 
 import random
-from typing import Iterable
 
 from repro.core.constant import ConstantScheme
 from repro.core.log_src_i import LogarithmicSrcI
 from repro.errors import IndexStateError
-from repro.protocol import messages as msg
-from repro.protocol.client import Transport
-from repro.sse.encoding import decode_id, decode_record, decode_triple
+from repro.protocol.client import RemoteRangeClient, Transport
 
 
-class RemoteConstantClient:
+class RemoteConstantClient(RemoteRangeClient):
     """Owner endpoint for Constant-BRC/URC over the wire protocol."""
 
     def __init__(
@@ -38,53 +39,10 @@ class RemoteConstantClient:
     ) -> None:
         if not isinstance(scheme, ConstantScheme):
             raise IndexStateError("RemoteConstantClient requires a Constant scheme")
-        self._scheme = scheme
-        self._transport = transport
-        rng = rng if rng is not None else random.SystemRandom()
-        self.index_id = index_id if index_id is not None else rng.randrange(1 << 62)
-        self._uploaded = False
-
-    def outsource(self, records: "Iterable[tuple]") -> None:
-        """Build locally, upload, drop local EDB and tuple store."""
-        self._scheme.build_index(records)
-        self._transport(
-            msg.UploadIndex(self.index_id, self._scheme._index.to_bytes()).to_frame()
-        )
-        self._transport(
-            msg.UploadRecords(
-                self.index_id, list(self._scheme._encrypted_store.items())
-            ).to_frame()
-        )
-        self._scheme._index = None
-        self._scheme._encrypted_store = {}
-        self._uploaded = True
-
-    def query(self, lo: int, hi: int) -> "frozenset[int]":
-        """Delegate the range; the server expands and searches."""
-        if not self._uploaded:
-            raise IndexStateError("call outsource() before querying")
-        token = self._scheme.trapdoor(lo, hi)  # guard enforced here
-        wire = [t.seed + bytes([t.level]) for t in token]
-        response = msg.parse_message(
-            self._transport(
-                msg.SearchRequest(self.index_id, "dprf", wire).to_frame()
-            )
-        )
-        ids = [decode_id(p) for p in response.payloads]
-        if not ids:
-            return frozenset()
-        fetched = msg.parse_message(
-            self._transport(msg.FetchRequest(self.index_id, ids).to_frame())
-        )
-        matched = set()
-        for blob in fetched.blobs:
-            rid, value = decode_record(self._scheme._record_cipher.decrypt(blob))
-            if lo <= value <= hi:
-                matched.add(rid)
-        return frozenset(matched)
+        super().__init__(scheme, transport, index_id=index_id, rng=rng)
 
 
-class RemoteSrcIClient:
+class RemoteSrcIClient(RemoteRangeClient):
     """Owner endpoint for the interactive Logarithmic-SRC-i protocol."""
 
     def __init__(
@@ -98,69 +56,8 @@ class RemoteSrcIClient:
     ) -> None:
         if not isinstance(scheme, LogarithmicSrcI):
             raise IndexStateError("RemoteSrcIClient requires Logarithmic-SRC-i")
-        self._scheme = scheme
-        self._transport = transport
-        rng = rng if rng is not None else random.SystemRandom()
-        self.index_id_1 = (
-            index_id_1 if index_id_1 is not None else rng.randrange(1 << 62)
-        )
-        self.index_id_2 = (
-            index_id_2 if index_id_2 is not None else rng.randrange(1 << 62)
-        )
-        self._uploaded = False
-
-    def outsource(self, records: "Iterable[tuple]") -> None:
-        """Build both indexes locally, upload, drop local copies."""
-        self._scheme.build_index(records)
-        self._transport(
-            msg.UploadIndex(self.index_id_1, self._scheme._index1.to_bytes()).to_frame()
-        )
-        self._transport(
-            msg.UploadIndex(self.index_id_2, self._scheme._index2.to_bytes()).to_frame()
-        )
-        self._transport(
-            msg.UploadRecords(
-                self.index_id_2, list(self._scheme._encrypted_store.items())
-            ).to_frame()
-        )
-        self._scheme._index1 = None
-        self._scheme._index2 = None
-        self._scheme._encrypted_store = {}
-        self._uploaded = True
-
-    def query(self, lo: int, hi: int) -> "frozenset[int]":
-        """Two wire rounds + fetch, with owner-side refinement between."""
-        if not self._uploaded:
-            raise IndexStateError("call outsource() before querying")
-        # Round 1: SRC token on the domain TDAG → (value, positions) docs.
-        token1 = self._scheme.trapdoor_phase1(lo, hi)
-        wire1 = [kw.label_key + kw.value_key for kw in token1]
-        response1 = msg.parse_message(
-            self._transport(
-                msg.SearchRequest(self.index_id_1, "sse", wire1).to_frame()
-            )
-        )
-        triples = [decode_triple(p) for p in response1.payloads]
-        merged = self._scheme.merge_qualifying(triples, lo, hi)
-        if merged is None:
-            return frozenset()
-        # Round 2: SRC token on the position TDAG → tuple ids.
-        token2 = self._scheme.trapdoor_phase2(*merged)
-        wire2 = [kw.label_key + kw.value_key for kw in token2]
-        response2 = msg.parse_message(
-            self._transport(
-                msg.SearchRequest(self.index_id_2, "sse", wire2).to_frame()
-            )
-        )
-        ids = [decode_id(p) for p in response2.payloads]
-        if not ids:
-            return frozenset()
-        fetched = msg.parse_message(
-            self._transport(msg.FetchRequest(self.index_id_2, ids).to_frame())
-        )
-        matched = set()
-        for blob in fetched.blobs:
-            rid, value = decode_record(self._scheme._record_cipher.decrypt(blob))
-            if lo <= value <= hi:
-                matched.add(rid)
-        return frozenset(matched)
+        super().__init__(scheme, transport, index_id=index_id_1, rng=rng)
+        if index_id_2 is not None:
+            self._index_ids["edb2"] = index_id_2
+        self.index_id_1 = self._index_ids["edb1"]
+        self.index_id_2 = self._index_ids["edb2"]

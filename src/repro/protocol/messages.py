@@ -27,6 +27,9 @@ TAG_SEARCH_RESPONSE = 4
 TAG_FETCH_REQUEST = 5
 TAG_FETCH_RESPONSE = 6
 TAG_DROP_INDEX = 7
+TAG_UPLOAD_PAYLOADS = 8
+TAG_FETCH_PAYLOADS = 9
+TAG_PAYLOAD_RESPONSE = 10
 
 
 def _pack_chunks(chunks: "list[bytes]") -> bytes:
@@ -188,6 +191,64 @@ class FetchResponse:
 
 
 @dataclass(frozen=True)
+class UploadPayloads:
+    """Owner → server: store encrypted payload documents."""
+
+    index_id: int
+    entries: "list[tuple[int, bytes]]"  # (record id, ciphertext)
+
+    def to_frame(self) -> bytes:
+        chunks = [rid.to_bytes(8, "big") + blob for rid, blob in self.entries]
+        return _frame(
+            TAG_UPLOAD_PAYLOADS,
+            self.index_id.to_bytes(8, "big") + _pack_chunks(chunks),
+        )
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "UploadPayloads":
+        index_id = int.from_bytes(body[:8], "big")
+        chunks, _ = _unpack_chunks(body, 8)
+        return cls(index_id, [(int.from_bytes(c[:8], "big"), c[8:]) for c in chunks])
+
+
+@dataclass(frozen=True)
+class FetchPayloads:
+    """Owner → server: retrieve encrypted payloads by id."""
+
+    index_id: int
+    record_ids: "list[int]"
+
+    def to_frame(self) -> bytes:
+        chunks = [rid.to_bytes(8, "big") for rid in self.record_ids]
+        return _frame(
+            TAG_FETCH_PAYLOADS,
+            self.index_id.to_bytes(8, "big") + _pack_chunks(chunks),
+        )
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "FetchPayloads":
+        index_id = int.from_bytes(body[:8], "big")
+        chunks, _ = _unpack_chunks(body, 8)
+        return cls(index_id, [int.from_bytes(c, "big") for c in chunks])
+
+
+@dataclass(frozen=True)
+class PayloadResponse:
+    """Server → owner: (id, ciphertext) pairs; ids without payload absent."""
+
+    entries: "list[tuple[int, bytes]]"
+
+    def to_frame(self) -> bytes:
+        chunks = [rid.to_bytes(8, "big") + blob for rid, blob in self.entries]
+        return _frame(TAG_PAYLOAD_RESPONSE, _pack_chunks(chunks))
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "PayloadResponse":
+        chunks, _ = _unpack_chunks(body)
+        return cls([(int.from_bytes(c[:8], "big"), c[8:]) for c in chunks])
+
+
+@dataclass(frozen=True)
 class DropIndex:
     """Owner → server: delete an index (consolidation cleanup)."""
 
@@ -209,6 +270,9 @@ _PARSERS = {
     TAG_FETCH_REQUEST: FetchRequest.from_body,
     TAG_FETCH_RESPONSE: FetchResponse.from_body,
     TAG_DROP_INDEX: DropIndex.from_body,
+    TAG_UPLOAD_PAYLOADS: UploadPayloads.from_body,
+    TAG_FETCH_PAYLOADS: FetchPayloads.from_body,
+    TAG_PAYLOAD_RESPONSE: PayloadResponse.from_body,
 }
 
 

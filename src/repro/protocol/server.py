@@ -1,25 +1,36 @@
 """The untrusted server: stores EDBs and ciphertexts, answers tokens.
 
 This class enforces the paper's trust boundary structurally: it is
-constructed with *no* arguments — everything it ever knows arrived in a
-protocol frame.  It holds encrypted indexes (opaque label → ciphertext
-dictionaries), encrypted tuple stores, and evaluates searches from
-tokens alone.  Its search logic is deliberately key-free:
+constructed with *no* owner data — everything it ever knows arrived in a
+protocol frame.  Each index handle is hosted as its own
+:class:`~repro.core.split.EncryptedDatabase` (encrypted index, encrypted
+tuples, encrypted payloads), all persisting through one pluggable
+:class:`~repro.storage.StorageBackend`.  Its search logic is
+deliberately key-free:
 
 - SSE tokens: walk the per-keyword counter chain exactly as
   :class:`~repro.sse.pibas.PiBas` prescribes (label derivation from the
   token's label key is public);
 - DPRF tokens: expand GGM seeds with the public ``G`` and re-derive the
   per-keyword tokens from leaf values, the Constant-scheme contract.
+
+With a persistent backend (:class:`~repro.storage.SqliteBackend`, or a
+:class:`~repro.storage.ShardedBackend` striping labels over nodes) the
+server rehydrates all live handles on construction — restartable
+storage with zero owner involvement.
 """
 
 from __future__ import annotations
 
-from repro.crypto.dprf import DelegationToken, GgmDprf
+from repro.core.split import EncryptedDatabase
+from repro.crypto.dprf import DelegationToken
 from repro.errors import IndexStateError, TokenError
 from repro.protocol import messages as msg
-from repro.sse.base import SUBKEY_LEN, EncryptedIndex, KeywordToken, token_from_secret
-from repro.sse.pibas import search as pibas_search
+from repro.sse.base import SUBKEY_LEN, EncryptedIndex, KeywordToken
+from repro.storage.backend import InMemoryBackend, PrefixedBackend, StorageBackend
+
+#: Backend namespace recording the live index handles.
+_HANDLES_NS = "server/handles"
 
 
 def _keyword_token(raw: bytes) -> KeywordToken:
@@ -35,11 +46,39 @@ def _delegation_token(raw: bytes) -> DelegationToken:
 
 
 class RsseServer:
-    """In-process model of the untrusted storage/search server."""
+    """The untrusted storage/search server (in-process transport model).
 
-    def __init__(self) -> None:
-        self._indexes: dict[int, EncryptedIndex] = {}
-        self._records: dict[int, dict[int, bytes]] = {}
+    Parameters
+    ----------
+    backend:
+        Where all uploaded state lives.  In-memory when omitted; pass a
+        :class:`~repro.storage.SqliteBackend` for restart-durable
+        storage or a :class:`~repro.storage.ShardedBackend` to stripe
+        EDB labels across sub-stores.  Handles present in a persistent
+        backend are rehydrated automatically.
+    """
+
+    def __init__(self, backend: "StorageBackend | None" = None) -> None:
+        self._backend = backend if backend is not None else InMemoryBackend()
+        self._databases: dict[int, EncryptedDatabase] = {}
+        for key in self._backend.keys(_HANDLES_NS):
+            index_id = int.from_bytes(key, "big")
+            self._databases[index_id] = self._make_db(index_id)
+
+    def _make_db(self, index_id: int) -> EncryptedDatabase:
+        return EncryptedDatabase(
+            PrefixedBackend(self._backend, f"h{index_id}/")
+        )
+
+    def _db(self, index_id: int, *, create: bool = False) -> EncryptedDatabase:
+        db = self._databases.get(index_id)
+        if db is None:
+            if not create:
+                raise IndexStateError(f"unknown index handle {index_id}")
+            db = self._make_db(index_id)
+            self._databases[index_id] = db
+            self._backend.put(_HANDLES_NS, index_id.to_bytes(8, "big"), b"\x01")
+        return db
 
     # -- message dispatch -----------------------------------------------------
 
@@ -47,13 +86,17 @@ class RsseServer:
         """Process one protocol frame, returning a response frame or None."""
         message = msg.parse_message(frame)
         if isinstance(message, msg.UploadIndex):
-            self._indexes[message.index_id] = EncryptedIndex.from_bytes(
-                message.edb_bytes
+            self._db(message.index_id, create=True).put_index(
+                "edb", EncryptedIndex.from_bytes(message.edb_bytes)
             )
-            self._records.setdefault(message.index_id, {})
             return None
         if isinstance(message, msg.UploadRecords):
-            store = self._records.setdefault(message.index_id, {})
+            store = self._db(message.index_id, create=True).tuple_store
+            for rid, blob in message.entries:
+                store[rid] = blob
+            return None
+        if isinstance(message, msg.UploadPayloads):
+            store = self._db(message.index_id, create=True).payload_store
             for rid, blob in message.entries:
                 store[rid] = blob
             return None
@@ -61,55 +104,50 @@ class RsseServer:
             return self._search(message).to_frame()
         if isinstance(message, msg.FetchRequest):
             return self._fetch(message).to_frame()
+        if isinstance(message, msg.FetchPayloads):
+            db = self._db(message.index_id)
+            return msg.PayloadResponse(
+                db.fetch_payloads(message.record_ids)
+            ).to_frame()
         if isinstance(message, msg.DropIndex):
-            self._indexes.pop(message.index_id, None)
-            self._records.pop(message.index_id, None)
+            db = self._databases.pop(message.index_id, None)
+            if db is not None:
+                db.clear()
+            self._backend.delete(_HANDLES_NS, message.index_id.to_bytes(8, "big"))
             return None
         raise TokenError(f"server cannot handle {type(message).__name__}")
 
     # -- operations -------------------------------------------------------------
 
-    def _index_for(self, index_id: int) -> EncryptedIndex:
-        index = self._indexes.get(index_id)
-        if index is None:
-            raise IndexStateError(f"unknown index handle {index_id}")
-        return index
-
     def _search(self, request: msg.SearchRequest) -> msg.SearchResponse:
-        index = self._index_for(request.index_id)
-        payloads: list[bytes] = []
+        db = self._db(request.index_id)
+        if db.get_index("edb") is None:
+            raise IndexStateError(f"unknown index handle {request.index_id}")
         if request.kind == "sse":
+            payloads: list[bytes] = []
             for raw in request.tokens:
-                payloads.extend(pibas_search(index, _keyword_token(raw)))
+                payloads.extend(db.sse_search("edb", _keyword_token(raw)))
         else:
-            for raw in request.tokens:
-                for leaf in GgmDprf.expand_token(_delegation_token(raw)):
-                    payloads.extend(
-                        pibas_search(index, token_from_secret(leaf))
-                    )
+            payloads = db.dprf_search(
+                "edb", [_delegation_token(raw) for raw in request.tokens]
+            )
         return msg.SearchResponse(payloads)
 
     def _fetch(self, request: msg.FetchRequest) -> msg.FetchResponse:
-        store = self._records.get(request.index_id)
-        if store is None:
-            raise IndexStateError(f"unknown index handle {request.index_id}")
-        blobs = []
-        for rid in request.record_ids:
-            blob = store.get(rid)
-            if blob is None:
-                raise IndexStateError(f"unknown record id {rid}")
-            blobs.append(blob)
-        return msg.FetchResponse(blobs)
+        # fetch_tuples reports *all* missing ids at once, so a client
+        # retrying after a partial upload learns the complete gap.
+        return msg.FetchResponse(
+            self._db(request.index_id).fetch_tuples(request.record_ids)
+        )
 
     # -- introspection (what an adversary can tally) -----------------------------
 
     def stored_bytes(self) -> int:
         """Total bytes at rest — the honest-but-curious server's view."""
-        total = sum(idx.serialized_size() for idx in self._indexes.values())
-        for store in self._records.values():
-            total += sum(8 + len(blob) for blob in store.values())
-        return total
+        return sum(db.stored_bytes() for db in self._databases.values())
 
     def index_count(self) -> int:
-        """Number of live index handles."""
-        return len(self._indexes)
+        """Number of live handles holding an encrypted index."""
+        return sum(
+            1 for db in self._databases.values() if db.get_index("edb") is not None
+        )

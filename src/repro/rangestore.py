@@ -1,0 +1,290 @@
+"""``RangeStore`` — the library's front door.
+
+One object composes the three layers an application actually wants:
+
+- a registry scheme (``"logarithmic-src-i"`` by default — the paper's
+  best security/efficiency trade-off) providing encrypted range search;
+- the forward-private :class:`~repro.updates.manager.BatchUpdateManager`
+  providing inserts and deletes (each flushed batch becomes a static
+  index under fresh keys, consolidated LSM-style);
+- a pluggable :class:`~repro.storage.StorageBackend` the server-side
+  state persists through (memory, SQLite file, or hash-sharded).
+
+Usage::
+
+    from repro import RangeStore
+
+    store = RangeStore.open("logarithmic-src-i", domain_size=1 << 16)
+    store.insert(101, 2_310)
+    store.insert(102, 47_000)
+    outcome = store.search(2_000, 3_000)   # -> QueryOutcome
+    store.save("checkpoint.rsse", passphrase="s3cret")
+    ...
+    store = RangeStore.open_snapshot("checkpoint.rsse", passphrase="s3cret")
+
+Writes are buffered owner-side and flushed as one batch before any
+search, save, or explicit :meth:`flush` — matching the paper's batched
+update model (and amortizing per-batch index builds).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.core.registry import make_scheme
+from repro.core.scheme import QueryOutcome
+from repro.errors import IndexStateError, IntegrityError
+from repro.io import keystore
+from repro.storage.backend import PrefixedBackend, StorageBackend
+from repro.updates import manager as _manager
+from repro.updates.batch import UpdateOp, delete as _delete_op, insert as _insert_op
+
+_STORE_MAGIC = b"RSSESTORE1"
+
+
+class RangeStore:
+    """Encrypted range store: scheme + update manager + storage backend.
+
+    Construct through :meth:`open` (fresh store) or
+    :meth:`open_snapshot`/:meth:`load` (from a saved checkpoint).
+    """
+
+    def __init__(
+        self,
+        *,
+        scheme: str,
+        domain_size: int,
+        backend: "StorageBackend | None" = None,
+        consolidation_step: int = 4,
+        rng: "random.Random | None" = None,
+        _adopt_backend: bool = False,
+        **scheme_kwargs,
+    ) -> None:
+        if backend is not None and not _adopt_backend:
+            # A second store on the same raw backend would silently
+            # clobber the first one's namespaces — refuse up front.
+            # (:meth:`load` adopts deliberately: it replaces all state.)
+            held = [
+                ns
+                for ns in backend.namespaces()
+                if ns.startswith(("scheme/", "mgr/"))
+            ]
+            if held:
+                raise IndexStateError(
+                    "backend already holds RangeStore state "
+                    f"(e.g. {held[0]!r}); open each store on its own "
+                    "backend or a PrefixedBackend slice, or reopen a "
+                    "checkpoint with RangeStore.load()"
+                )
+        self.scheme_name = scheme
+        self.domain_size = domain_size
+        self._backend = backend
+        self._rng = rng
+        self._scheme_kwargs = dict(scheme_kwargs)
+        self._scheme_seq = 0  # monotone prefix counter for per-batch schemes
+        self._pending: list[UpdateOp] = []
+        self._manager = _manager.BatchUpdateManager(
+            self._make_scheme,
+            consolidation_step=consolidation_step,
+            rng=rng,
+            backend=(
+                PrefixedBackend(backend, "mgr/") if backend is not None else None
+            ),
+        )
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        scheme: str = "logarithmic-src-i",
+        *,
+        domain_size: int,
+        backend: "StorageBackend | None" = None,
+        consolidation_step: int = 4,
+        rng: "random.Random | None" = None,
+        **scheme_kwargs,
+    ) -> "RangeStore":
+        """Open a fresh store for ``domain_size`` values under ``scheme``.
+
+        ``backend`` hosts all server-side state (in-memory when
+        omitted); extra keyword arguments (``sse_factory``,
+        ``intersection_policy``, …) reach every per-batch scheme.
+        """
+        return cls(
+            scheme=scheme,
+            domain_size=domain_size,
+            backend=backend,
+            consolidation_step=consolidation_step,
+            rng=rng,
+            **scheme_kwargs,
+        )
+
+    def _make_scheme(self):
+        """Fresh scheme (fresh keys) on its own backend slice."""
+        self._scheme_seq += 1
+        sub = (
+            PrefixedBackend(self._backend, f"scheme/{self._scheme_seq}/")
+            if self._backend is not None
+            else None
+        )
+        kwargs = dict(self._scheme_kwargs)
+        if self._rng is not None:
+            kwargs["rng"] = self._rng
+        return make_scheme(self.scheme_name, self.domain_size, backend=sub, **kwargs)
+
+    # -- writes --------------------------------------------------------------
+
+    def insert(self, record_id: int, value: int) -> None:
+        """Buffer an insertion of tuple ``(record_id, value)``."""
+        self._pending.append(_insert_op(record_id, value))
+
+    def delete(self, record_id: int, value: int) -> None:
+        """Buffer a deletion tombstone (``value`` as originally inserted)."""
+        self._pending.append(_delete_op(record_id, value))
+
+    def insert_many(self, records: "Iterable[tuple[int, int]]") -> None:
+        """Buffer many insertions at once."""
+        for record_id, value in records:
+            self.insert(record_id, value)
+
+    def flush(self) -> None:
+        """Apply buffered operations as one batch (fresh keys, LSM merge)."""
+        if not self._pending:
+            return
+        ops, self._pending = self._pending, []
+        self._manager.apply_batch(ops)
+
+    # -- reads --------------------------------------------------------------
+
+    def search(self, lo: int, hi: int) -> QueryOutcome:
+        """Exact range query ``[lo, hi]`` (buffered writes flushed first)."""
+        self.flush()
+        return self._manager.query(lo, hi)
+
+    #: Alias matching the scheme-level API.
+    query = search
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path, passphrase: "str | None" = None) -> None:
+        """Checkpoint the whole store (keys included!) to one file.
+
+        Always pass a ``passphrase`` outside of tests — the snapshot
+        contains every secret key.
+        """
+        self.flush()
+        blob = b"".join(
+            [
+                _STORE_MAGIC,
+                len(self.scheme_name).to_bytes(2, "big"),
+                self.scheme_name.encode(),
+                self.domain_size.to_bytes(8, "big"),
+                self._scheme_seq.to_bytes(8, "big"),
+                _manager.dump_manager(self._manager),
+            ]
+        )
+        if passphrase is not None:
+            blob = keystore.wrap(blob, passphrase)
+        with open(path, "wb") as fh:
+            fh.write(blob)
+
+    @classmethod
+    def load(
+        cls,
+        path,
+        passphrase: "str | None" = None,
+        *,
+        backend: "StorageBackend | None" = None,
+        rng: "random.Random | None" = None,
+        **scheme_kwargs,
+    ) -> "RangeStore":
+        """Reopen a checkpoint, rehydrating into ``backend`` (or memory)."""
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        if passphrase is not None:
+            blob = keystore.unwrap(blob, passphrase)
+        if not blob.startswith(_STORE_MAGIC):
+            raise IntegrityError("not a RangeStore snapshot")
+        offset = len(_STORE_MAGIC)
+        name_len = int.from_bytes(blob[offset : offset + 2], "big")
+        offset += 2
+        scheme_name = blob[offset : offset + name_len].decode()
+        offset += name_len
+        domain_size = int.from_bytes(blob[offset : offset + 8], "big")
+        scheme_seq = int.from_bytes(blob[offset + 8 : offset + 16], "big")
+        offset += 16
+        if backend is not None:
+            # The checkpoint is the source of truth: clear any state a
+            # previous incarnation of this store left in the backend.
+            for ns in backend.namespaces():
+                if ns.startswith(("scheme/", "mgr/")):
+                    backend.drop(ns)
+        store = cls(
+            scheme=scheme_name,
+            domain_size=domain_size,
+            backend=backend,
+            rng=rng,
+            _adopt_backend=True,
+            **scheme_kwargs,
+        )
+        store._scheme_seq = scheme_seq
+
+        def scheme_backend():
+            store._scheme_seq += 1
+            if backend is None:
+                return None
+            return PrefixedBackend(backend, f"scheme/{store._scheme_seq}/")
+
+        store._manager = _manager.restore_manager(
+            blob[offset:],
+            store._make_scheme,
+            rng=rng,
+            backend=(
+                PrefixedBackend(backend, "mgr/") if backend is not None else None
+            ),
+            scheme_backend_factory=scheme_backend,
+        )
+        return store
+
+    #: Readable alias for the common reopen flow.
+    open_snapshot = load
+
+    def close(self) -> None:
+        """Release backend resources (file handles, connections)."""
+        if self._backend is not None:
+            self._backend.close()
+
+    def __enter__(self) -> "RangeStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def pending_ops(self) -> int:
+        """Operations buffered but not yet flushed into an index."""
+        return len(self._pending)
+
+    @property
+    def active_indexes(self) -> int:
+        """Live static indexes in the LSM forest."""
+        return self._manager.active_indexes
+
+    def index_bytes(self) -> int:
+        """Combined EDB footprint across active indexes."""
+        return self._manager.total_index_bytes()
+
+    @property
+    def stats(self):
+        """Batch/consolidation bookkeeping from the update manager."""
+        return self._manager.stats
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RangeStore(scheme={self.scheme_name!r}, m={self.domain_size}, "
+            f"indexes={self.active_indexes}, pending={self.pending_ops})"
+        )

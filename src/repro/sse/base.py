@@ -126,6 +126,10 @@ class EncryptedIndex:
         """Fetch one ciphertext by label (``None`` when absent)."""
         return self._entries.get(label)
 
+    def items(self):
+        """Iterate ``(label, ciphertext)`` pairs (storage-seam hook)."""
+        return self._entries.items()
+
     def put(self, label: bytes, ciphertext: bytes) -> None:
         """Insert an entry; duplicate labels indicate a broken build."""
         if label in self._entries:

@@ -1,0 +1,21 @@
+"""Pluggable server-side storage backends (the persistence seam)."""
+
+from repro.storage.backend import (
+    FileBackend,
+    InMemoryBackend,
+    NamespaceMap,
+    PrefixedBackend,
+    ShardedBackend,
+    SqliteBackend,
+    StorageBackend,
+)
+
+__all__ = [
+    "FileBackend",
+    "InMemoryBackend",
+    "NamespaceMap",
+    "PrefixedBackend",
+    "ShardedBackend",
+    "SqliteBackend",
+    "StorageBackend",
+]

@@ -1,0 +1,363 @@
+"""Pluggable storage backends for the untrusted server side.
+
+Everything the server persists — EDB label→ciphertext entries, the
+encrypted tuple store, encrypted payloads, operation logs — is opaque
+binary data.  This module pins that observation down as an interface: a
+:class:`StorageBackend` is a namespaced binary key-value store, and the
+server-side roles (:class:`~repro.core.split.EncryptedDatabase`,
+:class:`~repro.protocol.server.RsseServer`,
+:class:`~repro.updates.manager.BatchUpdateManager`) all persist through
+it instead of raw dicts.
+
+Implementations:
+
+``InMemoryBackend``
+    Plain nested dicts; the default everywhere, zero overhead.
+``SqliteBackend`` (alias ``FileBackend``)
+    One SQLite file via the stdlib ``sqlite3`` module; survives process
+    restarts, suitable for file-backed deployments and snapshots.
+``ShardedBackend``
+    Hash-stripes keys across N sub-backends, modelling a server that
+    spreads EDB labels over multiple storage nodes.  Labels are PRF
+    outputs, so striping by key hash is load-balanced by construction.
+``PrefixedBackend``
+    Namespace-prefix view of another backend, letting many logical
+    stores (e.g. per-batch indexes) share one physical backend without
+    colliding.
+
+Nothing in a backend ever sees a key, a plaintext, or a query range —
+the trust boundary is upheld by the data that reaches this layer, not
+by this layer's discretion.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import zlib
+from abc import ABC, abstractmethod
+from collections.abc import MutableMapping
+from typing import Callable, Iterable, Iterator, Sequence
+
+
+class StorageBackend(ABC):
+    """Namespaced binary key-value store (the server's persistence seam).
+
+    Namespaces are short strings (``"edb/main"``, ``"tuples"``); keys
+    and values are bytes.  A missing namespace behaves like an empty
+    one.
+    """
+
+    @abstractmethod
+    def get(self, ns: str, key: bytes) -> "bytes | None":
+        """Fetch one value (``None`` when absent)."""
+
+    @abstractmethod
+    def put(self, ns: str, key: bytes, value: bytes) -> None:
+        """Insert or replace one entry."""
+
+    @abstractmethod
+    def delete(self, ns: str, key: bytes) -> bool:
+        """Remove one entry, returning whether it existed."""
+
+    @abstractmethod
+    def keys(self, ns: str) -> "Iterator[bytes]":
+        """Iterate the keys of a namespace (order unspecified)."""
+
+    @abstractmethod
+    def items(self, ns: str) -> "Iterator[tuple[bytes, bytes]]":
+        """Iterate ``(key, value)`` pairs of a namespace."""
+
+    @abstractmethod
+    def count(self, ns: str) -> int:
+        """Number of entries in a namespace."""
+
+    @abstractmethod
+    def drop(self, ns: str) -> None:
+        """Remove a whole namespace (no-op when absent)."""
+
+    @abstractmethod
+    def namespaces(self) -> "list[str]":
+        """All non-empty namespaces."""
+
+    def put_many(self, ns: str, entries: "Iterable[tuple[bytes, bytes]]") -> None:
+        """Bulk insert; backends may override with a faster path."""
+        for key, value in entries:
+            self.put(ns, key, value)
+
+    def close(self) -> None:
+        """Release resources (files, connections); idempotent."""
+
+
+class InMemoryBackend(StorageBackend):
+    """Nested-dict backend — the default, and the fastest."""
+
+    def __init__(self) -> None:
+        self._data: "dict[str, dict[bytes, bytes]]" = {}
+
+    def get(self, ns: str, key: bytes) -> "bytes | None":
+        store = self._data.get(ns)
+        return store.get(key) if store is not None else None
+
+    def put(self, ns: str, key: bytes, value: bytes) -> None:
+        self._data.setdefault(ns, {})[bytes(key)] = bytes(value)
+
+    def delete(self, ns: str, key: bytes) -> bool:
+        store = self._data.get(ns)
+        if store is None or key not in store:
+            return False
+        del store[key]
+        if not store:
+            del self._data[ns]
+        return True
+
+    def keys(self, ns: str) -> "Iterator[bytes]":
+        return iter(list(self._data.get(ns, {})))
+
+    def items(self, ns: str) -> "Iterator[tuple[bytes, bytes]]":
+        return iter(list(self._data.get(ns, {}).items()))
+
+    def count(self, ns: str) -> int:
+        return len(self._data.get(ns, {}))
+
+    def drop(self, ns: str) -> None:
+        self._data.pop(ns, None)
+
+    def namespaces(self) -> "list[str]":
+        return [ns for ns, store in self._data.items() if store]
+
+
+class SqliteBackend(StorageBackend):
+    """SQLite-file backend (stdlib only) — survives process restarts.
+
+    One table maps ``(namespace, key) -> value``; the connection runs in
+    autocommit mode so every write is durable without explicit
+    transaction management at the call sites.
+    """
+
+    def __init__(self, path) -> None:
+        self._conn = sqlite3.connect(str(path), isolation_level=None)
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS kv ("
+            " ns TEXT NOT NULL, k BLOB NOT NULL, v BLOB NOT NULL,"
+            " PRIMARY KEY (ns, k)) WITHOUT ROWID"
+        )
+        self.path = str(path)
+
+    def get(self, ns: str, key: bytes) -> "bytes | None":
+        row = self._conn.execute(
+            "SELECT v FROM kv WHERE ns = ? AND k = ?", (ns, bytes(key))
+        ).fetchone()
+        return bytes(row[0]) if row is not None else None
+
+    def put(self, ns: str, key: bytes, value: bytes) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO kv (ns, k, v) VALUES (?, ?, ?)",
+            (ns, bytes(key), bytes(value)),
+        )
+
+    def put_many(self, ns: str, entries: "Iterable[tuple[bytes, bytes]]") -> None:
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO kv (ns, k, v) VALUES (?, ?, ?)",
+            ((ns, bytes(k), bytes(v)) for k, v in entries),
+        )
+
+    def delete(self, ns: str, key: bytes) -> bool:
+        cur = self._conn.execute(
+            "DELETE FROM kv WHERE ns = ? AND k = ?", (ns, bytes(key))
+        )
+        return cur.rowcount > 0
+
+    def keys(self, ns: str) -> "Iterator[bytes]":
+        for (k,) in self._conn.execute("SELECT k FROM kv WHERE ns = ?", (ns,)):
+            yield bytes(k)
+
+    def items(self, ns: str) -> "Iterator[tuple[bytes, bytes]]":
+        for k, v in self._conn.execute(
+            "SELECT k, v FROM kv WHERE ns = ?", (ns,)
+        ):
+            yield bytes(k), bytes(v)
+
+    def count(self, ns: str) -> int:
+        (n,) = self._conn.execute(
+            "SELECT COUNT(*) FROM kv WHERE ns = ?", (ns,)
+        ).fetchone()
+        return n
+
+    def drop(self, ns: str) -> None:
+        self._conn.execute("DELETE FROM kv WHERE ns = ?", (ns,))
+
+    def namespaces(self) -> "list[str]":
+        return [ns for (ns,) in self._conn.execute("SELECT DISTINCT ns FROM kv")]
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+#: Conventional name for the file-backed backend.
+FileBackend = SqliteBackend
+
+
+class ShardedBackend(StorageBackend):
+    """Stripes keys across N sub-backends by key hash.
+
+    EDB labels are (truncated) PRF outputs, so a cheap stable hash
+    (CRC-32) spreads them uniformly; every shard holds ``~1/N`` of each
+    namespace.  Namespace-level operations fan out to all shards.
+    """
+
+    def __init__(
+        self,
+        shards: "Sequence[StorageBackend] | None" = None,
+        *,
+        shard_count: int = 4,
+        shard_factory: "Callable[[int], StorageBackend] | None" = None,
+    ) -> None:
+        if shards is not None:
+            self.shards = list(shards)
+        else:
+            factory = shard_factory or (lambda i: InMemoryBackend())
+            self.shards = [factory(i) for i in range(shard_count)]
+        if not self.shards:
+            raise ValueError("ShardedBackend needs at least one shard")
+
+    def shard_for(self, key: bytes) -> StorageBackend:
+        """The shard responsible for ``key``."""
+        return self.shards[zlib.crc32(bytes(key)) % len(self.shards)]
+
+    def get(self, ns: str, key: bytes) -> "bytes | None":
+        return self.shard_for(key).get(ns, key)
+
+    def put(self, ns: str, key: bytes, value: bytes) -> None:
+        self.shard_for(key).put(ns, key, value)
+
+    def delete(self, ns: str, key: bytes) -> bool:
+        return self.shard_for(key).delete(ns, key)
+
+    def keys(self, ns: str) -> "Iterator[bytes]":
+        for shard in self.shards:
+            yield from shard.keys(ns)
+
+    def items(self, ns: str) -> "Iterator[tuple[bytes, bytes]]":
+        for shard in self.shards:
+            yield from shard.items(ns)
+
+    def count(self, ns: str) -> int:
+        return sum(shard.count(ns) for shard in self.shards)
+
+    def drop(self, ns: str) -> None:
+        for shard in self.shards:
+            shard.drop(ns)
+
+    def namespaces(self) -> "list[str]":
+        seen: list[str] = []
+        for shard in self.shards:
+            for ns in shard.namespaces():
+                if ns not in seen:
+                    seen.append(ns)
+        return seen
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()
+
+
+class PrefixedBackend(StorageBackend):
+    """View of another backend with every namespace prefixed.
+
+    Lets many logical stores share one physical backend (one SQLite
+    file, one shard set) without namespace collisions — e.g. one prefix
+    per batch index in the update manager.
+    """
+
+    def __init__(self, inner: StorageBackend, prefix: str) -> None:
+        self._inner = inner
+        self._prefix = prefix
+
+    def _ns(self, ns: str) -> str:
+        return self._prefix + ns
+
+    def get(self, ns: str, key: bytes) -> "bytes | None":
+        return self._inner.get(self._ns(ns), key)
+
+    def put(self, ns: str, key: bytes, value: bytes) -> None:
+        self._inner.put(self._ns(ns), key, value)
+
+    def put_many(self, ns: str, entries: "Iterable[tuple[bytes, bytes]]") -> None:
+        self._inner.put_many(self._ns(ns), entries)
+
+    def delete(self, ns: str, key: bytes) -> bool:
+        return self._inner.delete(self._ns(ns), key)
+
+    def keys(self, ns: str) -> "Iterator[bytes]":
+        return self._inner.keys(self._ns(ns))
+
+    def items(self, ns: str) -> "Iterator[tuple[bytes, bytes]]":
+        return self._inner.items(self._ns(ns))
+
+    def count(self, ns: str) -> int:
+        return self._inner.count(self._ns(ns))
+
+    def drop(self, ns: str) -> None:
+        self._inner.drop(self._ns(ns))
+
+    def namespaces(self) -> "list[str]":
+        return [
+            ns[len(self._prefix) :]
+            for ns in self._inner.namespaces()
+            if ns.startswith(self._prefix)
+        ]
+
+    def close(self) -> None:
+        # The inner backend may be shared; closing is the owner's call.
+        pass
+
+
+class NamespaceMap(MutableMapping):
+    """``MutableMapping[int, bytes]`` view over one backend namespace.
+
+    Record/operation stores key by 64-bit integer ids; this adapter
+    encodes them as 8-byte big-endian backend keys so dict-shaped call
+    sites (the tuple store, the update manager's op logs) read and
+    write through the backend seam unchanged.
+    """
+
+    def __init__(self, backend: StorageBackend, ns: str) -> None:
+        self._backend = backend
+        self._ns = ns
+
+    @staticmethod
+    def _key(item_id: int) -> bytes:
+        return int(item_id).to_bytes(8, "big")
+
+    def __getitem__(self, item_id: int) -> bytes:
+        value = self._backend.get(self._ns, self._key(item_id))
+        if value is None:
+            raise KeyError(item_id)
+        return value
+
+    def __setitem__(self, item_id: int, value: bytes) -> None:
+        self._backend.put(self._ns, self._key(item_id), bytes(value))
+
+    def __delitem__(self, item_id: int) -> None:
+        if not self._backend.delete(self._ns, self._key(item_id)):
+            raise KeyError(item_id)
+
+    def __iter__(self) -> "Iterator[int]":
+        for key in self._backend.keys(self._ns):
+            yield int.from_bytes(key, "big")
+
+    def __len__(self) -> int:
+        return self._backend.count(self._ns)
+
+    # Bulk reads go through the backend's one-shot scan instead of the
+    # MutableMapping default (one get() per key — N+1 on SQLite).
+    def items(self):
+        return [
+            (int.from_bytes(k, "big"), v) for k, v in self._backend.items(self._ns)
+        ]
+
+    def values(self):
+        return [v for _, v in self._backend.items(self._ns)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NamespaceMap({self._ns!r}, {len(self)} entries)"

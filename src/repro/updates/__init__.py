@@ -1,7 +1,12 @@
 """Batch updates with forward privacy over static RSSE indexes."""
 
 from repro.updates.batch import OP_LEN, OpKind, UpdateOp, delete, insert, modify
-from repro.updates.manager import BatchUpdateManager, UpdateStats
+from repro.updates.manager import (
+    BatchUpdateManager,
+    UpdateStats,
+    dump_manager,
+    restore_manager,
+)
 
 __all__ = [
     "BatchUpdateManager",
@@ -10,6 +15,8 @@ __all__ = [
     "UpdateOp",
     "UpdateStats",
     "delete",
+    "dump_manager",
     "insert",
     "modify",
+    "restore_manager",
 ]

@@ -20,12 +20,13 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, MutableMapping, Sequence
 
 from repro.core.scheme import QueryOutcome, RangeScheme
 from repro.crypto.prf import generate_key
 from repro.crypto.symmetric import SemanticCipher
 from repro.errors import UpdateError
+from repro.storage.backend import NamespaceMap, StorageBackend
 from repro.updates.batch import OpKind, UpdateOp
 
 #: Factory producing a fresh scheme instance (fresh keys) per batch.
@@ -38,9 +39,11 @@ class _ActiveIndex:
 
     scheme: RangeScheme
     cipher: SemanticCipher
-    op_store: "dict[int, bytes]"  # synthetic id -> Enc(op)
+    op_store: "MutableMapping[int, bytes]"  # synthetic id -> Enc(op)
     level: int
     newest_seq: int  # recency: higher = contains newer operations
+    cipher_key: bytes = b""  # retained for persistence (dump_manager)
+    ops_ns: "str | None" = None  # backend namespace of op_store, if any
 
 
 @dataclass
@@ -69,6 +72,13 @@ class BatchUpdateManager:
         The paper's ``s``: how many sibling indexes trigger a merge.
     rng:
         Randomness for synthetic-id free list and ciphers (testing hook).
+    backend:
+        Optional :class:`~repro.storage.StorageBackend` the encrypted
+        operation logs persist through (one namespace per batch index).
+        In-memory dicts when omitted.  Scheme-side persistence is the
+        factory's concern: have it construct schemes with (prefixed)
+        backends of their own, as :class:`repro.rangestore.RangeStore`
+        does.
     """
 
     def __init__(
@@ -77,6 +87,7 @@ class BatchUpdateManager:
         *,
         consolidation_step: int = 4,
         rng: "random.Random | None" = None,
+        backend: "StorageBackend | None" = None,
     ) -> None:
         if consolidation_step < 2:
             raise UpdateError(
@@ -85,9 +96,11 @@ class BatchUpdateManager:
         self._factory = scheme_factory
         self.s = consolidation_step
         self._rng = rng if rng is not None else random.SystemRandom()
+        self._backend = backend
         self._indexes: list[_ActiveIndex] = []
         self._next_synthetic = 0
         self._seq = 0
+        self._op_builds = 0  # monotone namespace counter for op logs
         self.stats = UpdateStats()
 
     # -- ingest ------------------------------------------------------------
@@ -102,12 +115,22 @@ class BatchUpdateManager:
         self.stats.batches_ingested += 1
         self._maybe_consolidate()
 
+    def _new_op_store(self) -> "tuple[MutableMapping[int, bytes], str | None]":
+        """A fresh op log: backend-resident when a backend is attached."""
+        self._op_builds += 1
+        if self._backend is None:
+            return {}, None
+        ns = f"ops/{self._op_builds}"
+        self._backend.drop(ns)
+        return NamespaceMap(self._backend, ns), ns
+
     def _build_index(
         self, ops: "Sequence[UpdateOp]", *, level: int, seq: int
     ) -> _ActiveIndex:
         scheme = self._factory()
-        cipher = SemanticCipher(generate_key(self._rng), rng=self._rng)
-        op_store: dict[int, bytes] = {}
+        cipher_key = generate_key(self._rng)
+        cipher = SemanticCipher(cipher_key, rng=self._rng)
+        op_store, ops_ns = self._new_op_store()
         records = []
         for op in ops:
             synthetic = self._next_synthetic
@@ -115,7 +138,9 @@ class BatchUpdateManager:
             op_store[synthetic] = cipher.encrypt(op.encode())
             records.append((synthetic, op.value))
         scheme.build_index(records)
-        return _ActiveIndex(scheme, cipher, op_store, level, seq)
+        return _ActiveIndex(
+            scheme, cipher, op_store, level, seq, cipher_key=cipher_key, ops_ns=ops_ns
+        )
 
     # -- consolidation -------------------------------------------------------
 
@@ -164,6 +189,7 @@ class BatchUpdateManager:
             self.stats.tombstones_purged += before - len(survivors)
         for idx in group:
             self._indexes.remove(idx)
+            self._discard_index(idx)
         if survivors:
             # Re-reverse so synthetic ids keep growing with recency in the
             # merged index (oldest op gets the smallest id).
@@ -176,6 +202,12 @@ class BatchUpdateManager:
             self.stats.tuples_reencrypted += len(survivors)
         self.stats.consolidations += 1
 
+    def _discard_index(self, idx: _ActiveIndex) -> None:
+        """Free a retired index's storage (scheme EDB + op log)."""
+        idx.scheme.server.clear()
+        if self._backend is not None and idx.ops_ns is not None:
+            self._backend.drop(idx.ops_ns)
+
     # -- query ---------------------------------------------------------------
 
     def query(self, lo: int, hi: int) -> QueryOutcome:
@@ -187,8 +219,8 @@ class BatchUpdateManager:
         INSERT of the same tuple id coming from an older index (or from
         the same index, where recency is already resolved).
         """
-        trapdoor_seconds = server_seconds = 0.0
-        token_bytes = 0
+        trapdoor_seconds = server_seconds = refine_seconds = 0.0
+        token_bytes = response_bytes = 0
         raw_total = 0
         live: dict[int, UpdateOp] = {}
         decided: set[int] = set()
@@ -196,10 +228,13 @@ class BatchUpdateManager:
             outcome = idx.scheme.query(lo, hi)
             trapdoor_seconds += outcome.trapdoor_seconds
             server_seconds += outcome.server_seconds
+            refine_seconds += outcome.refine_seconds
             token_bytes += outcome.token_bytes
+            response_bytes += outcome.response_bytes
             raw_total += len(outcome.raw_ids)
             # Within an index, higher synthetic id = more recent operation;
             # the first (newest) op seen for a tuple decides its fate.
+            t0 = time.perf_counter()
             for synthetic in sorted(outcome.ids, reverse=True):
                 op = UpdateOp.decode(idx.cipher.decrypt(idx.op_store[synthetic]))
                 if op.record_id in decided:
@@ -207,6 +242,7 @@ class BatchUpdateManager:
                 decided.add(op.record_id)
                 if op.kind is OpKind.INSERT:
                     live[op.record_id] = op
+            refine_seconds += time.perf_counter() - t0
         matched = frozenset(live)
         return QueryOutcome(
             ids=matched,
@@ -216,6 +252,8 @@ class BatchUpdateManager:
             rounds=len(self._indexes),
             trapdoor_seconds=trapdoor_seconds,
             server_seconds=server_seconds,
+            refine_seconds=refine_seconds,
+            response_bytes=response_bytes,
         )
 
     # -- introspection ---------------------------------------------------------
@@ -235,3 +273,91 @@ class BatchUpdateManager:
         for idx in self._indexes:
             hist[idx.level] = hist.get(idx.level, 0) + 1
         return dict(sorted(hist.items()))
+
+
+# ---------------------------------------------------------------------------
+# Persistence: the whole LSM forest as one explicit binary blob
+# ---------------------------------------------------------------------------
+
+_MGR_MAGIC = b"RSSEMGR1"
+
+
+def dump_manager(manager: BatchUpdateManager) -> bytes:
+    """Serialize a manager's full state (every active index, keys and all).
+
+    Each per-batch scheme snapshots through
+    :func:`repro.io.snapshot.dump_scheme`, so only schemes with snapshot
+    support can be persisted.
+    """
+    from repro.io.snapshot import _chunk, _serialize_store, dump_scheme
+
+    parts = [
+        _MGR_MAGIC,
+        _chunk(manager.s.to_bytes(8, "big")),
+        _chunk(manager._next_synthetic.to_bytes(8, "big")),
+        _chunk(manager._seq.to_bytes(8, "big")),
+        _chunk(len(manager._indexes).to_bytes(8, "big")),
+    ]
+    for idx in manager._indexes:
+        parts.append(_chunk(idx.level.to_bytes(8, "big")))
+        parts.append(_chunk(idx.newest_seq.to_bytes(8, "big")))
+        parts.append(_chunk(idx.cipher_key))
+        parts.append(_chunk(_serialize_store(sorted(idx.op_store.items()))))
+        parts.append(_chunk(dump_scheme(idx.scheme)))
+    return b"".join(parts)
+
+
+def restore_manager(
+    blob: bytes,
+    scheme_factory: SchemeFactory,
+    *,
+    rng: "random.Random | None" = None,
+    backend: "StorageBackend | None" = None,
+    scheme_backend_factory: "Callable[[], StorageBackend | None] | None" = None,
+) -> BatchUpdateManager:
+    """Inverse of :func:`dump_manager`.
+
+    ``scheme_factory`` serves *future* batches; restored indexes come
+    from their embedded snapshots.  ``scheme_backend_factory`` supplies
+    one storage backend per restored scheme (return ``None`` for
+    in-memory), matching however the factory provisions new ones.
+    """
+    from repro.errors import IntegrityError
+    from repro.io.snapshot import _Reader, _parse_store, restore_scheme
+
+    blob = bytes(blob)
+    if not blob.startswith(_MGR_MAGIC):
+        raise IntegrityError("not an RSSE update-manager snapshot")
+    reader = _Reader(blob[len(_MGR_MAGIC) :])
+    step = int.from_bytes(reader.chunk(), "big")
+    manager = BatchUpdateManager(
+        scheme_factory, consolidation_step=step, rng=rng, backend=backend
+    )
+    manager._next_synthetic = int.from_bytes(reader.chunk(), "big")
+    manager._seq = int.from_bytes(reader.chunk(), "big")
+    count = int.from_bytes(reader.chunk(), "big")
+    for _ in range(count):
+        level = int.from_bytes(reader.chunk(), "big")
+        newest_seq = int.from_bytes(reader.chunk(), "big")
+        cipher_key = reader.chunk()
+        ops = _parse_store(reader.chunk())
+        scheme_backend = (
+            scheme_backend_factory() if scheme_backend_factory is not None else None
+        )
+        scheme = restore_scheme(reader.chunk(), rng=rng, backend=scheme_backend)
+        op_store, ops_ns = manager._new_op_store()
+        op_store.update(ops)
+        manager._indexes.append(
+            _ActiveIndex(
+                scheme,
+                SemanticCipher(cipher_key, rng=manager._rng),
+                op_store,
+                level,
+                newest_seq,
+                cipher_key=cipher_key,
+                ops_ns=ops_ns,
+            )
+        )
+    if not reader.done():
+        raise IntegrityError("trailing bytes after manager snapshot")
+    return manager

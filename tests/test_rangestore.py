@@ -1,0 +1,144 @@
+"""Tests for the RangeStore facade (scheme + updates + backend)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import RangeStore, SqliteBackend
+from repro.errors import IndexStateError, IntegrityError
+
+
+def oracle(live: "dict[int, int]", lo: int, hi: int) -> "frozenset[int]":
+    return frozenset(rid for rid, v in live.items() if lo <= v <= hi)
+
+
+@pytest.fixture
+def populated():
+    store = RangeStore.open(
+        "logarithmic-src-i", domain_size=1 << 10, rng=random.Random(7)
+    )
+    rng = random.Random(3)
+    live = {i: rng.randrange(1 << 10) for i in range(120)}
+    store.insert_many(live.items())
+    return store, live
+
+
+class TestLifecycle:
+    def test_insert_search(self, populated):
+        store, live = populated
+        for lo, hi in [(0, 1023), (100, 400), (512, 512)]:
+            assert store.search(lo, hi).ids == oracle(live, lo, hi)
+
+    def test_delete(self, populated):
+        store, live = populated
+        victim = 17
+        store.delete(victim, live[victim])
+        del live[victim]
+        assert store.search(0, 1023).ids == oracle(live, 0, 1023)
+
+    def test_writes_buffer_until_flush(self, populated):
+        store, live = populated
+        before = store.active_indexes  # first search flushes
+        assert store.pending_ops == len(live) and before == 0
+        store.flush()
+        assert store.pending_ops == 0 and store.active_indexes >= 1
+
+    def test_query_alias(self, populated):
+        store, live = populated
+        assert store.query(0, 1023).ids == store.search(0, 1023).ids
+
+    def test_outcome_carries_cost_fields(self, populated):
+        store, _ = populated
+        outcome = store.search(0, 1023)
+        assert outcome.response_bytes > 0
+        assert outcome.refine_seconds >= 0.0
+
+    def test_default_scheme(self):
+        store = RangeStore.open(domain_size=64)
+        assert store.scheme_name == "logarithmic-src-i"
+
+
+@pytest.mark.parametrize("file_backed", [False, True], ids=["memory", "sqlite"])
+class TestSaveLoadRoundTrip:
+    def test_insert_query_save_load_query(self, tmp_path, file_backed, populated):
+        store, live = populated
+        before = store.search(0, 1023).ids
+        path = tmp_path / "store.rsse"
+        store.save(path, passphrase="s3cret")
+        backend = SqliteBackend(tmp_path / "edb.sqlite") if file_backed else None
+        reopened = RangeStore.load(
+            path, passphrase="s3cret", backend=backend, rng=random.Random(11)
+        )
+        assert reopened.search(0, 1023).ids == before == oracle(live, 0, 1023)
+        # The reopened store stays fully updatable.
+        reopened.insert(10_000, 5)
+        reopened.delete(0, live[0])
+        live[10_000] = 5
+        del live[0]
+        assert reopened.search(0, 1023).ids == oracle(live, 0, 1023)
+        reopened.close()
+
+    def test_wrong_passphrase_rejected(self, tmp_path, file_backed, populated):
+        store, _ = populated
+        path = tmp_path / "store.rsse"
+        store.save(path, passphrase="right")
+        with pytest.raises(IntegrityError):
+            RangeStore.load(path, passphrase="wrong")
+
+
+class TestOnBackendFromTheStart:
+    def test_second_store_on_held_backend_refused(self, tmp_path):
+        """Two stores on one raw backend would clobber each other."""
+        backend = SqliteBackend(tmp_path / "edb.sqlite")
+        first = RangeStore.open(
+            "logarithmic-brc", domain_size=64, backend=backend, rng=random.Random(1)
+        )
+        first.insert(7, 7)
+        first.flush()
+        with pytest.raises(IndexStateError):
+            RangeStore.open("logarithmic-brc", domain_size=64, backend=backend)
+
+    def test_reopen_checkpoint_into_same_backend(self, tmp_path):
+        """load() deliberately adopts (and replaces) a held backend —
+        the restart flow a persistent backend exists for."""
+        db = tmp_path / "edb.sqlite"
+        store = RangeStore.open(
+            "logarithmic-brc",
+            domain_size=64,
+            backend=SqliteBackend(db),
+            rng=random.Random(1),
+        )
+        store.insert(7, 7)
+        checkpoint = tmp_path / "c.rsse"
+        store.save(checkpoint)
+        store.close()
+        reopened = RangeStore.load(
+            checkpoint, backend=SqliteBackend(db), rng=random.Random(2)
+        )
+        assert reopened.search(0, 63).ids == frozenset({7})
+        reopened.close()
+
+    def test_sqlite_hosted_store(self, tmp_path):
+        backend = SqliteBackend(tmp_path / "edb.sqlite")
+        with RangeStore.open(
+            "logarithmic-brc",
+            domain_size=256,
+            backend=backend,
+            rng=random.Random(5),
+        ) as store:
+            store.insert_many((i, i % 256) for i in range(80))
+            assert store.search(10, 20).ids == frozenset(
+                i for i in range(80) if 10 <= i % 256 <= 20
+            )
+            # The EDBs really live in the SQLite file.
+            assert any(ns.startswith("scheme/") for ns in backend.namespaces())
+
+
+class TestGarbage:
+    def test_not_a_store_snapshot(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"definitely not a snapshot")
+        with pytest.raises(IntegrityError):
+            RangeStore.load(path)

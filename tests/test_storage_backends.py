@@ -1,0 +1,126 @@
+"""Tests for the pluggable server-side storage backends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import (
+    FileBackend,
+    InMemoryBackend,
+    NamespaceMap,
+    PrefixedBackend,
+    ShardedBackend,
+    SqliteBackend,
+)
+
+BACKENDS = ("memory", "sqlite", "sharded", "prefixed")
+
+
+@pytest.fixture
+def backend(request, tmp_path):
+    kind = request.param
+    if kind == "memory":
+        yield InMemoryBackend()
+    elif kind == "sqlite":
+        be = SqliteBackend(tmp_path / "kv.sqlite")
+        yield be
+        be.close()
+    elif kind == "sharded":
+        yield ShardedBackend(shard_count=3)
+    else:
+        yield PrefixedBackend(InMemoryBackend(), "pfx/")
+
+
+@pytest.mark.parametrize("backend", BACKENDS, indirect=True)
+class TestBackendContract:
+    def test_put_get_delete(self, backend):
+        assert backend.get("ns", b"k") is None
+        backend.put("ns", b"k", b"v")
+        assert backend.get("ns", b"k") == b"v"
+        backend.put("ns", b"k", b"v2")  # replace
+        assert backend.get("ns", b"k") == b"v2"
+        assert backend.delete("ns", b"k") is True
+        assert backend.delete("ns", b"k") is False
+        assert backend.get("ns", b"k") is None
+
+    def test_namespaces_are_isolated(self, backend):
+        backend.put("a", b"k", b"1")
+        backend.put("b", b"k", b"2")
+        assert backend.get("a", b"k") == b"1"
+        assert backend.get("b", b"k") == b"2"
+        backend.drop("a")
+        assert backend.get("a", b"k") is None
+        assert backend.get("b", b"k") == b"2"
+
+    def test_items_keys_count(self, backend):
+        entries = {bytes([i]) * 4: bytes([i]) * 8 for i in range(20)}
+        backend.put_many("ns", entries.items())
+        assert backend.count("ns") == 20
+        assert dict(backend.items("ns")) == entries
+        assert sorted(backend.keys("ns")) == sorted(entries)
+
+    def test_drop_missing_namespace_is_noop(self, backend):
+        backend.drop("never-created")  # must not raise
+
+    def test_namespaces_listing(self, backend):
+        backend.put("x", b"k", b"v")
+        backend.put("y", b"k", b"v")
+        assert {"x", "y"} <= set(backend.namespaces())
+
+
+class TestSqlitePersistence:
+    def test_reopen_sees_data(self, tmp_path):
+        path = tmp_path / "kv.sqlite"
+        be = SqliteBackend(path)
+        be.put("ns", b"key", b"value")
+        be.close()
+        reopened = FileBackend(path)  # alias
+        assert reopened.get("ns", b"key") == b"value"
+        reopened.close()
+
+
+class TestSharding:
+    def test_keys_spread_over_shards(self):
+        be = ShardedBackend(shard_count=4)
+        for i in range(200):
+            be.put("ns", i.to_bytes(8, "big"), b"v")
+        per_shard = [shard.count("ns") for shard in be.shards]
+        assert sum(per_shard) == 200
+        assert all(n > 0 for n in per_shard)  # CRC-32 spreads ints fine
+
+    def test_routing_is_stable(self):
+        be = ShardedBackend(shard_count=4)
+        assert be.shard_for(b"some-key") is be.shard_for(b"some-key")
+
+    def test_empty_shard_list_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedBackend([])
+
+
+class TestPrefixing:
+    def test_two_prefixes_share_one_store(self):
+        inner = InMemoryBackend()
+        a = PrefixedBackend(inner, "a/")
+        b = PrefixedBackend(inner, "b/")
+        a.put("ns", b"k", b"from-a")
+        b.put("ns", b"k", b"from-b")
+        assert a.get("ns", b"k") == b"from-a"
+        assert b.get("ns", b"k") == b"from-b"
+        assert set(inner.namespaces()) == {"a/ns", "b/ns"}
+        assert a.namespaces() == ["ns"]
+
+
+class TestNamespaceMap:
+    def test_mutable_mapping_contract(self):
+        view = NamespaceMap(InMemoryBackend(), "ops")
+        assert view == {} and len(view) == 0
+        view[7] = b"seven"
+        view[1 << 40] = b"big"
+        assert view[7] == b"seven" and view.get(2) is None
+        assert sorted(view) == [7, 1 << 40]
+        assert view == {7: b"seven", 1 << 40: b"big"}
+        del view[7]
+        with pytest.raises(KeyError):
+            view[7]
+        with pytest.raises(KeyError):
+            del view[7]
