@@ -1,0 +1,273 @@
+"""Bulk storage I/O benchmark — the repo's perf baseline (``BENCH_PR2.json``).
+
+Two sections, both repeatable from one committed entry point:
+
+``backend_io``
+    The storage seam in isolation, at index-build shape (16-byte
+    labels, ~40-byte ciphertexts, plus an encrypted tuple store): the
+    *per-key seed path* — one autocommitting ``put``/``get`` per key,
+    exactly what every caller degenerated to before the bulk contract —
+    against the *bulk path* (``put_many``/``get_many`` inside one
+    transaction) on every backend.  The headline number is
+    ``sqlite/build speedup_x``: bulk build over the seed path on a
+    10k-record index (acceptance floor: ≥ 5×).
+
+``scheme_backend``
+    End-to-end build throughput (records/sec) and mean in-process query
+    latency per scheme × backend — the trajectory later PRs are
+    measured against.
+
+Run it::
+
+    PYTHONPATH=src python benchmarks/bench_bulk_io.py --json BENCH_PR2.json
+
+Smoke scale (CI)::
+
+    PYTHONPATH=src python benchmarks/bench_bulk_io.py \
+        --records 2000 --scheme-records 200 --queries 4 --json bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sqlite3
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir))
+
+from benchmarks import jsonout  # noqa: E402
+from repro.core.registry import make_scheme  # noqa: E402
+from repro.core.split import EncryptedDatabase  # noqa: E402
+from repro.sse.base import EncryptedIndex  # noqa: E402
+from repro.storage.backend import (  # noqa: E402
+    InMemoryBackend,
+    ShardedBackend,
+    SqliteBackend,
+    StorageBackend,
+)
+
+#: Benchmark schemes: one per index-size family (log, constant) plus the
+#: paper's recommended default (the two-round SRC-i).
+SCHEMES = ("logarithmic-brc", "logarithmic-src-i", "constant-brc")
+
+DOMAIN = 1 << 16
+
+
+class SeedSqliteBackend(SqliteBackend):
+    """The pre-bulk-contract SQLite backend, kept for the baseline lane.
+
+    Replicates the seed's behaviour: no WAL, ``synchronous=FULL``, and
+    every bulk operation degenerating to one autocommitting statement
+    per key — the N+1 pattern this PR's bulk contract removed.
+    """
+
+    def __init__(self, path) -> None:
+        super().__init__(path)
+        self._conn.execute("PRAGMA journal_mode=DELETE")
+        self._conn.execute("PRAGMA synchronous=FULL")
+
+    # Per-key fallbacks, exactly what callers paid before the contract.
+    put_many = StorageBackend.put_many
+    get_many = StorageBackend.get_many
+    delete_many = StorageBackend.delete_many
+    transaction = StorageBackend.transaction
+
+
+def _index_shaped_entries(n: int, rng: random.Random):
+    """(label, ciphertext) pairs shaped like a built EDB."""
+    return [
+        (rng.randbytes(16), rng.randbytes(40))
+        for _ in range(n)
+    ]
+
+
+def _build_through_db(backend: StorageBackend, entries, tuples) -> float:
+    """Time one index build through the EncryptedDatabase call path."""
+    db = EncryptedDatabase(backend)
+    t0 = time.perf_counter()
+    db.put_index("edb", EncryptedIndex(dict(entries)))
+    db.replace_tuples(tuples)
+    elapsed = time.perf_counter() - t0
+    backend.close()
+    return elapsed
+
+
+def bench_backend_io(records: int, tmpdir: str, results: list) -> float:
+    """Storage-seam section; returns the sqlite build speedup (the
+    acceptance-criterion number)."""
+    rng = random.Random(2)
+    entries = _index_shaped_entries(records, rng)
+    tuples = [(rid, rng.randbytes(56)) for rid in range(records)]
+    probe_keys = [k for k, _ in entries[:: max(1, records // 1000)]]
+
+    lanes = {
+        "memory": lambda: InMemoryBackend(),
+        "sqlite": lambda: SqliteBackend(
+            os.path.join(tmpdir, f"bulk-{time.monotonic_ns()}.sqlite")
+        ),
+        "sharded-sqlite": lambda: ShardedBackend(
+            shard_count=4,
+            shard_factory=lambda i: SqliteBackend(
+                os.path.join(tmpdir, f"shard-{i}-{time.monotonic_ns()}.sqlite")
+            ),
+        ),
+    }
+    seed_lanes = {
+        "sqlite": lambda: SeedSqliteBackend(
+            os.path.join(tmpdir, f"seed-{time.monotonic_ns()}.sqlite")
+        ),
+    }
+
+    speedup = 0.0
+    for name, factory in lanes.items():
+        bulk_s = _build_through_db(factory(), entries, tuples)
+        results.append(
+            jsonout.result(
+                f"{name}/build-bulk",
+                "backend_io",
+                {"records": records, "path": "bulk"},
+                build_seconds=bulk_s,
+                records_per_s=records / bulk_s if bulk_s else 0.0,
+            )
+        )
+        # Read lane: coalesced fetch vs per-key gets.
+        backend = factory()
+        backend.put_many("edb/edb", entries)
+        t0 = time.perf_counter()
+        backend.get_many("edb/edb", probe_keys)
+        get_bulk_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for key in probe_keys:
+            backend.get("edb/edb", key)
+        get_loop_s = time.perf_counter() - t0
+        backend.close()
+        results.append(
+            jsonout.result(
+                f"{name}/fetch",
+                "backend_io",
+                {"keys": len(probe_keys)},
+                get_many_seconds=get_bulk_s,
+                get_loop_seconds=get_loop_s,
+                speedup_x=get_loop_s / get_bulk_s if get_bulk_s else 0.0,
+            )
+        )
+        if name in seed_lanes:
+            seed_s = _build_through_db(seed_lanes[name](), entries, tuples)
+            results.append(
+                jsonout.result(
+                    f"{name}/build-per-key-seed",
+                    "backend_io",
+                    {"records": records, "path": "per-key (seed)"},
+                    build_seconds=seed_s,
+                    records_per_s=records / seed_s if seed_s else 0.0,
+                )
+            )
+            speedup = seed_s / bulk_s if bulk_s else 0.0
+            results.append(
+                jsonout.result(
+                    f"{name}/build",
+                    "backend_io",
+                    {"records": records},
+                    speedup_x=speedup,
+                )
+            )
+    return speedup
+
+
+def bench_scheme_backend(records: int, queries: int, tmpdir: str, results: list) -> None:
+    """End-to-end build/query per scheme × backend."""
+    rng = random.Random(7)
+    data = [(rid, rng.randrange(DOMAIN)) for rid in range(records)]
+    ranges = []
+    for _ in range(queries):
+        lo = rng.randrange(DOMAIN - 1)
+        ranges.append((lo, min(DOMAIN - 1, lo + rng.randrange(1, DOMAIN // 16))))
+
+    backends = {
+        "memory": lambda: None,  # scheme default (pure in-memory)
+        "sqlite": lambda: SqliteBackend(
+            os.path.join(tmpdir, f"scheme-{time.monotonic_ns()}.sqlite")
+        ),
+        "sharded": lambda: ShardedBackend(shard_count=4),
+    }
+    for scheme_name in SCHEMES:
+        for backend_name, factory in backends.items():
+            kwargs = {"rng": random.Random(11)}
+            if scheme_name.startswith("constant"):
+                kwargs["intersection_policy"] = "allow"
+            backend = factory()
+            if backend is not None:
+                kwargs["backend"] = backend
+            scheme = make_scheme(scheme_name, DOMAIN, **kwargs)
+            t0 = time.perf_counter()
+            scheme.build_index(data)
+            build_s = time.perf_counter() - t0
+            latencies = []
+            for lo, hi in ranges:
+                t0 = time.perf_counter()
+                scheme.query(lo, hi)
+                latencies.append(time.perf_counter() - t0)
+            index_bytes = scheme.index_size_bytes()
+            if backend is not None:
+                backend.close()
+            results.append(
+                jsonout.result(
+                    f"{scheme_name}/{backend_name}",
+                    "scheme_backend",
+                    {"records": records, "queries": queries, "domain": DOMAIN},
+                    build_seconds=build_s,
+                    build_records_per_s=records / build_s if build_s else 0.0,
+                    query_mean_seconds=sum(latencies) / len(latencies),
+                    query_max_seconds=max(latencies),
+                    index_bytes=index_bytes,
+                )
+            )
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=10_000,
+                        help="records in the backend_io section (default 10000)")
+    parser.add_argument("--scheme-records", type=int, default=1_000,
+                        help="records per scheme build (default 1000)")
+    parser.add_argument("--queries", type=int, default=16,
+                        help="query ranges per scheme × backend (default 16)")
+    parser.add_argument("--json", default="BENCH_PR2.json", metavar="PATH",
+                        help="output file (default BENCH_PR2.json)")
+    parser.add_argument("--skip-schemes", action="store_true",
+                        help="backend_io section only")
+    args = parser.parse_args(argv)
+
+    results: list[dict] = []
+    with tempfile.TemporaryDirectory(prefix="bench-bulk-io-") as tmpdir:
+        speedup = bench_backend_io(args.records, tmpdir, results)
+        if not args.skip_schemes:
+            bench_scheme_backend(args.scheme_records, args.queries, tmpdir, results)
+
+    jsonout.emit_json(
+        args.json,
+        "bulk_io",
+        results,
+        meta={
+            "records": args.records,
+            "scheme_records": args.scheme_records,
+            "queries": args.queries,
+            "sqlite": sqlite3.sqlite_version,
+        },
+    )
+    jsonout.print_table(results)
+    print(f"\nsqlite bulk-build speedup over per-key seed path: {speedup:.1f}x")
+    print(f"wrote {args.json}")
+    if speedup and speedup < 5.0:
+        print("FAIL: speedup below the 5x acceptance floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

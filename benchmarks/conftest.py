@@ -15,6 +15,51 @@ from repro.baselines.plaintext import PlaintextRangeIndex
 from repro.core.registry import make_scheme
 from repro.workloads.datasets import usps_like, with_distinct_fraction
 
+try:  # absolute when benchmarks/ is on the path, relative under pytest
+    from benchmarks import jsonout
+except ImportError:  # pragma: no cover - layout fallback
+    import jsonout  # type: ignore[no-redef]
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        default=None,
+        metavar="PATH",
+        help="export pytest-benchmark results through the shared "
+        "BENCH_*.json emitter (benchmarks/jsonout.py)",
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Funnel pytest-benchmark stats through the shared JSON emitter."""
+    path = session.config.getoption("--bench-json")
+    if not path:
+        return
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:  # pytest-benchmark not active
+        return
+    results = []
+    for bench in bench_session.benchmarks:
+        stats = bench.stats
+        results.append(
+            jsonout.result(
+                bench.name,
+                bench.group or "pytest-benchmark",
+                params=dict(bench.params or {}),
+                mean_seconds=stats.mean,
+                stddev_seconds=stats.stddev,
+                min_seconds=stats.min,
+                rounds=stats.rounds,
+                **{
+                    f"extra_{k}": v
+                    for k, v in bench.extra_info.items()
+                    if isinstance(v, (int, float))
+                },
+            )
+        )
+    jsonout.emit_json(path, "pytest-benchmark", results)
+
 BENCH_DOMAIN = 1 << 16
 BENCH_N = 600
 USPS_DOMAIN = 276_841

@@ -1,0 +1,74 @@
+"""Shared ``BENCH_*.json`` emitter for the benchmark suite.
+
+Every benchmark entry point — the standalone :mod:`bench_bulk_io`
+script and the pytest-benchmark modules via the suite's ``--bench-json``
+option (see ``conftest.py``) — funnels its results through
+:func:`emit_json`, so all ``BENCH_*.json`` files in the repository share
+one shape and later PRs can diff perf trajectories mechanically:
+
+```json
+{
+  "suite": "bulk_io",
+  "meta": {"python": "3.12.3", "platform": "...", ...},
+  "results": [
+    {"name": "...", "group": "...", "params": {...}, "metrics": {...}},
+    ...
+  ]
+}
+```
+
+``metrics`` values are floats (seconds, ops/sec, bytes — the entry's
+``unit`` convention is carried in the metric name, e.g.
+``build_seconds``, ``put_ops_per_s``).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+
+
+def result(name: str, group: str, params: "dict | None" = None, **metrics) -> dict:
+    """One benchmark entry in the shared shape."""
+    return {
+        "name": name,
+        "group": group,
+        "params": dict(params or {}),
+        "metrics": {k: float(v) for k, v in metrics.items()},
+    }
+
+
+def environment_meta() -> dict:
+    """Interpreter/platform fingerprint attached to every emitted file."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
+def emit_json(path, suite: str, results: "list[dict]", meta: "dict | None" = None) -> dict:
+    """Write one ``BENCH_*.json`` document; returns the document."""
+    doc = {
+        "suite": suite,
+        "meta": {**environment_meta(), **(meta or {})},
+        "results": list(results),
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return doc
+
+
+def print_table(results: "list[dict]", stream=None) -> None:
+    """Human-readable dump of emitted entries (one line per metric)."""
+    stream = stream if stream is not None else sys.stdout
+    for entry in results:
+        for metric, value in entry["metrics"].items():
+            print(
+                f"{entry['group']:>14} | {entry['name']:<44} "
+                f"{metric:<22} {value:>14.6g}",
+                file=stream,
+            )

@@ -121,11 +121,12 @@ class ConstantScheme(RangeScheme):
 
     def search(self, token: DprfRangeToken) -> "list[int]":
         self._require_built()
+        index = self._index  # resolve the EdbSlot once, not per leaf
         results: list[int] = []
         for leaf_value in GgmDprf.expand_all(list(token)):
             kw_token = token_from_secret(leaf_value)
             results.extend(
-                decode_id(p) for p in self._sse.search(self._index, kw_token)
+                decode_id(p) for p in self._sse.search(index, kw_token)
             )
         return results
 

@@ -101,9 +101,10 @@ class LogarithmicSrcI(RangeScheme):
     def search_phase1(self, token: MultiKeywordToken) -> "list[tuple[int, int, int]]":
         """Round 1 server work: return the (value, pos range) documents."""
         self._require_built()
+        index1 = self._index1  # resolve the EdbSlot once, not per token
         triples: list[tuple[int, int, int]] = []
         for kw_token in token:
-            for payload in self._sse1.search(self._index1, kw_token):
+            for payload in self._sse1.search(index1, kw_token):
                 triples.append(decode_triple(payload))
         return triples
 
@@ -132,10 +133,11 @@ class LogarithmicSrcI(RangeScheme):
     def search_phase2(self, token: MultiKeywordToken) -> "list[int]":
         """Round 2 server work: return tuple ids under the position cover."""
         self._require_built()
+        index2 = self._index2  # resolve the EdbSlot once, not per token
         ids: list[int] = []
         for kw_token in token:
             ids.extend(
-                decode_id(p) for p in self._sse2.search(self._index2, kw_token)
+                decode_id(p) for p in self._sse2.search(index2, kw_token)
             )
         return ids
 

@@ -61,10 +61,13 @@ class LogarithmicScheme(RangeScheme):
 
     def search(self, token: MultiKeywordToken) -> "list[int]":
         self._require_built()
+        # Resolve the EdbSlot once — each access is a backend
+        # index-presence lookup, one per token adds up on SQLite.
+        index = self._index
         results: list[int] = []
         for kw_token in token:
             results.extend(
-                decode_id(p) for p in self._sse.search(self._index, kw_token)
+                decode_id(p) for p in self._sse.search(index, kw_token)
             )
         return results
 
@@ -76,8 +79,9 @@ class LogarithmicScheme(RangeScheme):
         """Per-subtree result groups — exactly the extra L2 leakage of
         these schemes (used by :mod:`repro.leakage.profiles`)."""
         self._require_built()
+        index = self._index
         return [
-            [decode_id(p) for p in self._sse.search(self._index, kw_token)]
+            [decode_id(p) for p in self._sse.search(index, kw_token)]
             for kw_token in token
         ]
 

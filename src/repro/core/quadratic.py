@@ -104,10 +104,11 @@ class Quadratic(RangeScheme):
 
     def search(self, token: MultiKeywordToken) -> "list[int]":
         self._require_built()
+        index = self._index  # resolve the EdbSlot once, not per token
         results: list[int] = []
         for kw_token in token:
             results.extend(
-                decode_id(p) for p in self._sse.search(self._index, kw_token)
+                decode_id(p) for p in self._sse.search(index, kw_token)
             )
         return results
 

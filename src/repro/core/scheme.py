@@ -200,24 +200,30 @@ class RangeScheme(ABC):
                 )
             seen_ids.add(rec.id)
             normalized.append(rec)
-        self.server.replace_tuples(
-            (rec.id, self._record_cipher.encrypt(encode_record(rec.id, rec.value)))
-            for rec in normalized
-        )
         if payloads is not None:
             unknown = set(payloads) - seen_ids
             if unknown:
                 raise DomainError(
                     f"payloads reference unindexed ids: {sorted(unknown)[:5]}"
                 )
-            self.server.replace_payloads(
-                (doc_id, self._record_cipher.encrypt(bytes(blob)))
-                for doc_id, blob in payloads.items()
+        # One transaction covers the tuple store, the payload store and
+        # the scheme's EDB emission — a durable backend commits a build
+        # with one fsync instead of one per key (and never exposes a
+        # half-built index).
+        with self.server.backend.transaction():
+            self.server.replace_tuples(
+                (rec.id, self._record_cipher.encrypt(encode_record(rec.id, rec.value)))
+                for rec in normalized
             )
-        else:
-            self.server.replace_payloads(())
-        self._n = len(normalized)
-        self._build(normalized)
+            if payloads is not None:
+                self.server.replace_payloads(
+                    (doc_id, self._record_cipher.encrypt(bytes(blob)))
+                    for doc_id, blob in payloads.items()
+                )
+            else:
+                self.server.replace_payloads(())
+            self._n = len(normalized)
+            self._build(normalized)
         self._built = True
 
     @abstractmethod

@@ -63,6 +63,13 @@ class BackendIndex:
         self._backend = backend
         self._ns = ns
 
+    @property
+    def probe_batch(self) -> int:
+        """Counter-walk batch width — the backend's call: 1 on dicts
+        (a get is free, speculative labels would be pure waste), wider
+        where a storage round-trip dominates (SQLite, shards)."""
+        return getattr(self._backend, "probe_batch", 1)
+
     def __len__(self) -> int:
         return self._backend.count(self._ns)
 
@@ -72,6 +79,10 @@ class BackendIndex:
     def get(self, label: bytes) -> "bytes | None":
         """Fetch one ciphertext by label (``None`` when absent)."""
         return self._backend.get(self._ns, label)
+
+    def get_many(self, labels: "Sequence[bytes]") -> "list[bytes | None]":
+        """Fetch many ciphertexts in one backend round (search hot path)."""
+        return self._backend.get_many(self._ns, labels)
 
     def put(self, label: bytes, ciphertext: bytes) -> None:
         """Insert an entry; duplicate labels indicate a broken build."""
@@ -109,9 +120,10 @@ class EncryptedDatabase:
     def put_index(self, name: str, index) -> None:
         """Store (replacing) a named EDB from any ``items()``-bearing index."""
         entries = list(index.items())
-        self.backend.drop(_EDB_NS + name)
-        self.backend.put_many(_EDB_NS + name, entries)
-        self.backend.put(_META_NS, name.encode(), b"\x01")
+        with self.backend.transaction():
+            self.backend.drop(_EDB_NS + name)
+            self.backend.put_many(_EDB_NS + name, entries)
+            self.backend.put(_META_NS, name.encode(), b"\x01")
 
     def get_index(self, name: str) -> "BackendIndex | None":
         """A live view of a named EDB, or ``None`` when never stored."""
@@ -153,35 +165,42 @@ class EncryptedDatabase:
     def replace_tuples(self, entries: "Mapping[int, bytes] | Iterable[tuple[int, bytes]]") -> None:
         """Drop and repopulate the tuple store in one bulk write."""
         items = entries.items() if isinstance(entries, Mapping) else entries
-        self.backend.drop(_TUPLES_NS)
-        self.backend.put_many(
-            _TUPLES_NS, ((NamespaceMap._key(rid), bytes(b)) for rid, b in items)
-        )
+        with self.backend.transaction():
+            self.backend.drop(_TUPLES_NS)
+            self.backend.put_many(
+                _TUPLES_NS, ((NamespaceMap._key(rid), bytes(b)) for rid, b in items)
+            )
 
     def replace_payloads(self, entries: "Mapping[int, bytes] | Iterable[tuple[int, bytes]]") -> None:
         """Drop and repopulate the payload store in one bulk write."""
         items = entries.items() if isinstance(entries, Mapping) else entries
-        self.backend.drop(_PAYLOADS_NS)
+        with self.backend.transaction():
+            self.backend.drop(_PAYLOADS_NS)
+            self.backend.put_many(
+                _PAYLOADS_NS, ((NamespaceMap._key(rid), bytes(b)) for rid, b in items)
+            )
+
+    def put_tuples(self, entries: "Iterable[tuple[int, bytes]]") -> None:
+        """Bulk upsert into the tuple store (no drop — upload/append path)."""
         self.backend.put_many(
-            _PAYLOADS_NS, ((NamespaceMap._key(rid), bytes(b)) for rid, b in items)
+            _TUPLES_NS, ((NamespaceMap._key(rid), bytes(b)) for rid, b in entries)
+        )
+
+    def put_payloads(self, entries: "Iterable[tuple[int, bytes]]") -> None:
+        """Bulk upsert into the payload store (no drop — upload/append path)."""
+        self.backend.put_many(
+            _PAYLOADS_NS, ((NamespaceMap._key(rid), bytes(b)) for rid, b in entries)
         )
 
     def fetch_tuples(self, ids: "Sequence[int]") -> "list[bytes]":
-        """Fetch encrypted tuples in request order.
+        """Fetch encrypted tuples in request order — one bulk read.
 
         Unknown ids are collected and reported *all at once* — a client
         retrying after a partial failure learns the full gap, not just
         the first hole.
         """
-        store = self.tuple_store
-        blobs: list[bytes] = []
-        missing: list[int] = []
-        for rid in ids:
-            blob = store.get(rid)
-            if blob is None:
-                missing.append(rid)
-            else:
-                blobs.append(blob)
+        blobs = self.tuple_store.get_many(ids)
+        missing = [rid for rid, blob in zip(ids, blobs) if blob is None]
         if missing:
             raise IndexStateError(
                 f"server returned unknown record ids {sorted(set(missing))}"
@@ -189,14 +208,11 @@ class EncryptedDatabase:
         return blobs
 
     def fetch_payloads(self, ids: "Sequence[int]") -> "list[tuple[int, bytes]]":
-        """Fetch encrypted payloads; ids without one are simply absent."""
-        store = self.payload_store
-        out: list[tuple[int, bytes]] = []
-        for rid in ids:
-            blob = store.get(rid)
-            if blob is not None:
-                out.append((rid, blob))
-        return out
+        """Fetch encrypted payloads (one bulk read); absent ids are skipped."""
+        blobs = self.payload_store.get_many(ids)
+        return [
+            (rid, blob) for rid, blob in zip(ids, blobs) if blob is not None
+        ]
 
     # -- key-free search -------------------------------------------------------
 
@@ -209,6 +225,21 @@ class EncryptedDatabase:
     def sse_search(self, name: str, token: KeywordToken) -> "list[bytes]":
         """Π_bas counter walk with one keyword token (the wire contract)."""
         return pibas_search(self._require_index(name), token)
+
+    def sse_search_many(
+        self, name: str, tokens: "Iterable[KeywordToken]"
+    ) -> "list[bytes]":
+        """Search many keyword tokens against one index resolution.
+
+        The per-token :meth:`sse_search` re-checks index presence every
+        call — one backend round-trip per token for a multi-token
+        trapdoor.  This is the batched entry the protocol server uses.
+        """
+        index = self._require_index(name)
+        payloads: list[bytes] = []
+        for token in tokens:
+            payloads.extend(pibas_search(index, token))
+        return payloads
 
     def dprf_search(
         self, name: str, tokens: "Iterable[DelegationToken]"
@@ -249,12 +280,17 @@ class EncryptedDatabase:
         )
 
     def import_state(self, state: ServerState) -> None:
-        """Load a transfer object (replacing current contents)."""
-        self.clear()
-        for name, blob in state.indexes.items():
-            self.put_index(name, EncryptedIndex.from_bytes(blob))
-        self.replace_tuples(state.tuples)
-        self.replace_payloads(state.payloads)
+        """Load a transfer object (replacing current contents).
+
+        The whole swap runs inside one backend transaction, so a
+        durable backend commits a restored snapshot atomically.
+        """
+        with self.backend.transaction():
+            self.clear()
+            for name, blob in state.indexes.items():
+                self.put_index(name, EncryptedIndex.from_bytes(blob))
+            self.replace_tuples(state.tuples)
+            self.replace_payloads(state.payloads)
 
 
 class EdbSlot:

@@ -11,7 +11,9 @@ Server-side state flows through the trust-boundary seam
 :meth:`~repro.core.scheme.RangeScheme.import_server_state`), so the
 snapshot layer never reaches into a scheme's stores; restoring accepts
 an optional :class:`~repro.storage.StorageBackend` to rehydrate into
-(e.g. a SQLite file).
+(e.g. a SQLite file).  Rehydration rides the seam's bulk path: the
+whole snapshot lands through ``put_many`` inside one backend
+transaction (one commit per restore, never a half-restored store).
 
 The format is explicit field-by-field serialization, not pickling:
 loading a snapshot can execute nothing but our own parsers, so a

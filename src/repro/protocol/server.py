@@ -91,14 +91,12 @@ class RsseServer:
             )
             return None
         if isinstance(message, msg.UploadRecords):
-            store = self._db(message.index_id, create=True).tuple_store
-            for rid, blob in message.entries:
-                store[rid] = blob
+            # One bulk write per upload frame — a SQLite-backed server
+            # pays one transaction, not one autocommit per record.
+            self._db(message.index_id, create=True).put_tuples(message.entries)
             return None
         if isinstance(message, msg.UploadPayloads):
-            store = self._db(message.index_id, create=True).payload_store
-            for rid, blob in message.entries:
-                store[rid] = blob
+            self._db(message.index_id, create=True).put_payloads(message.entries)
             return None
         if isinstance(message, msg.SearchRequest):
             return self._search(message).to_frame()
@@ -124,9 +122,10 @@ class RsseServer:
         if db.get_index("edb") is None:
             raise IndexStateError(f"unknown index handle {request.index_id}")
         if request.kind == "sse":
-            payloads: list[bytes] = []
-            for raw in request.tokens:
-                payloads.extend(db.sse_search("edb", _keyword_token(raw)))
+            # One index resolution for the whole token batch.
+            payloads = db.sse_search_many(
+                "edb", [_keyword_token(raw) for raw in request.tokens]
+            )
         else:
             payloads = db.dprf_search(
                 "edb", [_delegation_token(raw) for raw in request.tokens]

@@ -150,7 +150,14 @@ class RangeStore:
             self.insert(record_id, value)
 
     def flush(self) -> None:
-        """Apply buffered operations as one batch (fresh keys, LSM merge)."""
+        """Apply buffered operations as one batch (fresh keys, LSM merge).
+
+        Each bulk write inside the batch (op log, scheme EDB, tuple
+        store) commits as its own backend transaction.  Deliberately
+        NOT one outer transaction: the update manager mutates in-memory
+        state (active indexes, sequence counters) as it goes, and a
+        whole-batch rollback would silently diverge from it.
+        """
         if not self._pending:
             return
         ops, self._pending = self._pending, []
@@ -217,10 +224,13 @@ class RangeStore:
         offset += 16
         if backend is not None:
             # The checkpoint is the source of truth: clear any state a
-            # previous incarnation of this store left in the backend.
-            for ns in backend.namespaces():
-                if ns.startswith(("scheme/", "mgr/")):
-                    backend.drop(ns)
+            # previous incarnation of this store left in the backend —
+            # one transaction, so a failed load can't leave a half-wiped
+            # backend behind.
+            with backend.transaction():
+                for ns in backend.namespaces():
+                    if ns.startswith(("scheme/", "mgr/")):
+                        backend.drop(ns)
         store = cls(
             scheme=scheme_name,
             domain_size=domain_size,

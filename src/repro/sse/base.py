@@ -122,9 +122,21 @@ class EncryptedIndex:
     def __contains__(self, label: bytes) -> bool:
         return label in self._entries
 
+    #: How many counter labels a Π_bas walk should probe per round.
+    #: A dict-backed index answers ``get`` for free, so speculative
+    #: batches would only waste label derivations; backend-resident
+    #: indexes (:class:`~repro.core.split.BackendIndex`) raise this to
+    #: amortize storage round-trips.
+    probe_batch = 1
+
     def get(self, label: bytes) -> "bytes | None":
         """Fetch one ciphertext by label (``None`` when absent)."""
         return self._entries.get(label)
+
+    def get_many(self, labels) -> "list[bytes | None]":
+        """Fetch many ciphertexts at once (same contract as the storage
+        seam's ``get_many``: request order, ``None`` where absent)."""
+        return [self._entries.get(label) for label in labels]
 
     def items(self):
         """Iterate ``(label, ciphertext)`` pairs (storage-seam hook)."""

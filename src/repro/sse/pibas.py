@@ -83,23 +83,52 @@ class PiBas(SseScheme):
         return search(index, token)
 
 
+#: Probe batches grow geometrically up to this many labels per round.
+_WALK_CHUNK_MAX = 256
+
+
+def _decode_posting(token: KeywordToken, counter: int, ct: bytes) -> bytes:
+    plain = _xor_pad(token.value_key, counter, ct)
+    length = int.from_bytes(plain[:4], "big")
+    if length > len(plain) - 4:
+        raise TokenError("corrupt EDB entry or mismatched token")
+    return plain[4 : 4 + length]
+
+
 def search(index: EncryptedIndex, token: KeywordToken) -> "list[bytes]":
     """The public Π_bas search algorithm.
 
     Module-level because the algorithm needs no secret state — anyone
     holding a token can run it, which is precisely the SSE server's
     position (see :class:`repro.protocol.server.RsseServer`).
+
+    Labels are deterministic in the counter, so against a
+    backend-resident index (``probe_batch > 1``, i.e.
+    :class:`~repro.core.split.BackendIndex`) the walk probes them in
+    geometrically growing batches through ``get_many`` — ``O(log r)``
+    storage round-trips per keyword instead of one per posting.
+    Dict-backed indexes keep the textbook per-counter walk: their
+    ``get`` is free, so speculative batches would only waste label
+    derivations.
     """
+    get_many = getattr(index, "get_many", None)
+    batch = getattr(index, "probe_batch", 1)
     results: list[bytes] = []
     counter = 0
+    if get_many is None or batch <= 1:
+        while True:
+            ct = index.get(_label(token.label_key, counter))
+            if ct is None:
+                break
+            results.append(_decode_posting(token, counter, ct))
+            counter += 1
+        return results
+    chunk = max(batch, 2)
     while True:
-        ct = index.get(_label(token.label_key, counter))
-        if ct is None:
-            break
-        plain = _xor_pad(token.value_key, counter, ct)
-        length = int.from_bytes(plain[:4], "big")
-        if length > len(plain) - 4:
-            raise TokenError("corrupt EDB entry or mismatched token")
-        results.append(plain[4 : 4 + length])
-        counter += 1
-    return results
+        labels = [_label(token.label_key, counter + i) for i in range(chunk)]
+        for offset, ct in enumerate(get_many(labels)):
+            if ct is None:
+                return results
+            results.append(_decode_posting(token, counter + offset, ct))
+        counter += chunk
+        chunk = min(chunk * 2, _WALK_CHUNK_MAX)

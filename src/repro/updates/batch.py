@@ -42,6 +42,23 @@ class UpdateOp:
     record_id: int
     value: int
 
+    def __post_init__(self) -> None:
+        # Validate here rather than letting encode() leak a raw
+        # OverflowError from int.to_bytes at flush time, far from the
+        # call that constructed the bad op.
+        for field_name in ("record_id", "value"):
+            field_value = getattr(self, field_name)
+            if not isinstance(field_value, int) or isinstance(field_value, bool):
+                raise UpdateError(
+                    f"update op {field_name} must be int, "
+                    f"got {type(field_value).__name__}"
+                )
+            if not 0 <= field_value < 1 << 64:
+                raise UpdateError(
+                    f"update op {field_name} {field_value} outside "
+                    "unsigned 64-bit range"
+                )
+
     def encode(self) -> bytes:
         """Fixed-size serialization for semantic encryption at rest."""
         return (

@@ -33,6 +33,26 @@ from repro.updates.batch import OpKind, UpdateOp
 SchemeFactory = Callable[[], RangeScheme]
 
 
+def _bulk_get_ops(
+    store: "MutableMapping[int, bytes]", synthetics: "Sequence[int]"
+) -> "list[bytes]":
+    """Fetch many encrypted ops in one round where the store supports it.
+
+    Backend-resident op logs (:class:`~repro.storage.NamespaceMap`)
+    answer via ``get_many``; plain dicts index directly.  A missing
+    synthetic id raises :class:`KeyError` either way — it means the op
+    log and the index disagree, which is a corruption, not a miss.
+    """
+    get_many = getattr(store, "get_many", None)
+    if get_many is None:
+        return [store[s] for s in synthetics]
+    blobs = get_many(synthetics)
+    for synthetic, blob in zip(synthetics, blobs):
+        if blob is None:
+            raise KeyError(synthetic)
+    return blobs
+
+
 @dataclass
 class _ActiveIndex:
     """One static RSSE instance plus its encrypted operation log."""
@@ -132,11 +152,15 @@ class BatchUpdateManager:
         cipher = SemanticCipher(cipher_key, rng=self._rng)
         op_store, ops_ns = self._new_op_store()
         records = []
+        encrypted_ops = []
         for op in ops:
             synthetic = self._next_synthetic
             self._next_synthetic += 1
-            op_store[synthetic] = cipher.encrypt(op.encode())
+            encrypted_ops.append((synthetic, cipher.encrypt(op.encode())))
             records.append((synthetic, op.value))
+        # One bulk write for the whole op log (NamespaceMap.update goes
+        # through the backend's put_many).
+        op_store.update(encrypted_ops)
         scheme.build_index(records)
         return _ActiveIndex(
             scheme, cipher, op_store, level, seq, cipher_key=cipher_key, ops_ns=ops_ns
@@ -161,10 +185,10 @@ class BatchUpdateManager:
         # newest operation first (synthetic ids grow with recency).
         ops_newest_first: list[UpdateOp] = []
         for idx in sorted(group, key=lambda i: i.newest_seq, reverse=True):
-            for synthetic in sorted(idx.op_store, reverse=True):
-                ops_newest_first.append(
-                    UpdateOp.decode(idx.cipher.decrypt(idx.op_store[synthetic]))
-                )
+            # items() is one backend scan; the per-synthetic-id loop was
+            # N+1 round-trips on persistent op logs.
+            for _, blob in sorted(idx.op_store.items(), reverse=True):
+                ops_newest_first.append(UpdateOp.decode(idx.cipher.decrypt(blob)))
         # Newest-wins cancellation: a tombstone consumes every *older*
         # insert of the same tuple inside this merge; a newer insert
         # (modification) is untouched by an older tombstone.
@@ -235,8 +259,11 @@ class BatchUpdateManager:
             # Within an index, higher synthetic id = more recent operation;
             # the first (newest) op seen for a tuple decides its fate.
             t0 = time.perf_counter()
-            for synthetic in sorted(outcome.ids, reverse=True):
-                op = UpdateOp.decode(idx.cipher.decrypt(idx.op_store[synthetic]))
+            synthetics = sorted(outcome.ids, reverse=True)
+            for synthetic, blob in zip(
+                synthetics, _bulk_get_ops(idx.op_store, synthetics)
+            ):
+                op = UpdateOp.decode(idx.cipher.decrypt(blob))
                 if op.record_id in decided:
                     continue
                 decided.add(op.record_id)
@@ -322,6 +349,8 @@ def restore_manager(
     one storage backend per restored scheme (return ``None`` for
     in-memory), matching however the factory provisions new ones.
     """
+    import contextlib
+
     from repro.errors import IntegrityError
     from repro.io.snapshot import _Reader, _parse_store, restore_scheme
 
@@ -336,28 +365,32 @@ def restore_manager(
     manager._next_synthetic = int.from_bytes(reader.chunk(), "big")
     manager._seq = int.from_bytes(reader.chunk(), "big")
     count = int.from_bytes(reader.chunk(), "big")
-    for _ in range(count):
-        level = int.from_bytes(reader.chunk(), "big")
-        newest_seq = int.from_bytes(reader.chunk(), "big")
-        cipher_key = reader.chunk()
-        ops = _parse_store(reader.chunk())
-        scheme_backend = (
-            scheme_backend_factory() if scheme_backend_factory is not None else None
-        )
-        scheme = restore_scheme(reader.chunk(), rng=rng, backend=scheme_backend)
-        op_store, ops_ns = manager._new_op_store()
-        op_store.update(ops)
-        manager._indexes.append(
-            _ActiveIndex(
-                scheme,
-                SemanticCipher(cipher_key, rng=manager._rng),
-                op_store,
-                level,
-                newest_seq,
-                cipher_key=cipher_key,
-                ops_ns=ops_ns,
+    # All op logs land in one transaction on the manager's backend
+    # (scheme stores commit through their own backends' transactions).
+    txn = backend.transaction() if backend is not None else contextlib.nullcontext()
+    with txn:
+        for _ in range(count):
+            level = int.from_bytes(reader.chunk(), "big")
+            newest_seq = int.from_bytes(reader.chunk(), "big")
+            cipher_key = reader.chunk()
+            ops = _parse_store(reader.chunk())
+            scheme_backend = (
+                scheme_backend_factory() if scheme_backend_factory is not None else None
             )
-        )
+            scheme = restore_scheme(reader.chunk(), rng=rng, backend=scheme_backend)
+            op_store, ops_ns = manager._new_op_store()
+            op_store.update(ops)
+            manager._indexes.append(
+                _ActiveIndex(
+                    scheme,
+                    SemanticCipher(cipher_key, rng=manager._rng),
+                    op_store,
+                    level,
+                    newest_seq,
+                    cipher_key=cipher_key,
+                    ops_ns=ops_ns,
+                )
+            )
     if not reader.done():
         raise IntegrityError("trailing bytes after manager snapshot")
     return manager

@@ -1,0 +1,340 @@
+"""The bulk storage I/O contract: get_many / put_many / delete_many /
+transaction across all four backends, and the regression guards that
+keep callers off the per-key fallback paths."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.registry import make_scheme
+from repro.errors import UpdateError
+from repro.storage import (
+    InMemoryBackend,
+    NamespaceMap,
+    PrefixedBackend,
+    ShardedBackend,
+    SqliteBackend,
+    StorageBackend,
+)
+from repro.updates.batch import OpKind, UpdateOp, insert
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - CI installs hypothesis
+    HAVE_HYPOTHESIS = False
+
+BACKENDS = ("memory", "sqlite", "sharded", "prefixed")
+
+
+def _make_backend(kind: str, tmp_path):
+    if kind == "memory":
+        return InMemoryBackend()
+    if kind == "sqlite":
+        return SqliteBackend(tmp_path / f"kv-{random.randrange(1 << 48)}.sqlite")
+    if kind == "sharded":
+        return ShardedBackend(shard_count=3)
+    return PrefixedBackend(InMemoryBackend(), "pfx/")
+
+
+@pytest.fixture
+def backend(request, tmp_path):
+    be = _make_backend(request.param, tmp_path)
+    yield be
+    be.close()
+
+
+# ---------------------------------------------------------------------------
+# Observational equivalence: each bulk op == the per-op loop
+# ---------------------------------------------------------------------------
+
+#: Small key alphabet so batches collide with existing state and contain
+#: duplicates often.
+_KEYS = [bytes([b]) * 3 for b in range(8)]
+
+if HAVE_HYPOTHESIS:
+    _ops_strategy = st.lists(
+        st.one_of(
+            st.tuples(
+                st.just("put_many"),
+                st.lists(
+                    st.tuples(st.sampled_from(_KEYS), st.binary(max_size=6)),
+                    max_size=6,
+                ),
+            ),
+            st.tuples(
+                st.just("get_many"),
+                st.lists(st.sampled_from(_KEYS), max_size=6),
+            ),
+            st.tuples(
+                st.just("delete_many"),
+                st.lists(st.sampled_from(_KEYS), max_size=6),
+            ),
+        ),
+        max_size=12,
+    )
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=_ops_strategy)
+    @pytest.mark.parametrize("kind", BACKENDS)
+    def test_bulk_ops_match_per_op_loops(kind, tmp_path_factory, ops):
+        """Random op sequences: the bulk contract is observationally
+        identical to N single-key calls (including duplicate keys inside
+        one batch and empty batches)."""
+        tmp = tmp_path_factory.mktemp("prop")
+        bulk = _make_backend(kind, tmp)
+        reference = InMemoryBackend()  # driven through base-class loops
+        try:
+            for op, payload in ops:
+                if op == "put_many":
+                    bulk.put_many("ns", payload)
+                    for key, value in payload:
+                        reference.put("ns", key, value)
+                elif op == "get_many":
+                    got = bulk.get_many("ns", payload)
+                    want = [reference.get("ns", key) for key in payload]
+                    assert got == want
+                else:
+                    removed = bulk.delete_many("ns", payload)
+                    want_removed = sum(
+                        1 for key in payload if reference.delete("ns", key)
+                    )
+                    assert removed == want_removed
+                assert dict(bulk.items("ns")) == dict(reference.items("ns"))
+                assert bulk.count("ns") == reference.count("ns")
+        finally:
+            bulk.close()
+
+
+@pytest.mark.parametrize("backend", BACKENDS, indirect=True)
+class TestBulkContract:
+    def test_empty_batches_are_noops(self, backend):
+        backend.put_many("ns", [])
+        assert backend.get_many("ns", []) == []
+        assert backend.delete_many("ns", []) == 0
+        assert backend.count("ns") == 0
+        assert "ns" not in backend.namespaces()
+
+    def test_get_many_request_order_and_duplicates(self, backend):
+        backend.put_many("ns", [(b"a", b"1"), (b"b", b"2")])
+        got = backend.get_many("ns", [b"b", b"missing", b"a", b"b"])
+        assert got == [b"2", None, b"1", b"2"]
+
+    def test_put_many_duplicate_keys_last_wins(self, backend):
+        backend.put_many("ns", [(b"k", b"first"), (b"k", b"second")])
+        assert backend.get("ns", b"k") == b"second"
+        assert backend.count("ns") == 1
+
+    def test_delete_many_counts_existing_once(self, backend):
+        backend.put_many("ns", [(b"a", b"1"), (b"b", b"2")])
+        assert backend.delete_many("ns", [b"a", b"a", b"missing", b"b"]) == 2
+        assert backend.count("ns") == 0
+
+    def test_transaction_groups_visible_writes(self, backend):
+        with backend.transaction():
+            backend.put("ns", b"k1", b"v1")
+            backend.put_many("ns", [(b"k2", b"v2")])
+            with backend.transaction():  # reentrant
+                backend.put("ns", b"k3", b"v3")
+        assert backend.get_many("ns", [b"k1", b"k2", b"k3"]) == [b"v1", b"v2", b"v3"]
+
+
+class TestSqliteTransaction:
+    def test_rollback_on_exception(self, tmp_path):
+        be = SqliteBackend(tmp_path / "kv.sqlite")
+        be.put("ns", b"stable", b"v")
+        with pytest.raises(RuntimeError):
+            with be.transaction():
+                be.put("ns", b"doomed", b"v")
+                raise RuntimeError("boom")
+        assert be.get("ns", b"doomed") is None
+        assert be.get("ns", b"stable") == b"v"
+        be.close()
+
+    def test_nested_blocks_commit_once_at_outermost(self, tmp_path):
+        be = SqliteBackend(tmp_path / "kv.sqlite")
+        with be.transaction():
+            with be.transaction():
+                be.put("ns", b"k", b"v")
+            assert be._txn_depth == 1  # still inside the outer block
+        assert be._txn_depth == 0
+        assert be.get("ns", b"k") == b"v"
+        be.close()
+
+    def test_wal_mode_enabled(self, tmp_path):
+        be = SqliteBackend(tmp_path / "kv.sqlite")
+        (mode,) = be._conn.execute("PRAGMA journal_mode").fetchone()
+        assert mode.lower() == "wal"
+        be.close()
+
+    def test_chunked_in_clause_beyond_chunk_size(self, tmp_path):
+        from repro.storage.backend import _SQL_CHUNK
+
+        be = SqliteBackend(tmp_path / "kv.sqlite")
+        n = _SQL_CHUNK + 17
+        entries = [(i.to_bytes(4, "big"), bytes([i % 251])) for i in range(n)]
+        be.put_many("ns", entries)
+        got = be.get_many("ns", [k for k, _ in entries])
+        assert got == [v for _, v in entries]
+        assert be.delete_many("ns", [k for k, _ in entries]) == n
+        be.close()
+
+
+# ---------------------------------------------------------------------------
+# Spy-backend regressions: the bulk paths must actually be taken
+# ---------------------------------------------------------------------------
+
+
+class SpyBackend(InMemoryBackend):
+    """Counts per-op and bulk calls to prove callers stay on the bulk path."""
+
+    probe_batch = 16  # pretend round-trips are expensive, like SQLite
+
+    def __init__(self):
+        super().__init__()
+        self.calls = {
+            "get": 0, "put": 0, "delete": 0,
+            "get_many": 0, "put_many": 0, "delete_many": 0,
+        }
+
+    def get(self, ns, key):
+        self.calls["get"] += 1
+        return super().get(ns, key)
+
+    def put(self, ns, key, value):
+        self.calls["put"] += 1
+        super().put(ns, key, value)
+
+    def delete(self, ns, key):
+        self.calls["delete"] += 1
+        return super().delete(ns, key)
+
+    def get_many(self, ns, keys):
+        self.calls["get_many"] += 1
+        return super().get_many(ns, keys)
+
+    def put_many(self, ns, entries):
+        self.calls["put_many"] += 1
+        super().put_many(ns, entries)
+
+    def delete_many(self, ns, keys):
+        self.calls["delete_many"] += 1
+        return super().delete_many(ns, keys)
+
+
+class TestNoPerKeyFallbacks:
+    def test_sharded_put_many_reaches_shard_put_many(self):
+        spies = [SpyBackend() for _ in range(3)]
+        sharded = ShardedBackend(spies)
+        entries = [(i.to_bytes(8, "big"), b"v") for i in range(60)]
+        sharded.put_many("ns", entries)
+        assert sum(s.calls["put_many"] for s in spies) == len(
+            [s for s in spies if s.count("ns")]
+        )
+        assert all(s.calls["put"] == 0 for s in spies)  # never per-key
+        assert sharded.count("ns") == 60
+
+    def test_sharded_get_delete_many_reach_shard_bulk_ops(self):
+        spies = [SpyBackend() for _ in range(3)]
+        sharded = ShardedBackend(spies)
+        entries = [(i.to_bytes(8, "big"), bytes([i])) for i in range(60)]
+        sharded.put_many("ns", entries)
+        keys = [k for k, _ in entries]
+        assert sharded.get_many("ns", keys) == [v for _, v in entries]
+        assert all(s.calls["get"] == 0 for s in spies)
+        assert sharded.delete_many("ns", keys) == 60
+        assert all(s.calls["delete"] == 0 for s in spies)
+
+    def test_scheme_build_never_writes_per_key_stores(self):
+        """BuildIndex emits EDB + tuple store through put_many only
+        (the single put is the index-presence marker)."""
+        spy = SpyBackend()
+        scheme = make_scheme(
+            "logarithmic-brc", 256, rng=random.Random(3), backend=spy
+        )
+        scheme.build_index([(rid, rid % 256) for rid in range(100)])
+        assert spy.calls["put_many"] >= 2  # EDB + tuple store
+        assert spy.calls["put"] <= len(scheme.index_names())  # meta markers only
+
+    def test_coalesced_fetch_uses_get_many(self):
+        spy = SpyBackend()
+        scheme = make_scheme(
+            "logarithmic-brc", 256, rng=random.Random(3), backend=spy
+        )
+        scheme.build_index([(rid, rid % 256) for rid in range(100)])
+        spy.calls["get"] = 0
+        spy.calls["get_many"] = 0
+        outcome = scheme.query(10, 30)
+        assert outcome.ids == {
+            rid for rid in range(100) if 10 <= rid % 256 <= 30
+        }
+        assert spy.calls["get_many"] > 0
+        # The tuple fetch and the counter walks are batched; bare gets
+        # are allowed only for O(1) metadata (index-presence markers),
+        # never one per tuple or per posting.
+        assert spy.calls["get"] < 10
+
+    def test_remote_upload_and_fetch_stay_bulk(self):
+        from repro.protocol.client import RemoteRangeClient
+        from repro.protocol.server import RsseServer
+
+        spy = SpyBackend()
+        server = RsseServer(backend=spy)
+        scheme = make_scheme("logarithmic-brc", 128, rng=random.Random(5))
+        client = RemoteRangeClient(scheme, server.handle, rng=random.Random(6))
+        client.outsource([(rid, rid % 128) for rid in range(80)])
+        spy.calls["get"] = 0
+        results = client.query_many([(0, 40), (60, 90)])
+        assert results[0] == {rid for rid in range(80) if rid % 128 <= 40}
+        assert spy.calls["get_many"] > 0
+        assert spy.calls["get"] <= 4  # handle/meta lookups, not tuples
+
+
+class TestNamespaceMapBulk:
+    def test_get_many_and_update(self):
+        spy = SpyBackend()
+        view = NamespaceMap(spy, "ops")
+        view.update({1: b"one", 2: b"two"})
+        view.update([(3, b"three")])
+        assert spy.calls["put_many"] == 2 and spy.calls["put"] == 0
+        assert view.get_many([2, 9, 1]) == [b"two", None, b"one"]
+        assert spy.calls["get_many"] == 1 and spy.calls["get"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Satellites: sharded namespaces dedupe, UpdateOp validation
+# ---------------------------------------------------------------------------
+
+
+class TestShardedNamespaces:
+    def test_dedupe_preserves_first_seen_order(self):
+        shards = [InMemoryBackend() for _ in range(3)]
+        sharded = ShardedBackend(shards)
+        shards[0].put("beta", b"k", b"v")
+        shards[0].put("alpha", b"k", b"v")
+        shards[1].put("alpha", b"k", b"v")
+        shards[2].put("gamma", b"k", b"v")
+        shards[2].put("beta", b"k", b"v")
+        assert sharded.namespaces() == ["beta", "alpha", "gamma"]
+
+
+class TestUpdateOpValidation:
+    def test_negative_record_id_names_field(self):
+        with pytest.raises(UpdateError, match="record_id"):
+            UpdateOp(OpKind.INSERT, -1, 5)
+
+    def test_oversized_value_names_field(self):
+        with pytest.raises(UpdateError, match="value"):
+            UpdateOp(OpKind.INSERT, 1, 1 << 64)
+
+    def test_bool_rejected(self):
+        with pytest.raises(UpdateError, match="record_id"):
+            UpdateOp(OpKind.DELETE, True, 5)
+
+    def test_valid_bounds_roundtrip(self):
+        op = insert((1 << 64) - 1, 0)
+        assert UpdateOp.decode(op.encode()) == op
