@@ -48,6 +48,12 @@ from repro.core import (
     ServerState,
     make_scheme,
 )
+from repro.exec import (
+    ExpansionCache,
+    QueryExecutor,
+    configure_default_executor,
+    default_executor,
+)
 from repro.rangestore import RangeStore
 from repro.storage import (
     FileBackend,
@@ -63,9 +69,11 @@ __version__ = "1.1.0"
 __all__ = [
     "EXPERIMENT_SCHEMES",
     "EncryptedDatabase",
+    "ExpansionCache",
     "FileBackend",
     "InMemoryBackend",
     "PrefixedBackend",
+    "QueryExecutor",
     "QueryOutcome",
     "RangeScheme",
     "RangeStore",
@@ -77,5 +85,7 @@ __all__ = [
     "SqliteBackend",
     "StorageBackend",
     "__version__",
+    "configure_default_executor",
+    "default_executor",
     "make_scheme",
 ]

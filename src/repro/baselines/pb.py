@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 from repro.baselines.bloom import BloomFilter
 from repro.core.scheme import QueryOutcome, RangeScheme, Record
+from repro.exec.plan import ExecStats
 from repro.covers.brc import best_range_cover
 from repro.covers.dyadic import DomainTree
 from repro.crypto.prf import generate_key, prf
@@ -145,19 +146,36 @@ class PbScheme(RangeScheme):
         if self._root is None:
             return []
         hashed = [BloomFilter.hash_pair(lbl) for lbl in token.labels]
+
+        def probe(node: _PbNode) -> bool:
+            return any(node.bloom.contains_hashed(h1, h2) for h1, h2 in hashed)
+
+        # Level-order descent through the exec engine: each frontier's
+        # filter probes fan out over the worker pool (pure in-memory
+        # bit tests — always thread-safe), results reassembled in
+        # frontier order so the walk stays deterministic.
+        stats = ExecStats(workers=self.executor.workers)
         results: list[int] = []
-        stack = [self._root]
-        while stack:
-            node = stack.pop()
-            if not any(node.bloom.contains_hashed(h1, h2) for h1, h2 in hashed):
-                continue
-            if node.leaf_id is not None:
-                results.append(node.leaf_id)
-                continue
-            if node.left is not None:
-                stack.append(node.left)
-            if node.right is not None:
-                stack.append(node.right)
+        frontier = [self._root]
+        while frontier:
+            hits = self.executor.map(probe, frontier)
+            stats.probe_rounds += 1
+            stats.probes_issued += len(frontier)
+            if len(frontier) > 1:
+                stats.probes_coalesced += len(frontier)
+            next_frontier: "list[_PbNode]" = []
+            for node, hit in zip(frontier, hits):
+                if not hit:
+                    continue
+                if node.leaf_id is not None:
+                    results.append(node.leaf_id)
+                    continue
+                if node.left is not None:
+                    next_frontier.append(node.left)
+                if node.right is not None:
+                    next_frontier.append(node.right)
+            frontier = next_frontier
+        self._note_exec(stats)
         return results
 
     def index_size_bytes(self) -> int:

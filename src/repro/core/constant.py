@@ -25,7 +25,7 @@ from repro.core.scheme import RangeScheme, Record
 from repro.core.split import EdbSlot
 from repro.crypto.dprf import COVER_BRC, COVER_URC, DelegationToken, GgmDprf
 from repro.errors import QueryIntersectionError
-from repro.sse.base import CallbackKeyDeriver, token_from_secret
+from repro.sse.base import CallbackKeyDeriver
 from repro.sse.encoding import decode_id, encode_id
 
 
@@ -121,14 +121,12 @@ class ConstantScheme(RangeScheme):
 
     def search(self, token: DprfRangeToken) -> "list[int]":
         self._require_built()
-        index = self._index  # resolve the EdbSlot once, not per leaf
-        results: list[int] = []
-        for leaf_value in GgmDprf.expand_all(list(token)):
-            kw_token = token_from_secret(leaf_value)
-            results.extend(
-                decode_id(p) for p in self._sse.search(index, kw_token)
-            )
-        return results
+        # The exec engine expands the GGM seeds (cache-memoized, shared
+        # prefix walk) and runs every derived leaf walker through
+        # coalesced get_many probe rounds — O(log) storage round-trips
+        # for the whole range instead of one lane per leaf.
+        groups = self._engine_dprf_groups(self._index, token, sse=self._sse)
+        return [decode_id(p) for group in groups for p in group]
 
     def index_size_bytes(self) -> int:
         self._require_built()

@@ -101,12 +101,8 @@ class LogarithmicSrcI(RangeScheme):
     def search_phase1(self, token: MultiKeywordToken) -> "list[tuple[int, int, int]]":
         """Round 1 server work: return the (value, pos range) documents."""
         self._require_built()
-        index1 = self._index1  # resolve the EdbSlot once, not per token
-        triples: list[tuple[int, int, int]] = []
-        for kw_token in token:
-            for payload in self._sse1.search(index1, kw_token):
-                triples.append(decode_triple(payload))
-        return triples
+        groups = self._engine_sse_groups(self._index1, token, self._sse1)
+        return [decode_triple(p) for group in groups for p in group]
 
     def merge_qualifying(
         self, triples: "list[tuple[int, int, int]]", lo: int, hi: int
@@ -133,17 +129,13 @@ class LogarithmicSrcI(RangeScheme):
     def search_phase2(self, token: MultiKeywordToken) -> "list[int]":
         """Round 2 server work: return tuple ids under the position cover."""
         self._require_built()
-        index2 = self._index2  # resolve the EdbSlot once, not per token
-        ids: list[int] = []
-        for kw_token in token:
-            ids.extend(
-                decode_id(p) for p in self._sse2.search(index2, kw_token)
-            )
-        return ids
+        groups = self._engine_sse_groups(self._index2, token, self._sse2)
+        return [decode_id(p) for group in groups for p in group]
 
     def query(self, lo: int, hi: int) -> QueryOutcome:
         """Two-round protocol with per-side timing attribution."""
         self._require_built()
+        self._reset_exec_stats()
         trapdoor = server = refine = 0.0
 
         t0 = time.perf_counter()
@@ -161,6 +153,7 @@ class LogarithmicSrcI(RangeScheme):
         token_bytes = token1.serialized_size()
 
         if merged is None:
+            stats = self._exec_stats
             return QueryOutcome(
                 ids=frozenset(),
                 raw_ids=(),
@@ -171,6 +164,10 @@ class LogarithmicSrcI(RangeScheme):
                 server_seconds=server,
                 refine_seconds=refine,
                 response_bytes=response_bytes,
+                tokens_expanded=stats.tokens_expanded,
+                probes_issued=stats.probes_issued,
+                probes_coalesced=stats.probes_coalesced,
+                cache_hits=stats.cache_hits,
             )
 
         t0 = time.perf_counter()
@@ -191,6 +188,7 @@ class LogarithmicSrcI(RangeScheme):
         )
         refine += time.perf_counter() - t0
         response_bytes += 8 * len(raw_ids) + sum(len(b) for b in blobs)
+        stats = self._exec_stats
         return QueryOutcome(
             ids=matched,
             raw_ids=tuple(raw_ids),
@@ -201,6 +199,10 @@ class LogarithmicSrcI(RangeScheme):
             server_seconds=server,
             refine_seconds=refine,
             response_bytes=response_bytes,
+            tokens_expanded=stats.tokens_expanded,
+            probes_issued=stats.probes_issued,
+            probes_coalesced=stats.probes_coalesced,
+            cache_hits=stats.cache_hits,
         )
 
     # -- base-class interface -------------------------------------------------

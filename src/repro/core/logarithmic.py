@@ -61,15 +61,10 @@ class LogarithmicScheme(RangeScheme):
 
     def search(self, token: MultiKeywordToken) -> "list[int]":
         self._require_built()
-        # Resolve the EdbSlot once — each access is a backend
-        # index-presence lookup, one per token adds up on SQLite.
-        index = self._index
-        results: list[int] = []
-        for kw_token in token:
-            results.extend(
-                decode_id(p) for p in self._sse.search(index, kw_token)
-            )
-        return results
+        # One engine run for the whole trapdoor: every cover token's
+        # counter walk shares coalesced get_many probe rounds.
+        groups = self._engine_sse_groups(self._index, token, self._sse)
+        return [decode_id(p) for group in groups for p in group]
 
     def index_size_bytes(self) -> int:
         self._require_built()
@@ -79,10 +74,9 @@ class LogarithmicScheme(RangeScheme):
         """Per-subtree result groups — exactly the extra L2 leakage of
         these schemes (used by :mod:`repro.leakage.profiles`)."""
         self._require_built()
-        index = self._index
         return [
-            [decode_id(p) for p in self._sse.search(index, kw_token)]
-            for kw_token in token
+            [decode_id(p) for p in group]
+            for group in self._engine_sse_groups(self._index, token, self._sse)
         ]
 
 

@@ -104,13 +104,8 @@ class Quadratic(RangeScheme):
 
     def search(self, token: MultiKeywordToken) -> "list[int]":
         self._require_built()
-        index = self._index  # resolve the EdbSlot once, not per token
-        results: list[int] = []
-        for kw_token in token:
-            results.extend(
-                decode_id(p) for p in self._sse.search(index, kw_token)
-            )
-        return results
+        groups = self._engine_sse_groups(self._index, token, self._sse)
+        return [decode_id(p) for group in groups for p in group]
 
     def index_size_bytes(self) -> int:
         self._require_built()

@@ -35,6 +35,8 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.core.split import EncryptedDatabase, ServerState
 from repro.crypto.prf import generate_key
+from repro.exec.engine import default_executor
+from repro.exec.plan import ExecStats
 from repro.crypto.symmetric import SemanticCipher
 from repro.errors import DomainError, IndexStateError
 from repro.sse.base import KeyDeriver, SseScheme
@@ -66,6 +68,12 @@ class QueryOutcome:
     ``server_seconds`` is server-side work, and ``response_bytes``
     counts the server→owner bytes (search results plus fetched
     ciphertexts).
+
+    The trailing plan-stat fields report what the exec engine did for
+    this query: delegation tokens expanded, storage probes issued, how
+    many of those rode a coalesced ``get_many`` round, and expansion-
+    cache hits.  They stay zero for searches that bypass the engine
+    (e.g. remote outcomes, where the stats live server-side).
     """
 
     ids: frozenset
@@ -77,6 +85,10 @@ class QueryOutcome:
     server_seconds: float
     refine_seconds: float = 0.0
     response_bytes: int = 0
+    tokens_expanded: int = 0
+    probes_issued: int = 0
+    probes_coalesced: int = 0
+    cache_hits: int = 0
 
     @property
     def result_size(self) -> int:
@@ -108,6 +120,11 @@ class RangeScheme(ABC):
         server role (``scheme.server``).  In-memory when omitted.  Give
         every scheme its own backend (or a
         :class:`~repro.storage.PrefixedBackend` slice of a shared one).
+    executor:
+        Optional :class:`~repro.exec.QueryExecutor` the scheme's search
+        paths run through.  The process-wide default engine
+        (``REPRO_EXEC_WORKERS``/``REPRO_EXEC_CACHE``-configurable) when
+        omitted.
     """
 
     #: Scheme name as it appears in the paper's tables/figures.
@@ -127,6 +144,7 @@ class RangeScheme(ABC):
         sse_factory: "SseFactory | None" = None,
         rng: "random.Random | None" = None,
         backend: "StorageBackend | None" = None,
+        executor=None,
     ) -> None:
         if domain_size < 1:
             raise DomainError(f"domain size must be >= 1, got {domain_size}")
@@ -135,10 +153,16 @@ class RangeScheme(ABC):
         self._rng = rng if rng is not None else random.SystemRandom()
         self._record_key = generate_key(self._rng)
         self._record_cipher = SemanticCipher(self._record_key, rng=self._rng)
+        if executor is None:
+            executor = default_executor()
+        #: The query engine every search runs through (shared with the
+        #: server role, so in-process and key-free paths behave alike).
+        self.executor = executor
         #: The server-side role: EDBs + encrypted tuple/payload stores.
-        self.server = EncryptedDatabase(backend)
+        self.server = EncryptedDatabase(backend, executor=executor)
         self._built = False
         self._n = 0
+        self._exec_stats = ExecStats()
 
     # -- server-side stores (legacy attribute views) -------------------------
 
@@ -239,6 +263,42 @@ class RangeScheme(ABC):
         """``Search``: server-side evaluation, returns matching ids
         (a superset of the true answer for FP-prone schemes)."""
 
+    # -- the exec-engine seam ------------------------------------------------
+
+    def _reset_exec_stats(self) -> None:
+        """Open a fresh per-query stats window (query() calls this)."""
+        self._exec_stats = ExecStats()
+
+    def _note_exec(self, stats: ExecStats) -> None:
+        """Accumulate one engine run into the current query's stats."""
+        self._exec_stats.merge(stats)
+
+    def _engine_sse_groups(self, index, tokens, sse) -> "list[list[bytes]]":
+        """Run keyword tokens through the exec engine (grouped per token)."""
+        result = self.executor.sse_search(
+            index, list(tokens), sse=sse, scheme=self.name
+        )
+        self._note_exec(result.stats)
+        return result.groups
+
+    def _engine_dprf_groups(self, index, tokens, sse=None) -> "list[list[bytes]]":
+        """Run delegation tokens through the exec engine."""
+        result = self.executor.dprf_search(
+            index, list(tokens), sse=sse, scheme=self.name
+        )
+        self._note_exec(result.stats)
+        return result.groups
+
+    @property
+    def last_exec_stats(self) -> ExecStats:
+        """Engine stats accumulated since the current query began."""
+        return self._exec_stats
+
+    def invalidate_exec_cache(self) -> None:
+        """Drop memoized expansions in this scheme's engine (lifecycle
+        hook — called when the index is retired or replaced)."""
+        self.executor.invalidate_cache()
+
     # -- the trust-boundary seam ---------------------------------------------
 
     def index_names(self) -> "tuple[str, ...]":
@@ -329,6 +389,7 @@ class RangeScheme(ABC):
         overrides this with its two-round protocol.
         """
         self._require_built()
+        self._reset_exec_stats()
         t0 = time.perf_counter()
         token = self.trapdoor(lo, hi)
         t1 = time.perf_counter()
@@ -341,6 +402,7 @@ class RangeScheme(ABC):
             if lo <= rec.value <= hi
         )
         t3 = time.perf_counter()
+        stats = self._exec_stats
         return QueryOutcome(
             ids=matched,
             raw_ids=tuple(raw_ids),
@@ -351,6 +413,10 @@ class RangeScheme(ABC):
             server_seconds=t2 - t1,
             refine_seconds=t3 - t2,
             response_bytes=8 * len(raw_ids) + sum(len(b) for b in blobs),
+            tokens_expanded=stats.tokens_expanded,
+            probes_issued=stats.probes_issued,
+            probes_coalesced=stats.probes_coalesced,
+            cache_hits=stats.cache_hits,
         )
 
     # -- measurement hooks ---------------------------------------------------

@@ -20,9 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
-from repro.crypto.dprf import DelegationToken, GgmDprf
+from repro.crypto.dprf import DelegationToken
 from repro.errors import IndexStateError, TokenError
-from repro.sse.base import EncryptedIndex, KeywordToken, token_from_secret
+from repro.sse.base import EncryptedIndex, KeywordToken
 from repro.sse.pibas import search as pibas_search
 from repro.storage.backend import InMemoryBackend, NamespaceMap, StorageBackend
 
@@ -70,6 +70,11 @@ class BackendIndex:
         where a storage round-trip dominates (SQLite, shards)."""
         return getattr(self._backend, "probe_batch", 1)
 
+    @property
+    def thread_safe_reads(self) -> bool:
+        """Whether the exec engine may read this index from pool threads."""
+        return getattr(self._backend, "thread_safe_reads", True)
+
     def __len__(self) -> int:
         return self._backend.count(self._ns)
 
@@ -112,14 +117,38 @@ class EncryptedDatabase:
     with :class:`~repro.storage.PrefixedBackend` per database.
     """
 
-    def __init__(self, backend: "StorageBackend | None" = None) -> None:
+    def __init__(
+        self,
+        backend: "StorageBackend | None" = None,
+        *,
+        executor=None,
+    ) -> None:
         self.backend = backend if backend is not None else InMemoryBackend()
+        self._executor = executor
+        # Resolved-index memo: EdbSlot reads and per-token search entry
+        # points resolve names over and over; each miss is a backend
+        # presence lookup (a real round-trip on SQLite).  Views are
+        # stateless (backend, namespace) pairs, so memoizing them is
+        # invalidated only on put/drop — the two presence mutators.
+        self._index_views: "dict[str, BackendIndex]" = {}
+        #: Realized stats of the most recent engine-run search.
+        self.last_exec_stats = None
+
+    @property
+    def executor(self):
+        """The query engine this database searches through (lazy default)."""
+        if self._executor is None:
+            from repro.exec.engine import default_executor
+
+            self._executor = default_executor()
+        return self._executor
 
     # -- named encrypted indexes -------------------------------------------
 
     def put_index(self, name: str, index) -> None:
         """Store (replacing) a named EDB from any ``items()``-bearing index."""
         entries = list(index.items())
+        self._index_views.pop(name, None)
         with self.backend.transaction():
             self.backend.drop(_EDB_NS + name)
             self.backend.put_many(_EDB_NS + name, entries)
@@ -127,12 +156,18 @@ class EncryptedDatabase:
 
     def get_index(self, name: str) -> "BackendIndex | None":
         """A live view of a named EDB, or ``None`` when never stored."""
+        view = self._index_views.get(name)
+        if view is not None:
+            return view
         if self.backend.get(_META_NS, name.encode()) is None:
             return None
-        return BackendIndex(self.backend, _EDB_NS + name)
+        view = BackendIndex(self.backend, _EDB_NS + name)
+        self._index_views[name] = view
+        return view
 
     def drop_index(self, name: str) -> None:
         """Remove a named EDB (no-op when absent)."""
+        self._index_views.pop(name, None)
         self.backend.drop(_EDB_NS + name)
         self.backend.delete(_META_NS, name.encode())
 
@@ -229,28 +264,30 @@ class EncryptedDatabase:
     def sse_search_many(
         self, name: str, tokens: "Iterable[KeywordToken]"
     ) -> "list[bytes]":
-        """Search many keyword tokens against one index resolution.
+        """Search many keyword tokens through the exec engine.
 
-        The per-token :meth:`sse_search` re-checks index presence every
-        call — one backend round-trip per token for a multi-token
-        trapdoor.  This is the batched entry the protocol server uses.
+        One index resolution, then one engine run: all token walks share
+        coalesced ``get_many`` probe rounds instead of paying one storage
+        lane per token.  This is the batched entry the protocol server
+        uses.
         """
-        index = self._require_index(name)
-        payloads: list[bytes] = []
-        for token in tokens:
-            payloads.extend(pibas_search(index, token))
-        return payloads
+        result = self.executor.sse_search(self._require_index(name), list(tokens))
+        self.last_exec_stats = result.stats
+        return result.payloads
 
     def dprf_search(
         self, name: str, tokens: "Iterable[DelegationToken]"
     ) -> "list[bytes]":
-        """Expand GGM delegation tokens and search every derived keyword."""
-        index = self._require_index(name)
-        payloads: list[bytes] = []
-        for token in tokens:
-            for leaf in GgmDprf.expand_token(token):
-                payloads.extend(pibas_search(index, token_from_secret(leaf)))
-        return payloads
+        """Expand GGM delegation tokens and search every derived keyword.
+
+        Runs through the exec engine: subtree expansions are pooled and
+        cache-memoized, and every derived leaf walker probes the EDB in
+        shared batched rounds — ``O(log)`` storage round-trips for the
+        whole token vector instead of one per leaf.
+        """
+        result = self.executor.dprf_search(self._require_index(name), list(tokens))
+        self.last_exec_stats = result.stats
+        return result.payloads
 
     # -- accounting & lifecycle -------------------------------------------------
 

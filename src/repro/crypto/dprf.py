@@ -144,17 +144,40 @@ class GgmDprf:
     # -- untrusted-party operations ----------------------------------------
 
     @staticmethod
-    def expand_token(token: DelegationToken) -> list[bytes]:
+    def iter_leaves(token: DelegationToken):
+        """Lazily yield a token's leaf DPRF values, left to right.
+
+        Adjacent leaves share their path prefix inside the delegated
+        subtree; the walk keeps the current root-to-node path on an
+        explicit stack and re-derives only the suffix below the common
+        ancestor when stepping from one leaf to the next — never a leaf
+        from the subtree root.  Each internal seed is expanded exactly
+        once (``2^level - 1`` PRG calls total, the information-theoretic
+        floor), and memory stays ``O(level)`` instead of materializing
+        whole tree levels, which is what lets the exec engine stream
+        4096-leaf expansions without building intermediate lists.
+        """
+        stack = [(token.seed, token.level)]
+        while stack:
+            seed, level = stack.pop()
+            if level == 0:
+                yield seed
+                continue
+            left, right = prg.g(seed)
+            # Right child pushed first so the left subtree pops first:
+            # in-subtree left-to-right order, same as the old BFS.
+            stack.append((right, level - 1))
+            stack.append((left, level - 1))
+
+    @classmethod
+    def expand_token(cls, token: DelegationToken) -> list[bytes]:
         """Evaluation ``C``: expand one token to its leaf DPRF values.
 
         Anyone holding the token can do this — ``G`` is public and the
         level says how deep to recurse.  Output order is the in-subtree
         left-to-right order, which carries no global position.
         """
-        seeds = [token.seed]
-        for _ in range(token.level):
-            seeds = [child for s in seeds for child in prg.g(s)]
-        return seeds
+        return list(cls.iter_leaves(token))
 
     @classmethod
     def expand_all(cls, tokens: "list[DelegationToken]") -> list[bytes]:

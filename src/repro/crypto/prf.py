@@ -59,9 +59,15 @@ def check_key(key: bytes) -> bytes:
 
 
 def prf(key: bytes, message: bytes) -> bytes:
-    """Evaluate the PRF: ``HMAC-SHA-512(key, message)`` (64 bytes)."""
+    """Evaluate the PRF: ``HMAC-SHA-512(key, message)`` (64 bytes).
+
+    Uses the one-shot :func:`hmac.digest` fast path — identical output
+    to ``hmac.new(...).digest()`` without per-call object construction,
+    which matters at exec-engine scale (thousands of evaluations per
+    delegated range query).
+    """
     check_key(key)
-    return hmac.new(key, message, hashlib.sha512).digest()
+    return hmac.digest(key, message, hashlib.sha512)
 
 
 def prf_truncated(key: bytes, message: bytes, out_len: int) -> bytes:

@@ -28,7 +28,9 @@ _G_LABEL = b"repro.ggm.prg"
 def _expand(seed: bytes) -> bytes:
     if not isinstance(seed, (bytes, bytearray)) or len(seed) != SEED_LEN:
         raise KeyError_(f"GGM seed must be {SEED_LEN} bytes")
-    return hmac.new(bytes(seed), _G_LABEL, hashlib.sha512).digest()
+    # One-shot HMAC fast path: a delegated range expands one PRG call
+    # per GGM subtree node, so per-call construction overhead compounds.
+    return hmac.digest(bytes(seed), _G_LABEL, hashlib.sha512)
 
 
 def g(seed: bytes) -> tuple[bytes, bytes]:

@@ -1,0 +1,48 @@
+"""Query execution engine: planner, parallel executor, expansion cache.
+
+This package is the layer between the RSSE schemes and storage.  Every
+scheme's ``Search`` — and the wire-protocol server's — routes through
+one :class:`~repro.exec.engine.QueryExecutor`, which
+
+- plans a query into explicit token-expansion and storage-probe stages
+  (:mod:`repro.exec.plan`),
+- runs independent cover-token walks and GGM leaf expansions on a
+  configurable thread pool with deterministic result order, coalescing
+  every active walker's label probes into shared ``get_many`` rounds
+  (:mod:`repro.exec.engine`), and
+- memoizes GGM subtree expansions in a bounded LRU with explicit
+  invalidation hooks (:mod:`repro.exec.cache`).
+
+Knobs: ``REPRO_EXEC_WORKERS`` (thread count; ``1`` forces the serial
+path) and ``REPRO_EXEC_CACHE`` (``0`` disables the expansion cache)
+configure the process-wide default engine; pass ``executor=`` to any
+scheme, ``EncryptedDatabase`` or ``RsseServer`` for a private one.
+"""
+
+from repro.exec.cache import ExpansionCache
+from repro.exec.engine import (
+    QueryExecutor,
+    configure_default_executor,
+    default_executor,
+)
+from repro.exec.plan import (
+    ExecStats,
+    PlanStage,
+    QueryPlan,
+    plan_dprf,
+    plan_range,
+    plan_sse,
+)
+
+__all__ = [
+    "ExecStats",
+    "ExpansionCache",
+    "PlanStage",
+    "QueryExecutor",
+    "QueryPlan",
+    "configure_default_executor",
+    "default_executor",
+    "plan_dprf",
+    "plan_range",
+    "plan_sse",
+]

@@ -1,0 +1,395 @@
+"""The parallel query executor: shared by every scheme and the server.
+
+The executor turns a :class:`~repro.exec.plan.QueryPlan` into results
+with three mechanics the per-scheme search loops never had:
+
+**Coalesced storage probes.**  The Π_bas counter walk is deterministic
+in the counter, so *every* active keyword walker's next labels can ride
+one ``get_many`` round.  The old loops paid one storage round-trip lane
+per cover token — per GGM *leaf* for the Constant schemes, i.e. ``O(R)``
+SQLite queries per range — where the coalesced walk pays one round-trip
+per probe *round* (``1 + log(longest posting list)``-ish), regardless of
+walker count.  This is what collapses the PR-2 constant-brc/SQLite
+baseline.
+
+**A worker pool with deterministic results.**  CPU-side work — GGM
+subtree expansion, label derivation, black-box per-token searches on
+thread-safe indexes — fans out over ``workers`` threads; results are
+always reassembled in token order, so engine answers are byte-identical
+to the serial path.  Storage ``get_many`` calls are issued from the
+calling thread only: backends advertise ``thread_safe_reads`` and
+SQLite connections are single-threaded, so the engine never reaches a
+backend from a pool thread.
+
+**A GGM expansion cache.**  Delegation-token expansions memoize through
+a shared :class:`~repro.exec.cache.ExpansionCache` (see its module
+docstring for the safety argument).
+
+Configuration: ``QueryExecutor(workers=…, cache=…)`` per instance; the
+process-wide default engine reads ``REPRO_EXEC_WORKERS`` and
+``REPRO_EXEC_CACHE`` (``0`` disables caching) and is shared by every
+scheme/server constructed without an explicit ``executor=``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.crypto.dprf import GgmDprf
+from repro.errors import IndexStateError
+from repro.exec.cache import ExpansionCache
+from repro.exec.plan import (
+    KIND_DPRF,
+    KIND_SSE,
+    ExecStats,
+    QueryPlan,
+    plan_dprf,
+    plan_sse,
+)
+from repro.sse.base import KeywordToken, subkeys_from_secret
+from repro.sse.pibas import (
+    _WALK_CHUNK_MAX,
+    PiBas,
+    decode_posting_raw,
+    posting_label,
+)
+
+#: Environment knobs for the default engine.
+ENV_WORKERS = "REPRO_EXEC_WORKERS"
+ENV_CACHE = "REPRO_EXEC_CACHE"
+
+
+def _default_workers() -> int:
+    env = os.environ.get(ENV_WORKERS)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"{ENV_WORKERS} must be an integer, got {env!r}"
+            ) from None
+    return min(8, os.cpu_count() or 1)
+
+
+@dataclass
+class ExecResult:
+    """Engine output: per-token payload groups plus realized stats.
+
+    ``groups[i]`` holds the payloads of ``plan.tokens[i]`` in counter
+    order — exactly what the retired per-token loop produced, which is
+    how determinism is preserved and per-subtree partitions (the L2
+    leakage objects) stay observable.
+    """
+
+    groups: "list[list[bytes]]"
+    stats: ExecStats
+    plan: "QueryPlan | None" = field(default=None, repr=False)
+
+    @property
+    def payloads(self) -> "list[bytes]":
+        """All payloads flattened in token order."""
+        return [p for group in self.groups for p in group]
+
+
+class QueryExecutor:
+    """Plan executor: thread pool + coalesced probes + expansion cache.
+
+    Parameters
+    ----------
+    workers:
+        Thread-pool width.  ``1`` (or ``REPRO_EXEC_WORKERS=1``) runs
+        everything inline on the calling thread — the fully serial
+        lane CI keeps covered.
+    cache:
+        An :class:`ExpansionCache`, ``None`` for a private default-sized
+        one, or ``False`` to disable expansion caching entirely.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: "int | None" = None,
+        cache: "ExpansionCache | bool | None" = None,
+    ) -> None:
+        self.workers = max(1, int(workers) if workers is not None else _default_workers())
+        # NB: never truth-test a cache here — an empty ExpansionCache
+        # has __len__() == 0 and would read as "disabled".
+        if cache is None or cache is True:
+            self.cache: "ExpansionCache | None" = ExpansionCache()
+        elif cache is False:
+            self.cache = None
+        else:
+            self.cache = cache
+        self._pool: "ThreadPoolExecutor | None" = None
+        self._pool_lock = threading.Lock()
+
+    # -- worker pool -------------------------------------------------------
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-exec"
+                )
+            return self._pool
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        """Ordered parallel map (inline when serial or trivially small).
+
+        The generic fan-out hook: results arrive in input order no
+        matter how the pool schedules them.
+        """
+        items = list(items)
+        if self.workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        return list(self._ensure_pool().map(fn, items))
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent; the engine stays usable —
+        a later call lazily recreates the pool)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    # -- cache lifecycle ----------------------------------------------------
+
+    def invalidate_cache(self) -> None:
+        """Drop all memoized expansions (index-retirement hook)."""
+        if self.cache is not None:
+            self.cache.invalidate()
+
+    # -- entry points --------------------------------------------------------
+
+    def execute(self, plan: QueryPlan, index, *, sse=None) -> ExecResult:
+        """Run an executable plan against an encrypted index.
+
+        ``sse`` optionally supplies the owner-side black-box SSE scheme;
+        when it is Π_bas (or omitted — the server's key-free position)
+        the engine runs its coalesced walk, otherwise it falls back to
+        per-token ``sse.search`` calls, parallelized when the index
+        advertises thread-safe reads.
+        """
+        if not plan.executable:
+            raise IndexStateError("plan carries no tokens; build it from a trapdoor")
+        if plan.kind == KIND_DPRF:
+            return self._run_dprf(plan, index, sse)
+        if plan.kind == KIND_SSE:
+            return self._run_sse(plan, index, sse)
+        raise IndexStateError(f"unknown plan kind {plan.kind!r}")
+
+    def sse_search(self, index, tokens: Sequence, *, sse=None, scheme: str = "") -> ExecResult:
+        """Plan + execute a per-keyword-token search in one call."""
+        plan = plan_sse(
+            tokens, probe_batch=getattr(index, "probe_batch", 1), scheme=scheme
+        )
+        return self._run_sse(plan, index, sse)
+
+    def dprf_search(
+        self, index, tokens: Sequence, *, sse=None, scheme: str = ""
+    ) -> ExecResult:
+        """Plan + execute a DPRF-delegated search in one call."""
+        plan = plan_dprf(
+            tokens, probe_batch=getattr(index, "probe_batch", 1), scheme=scheme
+        )
+        return self._run_dprf(plan, index, sse)
+
+    # -- SSE stage ----------------------------------------------------------
+
+    def _run_sse(self, plan: QueryPlan, index, sse) -> ExecResult:
+        stats = ExecStats(workers=self.workers)
+        tokens = list(plan.tokens)
+        if sse is None or isinstance(sse, PiBas):
+            pairs = [(t.label_key, t.value_key) for t in tokens]
+            groups = self._coalesced_walk(index, pairs, stats)
+        else:
+            groups = self._blackbox_search(index, tokens, sse, stats)
+        return ExecResult(groups, stats, plan)
+
+    def _blackbox_search(self, index, tokens, sse, stats: ExecStats) -> "list[list[bytes]]":
+        """Per-token fallback for non-Π_bas SSE schemes.
+
+        Parallel across tokens only when the index tolerates reads from
+        pool threads (plain dicts and in-memory backends do; a SQLite
+        connection does not).
+        """
+        run = lambda token: sse.search(index, token)  # noqa: E731
+        if getattr(index, "thread_safe_reads", True):
+            groups = self.map(run, tokens)
+        else:
+            groups = [run(token) for token in tokens]
+        stats.probe_rounds += len(tokens)
+        stats.probes_issued += sum(len(g) + 1 for g in groups)
+        return groups
+
+    def _coalesced_walk(self, index, pairs, stats: ExecStats) -> "list[list[bytes]]":
+        """All walkers' Π_bas counter walks, probes batched per round.
+
+        ``pairs`` are raw ``(label_key, value_key)`` subkey pairs — the
+        hot path skips :class:`~repro.sse.base.KeywordToken` object
+        construction, which costs real time at thousands of DPRF leaf
+        walkers per query.  Every round derives each active walker's
+        next label chunk (fanned out over the pool), issues ONE
+        ``get_many`` for the concatenation, then advances or retires
+        each walker from its slice of the answers.  Chunks grow
+        geometrically per walker, so total rounds track the longest
+        posting list, not the walker count.  Results stay grouped per
+        walker in counter order.
+        """
+        groups: "list[list[bytes]]" = [[] for _ in pairs]
+        if not pairs:
+            return groups
+        get_many = getattr(index, "get_many", None)
+        if get_many is None:
+            get = index.get
+            get_many = lambda labels: [get(label) for label in labels]  # noqa: E731
+        batch = max(1, getattr(index, "probe_batch", 1))
+        # Per-walker speculation width.  A lone walker on a round-trip-
+        # dominated backend keeps the backend's advertised batch (the
+        # PR-2 heuristic); but the round-trip is *shared* here, so with
+        # W walkers speculating more than ~batch/W labels each buys no
+        # fewer rounds and wastes a derivation per extra label — fatal
+        # at DPRF scale, where thousands of leaf walkers miss on their
+        # very first counter.
+        chunk0 = max(1, batch // len(pairs))
+        # (walker, counter, chunk) per still-walking token.
+        state = [(i, 0, chunk0) for i in range(len(pairs))]
+        while state:
+            # Label derivation runs inline, not on the pool: a label is
+            # one ~2µs GIL-holding HMAC, so at DPRF scale (thousands of
+            # single-label walkers per round) any per-task dispatch
+            # overhead dwarfs the work itself.  The pool is reserved for
+            # coarse tasks (subtree expansions, black-box searches).
+            flat: "list[bytes]" = []
+            for walker, counter, chunk in state:
+                label_key = pairs[walker][0]
+                for j in range(chunk):
+                    flat.append(posting_label(label_key, counter + j))
+            values = get_many(flat)
+            stats.probe_rounds += 1
+            stats.probes_issued += len(flat)
+            if len(state) > 1:
+                stats.probes_coalesced += len(flat)
+            next_state = []
+            offset = 0
+            for walker, counter, chunk in state:
+                answers = values[offset : offset + chunk]
+                offset += chunk
+                retired = False
+                value_key = pairs[walker][1]
+                out = groups[walker]
+                for j, ct in enumerate(answers):
+                    if ct is None:
+                        retired = True
+                        break
+                    out.append(decode_posting_raw(value_key, counter + j, ct))
+                if not retired:
+                    next_state.append(
+                        (walker, counter + chunk, min(chunk * 2, _WALK_CHUNK_MAX))
+                    )
+            state = next_state
+        return groups
+
+    # -- DPRF stage ----------------------------------------------------------
+
+    def _expand_one(self, token) -> "tuple[tuple, bool]":
+        """Leaf subkey pairs of one delegation token; flags a cache hit.
+
+        Raw ``(label_key, value_key)`` pairs instead of
+        :class:`~repro.sse.base.KeywordToken` objects — one allocation
+        fewer per leaf on the hottest loop in the engine; the
+        derivation itself is the shared :func:`subkeys_from_secret`.
+        """
+        if self.cache is not None:
+            cached = self.cache.get(token)
+            if cached is not None:
+                return cached, True
+        leaves = tuple(
+            subkeys_from_secret(leaf) for leaf in GgmDprf.iter_leaves(token)
+        )
+        if self.cache is not None:
+            self.cache.put(token, leaves)
+        return leaves, False
+
+    def _run_dprf(self, plan: QueryPlan, index, sse=None) -> ExecResult:
+        stats = ExecStats(workers=self.workers)
+        tokens = list(plan.tokens)
+        expanded = self.map(self._expand_one, tokens)
+        leaf_tokens: list = []
+        spans: "list[int]" = []
+        for leaves, hit in expanded:
+            leaf_tokens.extend(leaves)
+            spans.append(len(leaves))
+            if hit:
+                stats.cache_hits += 1
+            else:
+                stats.cache_misses += 1
+                stats.tokens_expanded += 1
+        stats.leaves_derived += len(leaf_tokens)
+        # Leaf keyword-token derivation is deriver-contract work (the
+        # DPRF delegation seam); the walk itself honors the black-box
+        # SSE boundary exactly like the pure-SSE path.
+        if sse is None or isinstance(sse, PiBas):
+            leaf_groups = self._coalesced_walk(index, leaf_tokens, stats)
+        else:
+            wrapped = [KeywordToken(lk, vk) for lk, vk in leaf_tokens]
+            leaf_groups = self._blackbox_search(index, wrapped, sse, stats)
+        # Regroup leaf results per delegation token (deterministic: the
+        # same order the serial expand-then-search loop produced).
+        groups: "list[list[bytes]]" = []
+        cursor = 0
+        for span in spans:
+            merged: "list[bytes]" = []
+            for leaf_group in leaf_groups[cursor : cursor + span]:
+                merged.extend(leaf_group)
+            groups.append(merged)
+            cursor += span
+        return ExecResult(groups, stats, plan)
+
+
+# ---------------------------------------------------------------------------
+# The process-wide default engine
+# ---------------------------------------------------------------------------
+
+_default_lock = threading.Lock()
+_default: "QueryExecutor | None" = None
+
+
+def _env_cache_disabled() -> bool:
+    return os.environ.get(ENV_CACHE, "").strip() == "0"
+
+
+def default_executor() -> QueryExecutor:
+    """The shared engine used by everything not given a private one."""
+    global _default
+    with _default_lock:
+        if _default is None:
+            _default = QueryExecutor(
+                cache=False if _env_cache_disabled() else None
+            )
+        return _default
+
+
+def configure_default_executor(
+    *, workers: "int | None" = None, cache: "ExpansionCache | bool | None" = None
+) -> QueryExecutor:
+    """Replace the default engine (CLI ``--workers``/``--no-cache``).
+
+    Existing schemes keep whatever executor they were constructed with;
+    only *future* lookups of the default see the new one.  When
+    ``cache`` is unspecified the ``REPRO_EXEC_CACHE`` knob still
+    applies — reconfiguring workers must not silently re-enable a cache
+    the environment disabled.
+    """
+    if cache is None and _env_cache_disabled():
+        cache = False
+    global _default
+    with _default_lock:
+        old, _default = _default, QueryExecutor(workers=workers, cache=cache)
+    if old is not None:
+        old.close()
+    return _default

@@ -1,0 +1,251 @@
+"""Query planning: explicit stages and cost estimates for one search.
+
+A :class:`QueryPlan` makes the shape of a query's server-side work
+visible *before* any storage is touched: how many delegation tokens
+must expand into how many GGM leaves, how many keyword walkers will
+probe the EDB, and roughly how many storage round-trips the coalesced
+walk will need.  The executor consumes plans; the harness and
+benchmarks read their estimates.
+
+Two entry points build plans:
+
+- :func:`plan_sse` / :func:`plan_dprf` wrap *actual token objects* (the
+  path every scheme's ``search`` takes), so the executor can run the
+  plan directly;
+- :func:`plan_range` is the standalone planner: given a range, a cover
+  strategy (BRC/URC/TDAG-SRC via :mod:`repro.covers`) and the scheme
+  capability (delegated DPRF expansion or pre-replicated SSE keywords),
+  it estimates the same stages without needing keys — what a cost-based
+  dispatcher or capacity model consults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.covers.brc import best_range_cover
+from repro.covers.tdag import Tdag
+from repro.covers.urc import uniform_range_cover
+from repro.errors import InvalidRangeError
+
+#: Plan/search kinds understood by the executor.
+KIND_SSE = "sse"
+KIND_DPRF = "dprf"
+
+#: Stage kinds.
+STAGE_EXPAND = "expand"
+STAGE_PROBE = "probe"
+
+
+@dataclass
+class ExecStats:
+    """What one engine run actually did (the plan's realized costs).
+
+    ``probes_coalesced`` counts labels that shared a ``get_many`` round
+    with at least one other walker — the work the engine saved from
+    becoming its own storage round-trip.  ``cache_hits``/``misses``
+    refer to the GGM expansion cache; ``tokens_expanded`` counts
+    delegation tokens expanded *this run* (cache hits skip expansion).
+    """
+
+    tokens_expanded: int = 0
+    leaves_derived: int = 0
+    probes_issued: int = 0
+    probe_rounds: int = 0
+    probes_coalesced: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    workers: int = 1
+
+    def merge(self, other: "ExecStats") -> None:
+        """Accumulate another run's counters (multi-stage protocols)."""
+        self.tokens_expanded += other.tokens_expanded
+        self.leaves_derived += other.leaves_derived
+        self.probes_issued += other.probes_issued
+        self.probe_rounds += other.probe_rounds
+        self.probes_coalesced += other.probes_coalesced
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.workers = max(self.workers, other.workers)
+
+
+@dataclass(frozen=True)
+class PlanStage:
+    """One stage of server-side work with its estimated cost.
+
+    ``est_cost`` is PRG applications for ``expand`` stages and storage
+    round-trips for ``probe`` stages — the two currencies that dominate
+    DPRF-delegated and pre-replicated searches respectively.
+    """
+
+    kind: str
+    units: int
+    est_cost: int
+    note: str = ""
+
+
+@dataclass
+class QueryPlan:
+    """Explicit execution plan for one search.
+
+    ``tokens`` holds the live token objects when the plan was built
+    from a trapdoor (:func:`plan_sse`/:func:`plan_dprf`); a
+    :func:`plan_range` estimate carries none and cannot be executed.
+    """
+
+    kind: str
+    tokens: tuple = ()
+    stages: "tuple[PlanStage, ...]" = ()
+    scheme: str = ""
+    cover: str = ""
+    est_leaves: int = 0
+    est_probe_rounds: int = 0
+    probe_batch: int = 1
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def executable(self) -> bool:
+        """Whether the plan carries tokens the executor can run."""
+        return bool(self.tokens)
+
+    def describe(self) -> str:
+        """One-line human summary (harness/bench observability)."""
+        stages = " -> ".join(
+            f"{s.kind}[{s.units}u, ~{s.est_cost}]" for s in self.stages
+        )
+        return (
+            f"{self.kind} plan ({self.scheme or 'anonymous'}): {stages}; "
+            f"~{self.est_leaves} walkers, ~{self.est_probe_rounds} storage rounds"
+        )
+
+
+def _probe_stage(walkers: int, probe_batch: int) -> "tuple[PlanStage, int]":
+    """Probe-stage estimate for ``walkers`` concurrent counter walks.
+
+    The coalesced walk batches every active walker's next labels into
+    one ``get_many`` per round, so the round count is driven by the
+    *longest* posting list, not the walker count.  Result sizes are
+    unknowable pre-search (that is the whole point of SSE), so the
+    estimate assumes each walker retires within its first batch —
+    a lower bound that is exact for miss-heavy DPRF leaf walks.
+    """
+    if walkers == 0:
+        return PlanStage(STAGE_PROBE, 0, 0, "empty cover"), 0
+    rounds = 1 if probe_batch > 1 else 2
+    return (
+        PlanStage(
+            STAGE_PROBE,
+            walkers,
+            rounds,
+            "coalesced get_many rounds (lower bound)",
+        ),
+        rounds,
+    )
+
+
+def plan_sse(
+    tokens: Sequence,
+    *,
+    probe_batch: int = 1,
+    scheme: str = "",
+    cover: str = "",
+) -> QueryPlan:
+    """Plan a pre-replicated (per-keyword token) search."""
+    tokens = tuple(tokens)
+    probe, rounds = _probe_stage(len(tokens), probe_batch)
+    return QueryPlan(
+        kind=KIND_SSE,
+        tokens=tokens,
+        stages=(probe,),
+        scheme=scheme,
+        cover=cover,
+        est_leaves=len(tokens),
+        est_probe_rounds=rounds,
+        probe_batch=probe_batch,
+    )
+
+
+def plan_dprf(
+    tokens: Sequence,
+    *,
+    probe_batch: int = 1,
+    scheme: str = "",
+    cover: str = "",
+) -> QueryPlan:
+    """Plan a DPRF-delegated search: expansion stage, then probe stage.
+
+    Expansion cost is exact: a GGM subtree of ``2^level`` leaves takes
+    ``2^level - 1`` PRG applications (every internal node once).
+    """
+    tokens = tuple(tokens)
+    leaves = sum(t.leaf_count for t in tokens)
+    prg_calls = sum(max(0, t.leaf_count - 1) for t in tokens)
+    expand = PlanStage(
+        STAGE_EXPAND,
+        len(tokens),
+        prg_calls,
+        "GGM subtree expansions (cache may skip)",
+    )
+    probe, rounds = _probe_stage(leaves, probe_batch)
+    return QueryPlan(
+        kind=KIND_DPRF,
+        tokens=tokens,
+        stages=(expand, probe),
+        scheme=scheme,
+        cover=cover,
+        est_leaves=leaves,
+        est_probe_rounds=rounds,
+        probe_batch=probe_batch,
+    )
+
+
+def plan_range(
+    lo: int,
+    hi: int,
+    *,
+    cover: str,
+    domain_size: int,
+    delegated: bool = False,
+    probe_batch: int = 1,
+    scheme: str = "",
+) -> QueryPlan:
+    """Key-free cost estimate for a range under a cover strategy.
+
+    ``cover`` is ``"brc"``, ``"urc"`` or ``"tdag-src"``; ``delegated``
+    says whether the scheme ships GGM seeds that the server expands
+    (the Constant family) or one pre-replicated keyword token per cover
+    node (the Logarithmic family).  The returned plan carries no tokens
+    — it is an estimate, not an executable.
+    """
+    if cover == "brc":
+        nodes = best_range_cover(lo, hi)
+    elif cover == "urc":
+        nodes = uniform_range_cover(lo, hi)
+    elif cover == "tdag-src":
+        nodes = [Tdag(domain_size).src_cover(lo, hi)]
+    else:
+        raise InvalidRangeError(f"unknown cover strategy {cover!r}")
+
+    if delegated:
+        leaves = sum(1 << n.level for n in nodes)
+        prg_calls = sum(max(0, (1 << n.level) - 1) for n in nodes)
+        expand = PlanStage(STAGE_EXPAND, len(nodes), prg_calls)
+        probe, rounds = _probe_stage(leaves, probe_batch)
+        stages: "tuple[PlanStage, ...]" = (expand, probe)
+        kind = KIND_DPRF
+    else:
+        leaves = len(nodes)
+        probe, rounds = _probe_stage(leaves, probe_batch)
+        stages = (probe,)
+        kind = KIND_SSE
+    return QueryPlan(
+        kind=kind,
+        stages=stages,
+        scheme=scheme,
+        cover=cover,
+        est_leaves=leaves,
+        est_probe_rounds=rounds,
+        probe_batch=probe_batch,
+        meta={"lo": lo, "hi": hi, "cover_nodes": len(nodes)},
+    )

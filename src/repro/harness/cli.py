@@ -145,7 +145,27 @@ def main(argv: "list[str] | None" = None) -> int:
         default=None,
         help="also write CSV output into this directory",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exec-engine thread-pool width for every scheme the "
+        "experiments build (1 = fully serial; default: "
+        "REPRO_EXEC_WORKERS or CPU count, capped at 8)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the exec engine's GGM expansion cache",
+    )
     args = parser.parse_args(argv)
+    if args.workers is not None or args.no_cache:
+        from repro.exec import configure_default_executor
+
+        configure_default_executor(
+            workers=args.workers, cache=False if args.no_cache else None
+        )
     names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in names:
         print(run_experiment(name, args.csv_dir))

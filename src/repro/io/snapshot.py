@@ -152,11 +152,14 @@ def restore_scheme(
     *,
     rng: "random.Random | None" = None,
     backend: "StorageBackend | None" = None,
+    executor=None,
 ) -> RangeScheme:
     """Reconstruct a scheme from :func:`dump_scheme` output.
 
     ``backend`` optionally rehydrates the restored server-side state
-    into persistent storage instead of memory.
+    into persistent storage instead of memory; ``executor`` wires the
+    restored scheme to a specific query engine (the process default
+    when omitted).
     """
     blob = bytes(blob)
     if not blob.startswith(_MAGIC):
@@ -177,6 +180,8 @@ def restore_scheme(
         kwargs["rng"] = rng
     if backend is not None:
         kwargs["backend"] = backend
+    if executor is not None:
+        kwargs["executor"] = executor
     scheme = cls(domain_size, **kwargs)
     scheme._install_record_key(record_key)
     state = ServerState(tuples=tuples, payloads=payloads)
@@ -234,10 +239,11 @@ def load_scheme(
     *,
     rng=None,
     backend: "StorageBackend | None" = None,
+    executor=None,
 ) -> RangeScheme:
     """Inverse of :func:`save_scheme`."""
     with open(path, "rb") as fh:
         blob = fh.read()
     if passphrase is not None:
         blob = keystore.unwrap(blob, passphrase)
-    return restore_scheme(blob, rng=rng, backend=backend)
+    return restore_scheme(blob, rng=rng, backend=backend, executor=executor)

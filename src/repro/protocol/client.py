@@ -132,22 +132,30 @@ class RemoteRangeClient:
     def query_many(
         self, ranges: "Sequence[tuple[int, int]]"
     ) -> "list[frozenset[int]]":
-        """Batched queries: trapdoors pipelined ahead of transport, one
-        coalesced tuple fetch for the whole batch.
+        """Batched queries behind one search frame per batch.
 
-        Returns one refined id-set per input range, in order.
+        All trapdoors are computed up-front and shipped in a single
+        :class:`~repro.protocol.messages.MultiSearchRequest`; the server
+        executes the batch through its exec engine and answers in one
+        frame.  The final tuple fetch is likewise coalesced for the
+        whole batch.  Returns one refined id-set per input range, in
+        order.
         """
         self._require_uploaded()
+        if not ranges:
+            return []
         if self._scheme.interactive:
             raw_per_range = self._interactive_raw_many(ranges)
         else:
             # Pipeline stage 1: all trapdoors before any round-trip.
             tokens = [self._scheme.trapdoor(lo, hi) for lo, hi in ranges]
             handle = self._index_ids[self._scheme.index_names()[0]]
-            raw_per_range = []
-            for token in tokens:
-                response, _, _ = self._search_round(handle, token)
-                raw_per_range.append([decode_id(p) for p in response.payloads])
+            response = self._multi_search_round(
+                handle, tokens[0].wire_kind, [token.wire_tokens() for token in tokens]
+            )
+            raw_per_range = [
+                [decode_id(p) for p in payloads] for payloads in response.results
+            ]
         # Drop EDB-only ids (padded Quadratic's dummies), then issue a
         # single fetch for the union of all candidate ids.
         fetchable_per_range = [
@@ -212,6 +220,13 @@ class RemoteRangeClient:
             elapsed,
             len(response_frame),
         )
+
+    def _multi_search_round(
+        self, handle: int, kind: str, queries: "list[list[bytes]]"
+    ) -> msg.MultiSearchResponse:
+        """One MultiSearchRequest round-trip for a whole query batch."""
+        frame = msg.MultiSearchRequest(handle, kind, queries).to_frame()
+        return msg.parse_message(self._transport(frame))
 
     def _fetch_records(self, ids: "Sequence[int]"):
         """Fetch + decrypt tuples, returning ``{id: Record}``."""
@@ -330,22 +345,44 @@ class RemoteRangeClient:
     ) -> "list[list[int]]":
         """Two-round raw candidate ids per range (fetch left to the caller).
 
-        Round-1 trapdoors are pipelined up-front; round 2 necessarily
-        waits on each round-1 answer (the position interval depends on
-        it), exactly as in the paper's interactive protocol.
+        Each round is one :class:`MultiSearchRequest` for the whole
+        batch: round 1 covers every range on I1 at once, the owner
+        merges per range, and the surviving position intervals ride a
+        single round-2 frame against I2.  Round 2 necessarily waits on
+        round 1 (the position intervals depend on it) — the paper's
+        interactive protocol, at two transport round-trips per *batch*
+        instead of two per query.
         """
+        if not ranges:
+            return []
         phase1_tokens = [
             self._scheme.trapdoor_phase1(lo, hi) for lo, hi in ranges
         ]
-        raw_per_range: list[list[int]] = []
-        for (lo, hi), token1 in zip(ranges, phase1_tokens):
-            response, _, _ = self._search_round(self._index_ids["edb1"], token1)
-            triples = [decode_triple(p) for p in response.payloads]
+        response1 = self._multi_search_round(
+            self._index_ids["edb1"],
+            phase1_tokens[0].wire_kind,
+            [token.wire_tokens() for token in phase1_tokens],
+        )
+        # Owner-side merge between the rounds; ranges whose round-1
+        # answer holds nothing in range stop early with an empty result.
+        phase2_tokens: list = []
+        positions: "list[int]" = []
+        raw_per_range: "list[list[int]]" = [[] for _ in ranges]
+        for position, ((lo, hi), payloads) in enumerate(
+            zip(ranges, response1.results)
+        ):
+            triples = [decode_triple(p) for p in payloads]
             merged = self._scheme.merge_qualifying(triples, lo, hi)
             if merged is None:
-                raw_per_range.append([])
                 continue
-            token2 = self._scheme.trapdoor_phase2(*merged)
-            response, _, _ = self._search_round(self._index_ids["edb2"], token2)
-            raw_per_range.append([decode_id(p) for p in response.payloads])
+            phase2_tokens.append(self._scheme.trapdoor_phase2(*merged))
+            positions.append(position)
+        if phase2_tokens:
+            response2 = self._multi_search_round(
+                self._index_ids["edb2"],
+                phase2_tokens[0].wire_kind,
+                [token.wire_tokens() for token in phase2_tokens],
+            )
+            for position, payloads in zip(positions, response2.results):
+                raw_per_range[position] = [decode_id(p) for p in payloads]
         return raw_per_range

@@ -30,6 +30,8 @@ TAG_DROP_INDEX = 7
 TAG_UPLOAD_PAYLOADS = 8
 TAG_FETCH_PAYLOADS = 9
 TAG_PAYLOAD_RESPONSE = 10
+TAG_MULTI_SEARCH_REQUEST = 11
+TAG_MULTI_SEARCH_RESPONSE = 12
 
 
 def _pack_chunks(chunks: "list[bytes]") -> bytes:
@@ -156,6 +158,54 @@ class SearchResponse:
 
 
 @dataclass(frozen=True)
+class MultiSearchRequest:
+    """Owner → server: one frame carrying a whole batch of searches.
+
+    ``queries[i]`` is the token list of the i-th query (same opaque
+    token encodings as :class:`SearchRequest`; one ``kind`` for the
+    batch, since a batch always comes from one scheme).  The server
+    executes the batch through its exec engine and answers with one
+    :class:`MultiSearchResponse` — one round-trip per batch instead of
+    one per query.
+    """
+
+    index_id: int
+    kind: str  # "sse" or "dprf"
+    queries: "list[list[bytes]]"
+
+    def to_frame(self) -> bytes:
+        kind_byte = b"\x00" if self.kind == "sse" else b"\x01"
+        body = _pack_chunks([_pack_chunks(tokens) for tokens in self.queries])
+        return _frame(
+            TAG_MULTI_SEARCH_REQUEST,
+            self.index_id.to_bytes(8, "big") + kind_byte + body,
+        )
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "MultiSearchRequest":
+        index_id = int.from_bytes(body[:8], "big")
+        kind = "sse" if body[8] == 0 else "dprf"
+        blobs, _ = _unpack_chunks(body, 9)
+        return cls(index_id, kind, [_unpack_chunks(blob)[0] for blob in blobs])
+
+
+@dataclass(frozen=True)
+class MultiSearchResponse:
+    """Server → owner: per-query payload lists, in request order."""
+
+    results: "list[list[bytes]]" = field(default_factory=list)
+
+    def to_frame(self) -> bytes:
+        body = _pack_chunks([_pack_chunks(payloads) for payloads in self.results])
+        return _frame(TAG_MULTI_SEARCH_RESPONSE, body)
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "MultiSearchResponse":
+        blobs, _ = _unpack_chunks(body)
+        return cls([_unpack_chunks(blob)[0] for blob in blobs])
+
+
+@dataclass(frozen=True)
 class FetchRequest:
     """Owner → server: retrieve encrypted tuples by id."""
 
@@ -273,6 +323,8 @@ _PARSERS = {
     TAG_UPLOAD_PAYLOADS: UploadPayloads.from_body,
     TAG_FETCH_PAYLOADS: FetchPayloads.from_body,
     TAG_PAYLOAD_RESPONSE: PayloadResponse.from_body,
+    TAG_MULTI_SEARCH_REQUEST: MultiSearchRequest.from_body,
+    TAG_MULTI_SEARCH_RESPONSE: MultiSearchResponse.from_body,
 }
 
 

@@ -56,10 +56,25 @@ class RsseServer:
         storage or a :class:`~repro.storage.ShardedBackend` to stripe
         EDB labels across sub-stores.  Handles present in a persistent
         backend are rehydrated automatically.
+    executor:
+        Optional :class:`~repro.exec.QueryExecutor` every hosted
+        database searches through (token walks coalesced, GGM
+        expansions pooled and cached).  The process-wide default engine
+        when omitted.
     """
 
-    def __init__(self, backend: "StorageBackend | None" = None) -> None:
+    def __init__(
+        self,
+        backend: "StorageBackend | None" = None,
+        *,
+        executor=None,
+    ) -> None:
         self._backend = backend if backend is not None else InMemoryBackend()
+        if executor is None:
+            from repro.exec.engine import default_executor
+
+            executor = default_executor()
+        self.executor = executor
         self._databases: dict[int, EncryptedDatabase] = {}
         for key in self._backend.keys(_HANDLES_NS):
             index_id = int.from_bytes(key, "big")
@@ -67,7 +82,8 @@ class RsseServer:
 
     def _make_db(self, index_id: int) -> EncryptedDatabase:
         return EncryptedDatabase(
-            PrefixedBackend(self._backend, f"h{index_id}/")
+            PrefixedBackend(self._backend, f"h{index_id}/"),
+            executor=self.executor,
         )
 
     def _db(self, index_id: int, *, create: bool = False) -> EncryptedDatabase:
@@ -100,6 +116,8 @@ class RsseServer:
             return None
         if isinstance(message, msg.SearchRequest):
             return self._search(message).to_frame()
+        if isinstance(message, msg.MultiSearchRequest):
+            return self._multi_search(message).to_frame()
         if isinstance(message, msg.FetchRequest):
             return self._fetch(message).to_frame()
         if isinstance(message, msg.FetchPayloads):
@@ -117,20 +135,47 @@ class RsseServer:
 
     # -- operations -------------------------------------------------------------
 
-    def _search(self, request: msg.SearchRequest) -> msg.SearchResponse:
-        db = self._db(request.index_id)
+    def _searchable_db(self, index_id: int) -> EncryptedDatabase:
+        db = self._db(index_id)
         if db.get_index("edb") is None:
-            raise IndexStateError(f"unknown index handle {request.index_id}")
-        if request.kind == "sse":
-            # One index resolution for the whole token batch.
-            payloads = db.sse_search_many(
-                "edb", [_keyword_token(raw) for raw in request.tokens]
+            raise IndexStateError(f"unknown index handle {index_id}")
+        return db
+
+    @staticmethod
+    def _run_search(
+        db: EncryptedDatabase, kind: str, tokens: "list[bytes]"
+    ) -> "list[bytes]":
+        """One query's worth of key-free search (shared by the single-
+        and multi-search frames — one place decodes tokens and picks
+        the engine entry point)."""
+        if kind == "sse":
+            return db.sse_search_many(
+                "edb", [_keyword_token(raw) for raw in tokens]
             )
-        else:
-            payloads = db.dprf_search(
-                "edb", [_delegation_token(raw) for raw in request.tokens]
-            )
-        return msg.SearchResponse(payloads)
+        return db.dprf_search(
+            "edb", [_delegation_token(raw) for raw in tokens]
+        )
+
+    def _search(self, request: msg.SearchRequest) -> msg.SearchResponse:
+        db = self._searchable_db(request.index_id)
+        return msg.SearchResponse(
+            self._run_search(db, request.kind, request.tokens)
+        )
+
+    def _multi_search(self, request: msg.MultiSearchRequest) -> msg.MultiSearchResponse:
+        """Execute a whole query batch behind one wire round-trip.
+
+        Every query in the batch runs through the same exec engine as a
+        single search; answers keep request order so the client can
+        scatter them back to its ranges.
+        """
+        db = self._searchable_db(request.index_id)
+        return msg.MultiSearchResponse(
+            [
+                self._run_search(db, request.kind, tokens)
+                for tokens in request.queries
+            ]
+        )
 
     def _fetch(self, request: msg.FetchRequest) -> msg.FetchResponse:
         # fetch_tuples reports *all* missing ids at once, so a client

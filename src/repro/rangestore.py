@@ -255,6 +255,9 @@ class RangeStore:
                 PrefixedBackend(backend, "mgr/") if backend is not None else None
             ),
             scheme_backend_factory=scheme_backend,
+            # Restored indexes search through the same engine future
+            # batches will (scheme_kwargs carries any executor=).
+            executor=scheme_kwargs.get("executor"),
         )
         return store
 

@@ -23,6 +23,8 @@ master key never leaves the owner.
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Iterable, Mapping
@@ -61,6 +63,27 @@ class KeywordToken:
         return len(self.label_key) + len(self.value_key)
 
 
+#: Domain-separation label of per-keyword token derivation.  ONE place:
+#: owner-side trapdoors and the exec engine's server-side leaf
+#: expansion must derive identical subkeys or searches silently miss.
+TOKEN_DERIVE_LABEL = b"repro.sse.token"
+
+
+def subkeys_from_secret(secret: bytes) -> "tuple[bytes, bytes]":
+    """Raw ``(label_key, value_key)`` pair for per-keyword secret bytes.
+
+    The allocation-free core of :func:`token_from_secret`, used directly
+    on the exec engine's hot path (one call per expanded GGM leaf).  It
+    takes the one-shot HMAC fast path; the common case — a leaf value is
+    already exactly ``KEY_LEN`` bytes — skips the pad too.  Output is
+    identical to ``prf(...)`` on the padded secret.
+    """
+    if len(secret) != KEY_LEN:
+        secret = secret.ljust(KEY_LEN, b"\x00")[:KEY_LEN]
+    expanded = hmac.digest(secret, TOKEN_DERIVE_LABEL, hashlib.sha512)
+    return expanded[:SUBKEY_LEN], expanded[SUBKEY_LEN : 2 * SUBKEY_LEN]
+
+
 def token_from_secret(secret: bytes) -> KeywordToken:
     """Publicly derive a :class:`KeywordToken` from per-keyword secret bytes.
 
@@ -69,8 +92,7 @@ def token_from_secret(secret: bytes) -> KeywordToken:
     knows the secret can derive the token — that is exactly the DPRF
     delegation contract.
     """
-    expanded = prf(secret.ljust(KEY_LEN, b"\x00")[:KEY_LEN], b"repro.sse.token")
-    return KeywordToken(expanded[:SUBKEY_LEN], expanded[SUBKEY_LEN : 2 * SUBKEY_LEN])
+    return KeywordToken(*subkeys_from_secret(secret))
 
 
 class KeyDeriver(ABC):

@@ -34,11 +34,20 @@ from repro.sse.base import (
 from repro.sse.encoding import encode_counter
 
 
-def _label(label_key: bytes, counter: int) -> bytes:
-    """EDB label for the ``counter``-th posting of a keyword."""
-    return hmac.new(label_key, encode_counter(counter), hashlib.sha256).digest()[
+def posting_label(label_key: bytes, counter: int) -> bytes:
+    """EDB label for the ``counter``-th posting of a keyword.
+
+    Public because label derivation is part of the server-side search
+    contract: anyone holding a token can derive labels — the protocol
+    server and the exec engine's coalesced walk both do.
+    """
+    return hmac.digest(label_key, encode_counter(counter), hashlib.sha256)[
         :LABEL_LEN
     ]
+
+
+#: Backwards-compatible private alias (pre-exec-engine name).
+_label = posting_label
 
 
 def _xor_pad(value_key: bytes, counter: int, data: bytes) -> bytes:
@@ -51,11 +60,15 @@ def _xor_pad(value_key: bytes, counter: int, data: bytes) -> bytes:
     pad = b""
     block = 0
     while len(pad) < len(data):
-        pad += hmac.new(
+        pad += hmac.digest(
             value_key, encode_counter(counter) + bytes([block]), hashlib.sha512
-        ).digest()
+        )
         block += 1
-    return bytes(a ^ b for a, b in zip(data, pad))
+    # Constant-time-ish whole-int XOR beats a per-byte generator.
+    n = len(data)
+    return (
+        int.from_bytes(data, "big") ^ int.from_bytes(pad[:n], "big")
+    ).to_bytes(n, "big")
 
 
 class PiBas(SseScheme):
@@ -87,12 +100,22 @@ class PiBas(SseScheme):
 _WALK_CHUNK_MAX = 256
 
 
-def _decode_posting(token: KeywordToken, counter: int, ct: bytes) -> bytes:
-    plain = _xor_pad(token.value_key, counter, ct)
+def decode_posting_raw(value_key: bytes, counter: int, ct: bytes) -> bytes:
+    """Decrypt one posting from the raw value subkey (engine hot path)."""
+    plain = _xor_pad(value_key, counter, ct)
     length = int.from_bytes(plain[:4], "big")
     if length > len(plain) - 4:
         raise TokenError("corrupt EDB entry or mismatched token")
     return plain[4 : 4 + length]
+
+
+def decode_posting(token: KeywordToken, counter: int, ct: bytes) -> bytes:
+    """Decrypt one posting given its token and counter (search contract)."""
+    return decode_posting_raw(token.value_key, counter, ct)
+
+
+#: Backwards-compatible private alias (pre-exec-engine name).
+_decode_posting = decode_posting
 
 
 def search(index: EncryptedIndex, token: KeywordToken) -> "list[bytes]":

@@ -100,6 +100,13 @@ class StorageBackend(ABC):
     #: wasted key derivations for a batched round-trip.
     probe_batch = 1
 
+    #: Whether concurrent reads from arbitrary threads are safe.  The
+    #: exec engine only fans read work out over its pool when this is
+    #: true; SQLite connections are bound to their creating thread and
+    #: set it to False (the engine then keeps storage calls on the
+    #: calling thread — coalesced ``get_many`` rounds already are).
+    thread_safe_reads = True
+
     def put_many(self, ns: str, entries: "Iterable[tuple[bytes, bytes]]") -> None:
         """Bulk insert/replace; later duplicates of a key win."""
         for key, value in entries:
@@ -212,6 +219,7 @@ class SqliteBackend(StorageBackend):
     """
 
     probe_batch = 16
+    thread_safe_reads = False
 
     def __init__(self, path) -> None:
         self._conn = sqlite3.connect(str(path), isolation_level=None)
@@ -412,6 +420,11 @@ class ShardedBackend(StorageBackend):
         # the slowest shard they might hit.
         return max(shard.probe_batch for shard in self.shards)
 
+    @property
+    def thread_safe_reads(self) -> bool:
+        # A read may land on any shard, so all of them must tolerate it.
+        return all(shard.thread_safe_reads for shard in self.shards)
+
     def delete(self, ns: str, key: bytes) -> bool:
         return self.shard_for(key).delete(ns, key)
 
@@ -480,6 +493,10 @@ class PrefixedBackend(StorageBackend):
     @property
     def probe_batch(self) -> int:
         return self._inner.probe_batch
+
+    @property
+    def thread_safe_reads(self) -> bool:
+        return self._inner.thread_safe_reads
 
     def delete(self, ns: str, key: bytes) -> bool:
         return self._inner.delete(self._ns(ns), key)

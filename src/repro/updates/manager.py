@@ -227,8 +227,20 @@ class BatchUpdateManager:
         self.stats.consolidations += 1
 
     def _discard_index(self, idx: _ActiveIndex) -> None:
-        """Free a retired index's storage (scheme EDB + op log)."""
+        """Free a retired index's storage (scheme EDB + op log).
+
+        Also drops the exec engine's memoized expansions for the dead
+        index: stale hits are impossible (expansion is a pure function
+        of cryptographically fresh seeds) but dead entries would squat
+        in the LRU until evicted by pressure.  The flush is deliberately
+        blunt — entries are keyed by opaque seeds, so the dead index's
+        cannot be singled out, and a whole-cache invalidation costs one
+        re-expansion per live range.  Deployments hosting many tenants
+        on one process should give each manager's scheme factory its
+        own ``executor=`` (hence its own cache) to scope this.
+        """
         idx.scheme.server.clear()
+        idx.scheme.invalidate_exec_cache()
         if self._backend is not None and idx.ops_ns is not None:
             self._backend.drop(idx.ops_ns)
 
@@ -246,6 +258,7 @@ class BatchUpdateManager:
         trapdoor_seconds = server_seconds = refine_seconds = 0.0
         token_bytes = response_bytes = 0
         raw_total = 0
+        tokens_expanded = probes_issued = probes_coalesced = cache_hits = 0
         live: dict[int, UpdateOp] = {}
         decided: set[int] = set()
         for idx in sorted(self._indexes, key=lambda i: i.newest_seq, reverse=True):
@@ -256,6 +269,10 @@ class BatchUpdateManager:
             token_bytes += outcome.token_bytes
             response_bytes += outcome.response_bytes
             raw_total += len(outcome.raw_ids)
+            tokens_expanded += outcome.tokens_expanded
+            probes_issued += outcome.probes_issued
+            probes_coalesced += outcome.probes_coalesced
+            cache_hits += outcome.cache_hits
             # Within an index, higher synthetic id = more recent operation;
             # the first (newest) op seen for a tuple decides its fate.
             t0 = time.perf_counter()
@@ -281,7 +298,20 @@ class BatchUpdateManager:
             server_seconds=server_seconds,
             refine_seconds=refine_seconds,
             response_bytes=response_bytes,
+            tokens_expanded=tokens_expanded,
+            probes_issued=probes_issued,
+            probes_coalesced=probes_coalesced,
+            cache_hits=cache_hits,
         )
+
+    def invalidate_exec_caches(self) -> None:
+        """Drop memoized expansions for every active index.
+
+        The restore path calls this: a rehydrated forest starts from a
+        clean cache so pre-snapshot memory pressure cannot carry over.
+        """
+        for idx in self._indexes:
+            idx.scheme.invalidate_exec_cache()
 
     # -- introspection ---------------------------------------------------------
 
@@ -341,13 +371,16 @@ def restore_manager(
     rng: "random.Random | None" = None,
     backend: "StorageBackend | None" = None,
     scheme_backend_factory: "Callable[[], StorageBackend | None] | None" = None,
+    executor=None,
 ) -> BatchUpdateManager:
     """Inverse of :func:`dump_manager`.
 
     ``scheme_factory`` serves *future* batches; restored indexes come
     from their embedded snapshots.  ``scheme_backend_factory`` supplies
     one storage backend per restored scheme (return ``None`` for
-    in-memory), matching however the factory provisions new ones.
+    in-memory), matching however the factory provisions new ones;
+    ``executor`` likewise wires restored schemes to the same query
+    engine the factory would use.
     """
     import contextlib
 
@@ -377,7 +410,9 @@ def restore_manager(
             scheme_backend = (
                 scheme_backend_factory() if scheme_backend_factory is not None else None
             )
-            scheme = restore_scheme(reader.chunk(), rng=rng, backend=scheme_backend)
+            scheme = restore_scheme(
+                reader.chunk(), rng=rng, backend=scheme_backend, executor=executor
+            )
             op_store, ops_ns = manager._new_op_store()
             op_store.update(ops)
             manager._indexes.append(
@@ -393,4 +428,5 @@ def restore_manager(
             )
     if not reader.done():
         raise IntegrityError("trailing bytes after manager snapshot")
+    manager.invalidate_exec_caches()
     return manager

@@ -1,0 +1,198 @@
+"""Cache invalidation correctness: cached ≡ uncached, always.
+
+The expansion cache must never change an answer — not after updates,
+not after LSM consolidations, not after a snapshot restore.  A
+hypothesis property drives two RangeStores through the same randomized
+insert/delete/flush/search history, one with the exec engine's cache
+enabled and one with it disabled, across every registry scheme, and a
+restore-path test proves the invalidation hooks fire where the ISSUE
+wires them (consolidate/discard and restore).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.registry import SCHEMES
+from repro.exec import ExpansionCache, QueryExecutor
+from repro.rangestore import RangeStore
+from repro.updates.batch import delete as delete_op
+from repro.updates.batch import insert as insert_op
+from repro.updates.manager import BatchUpdateManager
+
+DOMAIN = 64  # small enough for Quadratic's O(m²) keywords
+
+#: An update history: batches of (record_id, value, is_delete) triples.
+#: Ids are drawn per-batch-unique; deletes target previously used ids.
+_history = st.lists(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=39),
+            st.integers(min_value=0, max_value=DOMAIN - 1),
+            st.booleans(),
+        ),
+        min_size=1,
+        max_size=6,
+        unique_by=lambda op: op[0],
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+_query = st.tuples(
+    st.integers(min_value=0, max_value=DOMAIN - 1),
+    st.integers(min_value=0, max_value=DOMAIN - 1),
+)
+
+
+def _store(name: str, cached: bool, seed: int) -> RangeStore:
+    executor = QueryExecutor(
+        workers=1, cache=ExpansionCache() if cached else False
+    )
+    kwargs = {}
+    if name.startswith("constant"):
+        kwargs["intersection_policy"] = "allow"
+    return RangeStore.open(
+        name,
+        domain_size=DOMAIN,
+        consolidation_step=2,  # small step: merges (and hooks) fire often
+        rng=random.Random(seed),
+        executor=executor,
+        **kwargs,
+    )
+
+
+def _inserted(history) -> "set[int]":
+    live: set[int] = set()
+    for batch in history:
+        for rid, _value, is_delete in batch:
+            if is_delete:
+                live.discard(rid)
+            else:
+                live.add(rid)
+    return live
+
+
+def _drive(store: RangeStore, history, queries) -> list:
+    """Apply the history, interleaving searches; return all answers."""
+    answers = []
+    seen_values: dict[int, int] = {}
+    for batch in history:
+        for rid, value, is_delete in batch:
+            if is_delete:
+                # Deleting something never inserted is a no-op op-wise;
+                # use the last known value (or the given one) so both
+                # stores issue byte-identical op streams.
+                store.delete(rid, seen_values.get(rid, value))
+            else:
+                store.insert(rid, value)
+                seen_values[rid] = value
+        store.flush()
+        for lo, hi in queries:
+            lo, hi = min(lo, hi), max(lo, hi)
+            answers.append(store.search(lo, hi).ids)
+    return answers
+
+
+@pytest.mark.parametrize("name", sorted(SCHEMES))
+@given(history=_history, queries=st.lists(_query, min_size=1, max_size=2))
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_search_identical_with_and_without_cache(name, history, queries):
+    cached = _store(name, cached=True, seed=77)
+    uncached = _store(name, cached=False, seed=77)
+    assert _drive(cached, history, queries) == _drive(
+        uncached, history, queries
+    )
+
+
+def test_consolidation_fires_invalidation_hook():
+    """Every consolidation discards retired indexes AND invalidates
+    their engine cache (observable through the shared cache counter)."""
+    cache = ExpansionCache()
+    executor = QueryExecutor(workers=1, cache=cache)
+
+    def factory():
+        from repro.core.registry import make_scheme
+
+        return make_scheme(
+            "constant-brc",
+            DOMAIN,
+            rng=random.Random(5),
+            intersection_policy="allow",
+            executor=executor,
+        )
+
+    manager = BatchUpdateManager(factory, consolidation_step=2)
+    manager.apply_batch([insert_op(1, 10)])
+    manager.query(0, 20)
+    assert len(cache) > 0  # the query populated the cache
+    manager.apply_batch([insert_op(2, 11)])  # step=2 -> consolidation
+    assert manager.stats.consolidations >= 1
+    assert cache.invalidations >= 1
+    # And the merged index still answers correctly, cache repopulating.
+    assert manager.query(0, 20).ids == frozenset({1, 2})
+
+
+def test_restore_invalidates_and_answers_identically(tmp_path):
+    cache = ExpansionCache()
+    executor = QueryExecutor(workers=1, cache=cache)
+    store = RangeStore.open(
+        "constant-brc",
+        domain_size=DOMAIN,
+        rng=random.Random(3),
+        intersection_policy="allow",
+        executor=executor,
+    )
+    for rid in range(12):
+        store.insert(rid, (rid * 5) % DOMAIN)
+    store.delete(3, 15)
+    before = store.search(0, DOMAIN - 1).ids
+    assert len(cache) > 0
+    path = tmp_path / "store.rsse"
+    store.save(path)
+    invalidations_before = cache.invalidations
+    # NB: restored per-batch schemes go through RangeStore's factory,
+    # which passes the same executor (hence the same cache) through.
+    restored = RangeStore.load(
+        path,
+        rng=random.Random(3),
+        intersection_policy="allow",
+        executor=executor,
+    )
+    assert cache.invalidations > invalidations_before  # restore hook fired
+    assert restored.search(0, DOMAIN - 1).ids == before
+
+
+def test_update_then_search_consistent_under_shared_cache():
+    """Two schemes sharing one engine/cache can't poison each other:
+    fresh keys mean fresh GGM seeds, so answers stay exact."""
+    cache = ExpansionCache()
+    executor = QueryExecutor(workers=1, cache=cache)
+    from repro.core.registry import make_scheme
+
+    a = make_scheme(
+        "constant-brc", DOMAIN, rng=random.Random(1),
+        intersection_policy="allow", executor=executor,
+    )
+    b = make_scheme(
+        "constant-brc", DOMAIN, rng=random.Random(2),
+        intersection_policy="allow", executor=executor,
+    )
+    a.build_index([(i, i % DOMAIN) for i in range(30)])
+    b.build_index([(i, (i * 2) % DOMAIN) for i in range(30)])
+    for _ in range(2):  # second pass hits the cache
+        assert a.query(0, 31).ids == frozenset(
+            i for i in range(30) if 0 <= i % DOMAIN <= 31
+        )
+        assert b.query(0, 31).ids == frozenset(
+            i for i in range(30) if 0 <= (i * 2) % DOMAIN <= 31
+        )
+    assert cache.hits > 0

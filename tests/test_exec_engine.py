@@ -1,0 +1,288 @@
+"""The query execution engine: planner, executor, expansion cache.
+
+Covers the subsystem in isolation: plans carry the right stages and
+estimates; the coalesced walk answers exactly what per-token Π_bas
+searches answer (grouped, in order, on dicts and on backend-resident
+indexes); DPRF runs equal the expand-then-search loop; the worker pool
+changes nothing observable; the cache hits, evicts, and invalidates.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.core.registry import make_scheme
+from repro.core.split import EncryptedDatabase
+from repro.crypto.dprf import DelegationToken, GgmDprf
+from repro.errors import IndexStateError, InvalidRangeError
+from repro.exec import (
+    ExpansionCache,
+    QueryExecutor,
+    configure_default_executor,
+    default_executor,
+    plan_dprf,
+    plan_range,
+    plan_sse,
+)
+from repro.exec.engine import ENV_WORKERS
+from repro.sse.base import PrfKeyDeriver, token_from_secret
+from repro.sse.pi2lev import Pi2Lev
+from repro.sse.pibas import PiBas
+from repro.sse.pibas import search as pibas_search
+from repro.storage.backend import SqliteBackend
+
+KEY = bytes(range(32))
+
+
+def _built_index(n_keywords: int = 8, postings: int = 5, seed: int = 3):
+    """A PiBas EDB plus its keyword tokens (dict-backed)."""
+    sse = PiBas(PrfKeyDeriver(KEY), shuffle_rng=random.Random(seed))
+    multimap = {
+        b"kw%d" % k: [b"payload-%d-%d" % (k, i) for i in range(postings)]
+        for k in range(n_keywords)
+    }
+    index = sse.build_index(multimap)
+    tokens = [sse.trapdoor(b"kw%d" % k) for k in range(n_keywords)]
+    return sse, index, tokens
+
+
+class TestPlanner:
+    def test_sse_plan_shape(self):
+        _, _, tokens = _built_index(4)
+        plan = plan_sse(tokens, probe_batch=16, scheme="logarithmic-brc")
+        assert plan.kind == "sse"
+        assert plan.executable
+        assert [s.kind for s in plan.stages] == ["probe"]
+        assert plan.stages[0].units == 4
+        assert plan.est_leaves == 4
+        assert "probe" in plan.describe()
+
+    def test_dprf_plan_counts_leaves_and_prg_calls(self):
+        tokens = [
+            DelegationToken(bytes(32), 3),
+            DelegationToken(bytes([1]) + bytes(31), 0),
+        ]
+        plan = plan_dprf(tokens, probe_batch=1)
+        assert plan.kind == "dprf"
+        assert [s.kind for s in plan.stages] == ["expand", "probe"]
+        assert plan.est_leaves == 8 + 1
+        # 2^3 - 1 internal expansions for the subtree, none for a leaf.
+        assert plan.stages[0].est_cost == 7
+
+    def test_plan_range_delegated_matches_cover(self):
+        plan = plan_range(
+            3, 12, cover="brc", domain_size=16, delegated=True, probe_batch=16
+        )
+        assert plan.kind == "dprf"
+        assert plan.est_leaves == 10  # |[3,12]| values under a BRC cover
+        assert not plan.executable
+
+    def test_plan_range_tdag_src_is_single_node(self):
+        plan = plan_range(2, 9, cover="tdag-src", domain_size=64)
+        assert plan.kind == "sse"
+        assert plan.meta["cover_nodes"] == 1
+
+    def test_plan_range_rejects_unknown_cover(self):
+        with pytest.raises(InvalidRangeError):
+            plan_range(0, 1, cover="zigzag", domain_size=4)
+
+    def test_unexecutable_plan_refused_by_engine(self):
+        plan = plan_range(0, 3, cover="brc", domain_size=8)
+        with pytest.raises(IndexStateError):
+            QueryExecutor(workers=1).execute(plan, index=None)
+
+
+class TestCoalescedWalk:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_matches_per_token_pibas_search(self, workers):
+        _, index, tokens = _built_index()
+        engine = QueryExecutor(workers=workers, cache=False)
+        result = engine.sse_search(index, tokens)
+        assert result.groups == [pibas_search(index, t) for t in tokens]
+        engine.close()
+
+    def test_deterministic_across_runs_and_widths(self):
+        _, index, tokens = _built_index(6, postings=9)
+        serial = QueryExecutor(workers=1, cache=False)
+        pooled = QueryExecutor(workers=3, cache=False)
+        assert (
+            serial.sse_search(index, tokens).groups
+            == pooled.sse_search(index, tokens).groups
+        )
+        pooled.close()
+
+    def test_backend_resident_index(self, tmp_path):
+        sse, index, tokens = _built_index(5, postings=7)
+        db = EncryptedDatabase(SqliteBackend(tmp_path / "walk.sqlite"))
+        db.put_index("edb", index)
+        backend_index = db.get_index("edb")
+        engine = QueryExecutor(workers=1, cache=False)
+        result = engine.sse_search(backend_index, tokens)
+        assert result.groups == [pibas_search(index, t) for t in tokens]
+        # The whole batch shared rounds: far fewer rounds than walkers'
+        # individual walks (7 postings each) would have paid.
+        assert result.stats.probe_rounds <= 6
+        assert result.stats.probes_coalesced > 0
+        db.backend.close()
+
+    def test_empty_token_list(self):
+        _, index, _ = _built_index(2)
+        result = QueryExecutor(workers=1).sse_search(index, [])
+        assert result.groups == []
+        assert result.stats.probes_issued == 0
+
+    def test_blackbox_sse_falls_back_per_token(self):
+        sse = Pi2Lev(PrfKeyDeriver(KEY), shuffle_rng=random.Random(5))
+        multimap = {b"a": [b"x%d" % i for i in range(4)], b"b": [b"y"]}
+        index = sse.build_index(multimap)
+        tokens = [sse.trapdoor(b"a"), sse.trapdoor(b"b")]
+        result = QueryExecutor(workers=2, cache=False).sse_search(
+            index, tokens, sse=sse
+        )
+        assert result.groups == [sse.search(index, t) for t in tokens]
+
+
+class TestDprfExecution:
+    def _scheme_and_token(self, backend=None):
+        kwargs = {"rng": random.Random(9), "intersection_policy": "allow"}
+        if backend is not None:
+            kwargs["backend"] = backend
+        scheme = make_scheme("constant-brc", 256, **kwargs)
+        scheme.build_index([(i, (i * 7) % 256) for i in range(120)])
+        return scheme, scheme.trapdoor(40, 95)
+
+    def test_matches_legacy_expand_then_search(self, tmp_path):
+        for backend in (None, SqliteBackend(tmp_path / "dprf.sqlite")):
+            scheme, token = self._scheme_and_token(backend)
+            index = scheme._index
+            legacy = []
+            for dtoken in token:
+                for leaf in GgmDprf.expand_token(dtoken):
+                    legacy.append(
+                        pibas_search(index, token_from_secret(leaf))
+                    )
+            engine = QueryExecutor(workers=1, cache=False)
+            result = engine.dprf_search(index, list(token))
+            assert result.payloads == [p for group in legacy for p in group]
+            assert result.stats.tokens_expanded == len(list(token))
+            assert result.stats.leaves_derived == sum(
+                t.leaf_count for t in token
+            )
+
+    def test_cache_hits_on_repeat_and_invalidates(self):
+        scheme, token = self._scheme_and_token()
+        index = scheme._index
+        cache = ExpansionCache()
+        engine = QueryExecutor(workers=1, cache=cache)
+        cold = engine.dprf_search(index, list(token))
+        assert cold.stats.cache_hits == 0
+        assert cold.stats.cache_misses == len(list(token))
+        warm = engine.dprf_search(index, list(token))
+        assert warm.stats.cache_hits == len(list(token))
+        assert warm.stats.tokens_expanded == 0
+        assert warm.payloads == cold.payloads
+        engine.invalidate_cache()
+        assert len(cache) == 0
+        refilled = engine.dprf_search(index, list(token))
+        assert refilled.stats.cache_hits == 0
+        assert refilled.payloads == cold.payloads
+
+
+class TestExpansionCache:
+    def test_lru_eviction_bounded_by_leaves(self):
+        cache = ExpansionCache(max_leaves=4)
+        t1 = DelegationToken(bytes([1]) * 32, 1)  # weight 2
+        t2 = DelegationToken(bytes([2]) * 32, 1)  # weight 2
+        t3 = DelegationToken(bytes([3]) * 32, 1)  # weight 2
+        cache.put(t1, ((b"a", b"b"), (b"c", b"d")))
+        cache.put(t2, ((b"e", b"f"), (b"g", b"h")))
+        assert cache.cached_leaves == 4
+        cache.put(t3, ((b"i", b"j"), (b"k", b"l")))  # evicts t1 (LRU)
+        assert cache.get(t1) is None
+        assert cache.get(t3) is not None
+        assert cache.cached_leaves <= 4
+        assert cache.evictions == 1
+
+    def test_oversized_entry_skipped(self):
+        cache = ExpansionCache(max_leaves=2)
+        token = DelegationToken(bytes(32), 2)
+        cache.put(token, tuple((b"l%d" % i, b"v") for i in range(4)))
+        assert cache.get(token) is None  # a miss, not a wipeout
+        assert len(cache) == 0
+
+    def test_stats_snapshot(self):
+        cache = ExpansionCache()
+        token = DelegationToken(bytes(32), 0)
+        cache.get(token)
+        cache.put(token, ((b"x", b"y"),))
+        cache.get(token)
+        snap = cache.stats()
+        assert snap["hits"] == 1 and snap["misses"] == 1
+        assert snap["entries"] == 1
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            ExpansionCache(max_leaves=0)
+
+
+class TestConfiguration:
+    def test_env_workers_respected(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "1")
+        assert QueryExecutor().workers == 1
+        monkeypatch.setenv(ENV_WORKERS, "3")
+        assert QueryExecutor().workers == 3
+
+    def test_cache_flag_semantics(self):
+        assert QueryExecutor(cache=False).cache is None
+        assert QueryExecutor(cache=None).cache is not None
+        # An *empty* cache instance must not read as disabled.
+        empty = ExpansionCache()
+        assert QueryExecutor(cache=empty).cache is empty
+
+    def test_configure_default_executor_swaps_singleton(self):
+        original = default_executor()
+        try:
+            replaced = configure_default_executor(workers=1, cache=False)
+            assert default_executor() is replaced
+            assert replaced.workers == 1 and replaced.cache is None
+        finally:
+            configure_default_executor()
+        assert default_executor() is not original
+
+    def test_scheme_adopts_explicit_executor(self):
+        engine = QueryExecutor(workers=1, cache=False)
+        scheme = make_scheme("logarithmic-brc", 64, rng=random.Random(1), executor=engine)
+        assert scheme.executor is engine
+        assert scheme.server.executor is engine
+
+    def test_close_is_idempotent_and_reusable(self):
+        engine = QueryExecutor(workers=2, cache=False)
+        engine.map(lambda x: x, [1, 2, 3])
+        engine.close()
+        engine.close()
+        assert engine.map(lambda x: x * 2, [1, 2]) == [2, 4]
+        engine.close()
+
+
+def test_exec_workers_env_serial_lane_end_to_end(monkeypatch):
+    """REPRO_EXEC_WORKERS=1 must yield identical query answers."""
+    monkeypatch.setenv(ENV_WORKERS, "1")
+    serial_engine = QueryExecutor()
+    assert serial_engine.workers == 1
+    scheme = make_scheme(
+        "constant-brc",
+        128,
+        rng=random.Random(2),
+        intersection_policy="allow",
+        executor=serial_engine,
+    )
+    records = [(i, (i * 3) % 128) for i in range(80)]
+    scheme.build_index(records)
+    outcome = scheme.query(10, 90)
+    expected = {rid for rid, v in records if 10 <= v <= 90}
+    assert outcome.ids == frozenset(expected)
+    assert outcome.probes_issued > 0
+    assert os.environ[ENV_WORKERS] == "1"

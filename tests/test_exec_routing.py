@@ -1,0 +1,169 @@
+"""Every registry scheme routes search through the exec engine.
+
+The acceptance bar of the query-execution subsystem: a spy executor
+injected into each scheme observes the engine being used for every
+search, and instrumented SSE objects prove no scheme quietly reverted
+to the retired per-token ``sse.search`` loop.  The protocol server is
+covered the same way (its searches arrive via wire frames).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.plaintext import PlaintextRangeIndex
+from repro.core.registry import SCHEMES, make_scheme
+from repro.exec import QueryExecutor
+from repro.protocol.client import RemoteRangeClient
+from repro.protocol.server import RsseServer
+
+#: The wire-capable schemes (PB's Bloom tree has no EDB/SSE tokens; it
+#: routes through the engine's generic map instead — tested separately).
+EDB_SCHEMES = (
+    "quadratic",
+    "constant-brc",
+    "constant-urc",
+    "logarithmic-brc",
+    "logarithmic-urc",
+    "logarithmic-src",
+    "logarithmic-src-i",
+)
+
+
+class SpyExecutor(QueryExecutor):
+    """Counts engine entry points; serial so assertions stay exact."""
+
+    def __init__(self) -> None:
+        super().__init__(workers=1, cache=False)
+        self.sse_calls = 0
+        self.dprf_calls = 0
+        self.map_calls = 0
+
+    def sse_search(self, index, tokens, **kwargs):
+        self.sse_calls += 1
+        return super().sse_search(index, tokens, **kwargs)
+
+    def dprf_search(self, index, tokens, **kwargs):
+        self.dprf_calls += 1
+        return super().dprf_search(index, tokens, **kwargs)
+
+    def map(self, fn, items):
+        self.map_calls += 1
+        return super().map(fn, items)
+
+
+def _forbid_per_token_loop(scheme):
+    """Booby-trap every owner-side SSE object's ``search``: the retired
+    loop called it once per token/leaf; the engine must not."""
+
+    def bomb(*_args, **_kwargs):  # pragma: no cover - failure path
+        raise AssertionError(
+            f"{scheme.name} fell back to the per-token sse.search loop"
+        )
+
+    for attr in ("_sse", "_sse1", "_sse2"):
+        sse = getattr(scheme, attr, None)
+        if sse is not None:
+            sse.search = bomb
+
+
+def _domain(name: str) -> int:
+    return 64 if name == "quadratic" else 128
+
+
+def _build(name: str, spy: SpyExecutor, seed: int = 7):
+    kwargs = {"rng": random.Random(seed), "executor": spy}
+    if name.startswith("constant"):
+        kwargs["intersection_policy"] = "allow"
+    scheme = make_scheme(name, _domain(name), **kwargs)
+    records = [(i, (i * 5) % _domain(name)) for i in range(90)]
+    scheme.build_index(records)
+    return scheme, records
+
+
+@pytest.mark.parametrize("name", EDB_SCHEMES)
+def test_scheme_search_routes_through_engine(name):
+    spy = SpyExecutor()
+    scheme, records = _build(name, spy)
+    _forbid_per_token_loop(scheme)
+    oracle = PlaintextRangeIndex(records)
+    lo, hi = 20, min(75, scheme.domain_size - 1)
+    outcome = scheme.query(lo, hi)
+    assert outcome.ids == frozenset(oracle.query(lo, hi))
+    if name.startswith("constant"):
+        assert spy.dprf_calls >= 1
+        assert outcome.tokens_expanded > 0
+    else:
+        assert spy.sse_calls >= 1
+    assert outcome.probes_issued > 0
+
+
+def test_all_registry_schemes_covered():
+    """The parametrization above plus PB is the whole registry — a new
+    scheme must be added to these tests (and the engine) to land."""
+    assert set(EDB_SCHEMES) | {"pb"} == set(SCHEMES)
+
+
+def test_pb_routes_through_engine_map():
+    spy = SpyExecutor()
+    scheme, records = _build("pb", spy)
+    oracle = PlaintextRangeIndex(records)
+    outcome = scheme.query(10, 60)
+    assert outcome.ids == frozenset(oracle.query(10, 60))
+    assert spy.map_calls >= 1
+    assert outcome.probes_issued > 0
+
+
+def test_exec_stats_reported_in_query_outcome():
+    spy = SpyExecutor()
+    scheme, _ = _build("constant-brc", spy)
+    outcome = scheme.query(30, 80)
+    assert outcome.tokens_expanded > 0
+    assert outcome.probes_issued >= outcome.tokens_expanded
+    assert outcome.cache_hits == 0  # spy runs cache-disabled
+    # Coalescing happened: more than one walker shared get_many rounds.
+    assert outcome.probes_coalesced > 0
+
+
+def test_server_search_routes_through_engine():
+    spy = SpyExecutor()
+    server = RsseServer(executor=spy)
+    scheme = make_scheme("logarithmic-brc", 128, rng=random.Random(3))
+    client = RemoteRangeClient(scheme, server.handle, rng=random.Random(4))
+    records = [(i, (i * 11) % 128) for i in range(70)]
+    client.outsource(records)
+    spy.sse_calls = spy.dprf_calls = 0
+    oracle = PlaintextRangeIndex(records)
+    assert client.query(15, 90) == frozenset(oracle.query(15, 90))
+    assert spy.sse_calls >= 1
+
+
+def test_server_dprf_search_routes_through_engine():
+    spy = SpyExecutor()
+    server = RsseServer(executor=spy)
+    scheme = make_scheme(
+        "constant-brc",
+        128,
+        rng=random.Random(5),
+        intersection_policy="allow",
+    )
+    client = RemoteRangeClient(scheme, server.handle, rng=random.Random(6))
+    records = [(i, (i * 7) % 128) for i in range(70)]
+    client.outsource(records)
+    spy.sse_calls = spy.dprf_calls = 0
+    oracle = PlaintextRangeIndex(records)
+    assert client.query(5, 77) == frozenset(oracle.query(5, 77))
+    assert spy.dprf_calls >= 1
+
+
+def test_interactive_scheme_routes_both_phases():
+    spy = SpyExecutor()
+    scheme, records = _build("logarithmic-src-i", spy)
+    _forbid_per_token_loop(scheme)
+    oracle = PlaintextRangeIndex(records)
+    outcome = scheme.query(25, 66)
+    assert outcome.ids == frozenset(oracle.query(25, 66))
+    assert spy.sse_calls >= 2  # one engine run per round
+    assert outcome.rounds == 2

@@ -1,0 +1,162 @@
+"""Multi-query wire frames: one search request per batch.
+
+Frame-level round-trips for ``MultiSearchRequest``/``MultiSearchResponse``
+plus the acceptance assertion of the batched protocol: a counting
+transport proves ``query_many`` ships exactly one search frame per batch
+(two for the interactive SRC-i — one per protocol round), and batched
+answers equal the plaintext oracle for every wire-capable scheme.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.plaintext import PlaintextRangeIndex
+from repro.core.registry import make_scheme
+from repro.protocol import messages as msg
+from repro.protocol.client import RemoteRangeClient
+from repro.protocol.server import RsseServer
+
+REMOTE_SCHEMES = (
+    "quadratic",
+    "constant-brc",
+    "constant-urc",
+    "logarithmic-brc",
+    "logarithmic-urc",
+    "logarithmic-src",
+    "logarithmic-src-i",
+)
+
+RANGES = ((5, 30), (40, 55), (10, 12), (0, 63))
+
+
+class CountingTransport:
+    """In-process transport tallying frames by type."""
+
+    def __init__(self, server: RsseServer) -> None:
+        self._server = server
+        self.search = 0
+        self.multi_search = 0
+        self.fetch = 0
+        self.total = 0
+
+    def __call__(self, frame: bytes):
+        self.total += 1
+        message = msg.parse_message(frame)
+        if isinstance(message, msg.SearchRequest):
+            self.search += 1
+        elif isinstance(message, msg.MultiSearchRequest):
+            self.multi_search += 1
+        elif isinstance(message, msg.FetchRequest):
+            self.fetch += 1
+        return self._server.handle(frame)
+
+    def reset(self) -> None:
+        self.search = self.multi_search = self.fetch = self.total = 0
+
+
+class TestFrameRoundTrips:
+    def test_multi_search_request_roundtrip(self):
+        original = msg.MultiSearchRequest(
+            7, "sse", [[b"tok-a", b"tok-b"], [], [b"tok-c"]]
+        )
+        parsed = msg.parse_message(original.to_frame())
+        assert parsed == original
+
+    def test_multi_search_request_dprf_kind(self):
+        original = msg.MultiSearchRequest(1, "dprf", [[b"s" * 33]])
+        parsed = msg.parse_message(original.to_frame())
+        assert parsed.kind == "dprf"
+        assert parsed.queries == [[b"s" * 33]]
+
+    def test_multi_search_response_roundtrip(self):
+        original = msg.MultiSearchResponse([[b"p1", b"p2"], [], [b"p3"]])
+        parsed = msg.parse_message(original.to_frame())
+        assert parsed == original
+
+    def test_empty_batch_roundtrip(self):
+        assert msg.parse_message(
+            msg.MultiSearchRequest(3, "sse", []).to_frame()
+        ) == msg.MultiSearchRequest(3, "sse", [])
+        assert msg.parse_message(
+            msg.MultiSearchResponse([]).to_frame()
+        ) == msg.MultiSearchResponse([])
+
+
+def _client(name: str):
+    domain = 64 if name == "quadratic" else 128
+    kwargs = {"rng": random.Random(21)}
+    if name.startswith("constant"):
+        kwargs["intersection_policy"] = "allow"
+    scheme = make_scheme(name, domain, **kwargs)
+    transport = CountingTransport(RsseServer())
+    client = RemoteRangeClient(scheme, transport, rng=random.Random(22))
+    records = [(i, (i * 13) % domain) for i in range(80)]
+    client.outsource(records)
+    transport.reset()
+    return client, transport, records
+
+
+@pytest.mark.parametrize("name", REMOTE_SCHEMES)
+def test_query_many_is_one_search_frame_per_batch(name):
+    client, transport, records = _client(name)
+    results = client.query_many(RANGES)
+    oracle = PlaintextRangeIndex(records)
+    for (lo, hi), ids in zip(RANGES, results):
+        assert ids == frozenset(oracle.query(lo, hi))
+    # THE acceptance assertion: the whole batch rode multi-search
+    # frames — one per protocol round — and zero per-query frames.
+    assert transport.search == 0
+    expected_rounds = 2 if name == "logarithmic-src-i" else 1
+    assert transport.multi_search == expected_rounds
+    # ...plus at most one coalesced tuple fetch for the union.
+    assert transport.fetch <= 1
+    assert transport.total == transport.multi_search + transport.fetch
+
+
+def test_query_many_empty_batch():
+    client, transport, _ = _client("logarithmic-brc")
+    assert client.query_many([]) == []
+    assert transport.total == 0
+
+
+def test_query_many_matches_single_queries():
+    client, transport, records = _client("logarithmic-urc")
+    batched = client.query_many(RANGES)
+    singles = [client.query(lo, hi) for lo, hi in RANGES]
+    assert batched == singles
+
+
+def test_multi_search_unknown_handle_raises():
+    server = RsseServer()
+    from repro.errors import IndexStateError
+
+    with pytest.raises(IndexStateError):
+        server.handle(
+            msg.MultiSearchRequest(999, "sse", [[b"x" * 32]]).to_frame()
+        )
+
+
+def test_serialized_transport_reencodes_canonically():
+    """Multi frames survive a simulated socket hop byte-identically."""
+    domain = 128
+    scheme = make_scheme("logarithmic-brc", domain, rng=random.Random(31))
+    server = RsseServer()
+
+    def serialized(frame: bytes):
+        reencoded = msg.parse_message(bytes(frame)).to_frame()
+        assert reencoded == bytes(frame)
+        response = server.handle(reencoded)
+        if response is None:
+            return None
+        assert msg.parse_message(response).to_frame() == response
+        return response
+
+    client = RemoteRangeClient(scheme, serialized, rng=random.Random(32))
+    records = [(i, (i * 3) % domain) for i in range(60)]
+    client.outsource(records)
+    oracle = PlaintextRangeIndex(records)
+    for (lo, hi), ids in zip(RANGES, client.query_many(RANGES)):
+        assert ids == frozenset(oracle.query(lo, hi))
