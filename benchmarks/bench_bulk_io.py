@@ -239,9 +239,13 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="query ranges per scheme × backend (default 16)")
     parser.add_argument("--json", default="BENCH_PR2.json", metavar="PATH",
                         help="output file (default BENCH_PR2.json)")
+    parser.add_argument("--force", action="store_true",
+                        help="allow overwriting a committed BENCH_*.json "
+                        "baseline")
     parser.add_argument("--skip-schemes", action="store_true",
                         help="backend_io section only")
     args = parser.parse_args(argv)
+    jsonout.check_baseline_path(args.json, args.force)
 
     results: list[dict] = []
     with tempfile.TemporaryDirectory(prefix="bench-bulk-io-") as tmpdir:
@@ -253,6 +257,7 @@ def main(argv: "list[str] | None" = None) -> int:
         args.json,
         "bulk_io",
         results,
+        force=args.force,
         meta={
             "records": args.records,
             "scheme_records": args.scheme_records,

@@ -1,0 +1,347 @@
+"""Cost-based dispatch benchmark (``BENCH_PR4.json``).
+
+The paper's Table 1 says no single scheme dominates; this benchmark
+makes that operational and gates on it.  A mixed workload — point-heavy
+with a wide-range tail, over a skewed dataset (one hot value holds a
+third of the mass) — runs through three lanes:
+
+``fixed``
+    One :class:`~repro.rangestore.RangeStore` per hybrid scheme
+    (``logarithmic-brc``, ``logarithmic-src``), every query pinned to
+    that scheme.  BRC pays ``O(log R)`` tokens everywhere but never a
+    false positive; SRC pays one token but its single-cover slack drags
+    the hot cluster into wide queries as false positives.
+
+``hybrid``
+    One :class:`~repro.rangestore.HybridRangeStore` maintaining both
+    lanes side by side, cost model calibrated against the backend
+    (:func:`~repro.exec.dispatch.calibrate_cost_model`), every query
+    routed by the :class:`~repro.exec.dispatch.CostDispatcher`.
+
+``dispatch_overhead``
+    The planner/scoring cost per decision, measured separately — the
+    price of adaptivity on the read path.
+
+Lanes are measured over ``--passes`` interleaved passes of the whole
+workload (pass k of every lane before pass k+1 of any); each query is
+scored by its minimum latency across passes — the ``timeit`` rule —
+and a lane's score is the mean of its per-query minimums.
+
+Acceptance gate (exit 1 on failure): the hybrid lane's mean query
+latency must be **<= the best fixed lane** (within a 2% timer-noise
+allowance — the committed baseline records the exact ratio) and
+**>= 1.3x faster than the worst fixed lane it replaces**.
+
+Run it::
+
+    PYTHONPATH=src python benchmarks/bench_dispatch.py --json BENCH_PR4.json
+
+Smoke scale (CI)::
+
+    PYTHONPATH=src python benchmarks/bench_dispatch.py \
+        --records 1000 --queries 24 --json bench-dispatch-smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import os
+import random
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir))
+
+from benchmarks import jsonout  # noqa: E402
+from repro.exec.dispatch import DEFAULT_HYBRID_SCHEMES  # noqa: E402
+from repro.rangestore import HybridRangeStore, RangeStore  # noqa: E402
+from repro.storage.backend import SqliteBackend  # noqa: E402
+
+DOMAIN = 1 << 16
+
+#: The acceptance floor vs the worst fixed lane the hybrid replaces.
+WORST_FLOOR_X = 1.3
+
+#: Measurement-noise allowance on the <=-best-fixed check: the two
+#: lanes run identical code on dispatched queries, so the true margin
+#: is structural, but per-query minimums on a shared CI runner still
+#: carry ~1% timer jitter.  The committed baseline records the exact
+#: ratio; the gate only refuses a *real* regression.
+BEST_NOISE_TOLERANCE = 1.02
+
+
+def _workload(records: int, queries: int, seed: int = 7):
+    """Skewed dataset + mixed query list (deterministic).
+
+    Data: a third of the mass on one hot value, the rest uniform.
+    Queries per 10: 2 points, 6 narrow ranges (width 4..24) and 2 wide
+    ranges (domain/32 .. domain/8), one of which starts just above the
+    hot value — excluded from the query, but inside the SRC cover's
+    slack, which is the false-positive stampede BRC never pays.
+    """
+    rng = random.Random(seed)
+    hot = DOMAIN // 3
+    data = []
+    for rid in range(records):
+        value = hot if rid % 3 == 0 else rng.randrange(DOMAIN)
+        data.append((rid, value))
+    ranges = []
+    # Mix per 10 queries: 2 wide — one of them starting just *above*
+    # the hot value, so the query excludes it but SRC's single-cover
+    # slack spans it (the false-positive stampede BRC never pays) —
+    # 6 narrow (SRC's one-token win), 2 points.
+    for q in range(queries):
+        slot = q % 10
+        if slot < 2:
+            width = rng.randrange(DOMAIN // 32, DOMAIN // 8)
+            if slot:
+                lo = hot + rng.randrange(1, max(2, width // 4))
+            else:
+                lo = rng.randrange(DOMAIN - width)
+            ranges.append((lo, min(DOMAIN - 1, lo + width)))
+        elif slot < 8:
+            lo = rng.randrange(DOMAIN - 32)
+            ranges.append((lo, lo + rng.randrange(4, 25)))
+        else:
+            point = rng.randrange(DOMAIN)
+            ranges.append((point, point))
+    return data, ranges
+
+
+def _measure_lanes(stores: dict, ranges, passes: int) -> dict:
+    """Score every lane: mean over queries of the per-query minimum.
+
+    Passes are *interleaved across lanes* (pass 1 of every lane, then
+    pass 2 of every lane, ...) so slow host periods and allocator/GC
+    drift hit each lane equally instead of whichever lane happened to
+    be measured last.  Each query's latency is its minimum across
+    passes (``timeit`` rule — the run least perturbed by other load)
+    and the lane score averages those minimums; per-pass means are
+    reported too so the JSON shows the raw spread.  For the hybrid
+    lane the repeat passes also exercise the dispatcher's decision
+    cache — the steady state a repeating workload actually runs in.
+    Garbage collection is paused around each timed pass.
+    """
+    per_query = {name: [[] for _ in ranges] for name in stores}
+    pass_means = {name: [] for name in stores}
+    pass_maxes = {name: [] for name in stores}
+    for _ in range(max(1, passes)):
+        for name, store in stores.items():
+            gc.collect()
+            gc.disable()
+            try:
+                latencies = []
+                for samples, (lo, hi) in zip(per_query[name], ranges):
+                    t0 = time.perf_counter()
+                    store.search(lo, hi)
+                    elapsed = time.perf_counter() - t0
+                    samples.append(elapsed)
+                    latencies.append(elapsed)
+            finally:
+                gc.enable()
+            pass_means[name].append(sum(latencies) / len(latencies))
+            pass_maxes[name].append(max(latencies))
+    scores = {}
+    for name in stores:
+        mins = [min(samples) for samples in per_query[name]]
+        scores[name] = (
+            sum(mins) / len(mins),
+            pass_means[name],
+            pass_maxes[name],
+        )
+    return scores
+
+
+def _open_backend(kind: str, tmpdir: str, tag: str):
+    if kind == "sqlite":
+        return SqliteBackend(os.path.join(tmpdir, f"dispatch-{tag}.sqlite"))
+    return None
+
+
+def run(args) -> int:
+    data, ranges = _workload(args.records, args.queries)
+    schemes = DEFAULT_HYBRID_SCHEMES
+    results: "list[dict]" = []
+    fixed_scores: "dict[str, float]" = {}
+
+    with tempfile.TemporaryDirectory(prefix="bench-dispatch-") as tmpdir:
+        # -- build every lane up front (measurement is interleaved) ---------
+        stores: "dict[str, object]" = {}
+        backends = []
+        build_seconds: "dict[str, float]" = {}
+        for scheme in schemes:
+            backend = _open_backend(args.backend, tmpdir, scheme)
+            backends.append(backend)
+            store = RangeStore.open(
+                scheme,
+                domain_size=DOMAIN,
+                backend=backend,
+                rng=random.Random(11),
+            )
+            t0 = time.perf_counter()
+            store.insert_many(data)
+            store.flush()
+            build_seconds[scheme] = time.perf_counter() - t0
+            stores[scheme] = store
+
+        backend = _open_backend(args.backend, tmpdir, "hybrid")
+        backends.append(backend)
+        hybrid = HybridRangeStore(
+            domain_size=DOMAIN,
+            schemes=schemes,
+            backend=backend,
+            rng=random.Random(11),
+        )
+        t0 = time.perf_counter()
+        hybrid.insert_many(data)
+        hybrid.flush()
+        hybrid_name = "hybrid"
+        build_seconds[hybrid_name] = time.perf_counter() - t0
+        model = hybrid.calibrate()
+        stores[hybrid_name] = hybrid
+
+        scored = _measure_lanes(stores, ranges, args.passes)
+
+        for scheme in schemes:
+            best, means, maxes = scored[scheme]
+            fixed_scores[scheme] = best
+            results.append(
+                jsonout.result(
+                    f"fixed/{scheme}",
+                    "dispatch",
+                    {
+                        "records": args.records,
+                        "queries": args.queries,
+                        "backend": args.backend,
+                        "domain": DOMAIN,
+                    },
+                    query_mean_seconds=best,
+                    query_max_seconds=max(maxes),
+                    build_seconds=build_seconds[scheme],
+                    index_bytes=stores[scheme].index_bytes(),
+                    **{f"pass{i}_mean_seconds": m for i, m in enumerate(means)},
+                )
+            )
+
+        hybrid_best, means, maxes = scored[hybrid_name]
+
+        # Lane tally + decision overhead (scored separately so the
+        # measured query latency above stays the end-to-end number).
+        chosen: "dict[str, int]" = {}
+        t0 = time.perf_counter()
+        for lo, hi in ranges:
+            decision = hybrid.dispatcher.choose(lo, hi)
+            chosen[decision.scheme] = chosen.get(decision.scheme, 0) + 1
+        overhead_s = (time.perf_counter() - t0) / len(ranges)
+
+        results.append(
+            jsonout.result(
+                "hybrid/" + "+".join(schemes),
+                "dispatch",
+                {
+                    "records": args.records,
+                    "queries": args.queries,
+                    "backend": args.backend,
+                    "domain": DOMAIN,
+                    "calibrated": model.calibrated,
+                },
+                query_mean_seconds=hybrid_best,
+                query_max_seconds=max(maxes),
+                build_seconds=build_seconds[hybrid_name],
+                index_bytes=sum(hybrid.index_bytes().values()),
+                dispatch_overhead_seconds=overhead_s,
+                **{f"pass{i}_mean_seconds": m for i, m in enumerate(means)},
+                **{f"chose_{s.replace('-', '_')}": n for s, n in chosen.items()},
+            )
+        )
+        for backend in backends:
+            if backend is not None:
+                backend.close()
+
+    best_fixed = min(fixed_scores, key=fixed_scores.get)
+    worst_fixed = max(fixed_scores, key=fixed_scores.get)
+    vs_best = fixed_scores[best_fixed] / hybrid_best if hybrid_best else 0.0
+    vs_worst = fixed_scores[worst_fixed] / hybrid_best if hybrid_best else 0.0
+    results.append(
+        jsonout.result(
+            "hybrid/acceptance",
+            "dispatch",
+            {
+                "best_fixed": best_fixed,
+                "worst_fixed": worst_fixed,
+                "worst_floor_x": WORST_FLOOR_X,
+                "policy": f"best mean of {args.passes} passes per lane",
+            },
+            hybrid_mean_seconds=hybrid_best,
+            best_fixed_mean_seconds=fixed_scores[best_fixed],
+            worst_fixed_mean_seconds=fixed_scores[worst_fixed],
+            speedup_vs_best_x=vs_best,
+            speedup_vs_worst_x=vs_worst,
+        )
+    )
+    jsonout.emit_json(
+        args.json,
+        "dispatch",
+        results,
+        meta={
+            "records": args.records,
+            "queries": args.queries,
+            "passes": args.passes,
+            "backend": args.backend,
+            "schemes": "+".join(schemes),
+        },
+        force=args.force,
+    )
+    jsonout.print_table(results)
+    print(
+        f"\nhybrid {hybrid_best * 1e3:.3f} ms vs best fixed ({best_fixed}) "
+        f"{fixed_scores[best_fixed] * 1e3:.3f} ms ({vs_best:.2f}x) and worst "
+        f"fixed ({worst_fixed}) {fixed_scores[worst_fixed] * 1e3:.3f} ms "
+        f"({vs_worst:.2f}x, floor {WORST_FLOOR_X}x)"
+    )
+    print(f"wrote {args.json}")
+    failed = False
+    if hybrid_best > fixed_scores[best_fixed] * BEST_NOISE_TOLERANCE:
+        print(
+            "FAIL: hybrid mean exceeds the best fixed lane beyond the "
+            f"{BEST_NOISE_TOLERANCE:.2f}x noise allowance",
+            file=sys.stderr,
+        )
+        failed = True
+    if vs_worst < WORST_FLOOR_X:
+        print(
+            f"FAIL: hybrid only {vs_worst:.2f}x over the worst fixed lane "
+            f"(floor {WORST_FLOOR_X}x)",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=4_000,
+                        help="records in the skewed dataset (default 4000)")
+    parser.add_argument("--queries", type=int, default=50,
+                        help="mixed queries per pass (default 50)")
+    parser.add_argument("--passes", type=int, default=8,
+                        help="interleaved passes per lane; each query is "
+                        "scored by its minimum across passes (default 8)")
+    parser.add_argument("--backend", choices=("memory", "sqlite"),
+                        default="memory",
+                        help="storage backend for every lane (default memory)")
+    parser.add_argument("--json", default="BENCH_PR4.json", metavar="PATH",
+                        help="output file (default BENCH_PR4.json)")
+    parser.add_argument("--force", action="store_true",
+                        help="allow overwriting a committed BENCH_*.json "
+                        "baseline")
+    args = parser.parse_args(argv)
+    jsonout.check_baseline_path(args.json, args.force)
+    return run(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -284,12 +284,16 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="query ranges per lane (default 16)")
     parser.add_argument("--json", default="BENCH_PR3.json", metavar="PATH",
                         help="output file (default BENCH_PR3.json)")
+    parser.add_argument("--force", action="store_true",
+                        help="allow overwriting a committed BENCH_*.json "
+                        "baseline")
     parser.add_argument("--baseline", default="BENCH_PR2.json", metavar="PATH",
                         help="PR-2 baseline file for the acceptance gate")
     parser.add_argument("--gate-passes", type=int, default=3,
                         help="independent cold passes; the gate takes "
                         "the best mean (default 3)")
     args = parser.parse_args(argv)
+    jsonout.check_baseline_path(args.json, args.force)
 
     baseline_s = _pr2_baseline(args.baseline)
     results: list[dict] = []
@@ -318,6 +322,7 @@ def main(argv: "list[str] | None" = None) -> int:
         args.json,
         "query_exec",
         results,
+        force=args.force,
         meta={
             "records": args.records,
             "queries": args.queries,

@@ -29,6 +29,20 @@ def pytest_addoption(parser):
         help="export pytest-benchmark results through the shared "
         "BENCH_*.json emitter (benchmarks/jsonout.py)",
     )
+    parser.addoption(
+        "--bench-json-force",
+        action="store_true",
+        help="allow --bench-json to overwrite a committed BENCH_*.json "
+        "baseline",
+    )
+
+
+def pytest_configure(config):
+    """Refuse a committed-baseline target *before* the session runs —
+    failing in sessionfinish would discard a whole measured run."""
+    path = config.getoption("--bench-json")
+    if path:
+        jsonout.check_baseline_path(path, config.getoption("--bench-json-force"))
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -58,7 +72,12 @@ def pytest_sessionfinish(session, exitstatus):
                 },
             )
         )
-    jsonout.emit_json(path, "pytest-benchmark", results)
+    jsonout.emit_json(
+        path,
+        "pytest-benchmark",
+        results,
+        force=session.config.getoption("--bench-json-force"),
+    )
 
 BENCH_DOMAIN = 1 << 16
 BENCH_N = 600

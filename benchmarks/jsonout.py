@@ -25,8 +25,13 @@ one shape and later PRs can diff perf trajectories mechanically:
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
+
+
+class BaselineOverwriteError(RuntimeError):
+    """Refusal to clobber a committed ``BENCH_*.json`` baseline."""
 
 
 def result(name: str, group: str, params: "dict | None" = None, **metrics) -> dict:
@@ -49,8 +54,43 @@ def environment_meta() -> dict:
     }
 
 
-def emit_json(path, suite: str, results: "list[dict]", meta: "dict | None" = None) -> dict:
-    """Write one ``BENCH_*.json`` document; returns the document."""
+def check_baseline_path(path, force: bool = False) -> None:
+    """Refuse to target an existing ``BENCH_*.json`` without ``force``.
+
+    Benchmark CLIs call this up front (before minutes of measuring) and
+    :func:`emit_json` enforces it again at write time.
+    """
+    name = os.path.basename(str(path))
+    if (
+        not force
+        and name.startswith("BENCH_")
+        and name.endswith(".json")
+        and os.path.exists(path)
+    ):
+        raise BaselineOverwriteError(
+            f"{path} is a committed benchmark baseline; pass --force "
+            "(emit_json(force=True)) to overwrite it, or write to a "
+            "different path"
+        )
+
+
+def emit_json(
+    path,
+    suite: str,
+    results: "list[dict]",
+    meta: "dict | None" = None,
+    *,
+    force: bool = False,
+) -> dict:
+    """Write one ``BENCH_*.json`` document; returns the document.
+
+    An existing ``BENCH_*.json`` at ``path`` is a committed baseline
+    that later PRs diff against; overwriting one silently would erase
+    the trajectory, so it requires ``force=True`` (the benchmark CLIs'
+    ``--force``).  Scratch outputs (any other filename, e.g. the CI
+    smoke runs' ``bench-*.json``) overwrite freely.
+    """
+    check_baseline_path(path, force)
     doc = {
         "suite": suite,
         "meta": {**environment_meta(), **(meta or {})},

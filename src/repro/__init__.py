@@ -49,12 +49,15 @@ from repro.core import (
     make_scheme,
 )
 from repro.exec import (
+    CostDispatcher,
+    CostModel,
     ExpansionCache,
     QueryExecutor,
+    calibrate_cost_model,
     configure_default_executor,
     default_executor,
 )
-from repro.rangestore import RangeStore
+from repro.rangestore import HybridRangeStore, RangeStore
 from repro.storage import (
     FileBackend,
     InMemoryBackend,
@@ -67,10 +70,13 @@ from repro.storage import (
 __version__ = "1.1.0"
 
 __all__ = [
+    "CostDispatcher",
+    "CostModel",
     "EXPERIMENT_SCHEMES",
     "EncryptedDatabase",
     "ExpansionCache",
     "FileBackend",
+    "HybridRangeStore",
     "InMemoryBackend",
     "PrefixedBackend",
     "QueryExecutor",
@@ -85,6 +91,7 @@ __all__ = [
     "SqliteBackend",
     "StorageBackend",
     "__version__",
+    "calibrate_cost_model",
     "configure_default_executor",
     "default_executor",
     "make_scheme",

@@ -74,6 +74,15 @@ class QueryOutcome:
     many of those rode a coalesced ``get_many`` round, and expansion-
     cache hits.  They stay zero for searches that bypass the engine
     (e.g. remote outcomes, where the stats live server-side).
+
+    The dispatch fields record how the query was *routed*:
+    ``scheme_chosen`` names the scheme that actually ran it (always set
+    by :class:`~repro.rangestore.RangeStore`; chosen per query by
+    :class:`~repro.rangestore.HybridRangeStore`), ``plans_considered``
+    holds the ``(scheme, est_cost_seconds)`` candidates the cost
+    dispatcher scored, and ``est_cost_chosen`` is the winning model
+    estimate — comparing it with the realized latency is how the cost
+    model is audited.
     """
 
     ids: frozenset
@@ -89,6 +98,9 @@ class QueryOutcome:
     probes_issued: int = 0
     probes_coalesced: int = 0
     cache_hits: int = 0
+    scheme_chosen: str = ""
+    plans_considered: "tuple[tuple[str, float], ...]" = ()
+    est_cost_chosen: float = 0.0
 
     @property
     def result_size(self) -> int:

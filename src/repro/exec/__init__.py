@@ -11,7 +11,10 @@ one :class:`~repro.exec.engine.QueryExecutor`, which
   every active walker's label probes into shared ``get_many`` rounds
   (:mod:`repro.exec.engine`), and
 - memoizes GGM subtree expansions in a bounded LRU with explicit
-  invalidation hooks (:mod:`repro.exec.cache`).
+  invalidation hooks (:mod:`repro.exec.cache`), and
+- selects the cheapest scheme per query shape through a calibrated
+  cost model over the planner's estimates (:mod:`repro.exec.dispatch`
+  — what :class:`~repro.rangestore.HybridRangeStore` routes with).
 
 Knobs: ``REPRO_EXEC_WORKERS`` (thread count; ``1`` forces the serial
 path) and ``REPRO_EXEC_CACHE`` (``0`` disables the expansion cache)
@@ -20,6 +23,16 @@ scheme, ``EncryptedDatabase`` or ``RsseServer`` for a private one.
 """
 
 from repro.exec.cache import ExpansionCache
+from repro.exec.dispatch import (
+    DEFAULT_HYBRID_SCHEMES,
+    STRATEGIES,
+    CostDispatcher,
+    CostModel,
+    DispatchDecision,
+    ValueHistogram,
+    calibrate_cost_model,
+    normalize_hint,
+)
 from repro.exec.engine import (
     QueryExecutor,
     configure_default_executor,
@@ -35,13 +48,21 @@ from repro.exec.plan import (
 )
 
 __all__ = [
+    "CostDispatcher",
+    "CostModel",
+    "DEFAULT_HYBRID_SCHEMES",
+    "DispatchDecision",
     "ExecStats",
     "ExpansionCache",
     "PlanStage",
     "QueryExecutor",
     "QueryPlan",
+    "STRATEGIES",
+    "ValueHistogram",
+    "calibrate_cost_model",
     "configure_default_executor",
     "default_executor",
+    "normalize_hint",
     "plan_dprf",
     "plan_range",
     "plan_sse",

@@ -212,20 +212,44 @@ def plan_range(
 ) -> QueryPlan:
     """Key-free cost estimate for a range under a cover strategy.
 
-    ``cover`` is ``"brc"``, ``"urc"`` or ``"tdag-src"``; ``delegated``
-    says whether the scheme ships GGM seeds that the server expands
-    (the Constant family) or one pre-replicated keyword token per cover
-    node (the Logarithmic family).  The returned plan carries no tokens
-    — it is an estimate, not an executable.
+    ``cover`` is ``"brc"``, ``"urc"``, ``"tdag-src"`` or ``"single"``
+    (one pre-assigned keyword covering the range exactly — Quadratic);
+    ``delegated`` says whether the scheme ships GGM seeds that the
+    server expands (the Constant family) or one pre-replicated keyword
+    token per cover node (the Logarithmic family).  The returned plan
+    carries no tokens — it is an estimate, not an executable.
+
+    ``meta`` records the *span* actually touched by the cover
+    (``span_lo``/``span_hi``/``span``): for BRC/URC/single the query
+    range itself, for the TDAG SRC node its whole subtree clamped to
+    the domain — the quantity a false-positive estimator multiplies by
+    data density.
     """
+    span_lo, span_hi = lo, hi
     if cover == "brc":
-        nodes = best_range_cover(lo, hi)
+        nodes: list = best_range_cover(lo, hi)
     elif cover == "urc":
         nodes = uniform_range_cover(lo, hi)
     elif cover == "tdag-src":
-        nodes = [Tdag(domain_size).src_cover(lo, hi)]
+        node = Tdag(domain_size).src_cover(lo, hi)
+        nodes = [node]
+        span_lo, span_hi = node.lo, min(node.hi, domain_size - 1)
+    elif cover == "single":
+        if delegated:
+            raise InvalidRangeError(
+                "'single' covers one pre-assigned keyword; nothing to delegate"
+            )
+        nodes = [None]
     else:
         raise InvalidRangeError(f"unknown cover strategy {cover!r}")
+    meta = {
+        "lo": lo,
+        "hi": hi,
+        "cover_nodes": len(nodes),
+        "span_lo": span_lo,
+        "span_hi": span_hi,
+        "span": span_hi - span_lo + 1,
+    }
 
     if delegated:
         leaves = sum(1 << n.level for n in nodes)
@@ -247,5 +271,5 @@ def plan_range(
         est_leaves=leaves,
         est_probe_rounds=rounds,
         probe_batch=probe_batch,
-        meta={"lo": lo, "hi": hi, "cover_nodes": len(nodes)},
+        meta=meta,
     )

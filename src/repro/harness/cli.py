@@ -33,6 +33,7 @@ _EXPERIMENTS = (
     "ablation-tdag",
     "ablation-updates",
     "compare-baselines",
+    "dispatch",
 )
 
 
@@ -43,8 +44,40 @@ def _write_csv(csv_dir: "pathlib.Path | None", name: str, text: str) -> None:
     (csv_dir / f"{name}.csv").write_text(text)
 
 
-def run_experiment(name: str, csv_dir: "pathlib.Path | None" = None) -> str:
-    """Run one experiment by CLI name, returning its rendered output."""
+def run_experiment(
+    name: str,
+    csv_dir: "pathlib.Path | None" = None,
+    *,
+    dispatch: str = "auto",
+) -> str:
+    """Run one experiment by CLI name, returning its rendered output.
+
+    ``dispatch`` only affects the ``dispatch`` experiment: ``"auto"``
+    lets the cost dispatcher choose per query, a scheme name pins every
+    query to that lane.
+    """
+    if name == "dispatch":
+        rows, chosen = experiments.dispatch_demo(dispatch=dispatch)
+        _write_csv(
+            csv_dir,
+            name,
+            "range,width,scheme,est_cost_us,measured_ms,results\n"
+            + "\n".join(
+                # The range cell contains a comma — quote it, or every
+                # column after it shifts by one in any CSV reader.
+                ",".join([f'"{row[0]}"'] + [str(c) for c in row[1:]])
+                for row in rows
+            ),
+        )
+        tally = ", ".join(f"{s}: {n}" for s, n in sorted(chosen.items()))
+        return (
+            "== Adaptive dispatch — hybrid store, mixed workload ==\n"
+            + render_table(
+                ["range", "width", "scheme chosen", "est cost us", "measured ms", "results"],
+                rows,
+            )
+            + f"\nlane tally: {tally}"
+        )
     if name in ("fig5a", "fig5b"):
         size_series, time_series = experiments.fig5()
         series = size_series if name == "fig5a" else time_series
@@ -159,6 +192,13 @@ def main(argv: "list[str] | None" = None) -> int:
         action="store_true",
         help="disable the exec engine's GGM expansion cache",
     )
+    parser.add_argument(
+        "--dispatch",
+        default="auto",
+        metavar="auto|SCHEME",
+        help="for the 'dispatch' experiment: 'auto' (cost-based, the "
+        "default) or a scheme name pinning every query to that lane",
+    )
     args = parser.parse_args(argv)
     if args.workers is not None or args.no_cache:
         from repro.exec import configure_default_executor
@@ -168,7 +208,7 @@ def main(argv: "list[str] | None" = None) -> int:
         )
     names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in names:
-        print(run_experiment(name, args.csv_dir))
+        print(run_experiment(name, args.csv_dir, dispatch=args.dispatch))
         print()
     return 0
 

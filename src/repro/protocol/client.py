@@ -130,7 +130,10 @@ class RemoteRangeClient:
         )
 
     def query_many(
-        self, ranges: "Sequence[tuple[int, int]]"
+        self,
+        ranges: "Sequence[tuple[int, int]]",
+        *,
+        dispatch_hint: "str | None" = None,
     ) -> "list[frozenset[int]]":
         """Batched queries behind one search frame per batch.
 
@@ -140,18 +143,27 @@ class RemoteRangeClient:
         frame.  The final tuple fetch is likewise coalesced for the
         whole batch.  Returns one refined id-set per input range, in
         order.
+
+        ``dispatch_hint`` rides the search frame so the server can
+        observe which lane a cost dispatcher routed this batch through;
+        it defaults to this client's scheme name (a remote client *is*
+        a fixed one-lane dispatch).
         """
         self._require_uploaded()
         if not ranges:
             return []
+        hint = dispatch_hint if dispatch_hint is not None else self._scheme.name
         if self._scheme.interactive:
-            raw_per_range = self._interactive_raw_many(ranges)
+            raw_per_range = self._interactive_raw_many(ranges, hint=hint)
         else:
             # Pipeline stage 1: all trapdoors before any round-trip.
             tokens = [self._scheme.trapdoor(lo, hi) for lo, hi in ranges]
             handle = self._index_ids[self._scheme.index_names()[0]]
             response = self._multi_search_round(
-                handle, tokens[0].wire_kind, [token.wire_tokens() for token in tokens]
+                handle,
+                tokens[0].wire_kind,
+                [token.wire_tokens() for token in tokens],
+                hint=hint,
             )
             raw_per_range = [
                 [decode_id(p) for p in payloads] for payloads in response.results
@@ -222,10 +234,15 @@ class RemoteRangeClient:
         )
 
     def _multi_search_round(
-        self, handle: int, kind: str, queries: "list[list[bytes]]"
+        self,
+        handle: int,
+        kind: str,
+        queries: "list[list[bytes]]",
+        *,
+        hint: str = "",
     ) -> msg.MultiSearchResponse:
         """One MultiSearchRequest round-trip for a whole query batch."""
-        frame = msg.MultiSearchRequest(handle, kind, queries).to_frame()
+        frame = msg.MultiSearchRequest(handle, kind, queries, hint).to_frame()
         return msg.parse_message(self._transport(frame))
 
     def _fetch_records(self, ids: "Sequence[int]"):
@@ -341,7 +358,7 @@ class RemoteRangeClient:
         return outcome
 
     def _interactive_raw_many(
-        self, ranges: "Sequence[tuple[int, int]]"
+        self, ranges: "Sequence[tuple[int, int]]", *, hint: str = ""
     ) -> "list[list[int]]":
         """Two-round raw candidate ids per range (fetch left to the caller).
 
@@ -362,6 +379,7 @@ class RemoteRangeClient:
             self._index_ids["edb1"],
             phase1_tokens[0].wire_kind,
             [token.wire_tokens() for token in phase1_tokens],
+            hint=hint,
         )
         # Owner-side merge between the rounds; ranges whose round-1
         # answer holds nothing in range stop early with an empty result.
@@ -378,6 +396,9 @@ class RemoteRangeClient:
             phase2_tokens.append(self._scheme.trapdoor_phase2(*merged))
             positions.append(position)
         if phase2_tokens:
+            # Round 2 carries no hint: the batch was already attributed
+            # on round 1, and a second tally would double-count SRC-i
+            # batches in the server's lane statistics.
             response2 = self._multi_search_round(
                 self._index_ids["edb2"],
                 phase2_tokens[0].wire_kind,

@@ -17,6 +17,10 @@ from dataclasses import dataclass, field
 
 from repro.errors import TokenError
 
+#: Longest dispatcher hint the wire carries; anything longer is
+#: garbage by construction (scheme names are short) and is dropped.
+MAX_HINT_LEN = 64
+
 _HEADER = struct.Struct(">BI")  # message tag, body length
 
 # Message tags.
@@ -167,26 +171,53 @@ class MultiSearchRequest:
     executes the batch through its exec engine and answers with one
     :class:`MultiSearchResponse` — one round-trip per batch instead of
     one per query.
+
+    ``hint`` names the dispatch lane the owner's cost dispatcher chose
+    for this batch (``"auto"``/empty when undispatched) — a trailing,
+    length-prefixed field, so frames from pre-hint clients parse
+    unchanged.  The hint is advisory observability: the server
+    normalizes it through :func:`repro.exec.dispatch.normalize_hint`,
+    and a malformed or unknown hint degrades to ``"auto"`` rather than
+    failing the batch (hostile bytes must never change behaviour
+    beyond "no hint").
     """
 
     index_id: int
     kind: str  # "sse" or "dprf"
     queries: "list[list[bytes]]"
+    hint: str = ""
 
     def to_frame(self) -> bytes:
         kind_byte = b"\x00" if self.kind == "sse" else b"\x01"
         body = _pack_chunks([_pack_chunks(tokens) for tokens in self.queries])
+        hint_bytes = self.hint.encode("utf-8")[:MAX_HINT_LEN]
         return _frame(
             TAG_MULTI_SEARCH_REQUEST,
-            self.index_id.to_bytes(8, "big") + kind_byte + body,
+            self.index_id.to_bytes(8, "big")
+            + kind_byte
+            + body
+            + len(hint_bytes).to_bytes(2, "big")
+            + hint_bytes,
         )
 
     @classmethod
     def from_body(cls, body: bytes) -> "MultiSearchRequest":
         index_id = int.from_bytes(body[:8], "big")
         kind = "sse" if body[8] == 0 else "dprf"
-        blobs, _ = _unpack_chunks(body, 9)
-        return cls(index_id, kind, [_unpack_chunks(blob)[0] for blob in blobs])
+        blobs, offset = _unpack_chunks(body, 9)
+        # The hint field is deliberately forgiving: absent, truncated,
+        # over-long or undecodable trailing bytes all collapse to "no
+        # hint" — the dispatcher hint may never be a parse hazard.
+        hint = ""
+        trailer = body[offset:]
+        if len(trailer) >= 2:
+            hint_len = int.from_bytes(trailer[:2], "big")
+            raw = trailer[2 : 2 + hint_len]
+            if hint_len <= MAX_HINT_LEN and len(raw) == hint_len:
+                hint = raw.decode("utf-8", "replace")
+        return cls(
+            index_id, kind, [_unpack_chunks(blob)[0] for blob in blobs], hint
+        )
 
 
 @dataclass(frozen=True)

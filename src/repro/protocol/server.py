@@ -25,6 +25,7 @@ from __future__ import annotations
 from repro.core.split import EncryptedDatabase
 from repro.crypto.dprf import DelegationToken
 from repro.errors import IndexStateError, TokenError
+from repro.exec.dispatch import HINT_AUTO, normalize_hint
 from repro.protocol import messages as msg
 from repro.sse.base import SUBKEY_LEN, EncryptedIndex, KeywordToken
 from repro.storage.backend import InMemoryBackend, PrefixedBackend, StorageBackend
@@ -75,6 +76,12 @@ class RsseServer:
 
             executor = default_executor()
         self.executor = executor
+        #: Tally of (normalized) dispatcher hints seen on multi-search
+        #: frames — the capacity signal a hybrid owner's cost dispatcher
+        #: exposes to the operator.  Unknown/garbage hints count as
+        #: "auto"; they never fail a batch.
+        self.dispatch_hints: "dict[str, int]" = {}
+        self.last_dispatch_hint = HINT_AUTO
         self._databases: dict[int, EncryptedDatabase] = {}
         for key in self._backend.keys(_HANDLES_NS):
             index_id = int.from_bytes(key, "big")
@@ -167,8 +174,17 @@ class RsseServer:
 
         Every query in the batch runs through the same exec engine as a
         single search; answers keep request order so the client can
-        scatter them back to its ranges.
+        scatter them back to its ranges.  A carried dispatcher hint is
+        normalized (garbage degrades to ``"auto"``) and tallied — it is
+        advisory observability, never part of the search itself.
+        Hint-less frames (legacy clients, continuation rounds of the
+        interactive protocol) leave the tally untouched, so each batch
+        counts exactly once.
         """
+        if request.hint:
+            hint = normalize_hint(request.hint)
+            self.dispatch_hints[hint] = self.dispatch_hints.get(hint, 0) + 1
+            self.last_dispatch_hint = hint
         db = self._searchable_db(request.index_id)
         return msg.MultiSearchResponse(
             [

@@ -168,7 +168,11 @@ class RangeStore:
     def search(self, lo: int, hi: int) -> QueryOutcome:
         """Exact range query ``[lo, hi]`` (buffered writes flushed first)."""
         self.flush()
-        return self._manager.query(lo, hi)
+        outcome = self._manager.query(lo, hi)
+        # A fixed-scheme store is a one-lane dispatch: name the lane so
+        # outcome consumers never need to special-case hybrid stores.
+        outcome.scheme_chosen = self.scheme_name
+        return outcome
 
     #: Alias matching the scheme-level API.
     query = search
@@ -300,4 +304,194 @@ class RangeStore:
         return (
             f"RangeStore(scheme={self.scheme_name!r}, m={self.domain_size}, "
             f"indexes={self.active_indexes}, pending={self.pending_ops})"
+        )
+
+
+class HybridRangeStore:
+    """Adaptive store: several scheme lanes, one cost-picked per query.
+
+    The paper's Table 1 trade-off made operational: the store maintains
+    one full :class:`RangeStore` lane per configured scheme — same
+    plaintext ingest, independent keys and encrypted indexes, each on
+    its own slice of the shared backend — and routes every query
+    through a :class:`~repro.exec.dispatch.CostDispatcher` that scores
+    all lanes with :func:`~repro.exec.plan.plan_range` and runs only
+    the cheapest.  Writes fan out to every lane (the storage overhead
+    *is* the price of adaptivity); reads pay one lane plus a few
+    microseconds of planning.
+
+    The dispatcher is backend-aware (it reads the backend's advertised
+    ``probe_batch`` and, after :meth:`calibrate`, measured unit costs)
+    and data-aware (an owner-side :class:`~repro.exec.dispatch.ValueHistogram`
+    prices SRC false positives under skew — the owner sees every
+    plaintext value it encrypts, so the sketch adds zero leakage).
+
+    Usage::
+
+        from repro import HybridRangeStore
+
+        store = HybridRangeStore(domain_size=1 << 16)   # brc + src lanes
+        store.insert_many((i, v) for i, v in data)
+        store.calibrate()                  # fit unit costs to the backend
+        outcome = store.search(lo, hi)
+        outcome.scheme_chosen              # e.g. "logarithmic-src"
+        outcome.plans_considered           # ((scheme, est_seconds), ...)
+        store.dispatch = "logarithmic-brc"  # pin a lane ("auto" unpins)
+
+    Each query's :class:`~repro.core.scheme.QueryOutcome` carries the
+    decision (``scheme_chosen``/``plans_considered``/``est_cost_chosen``).
+    Checkpointing a hybrid store is per-lane state; it is not covered
+    by :meth:`RangeStore.save` in this revision.
+    """
+
+    def __init__(
+        self,
+        *,
+        domain_size: int,
+        schemes: "tuple[str, ...] | list[str] | None" = None,
+        backend: "StorageBackend | None" = None,
+        dispatch: str = "auto",
+        consolidation_step: int = 4,
+        rng: "random.Random | None" = None,
+        cost_model=None,
+        **scheme_kwargs,
+    ) -> None:
+        from repro.exec.dispatch import (
+            DEFAULT_HYBRID_SCHEMES,
+            CostDispatcher,
+            ValueHistogram,
+        )
+
+        schemes = tuple(schemes) if schemes is not None else DEFAULT_HYBRID_SCHEMES
+        if len(schemes) < 2 or len(set(schemes)) != len(schemes):
+            raise IndexStateError(
+                "a hybrid store needs >= 2 distinct scheme lanes (no "
+                "duplicates); use RangeStore for a single scheme"
+            )
+        self.domain_size = domain_size
+        self.schemes = schemes
+        self._backend = backend
+        self._lanes: "dict[str, RangeStore]" = {}
+        for name in schemes:
+            kwargs = dict(scheme_kwargs)
+            if name.startswith("constant"):
+                # Lanes share one query history by construction; the
+                # intersection guard is the application's concern here.
+                kwargs.setdefault("intersection_policy", "allow")
+            self._lanes[name] = RangeStore.open(
+                name,
+                domain_size=domain_size,
+                backend=(
+                    PrefixedBackend(backend, f"lane/{name}/")
+                    if backend is not None
+                    else None
+                ),
+                consolidation_step=consolidation_step,
+                rng=rng,
+                **kwargs,
+            )
+        self.histogram = ValueHistogram(domain_size)
+        self._dispatcher = CostDispatcher(
+            domain_size,
+            schemes,
+            cost_model=cost_model,
+            probe_batch=getattr(backend, "probe_batch", 1),
+            density=self.histogram.expected_matches,
+            forced=dispatch,
+        )
+        #: The decision behind the most recent :meth:`search`.
+        self.last_decision = None
+
+    # -- dispatch control ----------------------------------------------------
+
+    @property
+    def dispatch(self) -> str:
+        """``"auto"`` or the lane every query is currently pinned to."""
+        from repro.exec.dispatch import HINT_AUTO
+
+        return self._dispatcher.forced or HINT_AUTO
+
+    @dispatch.setter
+    def dispatch(self, mode: str) -> None:
+        self._dispatcher.force(mode)
+
+    @property
+    def dispatcher(self):
+        """The live :class:`~repro.exec.dispatch.CostDispatcher`."""
+        return self._dispatcher
+
+    def calibrate(self, **kwargs):
+        """Fit the cost model to this store's backend (measured probe run)."""
+        return self._dispatcher.recalibrate(self._backend, **kwargs)
+
+    # -- writes (fan out to every lane) --------------------------------------
+
+    def insert(self, record_id: int, value: int) -> None:
+        """Buffer an insertion into every lane."""
+        self.histogram.add(value)
+        for lane in self._lanes.values():
+            lane.insert(record_id, value)
+
+    def delete(self, record_id: int, value: int) -> None:
+        """Buffer a deletion tombstone into every lane."""
+        self.histogram.remove(value)
+        for lane in self._lanes.values():
+            lane.delete(record_id, value)
+
+    def insert_many(self, records) -> None:
+        """Buffer many insertions at once."""
+        for record_id, value in records:
+            self.insert(record_id, value)
+
+    def flush(self) -> None:
+        """Flush every lane's buffered batch."""
+        for lane in self._lanes.values():
+            lane.flush()
+
+    # -- reads ---------------------------------------------------------------
+
+    def search(self, lo: int, hi: int) -> QueryOutcome:
+        """Dispatch ``[lo, hi]`` to the cheapest lane and run it there."""
+        self.flush()
+        decision = self._dispatcher.choose(lo, hi)
+        self.last_decision = decision
+        outcome = self._lanes[decision.scheme].search(lo, hi)
+        outcome.scheme_chosen = decision.scheme
+        outcome.plans_considered = decision.summary()
+        outcome.est_cost_chosen = decision.est_cost
+        return outcome
+
+    #: Alias matching the scheme-level API.
+    query = search
+
+    # -- introspection & lifecycle -------------------------------------------
+
+    def lane(self, scheme: str) -> RangeStore:
+        """The underlying per-scheme store (diagnostics/tests)."""
+        return self._lanes[scheme]
+
+    @property
+    def pending_ops(self) -> int:
+        """Operations buffered but not yet flushed (max across lanes)."""
+        return max(lane.pending_ops for lane in self._lanes.values())
+
+    def index_bytes(self) -> "dict[str, int]":
+        """Per-lane EDB footprint — the storage price of adaptivity."""
+        return {name: lane.index_bytes() for name, lane in self._lanes.items()}
+
+    def close(self) -> None:
+        """Release backend resources (shared backend closed once)."""
+        if self._backend is not None:
+            self._backend.close()
+
+    def __enter__(self) -> "HybridRangeStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HybridRangeStore(schemes={list(self.schemes)}, "
+            f"m={self.domain_size}, dispatch={self.dispatch!r})"
         )

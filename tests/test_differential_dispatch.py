@@ -1,0 +1,184 @@
+"""Differential correctness: every scheme vs the plaintext oracle.
+
+Hypothesis drives random builds, update batches (inserts + deletes) and
+range queries through :class:`~repro.rangestore.RangeStore` for **all
+seven registry schemes** and through the dispatcher's chosen lane in
+:class:`~repro.rangestore.HybridRangeStore`, on both the in-memory and
+SQLite backends, asserting byte-for-byte agreement with a plaintext
+model.  This is the suite that makes "adaptive dispatch" safe: whatever
+lane the cost model picks, the answer must be *exactly* the oracle's.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import tempfile
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.rangestore import HybridRangeStore, RangeStore
+from repro.storage.backend import SqliteBackend
+
+#: The paper's seven RSSE constructions (the full registry minus the
+#: measured PB baseline).
+ALL_SCHEMES = (
+    "quadratic",
+    "constant-brc",
+    "constant-urc",
+    "logarithmic-brc",
+    "logarithmic-urc",
+    "logarithmic-src",
+    "logarithmic-src-i",
+)
+
+DOMAIN = 64
+
+#: One bounded random "life" of a store: initial batch, one follow-up
+#: batch of deletes + inserts, and a handful of queries.
+lives = st.fixed_dictionaries(
+    {
+        "initial": st.dictionaries(
+            st.integers(0, 199), st.integers(0, DOMAIN - 1), min_size=1, max_size=20
+        ),
+        "second": st.dictionaries(
+            st.integers(200, 399), st.integers(0, DOMAIN - 1), max_size=8
+        ),
+        "delete_picks": st.lists(st.integers(0, 19), max_size=4),
+        "queries": st.lists(
+            st.tuples(st.integers(0, DOMAIN - 1), st.integers(0, DOMAIN - 1)),
+            min_size=1,
+            max_size=4,
+        ),
+    }
+)
+
+
+def _norm(q: "tuple[int, int]") -> "tuple[int, int]":
+    lo, hi = q
+    return (lo, hi) if lo <= hi else (hi, lo)
+
+
+def _open_backend(kind: str, tmpdir: str):
+    if kind == "sqlite":
+        return SqliteBackend(os.path.join(tmpdir, "diff.sqlite"))
+    return None
+
+
+def _run_life(store, life) -> None:
+    """Drive one random life, checking every query against the model."""
+    model: "dict[int, int]" = {}
+    for rid, value in life["initial"].items():
+        store.insert(rid, value)
+        model[rid] = value
+    # First query flushes batch 1.
+    lo, hi = _norm(life["queries"][0])
+    expected = frozenset(r for r, v in model.items() if lo <= v <= hi)
+    assert store.search(lo, hi).ids == expected
+
+    # Batch 2: delete a few live tuples, insert fresh ones.
+    initial_ids = sorted(life["initial"])
+    for pick in life["delete_picks"]:
+        rid = initial_ids[pick % len(initial_ids)]
+        if rid in model:
+            store.delete(rid, model.pop(rid))
+    for rid, value in life["second"].items():
+        store.insert(rid, value)
+        model[rid] = value
+
+    for query in life["queries"]:
+        lo, hi = _norm(query)
+        expected = frozenset(r for r, v in model.items() if lo <= v <= hi)
+        outcome = store.search(lo, hi)
+        assert outcome.ids == expected
+        assert outcome.scheme_chosen  # routing is always attributed
+
+
+@pytest.mark.parametrize("backend_kind", ["memory", "sqlite"])
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+class TestEverySchemeMatchesOracle:
+    @given(life=lives)
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_random_life_matches_oracle(self, scheme, backend_kind, life):
+        kwargs = {}
+        if scheme.startswith("constant"):
+            kwargs["intersection_policy"] = "allow"
+        with tempfile.TemporaryDirectory(prefix="diff-dispatch-") as tmpdir:
+            backend = _open_backend(backend_kind, tmpdir)
+            store = RangeStore.open(
+                scheme,
+                domain_size=DOMAIN,
+                backend=backend,
+                rng=random.Random(0xD15),
+                **kwargs,
+            )
+            try:
+                _run_life(store, life)
+                assert store.search(0, DOMAIN - 1).scheme_chosen == scheme
+            finally:
+                store.close()
+
+
+@pytest.mark.parametrize("backend_kind", ["memory", "sqlite"])
+class TestDispatcherLaneMatchesOracle:
+    """The hybrid store's *chosen* lane — whatever the cost model picks
+    per query — must agree with the oracle exactly, too."""
+
+    @given(life=lives)
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_hybrid_random_life_matches_oracle(self, backend_kind, life):
+        with tempfile.TemporaryDirectory(prefix="diff-hybrid-") as tmpdir:
+            backend = _open_backend(backend_kind, tmpdir)
+            store = HybridRangeStore(
+                domain_size=DOMAIN,
+                backend=backend,
+                rng=random.Random(0xD15),
+            )
+            try:
+                _run_life(store, life)
+                outcome = store.search(0, DOMAIN - 1)
+                assert outcome.scheme_chosen in store.schemes
+                assert len(outcome.plans_considered) == len(store.schemes)
+            finally:
+                store.close()
+
+    @given(life=lives)
+    @settings(
+        max_examples=3,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_forced_lanes_match_oracle(self, backend_kind, life):
+        """Every forced override returns the oracle set as well."""
+        with tempfile.TemporaryDirectory(prefix="diff-forced-") as tmpdir:
+            backend = _open_backend(backend_kind, tmpdir)
+            store = HybridRangeStore(
+                domain_size=DOMAIN,
+                backend=backend,
+                rng=random.Random(0xF0C),
+            )
+            try:
+                model = dict(life["initial"])
+                store.insert_many(model.items())
+                lo, hi = _norm(life["queries"][0])
+                expected = frozenset(
+                    r for r, v in model.items() if lo <= v <= hi
+                )
+                for lane in store.schemes:
+                    store.dispatch = lane
+                    outcome = store.search(lo, hi)
+                    assert outcome.ids == expected
+                    assert outcome.scheme_chosen == lane
+                store.dispatch = "auto"
+                assert store.search(lo, hi).ids == expected
+            finally:
+                store.close()

@@ -1,0 +1,319 @@
+"""Dispatcher regression tests: consultation, overrides, no fallback.
+
+Spy-planner tests prove the :class:`~repro.exec.dispatch.CostDispatcher`
+consults every configured strategy exactly once per (uncached) query,
+honors a forced ``--dispatch <scheme>`` override, and that a dispatched
+search never falls back to the retired per-token Π_bas loop.  Also
+covers the hint plumbing end-to-end, the harness ``dispatch``
+experiment, and the ``BENCH_*.json`` overwrite guard.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+import pytest
+
+import repro.exec.dispatch as dispatch_mod
+from repro.errors import InvalidRangeError
+from repro.exec.dispatch import (
+    DEFAULT_HYBRID_SCHEMES,
+    HINT_AUTO,
+    STRATEGIES,
+    CostDispatcher,
+    CostModel,
+    ValueHistogram,
+    normalize_hint,
+)
+from repro.protocol import messages as msg
+from repro.protocol.client import RemoteRangeClient
+from repro.protocol.server import RsseServer
+from repro.rangestore import HybridRangeStore
+from repro.core.registry import make_scheme
+
+
+class TestDispatcherConsultation:
+    def test_consults_every_strategy_exactly_once(self, monkeypatch):
+        calls: "list[str]" = []
+        real = dispatch_mod.plan_range
+
+        def spy(lo, hi, **kwargs):
+            calls.append(kwargs.get("scheme", ""))
+            return real(lo, hi, **kwargs)
+
+        monkeypatch.setattr(dispatch_mod, "plan_range", spy)
+        dispatcher = CostDispatcher(1 << 12, DEFAULT_HYBRID_SCHEMES)
+        decision = dispatcher.choose(10, 600)
+        assert sorted(calls) == sorted(DEFAULT_HYBRID_SCHEMES)
+        assert len(decision.considered) == len(DEFAULT_HYBRID_SCHEMES)
+        # One plan per strategy per query — never re-planned within a
+        # choose(), and the considered set names each exactly once.
+        assert sorted(c.scheme for c in decision.considered) == sorted(
+            DEFAULT_HYBRID_SCHEMES
+        )
+
+    def test_cache_skips_replanning_until_density_changes(self, monkeypatch):
+        calls: "list[str]" = []
+        real = dispatch_mod.plan_range
+
+        def spy(lo, hi, **kwargs):
+            calls.append(kwargs.get("scheme", ""))
+            return real(lo, hi, **kwargs)
+
+        monkeypatch.setattr(dispatch_mod, "plan_range", spy)
+        hist = ValueHistogram(1 << 12)
+        dispatcher = CostDispatcher(
+            1 << 12, DEFAULT_HYBRID_SCHEMES, density=hist.expected_matches
+        )
+        first = dispatcher.choose(10, 600)
+        assert len(calls) == len(DEFAULT_HYBRID_SCHEMES)
+        assert dispatcher.choose(10, 600) is first  # memoized
+        assert len(calls) == len(DEFAULT_HYBRID_SCHEMES)
+        hist.add(300)  # density changed -> decisions stale
+        dispatcher.choose(10, 600)
+        assert len(calls) == 2 * len(DEFAULT_HYBRID_SCHEMES)
+
+    def test_picks_minimum_cost(self):
+        dispatcher = CostDispatcher(1 << 12, DEFAULT_HYBRID_SCHEMES)
+        decision = dispatcher.choose(0, 1000)
+        assert decision.est_cost == min(c.est_cost for c in decision.considered)
+        assert decision.scheme in DEFAULT_HYBRID_SCHEMES
+        assert not decision.forced
+
+    def test_every_registry_strategy_plans(self):
+        dispatcher = CostDispatcher(256, tuple(STRATEGIES))
+        decision = dispatcher.choose(3, 77)
+        assert len(decision.considered) == len(STRATEGIES)
+
+    def test_rejects_unknown_scheme_and_empty_set(self):
+        with pytest.raises(InvalidRangeError):
+            CostDispatcher(64, ("no-such-scheme",))
+        with pytest.raises(InvalidRangeError):
+            CostDispatcher(64, ())
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(InvalidRangeError):
+            CostDispatcher(64).choose(5, 2)
+
+
+class TestForcedOverride:
+    def test_forced_always_wins_regardless_of_cost(self):
+        # Pin the lane the cost model would never pick for a wide range.
+        dispatcher = CostDispatcher(
+            1 << 12, DEFAULT_HYBRID_SCHEMES, forced="logarithmic-src"
+        )
+        for lo, hi in ((0, 4000), (5, 5), (100, 3000)):
+            decision = dispatcher.choose(lo, hi)
+            assert decision.scheme == "logarithmic-src"
+            assert decision.forced
+
+    def test_forced_plans_only_the_forced_strategy(self, monkeypatch):
+        calls: "list[str]" = []
+        real = dispatch_mod.plan_range
+
+        def spy(lo, hi, **kwargs):
+            calls.append(kwargs.get("scheme", ""))
+            return real(lo, hi, **kwargs)
+
+        monkeypatch.setattr(dispatch_mod, "plan_range", spy)
+        dispatcher = CostDispatcher(
+            1 << 12, DEFAULT_HYBRID_SCHEMES, forced="logarithmic-brc"
+        )
+        dispatcher.choose(9, 700)
+        assert calls == ["logarithmic-brc"]
+
+    def test_force_validates_and_unpins(self):
+        dispatcher = CostDispatcher(1 << 12, DEFAULT_HYBRID_SCHEMES)
+        with pytest.raises(InvalidRangeError):
+            dispatcher.force("constant-brc")  # valid scheme, not configured
+        dispatcher.force("logarithmic-src")
+        assert dispatcher.choose(0, 100).forced
+        dispatcher.force(HINT_AUTO)
+        assert not dispatcher.choose(0, 100).forced
+
+
+class TestNoPerTokenFallback:
+    def test_dispatched_search_never_uses_legacy_pibas_loop(self, monkeypatch):
+        """Whatever lane is chosen, execution must route through the
+        engine's coalesced walk — the retired one-walk-per-token path
+        (module-level ``pibas.search``) must never run."""
+        store = HybridRangeStore(domain_size=512, rng=random.Random(4))
+        store.insert_many((i, (i * 37) % 512) for i in range(120))
+        store.flush()
+
+        def boom(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("per-token pibas search path used")
+
+        import repro.core.split as split_mod
+        import repro.sse.pibas as pibas_mod
+
+        monkeypatch.setattr(pibas_mod, "search", boom)
+        monkeypatch.setattr(split_mod, "pibas_search", boom)
+        for lo, hi in ((0, 511), (7, 7), (100, 140)):
+            outcome = store.search(lo, hi)
+            assert outcome.scheme_chosen in store.schemes
+            assert outcome.probes_issued > 0  # the engine really ran
+
+
+class TestHybridStoreBehavior:
+    def test_outcome_carries_decision_fields(self):
+        store = HybridRangeStore(domain_size=256, rng=random.Random(9))
+        store.insert_many((i, i % 256) for i in range(64))
+        outcome = store.search(10, 30)
+        assert outcome.scheme_chosen in store.schemes
+        assert outcome.est_cost_chosen > 0
+        considered = dict(outcome.plans_considered)
+        assert set(considered) == set(store.schemes)
+        assert outcome.est_cost_chosen == min(considered.values())
+
+    def test_dispatch_property_round_trips(self):
+        store = HybridRangeStore(domain_size=128, rng=random.Random(2))
+        assert store.dispatch == HINT_AUTO
+        store.dispatch = "logarithmic-brc"
+        assert store.dispatch == "logarithmic-brc"
+        store.insert(1, 5)
+        assert store.search(0, 127).scheme_chosen == "logarithmic-brc"
+        store.dispatch = HINT_AUTO
+        assert store.dispatch == HINT_AUTO
+
+    def test_needs_two_distinct_lanes(self):
+        from repro.errors import IndexStateError
+
+        with pytest.raises(IndexStateError):
+            HybridRangeStore(
+                domain_size=64,
+                schemes=("logarithmic-brc", "logarithmic-brc"),
+            )
+        # A duplicate hidden among distinct lanes is refused too — it
+        # would double-score one scheme and clobber its backend slice.
+        with pytest.raises(IndexStateError):
+            HybridRangeStore(
+                domain_size=64,
+                schemes=(
+                    "logarithmic-brc",
+                    "logarithmic-src",
+                    "logarithmic-brc",
+                ),
+            )
+
+    def test_calibrate_updates_dispatcher_model(self):
+        store = HybridRangeStore(domain_size=128, rng=random.Random(6))
+        assert not store.dispatcher.cost_model.calibrated
+        model = store.calibrate(repeats=1)
+        assert model.calibrated
+        assert store.dispatcher.cost_model is model
+
+    def test_histogram_follows_inserts_and_deletes(self):
+        store = HybridRangeStore(domain_size=100, rng=random.Random(8))
+        for i in range(10):
+            store.insert(i, 50)
+        assert store.histogram.expected_matches(0, 99) == pytest.approx(10)
+        store.delete(0, 50)
+        assert store.histogram.expected_matches(0, 99) == pytest.approx(9)
+
+
+class TestNormalizeHint:
+    @pytest.mark.parametrize("raw", list(STRATEGIES) + [HINT_AUTO])
+    def test_known_hints_pass_through(self, raw):
+        assert normalize_hint(raw) == raw
+
+    @pytest.mark.parametrize(
+        "raw",
+        ["", "pb", "junk", "LOGARITHMIC-BRC", b"\xff\xfe", 123, None, "x" * 99],
+    )
+    def test_garbage_degrades_to_auto(self, raw):
+        assert normalize_hint(raw) == HINT_AUTO
+
+    def test_bytes_decode(self):
+        assert normalize_hint(b"logarithmic-src") == "logarithmic-src"
+
+
+class TestServerHintTally:
+    def _client(self, hint_transport):
+        scheme = make_scheme("logarithmic-brc", 64, rng=random.Random(5))
+        client = RemoteRangeClient(scheme, hint_transport, rng=random.Random(6))
+        client.outsource([(0, 5), (1, 44), (2, 30)])
+        return client
+
+    def test_query_many_defaults_hint_to_scheme_name(self):
+        server = RsseServer()
+        client = self._client(server.handle)
+        client.query_many([(0, 63), (10, 40)])
+        assert server.last_dispatch_hint == "logarithmic-brc"
+        assert server.dispatch_hints == {"logarithmic-brc": 1}
+
+    def test_unknown_hint_counts_as_auto(self):
+        server = RsseServer()
+        client = self._client(server.handle)
+        client.query_many([(0, 63)], dispatch_hint="zigzag-9000")
+        assert server.last_dispatch_hint == HINT_AUTO
+        assert server.dispatch_hints == {HINT_AUTO: 1}
+
+    def test_interactive_batch_tallies_exactly_once(self):
+        """SRC-i's two protocol rounds must not double-count the batch:
+        the hint rides round 1 only, and hint-less frames (round 2,
+        legacy clients) leave the tally untouched."""
+        server = RsseServer()
+        scheme = make_scheme("logarithmic-src-i", 64, rng=random.Random(7))
+        client = RemoteRangeClient(scheme, server.handle, rng=random.Random(8))
+        client.outsource([(i, i % 64) for i in range(40)])
+        client.query_many([(0, 63), (10, 20)])
+        assert server.dispatch_hints == {"logarithmic-src-i": 1}
+        client.query_many([(5, 30)])
+        assert server.dispatch_hints == {"logarithmic-src-i": 2}
+
+
+class TestHarnessDispatchExperiment:
+    def test_dispatch_experiment_renders(self):
+        from repro.harness.cli import run_experiment
+
+        out = run_experiment("dispatch")
+        assert "Adaptive dispatch" in out
+        assert "lane tally" in out
+        assert "logarithmic" in out
+
+    def test_dispatch_experiment_honors_forced_lane(self):
+        from repro.harness.cli import run_experiment
+
+        out = run_experiment("dispatch", dispatch="logarithmic-src")
+        assert "logarithmic-src (forced)" in out
+        assert "logarithmic-brc (forced)" not in out
+
+    def test_cli_flag_round_trip(self, capsys):
+        from repro.harness.cli import main
+
+        assert main(["dispatch", "--dispatch", "logarithmic-brc"]) == 0
+        assert "logarithmic-brc (forced)" in capsys.readouterr().out
+
+
+class TestBaselineOverwriteGuard:
+    def _jsonout(self):
+        sys.path.insert(0, "benchmarks")
+        try:
+            import jsonout
+        finally:
+            sys.path.pop(0)
+        return jsonout
+
+    def test_refuses_overwriting_committed_baseline(self, tmp_path):
+        jsonout = self._jsonout()
+        path = tmp_path / "BENCH_PR99.json"
+        jsonout.emit_json(path, "s", [])  # fresh file: fine
+        with pytest.raises(jsonout.BaselineOverwriteError):
+            jsonout.emit_json(path, "s", [])
+        # The refused write must leave the original untouched.
+        assert "results" in path.read_text()
+
+    def test_force_overwrites(self, tmp_path):
+        jsonout = self._jsonout()
+        path = tmp_path / "BENCH_PR99.json"
+        jsonout.emit_json(path, "one", [])
+        doc = jsonout.emit_json(path, "two", [], force=True)
+        assert doc["suite"] == "two"
+
+    def test_scratch_names_overwrite_freely(self, tmp_path):
+        jsonout = self._jsonout()
+        path = tmp_path / "bench-smoke.json"
+        jsonout.emit_json(path, "one", [])
+        jsonout.emit_json(path, "two", [])  # no force needed

@@ -9,12 +9,14 @@ unhandled ``IndexError``/``struct.error``/infinite work.
 from __future__ import annotations
 
 import random
+import struct
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.logarithmic import LogarithmicBrc
 from repro.errors import ReproError
+from repro.exec.dispatch import HINT_AUTO, STRATEGIES, normalize_hint
 from repro.protocol import (
     RsseServer,
     SearchRequest,
@@ -22,6 +24,7 @@ from repro.protocol import (
     parse_frame,
     parse_message,
 )
+from repro.protocol.messages import MultiSearchRequest, MultiSearchResponse
 
 
 class TestParserFuzz:
@@ -75,6 +78,59 @@ class TestServerFuzz:
             server.handle(SearchRequest(1, "sse", tokens).to_frame())
         except ReproError:
             pass
+
+    @given(st.binary(max_size=80))
+    @settings(max_examples=150)
+    def test_garbage_hint_trailer_never_crashes_parser(self, tail):
+        """Arbitrary bytes where the dispatcher-hint trailer should be
+        must parse (or raise a library error) — and whatever hint comes
+        out must normalize to a known lane or auto, never crash."""
+        base = MultiSearchRequest(1, "sse", [[b"t" * 32]])
+        tag, body = parse_frame(base.to_frame())
+        forged_body = body[: -2] + tail  # replace the empty hint trailer
+        forged = struct.pack(">BI", tag, len(forged_body)) + forged_body
+        try:
+            parsed = parse_message(forged)
+        except ReproError:
+            return
+        hint = normalize_hint(parsed.hint)
+        assert hint == HINT_AUTO or hint in STRATEGIES
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=100)
+    def test_server_answers_batches_with_garbage_hints(self, tail):
+        """A hostile hint must degrade to auto server-side: the batch
+        still executes and answers normally."""
+        server = RsseServer()
+        scheme = LogarithmicBrc(64, rng=random.Random(1))
+        scheme.build_index([(0, 5), (1, 44)])
+        server.handle(UploadIndex(1, scheme._index.to_bytes()).to_frame())
+        token = scheme.trapdoor(0, 63)
+        base = MultiSearchRequest(1, "sse", [token.wire_tokens()])
+        tag, body = parse_frame(base.to_frame())
+        forged_body = body[: -2] + tail
+        forged = struct.pack(">BI", tag, len(forged_body)) + forged_body
+        try:
+            response_frame = server.handle(forged)
+        except ReproError:
+            return
+        response = parse_message(response_frame)
+        assert isinstance(response, MultiSearchResponse)
+        assert len(response.results) == 1
+        assert server.last_dispatch_hint == HINT_AUTO or (
+            server.last_dispatch_hint in STRATEGIES
+        )
+
+    def test_hint_round_trips_for_known_lanes(self):
+        for hint in list(STRATEGIES) + [HINT_AUTO, ""]:
+            message = MultiSearchRequest(3, "dprf", [[b"s" * 33]], hint)
+            assert parse_message(message.to_frame()) == message
+
+    def test_overlong_hint_truncates_never_crashes(self):
+        message = MultiSearchRequest(3, "sse", [[b"t" * 32]], "z" * 500)
+        parsed = parse_message(message.to_frame())
+        assert len(parsed.hint) <= 64
+        assert normalize_hint(parsed.hint) == HINT_AUTO
 
     def test_dprf_token_with_huge_level_is_bounded(self):
         """A forged DPRF token cannot make the server expand 2^255
