@@ -34,7 +34,10 @@ Quickstart (one static scheme, as in the paper)::
 For a real client/server split, see
 :class:`repro.protocol.RemoteRangeClient` (owner: keys only) and
 :class:`repro.protocol.RsseServer` (server: ciphertext only), and the
-storage backends in :mod:`repro.storage`.
+storage backends in :mod:`repro.storage`.  To put that split on an
+actual network, :mod:`repro.net` hosts the server over TCP
+(``RsseNetServer``) and pools owner-side connections
+(``NetTransport``) — same frames, real sockets.
 """
 
 from repro.core import (
@@ -67,7 +70,7 @@ from repro.storage import (
     StorageBackend,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CostDispatcher",

@@ -52,3 +52,24 @@ class IndexStateError(ReproError):
 
 class UpdateError(ReproError):
     """The batch-update manager was driven with inconsistent operations."""
+
+
+class TransportError(ReproError):
+    """A network transport failed: connect/reconnect exhausted, a
+    request timed out, or the peer vanished mid-exchange."""
+
+
+class FramingError(TransportError):
+    """The byte stream does not frame: a garbage or oversized length
+    header, or trailing bytes that can never complete a frame.
+
+    Framing errors are connection-fatal by design — once the stream
+    position is untrustworthy, every later byte is too — but they must
+    never take down the server or any *other* connection.
+    """
+
+
+class RemoteError(ReproError):
+    """The server answered with an error the client cannot map onto a
+    more specific :class:`ReproError` subclass (e.g. an internal server
+    failure, or an error code from a newer peer)."""

@@ -289,6 +289,26 @@ class ValueHistogram:
         self.generation += 1
         self._prefix = None
 
+    def dump_counts(self) -> "list[int]":
+        """The raw bucket counts (for checkpoint serialization)."""
+        return list(self._counts)
+
+    def restore_counts(self, counts: "list[int]") -> None:
+        """Adopt checkpointed bucket counts wholesale.
+
+        Bumps :attr:`generation` so any decision cache keyed on the old
+        density is invalidated.
+        """
+        if len(counts) != self.buckets:
+            raise DomainError(
+                f"histogram has {self.buckets} buckets, snapshot carries "
+                f"{len(counts)}"
+            )
+        self._counts = [int(c) for c in counts]
+        self.total = sum(self._counts)
+        self.generation += 1
+        self._prefix = None
+
     def _prefix_sums(self) -> "list[int]":
         """``prefix[b]`` = counts of buckets ``< b`` (rebuilt lazily, so
         a density query is O(1) no matter how wide the range — this

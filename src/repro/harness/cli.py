@@ -1,12 +1,18 @@
-"""Command-line entry point regenerating the paper's tables and figures.
+"""Command-line entry point: experiments, plus the network service.
 
 Usage::
 
     rsse-experiments fig5a            # or: python -m repro.harness.cli fig5a
     rsse-experiments all --csv-dir results/
+    rsse-experiments serve --port 9471 --sqlite server.db
+    rsse-experiments connect --port 9471 --records 500 --queries 20
 
-Every subcommand prints the same rows/series the paper reports; ``--csv``
-additionally writes machine-readable output.
+Every experiment subcommand prints the same rows/series the paper
+reports; ``--csv-dir`` additionally writes machine-readable output.
+``serve`` hosts an :class:`~repro.net.RsseNetServer` (key-free: it only
+ever sees ciphertext); ``connect`` is the owner-side smoke client —
+build, outsource over TCP, query, verify against the plaintext oracle,
+and print latency plus the server's stats surface.
 """
 
 from __future__ import annotations
@@ -161,11 +167,185 @@ def run_experiment(
     raise ValueError(f"unknown experiment {name!r}")
 
 
+def _serve_main(argv: "list[str]") -> int:
+    """``rsse-experiments serve``: host the network server until ^C."""
+    import asyncio
+
+    from repro.net import RsseNetServer
+    from repro.protocol import RsseServer
+    from repro.storage import InMemoryBackend, SqliteBackend
+
+    parser = argparse.ArgumentParser(
+        prog="rsse-experiments serve",
+        description="Host a key-free RSSE server over TCP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=9471, help="0 picks a free port"
+    )
+    parser.add_argument(
+        "--sqlite",
+        metavar="PATH",
+        default=None,
+        help="persist uploaded state to this SQLite file "
+        "(in-memory when omitted; existing handles rehydrate)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="admission bound: frames processed at once across all "
+        "connections (backpressure beyond it)",
+    )
+    parser.add_argument(
+        "--max-frame-mb",
+        type=int,
+        default=64,
+        help="reject frames larger than this many MiB",
+    )
+    args = parser.parse_args(argv)
+    backend = (
+        SqliteBackend(args.sqlite) if args.sqlite else InMemoryBackend()
+    )
+    server = RsseNetServer(
+        RsseServer(backend),
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        max_frame_bytes=args.max_frame_mb << 20,
+    )
+
+    async def run() -> None:
+        import signal
+
+        await server.start()
+        print(
+            f"rsse-server listening on {args.host}:{server.port} "
+            f"(backend: {'sqlite:' + args.sqlite if args.sqlite else 'memory'}, "
+            f"max in-flight: {server.max_inflight})",
+            flush=True,
+        )
+        # ^C/SIGTERM set an event instead of raising, so shutdown goes
+        # through server.stop() — in-flight requests finish and flush
+        # (the graceful drain the class promises), not task cancellation.
+        stop_signal = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop_signal.set)
+            except (NotImplementedError, RuntimeError):  # non-POSIX loops
+                pass
+        await stop_signal.wait()
+        await server.stop()
+
+    drained = True
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        drained = False  # signal handler unavailable — tasks were cancelled
+    finally:
+        backend.close()
+    stats = server.stats
+    print(
+        f"\n{'drained' if drained else 'stopped (no drain)'}. "
+        f"{stats.connections_total} connections, "
+        f"{stats.frames_in} frames in, {stats.frames_out} out, "
+        f"{stats.errors} errors"
+    )
+    return 0
+
+
+def _connect_main(argv: "list[str]") -> int:
+    """``rsse-experiments connect``: owner-side verification client."""
+    import random
+    import time
+
+    from repro.baselines.plaintext import PlaintextRangeIndex
+    from repro.core.registry import SCHEMES, make_scheme
+    from repro.net import NetTransport
+    from repro.protocol import RemoteRangeClient
+
+    parser = argparse.ArgumentParser(
+        prog="rsse-experiments connect",
+        description="Outsource a seeded dataset to a running server, "
+        "query it back over TCP and verify against the plaintext oracle.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9471)
+    parser.add_argument(
+        "--scheme",
+        default="logarithmic-brc",
+        choices=sorted(n for n in SCHEMES if n != "pb"),
+    )
+    parser.add_argument("--records", type=int, default=500)
+    parser.add_argument("--domain", type=int, default=1 << 16)
+    parser.add_argument("--queries", type=int, default=20)
+    parser.add_argument("--pool", type=int, default=2, metavar="N")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    rng = random.Random(args.seed)
+    records = [(i, rng.randrange(args.domain)) for i in range(args.records)]
+    oracle = PlaintextRangeIndex(records)
+    kwargs = (
+        {"intersection_policy": "allow"}
+        if args.scheme.startswith("constant")
+        else {}
+    )
+    scheme = make_scheme(
+        args.scheme, args.domain, rng=random.Random(args.seed + 1), **kwargs
+    )
+    with NetTransport(args.host, args.port, pool_size=args.pool) as transport:
+        client = RemoteRangeClient(scheme, transport, rng=rng)
+        t0 = time.perf_counter()
+        client.outsource(records)
+        upload_s = time.perf_counter() - t0
+        print(
+            f"outsourced {args.records} records ({args.scheme}) "
+            f"in {upload_s * 1000:.1f} ms"
+        )
+        latencies = []
+        mismatches = 0
+        for _ in range(args.queries):
+            lo = rng.randrange(args.domain)
+            hi = rng.randrange(lo, args.domain)
+            t0 = time.perf_counter()
+            got = client.query(lo, hi)
+            latencies.append(time.perf_counter() - t0)
+            if got != frozenset(oracle.query(lo, hi)):
+                mismatches += 1
+                print(f"MISMATCH on [{lo}, {hi}]")
+        mean_ms = sum(latencies) / len(latencies) * 1000 if latencies else 0.0
+        max_ms = max(latencies) * 1000 if latencies else 0.0
+        print(
+            f"{args.queries} queries over TCP: mean {mean_ms:.2f} ms, "
+            f"max {max_ms:.2f} ms, {mismatches} mismatches"
+        )
+        stats = transport.stats()
+        net = stats.get("net", {})
+        print(
+            f"server: {net.get('frames_in', '?')} frames in / "
+            f"{net.get('frames_out', '?')} out, "
+            f"{net.get('connections_total', '?')} connections, "
+            f"{stats.get('server', {}).get('stored_bytes', '?')} bytes stored"
+        )
+    return 1 if mismatches else 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # The network subcommands own their argument namespaces (ports and
+    # pool sizes mean nothing to the experiment runner, and vice versa).
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
+    if argv and argv[0] == "connect":
+        return _connect_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="rsse-experiments",
         description="Regenerate the tables/figures of 'Practical Private "
-        "Range Search Revisited' (SIGMOD 2016).",
+        "Range Search Revisited' (SIGMOD 2016).  The network service "
+        "lives under the 'serve' and 'connect' subcommands (each has "
+        "its own --help).",
     )
     parser.add_argument(
         "experiment",

@@ -1,0 +1,368 @@
+"""Pooled client transport: the owner's side of the TCP seam.
+
+``NetTransport`` is a drop-in :data:`~repro.protocol.client.Transport`
+— a callable ``frame -> response frame`` — so every existing owner-side
+class (:class:`~repro.protocol.RemoteRangeClient`, ``query_many``, the
+harness) runs over real sockets unchanged.  Internally it is an asyncio
+core on a private event-loop thread:
+
+- **N pooled connections**, opened lazily, handed out round-robin.
+- **Pipelining.**  ``send_many`` writes every frame before awaiting any
+  response; the server answers in order per connection, so one wave of
+  round-trips covers the whole batch (uploads during ``outsource``,
+  both rounds of a query batch).
+- **Reconnect with backoff.**  A dead connection is rebuilt with
+  exponential backoff and the request retried on the fresh socket —
+  at-least-once delivery, which the protocol tolerates (uploads are
+  content-idempotent, searches and fetches are pure reads).
+- **Timeouts.**  Every request is bounded; expiry raises
+  :class:`~repro.errors.TransportError` rather than hanging the owner.
+
+The sync facade exists so no caller ever touches asyncio: construct,
+call, close (or use as a context manager).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+from collections import deque
+
+from repro.errors import FramingError, TransportError
+from repro.net.framing import MAX_FRAME_BYTES, FrameReader
+from repro.protocol import messages as msg
+
+
+class _PooledConnection:
+    """One pipelined connection: FIFO futures matched to FIFO replies."""
+
+    def __init__(self, host: str, port: int, max_frame_bytes: int) -> None:
+        self._host = host
+        self._port = port
+        self._max_frame_bytes = max_frame_bytes
+        self._reader: "asyncio.StreamReader | None" = None
+        self._writer: "asyncio.StreamWriter | None" = None
+        self._read_task: "asyncio.Task | None" = None
+        self._pending: "deque[asyncio.Future]" = deque()
+        self._write_lock = asyncio.Lock()
+        self.connected = False
+
+    async def open(self) -> None:
+        reader, writer = await asyncio.open_connection(self._host, self._port)
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._reader, self._writer = reader, writer
+        self._frames = FrameReader(self._max_frame_bytes)
+        self.connected = True
+        self._read_task = asyncio.ensure_future(self._read_loop())
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                data = await self._reader.read(65536)
+                if not data:
+                    raise TransportError("server closed the connection")
+                for frame in self._frames.feed(data):
+                    if not self._pending:
+                        raise FramingError("unsolicited response frame")
+                    future = self._pending.popleft()
+                    if not future.done():  # timed-out slots still pair up
+                        future.set_result(frame)
+                if self._frames.error is not None:
+                    raise self._frames.error
+        except BaseException as exc:  # noqa: BLE001 — every waiter must learn
+            self._fail(exc)
+
+    def _fail(self, exc: BaseException) -> None:
+        self.connected = False
+        while self._pending:
+            future = self._pending.popleft()
+            if not future.done():
+                future.set_exception(
+                    exc
+                    if isinstance(exc, TransportError)
+                    else TransportError(f"connection failed: {exc!r}")
+                )
+
+    async def request(self, frame: bytes) -> "asyncio.Future":
+        """Write one frame, returning the future of its response.
+
+        The caller awaits the future *outside* the write lock, which is
+        exactly what makes pipelining work: N calls enqueue N writes
+        back-to-back, then all N futures resolve as replies stream in.
+        """
+        if not self.connected:
+            raise TransportError("connection is closed")
+        future = asyncio.get_running_loop().create_future()
+        async with self._write_lock:
+            # Append under the same lock as the write: the pending
+            # queue's order must equal the bytes' order on the wire.
+            self._pending.append(future)
+            self._writer.write(frame)
+            await self._writer.drain()
+        return future
+
+    async def close(self) -> None:
+        self.connected = False
+        if self._read_task is not None:
+            self._read_task.cancel()
+            try:
+                await self._read_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        if self._writer is not None:
+            self._writer.close()
+        self._fail(TransportError("transport closed"))
+
+
+class AsyncNetTransport:
+    """The asyncio core: pool, retry, timeout.  Runs on one loop."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        pool_size: int = 2,
+        timeout_s: float = 30.0,
+        retries: int = 4,
+        backoff_s: float = 0.05,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.pool_size = max(1, int(pool_size))
+        self.timeout_s = timeout_s
+        self.retries = max(0, int(retries))
+        self.backoff_s = backoff_s
+        self.max_frame_bytes = max_frame_bytes
+        #: Set by :meth:`close`; checked at every retry boundary so a
+        #: request in flight on another thread fails fast with
+        #: TransportError instead of redialing (and leaking a socket)
+        #: or hanging on a loop that is about to stop.
+        self.closed = False
+        self._conns: "list[_PooledConnection | None]" = [None] * self.pool_size
+        # One opener at a time per slot: without this, two concurrent
+        # requests hitting the same dead slot would both dial, and the
+        # loser's socket (plus its read task) would be overwritten in
+        # the pool and leak beyond close()'s reach.
+        self._slot_locks = [asyncio.Lock() for _ in range(self.pool_size)]
+        self._round_robin = 0
+
+    async def open(self) -> None:
+        """Eagerly open one connection — unreachable servers fail fast."""
+        await self._connection(0)
+
+    async def _connection(self, slot: int) -> _PooledConnection:
+        async with self._slot_locks[slot]:
+            if self.closed:
+                raise TransportError("transport is closed")
+            conn = self._conns[slot]
+            if conn is not None and conn.connected:
+                return conn
+            last_error: "BaseException | None" = None
+            for attempt in range(self.retries + 1):
+                if attempt:
+                    # Exponential backoff between attempts, not before
+                    # the first: the common case is a healthy reconnect.
+                    await asyncio.sleep(self.backoff_s * (2 ** (attempt - 1)))
+                if self.closed:
+                    raise TransportError("transport is closed")
+                conn = _PooledConnection(
+                    self.host, self.port, self.max_frame_bytes
+                )
+                try:
+                    await conn.open()
+                except OSError as exc:
+                    last_error = exc
+                    continue
+                self._conns[slot] = conn
+                return conn
+            raise TransportError(
+                f"cannot connect to {self.host}:{self.port} after "
+                f"{self.retries + 1} attempts: {last_error!r}"
+            )
+
+    def _next_slot(self) -> int:
+        slot = self._round_robin % self.pool_size
+        self._round_robin += 1
+        return slot
+
+    async def request(self, frame: bytes) -> bytes:
+        """One frame, one reply — retried across reconnects."""
+        last_error: "BaseException | None" = None
+        for _ in range(self.retries + 1):
+            if self.closed:
+                raise TransportError("transport is closed")
+            try:
+                conn = await self._connection(self._next_slot())
+                future = await conn.request(frame)
+                return await asyncio.wait_for(future, self.timeout_s)
+            except asyncio.TimeoutError:
+                raise TransportError(
+                    f"request timed out after {self.timeout_s}s"
+                ) from None
+            except (TransportError, OSError) as exc:
+                last_error = exc  # dead socket — rebuild and resend
+        raise TransportError(
+            f"request failed after {self.retries + 1} attempts: {last_error!r}"
+        )
+
+    async def request_many(self, frames: "list[bytes]") -> "list[bytes]":
+        """Pipeline a batch across the pool; responses in input order.
+
+        Frames stripe round-robin over up to ``pool_size`` connections;
+        each connection's share is written back-to-back (one wave of
+        round-trips).  A frame whose connection died retries alone via
+        :meth:`request`.
+        """
+        if not frames:
+            return []
+        futures: "list[asyncio.Future | None]" = []
+        for frame in frames:
+            try:
+                conn = await self._connection(self._next_slot())
+                futures.append(await conn.request(frame))
+            except (TransportError, OSError):
+                futures.append(None)  # retried below, on a fresh connection
+        results: "list[bytes | None]" = [None] * len(frames)
+        for position, future in enumerate(futures):
+            if future is not None:
+                try:
+                    results[position] = await asyncio.wait_for(
+                        future, self.timeout_s
+                    )
+                    continue
+                except (asyncio.TimeoutError, TransportError, OSError):
+                    pass
+            results[position] = await self.request(frames[position])
+        return results
+
+    async def close(self) -> None:
+        # Flag first: concurrent requests observing it at their next
+        # retry boundary abort instead of redialing into a wiped pool.
+        self.closed = True
+        for conn in self._conns:
+            if conn is not None:
+                await conn.close()
+        self._conns = [None] * self.pool_size
+
+
+class NetTransport:
+    """Synchronous facade: a plain ``frame -> frame`` callable.
+
+    Owns a daemon event-loop thread running an
+    :class:`AsyncNetTransport`; every public method is an ordinary
+    blocking call, so schemes, stores and the harness need zero asyncio
+    knowledge.  Thread-safe: any thread may call it, the loop thread
+    serializes socket access.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        pool_size: int = 2,
+        timeout_s: float = 30.0,
+        retries: int = 4,
+        backoff_s: float = 0.05,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self._async = AsyncNetTransport(
+            host,
+            port,
+            pool_size=pool_size,
+            timeout_s=timeout_s,
+            retries=retries,
+            backoff_s=backoff_s,
+            max_frame_bytes=max_frame_bytes,
+        )
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._spin, name="rsse-net-client", daemon=True
+        )
+        self._thread.start()
+        self._closed = False
+        #: Cross-thread futures of calls still in flight — close()
+        #: must resolve every one before the loop dies, or their
+        #: waiting threads would block forever.
+        self._pending: "set" = set()
+        try:
+            self._call(self._async.open())  # fail fast on a dead address
+        except BaseException:
+            self.close()
+            raise
+
+    def _spin(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    def _call(self, coro):
+        if self._closed:
+            coro.close()  # un-awaited coroutine: silence the warning
+            raise TransportError("transport is closed")
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        self._pending.add(future)
+        try:
+            return future.result()
+        finally:
+            self._pending.discard(future)
+
+    # -- the Transport contract ---------------------------------------------
+
+    def __call__(self, frame: bytes) -> bytes:
+        return self._call(self._async.request(frame))
+
+    def send_many(self, frames: "list[bytes]") -> "list[bytes]":
+        """Pipelined batch send; responses in input order."""
+        return self._call(self._async.request_many(list(frames)))
+
+    # -- conveniences --------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Fetch the server's merged stats document."""
+        reply = msg.parse_reply(self(msg.StatsRequest().to_frame()))
+        return reply.stats
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        import concurrent.futures
+
+        self._closed = True  # new calls refused from here on
+        try:
+            if self._thread.is_alive():
+                # Async close flags the core as closed and fails every
+                # pending connection future, so in-flight requests on
+                # other threads wake and abort at their next retry
+                # boundary...
+                asyncio.run_coroutine_threadsafe(
+                    self._async.close(), self._loop
+                ).result(timeout=5)
+                # ...give them a moment to do so before the loop dies.
+                if self._pending:
+                    concurrent.futures.wait(list(self._pending), timeout=5)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join()
+            self._loop.close()
+            # Anything still unresolved can never complete now (its
+            # coroutine died with the loop) — fail it so no caller
+            # thread blocks forever on .result().
+            for future in list(self._pending):
+                if not future.done():
+                    try:
+                        future.set_exception(
+                            TransportError("transport closed mid-request")
+                        )
+                    except Exception:  # noqa: BLE001 — lost the race: done
+                        pass
+
+    def __enter__(self) -> "NetTransport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

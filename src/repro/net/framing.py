@@ -1,0 +1,118 @@
+"""Length-prefixed framing for protocol messages over a byte stream.
+
+The wire format *is* the protocol frame of
+:mod:`repro.protocol.messages` — a 5-byte ``(tag: u8, body_len: u32)``
+header followed by the body — so nothing is re-wrapped: the bytes a
+:class:`~repro.protocol.RsseServer` handles in-process are exactly the
+bytes that cross the socket.  What this module adds is the *stream*
+discipline TCP needs and a function call never did:
+
+- **Incremental reassembly.**  TCP delivers arbitrary fragments; a
+  :class:`FrameReader` buffers whatever arrives and yields only
+  complete frames, however the kernel sliced them.
+- **Hostile-header rejection.**  A peer that writes garbage desynchs
+  the stream forever, so headers are validated *before* their claimed
+  body is buffered: an unknown tag byte or a length above
+  ``max_frame_bytes`` raises :class:`~repro.errors.FramingError`
+  immediately — the reader never allocates attacker-chosen amounts of
+  memory and never waits for a body that isn't coming.
+
+Framing errors are connection-fatal (the stream position is lost) but
+must never be *server*-fatal; the network server answers one typed
+:class:`~repro.protocol.messages.ErrorResponse` and closes only the
+offending connection.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FramingError
+from repro.protocol.messages import KNOWN_TAGS, _HEADER
+
+#: Hard ceiling on one frame's body, unless a caller raises it.  Bulk
+#: uploads of realistic indexes fit comfortably; a 4 GiB length claim
+#: from a hostile header does not get 4 GiB of buffer.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: The shared 5-byte ``(tag, body_len)`` header.
+HEADER_SIZE = _HEADER.size
+
+
+class FrameReader:
+    """Incremental frame decoder for one direction of one connection.
+
+    Feed it whatever the socket produced; it returns every frame that
+    completed.  State is just the unconsumed byte tail, so partial
+    reads, coalesced frames, and frame boundaries landing mid-header
+    all behave identically.
+
+    Parameters
+    ----------
+    max_frame_bytes:
+        Reject any header claiming a larger body.
+    known_tags:
+        Acceptable tag bytes (default: every tag this protocol revision
+        defines).  Pass ``None`` to accept any tag — then only the
+        length guard applies.
+    """
+
+    def __init__(
+        self,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        *,
+        known_tags: "frozenset[int] | None" = KNOWN_TAGS,
+    ) -> None:
+        if max_frame_bytes < 1:
+            raise FramingError(
+                f"max_frame_bytes must be >= 1, got {max_frame_bytes}"
+            )
+        self.max_frame_bytes = max_frame_bytes
+        self.known_tags = known_tags
+        self._buffer = bytearray()
+        #: The condemning :class:`~repro.errors.FramingError`, once the
+        #: stream has desynched.  ``None`` while healthy.
+        self.error: "FramingError | None" = None
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes held waiting for their frame to complete."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> "list[bytes]":
+        """Consume a stream fragment, returning all completed frames.
+
+        A garbage or oversized header condemns the stream: frames that
+        completed *before* it in this fragment are still returned (a
+        peer's valid requests deserve their replies even when its next
+        byte is hostile), :attr:`error` is set, and every further feed
+        raises it.  Callers check :attr:`error` after each feed and
+        close the connection — the stream position past a bad header is
+        unrecoverable by construction.
+        """
+        if self.error is not None:
+            raise self.error
+        self._buffer += data
+        frames: "list[bytes]" = []
+        buffer = self._buffer
+        pos = 0
+        total = len(buffer)
+        while total - pos >= HEADER_SIZE:
+            tag, length = _HEADER.unpack_from(buffer, pos)
+            if self.known_tags is not None and tag not in self.known_tags:
+                self.error = FramingError(
+                    f"garbage frame header: unknown tag {tag}"
+                )
+                break
+            if length > self.max_frame_bytes:
+                self.error = FramingError(
+                    f"frame of {length} bytes exceeds the "
+                    f"{self.max_frame_bytes}-byte limit"
+                )
+                break
+            if total - pos - HEADER_SIZE < length:
+                break  # incomplete — wait for more stream
+            end = pos + HEADER_SIZE + length
+            frames.append(bytes(buffer[pos:end]))
+            pos = end
+        if pos:
+            del buffer[:pos]
+        return frames

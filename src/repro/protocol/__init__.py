@@ -4,25 +4,32 @@ from repro.protocol.client import RemoteRangeClient
 from repro.protocol.interactive import RemoteConstantClient, RemoteSrcIClient
 from repro.protocol.messages import (
     DropIndex,
+    ErrorResponse,
     FetchPayloads,
     FetchRequest,
     FetchResponse,
+    OkResponse,
     PayloadResponse,
     SearchRequest,
     SearchResponse,
+    StatsRequest,
+    StatsResponse,
     UploadIndex,
     UploadPayloads,
     UploadRecords,
     parse_frame,
     parse_message,
+    parse_reply,
 )
 from repro.protocol.server import RsseServer
 
 __all__ = [
     "DropIndex",
+    "ErrorResponse",
     "FetchPayloads",
     "FetchRequest",
     "FetchResponse",
+    "OkResponse",
     "PayloadResponse",
     "RemoteConstantClient",
     "RemoteRangeClient",
@@ -30,9 +37,12 @@ __all__ = [
     "RsseServer",
     "SearchRequest",
     "SearchResponse",
+    "StatsRequest",
+    "StatsResponse",
     "UploadIndex",
     "UploadPayloads",
     "UploadRecords",
     "parse_frame",
     "parse_message",
+    "parse_reply",
 ]

@@ -82,17 +82,56 @@ class RemoteRangeClient:
         answers the final per-query fetch — I2 for SRC-i)."""
         return self._index_ids[self._scheme.index_names()[-1]]
 
-    def outsource(self, records: "Iterable[tuple]", *, payloads=None) -> None:
-        """Build locally, upload the full server state, detach local copies."""
-        self._scheme.build_index(records, payloads=payloads)
+    def outsource(
+        self, records: "Iterable[tuple] | None" = None, *, payloads=None
+    ) -> None:
+        """Build locally, upload the full server state, detach local copies.
+
+        Pass ``records=None`` to outsource a scheme that is *already*
+        built (e.g. restored from an :mod:`repro.io.snapshot`) without
+        rebuilding it.  When the transport exposes ``send_many`` (the
+        pooled network transport does), all upload frames ride one
+        pipelined wave instead of one round-trip each.
+        """
+        if records is not None:
+            self._scheme.build_index(records, payloads=payloads)
+        elif not self._scheme._built:
+            raise IndexStateError(
+                "outsource(records=None) requires an already-built scheme"
+            )
         state = self._scheme.export_server_state(detach=True)
-        for name, handle in self._index_ids.items():
-            self._transport(msg.UploadIndex(handle, state.indexes[name]).to_frame())
-        self._transport(msg.UploadRecords(self._records_id, state.tuples).to_frame())
+        frames = [
+            msg.UploadIndex(handle, state.indexes[name]).to_frame()
+            for name, handle in self._index_ids.items()
+        ]
+        frames.append(
+            msg.UploadRecords(self._records_id, state.tuples).to_frame()
+        )
         if state.payloads:
-            self._transport(
+            frames.append(
                 msg.UploadPayloads(self._records_id, state.payloads).to_frame()
             )
+        send_many = getattr(self._transport, "send_many", None)
+        if send_many is not None:
+            responses = send_many(frames)
+        else:
+            responses = [self._transport(frame) for frame in frames]
+        for response in responses:
+            if response is not None:
+                msg.parse_reply(response)  # surface a refused upload
+        self._uploaded = True
+
+    def attach(self) -> None:
+        """Adopt an index this owner already uploaded (same keys, any
+        process).
+
+        The multi-process analogue of :meth:`outsource`: a second
+        client holding the *same* scheme keys (e.g. restored from a
+        snapshot by a worker process) and the same ``index_id`` marks
+        itself attached and queries the live server-side state
+        directly.  Keys never travel — sharing them across the owner's
+        own processes is inside the trust boundary by definition.
+        """
         self._uploaded = True
 
     # -- query --------------------------------------------------------------------
@@ -191,7 +230,7 @@ class RemoteRangeClient:
         self._require_uploaded()
         if not ids:
             return {}
-        response = msg.parse_message(
+        response = msg.parse_reply(
             self._transport(
                 msg.FetchPayloads(self._records_id, list(ids)).to_frame()
             )
@@ -205,12 +244,17 @@ class RemoteRangeClient:
         """Ask the server to delete the index (e.g. after consolidation).
 
         Idempotent: a no-op when nothing was ever uploaded (or it was
-        already retired).
+        already retired).  A server-side refusal (an ``ErrorResponse``
+        over the network transport) raises and leaves the client
+        attached — silently dropping it would leak the encrypted index
+        on the server forever.
         """
         if not self._uploaded:
             return
         for handle in self._index_ids.values():
-            self._transport(msg.DropIndex(handle).to_frame())
+            response = self._transport(msg.DropIndex(handle).to_frame())
+            if response is not None:
+                msg.parse_reply(response)
         self._uploaded = False
 
     # -- protocol plumbing ---------------------------------------------------------
@@ -228,7 +272,7 @@ class RemoteRangeClient:
         response_frame = self._transport(frame)
         elapsed = time.perf_counter() - t0
         return (
-            msg.parse_message(response_frame),
+            msg.parse_reply(response_frame),
             elapsed,
             len(response_frame),
         )
@@ -243,14 +287,14 @@ class RemoteRangeClient:
     ) -> msg.MultiSearchResponse:
         """One MultiSearchRequest round-trip for a whole query batch."""
         frame = msg.MultiSearchRequest(handle, kind, queries, hint).to_frame()
-        return msg.parse_message(self._transport(frame))
+        return msg.parse_reply(self._transport(frame))
 
     def _fetch_records(self, ids: "Sequence[int]"):
         """Fetch + decrypt tuples, returning ``{id: Record}``."""
         if not ids:
             return {}
         frame = msg.FetchRequest(self._records_id, list(ids)).to_frame()
-        response = msg.parse_message(self._transport(frame))
+        response = msg.parse_reply(self._transport(frame))
         records = {}
         for rid, blob in zip(ids, response.blobs):
             rec = self._scheme.decrypt_record(blob)
@@ -281,7 +325,7 @@ class RemoteRangeClient:
             t_fetch = time.perf_counter()
             response_frame = self._transport(frame)
             fetch_s = time.perf_counter() - t_fetch
-            fetched = msg.parse_message(response_frame)
+            fetched = msg.parse_reply(response_frame)
             response_bytes += len(response_frame)
             matched = frozenset(
                 rec.id

@@ -12,9 +12,11 @@ no pickling, no implicit trust in the peer.
 
 from __future__ import annotations
 
+import json
 import struct
 from dataclasses import dataclass, field
 
+from repro import errors
 from repro.errors import TokenError
 
 #: Longest dispatcher hint the wire carries; anything longer is
@@ -36,6 +38,10 @@ TAG_FETCH_PAYLOADS = 9
 TAG_PAYLOAD_RESPONSE = 10
 TAG_MULTI_SEARCH_REQUEST = 11
 TAG_MULTI_SEARCH_RESPONSE = 12
+TAG_OK = 13
+TAG_ERROR = 14
+TAG_STATS_REQUEST = 15
+TAG_STATS_RESPONSE = 16
 
 
 def _pack_chunks(chunks: "list[bytes]") -> bytes:
@@ -343,6 +349,138 @@ class DropIndex:
         return cls(int.from_bytes(body[:8], "big"))
 
 
+@dataclass(frozen=True)
+class OkResponse:
+    """Server → owner: a write-style request succeeded.
+
+    Write frames (uploads, drops) used to be answered with silence —
+    fine in-process, where the transport returning at all *is* the
+    acknowledgement, but fatal over a socket: a client that pipelines
+    ``N`` requests must be able to count ``N`` replies.  Every request
+    therefore gets exactly one response frame; this is the one that
+    says "done, nothing to report".
+    """
+
+    def to_frame(self) -> bytes:
+        return _frame(TAG_OK, b"")
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "OkResponse":
+        if body:
+            raise TokenError("OkResponse carries no body")
+        return cls()
+
+
+#: Exception class ↔ stable wire code.  The code travels instead of the
+#: Python class name so the mapping survives refactors, and so a client
+#: can re-raise the *same* exception type the in-process transport
+#: would have raised — remote and local failures look identical to
+#: application code.
+_ERROR_CODES = {
+    "domain": errors.DomainError,
+    "invalid-range": errors.InvalidRangeError,
+    "key": errors.KeyError_,
+    "token": errors.TokenError,
+    "integrity": errors.IntegrityError,
+    "query-intersection": errors.QueryIntersectionError,
+    "index-state": errors.IndexStateError,
+    "update": errors.UpdateError,
+    "transport": errors.TransportError,
+    "framing": errors.FramingError,
+}
+_CODE_BY_CLASS = {cls: code for code, cls in _ERROR_CODES.items()}
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """Server → owner: the request failed; here is why.
+
+    ``code`` is a stable token from :data:`_ERROR_CODES` (``"internal"``
+    for anything outside the library's own hierarchy); ``message`` is
+    human-readable detail.  A typed error frame is what keeps a network
+    client from hanging forever on a request whose handling died
+    server-side.
+    """
+
+    code: str
+    message: str = ""
+
+    def to_frame(self) -> bytes:
+        return _frame(
+            TAG_ERROR,
+            _pack_chunks(
+                [self.code.encode("utf-8"), self.message.encode("utf-8")]
+            ),
+        )
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "ErrorResponse":
+        chunks, _ = _unpack_chunks(body)
+        if len(chunks) != 2:
+            raise TokenError("ErrorResponse carries (code, message)")
+        return cls(
+            chunks[0].decode("utf-8", "replace"),
+            chunks[1].decode("utf-8", "replace"),
+        )
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "ErrorResponse":
+        # Walk the MRO so subclasses map to their nearest coded ancestor.
+        for klass in type(exc).__mro__:
+            code = _CODE_BY_CLASS.get(klass)
+            if code is not None:
+                return cls(code, str(exc))
+        return cls("internal", f"{type(exc).__name__}: {exc}")
+
+    def raise_(self) -> None:
+        """Re-raise as the exception the server originally hit."""
+        klass = _ERROR_CODES.get(self.code, errors.RemoteError)
+        raise klass(self.message or f"server error ({self.code})")
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    """Owner/operator → server: report your counters."""
+
+    def to_frame(self) -> bytes:
+        return _frame(TAG_STATS_REQUEST, b"")
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "StatsRequest":
+        if body:
+            raise TokenError("StatsRequest carries no body")
+        return cls()
+
+
+@dataclass(frozen=True)
+class StatsResponse:
+    """Server → owner: observability counters as a JSON document.
+
+    Stats are operator-facing observability, not protocol state, so the
+    body is self-describing JSON rather than positional binary — new
+    counters can appear without a wire version bump, and old clients
+    simply ignore keys they don't know.
+    """
+
+    stats: dict = field(default_factory=dict)
+
+    def to_frame(self) -> bytes:
+        return _frame(
+            TAG_STATS_RESPONSE,
+            json.dumps(self.stats, sort_keys=True).encode("utf-8"),
+        )
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "StatsResponse":
+        try:
+            stats = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise TokenError(f"StatsResponse body is not JSON: {exc}") from None
+        if not isinstance(stats, dict):
+            raise TokenError("StatsResponse body must be a JSON object")
+        return cls(stats)
+
+
 _PARSERS = {
     TAG_UPLOAD_INDEX: UploadIndex.from_body,
     TAG_UPLOAD_RECORDS: UploadRecords.from_body,
@@ -356,7 +494,17 @@ _PARSERS = {
     TAG_PAYLOAD_RESPONSE: PayloadResponse.from_body,
     TAG_MULTI_SEARCH_REQUEST: MultiSearchRequest.from_body,
     TAG_MULTI_SEARCH_RESPONSE: MultiSearchResponse.from_body,
+    TAG_OK: OkResponse.from_body,
+    TAG_ERROR: ErrorResponse.from_body,
+    TAG_STATS_REQUEST: StatsRequest.from_body,
+    TAG_STATS_RESPONSE: StatsResponse.from_body,
 }
+
+#: Every tag this protocol revision can frame — the net layer's
+#: garbage-header filter (an inbound header with any other tag byte can
+#: never resolve to a parsable message, so it is rejected before its
+#: claimed body is ever buffered).
+KNOWN_TAGS = frozenset(_PARSERS)
 
 
 def parse_message(frame: bytes):
@@ -366,3 +514,19 @@ def parse_message(frame: bytes):
     if parser is None:
         raise TokenError(f"unknown protocol tag {tag}")
     return parser(body)
+
+
+def parse_reply(frame: "bytes | None"):
+    """Decode a response frame, re-raising a carried server error.
+
+    The client-side counterpart of every request: local and remote
+    failures surface as the same exception types because an
+    :class:`ErrorResponse` re-raises here, at the parse site, exactly
+    where an in-process transport would have thrown.
+    """
+    if frame is None:
+        raise TokenError("transport returned no response frame")
+    message = parse_message(frame)
+    if isinstance(message, ErrorResponse):
+        message.raise_()
+    return message

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from repro.core.split import EncryptedDatabase
 from repro.crypto.dprf import DelegationToken
-from repro.errors import IndexStateError, TokenError
+from repro.errors import IndexStateError, ReproError, TokenError
 from repro.exec.dispatch import HINT_AUTO, normalize_hint
 from repro.protocol import messages as msg
 from repro.sse.base import SUBKEY_LEN, EncryptedIndex, KeywordToken
@@ -106,8 +106,25 @@ class RsseServer:
     # -- message dispatch -----------------------------------------------------
 
     def handle(self, frame: bytes) -> "bytes | None":
-        """Process one protocol frame, returning a response frame or None."""
-        message = msg.parse_message(frame)
+        """Process one protocol frame, returning a response frame or None.
+
+        Write-style requests (uploads, drops) answer ``None`` —
+        in-process callers treat the call returning as the ack.  A frame
+        that cannot even be decoded, or whose message type a server
+        never handles, answers a typed
+        :class:`~repro.protocol.messages.ErrorResponse` instead of
+        raising: an undecodable frame is *peer input*, not a local
+        programming error, and a transport that forwards the reply
+        keeps its client from hanging on a response that would
+        otherwise never come.  Semantic failures on well-formed
+        requests (unknown handle, malformed token) still raise — see
+        :meth:`handle_request` for the total, always-answers variant
+        the network layer uses.
+        """
+        try:
+            message = msg.parse_message(frame)
+        except ReproError as exc:
+            return msg.ErrorResponse.from_exception(exc).to_frame()
         if isinstance(message, msg.UploadIndex):
             self._db(message.index_id, create=True).put_index(
                 "edb", EncryptedIndex.from_bytes(message.edb_bytes)
@@ -138,7 +155,33 @@ class RsseServer:
                 db.clear()
             self._backend.delete(_HANDLES_NS, message.index_id.to_bytes(8, "big"))
             return None
-        raise TokenError(f"server cannot handle {type(message).__name__}")
+        if isinstance(message, msg.StatsRequest):
+            # Nested under "server" so the network layer can merge its
+            # transport counters beside it under the same frame pair.
+            return msg.StatsResponse({"server": self.stats_dict()}).to_frame()
+        # Response-typed messages (and anything a future revision adds)
+        # are not requests this server answers — say so, don't raise:
+        # over a socket the sender is a peer, not a caller.
+        return msg.ErrorResponse(
+            "token", f"server cannot handle {type(message).__name__}"
+        ).to_frame()
+
+    def handle_request(self, frame: bytes) -> bytes:
+        """Total version of :meth:`handle`: every request gets a reply.
+
+        The network server's entry point.  Successful writes answer
+        :class:`~repro.protocol.messages.OkResponse`; any library error
+        — semantic or parse-level — answers a typed
+        :class:`~repro.protocol.messages.ErrorResponse`.  Only
+        non-library exceptions (genuine bugs) propagate.
+        """
+        try:
+            response = self.handle(frame)
+        except ReproError as exc:
+            return msg.ErrorResponse.from_exception(exc).to_frame()
+        if response is None:
+            return msg.OkResponse().to_frame()
+        return response
 
     # -- operations -------------------------------------------------------------
 
@@ -211,3 +254,18 @@ class RsseServer:
         return sum(
             1 for db in self._databases.values() if db.get_index("edb") is not None
         )
+
+    def stats_dict(self) -> dict:
+        """Core-server counters for the ``StatsRequest`` frame pair.
+
+        Everything here is already in the honest-but-curious server's
+        view (it could tally all of it itself), so exposing the dict
+        adds no leakage.  The network layer merges its transport
+        counters on top under the same frame pair.
+        """
+        return {
+            "handles": len(self._databases),
+            "indexes": self.index_count(),
+            "stored_bytes": self.stored_bytes(),
+            "dispatch_hints": dict(self.dispatch_hints),
+        }

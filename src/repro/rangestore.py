@@ -30,6 +30,7 @@ update model (and amortizing per-batch index builds).
 from __future__ import annotations
 
 import random
+import struct
 from typing import Iterable
 
 from repro.core.registry import make_scheme
@@ -41,6 +42,9 @@ from repro.updates import manager as _manager
 from repro.updates.batch import UpdateOp, delete as _delete_op, insert as _insert_op
 
 _STORE_MAGIC = b"RSSESTORE1"
+_HYBRID_MAGIC = b"RSSEHYB1"
+#: Cost-model weights on the wire: six unit seconds + calibrated flag.
+_COST_MODEL_PACK = struct.Struct(">6dB")
 
 
 class RangeStore:
@@ -179,14 +183,12 @@ class RangeStore:
 
     # -- persistence ----------------------------------------------------------
 
-    def save(self, path, passphrase: "str | None" = None) -> None:
-        """Checkpoint the whole store (keys included!) to one file.
-
-        Always pass a ``passphrase`` outside of tests — the snapshot
-        contains every secret key.
-        """
+    def _dump_blob(self) -> bytes:
+        """The raw (unwrapped) checkpoint bytes — shared by
+        :meth:`save` and the per-lane serialization of
+        :meth:`HybridRangeStore.save`."""
         self.flush()
-        blob = b"".join(
+        return b"".join(
             [
                 _STORE_MAGIC,
                 len(self.scheme_name).to_bytes(2, "big"),
@@ -196,6 +198,14 @@ class RangeStore:
                 _manager.dump_manager(self._manager),
             ]
         )
+
+    def save(self, path, passphrase: "str | None" = None) -> None:
+        """Checkpoint the whole store (keys included!) to one file.
+
+        Always pass a ``passphrase`` outside of tests — the snapshot
+        contains every secret key.
+        """
+        blob = self._dump_blob()
         if passphrase is not None:
             blob = keystore.wrap(blob, passphrase)
         with open(path, "wb") as fh:
@@ -216,6 +226,20 @@ class RangeStore:
             blob = fh.read()
         if passphrase is not None:
             blob = keystore.unwrap(blob, passphrase)
+        return cls._restore_blob(
+            blob, backend=backend, rng=rng, **scheme_kwargs
+        )
+
+    @classmethod
+    def _restore_blob(
+        cls,
+        blob: bytes,
+        *,
+        backend: "StorageBackend | None" = None,
+        rng: "random.Random | None" = None,
+        **scheme_kwargs,
+    ) -> "RangeStore":
+        """Rebuild a store from :meth:`_dump_blob` output."""
         if not blob.startswith(_STORE_MAGIC):
             raise IntegrityError("not a RangeStore snapshot")
         offset = len(_STORE_MAGIC)
@@ -340,8 +364,9 @@ class HybridRangeStore:
 
     Each query's :class:`~repro.core.scheme.QueryOutcome` carries the
     decision (``scheme_chosen``/``plans_considered``/``est_cost_chosen``).
-    Checkpointing a hybrid store is per-lane state; it is not covered
-    by :meth:`RangeStore.save` in this revision.
+    :meth:`save`/:meth:`load` checkpoint the whole store — every lane's
+    keys and indexes, the value histogram, the calibrated cost model
+    and any pinned dispatch — to one file.
     """
 
     def __init__(
@@ -354,6 +379,7 @@ class HybridRangeStore:
         consolidation_step: int = 4,
         rng: "random.Random | None" = None,
         cost_model=None,
+        _lane_blobs: "dict[str, bytes] | None" = None,
         **scheme_kwargs,
     ) -> None:
         from repro.exec.dispatch import (
@@ -378,18 +404,36 @@ class HybridRangeStore:
                 # Lanes share one query history by construction; the
                 # intersection guard is the application's concern here.
                 kwargs.setdefault("intersection_policy", "allow")
-            self._lanes[name] = RangeStore.open(
-                name,
-                domain_size=domain_size,
-                backend=(
-                    PrefixedBackend(backend, f"lane/{name}/")
-                    if backend is not None
-                    else None
-                ),
-                consolidation_step=consolidation_step,
-                rng=rng,
-                **kwargs,
+            lane_backend = (
+                PrefixedBackend(backend, f"lane/{name}/")
+                if backend is not None
+                else None
             )
+            if _lane_blobs is not None:
+                # Checkpoint restore (:meth:`load`): the lane comes back
+                # from its serialized manager state, adopting whatever
+                # the backend slice held.
+                restored = RangeStore._restore_blob(
+                    _lane_blobs[name],
+                    backend=lane_backend,
+                    rng=rng,
+                    **kwargs,
+                )
+                if restored.scheme_name != name:
+                    raise IntegrityError(
+                        f"hybrid snapshot lane {name!r} carries a "
+                        f"{restored.scheme_name!r} store"
+                    )
+                self._lanes[name] = restored
+            else:
+                self._lanes[name] = RangeStore.open(
+                    name,
+                    domain_size=domain_size,
+                    backend=lane_backend,
+                    consolidation_step=consolidation_step,
+                    rng=rng,
+                    **kwargs,
+                )
         self.histogram = ValueHistogram(domain_size)
         self._dispatcher = CostDispatcher(
             domain_size,
@@ -463,6 +507,125 @@ class HybridRangeStore:
 
     #: Alias matching the scheme-level API.
     query = search
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path, passphrase: "str | None" = None) -> None:
+        """Checkpoint every lane plus the dispatch state to one file.
+
+        The snapshot carries each lane's full :class:`RangeStore` state
+        (keys included — pass a ``passphrase``), the owner-side value
+        histogram, the cost model (calibrated weights survive
+        restarts), and a pinned dispatch lane if any.
+        """
+        from repro.io.snapshot import _chunk
+
+        self.flush()
+        model = self._dispatcher.cost_model
+        model_blob = _COST_MODEL_PACK.pack(
+            model.expand_seconds,
+            model.derive_seconds,
+            model.probe_seconds,
+            model.round_seconds,
+            model.fetch_seconds,
+            model.rtt_seconds,
+            1 if model.calibrated else 0,
+        )
+        histogram_blob = b"".join(
+            [self.histogram.buckets.to_bytes(8, "big")]
+            + [c.to_bytes(8, "big") for c in self.histogram.dump_counts()]
+        )
+        parts = [
+            _HYBRID_MAGIC,
+            _chunk(self.domain_size.to_bytes(8, "big")),
+            _chunk(self.dispatch.encode()),
+            _chunk(model_blob),
+            _chunk(histogram_blob),
+            _chunk(len(self.schemes).to_bytes(8, "big")),
+        ]
+        for name in self.schemes:
+            parts.append(_chunk(name.encode()))
+            parts.append(_chunk(self._lanes[name]._dump_blob()))
+        blob = b"".join(parts)
+        if passphrase is not None:
+            blob = keystore.wrap(blob, passphrase)
+        with open(path, "wb") as fh:
+            fh.write(blob)
+
+    @classmethod
+    def load(
+        cls,
+        path,
+        passphrase: "str | None" = None,
+        *,
+        backend: "StorageBackend | None" = None,
+        rng: "random.Random | None" = None,
+        **scheme_kwargs,
+    ) -> "HybridRangeStore":
+        """Reopen a hybrid checkpoint, rehydrating into ``backend``.
+
+        Every lane restores onto its own ``lane/<scheme>/`` slice of
+        the backend (whatever a previous incarnation left there is
+        wiped, per lane); the dispatcher comes back with the snapshot's
+        histogram, cost model and pin, so the very first query after a
+        restart routes exactly as the last one before it.
+        """
+        from repro.exec.dispatch import CostModel
+        from repro.io.snapshot import _Reader
+
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        if passphrase is not None:
+            blob = keystore.unwrap(blob, passphrase)
+        if not blob.startswith(_HYBRID_MAGIC):
+            raise IntegrityError("not a HybridRangeStore snapshot")
+        reader = _Reader(blob[len(_HYBRID_MAGIC) :])
+        domain_size = int.from_bytes(reader.chunk(), "big")
+        dispatch = reader.chunk().decode()
+        fields = _COST_MODEL_PACK.unpack(reader.chunk())
+        cost_model = CostModel(
+            expand_seconds=fields[0],
+            derive_seconds=fields[1],
+            probe_seconds=fields[2],
+            round_seconds=fields[3],
+            fetch_seconds=fields[4],
+            rtt_seconds=fields[5],
+            calibrated=bool(fields[6]),
+        )
+        histogram_blob = reader.chunk()
+        buckets = int.from_bytes(histogram_blob[:8], "big")
+        if len(histogram_blob) != 8 + 8 * buckets:
+            # Without this check a truncated chunk would decode as
+            # zeroed trailing buckets and silently misprice dispatch.
+            raise IntegrityError("hybrid snapshot histogram truncated")
+        counts = [
+            int.from_bytes(histogram_blob[8 + 8 * i : 16 + 8 * i], "big")
+            for i in range(buckets)
+        ]
+        lane_count = int.from_bytes(reader.chunk(), "big")
+        lane_blobs: "dict[str, bytes]" = {}
+        schemes: "list[str]" = []
+        for _ in range(lane_count):
+            name = reader.chunk().decode()
+            schemes.append(name)
+            lane_blobs[name] = reader.chunk()
+        if not reader.done():
+            raise IntegrityError("trailing bytes after hybrid snapshot")
+        store = cls(
+            domain_size=domain_size,
+            schemes=tuple(schemes),
+            backend=backend,
+            dispatch=dispatch,
+            rng=rng,
+            cost_model=cost_model,
+            _lane_blobs=lane_blobs,
+            **scheme_kwargs,
+        )
+        store.histogram.restore_counts(counts)
+        return store
+
+    #: Readable alias for the common reopen flow.
+    open_snapshot = load
 
     # -- introspection & lifecycle -------------------------------------------
 

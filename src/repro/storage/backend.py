@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import contextlib
 import sqlite3
+import threading
 import zlib
 from abc import ABC, abstractmethod
 from collections.abc import MutableMapping
@@ -216,13 +217,26 @@ class SqliteBackend(StorageBackend):
     lost on power/OS failure (they are fsynced at the next WAL
     checkpoint) — the standard throughput trade for write-heavy
     workloads.
+
+    Threading: the single connection is opened with
+    ``check_same_thread=False`` and every operation serializes through
+    one reentrant lock, so the backend may be *used* from any thread
+    (the network server hands requests to an executor pool) but is
+    never *concurrent* — cross-thread callers queue.  Holding the lock
+    for a whole :meth:`transaction` block also keeps another thread's
+    statements from ever joining (or observing) a half-applied
+    transaction on the shared connection.  ``thread_safe_reads`` stays
+    False: parallel reads would just convoy on the lock.
     """
 
     probe_batch = 16
     thread_safe_reads = False
 
     def __init__(self, path) -> None:
-        self._conn = sqlite3.connect(str(path), isolation_level=None)
+        self._conn = sqlite3.connect(
+            str(path), isolation_level=None, check_same_thread=False
+        )
+        self._lock = threading.RLock()
         self._txn_depth = 0
         # WAL + NORMAL: group-commit friendly, readers never block the
         # writer.  In-memory databases silently keep their own journal
@@ -238,16 +252,18 @@ class SqliteBackend(StorageBackend):
         self.path = str(path)
 
     def get(self, ns: str, key: bytes) -> "bytes | None":
-        row = self._conn.execute(
-            "SELECT v FROM kv WHERE ns = ? AND k = ?", (ns, bytes(key))
-        ).fetchone()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT v FROM kv WHERE ns = ? AND k = ?", (ns, bytes(key))
+            ).fetchone()
         return bytes(row[0]) if row is not None else None
 
     def put(self, ns: str, key: bytes, value: bytes) -> None:
-        self._conn.execute(
-            "INSERT OR REPLACE INTO kv (ns, k, v) VALUES (?, ?, ?)",
-            (ns, bytes(key), bytes(value)),
-        )
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO kv (ns, k, v) VALUES (?, ?, ?)",
+                (ns, bytes(key), bytes(value)),
+            )
 
     def put_many(self, ns: str, entries: "Iterable[tuple[bytes, bytes]]") -> None:
         with self.transaction():
@@ -259,14 +275,15 @@ class SqliteBackend(StorageBackend):
     def get_many(self, ns: str, keys: "Sequence[bytes]") -> "list[bytes | None]":
         keys = [bytes(k) for k in keys]
         found: dict[bytes, bytes] = {}
-        for start in range(0, len(keys), _SQL_CHUNK):
-            chunk = list(dict.fromkeys(keys[start : start + _SQL_CHUNK]))
-            placeholders = ",".join("?" * len(chunk))
-            for k, v in self._conn.execute(
-                f"SELECT k, v FROM kv WHERE ns = ? AND k IN ({placeholders})",
-                [ns, *chunk],
-            ):
-                found[bytes(k)] = bytes(v)
+        with self._lock:
+            for start in range(0, len(keys), _SQL_CHUNK):
+                chunk = list(dict.fromkeys(keys[start : start + _SQL_CHUNK]))
+                placeholders = ",".join("?" * len(chunk))
+                for k, v in self._conn.execute(
+                    f"SELECT k, v FROM kv WHERE ns = ? AND k IN ({placeholders})",
+                    [ns, *chunk],
+                ):
+                    found[bytes(k)] = bytes(v)
         return [found.get(key) for key in keys]
 
     def delete_many(self, ns: str, keys: "Iterable[bytes]") -> int:
@@ -285,51 +302,88 @@ class SqliteBackend(StorageBackend):
 
     @contextlib.contextmanager
     def transaction(self):
-        if self._txn_depth == 0:
-            self._conn.execute("BEGIN IMMEDIATE")
-        self._txn_depth += 1
-        try:
-            yield self
-        except BaseException:
-            self._txn_depth -= 1
+        # The lock spans the whole block (reentrantly), so a concurrent
+        # thread can neither interleave statements into this
+        # transaction nor read its uncommitted state off the shared
+        # connection.
+        with self._lock:
             if self._txn_depth == 0:
-                self._conn.execute("ROLLBACK")
-            raise
-        else:
-            self._txn_depth -= 1
-            if self._txn_depth == 0:
-                self._conn.execute("COMMIT")
+                self._conn.execute("BEGIN IMMEDIATE")
+            self._txn_depth += 1
+            try:
+                yield self
+            except BaseException:
+                self._txn_depth -= 1
+                if self._txn_depth == 0:
+                    self._conn.execute("ROLLBACK")
+                raise
+            else:
+                self._txn_depth -= 1
+                if self._txn_depth == 0:
+                    self._conn.execute("COMMIT")
 
     def delete(self, ns: str, key: bytes) -> bool:
-        cur = self._conn.execute(
-            "DELETE FROM kv WHERE ns = ? AND k = ?", (ns, bytes(key))
-        )
-        return cur.rowcount > 0
+        with self._lock:
+            cur = self._conn.execute(
+                "DELETE FROM kv WHERE ns = ? AND k = ?", (ns, bytes(key))
+            )
+            return cur.rowcount > 0
+
+    def _paged(self, ns: str, columns: str) -> "Iterator[tuple]":
+        """Key-ordered chunked scan: the lock is held per page, never
+        across the caller's iteration, and memory stays O(page) even on
+        a multi-gigabyte namespace.  ``(ns, k)`` is the table's primary
+        key, so ``ORDER BY k`` walks the index — each page is a seek,
+        not a scan."""
+        last: "bytes | None" = None
+        while True:
+            with self._lock:
+                if last is None:
+                    rows = self._conn.execute(
+                        f"SELECT {columns} FROM kv WHERE ns = ? "
+                        "ORDER BY k LIMIT ?",
+                        (ns, _SQL_CHUNK),
+                    ).fetchall()
+                else:
+                    rows = self._conn.execute(
+                        f"SELECT {columns} FROM kv WHERE ns = ? AND k > ? "
+                        "ORDER BY k LIMIT ?",
+                        (ns, last, _SQL_CHUNK),
+                    ).fetchall()
+            if not rows:
+                return
+            yield from rows
+            last = bytes(rows[-1][0])
 
     def keys(self, ns: str) -> "Iterator[bytes]":
-        for (k,) in self._conn.execute("SELECT k FROM kv WHERE ns = ?", (ns,)):
-            yield bytes(k)
+        return (bytes(k) for (k,) in self._paged(ns, "k"))
 
     def items(self, ns: str) -> "Iterator[tuple[bytes, bytes]]":
-        for k, v in self._conn.execute(
-            "SELECT k, v FROM kv WHERE ns = ?", (ns,)
-        ):
-            yield bytes(k), bytes(v)
+        return (
+            (bytes(k), bytes(v)) for k, v in self._paged(ns, "k, v")
+        )
 
     def count(self, ns: str) -> int:
-        (n,) = self._conn.execute(
-            "SELECT COUNT(*) FROM kv WHERE ns = ?", (ns,)
-        ).fetchone()
+        with self._lock:
+            (n,) = self._conn.execute(
+                "SELECT COUNT(*) FROM kv WHERE ns = ?", (ns,)
+            ).fetchone()
         return n
 
     def drop(self, ns: str) -> None:
-        self._conn.execute("DELETE FROM kv WHERE ns = ?", (ns,))
+        with self._lock:
+            self._conn.execute("DELETE FROM kv WHERE ns = ?", (ns,))
 
     def namespaces(self) -> "list[str]":
-        return [ns for (ns,) in self._conn.execute("SELECT DISTINCT ns FROM kv")]
+        with self._lock:
+            return [
+                ns
+                for (ns,) in self._conn.execute("SELECT DISTINCT ns FROM kv")
+            ]
 
     def close(self) -> None:
-        self._conn.close()
+        with self._lock:
+            self._conn.close()
 
 
 #: Conventional name for the file-backed backend.

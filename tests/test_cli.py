@@ -50,3 +50,42 @@ class TestRunExperimentContract:
     def test_every_fast_name_returns_text(self):
         for name in ("ablation-tdag", "ablation-urc", "fig8a", "fig8b"):
             assert run_experiment(name).strip()
+
+
+class TestNetworkSubcommands:
+    def test_connect_against_live_server(self, capsys):
+        """The connect subcommand outsources, queries and verifies over
+        a real loopback server, exiting 0 on a clean differential."""
+        from repro.net import serve_in_thread
+        from repro.protocol import RsseServer
+
+        with serve_in_thread(RsseServer()) as server:
+            code = main(
+                [
+                    "connect",
+                    "--port",
+                    str(server.port),
+                    "--records",
+                    "80",
+                    "--domain",
+                    "256",
+                    "--queries",
+                    "5",
+                ]
+            )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 mismatches" in out
+        assert "frames in" in out
+
+    def test_connect_unreachable_port_fails_fast(self):
+        from repro.errors import TransportError
+
+        with pytest.raises(TransportError):
+            main(["connect", "--port", "1", "--records", "10", "--queries", "1"])
+
+    def test_serve_help_does_not_touch_sockets(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--help"])
+        assert exc.value.code == 0
+        assert "--max-inflight" in capsys.readouterr().out

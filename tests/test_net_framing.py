@@ -1,0 +1,109 @@
+"""The stream framing codec: reassembly under arbitrary fragmentation.
+
+TCP may deliver a frame in one piece, byte by byte, or glued to its
+neighbours; the reader must produce the identical frame sequence in
+every case, and must reject garbage headers *before* buffering the
+bodies they claim.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FramingError
+from repro.net.framing import HEADER_SIZE, FrameReader
+from repro.protocol.messages import (
+    OkResponse,
+    SearchRequest,
+    SearchResponse,
+    UploadRecords,
+)
+
+
+def _sample_frames():
+    return [
+        SearchRequest(1, "sse", [b"t" * 32]).to_frame(),
+        OkResponse().to_frame(),
+        UploadRecords(9, [(1, b"blob"), (2, b"b" * 100)]).to_frame(),
+        SearchResponse([b"p1", b"p2", b"p3"]).to_frame(),
+    ]
+
+
+class TestReassembly:
+    @given(
+        order=st.lists(st.integers(0, 3), min_size=1, max_size=8),
+        cuts=st.lists(st.integers(1, 50), max_size=30),
+    )
+    @settings(max_examples=200)
+    def test_any_chunking_reassembles_exactly(self, order, cuts):
+        """Slicing the stream at arbitrary byte offsets never changes
+        the decoded frame sequence."""
+        frames = _sample_frames()
+        stream = b"".join(frames[i] for i in order)
+        reader = FrameReader()
+        got: "list[bytes]" = []
+        position = 0
+        for cut in cuts:
+            got.extend(reader.feed(stream[position : position + cut]))
+            position += cut
+        got.extend(reader.feed(stream[position:]))
+        assert got == [frames[i] for i in order]
+
+    def test_partial_frame_yields_nothing(self):
+        frame = SearchRequest(1, "sse", [b"t" * 32]).to_frame()
+        reader = FrameReader()
+        assert reader.feed(frame[:-1]) == []
+        assert reader.buffered_bytes == len(frame) - 1
+        assert reader.feed(frame[-1:]) == [frame]
+        assert reader.buffered_bytes == 0
+
+    def test_header_split_across_feeds(self):
+        frame = OkResponse().to_frame()
+        reader = FrameReader()
+        for byte in frame[:-1]:
+            assert reader.feed(bytes([byte])) == []
+        assert reader.feed(frame[-1:]) == [frame]
+
+
+class TestHostileHeaders:
+    def test_oversized_length_rejected_before_buffering(self):
+        reader = FrameReader(max_frame_bytes=1024)
+        header = struct.pack(">BI", 3, 1 << 30)
+        assert reader.feed(header) == []
+        assert isinstance(reader.error, FramingError)
+        # The claimed gigabyte body was never awaited, let alone stored.
+        assert reader.buffered_bytes <= HEADER_SIZE
+
+    def test_unknown_tag_rejected(self):
+        reader = FrameReader()
+        assert reader.feed(struct.pack(">BI", 0xFF, 4) + b"body") == []
+        assert isinstance(reader.error, FramingError)
+
+    def test_frames_before_the_poison_still_delivered(self):
+        """A peer's valid requests get their replies even when its next
+        byte is hostile — only the stream *after* the bad header dies."""
+        frame = OkResponse().to_frame()
+        reader = FrameReader()
+        assert reader.feed(frame + b"\xde\xad\xbe\xef\x00\x00") == [frame]
+        assert isinstance(reader.error, FramingError)
+
+    def test_poisoned_reader_raises_on_further_feeds(self):
+        reader = FrameReader()
+        reader.feed(struct.pack(">BI", 0xFF, 0))
+        assert reader.error is not None
+        with pytest.raises(FramingError):
+            reader.feed(OkResponse().to_frame())
+
+    @given(st.binary(min_size=HEADER_SIZE, max_size=64))
+    @settings(max_examples=200)
+    def test_random_bytes_bounded_failure(self, blob):
+        """Random streams either buffer (awaiting a plausible body),
+        decode, or condemn the stream — never anything else, and never
+        more buffered bytes than were fed."""
+        reader = FrameReader(max_frame_bytes=4096)
+        frames = reader.feed(blob)
+        assert reader.buffered_bytes <= len(blob)
+        assert all(f.startswith(blob[:1]) for f in frames[:1])

@@ -132,6 +132,40 @@ class TestServerFuzz:
         assert len(parsed.hint) <= 64
         assert normalize_hint(parsed.hint) == HINT_AUTO
 
+    def test_undecodable_frame_returns_typed_error(self):
+        """Unknown tags and garbage frames answer an ErrorResponse
+        instead of raising — the contract that keeps a network client
+        from waiting on a reply that isn't coming."""
+        from repro.protocol.messages import ErrorResponse, parse_message as pm
+
+        server = RsseServer()
+        for hostile in (
+            b"\x63" + (1).to_bytes(4, "big") + b"x",  # unknown tag
+            b"",  # no header at all
+            b"\x03\x00\x00",  # truncated header
+        ):
+            response = server.handle(hostile)
+            assert response is not None
+            assert isinstance(pm(response), ErrorResponse)
+
+    def test_handle_request_always_answers(self):
+        """handle_request is total: writes ack, errors frame, nothing
+        is silent."""
+        from repro.protocol.messages import (
+            ErrorResponse,
+            OkResponse,
+            parse_message as pm,
+        )
+
+        server = RsseServer()
+        ok = server.handle_request(UploadIndex(1, b"").to_frame())
+        assert isinstance(pm(ok), OkResponse)
+        err = server.handle_request(
+            SearchRequest(99, "sse", [b"t" * 32]).to_frame()
+        )
+        assert isinstance(pm(err), ErrorResponse)
+        assert pm(err).code == "index-state"
+
     def test_dprf_token_with_huge_level_is_bounded(self):
         """A forged DPRF token cannot make the server expand 2^255
         leaves: levels are a single byte and capped by cost = 2^level
@@ -145,3 +179,120 @@ class TestServerFuzz:
 
         response = pm(server.handle(frame))
         assert response.payloads == []
+
+
+# ---------------------------------------------------------------------------
+# The socket layer: hostile byte streams against a live RsseNetServer
+# ---------------------------------------------------------------------------
+
+
+class TestSocketFuzz:
+    """Hostile TCP clients must never crash the server or poison the
+    sessions of honest clients sharing it."""
+
+    @pytest.fixture()
+    def live_server(self):
+        from repro.net import serve_in_thread
+
+        server = RsseServer()
+        scheme = LogarithmicBrc(64, rng=random.Random(1))
+        scheme.build_index([(0, 5), (1, 44), (2, 12)])
+        server.handle(UploadIndex(1, scheme._index.to_bytes()).to_frame())
+        with serve_in_thread(server, max_frame_bytes=1 << 20) as handle:
+            yield handle, scheme
+
+    @staticmethod
+    def _raw_exchange(port: int, payload: bytes) -> bytes:
+        """Write hostile bytes, return whatever the server answers
+        before closing (possibly nothing)."""
+        import socket as socketlib
+
+        with socketlib.create_connection(("127.0.0.1", port), timeout=5) as sock:
+            sock.sendall(payload)
+            sock.shutdown(socketlib.SHUT_WR)
+            sock.settimeout(5)
+            received = b""
+            try:
+                while True:
+                    chunk = sock.recv(4096)
+                    if not chunk:
+                        break
+                    received += chunk
+            except OSError:
+                pass
+            return received
+
+    def _healthy_query_works(self, handle, scheme) -> None:
+        from repro.net import NetTransport
+        from repro.protocol.messages import parse_message as pm
+
+        token = scheme.trapdoor(0, 63)
+        with NetTransport("127.0.0.1", handle.port, retries=1) as transport:
+            response = pm(
+                transport(
+                    SearchRequest(
+                        1, token.wire_kind, token.wire_tokens()
+                    ).to_frame()
+                )
+            )
+        assert len(response.payloads) == 3
+
+    def test_truncated_header_then_disconnect(self, live_server):
+        handle, scheme = live_server
+        self._raw_exchange(handle.port, b"\x03\x00")
+        self._healthy_query_works(handle, scheme)
+
+    def test_mid_frame_disconnect(self, live_server):
+        handle, scheme = live_server
+        # Header promises 100 body bytes; only 10 ever arrive.
+        self._raw_exchange(
+            handle.port, struct.pack(">BI", 3, 100) + b"x" * 10
+        )
+        self._healthy_query_works(handle, scheme)
+
+    def test_oversized_frame_rejected_with_typed_error(self, live_server):
+        from repro.protocol.messages import ErrorResponse, parse_message as pm
+
+        handle, scheme = live_server
+        answer = self._raw_exchange(
+            handle.port, struct.pack(">BI", 3, 1 << 30)
+        )
+        assert answer, "oversized header must be answered, not ignored"
+        error = pm(answer)
+        assert isinstance(error, ErrorResponse)
+        assert error.code == "framing"
+        assert handle.stats().framing_errors >= 1
+        self._healthy_query_works(handle, scheme)
+
+    def test_unknown_tag_stream_rejected(self, live_server):
+        from repro.protocol.messages import ErrorResponse, parse_message as pm
+
+        handle, scheme = live_server
+        answer = self._raw_exchange(handle.port, b"\xff" * 32)
+        assert answer and isinstance(pm(answer), ErrorResponse)
+        self._healthy_query_works(handle, scheme)
+
+    def test_random_garbage_streams_never_poison_the_server(self, live_server):
+        handle, scheme = live_server
+        rng = random.Random(0xF00D)
+        for _ in range(10):
+            blob = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 200)))
+            self._raw_exchange(handle.port, blob)
+        self._healthy_query_works(handle, scheme)
+
+    def test_valid_frames_with_hostile_tail(self, live_server):
+        """A connection that behaves, then turns hostile: the valid
+        prefix is answered before the stream is condemned."""
+        from repro.protocol.messages import SearchResponse, parse_message as pm
+
+        from repro.net import FrameReader
+
+        handle, scheme = live_server
+        token = scheme.trapdoor(0, 63)
+        good = SearchRequest(1, token.wire_kind, token.wire_tokens()).to_frame()
+        answer = self._raw_exchange(handle.port, good + b"\xff" * 16)
+        # First frame answered; the garbage tail then closes the stream
+        # (with a trailing typed error riding behind the real reply).
+        frames = FrameReader().feed(answer)
+        assert frames and isinstance(pm(frames[0]), SearchResponse)
+        self._healthy_query_works(handle, scheme)
