@@ -1,0 +1,262 @@
+"""Cluster scatter-gather benchmark (``BENCH_PR6.json``).
+
+Question: what does sharding the records over N servers buy, when each
+server box has one CPU core?
+
+This CI box *is* one core, so the gated lanes run the net layer's
+**simulated single-core service-time model**
+(``sim_core_floor_s``/``sim_core_per_kb_s`` on
+:class:`~repro.net.RsseNetServer`): every response holds its server's
+one "core" for ``floor + per_kb × response_KiB`` seconds.  N shard
+servers own N independent cores, exactly like N real one-core boxes —
+the same trick ``response_delay_s`` plays for RTT in ``bench_net.py``.
+The workload is wide ranges (byte-heavy responses), where sharding
+genuinely divides the work: each shard serves only its ~1/N of every
+answer.
+
+Both lanes run the *same* :class:`~repro.cluster.ClusterRouter` code
+path — the baseline is a 1-shard cluster, so the measured difference is
+shard fan-out, not router overhead.
+
+*Gate:* N-shard aggregate QPS ≥ ``--scaling-floor`` (default 3×) the
+1-shard QPS on the sim-core lanes.
+
+A raw lane (sim model off, both shard counts) is recorded ungated for
+transparency; on a single real core it sits near 1× by construction.
+
+Run it::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py --json BENCH_PR6.json
+
+Smoke scale (CI)::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py --smoke \
+        --json bench-cluster-smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir))
+
+from benchmarks import jsonout  # noqa: E402
+
+
+def _query_mix(rng: random.Random, domain: int, count: int):
+    """Wide ranges: responses big enough that bytes dominate the sim
+    cost (the regime where sharding divides real work)."""
+    ranges = []
+    for _ in range(count):
+        width = rng.randrange(domain // 8, domain // 3)
+        lo = rng.randrange(domain - width)
+        ranges.append((lo, lo + width))
+    return ranges
+
+
+def run_lane(
+    args, shards: int, *, sim: bool, label: str
+) -> "dict[str, float]":
+    """One lane: an N-shard cluster under closed-loop client threads."""
+    from repro.cluster import ClusterRouter, make_shard_map
+    from repro.core.registry import make_scheme
+    from repro.net import serve_in_thread
+
+    rng = random.Random(args.seed)
+    records = [(i, rng.randrange(args.domain)) for i in range(args.records)]
+    ranges = _query_mix(random.Random(args.seed + 2), args.domain, 64)
+    sim_kwargs = (
+        {
+            "sim_core_floor_s": args.sim_floor_ms / 1000.0,
+            "sim_core_per_kb_s": args.sim_per_kb_ms / 1000.0,
+        }
+        if sim
+        else {}
+    )
+    servers = [
+        serve_in_thread(
+            shard=f"{i}/{shards}", max_inflight=512, **sim_kwargs
+        )
+        for i in range(shards)
+    ]
+    router = ClusterRouter(
+        [
+            make_scheme(
+                args.scheme, args.domain, rng=random.Random(args.seed + 1 + i)
+            )
+            for i in range(shards)
+        ],
+        make_shard_map([(s.host, s.port) for s in servers]),
+        pool_size=1,
+        scatter_workers=max(8, shards * args.threads),
+    )
+    try:
+        router.outsource(records)
+        router.query(*ranges[0])  # warm every lane
+        counts = [0] * args.threads
+        start_barrier = threading.Barrier(args.threads + 1)
+        deadline_holder = [0.0]
+
+        def worker(slot: int) -> None:
+            thread_rng = random.Random(args.seed + 50 + slot)
+            start_barrier.wait()
+            done = 0
+            while time.perf_counter() < deadline_holder[0]:
+                lo, hi = ranges[thread_rng.randrange(len(ranges))]
+                router.query(lo, hi)
+                done += 1
+            counts[slot] = done
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,), daemon=True)
+            for slot in range(args.threads)
+        ]
+        for t in threads:
+            t.start()
+        start_barrier.wait()
+        deadline_holder[0] = time.perf_counter() + args.duration
+        t0 = time.perf_counter()
+        for t in threads:
+            t.join(timeout=args.duration + 120)
+        elapsed = time.perf_counter() - t0
+        qps = sum(counts) / elapsed
+        print(f"  {label}: {sum(counts)} queries in {elapsed:.2f}s = "
+              f"{qps:7.1f} qps", flush=True)
+        return {"qps": qps, "queries": float(sum(counts))}
+    finally:
+        router.close()
+        for server in servers:
+            server.stop()
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--records", type=int, default=1_600)
+    parser.add_argument("--domain", type=int, default=1 << 16)
+    parser.add_argument("--scheme", default="logarithmic-brc")
+    parser.add_argument("--cluster-shards", type=int, default=4,
+                        help="shard count of the scaled lane")
+    parser.add_argument("--threads", type=int, default=6,
+                        help="closed-loop client threads per lane")
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="measurement window seconds per lane")
+    parser.add_argument("--sim-floor-ms", type=float, default=0.1,
+                        help="simulated per-response core floor")
+    parser.add_argument("--sim-per-kb-ms", type=float, default=8.0,
+                        help="simulated core ms per response KiB")
+    parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument("--scaling-floor", type=float, default=3.0,
+                        help="gate: N-shard qps >= floor * 1-shard qps "
+                        "(sim-core lanes)")
+    parser.add_argument("--skip-raw-lane", action="store_true",
+                        help="skip the ungated real-core transparency lanes")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI scale: small dataset, short windows")
+    parser.add_argument("--json", default="BENCH_PR6.json", metavar="PATH")
+    parser.add_argument("--force", action="store_true",
+                        help="allow overwriting a committed BENCH_*.json")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.records = min(args.records, 600)
+        args.duration = min(args.duration, 2.0)
+        args.threads = min(args.threads, 4)
+    jsonout.check_baseline_path(args.json, args.force)
+
+    results = []
+    n = args.cluster_shards
+    print(
+        f"sim-core lanes (floor {args.sim_floor_ms:g} ms + "
+        f"{args.sim_per_kb_ms:g} ms/KiB, {args.threads} client threads)"
+    )
+    sim_single = run_lane(args, 1, sim=True, label="sim-core  1 shard ")
+    sim_cluster = run_lane(args, n, sim=True, label=f"sim-core {n:2d} shards")
+    scaling = sim_cluster["qps"] / sim_single["qps"]
+    print(f"  sim-core scaling: {scaling:.2f}x with {n} shards")
+    results.append(
+        jsonout.result(
+            "cluster/sim-core/shards-1", "cluster",
+            {"shards": 1, "threads": args.threads,
+             "sim_floor_ms": args.sim_floor_ms,
+             "sim_per_kb_ms": args.sim_per_kb_ms},
+            **sim_single,
+        )
+    )
+    results.append(
+        jsonout.result(
+            f"cluster/sim-core/shards-{n}", "cluster",
+            {"shards": n, "threads": args.threads,
+             "sim_floor_ms": args.sim_floor_ms,
+             "sim_per_kb_ms": args.sim_per_kb_ms},
+            **sim_cluster,
+            scale_vs_single=scaling,
+        )
+    )
+
+    if not args.skip_raw_lane:
+        print("raw lanes (no sim model — honest 1-core ceiling, ungated)")
+        raw_single = run_lane(args, 1, sim=False, label="raw       1 shard ")
+        raw_cluster = run_lane(args, n, sim=False, label=f"raw      {n:2d} shards")
+        results.append(
+            jsonout.result(
+                "cluster/raw/shards-1", "cluster",
+                {"shards": 1, "threads": args.threads}, **raw_single,
+            )
+        )
+        results.append(
+            jsonout.result(
+                f"cluster/raw/shards-{n}", "cluster",
+                {"shards": n, "threads": args.threads},
+                **raw_cluster,
+                scale_vs_single=raw_cluster["qps"] / raw_single["qps"],
+            )
+        )
+
+    results.append(
+        jsonout.result(
+            "acceptance", "cluster",
+            {"scaling_floor": args.scaling_floor, "shards": n},
+            cluster_sim_scaling_x=scaling,
+        )
+    )
+
+    jsonout.emit_json(
+        args.json,
+        "cluster",
+        results,
+        meta={
+            "records": args.records,
+            "domain": args.domain,
+            "scheme": args.scheme,
+            "shards": n,
+            "threads": args.threads,
+            "duration_s": args.duration,
+            "sim_floor_ms": args.sim_floor_ms,
+            "sim_per_kb_ms": args.sim_per_kb_ms,
+            "cpus": os.cpu_count(),
+            "smoke": args.smoke,
+        },
+        force=args.force,
+    )
+    print(f"wrote {args.json}")
+
+    if scaling < args.scaling_floor:
+        print(
+            f"GATE FAIL: {n}-shard sim-core scaling {scaling:.2f}x "
+            f"(floor {args.scaling_floor}x)"
+        )
+        return 1
+    print(
+        f"gate passes: {n}-shard sim-core scaling {scaling:.2f}x "
+        f">= {args.scaling_floor}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

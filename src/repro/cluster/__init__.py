@@ -1,0 +1,44 @@
+"""Sharded cluster layer: N net servers behind one scatter-gather router.
+
+The scale-out face of the repo: records partition by id over N
+independent :class:`~repro.net.RsseNetServer` nodes (each a complete
+index under its own keys — see :mod:`repro.cluster.topology` for why
+label striping is off the table), and :class:`ClusterRouter` is the
+owner's single endpoint that scatters query batches, retries failed
+shards with bounded backoff, merges answers back into the single-server
+result contract, and aggregates per-shard stats into a cluster health
+view.  :mod:`repro.cluster.bootstrap` replays owner snapshots onto
+replacement nodes; topology changes travel as versioned
+:class:`ShardMap` documents.
+
+Quickstart::
+
+    from repro.cluster import ClusterRouter, make_shard_map
+    from repro.core.registry import make_scheme
+    from repro.net import serve_in_thread
+
+    servers = [serve_in_thread(shard=f"{i}/2") for i in range(2)]
+    shard_map = make_shard_map([(s.host, s.port) for s in servers])
+    router = ClusterRouter(
+        [make_scheme("logarithmic-brc", 1 << 16) for _ in servers],
+        shard_map,
+    )
+    router.outsource([(i, i * 37 % (1 << 16)) for i in range(100)])
+    print(router.query(1000, 5000))
+"""
+
+from repro.cluster.bootstrap import bootstrap_shard, shard_snapshot_path
+from repro.cluster.health import render_health, summarize
+from repro.cluster.router import ClusterRouter
+from repro.cluster.topology import ShardMap, ShardSpec, make_shard_map
+
+__all__ = [
+    "ClusterRouter",
+    "ShardMap",
+    "ShardSpec",
+    "bootstrap_shard",
+    "make_shard_map",
+    "render_health",
+    "shard_snapshot_path",
+    "summarize",
+]

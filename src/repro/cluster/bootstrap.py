@@ -1,0 +1,83 @@
+"""Shard bootstrap: seed a fresh node from an owner snapshot.
+
+The recovery story for a lost shard server:
+
+1. At outsource time the owner wrote one snapshot per shard
+   (``ClusterRouter.outsource(snapshot_dir=...)``) — keys plus the
+   shard's complete server-side state, captured *before* the upload
+   detached local copies.
+2. A shard node dies.  The operator brings up an empty replacement
+   (``rsse-experiments serve``) anywhere.
+3. :func:`bootstrap_shard` loads the shard's snapshot, re-uploads its
+   server state to the replacement under the *pinned* wire handles of
+   the :class:`~repro.cluster.topology.ShardSpec`, and detaches again.
+4. The operator publishes a new :class:`ShardMap` version pointing the
+   shard at the replacement; routers pick it up via
+   :meth:`~repro.cluster.router.ClusterRouter.apply_topology`.
+
+Keys never travel to any server — the snapshot moves between *owner*
+processes (optionally passphrase-wrapped on disk), and the replacement
+node receives exactly the ciphertext the dead node held.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.cluster.topology import ShardSpec
+from repro.errors import ClusterError, TransportError
+
+
+def shard_snapshot_path(snapshot_dir, shard: int) -> pathlib.Path:
+    """Canonical per-shard snapshot filename under ``snapshot_dir``."""
+    return pathlib.Path(snapshot_dir) / f"shard-{shard:03d}.rsse"
+
+
+def bootstrap_shard(
+    snapshot_file,
+    spec: ShardSpec,
+    *,
+    passphrase: "str | None" = None,
+    transport_factory=None,
+    pool_size: int = 2,
+    timeout_s: float = 30.0,
+    ssl=None,
+) -> int:
+    """Replay one shard's snapshot onto the (fresh) node at ``spec``.
+
+    Loads the owner snapshot, uploads the complete server state to
+    ``spec.host:spec.port`` under ``spec.index_id`` — the same handles
+    the routers already address, so no router-side change beyond the
+    topology bump is needed — and returns the number of records the
+    shard now serves.  Raises :class:`ClusterError` when the target
+    node cannot be reached or refuses the upload.
+    """
+    from repro.io.snapshot import load_scheme
+    from repro.protocol.client import RemoteRangeClient
+
+    scheme = load_scheme(snapshot_file, passphrase)
+    if transport_factory is not None:
+        transport = transport_factory(spec)
+    else:
+        from repro.net import NetTransport
+
+        transport = NetTransport(
+            spec.host,
+            spec.port,
+            pool_size=pool_size,
+            timeout_s=timeout_s,
+            ssl=ssl,
+        )
+    try:
+        client = RemoteRangeClient(scheme, transport, index_id=spec.index_id)
+        client.outsource(records=None)
+    except TransportError as exc:
+        raise ClusterError(
+            f"bootstrap of shard {spec.shard} onto "
+            f"{spec.host}:{spec.port} failed: {exc}"
+        ) from exc
+    finally:
+        close = getattr(transport, "close", None)
+        if close is not None:
+            close()
+    return scheme.size

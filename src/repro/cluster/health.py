@@ -1,0 +1,129 @@
+"""Cluster health: aggregate N per-shard stats replies into one view.
+
+Each shard's :class:`~repro.net.RsseNetServer` already answers a merged
+stats document (``{"server": core counters, "net": transport
+counters}``); this module rolls those up into the operator's cluster
+view — totals across reachable shards, a fleet-weighted exec-cache hit
+rate, per-index inflight depths, and an explicit list of unreachable
+shards.  Pure data-in/data-out: the router collects, this summarizes,
+the CLI renders.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.topology import ShardMap
+
+#: Transport counters summed across reachable shards.
+_NET_TOTALS = (
+    "connections_total",
+    "connections_open",
+    "frames_in",
+    "frames_out",
+    "bytes_in",
+    "bytes_out",
+    "errors",
+    "framing_errors",
+)
+
+#: Core-server counters summed across reachable shards.
+_SERVER_TOTALS = ("handles", "indexes", "stored_bytes")
+
+
+def summarize(shard_map: ShardMap, probes: "list[dict]") -> dict:
+    """Merge per-shard probe results into the cluster health document.
+
+    ``probes`` is one entry per shard, in shard order:
+    ``{"reachable": True, "stats": <stats reply>}`` or
+    ``{"reachable": False, "error": <str>}``.
+    """
+    shards = []
+    totals = {key: 0 for key in _NET_TOTALS + _SERVER_TOTALS}
+    cache_hits = 0
+    cache_lookups = 0
+    unreachable = []
+    for spec, probe in zip(shard_map.shards, probes):
+        entry = {
+            "shard": spec.shard,
+            "address": f"{spec.host}:{spec.port}",
+            "reachable": bool(probe.get("reachable")),
+        }
+        if not entry["reachable"]:
+            entry["error"] = probe.get("error", "unreachable")
+            unreachable.append(spec.shard)
+            shards.append(entry)
+            continue
+        stats = probe.get("stats", {})
+        net = stats.get("net", {})
+        server = stats.get("server", {})
+        for key in _NET_TOTALS:
+            totals[key] += int(net.get(key, 0))
+        for key in _SERVER_TOTALS:
+            totals[key] += int(server.get(key, 0))
+        cache = server.get("exec_cache")
+        if cache:
+            cache_hits += int(cache.get("hits", 0))
+            cache_lookups += int(cache.get("hits", 0)) + int(
+                cache.get("misses", 0)
+            )
+        entry.update(
+            label=net.get("shard", ""),
+            stored_bytes=int(server.get("stored_bytes", 0)),
+            frames_in=int(net.get("frames_in", 0)),
+            errors=int(net.get("errors", 0)),
+            inflight_by_index=net.get("inflight_by_index", {}),
+            exec_cache=cache,
+            ops=net.get("ops", {}),
+        )
+        shards.append(entry)
+    return {
+        "topology_version": shard_map.version,
+        "shard_count": len(shard_map),
+        "reachable": len(shard_map) - len(unreachable),
+        "unreachable_shards": unreachable,
+        "totals": totals,
+        # Fleet-weighted: shards answering more lookups weigh more —
+        # the number capacity planning actually wants, as opposed to a
+        # mean of per-shard ratios.
+        "exec_cache_hit_rate": (
+            cache_hits / cache_lookups if cache_lookups else 0.0
+        ),
+        "shards": shards,
+    }
+
+
+def render_health(health: dict) -> str:
+    """Human-readable health table (the ``cluster`` CLI's output)."""
+    lines = [
+        f"cluster topology v{health['topology_version']}: "
+        f"{health['reachable']}/{health['shard_count']} shards reachable, "
+        f"{health['totals']['stored_bytes']} bytes stored, "
+        f"{health['totals']['frames_in']} frames served, "
+        f"exec-cache hit rate {health['exec_cache_hit_rate']:.1%}"
+    ]
+    header = f"{'shard':>5}  {'address':<21} {'state':<7} {'stored B':>10} {'frames':>8} {'errors':>7}  busiest index"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for entry in health["shards"]:
+        if not entry["reachable"]:
+            lines.append(
+                f"{entry['shard']:>5}  {entry['address']:<21} "
+                f"{'DOWN':<7} {'-':>10} {'-':>8} {'-':>7}  {entry['error']}"
+            )
+            continue
+        inflight = entry.get("inflight_by_index", {})
+        busiest = ""
+        if inflight:
+            index_id, depth = max(
+                inflight.items(), key=lambda kv: kv[1].get("peak", 0)
+            )
+            busiest = (
+                f"{index_id} (now {depth.get('current', 0)}, "
+                f"peak {depth.get('peak', 0)})"
+            )
+        label = f" [{entry['label']}]" if entry.get("label") else ""
+        lines.append(
+            f"{entry['shard']:>5}  {entry['address']:<21} "
+            f"{'up' + label:<7} {entry['stored_bytes']:>10} "
+            f"{entry['frames_in']:>8} {entry['errors']:>7}  {busiest}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,407 @@
+"""Client-side scatter-gather router over N shard servers.
+
+``ClusterRouter`` is the owner's single query endpoint for a sharded
+deployment: it holds one scheme instance (keys and all) per shard, fans
+every query batch out to all shards as
+:class:`~repro.protocol.messages.MultiSearchRequest` frames over pooled
+:class:`~repro.net.NetTransport` lanes, and gathers the per-shard
+answers into exactly the result the single-server
+:class:`~repro.protocol.RemoteRangeClient` contract promises.  Because
+records are partitioned by id (see :mod:`repro.cluster.topology`), the
+per-shard result sets are disjoint and the merge is a deterministic
+union — byte-identical to one server hosting everything.
+
+Failure handling is per shard and bounded: a lane that raises
+:class:`~repro.errors.TransportError` is torn down, rebuilt after
+exponential backoff, and the shard's *whole* sub-batch retried (every
+cluster operation is idempotent: uploads are content-addressed,
+searches and fetches are pure reads).  A shard that stays dead through
+the retry budget raises :class:`~repro.errors.ClusterError` naming the
+shard — partial answers are never returned, because a silently missing
+shard would be silently missing results.
+
+Topology changes arrive as whole new :class:`ShardMap` versions via
+:meth:`apply_topology`; regressions and same-version conflicts raise
+:class:`~repro.errors.StaleTopologyError`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.cluster.topology import ShardMap, ShardSpec
+from repro.errors import ClusterError, StaleTopologyError, TransportError
+from repro.protocol.client import RemoteRangeClient
+
+
+@dataclass
+class _Lane:
+    """One live shard attachment: transport + owner client."""
+
+    spec: ShardSpec
+    transport: object
+    client: RemoteRangeClient
+
+
+def _default_transport_factory(**net_kwargs) -> "Callable[[ShardSpec], object]":
+    def factory(spec: ShardSpec):
+        from repro.net import NetTransport
+
+        return NetTransport(spec.host, spec.port, **net_kwargs)
+
+    return factory
+
+
+class ClusterRouter:
+    """Scatter-gather owner endpoint over one scheme instance per shard.
+
+    Parameters
+    ----------
+    schemes:
+        One :class:`~repro.core.scheme.RangeScheme` per shard, in shard
+        order.  Each holds its own keys; the router never mixes key
+        material across shards.
+    shard_map:
+        The versioned topology this router serves.
+    retries / backoff_s:
+        Router-level retry budget *per shard operation*, on top of the
+        transport's own reconnect logic: a failed lane is rebuilt and
+        the shard's sub-batch resent, with ``backoff_s * 2**attempt``
+        sleeps between attempts.
+    transport_factory:
+        ``ShardSpec -> Transport`` — injectable for tests; defaults to
+        a pooled :class:`~repro.net.NetTransport` built with
+        ``pool_size``/``timeout_s``/``ssl``.
+    scatter_workers:
+        Thread count for the fan-out pool (default: 4 per shard, so
+        several callers can scatter concurrently).
+    """
+
+    def __init__(
+        self,
+        schemes: "Sequence",
+        shard_map: ShardMap,
+        *,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+        pool_size: int = 2,
+        timeout_s: float = 30.0,
+        ssl=None,
+        transport_factory: "Callable[[ShardSpec], object] | None" = None,
+        scatter_workers: "int | None" = None,
+    ) -> None:
+        if len(schemes) != len(shard_map):
+            raise ClusterError(
+                f"{len(schemes)} schemes for {len(shard_map)} shards"
+            )
+        self._schemes = list(schemes)
+        self.shard_map = shard_map
+        self.retries = max(0, int(retries))
+        self.backoff_s = backoff_s
+        self._transport_factory = (
+            transport_factory
+            if transport_factory is not None
+            else _default_transport_factory(
+                pool_size=pool_size, timeout_s=timeout_s, ssl=ssl
+            )
+        )
+        self._lanes: "list[_Lane | None]" = [None] * len(shard_map)
+        self._lane_locks = [threading.Lock() for _ in range(len(shard_map))]
+        self._attached = False
+        self._pool = ThreadPoolExecutor(
+            max_workers=(
+                scatter_workers
+                if scatter_workers is not None
+                else 4 * len(shard_map)
+            ),
+            thread_name_prefix="rsse-cluster",
+        )
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def from_snapshots(
+        cls,
+        snapshot_dir,
+        shard_map: ShardMap,
+        *,
+        passphrase: "str | None" = None,
+        **kwargs,
+    ) -> "ClusterRouter":
+        """Re-open a router from per-shard owner snapshots.
+
+        The multi-process/restart path: a fresh owner process loads the
+        key material written by :meth:`outsource`'s ``snapshot_dir``
+        and attaches to the live cluster without re-uploading anything.
+        """
+        from repro.cluster.bootstrap import shard_snapshot_path
+        from repro.io.snapshot import load_scheme
+
+        schemes = [
+            load_scheme(shard_snapshot_path(snapshot_dir, i), passphrase)
+            for i in range(len(shard_map))
+        ]
+        router = cls(schemes, shard_map, **kwargs)
+        router.attach()
+        return router
+
+    def attach(self) -> None:
+        """Adopt already-uploaded shard state (same keys, any process)."""
+        self._attached = True
+
+    def outsource(
+        self,
+        records,
+        *,
+        payloads=None,
+        snapshot_dir=None,
+        snapshot_passphrase: "str | None" = None,
+    ) -> "list[int]":
+        """Partition, build, (optionally snapshot,) upload — per shard.
+
+        Records are split by :meth:`ShardMap.shard_of` on their id;
+        each shard's scheme builds its complete index locally, then
+        uploads its whole server state and detaches — after this the
+        owner holds only keys, exactly as in the single-server flow.
+
+        ``snapshot_dir`` additionally writes one owner snapshot per
+        shard (taken *before* the upload detaches local state) — the
+        raw material :func:`~repro.cluster.bootstrap.bootstrap_shard`
+        later replays onto a replacement node.  Returns the per-shard
+        record counts.
+        """
+        from repro.io.snapshot import save_scheme
+
+        parts: "list[list]" = [[] for _ in self.shard_map.shards]
+        for record in records:
+            rid = record[0] if isinstance(record, tuple) else record.id
+            parts[self.shard_map.shard_of(rid)].append(record)
+        payload_parts: "list[dict | None]" = [None] * len(parts)
+        if payloads is not None:
+            payload_parts = [
+                {
+                    (r[0] if isinstance(r, tuple) else r.id): payloads[
+                        r[0] if isinstance(r, tuple) else r.id
+                    ]
+                    for r in part
+                    if (r[0] if isinstance(r, tuple) else r.id) in payloads
+                }
+                for part in parts
+            ]
+        counts = []
+        for shard, part in enumerate(parts):
+            scheme = self._schemes[shard]
+            scheme.build_index(part, payloads=payload_parts[shard])
+            if snapshot_dir is not None:
+                from repro.cluster.bootstrap import shard_snapshot_path
+
+                save_scheme(
+                    scheme,
+                    shard_snapshot_path(snapshot_dir, shard),
+                    snapshot_passphrase,
+                )
+            self._with_retry(
+                shard, lambda lane: lane.client.outsource(records=None)
+            )
+            counts.append(len(part))
+        self._attached = True
+        return counts
+
+    def close(self) -> None:
+        """Tear down every lane and the scatter pool; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in range(len(self.shard_map)):
+            self._drop_lane(shard)
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ClusterRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- lanes ---------------------------------------------------------------
+
+    def _lane(self, shard: int) -> _Lane:
+        with self._lane_locks[shard]:
+            if self._closed:
+                raise ClusterError("router is closed")
+            lane = self._lanes[shard]
+            if lane is not None:
+                return lane
+            spec = self.shard_map.shards[shard]
+            transport = self._transport_factory(spec)
+            client = RemoteRangeClient(
+                self._schemes[shard], transport, index_id=spec.index_id
+            )
+            if self._attached:
+                client.attach()
+            lane = _Lane(spec, transport, client)
+            self._lanes[shard] = lane
+            return lane
+
+    def _drop_lane(self, shard: int) -> None:
+        with self._lane_locks[shard]:
+            lane = self._lanes[shard]
+            self._lanes[shard] = None
+        if lane is not None:
+            close = getattr(lane.transport, "close", None)
+            if close is not None:
+                try:
+                    close()
+                except Exception:  # noqa: BLE001 — already tearing down
+                    pass
+
+    def _with_retry(self, shard: int, op: "Callable[[_Lane], object]"):
+        """Run one shard operation through the bounded retry loop.
+
+        Every failure tears the lane down completely (transport closed,
+        client discarded) before backing off — a half-dead pooled
+        connection must never be reused for the retry.
+        """
+        last: "BaseException | None" = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self._drop_lane(shard)
+                time.sleep(self.backoff_s * (2 ** (attempt - 1)))
+            try:
+                return op(self._lane(shard))
+            except TransportError as exc:
+                last = exc
+        self._drop_lane(shard)
+        spec = self.shard_map.shards[shard]
+        raise ClusterError(
+            f"shard {shard} ({spec.host}:{spec.port}) failed after "
+            f"{self.retries + 1} attempts: {last!r}"
+        ) from last
+
+    # -- queries -------------------------------------------------------------
+
+    def query(self, lo: int, hi: int) -> "frozenset[int]":
+        """One range query across the cluster (union of shard answers)."""
+        return self.query_many([(lo, hi)])[0]
+
+    def query_many(
+        self,
+        ranges: "Sequence[tuple[int, int]]",
+        *,
+        dispatch_hint: "str | None" = None,
+    ) -> "list[frozenset[int]]":
+        """Scatter a query batch to every shard, gather, merge.
+
+        Each shard executes the *whole* batch against its slice (one
+        pipelined ``MultiSearchRequest`` per shard, all shards in
+        flight concurrently); per-range answers merge by union.  The
+        shards hold disjoint record subsets, so the union is exactly
+        the single-server answer, in the same order.
+        """
+        if not ranges:
+            return []
+        ranges = list(ranges)
+        futures = [
+            self._pool.submit(
+                self._with_retry,
+                shard,
+                lambda lane: lane.client.query_many(
+                    ranges, dispatch_hint=dispatch_hint
+                ),
+            )
+            for shard in range(len(self.shard_map))
+        ]
+        per_shard = [future.result() for future in futures]
+        return [
+            frozenset().union(*(shard_results[i] for shard_results in per_shard))
+            for i in range(len(ranges))
+        ]
+
+    def fetch_payloads(self, ids: "Sequence[int]") -> "dict[int, bytes]":
+        """Fetch + decrypt full documents, routed to their owning shards."""
+        parts = self.shard_map.partition(ids)
+        futures = {
+            shard: self._pool.submit(
+                self._with_retry,
+                shard,
+                lambda lane, part=part: lane.client.fetch_payloads(part),
+            )
+            for shard, part in enumerate(parts)
+            if part
+        }
+        merged: "dict[int, bytes]" = {}
+        for future in futures.values():
+            merged.update(future.result())
+        return merged
+
+    def retire(self) -> None:
+        """Drop every shard's index on its server (idempotent)."""
+        for shard in range(len(self.shard_map)):
+            self._with_retry(shard, lambda lane: lane.client.retire())
+
+    # -- topology ------------------------------------------------------------
+
+    def apply_topology(self, new_map: ShardMap) -> None:
+        """Switch to a newer shard map (node replacements, port moves).
+
+        Strictly monotone: an older version raises
+        :class:`StaleTopologyError`; the *same* version with different
+        contents is a split-brain signal and also raises.  Shard count
+        changes are not a router-level move (the record partition
+        itself changes — that is a re-outsource), so they raise
+        :class:`ClusterError`.  Lanes whose spec changed are torn down
+        and redial lazily at the next operation.
+        """
+        if new_map.version < self.shard_map.version:
+            raise StaleTopologyError(
+                f"refusing topology regression v{new_map.version} < "
+                f"v{self.shard_map.version}"
+            )
+        if new_map.version == self.shard_map.version:
+            if new_map != self.shard_map:
+                raise StaleTopologyError(
+                    f"conflicting shard maps at version {new_map.version}"
+                )
+            return
+        if len(new_map) != len(self.shard_map):
+            raise ClusterError(
+                f"shard count change ({len(self.shard_map)} -> "
+                f"{len(new_map)}) repartitions records; re-outsource instead"
+            )
+        old = self.shard_map
+        self.shard_map = new_map
+        for shard, (old_spec, new_spec) in enumerate(
+            zip(old.shards, new_map.shards)
+        ):
+            if old_spec != new_spec:
+                self._drop_lane(shard)
+
+    # -- health --------------------------------------------------------------
+
+    def health(self) -> dict:
+        """Cluster health view: per-shard stats plus aggregate rollup.
+
+        Never raises on a dead shard — unreachable nodes are *reported*
+        (``reachable: false`` with the error string), because the whole
+        point of a health probe is surviving the outage it measures.
+        """
+        from repro.cluster.health import summarize
+
+        def probe(shard: int) -> dict:
+            try:
+                stats = self._with_retry(
+                    shard, lambda lane: lane.transport.stats()
+                )
+                return {"reachable": True, "stats": stats}
+            except ClusterError as exc:
+                return {"reachable": False, "error": str(exc)}
+
+        futures = [
+            self._pool.submit(probe, shard)
+            for shard in range(len(self.shard_map))
+        ]
+        return summarize(self.shard_map, [f.result() for f in futures])

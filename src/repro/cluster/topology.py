@@ -1,0 +1,156 @@
+"""Versioned shard maps: which node owns which slice of the records.
+
+A cluster deployment is N independent :class:`~repro.net.RsseNetServer`
+nodes, each hosting a *complete* encrypted index over a disjoint subset
+of the records.  Partitioning is by **record id**, not by EDB label:
+label-hash striping would scatter one keyword's counter chain across
+nodes and break the Π_bas counter walk (a node holding counters 0 and 2
+but not 1 would retire the walk early and silently drop results).  With
+document partitioning every shard's index is self-contained — each
+shard runs its own scheme instance under its own keys, and the router's
+merge is a plain union of disjoint result sets.
+
+The :class:`ShardMap` is the deployment's source of truth: a version
+number plus one :class:`ShardSpec` per shard.  Every topology change
+(a node replaced after bootstrap, a port move) produces a *new* map
+with a higher version; routers refuse to regress
+(:class:`~repro.errors.StaleTopologyError`), so a stale operator script
+can never point live traffic at a decommissioned node.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import ClusterError
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's address and wire identity.
+
+    ``index_id`` is the base wire handle the shard's owner client uses
+    (pinned, not random, so a bootstrap re-upload from a snapshot lands
+    on the same handles the router already queries).
+    """
+
+    shard: int
+    host: str
+    port: int
+    index_id: int
+
+    def to_dict(self) -> dict:
+        return {
+            "shard": self.shard,
+            "host": self.host,
+            "port": self.port,
+            "index_id": self.index_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardSpec":
+        return cls(
+            shard=int(data["shard"]),
+            host=str(data["host"]),
+            port=int(data["port"]),
+            index_id=int(data["index_id"]),
+        )
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """Versioned record-id → shard assignment plus shard addresses."""
+
+    version: int
+    shards: "tuple[ShardSpec, ...]"
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ClusterError("a shard map needs at least one shard")
+        numbers = [spec.shard for spec in self.shards]
+        if numbers != list(range(len(self.shards))):
+            raise ClusterError(
+                f"shard map must number shards 0..{len(self.shards) - 1} "
+                f"in order, got {numbers}"
+            )
+        if self.version < 0:
+            raise ClusterError("shard map version must be non-negative")
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def shard_of(self, record_id: int) -> int:
+        """The shard owning ``record_id``.
+
+        CRC-32 over the id's fixed 8-byte encoding: stable across
+        processes and restarts (unlike ``hash()``), uniform enough for
+        load balance, and deliberately the same hash family the storage
+        layer stripes labels with.
+        """
+        return zlib.crc32(int(record_id).to_bytes(8, "big")) % len(self.shards)
+
+    def partition(self, record_ids) -> "list[list[int]]":
+        """Group ids into per-shard lists (order preserved within each)."""
+        parts: "list[list[int]]" = [[] for _ in self.shards]
+        for rid in record_ids:
+            parts[self.shard_of(rid)].append(rid)
+        return parts
+
+    def replace(self, shard: int, host: str, port: int) -> "ShardMap":
+        """A *new* map (version + 1) with one shard re-addressed.
+
+        The record→shard assignment is untouched — this is the
+        node-replacement move (bootstrap a fresh box, point the map at
+        it), not a rebalance.
+        """
+        specs = list(self.shards)
+        old = specs[shard]
+        specs[shard] = ShardSpec(shard, host, port, old.index_id)
+        return ShardMap(self.version + 1, tuple(specs))
+
+    # -- serialization (operator tooling: files, CLI) -------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "shards": [spec.to_dict() for spec in self.shards],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardMap":
+        return cls(
+            version=int(data["version"]),
+            shards=tuple(
+                ShardSpec.from_dict(entry) for entry in data["shards"]
+            ),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ShardMap":
+        return cls.from_dict(json.loads(text))
+
+
+def make_shard_map(
+    addresses: "list[tuple[str, int]]",
+    *,
+    version: int = 0,
+    index_id_base: int = 910_000,
+    index_id_stride: int = 16,
+) -> ShardMap:
+    """Build a fresh map over ``addresses`` with pinned wire handles.
+
+    Handles are spaced ``index_id_stride`` apart so multi-index schemes
+    (SRC-i uploads two EDBs per shard) never collide across shards.
+    """
+    return ShardMap(
+        version,
+        tuple(
+            ShardSpec(i, host, port, index_id_base + i * index_id_stride)
+            for i, (host, port) in enumerate(addresses)
+        ),
+    )

@@ -59,6 +59,23 @@ class TransportError(ReproError):
     request timed out, or the peer vanished mid-exchange."""
 
 
+class ClusterError(TransportError):
+    """A cluster operation failed after exhausting a shard's retries.
+
+    Raised by the scatter-gather router when one shard lane stays
+    unreachable (or keeps failing) through its bounded backoff budget —
+    the cluster-level analogue of :class:`TransportError`, naming the
+    shard so operators know *which* node to bootstrap or replace.
+    """
+
+
+class StaleTopologyError(ClusterError):
+    """A shard map older than (or conflicting with) the router's current
+    one was applied.  Topology changes are versioned precisely so a
+    router can refuse to regress to a map that no longer describes the
+    cluster."""
+
+
 class FramingError(TransportError):
     """The byte stream does not frame: a garbage or oversized length
     header, or trailing bytes that can never complete a frame.

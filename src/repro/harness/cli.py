@@ -6,6 +6,7 @@ Usage::
     rsse-experiments all --csv-dir results/
     rsse-experiments serve --port 9471 --sqlite server.db
     rsse-experiments connect --port 9471 --records 500 --queries 20
+    rsse-experiments cluster --shards 4 --bootstrap
 
 Every experiment subcommand prints the same rows/series the paper
 reports; ``--csv-dir`` additionally writes machine-readable output.
@@ -203,7 +204,34 @@ def _serve_main(argv: "list[str]") -> int:
         default=64,
         help="reject frames larger than this many MiB",
     )
+    parser.add_argument(
+        "--shard",
+        default="",
+        metavar="I/N",
+        help="cluster shard label (e.g. 2/4) — rides the stats frame so "
+        "a router's health view can title this node",
+    )
+    parser.add_argument(
+        "--tls-cert",
+        metavar="PEM",
+        default=None,
+        help="serve TLS with this certificate chain (requires --tls-key)",
+    )
+    parser.add_argument(
+        "--tls-key",
+        metavar="PEM",
+        default=None,
+        help="private key for --tls-cert",
+    )
     args = parser.parse_args(argv)
+    if bool(args.tls_cert) != bool(args.tls_key):
+        parser.error("--tls-cert and --tls-key must be given together")
+    ssl_context = None
+    if args.tls_cert:
+        import ssl as ssl_module
+
+        ssl_context = ssl_module.SSLContext(ssl_module.PROTOCOL_TLS_SERVER)
+        ssl_context.load_cert_chain(args.tls_cert, args.tls_key)
     backend = (
         SqliteBackend(args.sqlite) if args.sqlite else InMemoryBackend()
     )
@@ -213,16 +241,20 @@ def _serve_main(argv: "list[str]") -> int:
         port=args.port,
         max_inflight=args.max_inflight,
         max_frame_bytes=args.max_frame_mb << 20,
+        ssl=ssl_context,
+        shard=args.shard,
     )
 
     async def run() -> None:
         import signal
 
         await server.start()
+        shard_note = f", shard {args.shard}" if args.shard else ""
+        tls_note = ", tls" if ssl_context is not None else ""
         print(
             f"rsse-server listening on {args.host}:{server.port} "
             f"(backend: {'sqlite:' + args.sqlite if args.sqlite else 'memory'}, "
-            f"max in-flight: {server.max_inflight})",
+            f"max in-flight: {server.max_inflight}{shard_note}{tls_note})",
             flush=True,
         )
         # ^C/SIGTERM set an event instead of raising, so shutdown goes
@@ -332,6 +364,147 @@ def _connect_main(argv: "list[str]") -> int:
     return 1 if mismatches else 0
 
 
+def _cluster_main(argv: "list[str]") -> int:
+    """``rsse-experiments cluster``: self-hosted N-shard demo.
+
+    Spins up N in-process shard servers, outsources a seeded dataset
+    through the scatter-gather router (writing per-shard bootstrap
+    snapshots), verifies cluster answers against the plaintext oracle,
+    and prints the cluster health table.  With ``--bootstrap`` it then
+    walks the full recovery story: kill one shard, show it DOWN,
+    bootstrap a replacement node from the snapshot, bump the topology,
+    and verify answers are back to byte-identical.
+    """
+    import random
+    import tempfile
+    import time
+
+    from repro.baselines.plaintext import PlaintextRangeIndex
+    from repro.cluster import (
+        ClusterRouter,
+        bootstrap_shard,
+        make_shard_map,
+        render_health,
+        shard_snapshot_path,
+    )
+    from repro.core.registry import SCHEMES, make_scheme
+    from repro.net import serve_in_thread
+
+    parser = argparse.ArgumentParser(
+        prog="rsse-experiments cluster",
+        description="Host an N-shard cluster in-process, verify "
+        "scatter-gather answers against the plaintext oracle, and "
+        "optionally walk the kill/bootstrap recovery path.",
+    )
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument(
+        "--scheme",
+        default="logarithmic-brc",
+        choices=sorted(n for n in SCHEMES if n != "pb"),
+    )
+    parser.add_argument("--records", type=int, default=400)
+    parser.add_argument("--domain", type=int, default=1 << 16)
+    parser.add_argument("--queries", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--bootstrap",
+        action="store_true",
+        help="also kill shard 0 and walk the snapshot-bootstrap recovery",
+    )
+    args = parser.parse_args(argv)
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
+
+    rng = random.Random(args.seed)
+    records = [(i, rng.randrange(args.domain)) for i in range(args.records)]
+    oracle = PlaintextRangeIndex(records)
+    ranges = []
+    for _ in range(args.queries):
+        lo = rng.randrange(args.domain)
+        ranges.append((lo, rng.randrange(lo, args.domain)))
+    kwargs = (
+        {"intersection_policy": "allow"}
+        if args.scheme.startswith("constant")
+        else {}
+    )
+
+    def verify(router) -> int:
+        got = router.query_many(ranges)
+        return sum(
+            1
+            for (lo, hi), ids in zip(ranges, got)
+            if ids != frozenset(oracle.query(lo, hi))
+        )
+
+    servers = [
+        serve_in_thread(shard=f"{i}/{args.shards}")
+        for i in range(args.shards)
+    ]
+    mismatches = 0
+    with tempfile.TemporaryDirectory() as snapshot_dir:
+        shard_map = make_shard_map([(s.host, s.port) for s in servers])
+        schemes = [
+            make_scheme(
+                args.scheme, args.domain,
+                rng=random.Random(args.seed + 1 + i), **kwargs,
+            )
+            for i in range(args.shards)
+        ]
+        router = ClusterRouter(schemes, shard_map)
+        try:
+            snapshot_ok = args.scheme != "quadratic"  # no snapshot support
+            t0 = time.perf_counter()
+            counts = router.outsource(
+                records,
+                snapshot_dir=snapshot_dir if snapshot_ok else None,
+            )
+            print(
+                f"outsourced {args.records} records over {args.shards} "
+                f"shards ({args.scheme}) in "
+                f"{(time.perf_counter() - t0) * 1000:.1f} ms; "
+                f"per-shard counts: {counts}"
+            )
+            mismatches = verify(router)
+            print(
+                f"{args.queries} scatter-gather queries: "
+                f"{mismatches} oracle mismatches"
+            )
+            print(render_health(router.health()))
+            if args.bootstrap and not snapshot_ok:
+                print("(--bootstrap skipped: quadratic has no snapshots)")
+            elif args.bootstrap:
+                print("\n-- killing shard 0 --")
+                servers[0].stop()
+                print(render_health(router.health()))
+                replacement = serve_in_thread(shard=f"0/{args.shards}")
+                servers[0] = replacement
+                new_map = router.shard_map.replace(
+                    0, replacement.host, replacement.port
+                )
+                restored = bootstrap_shard(
+                    shard_snapshot_path(snapshot_dir, 0),
+                    new_map.shards[0],
+                )
+                router.apply_topology(new_map)
+                print(
+                    f"bootstrapped shard 0 onto "
+                    f"{replacement.host}:{replacement.port} "
+                    f"({restored} records); topology now v{new_map.version}"
+                )
+                recovered = verify(router)
+                mismatches += recovered
+                print(
+                    f"{args.queries} post-recovery queries: "
+                    f"{recovered} oracle mismatches"
+                )
+                print(render_health(router.health()))
+        finally:
+            router.close()
+            for server in servers:
+                server.stop()
+    return 1 if mismatches else 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     # The network subcommands own their argument namespaces (ports and
@@ -340,6 +513,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _serve_main(argv[1:])
     if argv and argv[0] == "connect":
         return _connect_main(argv[1:])
+    if argv and argv[0] == "cluster":
+        return _cluster_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="rsse-experiments",
         description="Regenerate the tables/figures of 'Practical Private "

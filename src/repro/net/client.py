@@ -37,10 +37,13 @@ from repro.protocol import messages as msg
 class _PooledConnection:
     """One pipelined connection: FIFO futures matched to FIFO replies."""
 
-    def __init__(self, host: str, port: int, max_frame_bytes: int) -> None:
+    def __init__(
+        self, host: str, port: int, max_frame_bytes: int, ssl=None
+    ) -> None:
         self._host = host
         self._port = port
         self._max_frame_bytes = max_frame_bytes
+        self._ssl = ssl
         self._reader: "asyncio.StreamReader | None" = None
         self._writer: "asyncio.StreamWriter | None" = None
         self._read_task: "asyncio.Task | None" = None
@@ -49,7 +52,9 @@ class _PooledConnection:
         self.connected = False
 
     async def open(self) -> None:
-        reader, writer = await asyncio.open_connection(self._host, self._port)
+        reader, writer = await asyncio.open_connection(
+            self._host, self._port, ssl=self._ssl
+        )
         sock = writer.get_extra_info("socket")
         if sock is not None:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -130,6 +135,7 @@ class AsyncNetTransport:
         retries: int = 4,
         backoff_s: float = 0.05,
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        ssl=None,
     ) -> None:
         self.host = host
         self.port = port
@@ -138,6 +144,7 @@ class AsyncNetTransport:
         self.retries = max(0, int(retries))
         self.backoff_s = backoff_s
         self.max_frame_bytes = max_frame_bytes
+        self.ssl = ssl
         #: Set by :meth:`close`; checked at every retry boundary so a
         #: request in flight on another thread fails fast with
         #: TransportError instead of redialing (and leaking a socket)
@@ -171,7 +178,7 @@ class AsyncNetTransport:
                 if self.closed:
                     raise TransportError("transport is closed")
                 conn = _PooledConnection(
-                    self.host, self.port, self.max_frame_bytes
+                    self.host, self.port, self.max_frame_bytes, ssl=self.ssl
                 )
                 try:
                     await conn.open()
@@ -270,6 +277,7 @@ class NetTransport:
         retries: int = 4,
         backoff_s: float = 0.05,
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        ssl=None,
     ) -> None:
         self._async = AsyncNetTransport(
             host,
@@ -279,6 +287,7 @@ class NetTransport:
             retries=retries,
             backoff_s=backoff_s,
             max_frame_bytes=max_frame_bytes,
+            ssl=ssl,
         )
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(

@@ -52,6 +52,21 @@ WRITE_TAGS = frozenset(
     }
 )
 
+#: Request frames whose body leads with an 8-byte index handle — the
+#: tags the per-index inflight gauge can attribute.
+INDEXED_TAGS = frozenset(
+    {
+        msg.TAG_UPLOAD_INDEX,
+        msg.TAG_UPLOAD_RECORDS,
+        msg.TAG_UPLOAD_PAYLOADS,
+        msg.TAG_SEARCH_REQUEST,
+        msg.TAG_MULTI_SEARCH_REQUEST,
+        msg.TAG_FETCH_REQUEST,
+        msg.TAG_FETCH_PAYLOADS,
+        msg.TAG_DROP_INDEX,
+    }
+)
+
 #: Tag → operation name for the per-op latency surface.
 OP_NAMES = {
     msg.TAG_UPLOAD_INDEX: "upload-index",
@@ -81,11 +96,32 @@ class ServerStats:
     inflight_peak: int = 0
     #: op name → [completed count, summed seconds].
     op_seconds: "dict[str, list]" = field(default_factory=dict)
+    #: index handle → frames of that index currently being processed.
+    #: The router's health view reads this to spot a handle whose
+    #: queries are piling up behind a slow store.
+    index_inflight: "dict[int, int]" = field(default_factory=dict)
+    #: index handle → deepest inflight depth ever observed.
+    index_inflight_peak: "dict[int, int]" = field(default_factory=dict)
 
     def record_op(self, name: str, seconds: float) -> None:
         entry = self.op_seconds.setdefault(name, [0, 0.0])
         entry[0] += 1
         entry[1] += seconds
+
+    def enter_index(self, index_id: int) -> None:
+        depth = self.index_inflight.get(index_id, 0) + 1
+        self.index_inflight[index_id] = depth
+        if depth > self.index_inflight_peak.get(index_id, 0):
+            self.index_inflight_peak[index_id] = depth
+
+    def leave_index(self, index_id: int) -> None:
+        depth = self.index_inflight.get(index_id, 0) - 1
+        if depth <= 0:
+            # Idle handles leave the gauge (bounded by live handles, not
+            # by every handle ever seen); the peak map keeps history.
+            self.index_inflight.pop(index_id, None)
+        else:
+            self.index_inflight[index_id] = depth
 
     def to_dict(self) -> dict:
         ops = {
@@ -106,6 +142,13 @@ class ServerStats:
             "errors": self.errors,
             "framing_errors": self.framing_errors,
             "inflight_peak": self.inflight_peak,
+            "inflight_by_index": {
+                str(index_id): {
+                    "current": self.index_inflight.get(index_id, 0),
+                    "peak": peak,
+                }
+                for index_id, peak in sorted(self.index_inflight_peak.items())
+            },
             "ops": ops,
         }
 
@@ -133,6 +176,27 @@ class RsseNetServer:
     drain_timeout_s:
         How long :meth:`stop` waits for in-flight work before closing
         connections anyway.
+    ssl:
+        An :class:`ssl.SSLContext` to serve TLS on the framed stream
+        (``None`` — the default — serves plaintext TCP).  Framing and
+        the protocol are byte-identical either way; only the transport
+        under them changes.
+    shard:
+        Operator label naming this server's slice of a cluster (e.g.
+        ``"2/4"``).  Purely observability: it rides the stats frame so
+        a router's health view can title each node.
+    sim_core_floor_s / sim_core_per_kb_s:
+        The *simulated single-core service-time model* — a bench knob
+        (``0.0``/``0.0``, i.e. off, for real use).  When set, every
+        response additionally holds a server-wide lock for
+        ``floor + per_kb × len(response)/1024`` seconds, modelling a
+        one-core box whose CPU cost is proportional to the bytes it
+        serves.  The lock is what makes it a *capacity* model rather
+        than added latency: requests on one server serialize through
+        it (one core!), while N shard servers own N independent locks
+        — so cluster scaling is measurable on a single-core CI
+        machine, the same way ``response_delay_s`` makes RTT hiding
+        measurable on loopback.
     """
 
     def __init__(
@@ -145,6 +209,10 @@ class RsseNetServer:
         max_inflight: int = 64,
         response_delay_s: float = 0.0,
         drain_timeout_s: float = 10.0,
+        ssl=None,
+        shard: str = "",
+        sim_core_floor_s: float = 0.0,
+        sim_core_per_kb_s: float = 0.0,
     ) -> None:
         self.core = core if core is not None else RsseServer()
         self._host = host
@@ -153,6 +221,11 @@ class RsseNetServer:
         self.max_inflight = max(1, int(max_inflight))
         self.response_delay_s = response_delay_s
         self.drain_timeout_s = drain_timeout_s
+        self._ssl = ssl
+        self.shard = shard
+        self.sim_core_floor_s = sim_core_floor_s
+        self.sim_core_per_kb_s = sim_core_per_kb_s
+        self._sim_core_lock: "asyncio.Lock | None" = None
         self.stats = ServerStats()
         self._server: "asyncio.base_events.Server | None" = None
         self._semaphore: "asyncio.Semaphore | None" = None
@@ -174,8 +247,9 @@ class RsseNetServer:
         self._idle = asyncio.Event()
         self._idle.set()
         self._semaphore = asyncio.Semaphore(self.max_inflight)
+        self._sim_core_lock = asyncio.Lock()
         self._server = await asyncio.start_server(
-            self._on_connection, self._host, self._requested_port
+            self._on_connection, self._host, self._requested_port, ssl=self._ssl
         )
         return self
 
@@ -380,6 +454,12 @@ class RsseNetServer:
     async def _process(self, frame: bytes) -> bytes:
         t0 = time.perf_counter()
         op = OP_NAMES.get(frame[0], "unknown")
+        index_id: "int | None" = None
+        if frame[0] in INDEXED_TAGS and len(frame) >= HEADER_SIZE + 8:
+            index_id = int.from_bytes(
+                frame[HEADER_SIZE : HEADER_SIZE + 8], "big"
+            )
+            self.stats.enter_index(index_id)
         try:
             if frame[0] == msg.TAG_STATS_REQUEST:
                 response = await self._stats_response()
@@ -392,10 +472,20 @@ class RsseNetServer:
         except Exception as exc:  # noqa: BLE001 — a reply must always go out
             response = msg.ErrorResponse.from_exception(exc).to_frame()
         finally:
+            if index_id is not None:
+                self.stats.leave_index(index_id)
             self._release()
         if response[:1] == bytes([msg.TAG_ERROR]):
             self.stats.errors += 1
         self.stats.record_op(op, time.perf_counter() - t0)
+        if self.sim_core_per_kb_s > 0 or self.sim_core_floor_s > 0:
+            # The simulated-core model: hold THIS server's one "core"
+            # for a service time proportional to the bytes served.
+            cost = self.sim_core_floor_s + self.sim_core_per_kb_s * (
+                len(response) / 1024.0
+            )
+            async with self._sim_core_lock:
+                await asyncio.sleep(cost)
         if self.response_delay_s > 0:
             await asyncio.sleep(self.response_delay_s)
         return response
@@ -419,8 +509,11 @@ class RsseNetServer:
         )
         # Hint tallies ride the core dict; the transport counters are
         # the genuinely new observability this layer adds.
+        net = self.stats.to_dict()
+        if self.shard:
+            net["shard"] = self.shard
         return msg.StatsResponse(
-            {"server": core_stats, "net": self.stats.to_dict()}
+            {"server": core_stats, "net": net}
         ).to_frame()
 
 

@@ -263,9 +263,22 @@ class RsseServer:
         adds no leakage.  The network layer merges its transport
         counters on top under the same frame pair.
         """
-        return {
+        stats = {
             "handles": len(self._databases),
             "indexes": self.index_count(),
             "stored_bytes": self.stored_bytes(),
             "dispatch_hints": dict(self.dispatch_hints),
         }
+        cache = getattr(self.executor, "cache", None)
+        if cache is not None:
+            # The exec engine's GGM-expansion cache: its hit rate is a
+            # real capacity signal (a cold cache means every Constant
+            # query pays full subtree expansion), so the cluster health
+            # view aggregates it per shard.
+            cache_stats = cache.stats()
+            lookups = cache_stats["hits"] + cache_stats["misses"]
+            cache_stats["hit_rate"] = (
+                cache_stats["hits"] / lookups if lookups else 0.0
+            )
+            stats["exec_cache"] = cache_stats
+        return stats

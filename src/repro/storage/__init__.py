@@ -8,6 +8,7 @@ from repro.storage.backend import (
     ShardedBackend,
     SqliteBackend,
     StorageBackend,
+    copy_backend,
 )
 
 __all__ = [
@@ -18,4 +19,5 @@ __all__ = [
     "ShardedBackend",
     "SqliteBackend",
     "StorageBackend",
+    "copy_backend",
 ]

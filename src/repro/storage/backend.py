@@ -417,6 +417,21 @@ class ShardedBackend(StorageBackend):
         """The shard responsible for ``key``."""
         return self.shards[zlib.crc32(bytes(key)) % len(self.shards)]
 
+    def shard_slice(self, index: int) -> StorageBackend:
+        """The ``index``-th stripe as a plain backend (a live view, not
+        a copy) — what a migration hands to the node taking over that
+        stripe."""
+        return self.shards[index]
+
+    def extract_shard(
+        self, index: int, dst: "StorageBackend | None" = None
+    ) -> StorageBackend:
+        """Copy stripe ``index`` out into ``dst`` (fresh in-memory when
+        omitted) and return it — a point-in-time export of one stripe,
+        for seeding a replacement node without handing it the live
+        sub-backend."""
+        return copy_backend(self.shards[index], dst)
+
     def _shard_index(self, key: bytes) -> int:
         return zlib.crc32(bytes(key)) % len(self.shards)
 
@@ -509,6 +524,25 @@ class ShardedBackend(StorageBackend):
     def close(self) -> None:
         for shard in self.shards:
             shard.close()
+
+
+def copy_backend(
+    src: StorageBackend, dst: "StorageBackend | None" = None
+) -> StorageBackend:
+    """Copy every namespace of ``src`` into ``dst`` (fresh in-memory
+    backend when omitted), returning ``dst``.
+
+    The workhorse of shard bootstrap: state exported from one node is
+    replayed onto a replacement's backend through the ordinary bulk
+    write path, so the copy costs one transaction per namespace on a
+    durable destination.  Values are opaque bytes throughout — copying
+    reveals nothing the source backend did not already hold.
+    """
+    if dst is None:
+        dst = InMemoryBackend()
+    for ns in src.namespaces():
+        dst.put_many(ns, src.items(ns))
+    return dst
 
 
 class PrefixedBackend(StorageBackend):

@@ -1,0 +1,268 @@
+"""Unit coverage for the cluster layer: topology, router, health,
+bootstrap plumbing.
+
+The differential guarantees (cluster ≡ single server for every scheme,
+recovery under kill) live in ``test_cluster_differential.py``; this file
+pins the mechanics — shard-map versioning, scatter-gather correctness
+against the oracle, retry exhaustion, topology application rules, and
+the snapshot round-trips.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+
+import pytest
+
+from repro.baselines.plaintext import PlaintextRangeIndex
+from repro.cluster import (
+    ClusterRouter,
+    ShardMap,
+    ShardSpec,
+    make_shard_map,
+    render_health,
+    shard_snapshot_path,
+)
+from repro.core.registry import make_scheme
+from repro.errors import ClusterError, StaleTopologyError
+from repro.net import NetTransport, serve_in_thread
+
+DOMAIN = 512
+
+
+def _records(seed: int, n: int = 120):
+    rng = random.Random(seed)
+    return [(i, rng.randrange(DOMAIN)) for i in range(n)]
+
+
+def _schemes(count: int, seed: int, name: str = "logarithmic-brc"):
+    return [
+        make_scheme(name, DOMAIN, rng=random.Random(seed + i))
+        for i in range(count)
+    ]
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+# ---------------------------------------------------------------------------
+# Topology
+# ---------------------------------------------------------------------------
+
+
+class TestShardMap:
+    def test_shard_of_is_deterministic_and_in_range(self):
+        smap = make_shard_map([("h", 1), ("h", 2), ("h", 3)])
+        assignments = [smap.shard_of(rid) for rid in range(1000)]
+        assert assignments == [smap.shard_of(rid) for rid in range(1000)]
+        assert set(assignments) == {0, 1, 2}  # every shard gets work
+
+    def test_partition_is_disjoint_and_complete(self):
+        smap = make_shard_map([("h", 1), ("h", 2)])
+        parts = smap.partition(range(200))
+        assert sorted(rid for part in parts for rid in part) == list(range(200))
+        assert all(
+            smap.shard_of(rid) == shard
+            for shard, part in enumerate(parts)
+            for rid in part
+        )
+
+    def test_replace_bumps_version_and_keeps_handles(self):
+        smap = make_shard_map([("a", 1), ("b", 2)], version=3)
+        bumped = smap.replace(1, "c", 9)
+        assert bumped.version == 4
+        assert bumped.shards[1].host == "c"
+        assert bumped.shards[1].index_id == smap.shards[1].index_id
+        assert bumped.shards[0] == smap.shards[0]
+        assert smap.version == 3  # original untouched (immutable maps)
+
+    def test_json_round_trip(self):
+        smap = make_shard_map([("a", 1), ("b", 2)], version=7)
+        assert ShardMap.from_json(smap.to_json()) == smap
+
+    def test_validation(self):
+        with pytest.raises(ClusterError):
+            ShardMap(0, ())
+        with pytest.raises(ClusterError):
+            ShardMap(0, (ShardSpec(1, "h", 1, 10),))  # must start at 0
+        with pytest.raises(ClusterError):
+            ShardMap(-1, (ShardSpec(0, "h", 1, 10),))
+
+    def test_handle_stride_leaves_room_for_multi_index_schemes(self):
+        smap = make_shard_map([("h", 1), ("h", 2)])
+        gap = smap.shards[1].index_id - smap.shards[0].index_id
+        assert gap >= 2  # SRC-i uploads two EDBs per shard
+
+
+# ---------------------------------------------------------------------------
+# Router mechanics (2 real shard servers)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def two_shards():
+    servers = [serve_in_thread(shard=f"{i}/2") for i in range(2)]
+    try:
+        yield servers
+    finally:
+        for server in servers:
+            server.stop()
+
+
+class TestClusterRouter:
+    def test_scatter_gather_matches_oracle(self, two_shards):
+        records = _records(seed=1)
+        oracle = PlaintextRangeIndex(records)
+        smap = make_shard_map([(s.host, s.port) for s in two_shards])
+        with ClusterRouter(_schemes(2, seed=10), smap) as router:
+            counts = router.outsource(records)
+            assert sum(counts) == len(records) and all(counts)
+            rng = random.Random(2)
+            for _ in range(12):
+                lo = rng.randrange(DOMAIN)
+                hi = rng.randrange(lo, DOMAIN)
+                assert router.query(lo, hi) == frozenset(oracle.query(lo, hi))
+
+    def test_payloads_route_to_owning_shards(self, two_shards):
+        records = _records(seed=3, n=40)
+        payloads = {rid: b"doc-%d" % rid for rid, _ in records}
+        smap = make_shard_map([(s.host, s.port) for s in two_shards])
+        with ClusterRouter(_schemes(2, seed=20), smap) as router:
+            router.outsource(records, payloads=payloads)
+            ids = sorted(router.query(0, DOMAIN - 1))
+            assert router.fetch_payloads(ids) == payloads
+
+    def test_health_view(self, two_shards):
+        records = _records(seed=4, n=60)
+        smap = make_shard_map([(s.host, s.port) for s in two_shards])
+        with ClusterRouter(_schemes(2, seed=30), smap) as router:
+            router.outsource(records)
+            router.query(0, 100)
+            health = router.health()
+            assert health["reachable"] == 2
+            assert health["unreachable_shards"] == []
+            assert health["totals"]["stored_bytes"] > 0
+            assert health["totals"]["indexes"] == 2
+            assert [s["label"] for s in health["shards"]] == ["0/2", "1/2"]
+            assert all(
+                "inflight_by_index" in s for s in health["shards"]
+            )
+            assert 0.0 <= health["exec_cache_hit_rate"] <= 1.0
+            rendered = render_health(health)
+            assert "2/2 shards reachable" in rendered
+
+    def test_health_reports_dead_shard_without_raising(self, two_shards):
+        records = _records(seed=5, n=60)
+        smap = make_shard_map([(s.host, s.port) for s in two_shards])
+        with ClusterRouter(
+            _schemes(2, seed=40), smap, retries=0, backoff_s=0.01
+        ) as router:
+            router.outsource(records)
+            two_shards[1].stop()
+            health = router.health()
+            assert health["unreachable_shards"] == [1]
+            assert "DOWN" in render_health(health)
+
+    def test_dead_shard_exhausts_retries_with_cluster_error(self):
+        # A map pointing shard 1 at a never-listening port: the whole
+        # batch must fail loudly (naming the shard), never return the
+        # partial answer of the healthy shard.
+        server = serve_in_thread()
+        try:
+            smap = make_shard_map(
+                [(server.host, server.port), ("127.0.0.1", _free_port())]
+            )
+            with ClusterRouter(
+                _schemes(2, seed=50), smap, retries=1, backoff_s=0.01,
+                transport_factory=lambda spec: NetTransport(
+                    spec.host, spec.port, retries=0, timeout_s=3.0
+                ),
+            ) as router:
+                with pytest.raises(ClusterError, match="shard 1"):
+                    router.outsource(_records(seed=6, n=40))
+        finally:
+            server.stop()
+
+    def test_retire_drops_every_shard_index(self, two_shards):
+        records = _records(seed=7, n=40)
+        smap = make_shard_map([(s.host, s.port) for s in two_shards])
+        with ClusterRouter(_schemes(2, seed=60), smap) as router:
+            router.outsource(records)
+            router.retire()
+        for server in two_shards:
+            assert server.server.core.index_count() == 0
+
+    def test_scheme_count_must_match_shard_count(self, two_shards):
+        smap = make_shard_map([(s.host, s.port) for s in two_shards])
+        with pytest.raises(ClusterError):
+            ClusterRouter(_schemes(3, seed=70), smap)
+
+
+class TestApplyTopology:
+    def _router(self, two_shards):
+        smap = make_shard_map([(s.host, s.port) for s in two_shards])
+        return ClusterRouter(_schemes(2, seed=80), smap)
+
+    def test_version_regression_refused(self, two_shards):
+        with self._router(two_shards) as router:
+            newer = router.shard_map.replace(0, "x", 1)
+            stale = router.shard_map
+            router.apply_topology(newer)
+            with pytest.raises(StaleTopologyError):
+                router.apply_topology(stale)
+
+    def test_same_version_conflict_refused(self, two_shards):
+        with self._router(two_shards) as router:
+            conflicting = ShardMap(
+                router.shard_map.version,
+                tuple(
+                    ShardSpec(s.shard, "elsewhere", s.port, s.index_id)
+                    for s in router.shard_map.shards
+                ),
+            )
+            with pytest.raises(StaleTopologyError):
+                router.apply_topology(conflicting)
+
+    def test_same_map_is_a_no_op(self, two_shards):
+        with self._router(two_shards) as router:
+            router.apply_topology(router.shard_map)
+
+    def test_shard_count_change_refused(self, two_shards):
+        with self._router(two_shards) as router:
+            bigger = ShardMap(
+                router.shard_map.version + 1,
+                router.shard_map.shards
+                + (ShardSpec(2, "h", 1, 999_000),),
+            )
+            with pytest.raises(ClusterError, match="re-outsource"):
+                router.apply_topology(bigger)
+
+
+class TestSnapshots:
+    def test_from_snapshots_reattaches_without_reupload(
+        self, two_shards, tmp_path
+    ):
+        records = _records(seed=8)
+        oracle = PlaintextRangeIndex(records)
+        smap = make_shard_map([(s.host, s.port) for s in two_shards])
+        with ClusterRouter(_schemes(2, seed=90), smap) as router:
+            router.outsource(records, snapshot_dir=tmp_path)
+        assert shard_snapshot_path(tmp_path, 0).exists()
+        assert shard_snapshot_path(tmp_path, 1).exists()
+        def upload_ops(server):
+            ops = server.server.stats.op_seconds
+            return sum(
+                ops.get(name, [0, 0.0])[0]
+                for name in ("upload-index", "upload-records",
+                             "upload-payloads")
+            )
+
+        uploads_before = [upload_ops(s) for s in two_shards]
+        # A fresh owner process: same snapshots, zero re-uploading.
+        with ClusterRouter.from_snapshots(tmp_path, smap) as revived:
+            assert revived.query(10, 400) == frozenset(oracle.query(10, 400))
+        assert [upload_ops(s) for s in two_shards] == uploads_before

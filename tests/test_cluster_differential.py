@@ -1,0 +1,177 @@
+"""Cluster ≡ single server, for every wire-capable scheme.
+
+The cluster contract: a 2-shard `ClusterRouter` returns *exactly* the
+result set a single `RemoteRangeClient` over one server returns for the
+same records and ranges — per scheme, per query, as frozensets of
+record ids.  And the contract survives a shard dying mid-run: the
+transport's reconnect-and-retry (same port restart) and the router's
+bootstrap path (snapshot → fresh node on a new port → topology bump)
+must both restore byte-identical answers.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import make_scheme
+from repro.baselines.plaintext import PlaintextRangeIndex
+from repro.cluster import (
+    ClusterRouter,
+    bootstrap_shard,
+    make_shard_map,
+    shard_snapshot_path,
+)
+from repro.errors import StaleTopologyError
+from repro.net import NetTransport, serve_in_thread
+from repro.protocol import RemoteRangeClient
+
+#: Every wire-capable scheme (PB's Bloom tree has no EDB).
+REMOTE_SCHEMES = (
+    "quadratic",
+    "constant-brc",
+    "constant-urc",
+    "logarithmic-brc",
+    "logarithmic-urc",
+    "logarithmic-src",
+    "logarithmic-src-i",
+)
+
+
+def _domain(name: str) -> int:
+    # Quadratic's O(n·m²) build cost wants a small domain.
+    return 64 if name == "quadratic" else 128
+
+
+def _make(name: str, seed: int):
+    kwargs = (
+        {"intersection_policy": "allow"} if name.startswith("constant") else {}
+    )
+    return make_scheme(name, _domain(name), rng=random.Random(seed), **kwargs)
+
+
+def _dataset(name: str, n: int = 110):
+    rng = random.Random(17)
+    domain = _domain(name)
+    return [(i, rng.randrange(domain)) for i in range(n)]
+
+
+def _ranges(name: str, count: int = 10):
+    rng = random.Random(23)
+    domain = _domain(name)
+    out = []
+    for _ in range(count):
+        lo = rng.randrange(domain)
+        out.append((lo, rng.randrange(lo, domain)))
+    return out
+
+
+def _single_server_reference(name: str, records, ranges):
+    """The ground truth: one scheme, one server, one client."""
+    with serve_in_thread() as server:
+        with NetTransport("127.0.0.1", server.port) as transport:
+            client = RemoteRangeClient(
+                _make(name, seed=900), transport, rng=random.Random(901)
+            )
+            client.outsource(records)
+            return [client.query(lo, hi) for lo, hi in ranges]
+
+
+@pytest.mark.parametrize("name", REMOTE_SCHEMES)
+def test_two_shard_cluster_matches_single_server(name):
+    records = _dataset(name)
+    ranges = _ranges(name)
+    reference = _single_server_reference(name, records, ranges)
+    oracle = PlaintextRangeIndex(records)
+    # The reference itself is sound (guards against a vacuous pass).
+    for (lo, hi), want in zip(ranges, reference):
+        assert want == frozenset(oracle.query(lo, hi))
+
+    servers = [serve_in_thread(shard=f"{i}/2") for i in range(2)]
+    try:
+        smap = make_shard_map([(s.host, s.port) for s in servers])
+        with ClusterRouter(
+            [_make(name, seed=910 + i) for i in range(2)], smap
+        ) as router:
+            router.outsource(records)
+            assert router.query_many(ranges) == reference
+    finally:
+        for server in servers:
+            server.stop()
+
+
+@pytest.mark.parametrize("name", REMOTE_SCHEMES)
+def test_results_survive_shard_kill_and_retry(name):
+    """Kill shard 0's server between batches and restart it on the same
+    port with the same storage core (a crashed process coming back on
+    its durable state): the pooled transport reconnects underneath the
+    router and the answers stay identical — no topology change, no
+    client-visible failure."""
+    records = _dataset(name)
+    ranges = _ranges(name)
+    reference = _single_server_reference(name, records, ranges)
+
+    servers = [serve_in_thread(shard=f"{i}/2") for i in range(2)]
+    try:
+        smap = make_shard_map([(s.host, s.port) for s in servers])
+        with ClusterRouter(
+            [_make(name, seed=920 + i) for i in range(2)], smap
+        ) as router:
+            router.outsource(records)
+            assert router.query_many(ranges) == reference
+
+            victim = servers[0]
+            port, core = victim.port, victim.server.core
+            victim.stop()
+            servers[0] = serve_in_thread(core, port=port, shard="0/2")
+
+            assert router.query_many(ranges) == reference
+    finally:
+        for server in servers:
+            server.stop()
+
+
+def test_bootstrap_replaces_dead_shard_on_new_port(tmp_path):
+    """Full node-replacement drill: shard 0 dies for good, a fresh empty
+    server comes up on a *new* port, `bootstrap_shard` replays the
+    owner's snapshot into it, and `apply_topology` swaps the lane —
+    answers identical before and after, stale maps refused."""
+    name = "logarithmic-brc"
+    records = _dataset(name)
+    ranges = _ranges(name)
+    reference = _single_server_reference(name, records, ranges)
+
+    servers = [serve_in_thread(shard=f"{i}/2") for i in range(2)]
+    replacement = None
+    try:
+        smap = make_shard_map([(s.host, s.port) for s in servers])
+        with ClusterRouter(
+            [_make(name, seed=930 + i) for i in range(2)],
+            smap,
+            retries=1,
+            backoff_s=0.01,
+        ) as router:
+            router.outsource(records, snapshot_dir=tmp_path)
+            assert router.query_many(ranges) == reference
+
+            servers[0].stop()
+            replacement = serve_in_thread(shard="0/2")
+            new_map = router.shard_map.replace(
+                0, replacement.host, replacement.port
+            )
+            restored = bootstrap_shard(
+                shard_snapshot_path(tmp_path, 0), new_map.shards[0]
+            )
+            assert restored > 0
+            router.apply_topology(new_map)
+            assert router.query_many(ranges) == reference
+
+            # The pre-failure map is now stale and must be refused.
+            with pytest.raises(StaleTopologyError):
+                router.apply_topology(smap)
+    finally:
+        for server in servers[1:]:
+            server.stop()
+        if replacement is not None:
+            replacement.stop()

@@ -161,3 +161,56 @@ def test_concurrent_uploads_to_one_index_serialize(backend_kind, tmp_path):
             reply = parse_reply(transport(FetchRequest(42, all_ids).to_frame()))
         expected = [blob for batch in batches for _, blob in batch]
         assert reply.blobs == expected
+
+
+def test_reconnect_under_load_keeps_replies_aligned():
+    """Kill one pooled connection mid-``send_many``: every frame must
+    still get exactly its own reply, in position (no duplicated,
+    dropped, or cross-wired responses after the rebuild-and-retry).
+
+    The server runs a serialized per-response service time
+    (``sim_core_floor_s``) so replies trickle out one by one — the kill
+    provably lands while most of the batch is still in flight on the
+    doomed connection.
+    """
+    import time
+
+    from repro.protocol.messages import FetchRequest, UploadRecords
+
+    n = 40
+    records = [(i, b"record-%03d" % i) for i in range(n)]
+    with serve_in_thread(
+        RsseServer(), sim_core_floor_s=0.03, max_inflight=512
+    ) as server:
+        with NetTransport("127.0.0.1", server.port) as setup:
+            setup(UploadRecords(7, records).to_frame())
+        # One FetchRequest per distinct record: reply i is recognizably
+        # frame i's answer, so positional equality proves 1:1 pairing.
+        frames = [FetchRequest(7, [i]).to_frame() for i in range(n)]
+        with NetTransport("127.0.0.1", server.port, pool_size=2) as baseline:
+            expected = baseline.send_many(frames)
+        assert len({bytes(r) for r in expected}) == n  # all distinct
+
+        with NetTransport("127.0.0.1", server.port, pool_size=2) as transport:
+            results: "list[list[bytes]]" = []
+            errors: "list[BaseException]" = []
+
+            def run_batch() -> None:
+                try:
+                    results.append(transport.send_many(frames))
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            batch_thread = threading.Thread(target=run_batch)
+            batch_thread.start()
+            # ~10 of 40 replies served at 30ms each — the rest are
+            # pending when the server-side writer dies under them.
+            time.sleep(0.3)
+            victims = [
+                w for w in server.server._writers if not w.is_closing()
+            ]
+            assert victims, "no live server-side connection to kill"
+            server._loop.call_soon_threadsafe(victims[0].close)
+            batch_thread.join(timeout=60)
+            assert not errors, errors
+            assert results and results[0] == expected
