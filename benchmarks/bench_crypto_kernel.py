@@ -1,0 +1,587 @@
+"""Crypto-kernel benchmark (``BENCH_PR7.json``).
+
+Three gated questions, one transparency lane:
+
+**1. What does the kernel seam cost when serial?** (overhead)
+    The ``SerialKernel`` batch primitives against the retired inline
+    loops they replaced — per-leaf ``subkeys_from_secret`` over
+    ``GgmDprf.iter_leaves``, and the per-counter ``posting_label``
+    loop — on engine-shaped batches, best-of-N passes.
+
+    *Gate:* kernel/direct ratio ≤ ``--overhead-factor`` (default
+    1.05×) on both primitives.  Zero workers must cost nothing.
+
+**2. Are the lanes byte-identical?** (identity)
+    Every registry scheme runs the same recorded query frames against
+    a serial-kernel server and a pooled-kernel server (crossover 1, so
+    every batch rides the worker lane) over the same stored state.
+
+    *Gate:* every response frame matches byte for byte.
+
+**3. Does the ceiling move with worker count?** (scaling)
+    The PR-3/PR-5 finding was a GIL-bound crypto floor: more threads,
+    same QPS.  Here N client threads replay wide-range constant-brc
+    queries against in-process servers whose kernels run the *capacity
+    simulation* (``sim_hmac_s``): each HMAC-equivalent costs a fixed
+    service time, serial batches occupy the one simulated GIL,
+    offloaded batches occupy one of ``workers`` lanes — computation
+    itself stays real and byte-identical.  This is the same modeling
+    device the net/cluster benches use (``response_delay_s``,
+    ``sim_core_*``) and exists for the same reason: CI runs on a
+    single CPU, where a real pool cannot demonstrate parallelism.
+
+    *Gate:* top-worker QPS ≥ ``--scaling-floor`` (default 2×) the
+    1-worker QPS.
+
+**Transparency (ungated).**  The real ``ProcessPoolExecutor`` lane on
+this machine: pooled vs serial wall time on a large subkey batch, and
+the fitted offload crossover.  On a single-CPU box the honest number
+is ≤ 1× — that is the hardware, not the kernel; the differential tests
+plus the simulated capacity lanes carry the correctness and scaling
+stories respectively.
+
+Run it::
+
+    PYTHONPATH=src python benchmarks/bench_crypto_kernel.py \
+        --json BENCH_PR7.json
+
+Smoke scale (CI)::
+
+    PYTHONPATH=src python benchmarks/bench_crypto_kernel.py --smoke \
+        --json bench-crypto-smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir))
+
+from benchmarks import jsonout  # noqa: E402
+
+IDENTITY_SCHEMES = (
+    "quadratic",
+    "constant-brc",
+    "constant-urc",
+    "logarithmic-brc",
+    "logarithmic-urc",
+    "logarithmic-src",
+    "logarithmic-src-i",
+)
+
+
+def _best_of(fn, passes: int) -> float:
+    best = float("inf")
+    for _ in range(passes):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _best_pair(fn_a, fn_b, passes: int) -> "tuple[float, float, float]":
+    """Two lanes timed in *interleaved* passes; returns
+    ``(best_a, best_b, median per-pass b/a ratio)``.
+
+    On a busy single-CPU box an interference burst lasts milliseconds —
+    the same order as one lane pass — so back-to-back lane timing (and
+    even min-of-N per lane) lets one burst skew the ratio by ~10%.
+    Pairing each pass and taking the *median* of per-pass ratios makes
+    the comparison robust: a burst lands inside one pass pair and that
+    pair's ratio becomes an outlier the median ignores."""
+    best_a = best_b = float("inf")
+    ratios = []
+    for _ in range(passes):
+        t0 = time.perf_counter()
+        fn_a()
+        elapsed_a = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        fn_b()
+        elapsed_b = time.perf_counter() - t0
+        best_a = min(best_a, elapsed_a)
+        best_b = min(best_b, elapsed_b)
+        ratios.append(elapsed_b / elapsed_a)
+    ratios.sort()
+    return best_a, best_b, ratios[len(ratios) // 2]
+
+
+# ---------------------------------------------------------------------------
+# Experiment 1: serial-kernel overhead vs the retired inline loops
+# ---------------------------------------------------------------------------
+
+
+def run_overhead(args) -> "dict[str, float]":
+    from repro.crypto.dprf import DelegationToken, GgmDprf
+    from repro.crypto.kernel import SerialKernel
+    from repro.sse.base import subkeys_from_secret
+    from repro.sse.pibas import posting_label
+
+    rng = random.Random(args.seed)
+    kernel = SerialKernel()
+
+    # Engine-shaped DPRF batch: a handful of mid-size subtrees, the
+    # shape one constant-scheme query wave misses into the kernel.
+    descriptors = [
+        (rng.randbytes(32), args.subtree_level) for _ in range(args.subtrees)
+    ]
+    tokens = [DelegationToken(seed, level) for seed, level in descriptors]
+
+    def direct_subkeys():
+        return [
+            tuple(
+                subkeys_from_secret(leaf)
+                for leaf in GgmDprf.iter_leaves(token)
+            )
+            for token in tokens
+        ]
+
+    direct_subkeys_s, kernel_subkeys_s, subkeys_ratio = _best_pair(
+        direct_subkeys,
+        lambda: kernel.derive_leaf_subkeys(descriptors),
+        args.passes,
+    )
+    assert kernel.derive_leaf_subkeys(descriptors) == direct_subkeys()
+
+    # Engine-shaped label batch: one coalesced probe round's worth.
+    items = [(rng.randbytes(16), i) for i in range(args.labels)]
+    direct_labels_s, kernel_labels_s, labels_ratio = _best_pair(
+        lambda: [posting_label(key, c) for key, c in items],
+        lambda: kernel.derive_labels(items),
+        args.passes,
+    )
+
+    leaves = args.subtrees << args.subtree_level
+    return {
+        "subkeys_direct_seconds": direct_subkeys_s,
+        "subkeys_kernel_seconds": kernel_subkeys_s,
+        "subkeys_overhead_ratio": subkeys_ratio,
+        "subkeys_leaves_per_s": leaves / kernel_subkeys_s,
+        "labels_direct_seconds": direct_labels_s,
+        "labels_kernel_seconds": kernel_labels_s,
+        "labels_overhead_ratio": labels_ratio,
+        "labels_per_s": args.labels / kernel_labels_s,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Experiment 2: all-scheme serial/pooled byte identity over the wire
+# ---------------------------------------------------------------------------
+
+
+def run_identity(args) -> "tuple[int, int]":
+    """(schemes checked, total frames compared); raises on mismatch."""
+    from repro.core.registry import make_scheme
+    from repro.crypto.kernel import PooledKernel, SerialKernel
+    from repro.exec.engine import QueryExecutor
+    from repro.protocol import RemoteRangeClient, RsseServer
+    from repro.storage import InMemoryBackend
+
+    rng = random.Random(args.seed + 1)
+    dataset = [(i, rng.randrange(64)) for i in range(args.identity_records)]
+    frames_compared = 0
+    pooled = PooledKernel(2, offload_min_units=1)
+    try:
+        for name in IDENTITY_SCHEMES:
+            domain = 64 if name == "quadratic" else 128
+            kwargs = (
+                {"intersection_policy": "allow"}
+                if name.startswith("constant")
+                else {}
+            )
+            scheme = make_scheme(
+                name, domain, rng=random.Random(args.seed + 2), **kwargs
+            )
+            backend = InMemoryBackend()
+            serial_server = RsseServer(
+                backend,
+                executor=QueryExecutor(
+                    workers=1, cache=False, kernel=SerialKernel()
+                ),
+            )
+            recorded: "list[tuple[bytes, bytes | None]]" = []
+
+            def transport(frame: bytes):
+                response = serial_server.handle(frame)
+                recorded.append(
+                    (bytes(frame), None if response is None else bytes(response))
+                )
+                return response
+
+            client = RemoteRangeClient(
+                scheme, transport, rng=random.Random(args.seed + 3)
+            )
+            client.outsource(dataset)
+            recorded.clear()
+            for lo, hi in [(0, 63), (17, 51), (32, 32)]:
+                client.query(lo, hi)
+            pooled_server = RsseServer(
+                backend,
+                executor=QueryExecutor(workers=1, cache=False, kernel=pooled),
+            )
+            for request, expected in recorded:
+                response = pooled_server.handle(request)
+                got = None if response is None else bytes(response)
+                if got != expected:
+                    raise AssertionError(
+                        f"{name}: pooled response frame differs from serial"
+                    )
+                frames_compared += 1
+        stats = pooled.stats()
+        if stats["serial_fallbacks"]:
+            raise AssertionError(
+                f"worker lane died during identity lane "
+                f"({stats['serial_fallbacks']} fallbacks)"
+            )
+    finally:
+        pooled.close()
+    return len(IDENTITY_SCHEMES), frames_compared
+
+
+# ---------------------------------------------------------------------------
+# Experiment 3: simulated-capacity QPS scaling with worker count
+# ---------------------------------------------------------------------------
+
+
+def _record_query_frames(args) -> "tuple[object, list[list[bytes]]]":
+    """Build one constant-brc index; return (backend, per-query frame
+    groups) for wide-range queries — the replayable workload."""
+    from repro.core.registry import make_scheme
+    from repro.crypto.kernel import SerialKernel
+    from repro.exec.engine import QueryExecutor
+    from repro.protocol import RemoteRangeClient, RsseServer
+    from repro.storage import InMemoryBackend
+
+    rng = random.Random(args.seed + 10)
+    records = [
+        (i, rng.randrange(args.domain)) for i in range(args.records)
+    ]
+    scheme = make_scheme(
+        "constant-brc",
+        args.domain,
+        rng=random.Random(args.seed + 11),
+        intersection_policy="allow",
+    )
+    backend = InMemoryBackend()
+    server = RsseServer(
+        backend,
+        executor=QueryExecutor(workers=1, cache=False, kernel=SerialKernel()),
+    )
+    recorded: "list[bytes]" = []
+
+    def transport(frame: bytes):
+        recorded.append(bytes(frame))
+        return server.handle(frame)
+
+    client = RemoteRangeClient(
+        scheme, transport, rng=random.Random(args.seed + 12)
+    )
+    client.outsource(records)
+    groups: "list[list[bytes]]" = []
+    for _ in range(args.sim_queries):
+        lo = rng.randrange(args.domain // 2)
+        width = rng.randrange(args.domain // 4, args.domain // 2)
+        recorded.clear()
+        client.query(lo, min(args.domain - 1, lo + width))
+        groups.append(list(recorded))
+    return backend, groups
+
+
+def _sim_lane(args, backend, groups, workers: int) -> float:
+    """Closed-loop QPS: N threads replay query frame groups against a
+    server whose kernel simulates ``workers`` crypto lanes."""
+    from repro.crypto.kernel import PooledKernel
+    from repro.exec.engine import QueryExecutor
+    from repro.protocol import RsseServer
+
+    kernel = PooledKernel(
+        workers,
+        offload_min_units=1,
+        sim_hmac_s=args.sim_hmac_us * 1e-6,
+    )
+    server = RsseServer(
+        backend,
+        executor=QueryExecutor(workers=1, cache=False, kernel=kernel),
+    )
+    # Warm one query outside the window (lazy state, code paths hot).
+    for frame in groups[0]:
+        server.handle_request(frame)
+
+    counts = [0] * args.sim_threads
+    start_barrier = threading.Barrier(args.sim_threads + 1)
+    deadline = [0.0]
+
+    def worker(slot: int) -> None:
+        start_barrier.wait()
+        done = 0
+        i = slot
+        while time.perf_counter() < deadline[0]:
+            for frame in groups[i % len(groups)]:
+                server.handle_request(frame)
+            i += 1
+            done += 1
+        counts[slot] = done
+
+    threads = [
+        threading.Thread(target=worker, args=(slot,), daemon=True)
+        for slot in range(args.sim_threads)
+    ]
+    for t in threads:
+        t.start()
+    deadline[0] = time.perf_counter() + args.duration
+    start_barrier.wait()
+    for t in threads:
+        t.join(timeout=args.duration + 120)
+    kernel.close()
+    stats = kernel.stats()
+    if stats["serial_fallbacks"]:
+        raise RuntimeError("simulated lane must never hit the fallback path")
+    return sum(counts) / args.duration
+
+
+# ---------------------------------------------------------------------------
+# Transparency: the real process pool on this machine
+# ---------------------------------------------------------------------------
+
+
+def run_real_pool(args) -> "dict[str, float]":
+    from repro.crypto.kernel import (
+        PooledKernel,
+        SerialKernel,
+        fit_offload_crossover,
+    )
+
+    rng = random.Random(args.seed + 20)
+    descriptors = [
+        (rng.randbytes(32), args.real_level) for _ in range(args.real_subtrees)
+    ]
+    serial = SerialKernel()
+    pooled = PooledKernel(args.real_workers, offload_min_units=1)
+    try:
+        pooled.worker_pids()  # spin the pool up outside the timing
+        serial_s = _best_of(
+            lambda: serial.derive_leaf_subkeys(descriptors), args.passes
+        )
+        pooled_s = _best_of(
+            lambda: pooled.derive_leaf_subkeys(descriptors), args.passes
+        )
+        crossover, speedup = fit_offload_crossover(pooled, repeats=2)
+        fallbacks = pooled.stats()["serial_fallbacks"]
+    finally:
+        pooled.close()
+    leaves = args.real_subtrees << args.real_level
+    return {
+        "serial_seconds": serial_s,
+        "pooled_seconds": pooled_s,
+        "pooled_speedup": serial_s / pooled_s,
+        "batch_leaves": float(leaves),
+        "fitted_crossover_units": crossover,
+        "fitted_speedup": speedup,
+        "serial_fallbacks": float(fallbacks),
+    }
+
+
+# ---------------------------------------------------------------------------
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--subtrees", type=int, default=6,
+                        help="overhead lane: descriptors per batch")
+    parser.add_argument("--subtree-level", type=int, default=10,
+                        help="overhead lane: GGM level per descriptor")
+    parser.add_argument("--labels", type=int, default=4096,
+                        help="overhead lane: labels per batch")
+    parser.add_argument("--passes", type=int, default=7,
+                        help="interleaved passes for paired timed lanes")
+    parser.add_argument("--identity-records", type=int, default=150)
+    parser.add_argument("--records", type=int, default=400,
+                        help="scaling lane: indexed records")
+    parser.add_argument("--domain", type=int, default=1 << 12,
+                        help="scaling lane: value domain")
+    parser.add_argument("--sim-queries", type=int, default=12,
+                        help="scaling lane: distinct recorded queries")
+    parser.add_argument("--sim-threads", type=int, default=8,
+                        help="scaling lane: concurrent client threads")
+    parser.add_argument("--sim-hmac-us", type=float, default=10.0,
+                        help="simulated service time per HMAC-equivalent")
+    parser.add_argument("--workers", default="1,4",
+                        help="scaling lane: comma-separated worker counts")
+    parser.add_argument("--duration", type=float, default=2.5,
+                        help="scaling lane: seconds per worker count")
+    parser.add_argument("--real-workers", type=int, default=2,
+                        help="transparency lane: real pool width")
+    parser.add_argument("--real-subtrees", type=int, default=8)
+    parser.add_argument("--real-level", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--overhead-factor", type=float, default=1.05,
+                        help="gate: serial kernel <= factor * direct loop")
+    parser.add_argument("--scaling-floor", type=float, default=2.0,
+                        help="gate: top-worker qps >= floor * 1-worker qps")
+    parser.add_argument("--skip-real-lane", action="store_true",
+                        help="skip the ungated real-pool transparency lane")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI scale: small batches, short windows")
+    parser.add_argument("--json", default="BENCH_PR7.json", metavar="PATH")
+    parser.add_argument("--force", action="store_true",
+                        help="allow overwriting a committed BENCH_*.json")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.subtree_level = min(args.subtree_level, 8)
+        args.labels = min(args.labels, 1024)
+        args.passes = min(args.passes, 3)
+        args.identity_records = min(args.identity_records, 80)
+        args.records = min(args.records, 150)
+        args.domain = min(args.domain, 1 << 10)
+        args.sim_queries = min(args.sim_queries, 6)
+        args.duration = min(args.duration, 1.0)
+        args.real_subtrees = min(args.real_subtrees, 4)
+        args.real_level = min(args.real_level, 10)
+    args.worker_counts = sorted(
+        {int(w) for w in str(args.workers).split(",") if w.strip()}
+    )
+    jsonout.check_baseline_path(args.json, args.force)
+
+    results = []
+
+    print("overhead: serial kernel vs retired inline loops")
+    overhead = run_overhead(args)
+    print(
+        f"  subkeys {overhead['subkeys_overhead_ratio']:.3f}x "
+        f"({overhead['subkeys_leaves_per_s']:,.0f} leaves/s) | "
+        f"labels {overhead['labels_overhead_ratio']:.3f}x "
+        f"({overhead['labels_per_s']:,.0f} labels/s)"
+    )
+    results.append(
+        jsonout.result(
+            "overhead/serial-kernel",
+            "crypto_kernel",
+            {"subtrees": args.subtrees, "level": args.subtree_level,
+             "labels": args.labels, "passes": args.passes},
+            **overhead,
+        )
+    )
+
+    print("identity: serial vs pooled frames, all schemes")
+    schemes_checked, frames_compared = run_identity(args)
+    print(
+        f"  {schemes_checked} schemes, {frames_compared} response frames "
+        "byte-identical"
+    )
+    results.append(
+        jsonout.result(
+            "identity/all-schemes",
+            "crypto_kernel",
+            {"records": args.identity_records},
+            schemes=schemes_checked,
+            frames_compared=frames_compared,
+        )
+    )
+
+    print(
+        f"scaling: simulated crypto capacity "
+        f"({args.sim_hmac_us:g} us/HMAC, {args.sim_threads} client threads)"
+    )
+    backend, groups = _record_query_frames(args)
+    qps: "dict[int, float]" = {}
+    for workers in args.worker_counts:
+        qps[workers] = _sim_lane(args, backend, groups, workers)
+        print(f"  workers={workers}: {qps[workers]:7.1f} qps")
+    base = qps[args.worker_counts[0]]
+    for workers, rate in qps.items():
+        results.append(
+            jsonout.result(
+                f"scaling/sim/workers-{workers}",
+                "crypto_kernel",
+                {"workers": workers, "sim_hmac_us": args.sim_hmac_us,
+                 "threads": args.sim_threads, "duration_s": args.duration},
+                qps=rate,
+                scale_vs_single=rate / base,
+            )
+        )
+
+    real: "dict[str, float]" = {}
+    if not args.skip_real_lane:
+        print(
+            f"transparency: real {args.real_workers}-worker pool "
+            "(ungated on 1-CPU boxes)"
+        )
+        real = run_real_pool(args)
+        print(
+            f"  pooled {real['pooled_speedup']:.2f}x serial on "
+            f"{real['batch_leaves']:,.0f} leaves; fitted crossover "
+            f"{real['fitted_crossover_units']:g} units"
+        )
+        results.append(
+            jsonout.result(
+                "transparency/real-pool",
+                "crypto_kernel",
+                {"workers": args.real_workers,
+                 "subtrees": args.real_subtrees, "level": args.real_level},
+                **real,
+            )
+        )
+
+    top = max(args.worker_counts)
+    scaling = qps[top] / base
+    worst_overhead = max(
+        overhead["subkeys_overhead_ratio"], overhead["labels_overhead_ratio"]
+    )
+    results.append(
+        jsonout.result(
+            "acceptance",
+            "crypto_kernel",
+            {"overhead_factor": args.overhead_factor,
+             "scaling_floor": args.scaling_floor, "top_workers": top},
+            overhead_ratio=worst_overhead,
+            scaling_x=scaling,
+            frames_compared=frames_compared,
+        )
+    )
+
+    jsonout.emit_json(
+        args.json,
+        "crypto_kernel",
+        results,
+        meta={
+            "records": args.records,
+            "domain": args.domain,
+            "sim_hmac_us": args.sim_hmac_us,
+            "workers": ",".join(map(str, args.worker_counts)),
+            "duration_s": args.duration,
+            "cpus": os.cpu_count(),
+            "smoke": args.smoke,
+        },
+        force=args.force,
+    )
+    print(f"wrote {args.json}")
+
+    ok = True
+    if worst_overhead > args.overhead_factor:
+        print(
+            f"GATE FAIL: serial kernel overhead {worst_overhead:.3f}x "
+            f"(allowed {args.overhead_factor}x)"
+        )
+        ok = False
+    if scaling < args.scaling_floor:
+        print(
+            f"GATE FAIL: {top}-worker scaling {scaling:.2f}x "
+            f"(floor {args.scaling_floor}x)"
+        )
+        ok = False
+    if ok:
+        print(
+            f"gates pass: serial overhead {worst_overhead:.3f}x <= "
+            f"{args.overhead_factor}x, identity {frames_compared} frames, "
+            f"{top}-worker scaling {scaling:.2f}x >= {args.scaling_floor}x"
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,9 @@ _NET_TOTALS = (
 #: Core-server counters summed across reachable shards.
 _SERVER_TOTALS = ("handles", "indexes", "stored_bytes")
 
+#: Crypto-kernel counters summed across reachable shards.
+_KERNEL_TOTALS = ("batches_offloaded", "batches_serial", "serial_fallbacks")
+
 
 def summarize(shard_map: ShardMap, probes: "list[dict]") -> dict:
     """Merge per-shard probe results into the cluster health document.
@@ -37,7 +40,7 @@ def summarize(shard_map: ShardMap, probes: "list[dict]") -> dict:
     ``{"reachable": False, "error": <str>}``.
     """
     shards = []
-    totals = {key: 0 for key in _NET_TOTALS + _SERVER_TOTALS}
+    totals = {key: 0 for key in _NET_TOTALS + _SERVER_TOTALS + _KERNEL_TOTALS}
     cache_hits = 0
     cache_lookups = 0
     unreachable = []
@@ -65,6 +68,10 @@ def summarize(shard_map: ShardMap, probes: "list[dict]") -> dict:
             cache_lookups += int(cache.get("hits", 0)) + int(
                 cache.get("misses", 0)
             )
+        kernel = server.get("crypto_kernel")
+        if kernel:
+            for key in _KERNEL_TOTALS:
+                totals[key] += int(kernel.get(key, 0))
         entry.update(
             label=net.get("shard", ""),
             stored_bytes=int(server.get("stored_bytes", 0)),
@@ -72,9 +79,11 @@ def summarize(shard_map: ShardMap, probes: "list[dict]") -> dict:
             errors=int(net.get("errors", 0)),
             inflight_by_index=net.get("inflight_by_index", {}),
             exec_cache=cache,
+            crypto_kernel=kernel,
             ops=net.get("ops", {}),
         )
         shards.append(entry)
+    kernel_batches = totals["batches_offloaded"] + totals["batches_serial"]
     return {
         "topology_version": shard_map.version,
         "shard_count": len(shard_map),
@@ -87,27 +96,42 @@ def summarize(shard_map: ShardMap, probes: "list[dict]") -> dict:
         "exec_cache_hit_rate": (
             cache_hits / cache_lookups if cache_lookups else 0.0
         ),
+        # Same weighting for the crypto kernel: the fraction of all
+        # batched crypto work fleet-wide that escaped the GIL onto
+        # worker lanes.  A pooled fleet showing ~0 here is serving
+        # batches too small to clear the crossover — a tuning signal,
+        # not an error; nonzero serial_fallbacks means worker lanes
+        # are dying and queries are completing on the slow path.
+        "kernel_offload_ratio": (
+            totals["batches_offloaded"] / kernel_batches if kernel_batches else 0.0
+        ),
         "shards": shards,
     }
 
 
 def render_health(health: dict) -> str:
     """Human-readable health table (the ``cluster`` CLI's output)."""
-    lines = [
+    totals = health["totals"]
+    summary = (
         f"cluster topology v{health['topology_version']}: "
         f"{health['reachable']}/{health['shard_count']} shards reachable, "
-        f"{health['totals']['stored_bytes']} bytes stored, "
-        f"{health['totals']['frames_in']} frames served, "
-        f"exec-cache hit rate {health['exec_cache_hit_rate']:.1%}"
-    ]
-    header = f"{'shard':>5}  {'address':<21} {'state':<7} {'stored B':>10} {'frames':>8} {'errors':>7}  busiest index"
+        f"{totals['stored_bytes']} bytes stored, "
+        f"{totals['frames_in']} frames served, "
+        f"exec-cache hit rate {health['exec_cache_hit_rate']:.1%}, "
+        f"kernel offload {health.get('kernel_offload_ratio', 0.0):.1%}"
+    )
+    fallbacks = totals.get("serial_fallbacks", 0)
+    if fallbacks:
+        summary += f" ({fallbacks} serial fallbacks)"
+    lines = [summary]
+    header = f"{'shard':>5}  {'address':<21} {'state':<7} {'stored B':>10} {'frames':>8} {'errors':>7} {'kernel':>9}  busiest index"
     lines.append(header)
     lines.append("-" * len(header))
     for entry in health["shards"]:
         if not entry["reachable"]:
             lines.append(
                 f"{entry['shard']:>5}  {entry['address']:<21} "
-                f"{'DOWN':<7} {'-':>10} {'-':>8} {'-':>7}  {entry['error']}"
+                f"{'DOWN':<7} {'-':>10} {'-':>8} {'-':>7} {'-':>9}  {entry['error']}"
             )
             continue
         inflight = entry.get("inflight_by_index", {})
@@ -121,9 +145,16 @@ def render_health(health: dict) -> str:
                 f"peak {depth.get('peak', 0)})"
             )
         label = f" [{entry['label']}]" if entry.get("label") else ""
+        kernel = entry.get("crypto_kernel") or {}
+        if kernel.get("workers"):
+            kernel_cell = f"{kernel.get('backend', '?')}x{kernel['workers']}"
+            if kernel.get("serial_fallbacks"):
+                kernel_cell += "!"
+        else:
+            kernel_cell = kernel.get("backend", "-")
         lines.append(
             f"{entry['shard']:>5}  {entry['address']:<21} "
             f"{'up' + label:<7} {entry['stored_bytes']:>10} "
-            f"{entry['frames_in']:>8} {entry['errors']:>7}  {busiest}"
+            f"{entry['frames_in']:>8} {entry['errors']:>7} {kernel_cell:>9}  {busiest}"
         )
     return "\n".join(lines)

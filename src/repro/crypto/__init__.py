@@ -7,6 +7,14 @@ IND-CPA symmetric cipher.
 """
 
 from repro.crypto.dprf import COVER_BRC, COVER_URC, DelegationToken, GgmDprf
+from repro.crypto.kernel import (
+    CryptoKernel,
+    PooledKernel,
+    SerialKernel,
+    configure_default_kernel,
+    default_kernel,
+    make_kernel,
+)
 from repro.crypto.prf import (
     KEY_LEN,
     PRF_OUT_LEN,
@@ -14,31 +22,40 @@ from repro.crypto.prf import (
     fingerprint,
     generate_key,
     prf,
+    prf_many,
     prf_truncated,
 )
-from repro.crypto.prg import SEED_LEN, g, g0, g1, g_bit, g_path
+from repro.crypto.prg import SEED_LEN, g, g0, g1, g_bit, g_many, g_path
 from repro.crypto.symmetric import NONCE_LEN, TAG_LEN, SemanticCipher, active_backend
 
 __all__ = [
     "COVER_BRC",
     "COVER_URC",
+    "CryptoKernel",
     "DelegationToken",
     "GgmDprf",
     "KEY_LEN",
     "NONCE_LEN",
     "PRF_OUT_LEN",
+    "PooledKernel",
     "SEED_LEN",
     "SemanticCipher",
+    "SerialKernel",
     "TAG_LEN",
     "active_backend",
+    "configure_default_kernel",
+    "default_kernel",
     "derive_subkey",
     "fingerprint",
     "g",
     "g0",
     "g1",
     "g_bit",
+    "g_many",
     "g_path",
     "generate_key",
+    "make_kernel",
     "prf",
+    "prf_many",
     "prf_truncated",
 ]

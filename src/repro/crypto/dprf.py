@@ -63,6 +63,15 @@ class DelegationToken:
         """Wire size in bytes: seed plus a one-byte level tag."""
         return len(self.seed) + 1
 
+    def descriptor(self) -> "tuple[bytes, int]":
+        """The token as a plain ``(seed, level)`` descriptor.
+
+        The :mod:`~repro.crypto.kernel` batch currency: descriptors are
+        pure data, so a batch of them crosses a process boundary with
+        one cheap pickle — no token objects ever ship to workers.
+        """
+        return (self.seed, self.level)
+
 
 class GgmDprf:
     """GGM-based DPRF over a domain of ``domain_size`` values.
@@ -170,19 +179,36 @@ class GgmDprf:
             stack.append((left, level - 1))
 
     @classmethod
-    def expand_token(cls, token: DelegationToken) -> list[bytes]:
+    def expand_token(cls, token: DelegationToken, *, kernel=None) -> list[bytes]:
         """Evaluation ``C``: expand one token to its leaf DPRF values.
 
         Anyone holding the token can do this — ``G`` is public and the
         level says how deep to recurse.  Output order is the in-subtree
-        left-to-right order, which carries no global position.
+        left-to-right order, which carries no global position.  With a
+        :class:`~repro.crypto.kernel.CryptoKernel` the expansion runs
+        as one kernel batch (byte-identical output).
         """
+        if kernel is not None:
+            return kernel.expand_subtrees([token.descriptor()])[0]
         return list(cls.iter_leaves(token))
 
     @classmethod
-    def expand_all(cls, tokens: "list[DelegationToken]") -> list[bytes]:
-        """Expand a token vector into the concatenated leaf values."""
-        values: list[bytes] = []
+    def expand_all(
+        cls, tokens: "list[DelegationToken]", *, kernel=None
+    ) -> list[bytes]:
+        """Expand a token vector into the concatenated leaf values.
+
+        With a kernel the whole vector rides one batch — the shape the
+        pooled backend can chunk across workers.
+        """
+        if kernel is not None:
+            values: list[bytes] = []
+            for leaves in kernel.expand_subtrees(
+                [token.descriptor() for token in tokens]
+            ):
+                values.extend(leaves)
+            return values
+        values = []
         for token in tokens:
             values.extend(cls.expand_token(token))
         return values

@@ -70,6 +70,20 @@ def prf(key: bytes, message: bytes) -> bytes:
     return hmac.digest(key, message, hashlib.sha512)
 
 
+def prf_many(key: bytes, messages) -> "list[bytes]":
+    """Bulk PRF evaluation under one key, in message order.
+
+    The array-in/array-out counterpart of :func:`prf`: the key is
+    validated once and each evaluation takes the same one-shot
+    ``hmac.digest`` path, so output is byte-identical to mapping
+    :func:`prf`.  The batch shape is what lets
+    :class:`~repro.crypto.kernel.PooledKernel` ship the key to a worker
+    once per chunk instead of once per message.
+    """
+    check_key(key)
+    return [hmac.digest(key, message, hashlib.sha512) for message in messages]
+
+
 def prf_truncated(key: bytes, message: bytes, out_len: int) -> bytes:
     """Evaluate the PRF and truncate the output to ``out_len`` bytes.
 

@@ -39,6 +39,20 @@ def g(seed: bytes) -> tuple[bytes, bytes]:
     return out[:SEED_LEN], out[SEED_LEN:]
 
 
+def g_many(seeds) -> "list[tuple[bytes, bytes]]":
+    """Apply the PRG to many seeds: ``[(G0(s), G1(s)) for s in seeds]``.
+
+    Byte-identical to mapping :func:`g`; exists so bulk callers (the
+    crypto kernel's subtree jobs) have an array-in/array-out entry
+    point on this module's seam.
+    """
+    out = []
+    for seed in seeds:
+        both = _expand(seed)
+        out.append((both[:SEED_LEN], both[SEED_LEN:]))
+    return out
+
+
 def g0(seed: bytes) -> bytes:
     """Left half of the PRG output (the ``0`` child in the GGM tree)."""
     return _expand(seed)[:SEED_LEN]

@@ -23,12 +23,25 @@ backend from a pool thread.
 
 **A GGM expansion cache.**  Delegation-token expansions memoize through
 a shared :class:`~repro.exec.cache.ExpansionCache` (see its module
-docstring for the safety argument).
+docstring for the safety argument), keyed at ``(seed, level)``
+descriptor granularity so cached subtrees never re-ship to kernel
+workers.
 
-Configuration: ``QueryExecutor(workers=…, cache=…)`` per instance; the
-process-wide default engine reads ``REPRO_EXEC_WORKERS`` and
-``REPRO_EXEC_CACHE`` (``0`` disables caching) and is shared by every
-scheme/server constructed without an explicit ``executor=``.
+**Batched crypto through the kernel.**  All GGM subtree expansion and
+Π_bas label derivation route through a
+:class:`~repro.crypto.kernel.CryptoKernel` — one batch call per
+expansion wave / probe round, never a per-leaf ``hmac.digest`` loop in
+the engine itself.  The default :class:`~repro.crypto.kernel.SerialKernel`
+reproduces the old inline loops byte-for-byte; a
+:class:`~repro.crypto.kernel.PooledKernel` (``REPRO_CRYPTO_WORKERS``)
+offloads batches above its crossover to a process-pool lane, which is
+what finally moves the GIL-bound crypto ceiling with worker count.
+
+Configuration: ``QueryExecutor(workers=…, cache=…, kernel=…)`` per
+instance; the process-wide default engine reads
+``REPRO_EXEC_WORKERS``, ``REPRO_EXEC_CACHE`` (``0`` disables caching)
+and ``REPRO_CRYPTO_WORKERS`` and is shared by every scheme/server
+constructed without an explicit ``executor=``.
 """
 
 from __future__ import annotations
@@ -39,7 +52,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from repro.crypto.dprf import GgmDprf
+from repro.crypto.kernel import CryptoKernel, default_kernel
 from repro.errors import IndexStateError
 from repro.exec.cache import ExpansionCache
 from repro.exec.plan import (
@@ -50,12 +63,11 @@ from repro.exec.plan import (
     plan_dprf,
     plan_sse,
 )
-from repro.sse.base import KeywordToken, subkeys_from_secret
+from repro.sse.base import KeywordToken
 from repro.sse.pibas import (
     _WALK_CHUNK_MAX,
     PiBas,
     decode_posting_raw,
-    posting_label,
 )
 
 #: Environment knobs for the default engine.
@@ -107,6 +119,12 @@ class QueryExecutor:
     cache:
         An :class:`ExpansionCache`, ``None`` for a private default-sized
         one, or ``False`` to disable expansion caching entirely.
+    kernel:
+        The :class:`~repro.crypto.kernel.CryptoKernel` every batched
+        crypto call (GGM expansion, label derivation) goes through.
+        The process-wide default kernel when omitted.  The executor
+        never closes it — kernels are shared across executors exactly
+        like the default-engine singleton.
     """
 
     def __init__(
@@ -114,8 +132,10 @@ class QueryExecutor:
         *,
         workers: "int | None" = None,
         cache: "ExpansionCache | bool | None" = None,
+        kernel: "CryptoKernel | None" = None,
     ) -> None:
         self.workers = max(1, int(workers) if workers is not None else _default_workers())
+        self.kernel = kernel if kernel is not None else default_kernel()
         # NB: never truth-test a cache here — an empty ExpansionCache
         # has __len__() == 0 and would read as "disabled".
         if cache is None or cache is True:
@@ -281,16 +301,18 @@ class QueryExecutor:
         # (walker, counter, chunk) per still-walking token.
         state = [(i, 0, chunk0) for i in range(len(pairs))]
         while state:
-            # Label derivation runs inline, not on the pool: a label is
-            # one ~2µs GIL-holding HMAC, so at DPRF scale (thousands of
-            # single-label walkers per round) any per-task dispatch
-            # overhead dwarfs the work itself.  The pool is reserved for
-            # coarse tasks (subtree expansions, black-box searches).
-            flat: "list[bytes]" = []
+            # Each round's labels ride ONE kernel batch — never the
+            # thread pool: a label is one ~2µs GIL-holding HMAC, so
+            # per-task dispatch overhead would dwarf the work.  The
+            # kernel runs the batch inline when serial (or below its
+            # crossover) and ships it to the process lane when a big
+            # round makes offload pay.
+            items: "list[tuple[bytes, int]]" = []
             for walker, counter, chunk in state:
                 label_key = pairs[walker][0]
                 for j in range(chunk):
-                    flat.append(posting_label(label_key, counter + j))
+                    items.append((label_key, counter + j))
+            flat = self.kernel.derive_labels(items)
             values = get_many(flat)
             stats.probe_rounds += 1
             stats.probes_issued += len(flat)
@@ -318,39 +340,49 @@ class QueryExecutor:
 
     # -- DPRF stage ----------------------------------------------------------
 
-    def _expand_one(self, token) -> "tuple[tuple, bool]":
-        """Leaf subkey pairs of one delegation token; flags a cache hit.
+    def _expand_tokens(self, tokens, stats: ExecStats) -> "list[tuple]":
+        """Per-token leaf subkey pairs, cache-aware and kernel-batched.
 
-        Raw ``(label_key, value_key)`` pairs instead of
-        :class:`~repro.sse.base.KeywordToken` objects — one allocation
-        fewer per leaf on the hottest loop in the engine; the
-        derivation itself is the shared :func:`subkeys_from_secret`.
+        Every cache miss across the whole token wave rides ONE
+        ``derive_leaf_subkeys`` batch — the shape the pooled kernel can
+        chunk across worker processes.  The cache keys on the plain
+        ``(seed, level)`` descriptor (not the token object), matching
+        the kernel currency, so a hit never re-ships a subtree.  Leaf
+        pairs are raw ``(label_key, value_key)`` tuples, byte-identical
+        to the retired per-leaf ``subkeys_from_secret`` loop.
         """
-        if self.cache is not None:
-            cached = self.cache.get(token)
-            if cached is not None:
-                return cached, True
-        leaves = tuple(
-            subkeys_from_secret(leaf) for leaf in GgmDprf.iter_leaves(token)
-        )
-        if self.cache is not None:
-            self.cache.put(token, leaves)
-        return leaves, False
+        descriptors = [token.descriptor() for token in tokens]
+        results: "list[tuple | None]" = [None] * len(tokens)
+        misses: "list[int]" = []
+        for i, descriptor in enumerate(descriptors):
+            if self.cache is not None:
+                cached = self.cache.get(descriptor)
+                if cached is not None:
+                    results[i] = cached
+                    stats.cache_hits += 1
+                    continue
+            misses.append(i)
+        if misses:
+            derived = self.kernel.derive_leaf_subkeys(
+                [descriptors[i] for i in misses]
+            )
+            for i, leaves in zip(misses, derived):
+                results[i] = leaves
+                if self.cache is not None:
+                    self.cache.put(descriptors[i], leaves)
+                stats.cache_misses += 1
+                stats.tokens_expanded += 1
+        return results
 
     def _run_dprf(self, plan: QueryPlan, index, sse=None) -> ExecResult:
         stats = ExecStats(workers=self.workers)
         tokens = list(plan.tokens)
-        expanded = self.map(self._expand_one, tokens)
+        expanded = self._expand_tokens(tokens, stats)
         leaf_tokens: list = []
         spans: "list[int]" = []
-        for leaves, hit in expanded:
+        for leaves in expanded:
             leaf_tokens.extend(leaves)
             spans.append(len(leaves))
-            if hit:
-                stats.cache_hits += 1
-            else:
-                stats.cache_misses += 1
-                stats.tokens_expanded += 1
         stats.leaves_derived += len(leaf_tokens)
         # Leaf keyword-token derivation is deriver-contract work (the
         # DPRF delegation seam); the walk itself honors the black-box
@@ -397,16 +429,27 @@ def default_executor() -> QueryExecutor:
 
 
 def configure_default_executor(
-    *, workers: "int | None" = None, cache: "ExpansionCache | bool | None" = None
+    *,
+    workers: "int | None" = None,
+    cache: "ExpansionCache | bool | None" = None,
+    crypto_workers: "int | None" = None,
 ) -> QueryExecutor:
-    """Replace the default engine (CLI ``--workers``/``--no-cache``).
+    """Replace the default engine (CLI ``--workers``/``--no-cache``/
+    ``--crypto-workers``).
 
     Existing schemes keep whatever executor they were constructed with;
     only *future* lookups of the default see the new one.  When
     ``cache`` is unspecified the ``REPRO_EXEC_CACHE`` knob still
     applies — reconfiguring workers must not silently re-enable a cache
-    the environment disabled.
+    the environment disabled.  ``crypto_workers`` reconfigures the
+    process-wide default crypto kernel first (``0`` forces the serial
+    kernel), so the new engine — and anything else resolving the
+    default kernel later — picks it up.
     """
+    if crypto_workers is not None:
+        from repro.crypto.kernel import configure_default_kernel
+
+        configure_default_kernel(crypto_workers)
     if cache is None and _env_cache_disabled():
         cache = False
     global _default

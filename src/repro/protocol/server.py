@@ -281,4 +281,12 @@ class RsseServer:
                 cache_stats["hits"] / lookups if lookups else 0.0
             )
             stats["exec_cache"] = cache_stats
+        kernel = getattr(self.executor, "kernel", None)
+        if kernel is not None:
+            # The crypto kernel behind every batched expansion/label
+            # derivation: backend, worker-lane width, offload ratio and
+            # serial fallbacks — whether the GIL-escape lane is alive
+            # and actually being used is a fleet capacity signal, so
+            # the cluster health rollup aggregates it per shard.
+            stats["crypto_kernel"] = kernel.stats()
         return stats

@@ -43,8 +43,10 @@ from repro.updates.batch import UpdateOp, delete as _delete_op, insert as _inser
 
 _STORE_MAGIC = b"RSSESTORE1"
 _HYBRID_MAGIC = b"RSSEHYB1"
-#: Cost-model weights on the wire: six unit seconds + calibrated flag.
-_COST_MODEL_PACK = struct.Struct(">6dB")
+#: Cost-model weights on the wire: six unit seconds, the kernel
+#: offload crossover + two offload-lane rates, and the calibrated
+#: flag.  ``inf`` (serial kernels: offload never pays) packs fine.
+_COST_MODEL_PACK = struct.Struct(">9dB")
 
 
 class RangeStore:
@@ -529,6 +531,9 @@ class HybridRangeStore:
             model.round_seconds,
             model.fetch_seconds,
             model.rtt_seconds,
+            model.offload_crossover,
+            model.expand_offload_seconds,
+            model.derive_offload_seconds,
             1 if model.calibrated else 0,
         )
         histogram_blob = b"".join(
@@ -590,7 +595,10 @@ class HybridRangeStore:
             round_seconds=fields[3],
             fetch_seconds=fields[4],
             rtt_seconds=fields[5],
-            calibrated=bool(fields[6]),
+            offload_crossover=fields[6],
+            expand_offload_seconds=fields[7],
+            derive_offload_seconds=fields[8],
+            calibrated=bool(fields[9]),
         )
         histogram_blob = reader.chunk()
         buckets = int.from_bytes(histogram_blob[:8], "big")

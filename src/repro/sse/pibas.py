@@ -50,6 +50,21 @@ def posting_label(label_key: bytes, counter: int) -> bytes:
 _label = posting_label
 
 
+def posting_labels(label_key: bytes, counters) -> "list[bytes]":
+    """Bulk :func:`posting_label` for one keyword, in counter order.
+
+    Byte-identical to mapping the scalar function.  The array shape is
+    the crypto kernel's label-batch currency; build and search walks
+    use it so their label loops have one derivation seam.
+    """
+    digest = hmac.digest
+    sha256 = hashlib.sha256
+    return [
+        digest(label_key, encode_counter(counter), sha256)[:LABEL_LEN]
+        for counter in counters
+    ]
+
+
 def _xor_pad(value_key: bytes, counter: int, data: bytes) -> bytes:
     """One-posting stream encryption keyed by (value_key, counter).
 
@@ -86,10 +101,11 @@ class PiBas(SseScheme):
             token = self._deriver.derive(keyword)
             payloads = list(multimap[keyword])
             self._shuffle_rng.shuffle(payloads)
+            labels = posting_labels(token.label_key, range(len(payloads)))
             for counter, payload in enumerate(payloads):
                 length = len(payload).to_bytes(4, "big")
                 ct = _xor_pad(token.value_key, counter, length + payload)
-                index.put(_label(token.label_key, counter), ct)
+                index.put(labels[counter], ct)
         return index
 
     def search(self, index: EncryptedIndex, token: KeywordToken) -> list[bytes]:
@@ -148,7 +164,7 @@ def search(index: EncryptedIndex, token: KeywordToken) -> "list[bytes]":
         return results
     chunk = max(batch, 2)
     while True:
-        labels = [_label(token.label_key, counter + i) for i in range(chunk)]
+        labels = posting_labels(token.label_key, range(counter, counter + chunk))
         for offset, ct in enumerate(get_many(labels)):
             if ct is None:
                 return results

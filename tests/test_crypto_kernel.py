@@ -1,0 +1,369 @@
+"""Crypto-kernel contract: serial/pooled equivalence, crossover,
+crash fallback, and the engine-never-bypasses-the-kernel regression.
+
+The kernel's one promise is byte-identical outputs across backends;
+these tests pin it primitive by primitive, then pin the operational
+behaviour around it — the crossover keeping small batches off the
+pool, a SIGKILLed worker degrading to a counted serial fallback
+instead of a hang, and the exec engine routing *every* leaf and label
+through the kernel (the spy test) so no per-leaf ``hmac.digest`` loop
+can quietly return.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.crypto import prg
+from repro.crypto.dprf import DelegationToken, GgmDprf
+from repro.crypto.kernel import (
+    DEFAULT_OFFLOAD_MIN_UNITS,
+    PooledKernel,
+    SerialKernel,
+    _chunk_by_weight,
+    configure_default_kernel,
+    default_kernel,
+    make_kernel,
+)
+from repro.crypto.prf import prf, prf_many
+from repro.errors import KeyError_, TokenError
+from repro.sse.base import subkeys_from_secret
+from repro.sse.pibas import posting_label, posting_labels
+
+KEY = b"\x0b" * 32
+
+
+@pytest.fixture(scope="module")
+def pooled():
+    """One pool for the whole module: spawn startup costs ~0.5 s, and
+    every test here only needs *a* live worker lane, not a fresh one."""
+    kernel = PooledKernel(2, offload_min_units=1)
+    yield kernel
+    kernel.close()
+
+
+def _descriptors():
+    return [
+        (b"\x01" * 32, 5),
+        (b"\x02" * 32, 0),
+        (b"\x03" * 32, 7),
+    ]
+
+
+def _reference_subkeys(descriptors):
+    return [
+        tuple(
+            subkeys_from_secret(leaf)
+            for leaf in GgmDprf.iter_leaves(DelegationToken(seed, level))
+        )
+        for seed, level in descriptors
+    ]
+
+
+class TestSerialKernel:
+    def test_expand_matches_iter_leaves(self):
+        kernel = SerialKernel()
+        descriptors = _descriptors()
+        expected = [
+            list(GgmDprf.iter_leaves(DelegationToken(seed, level)))
+            for seed, level in descriptors
+        ]
+        assert kernel.expand_subtrees(descriptors) == expected
+
+    def test_subkeys_match_scalar_path(self):
+        kernel = SerialKernel()
+        descriptors = _descriptors()
+        assert kernel.derive_leaf_subkeys(descriptors) == _reference_subkeys(
+            descriptors
+        )
+
+    def test_labels_match_scalar_path(self):
+        kernel = SerialKernel()
+        items = [(os.urandom(16), i) for i in range(40)]
+        assert kernel.derive_labels(items) == [
+            posting_label(key, counter) for key, counter in items
+        ]
+        assert kernel.derive_labels([]) == []
+
+    def test_prf_prg_many(self):
+        kernel = SerialKernel()
+        messages = [b"m%d" % i for i in range(9)]
+        assert kernel.prf_many(KEY, messages) == [prf(KEY, m) for m in messages]
+        seeds = [os.urandom(32) for _ in range(5)]
+        assert kernel.prg_many(seeds) == [prg._expand(s) for s in seeds]
+
+    def test_counters(self):
+        kernel = SerialKernel()
+        kernel.derive_leaf_subkeys([(b"\x05" * 32, 4)])
+        kernel.derive_labels([(b"\x06" * 16, 0)])
+        stats = kernel.stats()
+        assert stats["backend"] == "serial"
+        assert stats["workers"] == 0
+        assert stats["batches_serial"] == 2
+        assert stats["batches_offloaded"] == 0
+        assert stats["leaves_expanded"] == 16
+        assert stats["labels_derived"] == 1
+        assert stats["offload_ratio"] == 0.0
+
+    def test_rejects_bad_descriptor(self):
+        kernel = SerialKernel()
+        with pytest.raises(TokenError):
+            kernel.expand_subtrees([(b"short", 3)])
+        with pytest.raises(TokenError):
+            kernel.derive_leaf_subkeys([(b"\x01" * 32, -1)])
+
+
+class TestPooledKernel:
+    def test_byte_identical_to_serial(self, pooled):
+        serial = SerialKernel()
+        descriptors = _descriptors()
+        assert pooled.derive_leaf_subkeys(
+            descriptors
+        ) == serial.derive_leaf_subkeys(descriptors)
+        assert pooled.expand_subtrees(descriptors) == serial.expand_subtrees(
+            descriptors
+        )
+        items = [(os.urandom(16), i) for i in range(300)]
+        assert pooled.derive_labels(items) == serial.derive_labels(items)
+        messages = [b"msg-%d" % i for i in range(50)]
+        assert pooled.prf_many(KEY, messages) == prf_many(KEY, messages)
+        seeds = [os.urandom(32) for _ in range(20)]
+        assert pooled.prg_many(seeds) == serial.prg_many(seeds)
+        assert pooled.stats()["batches_offloaded"] >= 5
+        assert pooled.stats()["serial_fallbacks"] == 0
+
+    def test_crossover_keeps_small_batches_serial(self):
+        kernel = PooledKernel(2, offload_min_units=10_000)
+        try:
+            before = kernel.stats()
+            kernel.derive_leaf_subkeys([(b"\x07" * 32, 6)])  # 128 units
+            kernel.derive_labels([(b"\x08" * 16, i) for i in range(64)])
+            stats = kernel.stats()
+            assert stats["batches_serial"] == before["batches_serial"] + 2
+            assert stats["batches_offloaded"] == 0
+            # Never offloaded => the pool was never even created.
+            assert kernel._pool is None
+        finally:
+            kernel.close()
+
+    def test_worker_crash_falls_back_serially(self):
+        """SIGKILL every pool worker, then ask for a batch: the query
+        must complete (correct bytes, no hang), count one serial
+        fallback, and the *next* batch must offload again through a
+        lazily rebuilt pool."""
+        kernel = PooledKernel(2, offload_min_units=1)
+        serial = SerialKernel()
+        descriptors = [(b"\x09" * 32, 8)]
+        try:
+            for pid in kernel.worker_pids():
+                os.kill(pid, signal.SIGKILL)
+            t0 = time.monotonic()
+            result = kernel.derive_leaf_subkeys(descriptors)
+            assert time.monotonic() - t0 < 30  # completed, no hang
+            assert result == serial.derive_leaf_subkeys(descriptors)
+            stats = kernel.stats()
+            assert stats["serial_fallbacks"] == 1
+            # Recovery: the pool rebuilds lazily and offloads again.
+            assert kernel.derive_labels(
+                [(b"\x0a" * 16, i) for i in range(8)]
+            ) == serial.derive_labels([(b"\x0a" * 16, i) for i in range(8)])
+            after = kernel.stats()
+            assert after["batches_offloaded"] >= 1
+            assert after["serial_fallbacks"] == 1
+        finally:
+            kernel.close()
+
+    def test_sim_mode_computes_inline_and_occupies_lanes(self):
+        kernel = PooledKernel(3, offload_min_units=1, sim_hmac_s=1e-9)
+        serial = SerialKernel()
+        try:
+            descriptors = _descriptors()
+            assert kernel.derive_leaf_subkeys(
+                descriptors
+            ) == serial.derive_leaf_subkeys(descriptors)
+            stats = kernel.stats()
+            assert stats["batches_offloaded"] == 1
+            # The simulated lane never creates a real pool.
+            assert kernel._pool is None
+        finally:
+            kernel.close()
+
+
+class TestChunking:
+    def test_preserves_order_and_items(self):
+        items = list(range(17))
+        weights = [1 + (i % 5) for i in items]
+        chunks = _chunk_by_weight(items, weights, 4)
+        assert [x for chunk in chunks for x in chunk] == items
+        assert len(chunks) <= 4
+
+    def test_single_chunk_cases(self):
+        assert _chunk_by_weight([1], [3], 4) == [[1]]
+        assert _chunk_by_weight([1, 2], [1, 1], 1) == [[1, 2]]
+
+
+class TestConfig:
+    def test_make_kernel_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CRYPTO_WORKERS", raising=False)
+        assert make_kernel().name == "serial"
+        monkeypatch.setenv("REPRO_CRYPTO_WORKERS", "0")
+        assert make_kernel().name == "serial"
+        monkeypatch.setenv("REPRO_CRYPTO_WORKERS", "3")
+        kernel = make_kernel()
+        assert kernel.name == "pooled" and kernel.workers == 3
+        kernel.close()
+        monkeypatch.setenv("REPRO_CRYPTO_WORKERS", "nope")
+        with pytest.raises(ValueError):
+            make_kernel()
+
+    def test_explicit_workers_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CRYPTO_WORKERS", "4")
+        assert make_kernel(0).name == "serial"
+
+    def test_crossover_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CRYPTO_CROSSOVER", "17")
+        kernel = PooledKernel(1)
+        try:
+            assert kernel.offload_min_units == 17
+        finally:
+            kernel.close()
+        monkeypatch.delenv("REPRO_CRYPTO_CROSSOVER")
+        kernel = PooledKernel(1)
+        try:
+            assert kernel.offload_min_units == DEFAULT_OFFLOAD_MIN_UNITS
+        finally:
+            kernel.close()
+
+    def test_sim_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CRYPTO_SIM_HMAC_US", "2.5")
+        kernel = make_kernel(0)
+        assert kernel.sim_hmac_s == pytest.approx(2.5e-6)
+
+    def test_configure_default_kernel(self):
+        try:
+            kernel = configure_default_kernel(0)
+            assert kernel.name == "serial"
+            assert default_kernel() is kernel
+        finally:
+            configure_default_kernel(0)
+
+    def test_configure_default_executor_wires_kernel(self):
+        from repro.exec import configure_default_executor
+
+        try:
+            executor = configure_default_executor(crypto_workers=0)
+            assert executor.kernel.name == "serial"
+            assert executor.kernel is default_kernel()
+        finally:
+            configure_default_executor(crypto_workers=0)
+
+
+class TestDprfKernelEntryPoints:
+    def test_expand_token_via_kernel(self):
+        kernel = SerialKernel()
+        token = DelegationToken(b"\x11" * 32, 6)
+        assert GgmDprf.expand_token(token, kernel=kernel) == GgmDprf.expand_token(
+            token
+        )
+        tokens = [token, DelegationToken(b"\x12" * 32, 3)]
+        assert GgmDprf.expand_all(tokens, kernel=kernel) == GgmDprf.expand_all(
+            tokens
+        )
+
+    def test_descriptor_round_trip(self):
+        token = DelegationToken(b"\x13" * 32, 4)
+        seed, level = token.descriptor()
+        assert DelegationToken(seed, level) == token
+
+
+class TestBatchEntryPoints:
+    def test_posting_labels_matches_scalar(self):
+        key = b"\x14" * 16
+        assert posting_labels(key, range(10)) == [
+            posting_label(key, i) for i in range(10)
+        ]
+
+    def test_subkeys_many_matches_scalar(self):
+        from repro.sse.base import subkeys_from_secret_many
+
+        secrets = [os.urandom(32) for _ in range(5)] + [b"short"]
+        assert subkeys_from_secret_many(secrets) == [
+            subkeys_from_secret(s) for s in secrets
+        ]
+
+    def test_prf_many_checks_key(self):
+        with pytest.raises(KeyError_):
+            prf_many(b"short", [b"m"])
+
+
+class _SpyKernel(SerialKernel):
+    """Counts exactly what flows through the kernel seam."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.label_items = 0
+        self.subkey_leaves = 0
+
+    def derive_labels(self, items):
+        items = list(items)
+        self.label_items += len(items)
+        return super().derive_labels(items)
+
+    def derive_leaf_subkeys(self, descriptors):
+        descriptors = list(descriptors)
+        self.subkey_leaves += sum(1 << level for _, level in descriptors)
+        return super().derive_leaf_subkeys(descriptors)
+
+
+class TestEngineNeverBypassesKernel:
+    """The spy-kernel regression: on batched paths the engine derives
+    every probed label and every expanded leaf *through the kernel* —
+    a reintroduced per-leaf ``hmac.digest`` loop would make the spy
+    counters fall short of the engine's own realized stats."""
+
+    def _scheme(self, name, spy, seed=3):
+        import random
+
+        from repro.core.registry import make_scheme
+        from repro.exec.engine import QueryExecutor
+
+        executor = QueryExecutor(workers=1, cache=False, kernel=spy)
+        kwargs = (
+            {"intersection_policy": "allow"}
+            if name.startswith("constant")
+            else {}
+        )
+        return make_scheme(
+            name, 128, rng=random.Random(seed), executor=executor, **kwargs
+        )
+
+    def test_dprf_path_counts_match_stats(self):
+        import random
+
+        spy = _SpyKernel()
+        scheme = self._scheme("constant-brc", spy)
+        rng = random.Random(5)
+        records = [(i, rng.randrange(128)) for i in range(80)]
+        scheme.build_index(records)
+        scheme.query(10, 90)
+        stats = scheme.last_exec_stats
+        assert stats.leaves_derived > 0
+        assert spy.subkey_leaves == stats.leaves_derived
+        assert spy.label_items == stats.probes_issued
+
+    def test_sse_path_counts_match_stats(self):
+        import random
+
+        spy = _SpyKernel()
+        scheme = self._scheme("logarithmic-brc", spy)
+        rng = random.Random(6)
+        records = [(i, rng.randrange(128)) for i in range(60)]
+        scheme.build_index(records)
+        scheme.query(0, 100)
+        stats = scheme.last_exec_stats
+        assert stats.probes_issued > 0
+        assert spy.label_items == stats.probes_issued

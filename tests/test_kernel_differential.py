@@ -1,0 +1,122 @@
+"""Serial-vs-pooled kernel differential across every registry scheme.
+
+The kernel contract is byte-identical outputs regardless of backend.
+This suite pins it at the strongest observable boundary — the wire: a
+client runs real range queries against a server whose executor uses the
+``SerialKernel``, recording every request/response frame; the same
+frames then replay against a second server over the *same* storage
+backend whose executor offloads every batch to a ``PooledKernel``
+(crossover forced to 1), and each response frame must match the
+recorded one byte for byte.  All seven registry schemes, over both the
+in-memory and SQLite backends — if any pooled code path (chunking,
+blob slicing, worker jobs, pickling) disagreed with the serial loop by
+one byte anywhere, a frame comparison here fails.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import make_scheme
+from repro.baselines.plaintext import PlaintextRangeIndex
+from repro.crypto.kernel import PooledKernel, SerialKernel
+from repro.exec.engine import QueryExecutor
+from repro.protocol import RemoteRangeClient, RsseServer
+from repro.storage import InMemoryBackend, SqliteBackend
+
+SCHEMES = (
+    "quadratic",
+    "constant-brc",
+    "constant-urc",
+    "logarithmic-brc",
+    "logarithmic-urc",
+    "logarithmic-src",
+    "logarithmic-src-i",
+)
+
+BACKENDS = ("memory", "sqlite")
+
+RANGES = [(0, 63), (17, 51), (32, 32), (50, 60)]
+
+
+@pytest.fixture(scope="module")
+def pooled():
+    """One worker pool for all 14 cases — spawn startup is ~0.5 s, and
+    sharing it also means the pool sees every scheme's batch shapes."""
+    kernel = PooledKernel(2, offload_min_units=1)
+    yield kernel
+    stats = kernel.stats()
+    kernel.close()
+    # The whole module must have exercised the *offloaded* lane, and a
+    # silent worker death would have shown up as a counted fallback.
+    assert stats["batches_offloaded"] > 0
+    assert stats["serial_fallbacks"] == 0
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = random.Random(11)
+    return [(i, rng.randrange(64)) for i in range(150)]
+
+
+class _RecordingTransport:
+    """Forward frames to a server, keeping (request, response) pairs."""
+
+    def __init__(self, handle):
+        self._handle = handle
+        self.frames: "list[tuple[bytes, bytes | None]]" = []
+
+    def __call__(self, frame: bytes):
+        response = self._handle(frame)
+        self.frames.append(
+            (bytes(frame), None if response is None else bytes(response))
+        )
+        return response
+
+
+def _executor(kernel) -> QueryExecutor:
+    # workers=1 and no cache: the kernel is the only variable.
+    return QueryExecutor(workers=1, cache=False, kernel=kernel)
+
+
+def _make_backend(kind: str, tmp_path):
+    if kind == "sqlite":
+        return SqliteBackend(tmp_path / "edb.sqlite")
+    return InMemoryBackend()
+
+
+@pytest.mark.parametrize("backend_kind", BACKENDS)
+@pytest.mark.parametrize("name", SCHEMES)
+def test_pooled_replay_is_byte_identical(
+    name, backend_kind, dataset, pooled, tmp_path
+):
+    domain = 64 if name == "quadratic" else 128
+    kwargs = (
+        {"intersection_policy": "allow"} if name.startswith("constant") else {}
+    )
+    scheme = make_scheme(name, domain, rng=random.Random(21), **kwargs)
+
+    backend = _make_backend(backend_kind, tmp_path)
+    serial_server = RsseServer(backend, executor=_executor(SerialKernel()))
+    transport = _RecordingTransport(serial_server.handle)
+    client = RemoteRangeClient(scheme, transport, rng=random.Random(22))
+    client.outsource(dataset)
+    transport.frames.clear()  # keep only the query-phase frames
+
+    oracle = PlaintextRangeIndex(dataset)
+    for lo, hi in RANGES:
+        assert client.query(lo, hi) == frozenset(oracle.query(lo, hi))
+    assert transport.frames, "queries must have produced frames"
+
+    # Same stored state, same request frames, pooled crypto lane: every
+    # response frame must come back byte-identical.
+    offloaded_before = pooled.stats()["batches_offloaded"]
+    pooled_server = RsseServer(backend, executor=_executor(pooled))
+    for request, expected in transport.frames:
+        response = pooled_server.handle(request)
+        assert (None if response is None else bytes(response)) == expected
+    stats = pooled.stats()
+    assert stats["batches_offloaded"] > offloaded_before
+    assert stats["serial_fallbacks"] == 0
