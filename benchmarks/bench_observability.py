@@ -1,0 +1,398 @@
+"""Observability benchmark (``BENCH_PR8.json``).
+
+Two gated questions, one transparency lane:
+
+**1. What does always-on instrumentation cost?** (overhead)
+    The PR-8 telemetry sits on every hot path: ``span()`` probes in
+    the engine wave loop and kernel batch primitives, dispatcher
+    decision counters, and the per-op latency histogram behind
+    ``ServerStats.record_op``.  This lane replays recorded
+    constant-brc query frames through an in-process server twice per
+    pass — once with instruments enabled, once against
+    registry-disabled no-ops — in *interleaved* passes, gating on the
+    median per-pass ratio (the same anti-interference device the
+    crypto-kernel bench uses).
+
+    *Gate:* enabled/disabled ratio ≤ ``--overhead-factor`` (default
+    1.05×).
+
+**2. Does the stats surface actually carry tails?** (cluster poll)
+    Two in-thread shard servers take real uploads and scatter-gather
+    queries; the stats frame is then polled through
+    :class:`~repro.net.NetTransport` and every op on every shard must
+    report populated ``p50/p95/p99`` percentiles alongside the
+    historical count/mean keys, and the live monitor's sample must
+    see every shard reachable.
+
+    *Gate:* every recorded op on every shard carries all three
+    percentile keys with ``p50 ≤ p95 ≤ p99`` and a positive count.
+
+**Transparency (ungated).**  The same replay with a per-batch trace
+active — every ``span()`` actually recording — reported as a ratio
+against the untraced enabled lane.  Tracing is opt-in per query, so
+its cost rides outside the always-on gate.
+
+Run it::
+
+    PYTHONPATH=src python benchmarks/bench_observability.py \
+        --json BENCH_PR8.json
+
+Smoke scale (CI)::
+
+    PYTHONPATH=src python benchmarks/bench_observability.py --smoke \
+        --json bench-obs-smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir))
+
+from benchmarks import jsonout  # noqa: E402
+
+
+def _paired_ratio(fn_a, fn_b, passes: int) -> "tuple[float, float, float]":
+    """Interleaved passes; returns (best_a, best_b, median b/a ratio).
+
+    Median-of-per-pass-ratios keeps one scheduler burst on a busy CI
+    box from skewing a comparison whose true difference is ~1%."""
+    best_a = best_b = float("inf")
+    ratios = []
+    for _ in range(passes):
+        t0 = time.perf_counter()
+        fn_a()
+        elapsed_a = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        fn_b()
+        elapsed_b = time.perf_counter() - t0
+        best_a = min(best_a, elapsed_a)
+        best_b = min(best_b, elapsed_b)
+        ratios.append(elapsed_b / elapsed_a)
+    ratios.sort()
+    return best_a, best_b, ratios[len(ratios) // 2]
+
+
+# ---------------------------------------------------------------------------
+# Experiment 1: instrumentation overhead on the in-process hot path
+# ---------------------------------------------------------------------------
+
+
+def _record_workload(args):
+    """One constant-brc index plus recorded query frame groups."""
+    from repro.core.registry import make_scheme
+    from repro.exec.engine import QueryExecutor
+    from repro.protocol import RemoteRangeClient, RsseServer
+    from repro.storage import InMemoryBackend
+
+    rng = random.Random(args.seed)
+    records = [(i, rng.randrange(args.domain)) for i in range(args.records)]
+    scheme = make_scheme(
+        "constant-brc",
+        args.domain,
+        rng=random.Random(args.seed + 1),
+        intersection_policy="allow",
+    )
+    backend = InMemoryBackend()
+    server = RsseServer(
+        backend, executor=QueryExecutor(workers=1, cache=False)
+    )
+    recorded: "list[bytes]" = []
+
+    def transport(frame: bytes):
+        recorded.append(bytes(frame))
+        return server.handle(frame)
+
+    client = RemoteRangeClient(
+        scheme, transport, rng=random.Random(args.seed + 2)
+    )
+    client.outsource(records)
+    groups: "list[list[bytes]]" = []
+    for _ in range(args.queries):
+        lo = rng.randrange(args.domain // 2)
+        width = rng.randrange(args.domain // 4, args.domain // 2)
+        recorded.clear()
+        client.query(lo, min(args.domain - 1, lo + width))
+        groups.append(list(recorded))
+    return backend, groups
+
+
+def _make_server(backend):
+    """A fresh cacheless single-worker server over the stored state —
+    every replay pass does the same real crypto work."""
+    from repro.exec.engine import QueryExecutor
+    from repro.protocol import RsseServer
+
+    return RsseServer(backend, executor=QueryExecutor(workers=1, cache=False))
+
+
+def _replay(server, stats, groups) -> None:
+    """What the net front does per frame: handle it, record the op."""
+    for group in groups:
+        for frame in group:
+            t0 = time.perf_counter()
+            server.handle_request(frame)
+            stats.record_op("multi-search", time.perf_counter() - t0)
+
+
+def _replay_traced(server, stats, groups, buffer) -> None:
+    from repro.obs.tracing import new_trace_id, start_trace
+
+    for group in groups:
+        with start_trace(new_trace_id(), buffer, "server.handle"):
+            for frame in group:
+                t0 = time.perf_counter()
+                server.handle_request(frame)
+                stats.record_op("multi-search", time.perf_counter() - t0)
+
+
+def run_overhead(args) -> "dict[str, float]":
+    from repro.net.server import ServerStats
+    from repro.obs.registry import MetricsRegistry, configure_default_registry
+    from repro.obs.tracing import TraceBuffer
+
+    backend, groups = _record_workload(args)
+    server = _make_server(backend)
+    enabled_stats = ServerStats(registry=MetricsRegistry(enabled=True))
+    disabled_stats = ServerStats(registry=MetricsRegistry(enabled=False))
+    # Warm every lazy path (searchable index, dispatcher cache) once.
+    _replay(server, disabled_stats, groups[:1])
+
+    def disabled_lane():
+        configure_default_registry(enabled=False)
+        try:
+            _replay(server, disabled_stats, groups)
+        finally:
+            configure_default_registry(enabled=None)
+
+    def enabled_lane():
+        _replay(server, enabled_stats, groups)
+
+    disabled_s, enabled_s, ratio = _paired_ratio(
+        disabled_lane, enabled_lane, args.passes
+    )
+
+    # Transparency: the opt-in traced path against the enabled lane.
+    buffer = TraceBuffer()
+    traced_s = float("inf")
+    for _ in range(args.passes):
+        t0 = time.perf_counter()
+        _replay_traced(server, enabled_stats, groups, buffer)
+        traced_s = min(traced_s, time.perf_counter() - t0)
+
+    frames = sum(len(g) for g in groups)
+    hist = enabled_stats.registry.histogram("op.multi-search")
+    return {
+        "disabled_seconds": disabled_s,
+        "enabled_seconds": enabled_s,
+        "overhead_ratio": ratio,
+        "traced_seconds": traced_s,
+        "traced_ratio": traced_s / enabled_s,
+        "frames_per_pass": float(frames),
+        "enabled_frames_per_s": frames / enabled_s,
+        "observations_recorded": float(hist.count),
+        "traces_recorded": float(len(buffer)),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Experiment 2: cluster stats poll — percentiles on every op, every shard
+# ---------------------------------------------------------------------------
+
+
+def run_cluster_poll(args) -> "dict[str, float]":
+    """Returns lane metrics; raises AssertionError when the gate fails."""
+    from repro.cluster import ClusterRouter, make_shard_map
+    from repro.core.registry import make_scheme
+    from repro.net import NetTransport, serve_in_thread
+    from repro.obs import ClusterMonitor
+    from repro.obs.tracing import new_trace_id
+
+    rng = random.Random(args.seed + 10)
+    records = [
+        (i, rng.randrange(args.domain)) for i in range(args.records)
+    ]
+    servers = [
+        serve_in_thread(shard=f"{i}/{args.shards}")
+        for i in range(args.shards)
+    ]
+    ops_checked = 0
+    try:
+        shard_map = make_shard_map([(s.host, s.port) for s in servers])
+        schemes = [
+            make_scheme(
+                "logarithmic-brc",
+                args.domain,
+                rng=random.Random(args.seed + 11 + i),
+            )
+            for i in range(args.shards)
+        ]
+        router = ClusterRouter(schemes, shard_map)
+        try:
+            router.outsource(records)
+            for q in range(args.poll_queries):
+                lo = rng.randrange(args.domain)
+                hi = rng.randrange(lo, args.domain)
+                router.query_many(
+                    [(lo, hi)],
+                    trace_id=new_trace_id() if q % 2 == 0 else None,
+                )
+            for server in servers:
+                with NetTransport(server.host, server.port) as transport:
+                    stats = transport.stats()
+                assert stats.get("v") == 1, "stats frame must be versioned"
+                ops = stats["net"]["ops"]
+                assert ops, f"shard {server.port}: no ops recorded"
+                for name, entry in ops.items():
+                    label = f"shard {server.port} op {name}"
+                    assert entry.get("count", 0) >= 1, label
+                    for key in ("p50_seconds", "p95_seconds", "p99_seconds"):
+                        assert key in entry, f"{label}: missing {key}"
+                        assert entry[key] > 0.0, f"{label}: {key} empty"
+                    assert (
+                        entry["p50_seconds"]
+                        <= entry["p95_seconds"] * 1.0001
+                        <= entry["p99_seconds"] * 1.0002
+                    ), f"{label}: percentiles out of order"
+                    ops_checked += 1
+            addrs = [(s.host, s.port) for s in servers]
+            with ClusterMonitor(addrs) as monitor:
+                sample = monitor.sample()
+            assert sample["reachable"] == args.shards, "monitor saw a DOWN shard"
+        finally:
+            router.close()
+    finally:
+        for server in servers:
+            server.stop()
+    return {
+        "shards": float(args.shards),
+        "queries": float(args.poll_queries),
+        "ops_with_percentiles": float(ops_checked),
+    }
+
+
+# ---------------------------------------------------------------------------
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--records", type=int, default=300,
+                        help="indexed records (both lanes)")
+    parser.add_argument("--domain", type=int, default=1 << 10,
+                        help="value domain (both lanes)")
+    parser.add_argument("--queries", type=int, default=16,
+                        help="overhead lane: recorded query frame groups")
+    parser.add_argument("--passes", type=int, default=7,
+                        help="overhead lane: interleaved passes")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="cluster lane: in-thread shard servers")
+    parser.add_argument("--poll-queries", type=int, default=12,
+                        help="cluster lane: scatter-gather queries")
+    parser.add_argument("--seed", type=int, default=23)
+    parser.add_argument("--overhead-factor", type=float, default=1.05,
+                        help="gate: enabled <= factor * disabled")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI scale: small batches, few passes")
+    parser.add_argument("--json", default="BENCH_PR8.json", metavar="PATH")
+    parser.add_argument("--force", action="store_true",
+                        help="allow overwriting a committed BENCH_*.json")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.records = min(args.records, 150)
+        args.domain = min(args.domain, 1 << 9)
+        args.queries = min(args.queries, 8)
+        args.passes = min(args.passes, 3)
+        args.poll_queries = min(args.poll_queries, 6)
+    jsonout.check_baseline_path(args.json, args.force)
+
+    results = []
+
+    print("overhead: instrumented hot path vs registry-disabled no-ops")
+    overhead = run_overhead(args)
+    print(
+        f"  enabled {overhead['overhead_ratio']:.3f}x disabled "
+        f"({overhead['enabled_frames_per_s']:,.0f} frames/s); "
+        f"traced {overhead['traced_ratio']:.3f}x enabled (ungated)"
+    )
+    results.append(
+        jsonout.result(
+            "overhead/instrumented-hot-path",
+            "observability",
+            {"records": args.records, "domain": args.domain,
+             "queries": args.queries, "passes": args.passes},
+            **overhead,
+        )
+    )
+
+    print(
+        f"cluster poll: {args.shards} shards, tail percentiles on every op"
+    )
+    poll = run_cluster_poll(args)
+    print(
+        f"  {poll['ops_with_percentiles']:.0f} op entries carried "
+        "p50/p95/p99 across all shards; monitor saw every shard up"
+    )
+    results.append(
+        jsonout.result(
+            "cluster/stats-poll",
+            "observability",
+            {"shards": args.shards, "queries": args.poll_queries},
+            **poll,
+        )
+    )
+
+    results.append(
+        jsonout.result(
+            "acceptance",
+            "observability",
+            {"overhead_factor": args.overhead_factor},
+            overhead_ratio=overhead["overhead_ratio"],
+            ops_with_percentiles=poll["ops_with_percentiles"],
+        )
+    )
+
+    jsonout.emit_json(
+        args.json,
+        "observability",
+        results,
+        meta={
+            "records": args.records,
+            "domain": args.domain,
+            "queries": args.queries,
+            "passes": args.passes,
+            "shards": args.shards,
+            "cpus": os.cpu_count(),
+            "smoke": args.smoke,
+        },
+        force=args.force,
+    )
+    print(f"wrote {args.json}")
+
+    ok = True
+    if overhead["overhead_ratio"] > args.overhead_factor:
+        print(
+            f"GATE FAIL: instrumentation overhead "
+            f"{overhead['overhead_ratio']:.3f}x "
+            f"(allowed {args.overhead_factor}x)"
+        )
+        ok = False
+    if poll["ops_with_percentiles"] < 1:
+        print("GATE FAIL: no op percentiles observed in the cluster poll")
+        ok = False
+    if ok:
+        print(
+            f"gates pass: overhead {overhead['overhead_ratio']:.3f}x <= "
+            f"{args.overhead_factor}x, "
+            f"{poll['ops_with_percentiles']:.0f} op entries with tails "
+            f"across {args.shards} shards"
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

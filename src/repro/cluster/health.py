@@ -72,6 +72,10 @@ def summarize(shard_map: ShardMap, probes: "list[dict]") -> dict:
         if kernel:
             for key in _KERNEL_TOTALS:
                 totals[key] += int(kernel.get(key, 0))
+        ops = net.get("ops", {})
+        # Tail latency of the query-serving op (PR-8 histograms): the
+        # single number a fleet operator scans first.
+        search_op = ops.get("multi-search") or ops.get("search") or {}
         entry.update(
             label=net.get("shard", ""),
             stored_bytes=int(server.get("stored_bytes", 0)),
@@ -80,7 +84,8 @@ def summarize(shard_map: ShardMap, probes: "list[dict]") -> dict:
             inflight_by_index=net.get("inflight_by_index", {}),
             exec_cache=cache,
             crypto_kernel=kernel,
-            ops=net.get("ops", {}),
+            ops=ops,
+            search_p99_ms=1e3 * float(search_op.get("p99_seconds", 0.0)),
         )
         shards.append(entry)
     kernel_batches = totals["batches_offloaded"] + totals["batches_serial"]
@@ -124,14 +129,14 @@ def render_health(health: dict) -> str:
     if fallbacks:
         summary += f" ({fallbacks} serial fallbacks)"
     lines = [summary]
-    header = f"{'shard':>5}  {'address':<21} {'state':<7} {'stored B':>10} {'frames':>8} {'errors':>7} {'kernel':>9}  busiest index"
+    header = f"{'shard':>5}  {'address':<21} {'state':<7} {'stored B':>10} {'frames':>8} {'errors':>7} {'p99 ms':>7} {'kernel':>9}  busiest index"
     lines.append(header)
     lines.append("-" * len(header))
     for entry in health["shards"]:
         if not entry["reachable"]:
             lines.append(
                 f"{entry['shard']:>5}  {entry['address']:<21} "
-                f"{'DOWN':<7} {'-':>10} {'-':>8} {'-':>7} {'-':>9}  {entry['error']}"
+                f"{'DOWN':<7} {'-':>10} {'-':>8} {'-':>7} {'-':>7} {'-':>9}  {entry['error']}"
             )
             continue
         inflight = entry.get("inflight_by_index", {})
@@ -155,6 +160,7 @@ def render_health(health: dict) -> str:
         lines.append(
             f"{entry['shard']:>5}  {entry['address']:<21} "
             f"{'up' + label:<7} {entry['stored_bytes']:>10} "
-            f"{entry['frames_in']:>8} {entry['errors']:>7} {kernel_cell:>9}  {busiest}"
+            f"{entry['frames_in']:>8} {entry['errors']:>7} "
+            f"{entry.get('search_p99_ms', 0.0):>7.2f} {kernel_cell:>9}  {busiest}"
         )
     return "\n".join(lines)

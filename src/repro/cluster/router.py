@@ -35,6 +35,7 @@ from typing import Callable, Sequence
 
 from repro.cluster.topology import ShardMap, ShardSpec
 from repro.errors import ClusterError, StaleTopologyError, TransportError
+from repro.obs.tracing import TraceBuffer, start_trace
 from repro.protocol.client import RemoteRangeClient
 
 
@@ -111,6 +112,10 @@ class ClusterRouter:
         )
         self._lanes: "list[_Lane | None]" = [None] * len(shard_map)
         self._lane_locks = [threading.Lock() for _ in range(len(shard_map))]
+        #: Client-side trace ring: one ``router.scatter`` root span per
+        #: traced batch (the server-side halves live in each shard's
+        #: own buffer under the same trace id).
+        self.tracer = TraceBuffer()
         self._attached = False
         self._pool = ThreadPoolExecutor(
             max_workers=(
@@ -293,6 +298,7 @@ class ClusterRouter:
         ranges: "Sequence[tuple[int, int]]",
         *,
         dispatch_hint: "str | None" = None,
+        trace_id: "str | None" = None,
     ) -> "list[frozenset[int]]":
         """Scatter a query batch to every shard, gather, merge.
 
@@ -301,25 +307,46 @@ class ClusterRouter:
         flight concurrently); per-range answers merge by union.  The
         shards hold disjoint record subsets, so the union is exactly
         the single-server answer, in the same order.
+
+        ``trace_id`` (e.g. :func:`repro.obs.new_trace_id`) opens a
+        ``router.scatter`` root span in :attr:`tracer` and rides the
+        wire to every shard, whose servers collect their own
+        ``server.handle`` span trees under the same id — the
+        cross-layer join key.  ``None`` (the default) traces nothing.
         """
         if not ranges:
             return []
         ranges = list(ranges)
-        futures = [
-            self._pool.submit(
-                self._with_retry,
-                shard,
-                lambda lane: lane.client.query_many(
-                    ranges, dispatch_hint=dispatch_hint
-                ),
-            )
-            for shard in range(len(self.shard_map))
-        ]
-        per_shard = [future.result() for future in futures]
-        return [
-            frozenset().union(*(shard_results[i] for shard_results in per_shard))
-            for i in range(len(ranges))
-        ]
+
+        def scatter() -> "list[frozenset[int]]":
+            futures = [
+                self._pool.submit(
+                    self._with_retry,
+                    shard,
+                    lambda lane: lane.client.query_many(
+                        ranges, dispatch_hint=dispatch_hint, trace_id=trace_id
+                    ),
+                )
+                for shard in range(len(self.shard_map))
+            ]
+            per_shard = [future.result() for future in futures]
+            return [
+                frozenset().union(
+                    *(shard_results[i] for shard_results in per_shard)
+                )
+                for i in range(len(ranges))
+            ]
+
+        if trace_id is None:
+            return scatter()
+        with start_trace(
+            trace_id,
+            self.tracer,
+            "router.scatter",
+            shards=len(self.shard_map),
+            ranges=len(ranges),
+        ):
+            return scatter()
 
     def fetch_payloads(self, ids: "Sequence[int]") -> "dict[int, bytes]":
         """Fetch + decrypt full documents, routed to their owning shards."""

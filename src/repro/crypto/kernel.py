@@ -63,6 +63,7 @@ from concurrent.futures.process import BrokenProcessPool
 
 from repro.crypto import prf as _prf
 from repro.crypto import prg as _prg
+from repro.obs.tracing import span as _span
 
 #: Environment knobs.
 ENV_CRYPTO_WORKERS = "REPRO_CRYPTO_WORKERS"
@@ -305,6 +306,12 @@ class CryptoKernel:
 
     # -- accounting / simulation -------------------------------------------
 
+    def _traced(self, op: str, units: int):
+        """A ``kernel.batch`` span for one bulk call — a shared no-op
+        (one contextvar read) outside a traced request, so the
+        always-on instrumentation stays inside the overhead gate."""
+        return _span("kernel.batch", backend=self.name, op=op, units=units)
+
     def _count(self, units: int, *, offloaded: bool, leaves: int = 0,
                labels: int = 0, fallback: bool = False) -> None:
         with self._stats_lock:
@@ -375,14 +382,16 @@ class SerialKernel(CryptoKernel):
     def expand_subtrees(self, descriptors) -> "list[list[bytes]]":
         descriptors = [check_descriptor(d) for d in descriptors]
         leaves = descriptor_leaves(descriptors)
-        blob = _serial_expand_blob(descriptors)
+        with self._traced("expand_subtrees", leaves):
+            blob = _serial_expand_blob(descriptors)
         self._count(leaves, offloaded=False, leaves=leaves)
         return _slice_expand(blob, descriptors)
 
     def derive_leaf_subkeys(self, descriptors) -> "list[tuple]":
         descriptors = [check_descriptor(d) for d in descriptors]
         leaves = descriptor_leaves(descriptors)
-        blob = _serial_subkeys_blob(descriptors)
+        with self._traced("derive_leaf_subkeys", 2 * leaves):
+            blob = _serial_subkeys_blob(descriptors)
         self._count(2 * leaves, offloaded=False, leaves=leaves)
         return _slice_subkeys(blob, descriptors)
 
@@ -391,7 +400,8 @@ class SerialKernel(CryptoKernel):
         # process shuttling, and paying join+reslice here would be pure
         # overhead on the default path the ≤1.05× bench gate protects.
         posting_label = _get_posting_label()
-        out = [posting_label(key, counter) for key, counter in items]
+        with self._traced("derive_labels", len(items)):
+            out = [posting_label(key, counter) for key, counter in items]
         self._count(len(out), offloaded=False, labels=len(out))
         return out
 
@@ -548,27 +558,29 @@ class PooledKernel(CryptoKernel):
         descriptors = [check_descriptor(d) for d in descriptors]
         weights = [1 << level for _, level in descriptors]
         leaves = sum(weights)
-        return self._run(
-            leaves,
-            lambda: _serial_expand_blob(descriptors),
-            _job_expand_blob,
-            _chunk_by_weight(descriptors, weights, self.workers),
-            lambda blob: _slice_expand(blob, descriptors),
-            leaves=leaves,
-        )
+        with self._traced("expand_subtrees", leaves):
+            return self._run(
+                leaves,
+                lambda: _serial_expand_blob(descriptors),
+                _job_expand_blob,
+                _chunk_by_weight(descriptors, weights, self.workers),
+                lambda blob: _slice_expand(blob, descriptors),
+                leaves=leaves,
+            )
 
     def derive_leaf_subkeys(self, descriptors) -> "list[tuple]":
         descriptors = [check_descriptor(d) for d in descriptors]
         weights = [1 << level for _, level in descriptors]
         leaves = sum(weights)
-        return self._run(
-            2 * leaves,
-            lambda: _serial_subkeys_blob(descriptors),
-            _job_subkeys_blob,
-            _chunk_by_weight(descriptors, weights, self.workers),
-            lambda blob: _slice_subkeys(blob, descriptors),
-            leaves=leaves,
-        )
+        with self._traced("derive_leaf_subkeys", 2 * leaves):
+            return self._run(
+                2 * leaves,
+                lambda: _serial_subkeys_blob(descriptors),
+                _job_subkeys_blob,
+                _chunk_by_weight(descriptors, weights, self.workers),
+                lambda blob: _slice_subkeys(blob, descriptors),
+                leaves=leaves,
+            )
 
     def derive_labels(self, items) -> "list[bytes]":
         items = [(bytes(key), int(counter)) for key, counter in items]
@@ -579,14 +591,15 @@ class PooledKernel(CryptoKernel):
             step = len(blob) // len(items)
             return [blob[o : o + step] for o in range(0, len(blob), step)]
 
-        return self._run(
-            len(items),
-            lambda: _serial_labels_blob(items),
-            _job_labels_blob,
-            _chunk_by_weight(items, [1] * len(items), self.workers),
-            finish,
-            labels=len(items),
-        )
+        with self._traced("derive_labels", len(items)):
+            return self._run(
+                len(items),
+                lambda: _serial_labels_blob(items),
+                _job_labels_blob,
+                _chunk_by_weight(items, [1] * len(items), self.workers),
+                finish,
+                labels=len(items),
+            )
 
 
 # ---------------------------------------------------------------------------

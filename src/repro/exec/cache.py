@@ -99,6 +99,7 @@ class ExpansionCache:
 
     def stats(self) -> dict:
         """Counters snapshot (observability for the harness/bench)."""
+        lookups = self.hits + self.misses
         return {
             "entries": len(self._entries),
             "cached_leaves": self._weight,
@@ -106,4 +107,5 @@ class ExpansionCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
         }

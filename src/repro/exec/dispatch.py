@@ -37,6 +37,7 @@ from typing import Callable, Sequence
 
 from repro.errors import DomainError, InvalidRangeError
 from repro.exec.plan import STAGE_EXPAND, QueryPlan, plan_range
+from repro.obs.registry import default_registry
 
 #: The wire hint meaning "let the receiver decide".
 HINT_AUTO = "auto"
@@ -501,6 +502,11 @@ class CostDispatcher:
         )
         self._cache: "dict[tuple[int, int], DispatchDecision]" = {}
         self._cache_generation = -1
+        #: Per-lane decision tally (scheme name → queries routed there),
+        #: cached decisions included — every query counts exactly once.
+        #: Mirrored into the default metrics registry for the unified
+        #: snapshot.
+        self.decisions: "dict[str, int]" = {}
         if forced is not None and forced != HINT_AUTO:
             self.force(forced)
 
@@ -578,6 +584,7 @@ class CostDispatcher:
                 self.clear_cache()
             cached = self._cache.get((lo, hi))
             if cached is not None:
+                self._tally(cached.scheme)
                 return cached
         if self.forced is not None:
             choice = self._score(self.forced, lo, hi)
@@ -592,7 +599,12 @@ class CostDispatcher:
             if len(self._cache) >= self.CACHE_LIMIT:
                 self._cache.pop(next(iter(self._cache)))
             self._cache[(lo, hi)] = decision
+        self._tally(decision.scheme)
         return decision
+
+    def _tally(self, scheme: str) -> None:
+        self.decisions[scheme] = self.decisions.get(scheme, 0) + 1
+        default_registry().counter(f"dispatch.decision.{scheme}").inc()
 
     def recalibrate(self, backend=None, **kwargs) -> CostModel:
         """Refit the unit weights from a measured probe run (in place)."""

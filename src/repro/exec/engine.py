@@ -55,6 +55,7 @@ from typing import Callable, Sequence
 from repro.crypto.kernel import CryptoKernel, default_kernel
 from repro.errors import IndexStateError
 from repro.exec.cache import ExpansionCache
+from repro.obs.tracing import span
 from repro.exec.plan import (
     KIND_DPRF,
     KIND_SSE,
@@ -312,8 +313,13 @@ class QueryExecutor:
                 label_key = pairs[walker][0]
                 for j in range(chunk):
                     items.append((label_key, counter + j))
-            flat = self.kernel.derive_labels(items)
-            values = get_many(flat)
+            # Trace spans are no-ops (one contextvar read) outside a
+            # traced request — per *round*, not per label, so cost
+            # never scales with batch size.
+            with span("engine.wave", walkers=len(state), labels=len(items)):
+                flat = self.kernel.derive_labels(items)
+                with span("storage.get_many", labels=len(flat)):
+                    values = get_many(flat)
             stats.probe_rounds += 1
             stats.probes_issued += len(flat)
             if len(state) > 1:

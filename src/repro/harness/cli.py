@@ -7,13 +7,17 @@ Usage::
     rsse-experiments serve --port 9471 --sqlite server.db
     rsse-experiments connect --port 9471 --records 500 --queries 20
     rsse-experiments cluster --shards 4 --bootstrap
+    rsse-experiments top --once --json
+    rsse-experiments trace --queries 8 --format chrome --out trace.json
 
 Every experiment subcommand prints the same rows/series the paper
 reports; ``--csv-dir`` additionally writes machine-readable output.
 ``serve`` hosts an :class:`~repro.net.RsseNetServer` (key-free: it only
 ever sees ciphertext); ``connect`` is the owner-side smoke client —
 build, outsource over TCP, query, verify against the plaintext oracle,
-and print latency plus the server's stats surface.
+and print latency plus the server's stats surface.  ``top`` is the live
+cluster monitor (per-shard QPS/tail-latency table); ``trace`` captures
+cross-layer query traces and exports them as Chrome trace or JSONL.
 """
 
 from __future__ import annotations
@@ -534,6 +538,237 @@ def _cluster_main(argv: "list[str]") -> int:
     return 1 if mismatches else 0
 
 
+def _spin_cluster(args):
+    """N in-thread shard servers plus a router with seeded data uploaded.
+
+    Shared by the ``top`` and ``trace`` subcommands' self-hosted demo
+    modes.  Returns ``(servers, router, rng)``; the caller owns
+    teardown (``router.close()`` then ``server.stop()`` each).
+    """
+    import random
+
+    from repro.cluster import ClusterRouter, make_shard_map
+    from repro.core.registry import make_scheme
+    from repro.net import serve_in_thread
+
+    rng = random.Random(args.seed)
+    records = [(i, rng.randrange(args.domain)) for i in range(args.records)]
+    kwargs = (
+        {"intersection_policy": "allow"}
+        if args.scheme.startswith("constant")
+        else {}
+    )
+    servers = [
+        serve_in_thread(shard=f"{i}/{args.shards}")
+        for i in range(args.shards)
+    ]
+    try:
+        shard_map = make_shard_map([(s.host, s.port) for s in servers])
+        schemes = [
+            make_scheme(
+                args.scheme,
+                args.domain,
+                rng=random.Random(args.seed + 1 + i),
+                **kwargs,
+            )
+            for i in range(args.shards)
+        ]
+        router = ClusterRouter(schemes, shard_map)
+        router.outsource(records)
+    except BaseException:
+        for server in servers:
+            server.stop()
+        raise
+    return servers, router, rng
+
+
+def _top_main(argv: "list[str]") -> int:
+    """``rsse-experiments top``: live per-shard cluster monitor."""
+    import json
+    import threading
+    import time
+
+    from repro.obs import ClusterMonitor, new_trace_id, render_top
+
+    parser = argparse.ArgumentParser(
+        prog="rsse-experiments top",
+        description="Poll shard stats and render a refreshing per-shard "
+        "table (QPS, p50/p99 latency, inflight depth, cache hit rate, "
+        "kernel backend).  With no --addr it self-hosts a seeded demo "
+        "cluster and drives a background query load so the numbers "
+        "move; with --addr it polls running servers.",
+    )
+    parser.add_argument(
+        "--addr",
+        action="append",
+        metavar="HOST:PORT",
+        help="poll this shard server (repeatable; skips the demo cluster)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=2,
+        help="demo-cluster width when no --addr is given",
+    )
+    parser.add_argument("--records", type=int, default=400)
+    parser.add_argument("--domain", type=int, default=1 << 16)
+    parser.add_argument("--scheme", default="logarithmic-brc")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between refreshes",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="print one sample and exit (nonzero if any shard is down)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the raw sample document instead of the table",
+    )
+    args = parser.parse_args(argv)
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
+
+    teardown = None
+    if args.addr:
+        addrs = list(args.addr)
+    else:
+        servers, router, rng = _spin_cluster(args)
+        ranges = []
+        for _ in range(32):
+            lo = rng.randrange(args.domain)
+            ranges.append((lo, rng.randrange(lo, args.domain)))
+        stop = threading.Event()
+
+        def load() -> None:
+            i = 0
+            while not stop.is_set():
+                batch = ranges[i % 24 : i % 24 + 8]
+                try:
+                    router.query_many(batch, trace_id=new_trace_id())
+                except Exception:
+                    if stop.is_set():
+                        return  # teardown raced the batch; not an error
+                    raise
+                i += 8
+                stop.wait(0.05)
+
+        load_thread = threading.Thread(
+            target=load, name="repro-top-load", daemon=True
+        )
+        load_thread.start()
+
+        def teardown() -> None:
+            stop.set()
+            load_thread.join(timeout=5.0)
+            router.close()
+            for server in servers:
+                server.stop()
+
+        addrs = [(s.host, s.port) for s in servers]
+
+    try:
+        with ClusterMonitor(addrs) as monitor:
+            while True:
+                sample = monitor.sample()
+                if args.as_json:
+                    print(json.dumps(sample, sort_keys=True), flush=True)
+                else:
+                    if not args.once:
+                        # ANSI clear + home — the "refreshing" part.
+                        print("\x1b[2J\x1b[H", end="")
+                    print(render_top(sample), flush=True)
+                if args.once:
+                    down = sample["shard_count"] - sample["reachable"]
+                    return 1 if down else 0
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        if teardown is not None:
+            teardown()
+
+
+def _trace_main(argv: "list[str]") -> int:
+    """``rsse-experiments trace``: capture and export query traces."""
+    import json
+
+    from repro.obs import to_chrome_trace, to_jsonl_lines
+
+    parser = argparse.ArgumentParser(
+        prog="rsse-experiments trace",
+        description="Export cross-layer query traces (router scatter -> "
+        "server handle -> engine waves -> kernel batches -> storage "
+        "reads) as a Chrome trace (chrome://tracing, Perfetto) or "
+        "JSONL.  With no --addr it self-hosts a demo cluster and "
+        "traces --queries scatter-gather batches; with --addr it pulls "
+        "whatever traces the running servers have buffered, via the "
+        "metrics delta frame.",
+    )
+    parser.add_argument("--addr", action="append", metavar="HOST:PORT")
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--records", type=int, default=400)
+    parser.add_argument("--domain", type=int, default=1 << 16)
+    parser.add_argument("--scheme", default="logarithmic-brc")
+    parser.add_argument(
+        "--queries", type=int, default=8,
+        help="traced scatter-gather batches to run (self-hosted mode)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--limit", type=int, default=64,
+        help="max traces to pull per server (--addr mode)",
+    )
+    parser.add_argument(
+        "--format", choices=("chrome", "jsonl"), default="chrome",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="write here instead of stdout",
+    )
+    args = parser.parse_args(argv)
+
+    if args.addr:
+        from repro.net import NetTransport
+
+        traces = []
+        for addr in args.addr:
+            host, _, port = addr.rpartition(":")
+            if not host or not port.isdigit():
+                parser.error(f"bad --addr {addr!r}; want host:port")
+            with NetTransport(host, int(port)) as transport:
+                payload = transport.metrics(max_traces=args.limit)
+                traces.extend(payload.get("traces", []))
+    else:
+        servers, router, rng = _spin_cluster(args)
+        try:
+            from repro.obs import new_trace_id
+
+            for _ in range(max(1, args.queries)):
+                lo = rng.randrange(args.domain)
+                hi = rng.randrange(lo, args.domain)
+                router.query_many([(lo, hi)], trace_id=new_trace_id())
+            # Client-side scatter spans plus every shard's server-side
+            # span buffer — one export, all layers.
+            traces = list(router.tracer.snapshot())
+            for server in servers:
+                traces.extend(server.server.core.tracer.snapshot())
+        finally:
+            router.close()
+            for server in servers:
+                server.stop()
+
+    if args.format == "chrome":
+        text = json.dumps(to_chrome_trace(traces), indent=2, sort_keys=True)
+    else:
+        text = "\n".join(to_jsonl_lines(traces))
+    if args.out is not None:
+        args.out.write_text(text + "\n")
+        print(f"wrote {len(traces)} traces ({args.format}) to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     # The network subcommands own their argument namespaces (ports and
@@ -544,6 +779,10 @@ def main(argv: "list[str] | None" = None) -> int:
         return _connect_main(argv[1:])
     if argv and argv[0] == "cluster":
         return _cluster_main(argv[1:])
+    if argv and argv[0] == "top":
+        return _top_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="rsse-experiments",
         description="Regenerate the tables/figures of 'Practical Private "

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -9,9 +10,17 @@ from dataclasses import dataclass, field
 
 @dataclass
 class Stopwatch:
-    """Accumulating wall-clock timer."""
+    """Accumulating wall-clock timer.
+
+    Thread-safe: concurrent ``measure()`` blocks accumulate under a
+    lock, so one stopwatch can total wall time across a pool of worker
+    threads without losing updates to the read-modify-write race.
+    """
 
     seconds: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @contextmanager
     def measure(self):
@@ -20,7 +29,9 @@ class Stopwatch:
         try:
             yield self
         finally:
-            self.seconds += time.perf_counter() - start
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                self.seconds += elapsed
 
 
 def timed(fn, *args, **kwargs):

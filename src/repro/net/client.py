@@ -332,9 +332,27 @@ class NetTransport:
     # -- conveniences --------------------------------------------------------
 
     def stats(self) -> dict:
-        """Fetch the server's merged stats document."""
+        """Fetch the server's merged stats document.
+
+        The body is self-describing JSON returned as-is: unknown keys
+        (including the ``"v"`` schema version and anything a newer
+        server adds) pass through untouched, so a stats consumer built
+        against an older schema keeps working.
+        """
         reply = msg.parse_reply(self(msg.StatsRequest().to_frame()))
         return reply.stats
+
+    def metrics(self, since: int = 0, max_traces: int = 0) -> dict:
+        """Fetch the server's metrics delta past cursor ``since``.
+
+        The returned document's ``"seq"`` is the cursor for the next
+        call; ``max_traces`` additionally pulls up to that many recent
+        trace records from the server's ring buffer.
+        """
+        reply = msg.parse_reply(
+            self(msg.MetricsRequest(since, max_traces).to_frame())
+        )
+        return reply.payload
 
     def close(self) -> None:
         if self._closed:

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import FramingError
 from repro.net.framing import HEADER_SIZE, MAX_FRAME_BYTES, FrameReader
+from repro.obs.registry import MetricsRegistry, metrics_payload
 from repro.protocol import messages as msg
 from repro.protocol.server import RsseServer
 
@@ -78,12 +79,22 @@ OP_NAMES = {
     msg.TAG_FETCH_PAYLOADS: "fetch-payloads",
     msg.TAG_DROP_INDEX: "drop-index",
     msg.TAG_STATS_REQUEST: "stats",
+    msg.TAG_METRICS_REQUEST: "metrics",
 }
 
 
 @dataclass
 class ServerStats:
-    """Transport-level counters (the ``"net"`` half of a stats reply)."""
+    """Transport-level counters (the ``"net"`` half of a stats reply).
+
+    Each instance owns a private :class:`~repro.obs.MetricsRegistry`
+    (never the process-wide default), so two in-thread shard servers in
+    one test process keep distinct latency distributions.  Op timings
+    are double-entried on purpose: ``op_seconds`` keeps the historical
+    ``[count, sum]`` list shape existing consumers read, while the
+    registry histogram behind it is what turns those same samples into
+    p50/p95/p99 — the mean alone was tail-blind.
+    """
 
     connections_total: int = 0
     connections_open: int = 0
@@ -102,11 +113,14 @@ class ServerStats:
     index_inflight: "dict[int, int]" = field(default_factory=dict)
     #: index handle → deepest inflight depth ever observed.
     index_inflight_peak: "dict[int, int]" = field(default_factory=dict)
+    #: This server's private instrument registry.
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     def record_op(self, name: str, seconds: float) -> None:
         entry = self.op_seconds.setdefault(name, [0, 0.0])
         entry[0] += 1
         entry[1] += seconds
+        self.registry.histogram(f"op.{name}").observe(seconds)
 
     def enter_index(self, index_id: int) -> None:
         depth = self.index_inflight.get(index_id, 0) + 1
@@ -124,14 +138,19 @@ class ServerStats:
             self.index_inflight[index_id] = depth
 
     def to_dict(self) -> dict:
-        ops = {
-            name: {
+        ops = {}
+        for name, (count, total) in sorted(self.op_seconds.items()):
+            hist = self.registry.histogram(f"op.{name}")
+            ops[name] = {
                 "count": count,
                 "total_seconds": total,
                 "mean_seconds": (total / count) if count else 0.0,
+                # Tail visibility: exact-to-a-bucket percentiles from
+                # the registry histogram fed by record_op.
+                "p50_seconds": hist.percentile(0.50),
+                "p95_seconds": hist.percentile(0.95),
+                "p99_seconds": hist.percentile(0.99),
             }
-            for name, (count, total) in sorted(self.op_seconds.items())
-        }
         return {
             "connections_total": self.connections_total,
             "connections_open": self.connections_open,
@@ -463,6 +482,8 @@ class RsseNetServer:
         try:
             if frame[0] == msg.TAG_STATS_REQUEST:
                 response = await self._stats_response()
+            elif frame[0] == msg.TAG_METRICS_REQUEST:
+                response = await self._metrics_response(frame)
             elif frame[0] in WRITE_TAGS and len(frame) >= HEADER_SIZE + 8:
                 response = await self._process_write(frame)
             else:
@@ -513,8 +534,33 @@ class RsseNetServer:
         if self.shard:
             net["shard"] = self.shard
         return msg.StatsResponse(
-            {"server": core_stats, "net": net}
+            {
+                "server": core_stats,
+                "net": net,
+                # The unified registry view (same instruments the delta
+                # frame serves), so one stats poll carries everything.
+                "metrics": self.stats.registry.snapshot(),
+            }
         ).to_frame()
+
+    async def _metrics_response(self, frame: bytes) -> bytes:
+        request = msg.MetricsRequest.from_body(frame[HEADER_SIZE:])
+        loop = asyncio.get_running_loop()
+
+        def build() -> bytes:
+            payload = metrics_payload(
+                self.stats.registry,
+                getattr(self.core, "tracer", None),
+                since=request.since,
+                max_traces=request.max_traces,
+            )
+            if self.shard:
+                payload["shard"] = self.shard
+            return msg.MetricsResponse(payload).to_frame()
+
+        return await loop.run_in_executor(
+            self.core.executor.offload_pool(), build
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,62 @@
+"""Unified observability: metrics registry, query tracing, cluster monitor.
+
+Three pieces, one import surface:
+
+- :mod:`repro.obs.registry` — counters, gauges, and fixed-bucket
+  latency histograms behind :class:`MetricsRegistry`, unifying the
+  per-subsystem counters (server ops, exec cache, crypto kernel,
+  dispatcher) into one versioned snapshot/delta export.
+- :mod:`repro.obs.tracing` — contextvar-propagated span stacks
+  (``router.scatter`` → ``server.handle`` → ``engine.wave`` →
+  ``kernel.batch`` → ``storage.get_many``) with per-server ring
+  buffers and Chrome-trace/JSONL export.
+- :mod:`repro.obs.monitor` — the ``repro top`` polling monitor over a
+  cluster's stats frames.
+
+``REPRO_OBS=0`` disables every instrument process-wide.
+"""
+
+from repro.obs.monitor import ClusterMonitor, render_top
+from repro.obs.registry import (
+    ENV_OBS,
+    SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+    configure_default_registry,
+    default_registry,
+    metrics_payload,
+    obs_enabled,
+)
+from repro.obs.tracing import (
+    TraceBuffer,
+    current_trace_id,
+    new_trace_id,
+    span,
+    start_trace,
+    to_chrome_trace,
+    to_jsonl_lines,
+)
+
+__all__ = [
+    "ClusterMonitor",
+    "Counter",
+    "ENV_OBS",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "SCHEMA_VERSION",
+    "TraceBuffer",
+    "configure_default_registry",
+    "current_trace_id",
+    "default_registry",
+    "metrics_payload",
+    "new_trace_id",
+    "obs_enabled",
+    "render_top",
+    "span",
+    "start_trace",
+    "to_chrome_trace",
+    "to_jsonl_lines",
+]

@@ -1,0 +1,264 @@
+"""Cross-layer query tracing: trace ids, span stacks, ring buffers.
+
+One query fans out across layers — ``router.scatter`` on the client,
+``server.handle`` per shard, ``engine.wave`` per probe round,
+``kernel.batch`` per crypto batch, ``storage.get_many`` per backend
+round — and before this module nothing tied those steps together.  A
+*trace* is one query's tree of timed spans, keyed by a caller-chosen
+trace id that rides the wire in a backward-compatible trailing frame
+field (the PR-4 dispatch-hint trick, a second trailer after the hint).
+
+Design constraints, in order:
+
+1. **The untraced hot path pays almost nothing.**  ``span()`` is one
+   ``ContextVar.get`` returning a shared no-op context manager when no
+   trace is active — the instrumented call sites in the engine and
+   kernel run on every query, traced or not, and the ≤1.05× bench gate
+   covers them.
+2. **Propagation without plumbing.**  The active trace lives in a
+   ``contextvars.ContextVar``.  The server enters the trace on the
+   offload-pool thread that runs the whole request (engine walk,
+   kernel batches, storage rounds all happen synchronously on it), so
+   every nested ``span()`` lands in the right trace with zero
+   signature changes through the stack.
+3. **Bounded memory.**  Finished traces land in per-server
+   :class:`TraceBuffer` rings (drop-oldest); span count per trace is
+   capped, with a drop counter instead of unbounded growth.
+
+Export: :func:`to_chrome_trace` emits the Chrome ``chrome://tracing``
+/ Perfetto JSON object format; :func:`to_jsonl_lines` emits one span
+per line for grep-ability.  ``harness/cli.py trace`` drives both.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import json
+import os
+import threading
+import time
+
+#: Hard cap on spans recorded per trace; beyond it spans are counted, not kept.
+MAX_SPANS_PER_TRACE = 512
+
+#: Default ring capacity of a server-side :class:`TraceBuffer`.
+DEFAULT_TRACE_CAPACITY = 256
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id (64 random bits)."""
+    return os.urandom(8).hex()
+
+
+class _TraceState:
+    """Mutable collection state for one in-flight trace."""
+
+    __slots__ = ("trace_id", "spans", "dropped", "depth", "lock", "started_s")
+
+    def __init__(self, trace_id: str) -> None:
+        self.trace_id = trace_id
+        self.spans: "list[dict]" = []
+        self.dropped = 0
+        self.depth = 0
+        self.lock = threading.Lock()
+        self.started_s = time.time()
+
+    def add(self, span: dict) -> None:
+        with self.lock:
+            if len(self.spans) >= MAX_SPANS_PER_TRACE:
+                self.dropped += 1
+            else:
+                self.spans.append(span)
+
+
+_active: "contextvars.ContextVar[_TraceState | None]" = contextvars.ContextVar(
+    "repro_obs_trace", default=None
+)
+
+
+def current_trace_id() -> "str | None":
+    """The active trace id on this thread/context, if any."""
+    state = _active.get()
+    return state.trace_id if state is not None else None
+
+
+class _NullSpan:
+    """Shared do-nothing span for the untraced fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A timed region recorded into the active trace on exit."""
+
+    __slots__ = ("_state", "_name", "_meta", "_t0", "_token")
+
+    def __init__(self, state: _TraceState, name: str, meta: dict) -> None:
+        self._state = state
+        self._name = name
+        self._meta = meta
+
+    def __enter__(self):
+        self._state.depth += 1
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        elapsed = time.perf_counter() - self._t0
+        state = self._state
+        state.depth -= 1
+        record = {
+            "name": self._name,
+            "start_s": time.time() - elapsed,
+            "duration_s": elapsed,
+            "depth": state.depth,
+        }
+        if self._meta:
+            record["meta"] = self._meta
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        state.add(record)
+        return False
+
+
+def span(name: str, **meta):
+    """A context manager timing ``name`` inside the active trace.
+
+    When no trace is active this returns a shared no-op — the call
+    costs one ContextVar read, which is what keeps always-on
+    instrumentation inside the overhead gate.
+    """
+    state = _active.get()
+    if state is None:
+        return _NULL_SPAN
+    return _Span(state, name, meta)
+
+
+@contextlib.contextmanager
+def start_trace(trace_id: str, buffer: "TraceBuffer | None", root_name: str, **meta):
+    """Open trace ``trace_id``, run the body as its root span, collect.
+
+    The finished trace (root span plus everything ``span()`` recorded
+    under it) is appended to ``buffer`` on exit — including on error,
+    so a failing query still leaves its trace behind.
+    """
+    state = _TraceState(trace_id)
+    token = _active.set(state)
+    try:
+        with _Span(state, root_name, meta):
+            yield state
+    finally:
+        _active.reset(token)
+        if buffer is not None:
+            buffer.add(state)
+
+
+class TraceBuffer:
+    """Bounded drop-oldest ring of finished traces (one per server)."""
+
+    def __init__(self, capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
+        self.capacity = max(1, int(capacity))
+        self._traces: "list[dict]" = []
+        self._evicted = 0
+        self._lock = threading.Lock()
+
+    def add(self, state: _TraceState) -> None:
+        record = {
+            "trace_id": state.trace_id,
+            "started_s": state.started_s,
+            "spans": list(state.spans),
+            "dropped_spans": state.dropped,
+        }
+        with self._lock:
+            self._traces.append(record)
+            if len(self._traces) > self.capacity:
+                overflow = len(self._traces) - self.capacity
+                del self._traces[:overflow]
+                self._evicted += overflow
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    @property
+    def evicted(self) -> int:
+        return self._evicted
+
+    def snapshot(self, limit: int = 0) -> "list[dict]":
+        """The most recent ``limit`` traces (all of them when 0)."""
+        with self._lock:
+            traces = list(self._traces)
+        if limit and limit > 0:
+            traces = traces[-limit:]
+        return traces
+
+    def find(self, trace_id: str) -> "list[dict]":
+        """Every buffered trace record carrying ``trace_id``."""
+        with self._lock:
+            return [t for t in self._traces if t["trace_id"] == trace_id]
+
+    def trace_ids(self) -> "set[str]":
+        with self._lock:
+            return {t["trace_id"] for t in self._traces}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+
+
+# ---------------------------------------------------------------------------
+# Export formats
+# ---------------------------------------------------------------------------
+
+
+def to_chrome_trace(traces: "list[dict]", *, label: str = "repro") -> dict:
+    """Render trace records as a Chrome-trace (Perfetto) JSON object.
+
+    Each trace becomes one ``pid`` so shards line up as separate
+    process rows; span depth maps to ``tid`` so nesting stacks
+    visually.  Load the result at ``chrome://tracing`` or
+    https://ui.perfetto.dev.
+    """
+    events = []
+    for pid, trace in enumerate(traces):
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": {"name": f"{label}:{trace['trace_id']}"},
+        })
+        for record in trace["spans"]:
+            event = {
+                "name": record["name"],
+                "ph": "X",
+                "ts": record["start_s"] * 1e6,
+                "dur": record["duration_s"] * 1e6,
+                "pid": pid,
+                "tid": record.get("depth", 0),
+                "args": dict(record.get("meta", {})),
+            }
+            if "error" in record:
+                event["args"]["error"] = record["error"]
+            events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def to_jsonl_lines(traces: "list[dict]") -> "list[str]":
+    """One JSON line per span, trace id inlined — grep-friendly."""
+    lines = []
+    for trace in traces:
+        for record in trace["spans"]:
+            row = {"trace_id": trace["trace_id"]}
+            row.update(record)
+            lines.append(json.dumps(row, sort_keys=True))
+    return lines

@@ -173,6 +173,7 @@ class RemoteRangeClient:
         ranges: "Sequence[tuple[int, int]]",
         *,
         dispatch_hint: "str | None" = None,
+        trace_id: "str | None" = None,
     ) -> "list[frozenset[int]]":
         """Batched queries behind one search frame per batch.
 
@@ -186,14 +187,20 @@ class RemoteRangeClient:
         ``dispatch_hint`` rides the search frame so the server can
         observe which lane a cost dispatcher routed this batch through;
         it defaults to this client's scheme name (a remote client *is*
-        a fixed one-lane dispatch).
+        a fixed one-lane dispatch).  ``trace_id`` likewise rides the
+        frame (a second trailing field) and makes the server collect a
+        span tree for this batch in its trace ring; ``None`` — the
+        default — traces nothing and adds no bytes to the frame.
         """
         self._require_uploaded()
         if not ranges:
             return []
         hint = dispatch_hint if dispatch_hint is not None else self._scheme.name
+        trace = trace_id or ""
         if self._scheme.interactive:
-            raw_per_range = self._interactive_raw_many(ranges, hint=hint)
+            raw_per_range = self._interactive_raw_many(
+                ranges, hint=hint, trace=trace
+            )
         else:
             # Pipeline stage 1: all trapdoors before any round-trip.
             tokens = [self._scheme.trapdoor(lo, hi) for lo, hi in ranges]
@@ -203,6 +210,7 @@ class RemoteRangeClient:
                 tokens[0].wire_kind,
                 [token.wire_tokens() for token in tokens],
                 hint=hint,
+                trace=trace,
             )
             raw_per_range = [
                 [decode_id(p) for p in payloads] for payloads in response.results
@@ -284,9 +292,12 @@ class RemoteRangeClient:
         queries: "list[list[bytes]]",
         *,
         hint: str = "",
+        trace: str = "",
     ) -> msg.MultiSearchResponse:
         """One MultiSearchRequest round-trip for a whole query batch."""
-        frame = msg.MultiSearchRequest(handle, kind, queries, hint).to_frame()
+        frame = msg.MultiSearchRequest(
+            handle, kind, queries, hint, trace
+        ).to_frame()
         return msg.parse_reply(self._transport(frame))
 
     def _fetch_records(self, ids: "Sequence[int]"):
@@ -402,7 +413,11 @@ class RemoteRangeClient:
         return outcome
 
     def _interactive_raw_many(
-        self, ranges: "Sequence[tuple[int, int]]", *, hint: str = ""
+        self,
+        ranges: "Sequence[tuple[int, int]]",
+        *,
+        hint: str = "",
+        trace: str = "",
     ) -> "list[list[int]]":
         """Two-round raw candidate ids per range (fetch left to the caller).
 
@@ -424,6 +439,7 @@ class RemoteRangeClient:
             phase1_tokens[0].wire_kind,
             [token.wire_tokens() for token in phase1_tokens],
             hint=hint,
+            trace=trace,
         )
         # Owner-side merge between the rounds; ranges whose round-1
         # answer holds nothing in range stop early with an empty result.
@@ -442,11 +458,14 @@ class RemoteRangeClient:
         if phase2_tokens:
             # Round 2 carries no hint: the batch was already attributed
             # on round 1, and a second tally would double-count SRC-i
-            # batches in the server's lane statistics.
+            # batches in the server's lane statistics.  The trace id
+            # *does* ride again — each round is a real server-side unit
+            # of work, and both span trees share the one trace id.
             response2 = self._multi_search_round(
                 self._index_ids["edb2"],
                 phase2_tokens[0].wire_kind,
                 [token.wire_tokens() for token in phase2_tokens],
+                trace=trace,
             )
             for position, payloads in zip(positions, response2.results):
                 raw_per_range[position] = [decode_id(p) for p in payloads]

@@ -23,6 +23,11 @@ from repro.errors import TokenError
 #: garbage by construction (scheme names are short) and is dropped.
 MAX_HINT_LEN = 64
 
+#: Longest trace id the wire carries (ids are 16 hex chars; the cap
+#: leaves room for future prefixes).  Longer trailers are garbage by
+#: construction and collapse to "no trace".
+MAX_TRACE_LEN = 64
+
 _HEADER = struct.Struct(">BI")  # message tag, body length
 
 # Message tags.
@@ -42,6 +47,8 @@ TAG_OK = 13
 TAG_ERROR = 14
 TAG_STATS_REQUEST = 15
 TAG_STATS_RESPONSE = 16
+TAG_METRICS_REQUEST = 17
+TAG_METRICS_RESPONSE = 18
 
 
 def _pack_chunks(chunks: "list[bytes]") -> bytes:
@@ -186,24 +193,32 @@ class MultiSearchRequest:
     and a malformed or unknown hint degrades to ``"auto"`` rather than
     failing the batch (hostile bytes must never change behaviour
     beyond "no hint").
+
+    ``trace`` carries an optional trace id and rides as a *second*
+    trailing length-prefixed field after the hint — hint-era parsers
+    already tolerate extra bytes past the hint trailer, so traced
+    frames parse unchanged on old servers.  Like the hint, the trace
+    trailer is forgiving: absent, truncated, over-long or undecodable
+    bytes all collapse to "no trace".
     """
 
     index_id: int
     kind: str  # "sse" or "dprf"
     queries: "list[list[bytes]]"
     hint: str = ""
+    trace: str = ""
 
     def to_frame(self) -> bytes:
         kind_byte = b"\x00" if self.kind == "sse" else b"\x01"
         body = _pack_chunks([_pack_chunks(tokens) for tokens in self.queries])
         hint_bytes = self.hint.encode("utf-8")[:MAX_HINT_LEN]
+        tail = len(hint_bytes).to_bytes(2, "big") + hint_bytes
+        if self.trace:
+            trace_bytes = self.trace.encode("utf-8")[:MAX_TRACE_LEN]
+            tail += len(trace_bytes).to_bytes(2, "big") + trace_bytes
         return _frame(
             TAG_MULTI_SEARCH_REQUEST,
-            self.index_id.to_bytes(8, "big")
-            + kind_byte
-            + body
-            + len(hint_bytes).to_bytes(2, "big")
-            + hint_bytes,
+            self.index_id.to_bytes(8, "big") + kind_byte + body + tail,
         )
 
     @classmethod
@@ -211,18 +226,30 @@ class MultiSearchRequest:
         index_id = int.from_bytes(body[:8], "big")
         kind = "sse" if body[8] == 0 else "dprf"
         blobs, offset = _unpack_chunks(body, 9)
-        # The hint field is deliberately forgiving: absent, truncated,
-        # over-long or undecodable trailing bytes all collapse to "no
-        # hint" — the dispatcher hint may never be a parse hazard.
+        # Both trailing fields are deliberately forgiving: absent,
+        # truncated, over-long or undecodable trailing bytes all
+        # collapse to "no hint" / "no trace" — observability trailers
+        # may never be a parse hazard.
         hint = ""
+        trace = ""
         trailer = body[offset:]
         if len(trailer) >= 2:
             hint_len = int.from_bytes(trailer[:2], "big")
             raw = trailer[2 : 2 + hint_len]
             if hint_len <= MAX_HINT_LEN and len(raw) == hint_len:
                 hint = raw.decode("utf-8", "replace")
+                rest = trailer[2 + hint_len :]
+                if len(rest) >= 2:
+                    trace_len = int.from_bytes(rest[:2], "big")
+                    raw_trace = rest[2 : 2 + trace_len]
+                    if trace_len <= MAX_TRACE_LEN and len(raw_trace) == trace_len:
+                        trace = raw_trace.decode("utf-8", "replace")
         return cls(
-            index_id, kind, [_unpack_chunks(blob)[0] for blob in blobs], hint
+            index_id,
+            kind,
+            [_unpack_chunks(blob)[0] for blob in blobs],
+            hint,
+            trace,
         )
 
 
@@ -459,15 +486,22 @@ class StatsResponse:
     Stats are operator-facing observability, not protocol state, so the
     body is self-describing JSON rather than positional binary — new
     counters can appear without a wire version bump, and old clients
-    simply ignore keys they don't know.
+    simply ignore keys they don't know.  The body carries a schema
+    version (``"v": 1``) so consumers can key tolerant parsing off it;
+    readers must ignore unknown keys regardless.
     """
+
+    #: Schema version stamped into every serialized stats body.
+    SCHEMA_VERSION = 1
 
     stats: dict = field(default_factory=dict)
 
     def to_frame(self) -> bytes:
+        stats = dict(self.stats)
+        stats.setdefault("v", self.SCHEMA_VERSION)
         return _frame(
             TAG_STATS_RESPONSE,
-            json.dumps(self.stats, sort_keys=True).encode("utf-8"),
+            json.dumps(stats, sort_keys=True).encode("utf-8"),
         )
 
     @classmethod
@@ -479,6 +513,64 @@ class StatsResponse:
         if not isinstance(stats, dict):
             raise TokenError("StatsResponse body must be a JSON object")
         return cls(stats)
+
+
+@dataclass(frozen=True)
+class MetricsRequest:
+    """Operator → server: the metrics delta past cursor ``since``.
+
+    ``since`` is a sequence number from a previous
+    :class:`MetricsResponse` (0 = full snapshot); ``max_traces`` asks
+    for up to that many recent trace records from the server's ring
+    buffer (0 = none).  A fixed 12-byte body keeps the request as
+    cheap to reject as it is to serve.
+    """
+
+    since: int = 0
+    max_traces: int = 0
+
+    def to_frame(self) -> bytes:
+        return _frame(
+            TAG_METRICS_REQUEST,
+            self.since.to_bytes(8, "big") + self.max_traces.to_bytes(4, "big"),
+        )
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "MetricsRequest":
+        if len(body) != 12:
+            raise TokenError("MetricsRequest carries (since, max_traces)")
+        return cls(
+            int.from_bytes(body[:8], "big"), int.from_bytes(body[8:12], "big")
+        )
+
+
+@dataclass(frozen=True)
+class MetricsResponse:
+    """Server → operator: a registry delta (plus optional traces).
+
+    Same self-describing JSON posture as :class:`StatsResponse`; the
+    payload shape is :meth:`repro.obs.MetricsRegistry.delta` — a
+    versioned document whose ``"seq"`` is the cursor for the next
+    :class:`MetricsRequest`.
+    """
+
+    payload: dict = field(default_factory=dict)
+
+    def to_frame(self) -> bytes:
+        return _frame(
+            TAG_METRICS_RESPONSE,
+            json.dumps(self.payload, sort_keys=True).encode("utf-8"),
+        )
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "MetricsResponse":
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise TokenError(f"MetricsResponse body is not JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise TokenError("MetricsResponse body must be a JSON object")
+        return cls(payload)
 
 
 _PARSERS = {
@@ -498,6 +590,8 @@ _PARSERS = {
     TAG_ERROR: ErrorResponse.from_body,
     TAG_STATS_REQUEST: StatsRequest.from_body,
     TAG_STATS_RESPONSE: StatsResponse.from_body,
+    TAG_METRICS_REQUEST: MetricsRequest.from_body,
+    TAG_METRICS_RESPONSE: MetricsResponse.from_body,
 }
 
 #: Every tag this protocol revision can frame — the net layer's

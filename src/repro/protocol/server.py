@@ -26,6 +26,8 @@ from repro.core.split import EncryptedDatabase
 from repro.crypto.dprf import DelegationToken
 from repro.errors import IndexStateError, ReproError, TokenError
 from repro.exec.dispatch import HINT_AUTO, normalize_hint
+from repro.obs.registry import default_registry, metrics_payload
+from repro.obs.tracing import TraceBuffer, start_trace
 from repro.protocol import messages as msg
 from repro.sse.base import SUBKEY_LEN, EncryptedIndex, KeywordToken
 from repro.storage.backend import InMemoryBackend, PrefixedBackend, StorageBackend
@@ -82,6 +84,10 @@ class RsseServer:
         #: "auto"; they never fail a batch.
         self.dispatch_hints: "dict[str, int]" = {}
         self.last_dispatch_hint = HINT_AUTO
+        #: Ring buffer of finished query traces (one per server, so an
+        #: in-thread multi-shard cluster keeps per-shard trace streams).
+        #: Filled only for frames that carry a trace id.
+        self.tracer = TraceBuffer()
         self._databases: dict[int, EncryptedDatabase] = {}
         for key in self._backend.keys(_HANDLES_NS):
             index_id = int.from_bytes(key, "big")
@@ -159,6 +165,18 @@ class RsseServer:
             # Nested under "server" so the network layer can merge its
             # transport counters beside it under the same frame pair.
             return msg.StatsResponse({"server": self.stats_dict()}).to_frame()
+        if isinstance(message, msg.MetricsRequest):
+            # In-process callers get the process-wide registry; the
+            # network layer intercepts this tag earlier and answers
+            # from its per-server registry instead.
+            return msg.MetricsResponse(
+                metrics_payload(
+                    default_registry(),
+                    self.tracer,
+                    since=message.since,
+                    max_traces=message.max_traces,
+                )
+            ).to_frame()
         # Response-typed messages (and anything a future revision adds)
         # are not requests this server answers — say so, don't raise:
         # over a socket the sender is a peer, not a caller.
@@ -223,18 +241,38 @@ class RsseServer:
         Hint-less frames (legacy clients, continuation rounds of the
         interactive protocol) leave the tally untouched, so each batch
         counts exactly once.
+
+        A carried trace id opens a ``server.handle`` root span for the
+        batch: the whole walk runs synchronously on this thread, so the
+        engine/kernel/storage spans underneath land in the same trace
+        via the ambient contextvar, and the finished trace is ringed in
+        :attr:`tracer`.  Trace-less frames skip all of it.
         """
         if request.hint:
             hint = normalize_hint(request.hint)
             self.dispatch_hints[hint] = self.dispatch_hints.get(hint, 0) + 1
             self.last_dispatch_hint = hint
         db = self._searchable_db(request.index_id)
-        return msg.MultiSearchResponse(
-            [
-                self._run_search(db, request.kind, tokens)
-                for tokens in request.queries
-            ]
-        )
+
+        def run() -> msg.MultiSearchResponse:
+            return msg.MultiSearchResponse(
+                [
+                    self._run_search(db, request.kind, tokens)
+                    for tokens in request.queries
+                ]
+            )
+
+        if not request.trace:
+            return run()
+        with start_trace(
+            request.trace,
+            self.tracer,
+            "server.handle",
+            index_id=request.index_id,
+            kind=request.kind,
+            queries=len(request.queries),
+        ):
+            return run()
 
     def _fetch(self, request: msg.FetchRequest) -> msg.FetchResponse:
         # fetch_tuples reports *all* missing ids at once, so a client

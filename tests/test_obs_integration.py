@@ -1,0 +1,317 @@
+"""Cross-layer observability integration tests (PR 8).
+
+Spins real in-thread shard servers and asserts the telemetry promises
+end to end: one trace id in every shard's span buffer after a
+scatter-gather query, tail percentiles on every op in the stats frame,
+metrics deltas over the wire, the live cluster monitor, and the
+thread-safe harness stopwatch.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+
+import pytest
+
+from repro.cluster import ClusterRouter, make_shard_map
+from repro.core.registry import make_scheme
+from repro.harness.metrics import Stopwatch
+from repro.net import NetTransport, serve_in_thread
+from repro.net.server import ServerStats
+from repro.obs import (
+    ClusterMonitor,
+    MetricsRegistry,
+    new_trace_id,
+    render_top,
+)
+
+DOMAIN = 512
+
+
+def _records(seed: int, n: int = 120):
+    rng = random.Random(seed)
+    return [(i, rng.randrange(DOMAIN)) for i in range(n)]
+
+
+def _schemes(count: int, seed: int, name: str = "logarithmic-brc"):
+    return [
+        make_scheme(name, DOMAIN, rng=random.Random(seed + i))
+        for i in range(count)
+    ]
+
+
+@pytest.fixture
+def two_shards():
+    servers = [serve_in_thread(shard=f"{i}/2") for i in range(2)]
+    shard_map = make_shard_map([(s.host, s.port) for s in servers])
+    router = ClusterRouter(_schemes(2, seed=11), shard_map)
+    router.outsource(_records(seed=5))
+    try:
+        yield servers, router
+    finally:
+        router.close()
+        for server in servers:
+            server.stop()
+
+
+class TestTracePropagation:
+    def test_one_trace_id_lands_in_every_shard(self, two_shards):
+        servers, router = two_shards
+        tid = new_trace_id()
+        router.query_many([(10, 200), (0, DOMAIN - 1)], trace_id=tid)
+        # Client side: the scatter root span.
+        assert tid in router.tracer.trace_ids()
+        (client_trace,) = router.tracer.find(tid)
+        assert [s["name"] for s in client_trace["spans"]] == ["router.scatter"]
+        # Server side: every shard buffered the same id, with the full
+        # span stack under its server.handle root.
+        for server in servers:
+            tracer = server.server.core.tracer
+            assert tid in tracer.trace_ids()
+            (trace,) = tracer.find(tid)
+            names = {s["name"] for s in trace["spans"]}
+            assert {"server.handle", "engine.wave", "kernel.batch",
+                    "storage.get_many"} <= names
+            root = trace["spans"][-1]
+            assert root["name"] == "server.handle"
+            assert root["depth"] == 0
+
+    def test_untraced_queries_leave_no_trace(self, two_shards):
+        servers, router = two_shards
+        router.query_many([(10, 200)])
+        assert len(router.tracer) == 0
+        for server in servers:
+            assert len(server.server.core.tracer) == 0
+
+    def test_distinct_queries_get_distinct_traces(self, two_shards):
+        servers, router = two_shards
+        ids = [new_trace_id() for _ in range(3)]
+        for tid in ids:
+            router.query_many([(0, 99)], trace_id=tid)
+        for server in servers:
+            assert set(ids) <= server.server.core.tracer.trace_ids()
+
+    def test_traces_ride_the_metrics_frame(self, two_shards):
+        servers, router = two_shards
+        tid = new_trace_id()
+        router.query_many([(10, 400)], trace_id=tid)
+        server = servers[0]
+        with NetTransport(server.host, server.port) as transport:
+            payload = transport.metrics(max_traces=16)
+        assert tid in {t["trace_id"] for t in payload["traces"]}
+        # Without max_traces the frame stays trace-free (small polls).
+        with NetTransport(server.host, server.port) as transport:
+            assert transport.metrics()["traces"] == []
+
+
+class TestStatsSurface:
+    def test_ops_report_tail_percentiles(self, two_shards):
+        servers, router = two_shards
+        for _ in range(4):
+            router.query_many([(0, 100), (200, 300)])
+        for server in servers:
+            with NetTransport(server.host, server.port) as transport:
+                stats = transport.stats()
+            assert stats.get("v") == 1
+            ops = stats["net"]["ops"]
+            assert ops, "expected at least one recorded op"
+            for name, entry in ops.items():
+                # Historical keys stay; percentiles ride alongside.
+                assert entry["count"] >= 1, name
+                for key in ("total_seconds", "mean_seconds", "p50_seconds",
+                            "p95_seconds", "p99_seconds"):
+                    assert key in entry, (name, key)
+                assert entry["p50_seconds"] <= entry["p99_seconds"] * 1.0001
+            # The unified registry view rides the same stats frame.
+            assert stats["metrics"]["v"] == 1
+            assert any(
+                k.startswith("op.") for k in stats["metrics"]["histograms"]
+            )
+
+    def test_stats_frame_tolerates_unknown_keys(self, two_shards):
+        servers, _ = two_shards
+        server = servers[0]
+        with NetTransport(server.host, server.port) as transport:
+            stats = transport.stats()
+        # Forward-compat contract: the client returns whatever dict the
+        # server sent — unknown keys (like a future "v2_section") pass
+        # through instead of being schema-validated away.
+        assert isinstance(stats, dict)
+        assert {"server", "net", "metrics", "v"} <= set(stats)
+
+    def test_legacy_op_seconds_shape_is_preserved(self):
+        stats = ServerStats()
+        stats.record_op("multi-search", 0.01)
+        stats.record_op("multi-search", 0.03)
+        # The in-memory [count, sum] lists that pre-PR8 consumers read.
+        assert stats.op_seconds["multi-search"][0] == 2
+        assert abs(stats.op_seconds["multi-search"][1] - 0.04) < 1e-9
+        entry = stats.to_dict()["ops"]["multi-search"]
+        assert entry["count"] == 2
+        assert entry["p50_seconds"] > 0.0
+
+    def test_disabled_registry_degrades_to_zero_percentiles(self):
+        stats = ServerStats(registry=MetricsRegistry(enabled=False))
+        stats.record_op("search", 0.02)
+        entry = stats.to_dict()["ops"]["search"]
+        assert entry["count"] == 1  # the legacy tally still works
+        assert entry["p99_seconds"] == 0.0  # instruments are no-ops
+
+
+class TestMetricsDelta:
+    def test_delta_over_the_wire(self, two_shards):
+        servers, router = two_shards
+        router.query_many([(0, 100)])
+        server = servers[0]
+        with NetTransport(server.host, server.port) as transport:
+            full = transport.metrics()
+            assert "op.multi-search" in full["histograms"]
+            cursor = full["seq"]
+            # The metrics op itself records its own latency after each
+            # reply, so op.metrics legitimately reappears — but the
+            # query op must NOT: nothing searched since the cursor.
+            quiet = transport.metrics(since=cursor)
+            assert "op.multi-search" not in quiet["histograms"]
+            assert quiet["since"] == cursor
+            router.query_many([(0, 100)])
+            moved = transport.metrics(since=cursor)
+            assert "op.multi-search" in moved["histograms"]
+
+    def test_per_shard_registries_are_distinct(self, two_shards):
+        servers, _ = two_shards
+        registries = [s.server.stats.registry for s in servers]
+        assert registries[0] is not registries[1]
+
+
+class TestClusterMonitor:
+    def test_sample_covers_every_shard(self, two_shards):
+        servers, router = two_shards
+        router.query_many([(0, 200)])
+        addrs = [(s.host, s.port) for s in servers]
+        with ClusterMonitor(addrs) as monitor:
+            first = monitor.sample()
+            assert first["v"] == 1
+            assert first["shard_count"] == 2
+            assert first["reachable"] == 2
+            shards = {row["shard"] for row in first["shards"]}
+            assert shards == {"0/2", "1/2"}
+            for row in first["shards"]:
+                assert row["reachable"] is True
+                assert row["schema_v"] == 1
+                assert row["ops_total"] >= 1
+                assert row["p99_ms"] >= 0.0
+                assert row["inflight"] >= 0
+            # Rates are derived between consecutive samples.
+            router.query_many([(0, 200), (10, 30)])
+            second = monitor.sample()
+            assert all(row["qps"] >= 0.0 for row in second["shards"])
+            json.dumps(second)  # --json mode serves this verbatim
+
+    def test_down_shard_is_a_row_not_a_crash(self, two_shards):
+        servers, _ = two_shards
+        addrs = [(s.host, s.port) for s in servers]
+        with ClusterMonitor(addrs) as monitor:
+            servers[1].stop()
+            sample = monitor.sample()
+            assert sample["reachable"] == 1
+            down = [r for r in sample["shards"] if not r["reachable"]]
+            assert len(down) == 1 and down[0]["error"]
+            rendered = render_top(sample)
+            assert "DOWN" in rendered
+
+    def test_render_top_table_shape(self, two_shards):
+        servers, router = two_shards
+        router.query_many([(5, 50)])
+        addrs = [(s.host, s.port) for s in servers]
+        with ClusterMonitor(addrs) as monitor:
+            rendered = render_top(monitor.sample())
+        lines = rendered.splitlines()
+        assert "qps" in lines[0] and "p99ms" in lines[0]
+        assert len(lines) == 4  # header + 2 shard rows + footer
+        assert lines[-1] == "shards 2/2 reachable"
+
+    def test_monitor_accepts_string_addrs(self, two_shards):
+        servers, _ = two_shards
+        addrs = [f"{s.host}:{s.port}" for s in servers]
+        with ClusterMonitor(addrs) as monitor:
+            assert monitor.sample()["reachable"] == 2
+
+    def test_monitor_rejects_empty_and_garbage_addrs(self):
+        with pytest.raises(ValueError):
+            ClusterMonitor([])
+        with pytest.raises(ValueError):
+            ClusterMonitor(["no-port-here"])
+
+
+class TestCliHeadless:
+    def test_top_once_json(self, capsys):
+        from repro.harness.cli import main
+
+        code = main([
+            "top", "--once", "--json", "--records", "80",
+            "--domain", str(DOMAIN),
+        ])
+        assert code == 0
+        sample = json.loads(capsys.readouterr().out)
+        assert sample["shard_count"] == 2
+        assert sample["reachable"] == 2
+
+    def test_trace_chrome_export(self, tmp_path, capsys):
+        from repro.harness.cli import main
+
+        out = tmp_path / "trace.json"
+        code = main([
+            "trace", "--records", "80", "--domain", str(DOMAIN),
+            "--queries", "2", "--out", str(out),
+        ])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"}
+        assert {"router.scatter", "server.handle", "engine.wave"} <= names
+
+    def test_trace_jsonl_to_stdout(self, capsys):
+        from repro.harness.cli import main
+
+        code = main([
+            "trace", "--records", "80", "--domain", str(DOMAIN),
+            "--queries", "1", "--format", "jsonl",
+        ])
+        assert code == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l]
+        rows = [json.loads(line) for line in lines]
+        assert any(r["name"] == "router.scatter" for r in rows)
+
+
+class TestStopwatchThreadSafety:
+    def test_concurrent_measures_never_lose_time(self):
+        """Regression: ``seconds +=`` was an unlocked read-modify-write;
+        racing measure() blocks could overwrite each other's updates.
+        With the lock, the total is at least the sum of every block's
+        sleep — a lost update would fall short of the bound."""
+        sw = Stopwatch()
+        threads_n, iters, nap = 4, 25, 0.002
+
+        def worker():
+            for _ in range(iters):
+                with sw.measure():
+                    time.sleep(nap)
+
+        threads = [threading.Thread(target=worker) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sw.seconds >= threads_n * iters * nap
+
+    def test_single_threaded_accumulation_still_works(self):
+        sw = Stopwatch()
+        with sw.measure():
+            pass
+        with sw.measure():
+            pass
+        assert sw.seconds >= 0.0
+        assert repr(sw)  # the lock field stays out of repr/compare
+        assert "_lock" not in repr(sw)

@@ -1,0 +1,263 @@
+"""Unit tests for the metrics registry (PR 8 tentpole, part 1).
+
+Covers instrument semantics (counters, gauges, histograms), the
+bounded-memory percentile contract, the disabled/no-op path, snapshot
+and delta-cursor semantics, and collector isolation.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.registry import (
+    NULL_INSTRUMENT,
+    SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+    configure_default_registry,
+    default_registry,
+    metrics_payload,
+    obs_enabled,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.to_value() == 5
+
+    def test_seq_advances_on_update(self):
+        c = Counter("x")
+        assert c.last_seq() == 0
+        c.inc()
+        first = c.last_seq()
+        assert first > 0
+        c.inc()
+        assert c.last_seq() > first
+
+    def test_thread_safety_no_lost_increments(self):
+        c = Counter("x")
+
+        def worker():
+            for _ in range(2000):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestGauge:
+    def test_set_gauge(self):
+        g = Gauge("depth")
+        g.set(3.5)
+        assert g.value == 3.5
+
+    def test_pull_gauge_reads_fn(self):
+        box = {"n": 7}
+        g = Gauge("pool", fn=lambda: box["n"])
+        assert g.value == 7
+        box["n"] = 9
+        assert g.value == 9
+
+    def test_pull_gauge_swallows_fn_errors(self):
+        g = Gauge("bad", fn=lambda: 1 / 0)
+        assert g.value is None
+
+    def test_pull_gauge_always_fresh_in_deltas(self):
+        g = Gauge("pool", fn=lambda: 1)
+        assert g.last_seq() > 0  # always past any cursor
+
+
+class TestLatencyHistogram:
+    def test_empty_percentile_is_zero(self):
+        h = LatencyHistogram("op")
+        assert h.percentile(0.5) == 0.0
+        assert h.to_value()["count"] == 0
+
+    def test_percentiles_within_one_bucket(self):
+        """Log-spaced ×√2 buckets: a reported percentile must sit
+        within one bucket step (×1.19 each way, call it ±25%) of the
+        true order statistic."""
+        h = LatencyHistogram("op")
+        samples = [i / 1000.0 for i in range(1, 1001)]  # 1ms .. 1s uniform
+        for s in samples:
+            h.observe(s)
+        for q in (0.50, 0.95, 0.99):
+            true = samples[int(q * len(samples)) - 1]
+            got = h.percentile(q)
+            assert true / 1.3 <= got <= true * 1.3, (q, true, got)
+
+    def test_percentile_clamped_to_observed_range(self):
+        h = LatencyHistogram("op")
+        h.observe(0.004)
+        # One sample: every percentile IS that sample, not a bucket mid.
+        assert h.percentile(0.5) == 0.004
+        assert h.percentile(0.99) == 0.004
+
+    def test_memory_is_bounded(self):
+        h = LatencyHistogram("op")
+        buckets_before = len(h._counts)
+        for i in range(10_000):
+            h.observe((i % 977) * 1e-5)
+        assert len(h._counts) == buckets_before
+        assert h.count == 10_000
+
+    def test_out_of_range_observations_land_in_end_buckets(self):
+        h = LatencyHistogram("op")
+        h.observe(1e-9)   # below the first bound
+        h.observe(9999.0)  # above the last bound
+        v = h.to_value()
+        assert v["count"] == 2
+        assert v["min_seconds"] == 1e-9
+        assert v["max_seconds"] == 9999.0
+        # Percentiles stay inside the observed range despite open buckets.
+        assert 1e-9 <= h.percentile(0.5) <= 9999.0
+
+    def test_to_value_shape(self):
+        h = LatencyHistogram("op")
+        h.observe(0.01)
+        h.observe(0.02)
+        v = h.to_value()
+        assert set(v) == {
+            "count", "sum_seconds", "mean_seconds", "min_seconds",
+            "max_seconds", "p50_seconds", "p95_seconds", "p99_seconds",
+        }
+        assert v["count"] == 2
+        assert abs(v["sum_seconds"] - 0.03) < 1e-12
+        assert abs(v["mean_seconds"] - 0.015) < 1e-12
+
+
+class TestRegistry:
+    def test_instruments_are_idempotent(self):
+        r = MetricsRegistry(enabled=True)
+        assert r.counter("a") is r.counter("a")
+        assert r.histogram("h") is r.histogram("h")
+        assert r.gauge("g") is r.gauge("g")
+
+    def test_disabled_registry_hands_out_null(self):
+        r = MetricsRegistry(enabled=False)
+        assert r.counter("a") is NULL_INSTRUMENT
+        assert r.gauge("g") is NULL_INSTRUMENT
+        assert r.histogram("h") is NULL_INSTRUMENT
+        # The null instrument absorbs every verb without state.
+        r.counter("a").inc()
+        r.histogram("h").observe(1.0)
+        assert r.histogram("h").percentile(0.99) == 0.0
+        snap = r.snapshot()
+        assert snap["enabled"] is False
+        assert snap["counters"] == {}
+        assert snap["histograms"] == {}
+
+    def test_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "0")
+        assert not obs_enabled()
+        assert MetricsRegistry().enabled is False
+        monkeypatch.setenv("REPRO_OBS", "1")
+        assert obs_enabled()
+        assert MetricsRegistry().enabled is True
+
+    def test_snapshot_shape_and_version(self):
+        r = MetricsRegistry(enabled=True)
+        r.counter("c").inc(2)
+        r.gauge("g").set(1.5)
+        r.histogram("h").observe(0.01)
+        snap = r.snapshot()
+        assert snap["v"] == SCHEMA_VERSION
+        assert snap["enabled"] is True
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["seq"] > 0
+
+    def test_delta_cursor_filters_untouched_instruments(self):
+        r = MetricsRegistry(enabled=True)
+        r.counter("old").inc()
+        r.histogram("h_old").observe(0.01)
+        cursor = r.snapshot()["seq"]
+        quiet = r.delta(cursor)
+        assert quiet["counters"] == {}
+        assert quiet["histograms"] == {}
+        assert quiet["since"] == cursor
+        r.counter("fresh").inc()
+        r.counter("old").inc()  # touched again → reappears
+        moved = r.delta(cursor)
+        assert set(moved["counters"]) == {"fresh", "old"}
+        assert moved["histograms"] == {}
+
+    def test_delta_zero_is_full(self):
+        r = MetricsRegistry(enabled=True)
+        r.counter("a").inc()
+        r.histogram("h").observe(0.5)
+        full = r.delta(0)
+        assert set(full["counters"]) == {"a"}
+        assert set(full["histograms"]) == {"h"}
+
+    def test_collectors_merge_into_snapshot(self):
+        r = MetricsRegistry(enabled=True)
+        r.register_collector("cache", lambda: {"hits": 3})
+        assert r.snapshot()["collectors"] == {"cache": {"hits": 3}}
+        assert r.delta(10**9)["collectors"] == {"cache": {"hits": 3}}
+
+    def test_collector_errors_are_contained(self):
+        r = MetricsRegistry(enabled=True)
+        r.register_collector("boom", lambda: 1 / 0)
+        r.register_collector("fine", lambda: 1)
+        collected = r.snapshot()["collectors"]
+        assert collected["fine"] == 1
+        assert "ZeroDivisionError" in collected["boom"]["error"]
+
+    def test_seq_never_aliases_across_registries(self):
+        a = MetricsRegistry(enabled=True)
+        b = MetricsRegistry(enabled=True)
+        a.counter("x").inc()
+        cursor = a.snapshot()["seq"]
+        b.counter("y").inc()
+        # b's update happened after a's cursor — a shared process-wide
+        # sequence guarantees the delta picks it up.
+        assert b.delta(cursor)["counters"] == {"y": 1}
+
+
+class TestMetricsPayload:
+    def test_payload_without_tracer(self):
+        r = MetricsRegistry(enabled=True)
+        r.counter("c").inc()
+        payload = metrics_payload(r, None, since=0, max_traces=8)
+        assert payload["counters"] == {"c": 1}
+        assert payload["traces"] == []
+
+    def test_payload_with_tracer_and_limit(self):
+        from repro.obs.tracing import TraceBuffer, new_trace_id, start_trace
+
+        r = MetricsRegistry(enabled=True)
+        buf = TraceBuffer()
+        for _ in range(5):
+            with start_trace(new_trace_id(), buf, "root"):
+                pass
+        payload = metrics_payload(r, buf, since=0, max_traces=2)
+        assert len(payload["traces"]) == 2
+        # max_traces=0 means "no traces", keeping the frame small.
+        assert metrics_payload(r, buf, since=0, max_traces=0)["traces"] == []
+
+
+class TestDefaultRegistry:
+    def test_default_is_shared(self):
+        assert default_registry() is default_registry()
+
+    def test_configure_replaces_default(self):
+        original = default_registry()
+        try:
+            replaced = configure_default_registry(enabled=False)
+            assert default_registry() is replaced
+            assert replaced is not original
+            assert replaced.enabled is False
+        finally:
+            configure_default_registry(enabled=None)

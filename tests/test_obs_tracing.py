@@ -1,0 +1,191 @@
+"""Unit tests for cross-layer tracing (PR 8 tentpole, part 2).
+
+Covers the span/no-op fast path, trace collection and depth tracking,
+span caps, ring-buffer eviction, context isolation across threads, and
+the Chrome-trace / JSONL export formats.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.tracing import (
+    MAX_SPANS_PER_TRACE,
+    TraceBuffer,
+    _NULL_SPAN,
+    current_trace_id,
+    new_trace_id,
+    span,
+    start_trace,
+    to_chrome_trace,
+    to_jsonl_lines,
+)
+
+
+class TestSpanFastPath:
+    def test_span_outside_trace_is_shared_noop(self):
+        # No allocation on the untraced hot path: the same singleton
+        # no-op comes back for every name.
+        assert span("engine.wave") is _NULL_SPAN
+        assert span("kernel.batch", units=5) is _NULL_SPAN
+
+    def test_no_trace_id_outside_trace(self):
+        assert current_trace_id() is None
+
+    def test_noop_span_is_reentrant(self):
+        with span("a"):
+            with span("b"):
+                pass  # nothing recorded anywhere, nothing raised
+
+
+class TestStartTrace:
+    def test_collects_root_and_nested_spans(self):
+        buf = TraceBuffer()
+        tid = new_trace_id()
+        with start_trace(tid, buf, "server.handle", kind="sse"):
+            assert current_trace_id() == tid
+            with span("engine.wave", walkers=2):
+                with span("storage.get_many"):
+                    pass
+        assert current_trace_id() is None
+        (trace,) = buf.snapshot()
+        assert trace["trace_id"] == tid
+        names = [s["name"] for s in trace["spans"]]
+        # Children record on exit, so they precede the root.
+        assert names == ["storage.get_many", "engine.wave", "server.handle"]
+        depths = {s["name"]: s["depth"] for s in trace["spans"]}
+        assert depths["server.handle"] == 0
+        assert depths["engine.wave"] == 1
+        assert depths["storage.get_many"] == 2
+        root = trace["spans"][-1]
+        assert root["meta"] == {"kind": "sse"}
+        assert root["duration_s"] >= 0.0
+
+    def test_failing_body_still_buffers_the_trace(self):
+        buf = TraceBuffer()
+        with pytest.raises(ValueError):
+            with start_trace("t1", buf, "root"):
+                raise ValueError("boom")
+        (trace,) = buf.snapshot()
+        assert trace["spans"][-1]["error"] == "ValueError"
+        assert current_trace_id() is None  # contextvar was reset
+
+    def test_span_cap_counts_drops(self):
+        buf = TraceBuffer()
+        with start_trace("big", buf, "root"):
+            for _ in range(MAX_SPANS_PER_TRACE + 50):
+                with span("tick"):
+                    pass
+        (trace,) = buf.snapshot()
+        assert len(trace["spans"]) == MAX_SPANS_PER_TRACE
+        # root itself was dropped too (the cap hit before its exit)
+        assert trace["dropped_spans"] == 51
+
+    def test_none_buffer_discards_silently(self):
+        with start_trace("t", None, "root"):
+            with span("child"):
+                pass  # nothing to assert — just must not raise
+
+    def test_threads_outside_trace_stay_untraced(self):
+        """contextvars don't leak into unrelated threads: a worker
+        spawned outside the trace context records nothing."""
+        buf = TraceBuffer()
+        seen = []
+
+        def worker():
+            seen.append(span("background"))
+
+        with start_trace("t", buf, "root"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen == [_NULL_SPAN]
+
+
+class TestTraceBuffer:
+    def test_ring_drops_oldest(self):
+        buf = TraceBuffer(capacity=3)
+        for i in range(5):
+            with start_trace(f"t{i}", buf, "root"):
+                pass
+        assert len(buf) == 3
+        assert buf.evicted == 2
+        assert buf.trace_ids() == {"t2", "t3", "t4"}
+
+    def test_snapshot_limit_returns_most_recent(self):
+        buf = TraceBuffer()
+        for i in range(4):
+            with start_trace(f"t{i}", buf, "root"):
+                pass
+        ids = [t["trace_id"] for t in buf.snapshot(limit=2)]
+        assert ids == ["t2", "t3"]
+        assert len(buf.snapshot()) == 4
+
+    def test_find_and_clear(self):
+        buf = TraceBuffer()
+        with start_trace("wanted", buf, "root"):
+            pass
+        with start_trace("other", buf, "root"):
+            pass
+        assert [t["trace_id"] for t in buf.find("wanted")] == ["wanted"]
+        assert buf.find("missing") == []
+        buf.clear()
+        assert len(buf) == 0
+
+
+class TestExports:
+    def _one_trace(self):
+        buf = TraceBuffer()
+        with start_trace("abc123", buf, "server.handle", queries=2):
+            with span("engine.wave"):
+                pass
+        return buf.snapshot()
+
+    def test_chrome_trace_shape(self):
+        doc = to_chrome_trace(self._one_trace(), label="shard0")
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(meta) == 1
+        assert meta[0]["args"]["name"] == "shard0:abc123"
+        assert {e["name"] for e in slices} == {"server.handle", "engine.wave"}
+        for e in slices:
+            assert e["pid"] == 0
+            assert e["ts"] > 0 and e["dur"] >= 0  # microseconds
+        # depth → tid keeps nesting stacked in the viewer
+        tids = {e["name"]: e["tid"] for e in slices}
+        assert tids["server.handle"] == 0
+        assert tids["engine.wave"] == 1
+        json.dumps(doc)  # must be JSON-serializable as-is
+
+    def test_chrome_trace_separates_traces_by_pid(self):
+        buf = TraceBuffer()
+        for tid in ("t0", "t1"):
+            with start_trace(tid, buf, "root"):
+                pass
+        doc = to_chrome_trace(buf.snapshot())
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert pids == {0, 1}
+
+    def test_chrome_trace_surfaces_errors(self):
+        buf = TraceBuffer()
+        with pytest.raises(RuntimeError):
+            with start_trace("t", buf, "root"):
+                raise RuntimeError
+        doc = to_chrome_trace(buf.snapshot())
+        (event,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert event["args"]["error"] == "RuntimeError"
+
+    def test_jsonl_lines_parse_back(self):
+        lines = to_jsonl_lines(self._one_trace())
+        rows = [json.loads(line) for line in lines]
+        assert len(rows) == 2
+        assert all(r["trace_id"] == "abc123" for r in rows)
+        assert {r["name"] for r in rows} == {"server.handle", "engine.wave"}
+
+    def test_empty_exports(self):
+        assert to_chrome_trace([]) == {"traceEvents": [], "displayTimeUnit": "ms"}
+        assert to_jsonl_lines([]) == []

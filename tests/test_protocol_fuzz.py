@@ -296,3 +296,87 @@ class TestSocketFuzz:
         frames = FrameReader().feed(answer)
         assert frames and isinstance(pm(frames[0]), SearchResponse)
         self._healthy_query_works(handle, scheme)
+
+
+class TestTraceTrailerFuzz:
+    """The PR-8 trace trailer rides *behind* the dispatch-hint trailer
+    and must obey the same contract: hostile bytes degrade to "no
+    trace", never to a crash, and trace-less frames are byte-identical
+    to the pre-trace wire format."""
+
+    def _base(self, hint: str = "", trace: str = "") -> MultiSearchRequest:
+        return MultiSearchRequest(1, "sse", [[b"t" * 32]], hint, trace)
+
+    def test_traceless_frame_has_no_trace_trailer(self):
+        """An empty trace adds zero bytes: the body ends at the hint
+        trailer exactly as it did before traces existed."""
+        _, with_hint = parse_frame(self._base(hint="brc").to_frame())
+        assert with_hint.endswith(b"\x00\x03brc")
+        _, bare = parse_frame(self._base().to_frame())
+        assert bare.endswith(b"\x00\x00")
+        # Adding a trace appends exactly one length-prefixed trailer.
+        _, traced = parse_frame(self._base(trace="ab12").to_frame())
+        assert traced == bare + b"\x00\x04ab12"
+
+    def test_trace_round_trips(self):
+        for hint in ("", "brc", "auto"):
+            tid = "0123456789abcdef"
+            parsed = parse_message(self._base(hint, tid).to_frame())
+            assert parsed.trace == tid
+            assert parsed.hint == hint
+
+    def test_absent_trace_parses_as_empty(self):
+        parsed = parse_message(self._base(hint="urc").to_frame())
+        assert parsed.trace == ""
+        assert parsed.hint == "urc"
+
+    def test_overlong_trace_truncates_never_crashes(self):
+        parsed = parse_message(self._base(trace="x" * 300).to_frame())
+        assert parsed.trace == "x" * 64  # MAX_TRACE_LEN cap
+
+    @given(st.binary(max_size=96))
+    @settings(max_examples=150)
+    def test_garbage_trace_trailer_never_crashes_parser(self, tail):
+        """Arbitrary bytes where the trace trailer should be must parse
+        (or raise a library error); the hint in front of them survives
+        untouched and whatever trace comes out is a bounded string."""
+        base = self._base(hint="brc", trace="deadbeefdeadbeef")
+        tag, body = parse_frame(base.to_frame())
+        forged_body = body[:-18] + tail  # strip the 2+16B trace trailer
+        forged = struct.pack(">BI", tag, len(forged_body)) + forged_body
+        try:
+            parsed = parse_message(forged)
+        except ReproError:
+            return
+        assert parsed.hint == "brc"
+        assert isinstance(parsed.trace, str)
+        assert len(parsed.trace) <= 64
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=100)
+    def test_server_answers_batches_with_garbage_trace(self, tail):
+        """A hostile trace trailer is an opaque id at worst: the batch
+        executes and answers normally, and the server never buffers
+        more than one trace for it."""
+        server = RsseServer()
+        scheme = LogarithmicBrc(64, rng=random.Random(1))
+        scheme.build_index([(0, 5), (1, 44)])
+        server.handle(UploadIndex(1, scheme._index.to_bytes()).to_frame())
+        token = scheme.trapdoor(0, 63)
+        base = MultiSearchRequest(1, "sse", [token.wire_tokens()], "", "feed")
+        tag, body = parse_frame(base.to_frame())
+        forged_body = body[:-6] + tail  # strip the 2+4B trace trailer
+        forged = struct.pack(">BI", tag, len(forged_body)) + forged_body
+        try:
+            response_frame = server.handle(forged)
+        except ReproError:
+            return
+        response = parse_message(response_frame)
+        assert isinstance(response, MultiSearchResponse)
+        assert len(response.results) == 1
+        assert len(server.tracer) <= 1
+
+    def test_hint_and_trace_coexist_on_the_wire(self):
+        parsed = parse_message(self._base("constant-src", "cafe" * 4).to_frame())
+        assert parsed.hint == "constant-src"
+        assert parsed.trace == "cafe" * 4
