@@ -30,9 +30,11 @@ Quickstart::
 from repro.cluster.bootstrap import bootstrap_shard, shard_snapshot_path
 from repro.cluster.health import render_health, summarize
 from repro.cluster.router import ClusterRouter
+from repro.cluster.store import ClusterRangeStore
 from repro.cluster.topology import ShardMap, ShardSpec, make_shard_map
 
 __all__ = [
+    "ClusterRangeStore",
     "ClusterRouter",
     "ShardMap",
     "ShardSpec",

@@ -27,6 +27,7 @@ Topology changes arrive as whole new :class:`ShardMap` versions via
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -35,7 +36,7 @@ from typing import Callable, Sequence
 
 from repro.cluster.topology import ShardMap, ShardSpec
 from repro.errors import ClusterError, StaleTopologyError, TransportError
-from repro.obs.tracing import TraceBuffer, start_trace
+from repro.obs.tracing import TraceBuffer, span, start_trace
 from repro.protocol.client import RemoteRangeClient
 
 
@@ -264,6 +265,19 @@ class ClusterRouter:
                 except Exception:  # noqa: BLE001 — already tearing down
                     pass
 
+    def _submit(self, fn: Callable, *args):
+        """Submit ``fn`` to the scatter pool with the caller's context.
+
+        ``ThreadPoolExecutor.submit`` runs work in whatever context the
+        worker thread happens to hold, which silently detaches the
+        active-trace ContextVar — per-shard ``span()`` calls would
+        no-op and the scatter root span would lose all its children.
+        Each future gets its *own* ``copy_context()`` because one
+        Context object cannot be entered by two threads at once.
+        """
+        ctx = contextvars.copy_context()
+        return self._pool.submit(ctx.run, fn, *args)
+
     def _with_retry(self, shard: int, op: "Callable[[_Lane], object]"):
         """Run one shard operation through the bounded retry loop.
 
@@ -318,15 +332,18 @@ class ClusterRouter:
             return []
         ranges = list(ranges)
 
-        def scatter() -> "list[frozenset[int]]":
-            futures = [
-                self._pool.submit(
-                    self._with_retry,
+        def shard_op(shard: int):
+            with span("router.shard", shard=shard):
+                return self._with_retry(
                     shard,
                     lambda lane: lane.client.query_many(
                         ranges, dispatch_hint=dispatch_hint, trace_id=trace_id
                     ),
                 )
+
+        def scatter() -> "list[frozenset[int]]":
+            futures = [
+                self._submit(shard_op, shard)
                 for shard in range(len(self.shard_map))
             ]
             per_shard = [future.result() for future in futures]
@@ -352,7 +369,7 @@ class ClusterRouter:
         """Fetch + decrypt full documents, routed to their owning shards."""
         parts = self.shard_map.partition(ids)
         futures = {
-            shard: self._pool.submit(
+            shard: self._submit(
                 self._with_retry,
                 shard,
                 lambda lane, part=part: lane.client.fetch_payloads(part),
@@ -428,7 +445,7 @@ class ClusterRouter:
                 return {"reachable": False, "error": str(exc)}
 
         futures = [
-            self._pool.submit(probe, shard)
+            self._submit(probe, shard)
             for shard in range(len(self.shard_map))
         ]
         return summarize(self.shard_map, [f.result() for f in futures])

@@ -1,0 +1,228 @@
+"""``ClusterRangeStore`` — live ingest routed across a sharded cluster.
+
+One :class:`~repro.net.NetRangeStore` per shard, glued together by the
+same record-id partition the static path uses: every update op lands on
+``shard_map.shard_of(op.record_id)``'s managed store, so each node's
+LSM forest covers a disjoint record subset and a scatter search merges
+by plain union — exactly the single-server answer.
+
+Flushes and searches fan out over a thread pool with the same
+traced-scatter discipline as :class:`~repro.cluster.ClusterRouter`:
+a ``trace_id`` opens a ``router.scatter`` root span in :attr:`tracer`
+with one ``router.shard`` child per contacted shard (submissions run
+under a copied ``contextvars`` context, so the children actually attach
+to the root instead of vanishing with the pool thread's empty context).
+"""
+
+from __future__ import annotations
+
+import contextvars
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Sequence
+
+from repro.cluster.topology import ShardMap
+from repro.core.scheme import QueryOutcome
+from repro.net.store import NetRangeStore
+from repro.obs.tracing import TraceBuffer, span, start_trace
+from repro.updates.batch import UpdateOp
+
+
+class ClusterRangeStore:
+    """Owner endpoint for dynamic data over a sharded deployment.
+
+    Parameters mirror :class:`~repro.net.NetRangeStore`; every shard
+    opens an identically-parameterized managed store on its node, at
+    the pinned handle ``spec.index_id + handle_offset`` (offset keeps
+    live stores clear of the classic static EDB handles the same nodes
+    may also host — handles are striped 16 apart in
+    :func:`~repro.cluster.topology.make_shard_map`).
+    """
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        *,
+        domain_size: int,
+        scheme: str = "logarithmic-src-i",
+        schemes: "Sequence[str] | None" = None,
+        consolidation_step: int = 4,
+        handle_offset: int = 8,
+        transport_factory=None,
+        pool_size: int = 2,
+        timeout_s: float = 30.0,
+        ssl=None,
+    ) -> None:
+        self.shard_map = shard_map
+        self.domain_size = domain_size
+        self._store_kwargs = {
+            "domain_size": domain_size,
+            "scheme": scheme,
+            "schemes": tuple(schemes) if schemes is not None else None,
+            "consolidation_step": consolidation_step,
+        }
+        self.handle_offset = handle_offset
+        self._transport_factory = transport_factory
+        self._net_kwargs = {
+            "pool_size": pool_size,
+            "timeout_s": timeout_s,
+            "ssl": ssl,
+        }
+        self._stores: "list[NetRangeStore | None]" = [None] * len(shard_map)
+        #: One ``router.scatter`` root span per traced flush/search.
+        self.tracer = TraceBuffer()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(4, 2 * len(shard_map)),
+            thread_name_prefix="rsse-cluster-store",
+        )
+        self._closed = False
+
+    # -- shards --------------------------------------------------------------
+
+    def _store(self, shard: int) -> NetRangeStore:
+        store = self._stores[shard]
+        if store is not None:
+            return store
+        spec = self.shard_map.shards[shard]
+        kwargs = dict(self._store_kwargs)
+        kwargs["index_id"] = spec.index_id + self.handle_offset
+        if self._transport_factory is not None:
+            store = NetRangeStore(self._transport_factory(spec), **kwargs)
+        else:
+            store = NetRangeStore.connect(
+                spec.host,
+                spec.port,
+                transport_kwargs=dict(self._net_kwargs),
+                **kwargs,
+            )
+        self._stores[shard] = store
+        return store
+
+    def _submit(self, fn, *args):
+        # Fresh context per future: keeps the active-trace ContextVar
+        # alive inside pool threads (one Context is single-entry).
+        ctx = contextvars.copy_context()
+        return self._pool.submit(ctx.run, fn, *args)
+
+    # -- writes --------------------------------------------------------------
+
+    def insert(self, record_id: int, value: int) -> None:
+        """Buffer an insertion on the shard owning ``record_id``."""
+        self._store(self.shard_map.shard_of(record_id)).insert(record_id, value)
+
+    def delete(self, record_id: int, value: int) -> None:
+        """Buffer a deletion tombstone on the owning shard."""
+        self._store(self.shard_map.shard_of(record_id)).delete(record_id, value)
+
+    def insert_many(self, records: "Iterable[tuple[int, int]]") -> None:
+        for record_id, value in records:
+            self.insert(record_id, value)
+
+    def apply_ops(self, ops: "Iterable[UpdateOp]") -> None:
+        """Buffer materialized ops, each routed to its owning shard."""
+        for op in ops:
+            self._store(self.shard_map.shard_of(op.record_id))._buffer(op)
+
+    def flush(self, *, trace_id: "str | None" = None) -> None:
+        """Ship every shard's buffered ops, all shards in flight at once."""
+
+        def shard_flush(shard: int) -> None:
+            with span("router.shard", shard=shard):
+                self._stores[shard].flush(trace_id=trace_id)
+
+        def scatter() -> None:
+            futures = [
+                self._submit(shard_flush, shard)
+                for shard, store in enumerate(self._stores)
+                if store is not None and store.pending_ops
+            ]
+            for future in futures:
+                future.result()
+
+        dirty = sum(
+            1 for s in self._stores if s is not None and s.pending_ops
+        )
+        if trace_id is None or not dirty:
+            scatter()
+            return
+        with start_trace(
+            trace_id, self.tracer, "router.scatter", shards=dirty, kind="flush"
+        ):
+            scatter()
+
+    # -- reads ---------------------------------------------------------------
+
+    def search(
+        self, lo: int, hi: int, *, trace_id: "str | None" = None
+    ) -> QueryOutcome:
+        """Exact range query across every shard (union of disjoint sets).
+
+        All shards are contacted — values give no routing signal, only
+        record ids do — and the merged outcome aggregates the wire
+        accounting; ``rounds`` reports the widest per-shard LSM fan-out.
+        """
+        self.flush(trace_id=trace_id)
+
+        def shard_search(shard: int) -> QueryOutcome:
+            with span("router.shard", shard=shard):
+                return self._store(shard).search(lo, hi, trace_id=trace_id)
+
+        def scatter() -> "list[QueryOutcome]":
+            futures = [
+                self._submit(shard_search, shard)
+                for shard in range(len(self.shard_map))
+            ]
+            return [future.result() for future in futures]
+
+        if trace_id is None:
+            outcomes = scatter()
+        else:
+            with start_trace(
+                trace_id,
+                self.tracer,
+                "router.scatter",
+                shards=len(self.shard_map),
+                kind="store-search",
+            ):
+                outcomes = scatter()
+        ids = frozenset().union(*(o.ids for o in outcomes))
+        return QueryOutcome(
+            ids=ids,
+            raw_ids=tuple(sorted(ids)),
+            false_positives=0,
+            token_bytes=sum(o.token_bytes for o in outcomes),
+            rounds=max(o.rounds for o in outcomes),
+            trapdoor_seconds=0.0,
+            server_seconds=max(o.server_seconds for o in outcomes),
+            response_bytes=sum(o.response_bytes for o in outcomes),
+            scheme_chosen=outcomes[0].scheme_chosen,
+        )
+
+    query = search
+
+    @property
+    def pending_ops(self) -> int:
+        """Ops buffered client-side across all shards."""
+        return sum(s.pending_ops for s in self._stores if s is not None)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def drop(self) -> None:
+        """Retire every shard's managed store."""
+        for shard in range(len(self.shard_map)):
+            self._store(shard).drop()
+
+    def close(self) -> None:
+        """Close every dialed shard store and the scatter pool."""
+        if self._closed:
+            return
+        self._closed = True
+        for store in self._stores:
+            if store is not None:
+                store.close()
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ClusterRangeStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -181,11 +181,19 @@ class QueryExecutor:
         waiting for map tasks no free thread can ever run — classic
         same-pool starvation.  Two pools of width ``workers`` keep the
         deadlock impossible while still bounding threads at 2×workers.
+
+        Width floor of 2 even when ``workers`` is 1 (single-core box):
+        this pool multiplexes *independent requests*, and at width 1 a
+        long write — an update batch riding a consolidation merge —
+        head-of-line-blocks every search sharing the server.  Reads and
+        writes interleaving at GIL granularity is the whole point of
+        offloading; ``map`` parallelism stays at ``workers``.
         """
         with self._pool_lock:
             if self._offload is None:
                 self._offload = ThreadPoolExecutor(
-                    max_workers=self.workers, thread_name_prefix="repro-offload"
+                    max_workers=max(2, self.workers),
+                    thread_name_prefix="repro-offload",
                 )
             return self._offload
 

@@ -6,6 +6,7 @@ Usage::
     rsse-experiments all --csv-dir results/
     rsse-experiments serve --port 9471 --sqlite server.db
     rsse-experiments connect --port 9471 --records 500 --queries 20
+    rsse-experiments ingest --ops 600 --scheme logarithmic-src-i
     rsse-experiments cluster --shards 4 --bootstrap
     rsse-experiments top --once --json
     rsse-experiments trace --queries 8 --format chrome --out trace.json
@@ -395,6 +396,152 @@ def _connect_main(argv: "list[str]") -> int:
     return 1 if mismatches else 0
 
 
+def _ingest_main(argv: "list[str]") -> int:
+    """``rsse-experiments ingest``: live-ingest churn smoke client.
+
+    Drives a mixed insert/delete update stream through a
+    :class:`~repro.net.NetRangeStore` — batched update frames,
+    server-side builds and logarithmic consolidation — interleaving
+    searches that are verified against a plaintext dict oracle after
+    every batch.  With no ``--host`` it self-hosts an in-thread server;
+    point ``--host``/``--port`` at a running ``serve`` instance to
+    exercise a real deployment.
+    """
+    import random
+    import time
+
+    from repro.core.registry import SCHEMES
+    from repro.net import NetRangeStore
+
+    parser = argparse.ArgumentParser(
+        prog="rsse-experiments ingest",
+        description="Churn a NetRangeStore over TCP (batched update "
+        "frames, server-side consolidation) and verify every search "
+        "against the plaintext oracle.",
+    )
+    parser.add_argument(
+        "--host", default=None,
+        help="server to connect to (default: self-host in-process)",
+    )
+    parser.add_argument("--port", type=int, default=9471)
+    parser.add_argument(
+        "--scheme",
+        default="logarithmic-brc",
+        choices=sorted(n for n in SCHEMES if n != "pb"),
+    )
+    parser.add_argument("--records", type=int, default=400,
+                        help="bulk-loaded records before churn starts")
+    parser.add_argument("--domain", type=int, default=1 << 12)
+    parser.add_argument("--step", type=int, default=4,
+                        help="consolidation step s")
+    parser.add_argument("--batch", type=int, default=16,
+                        help="update ops per batch frame")
+    parser.add_argument("--ops", type=int, default=320,
+                        help="churn ops total (half inserts, half deletes)")
+    parser.add_argument("--delete-frac", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=7)
+    _add_crypto_workers_arg(parser)
+    args = parser.parse_args(argv)
+    _apply_crypto_workers(args.crypto_workers)
+
+    server = None
+    if args.host is None:
+        from repro.net import serve_in_thread
+
+        server = serve_in_thread()
+        host, port = server.host, server.port
+        print(f"self-hosted server on {host}:{port}")
+    else:
+        host, port = args.host, args.port
+
+    rng = random.Random(args.seed)
+    oracle = {i: rng.randrange(args.domain) for i in range(args.records)}
+    next_id = args.records
+    mismatches = 0
+    latencies: "list[float]" = []
+    try:
+        with NetRangeStore.connect(
+            host, port,
+            domain_size=args.domain,
+            scheme=args.scheme,
+            consolidation_step=args.step,
+        ) as store:
+            t0 = time.perf_counter()
+            store.insert_many(oracle.items())
+            store.flush()
+            print(
+                f"bulk-loaded {args.records} records ({args.scheme}, "
+                f"s={args.step}) in "
+                f"{(time.perf_counter() - t0) * 1000:.1f} ms"
+            )
+
+            def check() -> None:
+                nonlocal mismatches
+                lo = rng.randrange(args.domain)
+                hi = rng.randrange(lo, args.domain)
+                t0 = time.perf_counter()
+                outcome = store.search(lo, hi)
+                latencies.append(time.perf_counter() - t0)
+                expected = frozenset(
+                    rid for rid, v in oracle.items() if lo <= v <= hi
+                )
+                if outcome.ids != expected:
+                    mismatches += 1
+                    print(f"MISMATCH on [{lo}, {hi}]")
+
+            ops_done = 0
+            t0 = time.perf_counter()
+            while ops_done < args.ops:
+                for _ in range(min(args.batch, args.ops - ops_done)):
+                    if oracle and rng.random() < args.delete_frac:
+                        rid = rng.choice(list(oracle))
+                        store.delete(rid, oracle.pop(rid))
+                    else:
+                        value = rng.randrange(args.domain)
+                        oracle[next_id] = value
+                        store.insert(next_id, value)
+                        next_id += 1
+                    ops_done += 1
+                store.flush()
+                check()
+            elapsed = time.perf_counter() - t0
+
+            lat = sorted(latencies)
+            p50 = _percentile_ms(lat, 0.50)
+            p99 = _percentile_ms(lat, 0.99)
+            print(
+                f"{ops_done} churn ops in {elapsed * 1000:.1f} ms "
+                f"({ops_done / elapsed:.0f} ops/s), "
+                f"{len(latencies)} verified searches: "
+                f"p50 {p50:.2f} ms, p99 {p99:.2f} ms, "
+                f"{mismatches} mismatches"
+            )
+            stats = store.transport.stats()
+            store_stats = stats.get("server", {}).get("stores", {}).get(
+                str(store.index_id), {}
+            )
+            print(
+                f"store {store.index_id}: "
+                f"{store_stats.get('consolidations', '?')} consolidations, "
+                f"{store_stats.get('active_indexes', '?')} active indexes, "
+                f"{store_stats.get('pending_ops', '?')} pending ops"
+            )
+            store.drop()
+    finally:
+        if server is not None:
+            server.stop()
+    return 1 if mismatches else 0
+
+
+def _percentile_ms(sorted_latencies: "list[float]", q: float) -> float:
+    if not sorted_latencies:
+        return 0.0
+    index = min(
+        len(sorted_latencies) - 1, int(q * (len(sorted_latencies) - 1))
+    )
+    return sorted_latencies[index] * 1000.0
+
+
 def _cluster_main(argv: "list[str]") -> int:
     """``rsse-experiments cluster``: self-hosted N-shard demo.
 
@@ -777,6 +924,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _serve_main(argv[1:])
     if argv and argv[0] == "connect":
         return _connect_main(argv[1:])
+    if argv and argv[0] == "ingest":
+        return _ingest_main(argv[1:])
     if argv and argv[0] == "cluster":
         return _cluster_main(argv[1:])
     if argv and argv[0] == "top":

@@ -33,12 +33,14 @@ from repro.net.server import (
     ServerStats,
     serve_in_thread,
 )
+from repro.net.store import NetRangeStore
 
 __all__ = [
     "AsyncNetTransport",
     "FrameReader",
     "HEADER_SIZE",
     "MAX_FRAME_BYTES",
+    "NetRangeStore",
     "NetServerThread",
     "NetTransport",
     "RsseNetServer",

@@ -44,12 +44,19 @@ from repro.protocol import messages as msg
 from repro.protocol.server import RsseServer
 
 #: Frames that mutate an index handle — these serialize per index id.
+#: Update frames ride the same per-index lock as uploads: batches to
+#: one managed store apply in arrival order (and their logarithmic
+#: consolidation runs under the lock, off the event loop), while
+#: searches — including managed-store searches — stay lock-free.
 WRITE_TAGS = frozenset(
     {
         msg.TAG_UPLOAD_INDEX,
         msg.TAG_UPLOAD_RECORDS,
         msg.TAG_UPLOAD_PAYLOADS,
         msg.TAG_DROP_INDEX,
+        msg.TAG_STORE_OPEN,
+        msg.TAG_UPDATE_REQUEST,
+        msg.TAG_UPDATE_BATCH_REQUEST,
     }
 )
 
@@ -65,6 +72,10 @@ INDEXED_TAGS = frozenset(
         msg.TAG_FETCH_REQUEST,
         msg.TAG_FETCH_PAYLOADS,
         msg.TAG_DROP_INDEX,
+        msg.TAG_STORE_OPEN,
+        msg.TAG_UPDATE_REQUEST,
+        msg.TAG_UPDATE_BATCH_REQUEST,
+        msg.TAG_STORE_SEARCH,
     }
 )
 
@@ -80,6 +91,10 @@ OP_NAMES = {
     msg.TAG_DROP_INDEX: "drop-index",
     msg.TAG_STATS_REQUEST: "stats",
     msg.TAG_METRICS_REQUEST: "metrics",
+    msg.TAG_STORE_OPEN: "store-open",
+    msg.TAG_UPDATE_REQUEST: "update",
+    msg.TAG_UPDATE_BATCH_REQUEST: "update-batch",
+    msg.TAG_STORE_SEARCH: "store-search",
 }
 
 
@@ -246,6 +261,12 @@ class RsseNetServer:
         self.sim_core_per_kb_s = sim_core_per_kb_s
         self._sim_core_lock: "asyncio.Lock | None" = None
         self.stats = ServerStats()
+        # Point the core's updates.* instruments at this server's
+        # private registry, so the ingest counters ride the same stats
+        # and metrics frames as the op histograms (and two in-thread
+        # shard servers never share tallies).
+        if self.core.metrics_registry is None:
+            self.core.metrics_registry = self.stats.registry
         self._server: "asyncio.base_events.Server | None" = None
         self._semaphore: "asyncio.Semaphore | None" = None
         #: index id → ``[asyncio.Lock, interested-writer count]``.

@@ -1,0 +1,266 @@
+"""``NetRangeStore`` — the network-backed face of ``RangeStore``.
+
+The managed-store frames (:class:`~repro.protocol.messages.
+StoreOpenRequest` / ``UpdateRequest`` / ``UpdateBatchRequest`` /
+``StoreSearchRequest``) move the whole dynamic-store lifecycle —
+per-batch keys, LSM consolidation, refinement — server-side; this class
+is the thin client that drives them.  It mirrors the
+:class:`~repro.rangestore.RangeStore` surface (``insert`` / ``delete`` /
+``insert_many`` / ``flush`` / ``search``) and works identically over a
+pooled :class:`~repro.net.NetTransport` and over an in-process
+:meth:`~repro.protocol.RsseServer.handle_request` — both are
+``frame -> frame`` callables, which is the whole transport contract.
+
+Usage::
+
+    from repro.net import NetRangeStore, serve_in_thread
+
+    with serve_in_thread() as server:
+        store = NetRangeStore.connect(
+            server.host, server.port, domain_size=1 << 16
+        )
+        store.insert(101, 2_310)
+        store.insert(102, 47_000)
+        outcome = store.search(2_000, 3_000)   # -> QueryOutcome
+        store.close()
+
+Writes buffer client-side and flush as one
+:class:`~repro.protocol.messages.UpdateBatchRequest` before any search
+(or at ``max_pending``), matching the paper's batched update model —
+every flush becomes one fresh static index server-side, so op-at-a-time
+flushing grows the LSM forest fastest.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Iterable
+
+from repro.core.scheme import QueryOutcome
+from repro.errors import InvalidRangeError
+from repro.protocol import messages as msg
+from repro.updates.batch import UpdateOp, delete as _delete_op, insert as _insert_op
+
+#: ``frame -> frame`` callable: a :class:`~repro.net.NetTransport`, an
+#: in-process :meth:`~repro.protocol.RsseServer.handle_request`, or any
+#: test double with the same shape.
+Transport = Callable[[bytes], "bytes | None"]
+
+
+class NetRangeStore:
+    """Client handle to a server-managed live range store.
+
+    Parameters
+    ----------
+    transport:
+        The ``frame -> frame`` callable requests travel through.
+    domain_size:
+        Attribute domain the server-side store covers.
+    scheme / schemes:
+        One scheme name opens a server-side
+        :class:`~repro.rangestore.RangeStore`; a ``schemes`` tuple of
+        two or more opens a cost-dispatched
+        :class:`~repro.rangestore.HybridRangeStore`.
+    index_id:
+        Handle the store lives under (fresh random when omitted).
+        Re-using a handle re-opens the same store — opening is
+        idempotent for identical parameters.
+    consolidation_step:
+        The paper's ``s``: sibling indexes per hierarchical merge.
+    max_pending:
+        Auto-flush threshold for buffered ops (``None`` = only flush
+        before a search or on explicit :meth:`flush`).
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        *,
+        domain_size: int,
+        scheme: str = "logarithmic-src-i",
+        schemes: "tuple[str, ...] | list[str] | None" = None,
+        index_id: "int | None" = None,
+        consolidation_step: int = 4,
+        max_pending: "int | None" = None,
+        _owns_transport: bool = False,
+    ) -> None:
+        self._transport = transport
+        self._owns_transport = _owns_transport
+        self.domain_size = domain_size
+        self.schemes = tuple(schemes) if schemes is not None else (scheme,)
+        self.index_id = (
+            index_id
+            if index_id is not None
+            else random.SystemRandom().randrange(1 << 62)
+        )
+        self.consolidation_step = consolidation_step
+        self.max_pending = max_pending
+        self._pending: "list[UpdateOp]" = []
+        self._request(
+            msg.StoreOpenRequest(
+                self.index_id,
+                domain_size,
+                self.schemes,
+                consolidation_step,
+            )
+        )
+
+    @classmethod
+    def connect(
+        cls, host: str, port: int, *, transport_kwargs: "dict | None" = None, **kwargs
+    ) -> "NetRangeStore":
+        """Dial a server and open (or re-open) a store over TCP.
+
+        The store owns the created transport: :meth:`close` closes it.
+        ``transport_kwargs`` reach the underlying
+        :class:`~repro.net.NetTransport` (``pool_size``, ``timeout_s``,
+        ``ssl``, ...).
+        """
+        from repro.net.client import NetTransport
+
+        transport = NetTransport(host, port, **(transport_kwargs or {}))
+        try:
+            return cls(transport, _owns_transport=True, **kwargs)
+        except BaseException:
+            transport.close()
+            raise
+
+    # -- plumbing ------------------------------------------------------------
+
+    @property
+    def transport(self):
+        """The underlying transport (for stats surfaces and the like)."""
+        return self._transport
+
+    def _request(self, request):
+        """One request/response round; server errors re-raise typed."""
+        return msg.parse_reply(self._transport(request.to_frame()))
+
+    # -- writes --------------------------------------------------------------
+
+    def insert(self, record_id: int, value: int) -> None:
+        """Buffer an insertion of tuple ``(record_id, value)``."""
+        self._buffer(_insert_op(record_id, value))
+
+    def delete(self, record_id: int, value: int) -> None:
+        """Buffer a deletion tombstone (``value`` as originally inserted)."""
+        self._buffer(_delete_op(record_id, value))
+
+    def insert_many(self, records: "Iterable[tuple[int, int]]") -> None:
+        """Buffer many insertions at once."""
+        for record_id, value in records:
+            self.insert(record_id, value)
+
+    def apply_ops(self, ops: "Iterable[UpdateOp]") -> None:
+        """Buffer already-materialized operations."""
+        for op in ops:
+            self._buffer(op)
+
+    def _buffer(self, op: UpdateOp) -> None:
+        self._pending.append(op)
+        if self.max_pending is not None and len(self._pending) >= self.max_pending:
+            self.flush()
+
+    def flush(self, *, trace_id: "str | None" = None) -> None:
+        """Ship buffered ops as one acked update batch.
+
+        A single op travels as the lean :class:`~repro.protocol.
+        messages.UpdateRequest`; anything more as one
+        :class:`~repro.protocol.messages.UpdateBatchRequest`.  Either
+        way the server applies exactly one batch (one fresh index, then
+        consolidation) and answers one
+        :class:`~repro.protocol.messages.OkResponse`.
+        """
+        if not self._pending:
+            return
+        ops, self._pending = self._pending, []
+        try:
+            if len(ops) == 1 and trace_id is None:
+                self._request(msg.UpdateRequest(self.index_id, ops[0]))
+            else:
+                self._request(
+                    msg.UpdateBatchRequest(
+                        self.index_id, tuple(ops), trace_id or ""
+                    )
+                )
+        except BaseException:
+            # The batch was not acked — put it back so a retried flush
+            # (e.g. after a transport reconnect) re-sends it.
+            self._pending = ops + self._pending
+            raise
+
+    # -- reads ---------------------------------------------------------------
+
+    def search(
+        self, lo: int, hi: int, *, trace_id: "str | None" = None
+    ) -> QueryOutcome:
+        """Exact range query ``[lo, hi]`` (buffered writes flushed first).
+
+        The returned :class:`~repro.core.scheme.QueryOutcome` carries
+        the exact server-refined ids, the LSM fan-out width in
+        ``rounds``, the serving lane in ``scheme_chosen``, and the
+        response frame size; per-phase crypto timings stay zero — that
+        work happened server-side (its latency distributions live in
+        the server's ``op.store-search`` histogram).
+        """
+        if not 0 <= lo < 1 << 64 or not 0 <= hi < 1 << 64:
+            raise InvalidRangeError(
+                f"range [{lo}, {hi}] outside the unsigned 64-bit wire domain"
+            )
+        self.flush(trace_id=trace_id)
+        request = msg.StoreSearchRequest(self.index_id, lo, hi, trace_id or "")
+        t0 = time.perf_counter()
+        frame = self._transport(request.to_frame())
+        elapsed = time.perf_counter() - t0
+        reply = msg.parse_reply(frame)
+        if not isinstance(reply, msg.StoreSearchResponse):
+            raise msg.errors.TokenError(
+                f"expected StoreSearchResponse, got {type(reply).__name__}"
+            )
+        return QueryOutcome(
+            ids=frozenset(reply.ids),
+            raw_ids=reply.ids,
+            false_positives=0,
+            token_bytes=len(request.to_frame()),
+            rounds=reply.rounds,
+            trapdoor_seconds=0.0,
+            server_seconds=elapsed,
+            response_bytes=len(frame) if frame is not None else 0,
+            scheme_chosen=reply.scheme,
+        )
+
+    #: Alias matching the scheme-level API.
+    query = search
+
+    # -- lifecycle & introspection -------------------------------------------
+
+    def drop(self) -> None:
+        """Retire the server-side store (frees its backend slice)."""
+        self.flush()
+        self._request(msg.DropIndex(self.index_id))
+
+    def close(self) -> None:
+        """Release the transport if this store created it."""
+        if self._owns_transport:
+            close = getattr(self._transport, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "NetRangeStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def pending_ops(self) -> int:
+        """Operations buffered client-side, not yet shipped."""
+        return len(self._pending)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NetRangeStore(schemes={list(self.schemes)}, "
+            f"m={self.domain_size}, handle={self.index_id}, "
+            f"pending={self.pending_ops})"
+        )

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 from repro import errors
 from repro.errors import TokenError
+from repro.updates.batch import OP_LEN, UpdateOp
 
 #: Longest dispatcher hint the wire carries; anything longer is
 #: garbage by construction (scheme names are short) and is dropped.
@@ -49,6 +50,11 @@ TAG_STATS_REQUEST = 15
 TAG_STATS_RESPONSE = 16
 TAG_METRICS_REQUEST = 17
 TAG_METRICS_RESPONSE = 18
+TAG_UPDATE_REQUEST = 19
+TAG_UPDATE_BATCH_REQUEST = 20
+TAG_STORE_OPEN = 21
+TAG_STORE_SEARCH = 22
+TAG_STORE_SEARCH_RESPONSE = 23
 
 
 def _pack_chunks(chunks: "list[bytes]") -> bytes:
@@ -573,6 +579,228 @@ class MetricsResponse:
         return cls(payload)
 
 
+def _pack_trace_trailer(trace: str) -> bytes:
+    """Serialize an optional trailing trace id (empty string = absent)."""
+    if not trace:
+        return b""
+    raw = trace.encode("utf-8")[:MAX_TRACE_LEN]
+    return len(raw).to_bytes(2, "big") + raw
+
+
+def _parse_trace_trailer(trailer: bytes) -> str:
+    """Forgiving inverse of :func:`_pack_trace_trailer`.
+
+    Absent, truncated, over-long or undecodable trailing bytes all
+    collapse to "no trace" — same compatibility discipline as the
+    :class:`MultiSearchRequest` hint/trace trailers: an observability
+    field may never be a parse hazard.
+    """
+    if len(trailer) >= 2:
+        length = int.from_bytes(trailer[:2], "big")
+        raw = trailer[2 : 2 + length]
+        if length <= MAX_TRACE_LEN and len(raw) == length:
+            return raw.decode("utf-8", "replace")
+    return ""
+
+
+@dataclass(frozen=True)
+class StoreOpenRequest:
+    """Client → server: host a live (dynamic) range store under a handle.
+
+    Unlike the split-trust upload frames, a *managed store* keeps the
+    whole :class:`~repro.rangestore.RangeStore` lifecycle server-side —
+    per-batch keys, LSM consolidation and refinement included — so a
+    thin network client can insert/delete/search without running any
+    scheme code of its own.  The network boundary sits between the
+    application and the database; the classic key-free frames are
+    untouched.  One scheme name opens a :class:`~repro.rangestore.
+    RangeStore`; two or more open a cost-dispatched
+    :class:`~repro.rangestore.HybridRangeStore`.
+
+    Opening is idempotent: re-sending the same frame (same schemes,
+    domain and step) on an existing handle is an ack'd no-op, so a
+    reconnecting client can always re-open before resuming; differing
+    parameters raise :class:`~repro.errors.IndexStateError`.
+    """
+
+    index_id: int
+    domain_size: int
+    schemes: "tuple[str, ...]"
+    consolidation_step: int = 4
+
+    def to_frame(self) -> bytes:
+        return _frame(
+            TAG_STORE_OPEN,
+            self.index_id.to_bytes(8, "big")
+            + self.domain_size.to_bytes(8, "big")
+            + self.consolidation_step.to_bytes(4, "big")
+            + _pack_chunks([name.encode("utf-8") for name in self.schemes]),
+        )
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "StoreOpenRequest":
+        if len(body) < 20:
+            raise TokenError("StoreOpenRequest body too short")
+        chunks, _ = _unpack_chunks(body, 20)
+        if not chunks:
+            raise TokenError("StoreOpenRequest names no schemes")
+        return cls(
+            int.from_bytes(body[:8], "big"),
+            int.from_bytes(body[8:16], "big"),
+            tuple(c.decode("utf-8", "replace") for c in chunks),
+            int.from_bytes(body[16:20], "big"),
+        )
+
+
+@dataclass(frozen=True)
+class UpdateRequest:
+    """Client → server: apply one operation to a managed store, now.
+
+    The single-op fast path: the operation is applied (and flushed into
+    a fresh one-op batch index) immediately, acked with
+    :class:`OkResponse`.  Latency-sensitive ingest should batch through
+    :class:`UpdateBatchRequest` instead — each flush builds one static
+    index, so op-at-a-time traffic grows the LSM forest fastest.
+    """
+
+    index_id: int
+    op: UpdateOp
+
+    def to_frame(self) -> bytes:
+        return _frame(
+            TAG_UPDATE_REQUEST, self.index_id.to_bytes(8, "big") + self.op.encode()
+        )
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "UpdateRequest":
+        if len(body) != 8 + OP_LEN:
+            raise TokenError(
+                f"UpdateRequest body must be {8 + OP_LEN} bytes, got {len(body)}"
+            )
+        return cls(int.from_bytes(body[:8], "big"), UpdateOp.decode(body[8:]))
+
+
+@dataclass(frozen=True)
+class UpdateBatchRequest:
+    """Client → server: apply a whole operation batch to a managed store.
+
+    Ops travel as fixed-size encoded chunks (see
+    :meth:`~repro.updates.batch.UpdateOp.encode`), are applied as *one*
+    batch — one fresh index, then logarithmic consolidation — and acked
+    with a single :class:`OkResponse`.  ``trace`` rides as a trailing
+    length-prefixed field with the same forgiving compatibility
+    discipline as the multi-search trailers: absent/garbage trailing
+    bytes collapse to "no trace", never to a parse error.
+    """
+
+    index_id: int
+    ops: "tuple[UpdateOp, ...]"
+    trace: str = ""
+
+    def to_frame(self) -> bytes:
+        return _frame(
+            TAG_UPDATE_BATCH_REQUEST,
+            self.index_id.to_bytes(8, "big")
+            + _pack_chunks([op.encode() for op in self.ops])
+            + _pack_trace_trailer(self.trace),
+        )
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "UpdateBatchRequest":
+        if len(body) < 12:  # 8B handle + 4B op count, even when empty
+            raise TokenError("UpdateBatchRequest body too short")
+        chunks, offset = _unpack_chunks(body, 8)
+        # UpdateOp.decode raises typed UpdateError on truncated,
+        # oversized or unknown-kind chunks — hostile op bytes become an
+        # ErrorResponse, never a crash.
+        return cls(
+            int.from_bytes(body[:8], "big"),
+            tuple(UpdateOp.decode(c) for c in chunks),
+            _parse_trace_trailer(body[offset:]),
+        )
+
+
+@dataclass(frozen=True)
+class StoreSearchRequest:
+    """Client → server: range query ``[lo, hi]`` against a managed store."""
+
+    index_id: int
+    lo: int
+    hi: int
+    trace: str = ""
+
+    def to_frame(self) -> bytes:
+        return _frame(
+            TAG_STORE_SEARCH,
+            self.index_id.to_bytes(8, "big")
+            + self.lo.to_bytes(8, "big")
+            + self.hi.to_bytes(8, "big")
+            + _pack_trace_trailer(self.trace),
+        )
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "StoreSearchRequest":
+        if len(body) < 24:
+            raise TokenError("StoreSearchRequest body too short")
+        return cls(
+            int.from_bytes(body[:8], "big"),
+            int.from_bytes(body[8:16], "big"),
+            int.from_bytes(body[16:24], "big"),
+            _parse_trace_trailer(body[24:]),
+        )
+
+
+@dataclass(frozen=True)
+class StoreSearchResponse:
+    """Server → client: the matching record ids, exact and sorted.
+
+    Managed-store answers are fully refined server-side (the store
+    holds the keys), so the body carries plaintext record ids — sorted
+    ascending, which makes the frame a *deterministic* function of the
+    store's logical state: two servers that ingested the same op
+    sequence answer byte-identical frames regardless of their
+    (independent, random) key material.  ``rounds`` is the number of
+    active LSM indexes the query fanned over; ``scheme`` names the lane
+    that served it (the dispatch decision for hybrid stores).
+    """
+
+    ids: "tuple[int, ...]"
+    rounds: int = 0
+    scheme: str = ""
+
+    def to_frame(self) -> bytes:
+        scheme_raw = self.scheme.encode("utf-8")[:MAX_HINT_LEN]
+        ids = sorted(self.ids)
+        return _frame(
+            TAG_STORE_SEARCH_RESPONSE,
+            len(scheme_raw).to_bytes(2, "big")
+            + scheme_raw
+            + self.rounds.to_bytes(4, "big")
+            + len(ids).to_bytes(4, "big")
+            + b"".join(rid.to_bytes(8, "big") for rid in ids),
+        )
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "StoreSearchResponse":
+        if len(body) < 2:
+            raise TokenError("StoreSearchResponse body too short")
+        name_len = int.from_bytes(body[:2], "big")
+        offset = 2 + name_len
+        if name_len > MAX_HINT_LEN or len(body) < offset + 8:
+            raise TokenError("StoreSearchResponse header truncated")
+        scheme = body[2:offset].decode("utf-8", "replace")
+        rounds = int.from_bytes(body[offset : offset + 4], "big")
+        count = int.from_bytes(body[offset + 4 : offset + 8], "big")
+        offset += 8
+        if len(body) != offset + 8 * count:
+            raise TokenError("StoreSearchResponse id list truncated")
+        ids = tuple(
+            int.from_bytes(body[offset + 8 * i : offset + 8 * (i + 1)], "big")
+            for i in range(count)
+        )
+        return cls(ids, rounds, scheme)
+
+
 _PARSERS = {
     TAG_UPLOAD_INDEX: UploadIndex.from_body,
     TAG_UPLOAD_RECORDS: UploadRecords.from_body,
@@ -592,6 +820,11 @@ _PARSERS = {
     TAG_STATS_RESPONSE: StatsResponse.from_body,
     TAG_METRICS_REQUEST: MetricsRequest.from_body,
     TAG_METRICS_RESPONSE: MetricsResponse.from_body,
+    TAG_UPDATE_REQUEST: UpdateRequest.from_body,
+    TAG_UPDATE_BATCH_REQUEST: UpdateBatchRequest.from_body,
+    TAG_STORE_OPEN: StoreOpenRequest.from_body,
+    TAG_STORE_SEARCH: StoreSearchRequest.from_body,
+    TAG_STORE_SEARCH_RESPONSE: StoreSearchResponse.from_body,
 }
 
 #: Every tag this protocol revision can frame — the net layer's

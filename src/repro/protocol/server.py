@@ -31,6 +31,7 @@ from repro.obs.tracing import TraceBuffer, start_trace
 from repro.protocol import messages as msg
 from repro.sse.base import SUBKEY_LEN, EncryptedIndex, KeywordToken
 from repro.storage.backend import InMemoryBackend, PrefixedBackend, StorageBackend
+from repro.updates.batch import UpdateOp
 
 #: Backend namespace recording the live index handles.
 _HANDLES_NS = "server/handles"
@@ -88,6 +89,18 @@ class RsseServer:
         #: in-thread multi-shard cluster keeps per-shard trace streams).
         #: Filled only for frames that carry a trace id.
         self.tracer = TraceBuffer()
+        #: Managed live stores (the dynamic-data tier): index handle →
+        #: server-hosted :class:`~repro.rangestore.RangeStore` or
+        #: :class:`~repro.rangestore.HybridRangeStore`, created by
+        #: :class:`~repro.protocol.messages.StoreOpenRequest` frames.
+        self._stores: dict[int, object] = {}
+        self._store_specs: "dict[int, tuple]" = {}
+        self._store_consolidations: "dict[int, int]" = {}
+        #: Registry the ``updates.*`` instruments land in.  ``None``
+        #: means "the process-wide default"; the network layer points
+        #: this at its per-server :class:`~repro.obs.MetricsRegistry`
+        #: so two in-thread shard servers keep distinct counters.
+        self.metrics_registry = None
         self._databases: dict[int, EncryptedDatabase] = {}
         for key in self._backend.keys(_HANDLES_NS):
             index_id = int.from_bytes(key, "big")
@@ -155,7 +168,21 @@ class RsseServer:
             return msg.PayloadResponse(
                 db.fetch_payloads(message.record_ids)
             ).to_frame()
+        if isinstance(message, msg.StoreOpenRequest):
+            self._store_open(message)
+            return None
+        if isinstance(message, msg.UpdateRequest):
+            self._apply_updates(message.index_id, (message.op,))
+            return None
+        if isinstance(message, msg.UpdateBatchRequest):
+            self._apply_updates(
+                message.index_id, message.ops, trace=message.trace
+            )
+            return None
+        if isinstance(message, msg.StoreSearchRequest):
+            return self._store_search(message).to_frame()
         if isinstance(message, msg.DropIndex):
+            self._drop_store(message.index_id)
             db = self._databases.pop(message.index_id, None)
             if db is not None:
                 db.clear()
@@ -281,6 +308,160 @@ class RsseServer:
             self._db(request.index_id).fetch_tuples(request.record_ids)
         )
 
+    # -- managed live stores (dynamic data over the wire) ----------------------
+
+    def _registry(self):
+        """Where the ``updates.*`` instruments live (see ``__init__``)."""
+        return (
+            self.metrics_registry
+            if self.metrics_registry is not None
+            else default_registry()
+        )
+
+    def _store(self, index_id: int):
+        store = self._stores.get(index_id)
+        if store is None:
+            raise IndexStateError(f"no managed store at handle {index_id}")
+        return store
+
+    def _store_open(self, request: msg.StoreOpenRequest) -> None:
+        """Create (or idempotently re-open) a managed store.
+
+        The store lives on its own ``store<id>/`` slice of the server
+        backend.  Whatever a previous process left on that slice is
+        wiped first: managed-store keys live in this process (that is
+        the point — the server runs the whole store), so orphaned
+        on-disk state from a dead incarnation is undecryptable garbage,
+        not something to rehydrate.
+        """
+        from repro.core.registry import SCHEMES
+
+        schemes = tuple(request.schemes)
+        for name in schemes:
+            if name not in SCHEMES:
+                raise IndexStateError(f"unknown scheme {name!r}")
+        if len(set(schemes)) != len(schemes):
+            raise IndexStateError("duplicate scheme lanes in store open")
+        spec = (schemes, request.domain_size, request.consolidation_step)
+        existing = self._store_specs.get(request.index_id)
+        if existing is not None:
+            if existing != spec:
+                raise IndexStateError(
+                    f"handle {request.index_id} already hosts a store "
+                    f"with different parameters"
+                )
+            return  # idempotent re-open
+        if request.index_id in self._databases:
+            raise IndexStateError(
+                f"handle {request.index_id} already hosts a classic EDB"
+            )
+        from repro.rangestore import HybridRangeStore, RangeStore
+
+        backend = PrefixedBackend(self._backend, f"store{request.index_id}/")
+        for ns in backend.namespaces():
+            backend.drop(ns)
+        if len(schemes) == 1:
+            kwargs = {"executor": self.executor}
+            if schemes[0].startswith("constant"):
+                # A live store serves arbitrary interleaved ranges; the
+                # owner-side intersection guard assumes one owner's
+                # query discipline and would reject normal traffic.
+                kwargs["intersection_policy"] = "allow"
+            store = RangeStore.open(
+                schemes[0],
+                domain_size=request.domain_size,
+                backend=backend,
+                consolidation_step=request.consolidation_step,
+                **kwargs,
+            )
+        else:
+            store = HybridRangeStore(
+                domain_size=request.domain_size,
+                schemes=schemes,
+                backend=backend,
+                consolidation_step=request.consolidation_step,
+                executor=self.executor,
+            )
+        self._stores[request.index_id] = store
+        self._store_specs[request.index_id] = spec
+        self._store_consolidations[request.index_id] = 0
+
+    def _apply_updates(
+        self, index_id: int, ops: "tuple[UpdateOp, ...]", *, trace: str = ""
+    ) -> None:
+        """Apply one decoded update batch to a managed store.
+
+        The batch becomes one fresh static index; any logarithmic
+        consolidation it triggers runs right here, inside the same
+        call — which the network layer schedules on the exec engine's
+        offload pool under the per-index write lock, so merges never
+        run on the event loop and never interleave with other writes
+        to the same handle.  Concurrent searches are safe against the
+        merge via the update manager's read/write gate
+        (exec-cache invalidation is atomic with index retirement).
+        """
+        store = self._store(index_id)
+
+        def run() -> None:
+            store.apply_ops(ops)
+            store.flush()
+
+        if trace:
+            with start_trace(
+                trace,
+                self.tracer,
+                "server.update",
+                index_id=index_id,
+                ops=len(ops),
+            ):
+                run()
+        else:
+            run()
+        registry = self._registry()
+        registry.counter("updates.applied").inc(len(ops))
+        registry.counter("updates.batches").inc()
+        total = store.consolidations
+        seen = self._store_consolidations.get(index_id, 0)
+        if total > seen:
+            registry.counter("updates.consolidations").inc(total - seen)
+            self._store_consolidations[index_id] = total
+
+    def _store_search(
+        self, request: msg.StoreSearchRequest
+    ) -> msg.StoreSearchResponse:
+        store = self._store(request.index_id)
+
+        def run() -> msg.StoreSearchResponse:
+            outcome = store.search(request.lo, request.hi)
+            return msg.StoreSearchResponse(
+                tuple(sorted(outcome.ids)),
+                rounds=outcome.rounds,
+                scheme=outcome.scheme_chosen or "",
+            )
+
+        if not request.trace:
+            return run()
+        with start_trace(
+            request.trace,
+            self.tracer,
+            "server.handle",
+            index_id=request.index_id,
+            kind="store",
+            queries=1,
+        ):
+            return run()
+
+    def _drop_store(self, index_id: int) -> None:
+        """Retire a managed store and free its backend slice."""
+        store = self._stores.pop(index_id, None)
+        if store is None:
+            return
+        self._store_specs.pop(index_id, None)
+        self._store_consolidations.pop(index_id, None)
+        slice_backend = PrefixedBackend(self._backend, f"store{index_id}/")
+        for ns in slice_backend.namespaces():
+            slice_backend.drop(ns)
+
     # -- introspection (what an adversary can tally) -----------------------------
 
     def stored_bytes(self) -> int:
@@ -307,6 +488,16 @@ class RsseServer:
             "stored_bytes": self.stored_bytes(),
             "dispatch_hints": dict(self.dispatch_hints),
         }
+        if self._stores:
+            stats["stores"] = {
+                str(index_id): {
+                    "schemes": list(self._store_specs[index_id][0]),
+                    "active_indexes": store.active_indexes,
+                    "pending_ops": store.pending_ops,
+                    "consolidations": store.consolidations,
+                }
+                for index_id, store in sorted(self._stores.items())
+            }
         cache = getattr(self.executor, "cache", None)
         if cache is not None:
             # The exec engine's GGM-expansion cache: its hit rate is a

@@ -39,7 +39,12 @@ from repro.errors import IndexStateError, IntegrityError
 from repro.io import keystore
 from repro.storage.backend import PrefixedBackend, StorageBackend
 from repro.updates import manager as _manager
-from repro.updates.batch import UpdateOp, delete as _delete_op, insert as _insert_op
+from repro.updates.batch import (
+    OpKind,
+    UpdateOp,
+    delete as _delete_op,
+    insert as _insert_op,
+)
 
 _STORE_MAGIC = b"RSSESTORE1"
 _HYBRID_MAGIC = b"RSSEHYB1"
@@ -154,6 +159,16 @@ class RangeStore:
         """Buffer many insertions at once."""
         for record_id, value in records:
             self.insert(record_id, value)
+
+    def apply_ops(self, ops: "Iterable[UpdateOp]") -> None:
+        """Buffer already-materialized operations (wire ingest path).
+
+        The network server hands decoded
+        :class:`~repro.updates.batch.UpdateOp` sequences straight
+        through here, so an update frame and the equivalent
+        ``insert``/``delete`` calls take exactly the same code path.
+        """
+        self._pending.extend(ops)
 
     def flush(self) -> None:
         """Apply buffered operations as one batch (fresh keys, LSM merge).
@@ -326,6 +341,11 @@ class RangeStore:
         """Batch/consolidation bookkeeping from the update manager."""
         return self._manager.stats
 
+    @property
+    def consolidations(self) -> int:
+        """Hierarchical merges performed so far (monotone counter)."""
+        return self._manager.stats.consolidations
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"RangeStore(scheme={self.scheme_name!r}, m={self.domain_size}, "
@@ -489,6 +509,19 @@ class HybridRangeStore:
         for record_id, value in records:
             self.insert(record_id, value)
 
+    def apply_ops(self, ops: "Iterable[UpdateOp]") -> None:
+        """Buffer already-materialized operations (wire ingest path).
+
+        Routed through :meth:`insert`/:meth:`delete` so the owner-side
+        value histogram the dispatcher prices SRC lanes with stays in
+        sync with the fanned-out lane state.
+        """
+        for op in ops:
+            if op.kind is OpKind.INSERT:
+                self.insert(op.record_id, op.value)
+            else:
+                self.delete(op.record_id, op.value)
+
     def flush(self) -> None:
         """Flush every lane's buffered batch."""
         for lane in self._lanes.values():
@@ -645,6 +678,17 @@ class HybridRangeStore:
     def pending_ops(self) -> int:
         """Operations buffered but not yet flushed (max across lanes)."""
         return max(lane.pending_ops for lane in self._lanes.values())
+
+    @property
+    def active_indexes(self) -> int:
+        """Live static indexes (max across lanes; lanes ingest the same
+        batches, so their LSM forests are the same shape)."""
+        return max(lane.active_indexes for lane in self._lanes.values())
+
+    @property
+    def consolidations(self) -> int:
+        """Hierarchical merges performed so far, summed over lanes."""
+        return sum(lane.consolidations for lane in self._lanes.values())
 
     def index_bytes(self) -> "dict[str, int]":
         """Per-lane EDB footprint — the storage price of adaptivity."""

@@ -69,11 +69,22 @@ class UpdateOp:
 
     @classmethod
     def decode(cls, payload: bytes) -> "UpdateOp":
-        """Inverse of :meth:`encode`."""
+        """Inverse of :meth:`encode`.
+
+        Raises :class:`~repro.errors.UpdateError` for any malformed
+        payload — including an unknown kind byte, which would otherwise
+        surface as a bare :class:`ValueError` from the enum.  Decode is
+        a wire-facing parser (the update frames carry these payloads),
+        so hostile bytes must map to the library's typed errors.
+        """
         if len(payload) != OP_LEN:
             raise UpdateError(f"op payload must be {OP_LEN} bytes, got {len(payload)}")
+        try:
+            kind = OpKind(payload[0])
+        except ValueError:
+            raise UpdateError(f"unknown update op kind {payload[0]}") from None
         return cls(
-            OpKind(payload[0]),
+            kind,
             int.from_bytes(payload[1:9], "big"),
             int.from_bytes(payload[9:17], "big"),
         )

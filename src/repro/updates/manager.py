@@ -17,7 +17,9 @@ suppresses the insertion it targets in an older one.
 
 from __future__ import annotations
 
+import contextlib
 import random
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, MutableMapping, Sequence
@@ -51,6 +53,58 @@ def _bulk_get_ops(
         if blob is None:
             raise KeyError(synthetic)
     return blobs
+
+
+class _RWLock:
+    """Many concurrent readers XOR one writer, writer-preferring.
+
+    Queries fan over every active index and decrypt op logs as they go;
+    consolidation retires indexes and *clears their storage*.  Without
+    mutual exclusion a search that snapshotted the index list can walk
+    an index whose EDB a concurrent merge just wiped — serving stale
+    (or empty) GGM expansions for ranges that still have matches.  The
+    gate makes retirement atomic from a reader's point of view: readers
+    share freely, a writer waits for in-flight readers, and new readers
+    queue behind a waiting writer so sustained search traffic cannot
+    starve ingest.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    @contextlib.contextmanager
+    def read(self):
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if not self._readers:
+                    self._cond.notify_all()
+
+    @contextlib.contextmanager
+    def write(self):
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()
 
 
 @dataclass
@@ -121,19 +175,35 @@ class BatchUpdateManager:
         self._next_synthetic = 0
         self._seq = 0
         self._op_builds = 0  # monotone namespace counter for op logs
+        #: Readers-vs-retirement gate: queries read-share the index
+        #: list; ingest/consolidation take the write side only for the
+        #: instants that mutate it (publish, retire).
+        self._gate = _RWLock()
+        #: Serializes whole batches against each other, so two threads
+        #: ingesting concurrently cannot interleave synthetic-id
+        #: allocation or trigger the same consolidation twice.
+        self._ingest_lock = threading.Lock()
         self.stats = UpdateStats()
 
     # -- ingest ------------------------------------------------------------
 
     def apply_batch(self, ops: "Iterable[UpdateOp]") -> None:
-        """Ingest one batch as a fresh static index, then consolidate."""
+        """Ingest one batch as a fresh static index, then consolidate.
+
+        Thread-safe against concurrent :meth:`query` calls: the
+        expensive work (index builds, merges) happens outside the read
+        gate; only the list mutations exclude readers.
+        """
         ops = list(ops)
         if not ops:
             raise UpdateError("empty update batch")
-        self._seq += 1
-        self._indexes.append(self._build_index(ops, level=0, seq=self._seq))
-        self.stats.batches_ingested += 1
-        self._maybe_consolidate()
+        with self._ingest_lock:
+            self._seq += 1
+            built = self._build_index(ops, level=0, seq=self._seq)
+            with self._gate.write():
+                self._indexes.append(built)
+            self.stats.batches_ingested += 1
+            self._maybe_consolidate()
 
     def _new_op_store(self) -> "tuple[MutableMapping[int, bytes], str | None]":
         """A fresh op log: backend-resident when a backend is attached."""
@@ -211,36 +281,57 @@ class BatchUpdateManager:
             before = len(survivors)
             survivors = [op for op in survivors if op.kind is OpKind.INSERT]
             self.stats.tombstones_purged += before - len(survivors)
-        for idx in group:
-            self._indexes.remove(idx)
-            self._discard_index(idx)
+        merged: "_ActiveIndex | None" = None
         if survivors:
             # Re-reverse so synthetic ids keep growing with recency in the
-            # merged index (oldest op gets the smallest id).
+            # merged index (oldest op gets the smallest id).  Built while
+            # the group is still live and visible — concurrent queries
+            # keep answering from the old forest until the atomic swap
+            # below publishes the merged index.
             merged = self._build_index(
                 list(reversed(survivors)),
                 level=level + 1,
                 seq=max(i.newest_seq for i in group),
             )
-            self._indexes.append(merged)
             self.stats.tuples_reencrypted += len(survivors)
+        # Atomic retirement: invalidate-before-publish under the write
+        # gate.  The gate waits out in-flight queries (which may hold
+        # references into the retiring indexes), then — with no readers
+        # — drops the retirees' memoized expansions *before* the merged
+        # index becomes visible, so no query can ever pair the new
+        # forest with a stale cached expansion of the old one.  Only
+        # after the swap, with the retirees unreachable, is their
+        # storage actually freed (outside the gate — readers admitted
+        # again never see the dead indexes).
+        with self._gate.write():
+            for idx in group:
+                self._indexes.remove(idx)
+                idx.scheme.invalidate_exec_cache()
+            if merged is not None:
+                self._indexes.append(merged)
+        for idx in group:
+            self._discard_index(idx)
         self.stats.consolidations += 1
 
     def _discard_index(self, idx: _ActiveIndex) -> None:
-        """Free a retired index's storage (scheme EDB + op log).
+        """Free a retired (already unpublished) index's storage.
 
-        Also drops the exec engine's memoized expansions for the dead
-        index: stale hits are impossible (expansion is a pure function
-        of cryptographically fresh seeds) but dead entries would squat
-        in the LRU until evicted by pressure.  The flush is deliberately
-        blunt — entries are keyed by opaque seeds, so the dead index's
-        cannot be singled out, and a whole-cache invalidation costs one
-        re-expansion per live range.  Deployments hosting many tenants
-        on one process should give each manager's scheme factory its
-        own ``executor=`` (hence its own cache) to scope this.
+        Called only after the index left :attr:`_indexes` under the
+        write gate, so no query can still be walking it.  The exec
+        cache was already invalidated inside that critical section —
+        atomically with retirement — because dropping memoized
+        expansions *after* the new forest is visible would leave a
+        window where dead entries squat in the LRU (stale hits are
+        impossible — expansion is a pure function of cryptographically
+        fresh seeds — but the cache must not carry retired indexes'
+        weight).  The invalidation is deliberately blunt: entries are
+        keyed by opaque seeds, so the dead index's cannot be singled
+        out, and a whole-cache flush costs one re-expansion per live
+        range.  Deployments hosting many tenants on one process should
+        give each manager's scheme factory its own ``executor=``
+        (hence its own cache) to scope this.
         """
         idx.scheme.server.clear()
-        idx.scheme.invalidate_exec_cache()
         if self._backend is not None and idx.ops_ns is not None:
             self._backend.drop(idx.ops_ns)
 
@@ -261,39 +352,48 @@ class BatchUpdateManager:
         tokens_expanded = probes_issued = probes_coalesced = cache_hits = 0
         live: dict[int, UpdateOp] = {}
         decided: set[int] = set()
-        for idx in sorted(self._indexes, key=lambda i: i.newest_seq, reverse=True):
-            outcome = idx.scheme.query(lo, hi)
-            trapdoor_seconds += outcome.trapdoor_seconds
-            server_seconds += outcome.server_seconds
-            refine_seconds += outcome.refine_seconds
-            token_bytes += outcome.token_bytes
-            response_bytes += outcome.response_bytes
-            raw_total += len(outcome.raw_ids)
-            tokens_expanded += outcome.tokens_expanded
-            probes_issued += outcome.probes_issued
-            probes_coalesced += outcome.probes_coalesced
-            cache_hits += outcome.cache_hits
-            # Within an index, higher synthetic id = more recent operation;
-            # the first (newest) op seen for a tuple decides its fate.
-            t0 = time.perf_counter()
-            synthetics = sorted(outcome.ids, reverse=True)
-            for synthetic, blob in zip(
-                synthetics, _bulk_get_ops(idx.op_store, synthetics)
+        # The read gate covers the whole fan-out: every index walked
+        # here stays published (and its storage un-cleared) until the
+        # query finishes, no matter what a concurrent consolidation is
+        # preparing.  Reads share the gate freely.
+        with self._gate.read():
+            active = len(self._indexes)
+            for idx in sorted(
+                self._indexes, key=lambda i: i.newest_seq, reverse=True
             ):
-                op = UpdateOp.decode(idx.cipher.decrypt(blob))
-                if op.record_id in decided:
-                    continue
-                decided.add(op.record_id)
-                if op.kind is OpKind.INSERT:
-                    live[op.record_id] = op
-            refine_seconds += time.perf_counter() - t0
+                outcome = idx.scheme.query(lo, hi)
+                trapdoor_seconds += outcome.trapdoor_seconds
+                server_seconds += outcome.server_seconds
+                refine_seconds += outcome.refine_seconds
+                token_bytes += outcome.token_bytes
+                response_bytes += outcome.response_bytes
+                raw_total += len(outcome.raw_ids)
+                tokens_expanded += outcome.tokens_expanded
+                probes_issued += outcome.probes_issued
+                probes_coalesced += outcome.probes_coalesced
+                cache_hits += outcome.cache_hits
+                # Within an index, higher synthetic id = more recent
+                # operation; the first (newest) op seen for a tuple
+                # decides its fate.
+                t0 = time.perf_counter()
+                synthetics = sorted(outcome.ids, reverse=True)
+                for synthetic, blob in zip(
+                    synthetics, _bulk_get_ops(idx.op_store, synthetics)
+                ):
+                    op = UpdateOp.decode(idx.cipher.decrypt(blob))
+                    if op.record_id in decided:
+                        continue
+                    decided.add(op.record_id)
+                    if op.kind is OpKind.INSERT:
+                        live[op.record_id] = op
+                refine_seconds += time.perf_counter() - t0
         matched = frozenset(live)
         return QueryOutcome(
             ids=matched,
             raw_ids=tuple(live),
             false_positives=raw_total - len(matched),
             token_bytes=token_bytes,
-            rounds=len(self._indexes),
+            rounds=active,
             trapdoor_seconds=trapdoor_seconds,
             server_seconds=server_seconds,
             refine_seconds=refine_seconds,
@@ -310,8 +410,9 @@ class BatchUpdateManager:
         The restore path calls this: a rehydrated forest starts from a
         clean cache so pre-snapshot memory pressure cannot carry over.
         """
-        for idx in self._indexes:
-            idx.scheme.invalidate_exec_cache()
+        with self._gate.read():
+            for idx in self._indexes:
+                idx.scheme.invalidate_exec_cache()
 
     # -- introspection ---------------------------------------------------------
 

@@ -127,6 +127,26 @@ class TestClusterRouter:
                 hi = rng.randrange(lo, DOMAIN)
                 assert router.query(lo, hi) == frozenset(oracle.query(lo, hi))
 
+    def test_traced_scatter_has_per_shard_child_spans(self, two_shards):
+        """Regression: scatter work runs on pool threads, which do not
+        inherit the caller's contextvars — without copying the context
+        into each submission, the per-shard spans silently no-op and
+        the ``router.scatter`` root records no children."""
+        records = _records(seed=9, n=40)
+        smap = make_shard_map([(s.host, s.port) for s in two_shards])
+        with ClusterRouter(_schemes(2, seed=40), smap) as router:
+            router.outsource(records)
+            router.query_many([(0, DOMAIN - 1)], trace_id="beadfeed00000001")
+            (trace,) = router.tracer.find("beadfeed00000001")
+            roots = [
+                s for s in trace["spans"] if s["name"] == "router.scatter"
+            ]
+            kids = [s for s in trace["spans"] if s["name"] == "router.shard"]
+            assert len(roots) == 1
+            assert len(kids) == len(smap)  # one child per shard
+            assert {k["meta"]["shard"] for k in kids} == {0, 1}
+            assert all(k["depth"] > roots[0]["depth"] for k in kids)
+
     def test_payloads_route_to_owning_shards(self, two_shards):
         records = _records(seed=3, n=40)
         payloads = {rid: b"doc-%d" % rid for rid, _ in records}

@@ -1,0 +1,210 @@
+"""Differential churn: live ingest over the wire vs in-process vs oracle.
+
+The managed-store contract is that the network boundary is invisible:
+an interleaved insert/delete/search workload driven through
+:class:`~repro.net.NetRangeStore` over a real TCP server must produce
+
+* exactly the plaintext oracle's answers (correctness),
+* the same answers as an in-process :class:`~repro.rangestore.
+  RangeStore` fed the identical op sequence (parity), and
+* **byte-identical** :class:`~repro.protocol.messages.
+  StoreSearchResponse` frames from both servers (determinism: answers
+  are sorted exact ids + deterministic LSM accounting, independent of
+  each server's random key material),
+
+for every scheme in the registry.  A cluster store must additionally
+route each op to the shard owning its record id.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster import ClusterRangeStore, make_shard_map
+from repro.net import NetRangeStore, serve_in_thread
+from repro.protocol import RsseServer, StoreSearchRequest
+from repro.protocol.messages import parse_message
+
+ALL_SCHEMES = [
+    "quadratic",
+    "constant-brc",
+    "constant-urc",
+    "logarithmic-brc",
+    "logarithmic-urc",
+    "logarithmic-src",
+    "logarithmic-src-i",
+]
+
+DOMAIN = 1 << 8
+
+
+def _churn_script(seed: int, steps: int = 60):
+    """Deterministic interleaved op stream: (kind, *args) tuples."""
+    rng = random.Random(seed)
+    live: "dict[int, int]" = {}
+    next_id = 0
+    script = []
+    for step in range(steps):
+        roll = rng.random()
+        if roll < 0.55 or not live:
+            value = rng.randrange(DOMAIN)
+            script.append(("insert", next_id, value))
+            live[next_id] = value
+            next_id += 1
+        elif roll < 0.75:
+            rid = rng.choice(sorted(live))
+            script.append(("delete", rid, live.pop(rid)))
+        else:
+            lo = rng.randrange(DOMAIN)
+            hi = rng.randrange(lo, DOMAIN)
+            script.append(("search", lo, hi))
+    script.append(("search", 0, DOMAIN - 1))
+    return script
+
+
+def _drive(script, stores, oracle_check):
+    """Replay ``script`` into every store, checking each search."""
+    oracle: "dict[int, int]" = {}
+    for op, a, b in script:
+        if op == "insert":
+            oracle[a] = b
+            for store in stores:
+                store.insert(a, b)
+        elif op == "delete":
+            oracle.pop(a, None)
+            for store in stores:
+                store.delete(a, b)
+        else:
+            expected = frozenset(
+                rid for rid, value in oracle.items() if a <= value <= b
+            )
+            oracle_check(a, b, expected)
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_differential_churn_all_schemes(scheme):
+    """Net store == in-process store == oracle, frames byte-identical."""
+    core = RsseServer()  # in-process twin, its own independent keys
+    local = NetRangeStore(
+        core.handle_request,
+        domain_size=DOMAIN,
+        scheme=scheme,
+        index_id=21,
+        consolidation_step=2,
+    )
+    with serve_in_thread() as server:
+        remote = NetRangeStore.connect(
+            server.host,
+            server.port,
+            domain_size=DOMAIN,
+            scheme=scheme,
+            index_id=21,
+            consolidation_step=2,
+        )
+
+        def check(lo, hi, expected):
+            local.flush()
+            remote.flush()
+            request = StoreSearchRequest(21, lo, hi).to_frame()
+            local_frame = core.handle_request(request)
+            remote_frame = remote._transport(request)
+            assert local_frame == remote_frame  # byte-identical determinism
+            answer = parse_message(remote_frame)
+            assert frozenset(answer.ids) == expected
+            assert answer.scheme == scheme
+
+        _drive(_churn_script(seed=0xC0FFEE + len(scheme)), [local, remote], check)
+        remote.close()
+
+
+def test_store_facade_matches_in_process_rangestore():
+    """NetRangeStore answers == plain RangeStore fed the same ops."""
+    from repro.rangestore import RangeStore
+
+    plain = RangeStore.open(
+        "logarithmic-brc", domain_size=DOMAIN, consolidation_step=2
+    )
+    core = RsseServer()
+    net = NetRangeStore(
+        core.handle_request,
+        domain_size=DOMAIN,
+        scheme="logarithmic-brc",
+        consolidation_step=2,
+    )
+
+    def check(lo, hi, expected):
+        assert plain.search(lo, hi).ids == expected
+        assert net.search(lo, hi).ids == expected
+
+    _drive(_churn_script(seed=42), [plain, net], check)
+
+
+def test_cluster_store_routes_and_merges():
+    """Ops land on the shard owning their record id; search unions."""
+    servers = [serve_in_thread() for _ in range(3)]
+    try:
+        shard_map = make_shard_map([(s.host, s.port) for s in servers])
+        cluster = ClusterRangeStore(
+            shard_map,
+            domain_size=DOMAIN,
+            scheme="logarithmic-brc",
+            consolidation_step=2,
+        )
+
+        def check(lo, hi, expected):
+            assert cluster.search(lo, hi).ids == expected
+
+        _drive(_churn_script(seed=7, steps=40), [cluster], check)
+
+        # Every contacted shard holds a store, and ops actually spread.
+        populated = []
+        for shard, spec in enumerate(shard_map.shards):
+            stores = servers[shard].server.core.stats_dict().get("stores", {})
+            handle = str(spec.index_id + cluster.handle_offset)
+            if stores.get(handle, {}).get("active_indexes"):
+                populated.append(shard)
+        assert len(populated) >= 2, populated
+        cluster.close()
+    finally:
+        for server in servers:
+            server.__exit__(None, None, None)
+
+
+def test_cluster_store_traced_search_has_shard_children():
+    """A traced scatter shows router.scatter with router.shard kids."""
+    servers = [serve_in_thread() for _ in range(2)]
+    try:
+        shard_map = make_shard_map([(s.host, s.port) for s in servers])
+        with ClusterRangeStore(
+            shard_map, domain_size=DOMAIN, scheme="logarithmic-brc"
+        ) as cluster:
+            cluster.insert(1, 10)
+            cluster.insert(2, 200)
+            cluster.search(0, DOMAIN - 1, trace_id="feedface00000001")
+            traces = cluster.tracer.find("feedface00000001")
+            assert traces, "scatter must record a trace"
+            spans = [s["name"] for t in traces for s in t["spans"]]
+            root_traces = [
+                t
+                for t in traces
+                if any(s["name"] == "router.scatter" for s in t["spans"])
+            ]
+            assert root_traces
+            assert spans.count("router.shard") >= len(shard_map)
+            # Children nest under the root: strictly deeper.
+            for trace in root_traces:
+                roots = [
+                    s for s in trace["spans"] if s["name"] == "router.scatter"
+                ]
+                kids = [
+                    s for s in trace["spans"] if s["name"] == "router.shard"
+                ]
+                assert kids, trace
+                assert all(
+                    k["depth"] > min(r["depth"] for r in roots) for k in kids
+                )
+    finally:
+        for server in servers:
+            server.__exit__(None, None, None)

@@ -1,0 +1,239 @@
+"""The live-ingest wire path: update frames and server-managed stores.
+
+Covers the frame codecs (tags 19-23), the in-process managed-store
+lifecycle on :class:`~repro.protocol.RsseServer` (open / update /
+search / drop, idempotent re-open, typed errors), and the ``updates.*``
+metrics instruments.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TokenError
+from repro.obs.registry import MetricsRegistry
+from repro.protocol import (
+    DropIndex,
+    ErrorResponse,
+    OkResponse,
+    RsseServer,
+    StoreOpenRequest,
+    StoreSearchRequest,
+    StoreSearchResponse,
+    UpdateBatchRequest,
+    UpdateRequest,
+    parse_frame,
+    parse_message,
+)
+from repro.updates.batch import delete, insert
+
+
+def _reply(server: RsseServer, message):
+    return parse_message(server.handle_request(message.to_frame()))
+
+
+class TestFrameCodecs:
+    def test_store_open_round_trip(self):
+        message = StoreOpenRequest(7, 1 << 20, ("logarithmic-brc",), 3)
+        assert parse_message(message.to_frame()) == message
+
+    def test_store_open_multi_scheme_round_trip(self):
+        message = StoreOpenRequest(
+            7, 1 << 10, ("logarithmic-brc", "constant-brc", "quadratic")
+        )
+        assert parse_message(message.to_frame()) == message
+
+    def test_store_open_without_schemes_rejected(self):
+        tag, body = parse_frame(StoreOpenRequest(7, 64, ("x",)).to_frame())
+        with pytest.raises(TokenError):
+            StoreOpenRequest.from_body(body[:20])
+
+    def test_update_round_trip(self):
+        for op in (insert(5, 123), delete((1 << 62) + 3, (1 << 60))):
+            message = UpdateRequest(9, op)
+            assert parse_message(message.to_frame()) == message
+
+    def test_update_batch_round_trip(self):
+        ops = tuple(insert(i, i * 7) for i in range(10)) + (delete(3, 21),)
+        message = UpdateBatchRequest(9, ops)
+        assert parse_message(message.to_frame()) == message
+
+    def test_empty_batch_round_trips(self):
+        message = UpdateBatchRequest(9, ())
+        assert parse_message(message.to_frame()) == message
+
+    def test_batch_trace_trailer_round_trips(self):
+        traced = UpdateBatchRequest(9, (insert(1, 2),), "cafe" * 4)
+        assert parse_message(traced.to_frame()).trace == "cafe" * 4
+        # Trace-less frames carry zero trailer bytes (wire compat).
+        bare = UpdateBatchRequest(9, (insert(1, 2),))
+        _, bare_body = parse_frame(bare.to_frame())
+        _, traced_body = parse_frame(traced.to_frame())
+        assert traced_body == bare_body + b"\x00\x10" + b"cafe" * 4
+
+    def test_store_search_round_trip(self):
+        message = StoreSearchRequest(4, 100, 2000, "deadbeef")
+        assert parse_message(message.to_frame()) == message
+        assert parse_message(StoreSearchRequest(4, 0, 0).to_frame()).trace == ""
+
+    def test_store_search_response_round_trip_and_sorting(self):
+        message = StoreSearchResponse((9, 1, 5), rounds=3, scheme="quadratic")
+        parsed = parse_message(message.to_frame())
+        assert parsed.ids == (1, 5, 9)  # canonical order on the wire
+        assert parsed.rounds == 3
+        assert parsed.scheme == "quadratic"
+
+    def test_store_search_response_frames_are_order_insensitive(self):
+        a = StoreSearchResponse((3, 1, 2), rounds=1, scheme="s")
+        b = StoreSearchResponse((2, 3, 1), rounds=1, scheme="s")
+        assert a.to_frame() == b.to_frame()
+
+    def test_store_search_response_truncation_rejected(self):
+        tag, body = parse_frame(
+            StoreSearchResponse((1, 2, 3), rounds=1, scheme="brc").to_frame()
+        )
+        for cut in (1, 5, len(body) - 1):
+            with pytest.raises(TokenError):
+                StoreSearchResponse.from_body(body[:cut])
+
+
+class TestManagedStoreLifecycle:
+    def _open(self, server, index_id=11, **overrides):
+        kwargs = {
+            "domain_size": 1 << 12,
+            "schemes": ("logarithmic-brc",),
+            "consolidation_step": 2,
+        }
+        kwargs.update(overrides)
+        return _reply(
+            server,
+            StoreOpenRequest(
+                index_id,
+                kwargs["domain_size"],
+                kwargs["schemes"],
+                kwargs["consolidation_step"],
+            ),
+        )
+
+    def test_open_update_search_drop(self):
+        server = RsseServer()
+        assert isinstance(self._open(server), OkResponse)
+        ack = _reply(
+            server,
+            UpdateBatchRequest(
+                11, tuple(insert(i, (i * 37) % (1 << 12)) for i in range(30))
+            ),
+        )
+        assert isinstance(ack, OkResponse)
+        answer = _reply(server, StoreSearchRequest(11, 0, 1 << 11))
+        assert isinstance(answer, StoreSearchResponse)
+        expected = sorted(
+            i for i in range(30) if (i * 37) % (1 << 12) <= (1 << 11)
+        )
+        assert list(answer.ids) == expected
+        assert answer.scheme == "logarithmic-brc"
+        assert isinstance(_reply(server, DropIndex(11)), OkResponse)
+        # Handle is gone: the next search is a typed state error.
+        gone = _reply(server, StoreSearchRequest(11, 0, 5))
+        assert isinstance(gone, ErrorResponse) and gone.code == "index-state"
+
+    def test_single_op_fast_path(self):
+        server = RsseServer()
+        self._open(server)
+        assert isinstance(
+            _reply(server, UpdateRequest(11, insert(1, 500))), OkResponse
+        )
+        assert isinstance(
+            _reply(server, UpdateRequest(11, delete(1, 500))), OkResponse
+        )
+        answer = _reply(server, StoreSearchRequest(11, 0, (1 << 12) - 1))
+        assert answer.ids == ()
+
+    def test_reopen_same_parameters_is_idempotent(self):
+        server = RsseServer()
+        self._open(server)
+        _reply(server, UpdateRequest(11, insert(7, 99)))
+        assert isinstance(self._open(server), OkResponse)  # reconnecting client
+        answer = _reply(server, StoreSearchRequest(11, 0, (1 << 12) - 1))
+        assert answer.ids == (7,)  # state survived the re-open
+
+    def test_reopen_with_different_parameters_rejected(self):
+        server = RsseServer()
+        self._open(server)
+        for overrides in (
+            {"domain_size": 1 << 8},
+            {"schemes": ("quadratic",)},
+            {"consolidation_step": 5},
+        ):
+            response = self._open(server, **overrides)
+            assert isinstance(response, ErrorResponse)
+            assert response.code == "index-state"
+
+    def test_unknown_scheme_name_is_typed_error(self):
+        server = RsseServer()
+        response = self._open(server, schemes=("not-a-scheme",))
+        assert isinstance(response, ErrorResponse)
+        assert response.code == "index-state"
+        assert "not-a-scheme" in response.message
+
+    def test_update_without_open_is_typed_error(self):
+        server = RsseServer()
+        response = _reply(server, UpdateRequest(404, insert(1, 2)))
+        assert isinstance(response, ErrorResponse)
+        assert response.code == "index-state"
+
+    def test_hybrid_store_dispatches(self):
+        server = RsseServer()
+        self._open(
+            server, schemes=("logarithmic-brc", "constant-brc"), domain_size=1 << 10
+        )
+        _reply(
+            server,
+            UpdateBatchRequest(
+                11, tuple(insert(i, (i * 13) % (1 << 10)) for i in range(40))
+            ),
+        )
+        answer = _reply(server, StoreSearchRequest(11, 0, 1 << 9))
+        assert answer.scheme in {"logarithmic-brc", "constant-brc"}
+        expected = sorted(
+            i for i in range(40) if (i * 13) % (1 << 10) <= (1 << 9)
+        )
+        assert list(answer.ids) == expected
+
+    def test_stats_report_stores(self):
+        server = RsseServer()
+        self._open(server)
+        _reply(server, UpdateBatchRequest(11, (insert(1, 2), insert(3, 4))))
+        stores = server.stats_dict()["stores"]
+        assert stores["11"]["schemes"] == ["logarithmic-brc"]
+        assert stores["11"]["active_indexes"] >= 1
+
+    def test_drop_clears_backend_slice(self):
+        server = RsseServer()
+        self._open(server)
+        _reply(server, UpdateBatchRequest(11, (insert(1, 2),)))
+        assert any(
+            ns.startswith("store11/") for ns in server._backend.namespaces()
+        )
+        _reply(server, DropIndex(11))
+        assert not any(
+            ns.startswith("store11/") for ns in server._backend.namespaces()
+        )
+
+
+class TestUpdateMetrics:
+    def test_counters_land_in_private_registry(self):
+        server = RsseServer()
+        server.metrics_registry = registry = MetricsRegistry(enabled=True)
+        _reply(server, StoreOpenRequest(5, 1 << 10, ("logarithmic-brc",), 2))
+        _reply(
+            server,
+            UpdateBatchRequest(5, tuple(insert(i, i) for i in range(8))),
+        )
+        _reply(server, UpdateRequest(5, insert(100, 100)))
+        snapshot = registry.snapshot()
+        counters = snapshot["counters"]
+        assert counters["updates.applied"] == 9
+        assert counters["updates.batches"] == 2
+        # step=2 and 2 batches: at least one consolidation has happened.
+        assert counters.get("updates.consolidations", 0) >= 1

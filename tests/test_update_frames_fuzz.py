@@ -1,0 +1,247 @@
+"""Fuzzing the live-ingest frames with hostile bytes.
+
+Update frames cross the same trust boundary as every other inbound
+frame: truncated, oversized, mutated or garbage
+``UpdateRequest``/``UpdateBatchRequest``/``StoreOpenRequest`` bodies
+must come back as typed :class:`~repro.protocol.messages.ErrorResponse`
+frames — never an unhandled exception, and never poison for pipelined
+honest frames sharing the connection.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError, UpdateError
+from repro.protocol import (
+    ErrorResponse,
+    OkResponse,
+    RsseServer,
+    StoreOpenRequest,
+    StoreSearchRequest,
+    StoreSearchResponse,
+    UpdateBatchRequest,
+    UpdateRequest,
+    parse_frame,
+    parse_message,
+)
+from repro.protocol.messages import (
+    TAG_STORE_OPEN,
+    TAG_UPDATE_BATCH_REQUEST,
+    TAG_UPDATE_REQUEST,
+)
+from repro.updates.batch import OP_LEN, UpdateOp, insert
+
+ALL_UPDATE_TAGS = (TAG_UPDATE_REQUEST, TAG_UPDATE_BATCH_REQUEST, TAG_STORE_OPEN)
+
+
+def _forge(tag: int, body: bytes) -> bytes:
+    return struct.pack(">BI", tag, len(body)) + body
+
+
+class TestUpdateParserFuzz:
+    @given(st.sampled_from(ALL_UPDATE_TAGS), st.binary(max_size=300))
+    @settings(max_examples=300)
+    def test_random_bodies_never_crash_parser(self, tag, body):
+        try:
+            parse_message(_forge(tag, body))
+        except ReproError:
+            pass  # the only acceptable failure mode
+
+    @given(st.data())
+    @settings(max_examples=150)
+    def test_mutated_batch_frames(self, data):
+        ops = tuple(insert(i, i * 3) for i in range(4))
+        frame = bytearray(UpdateBatchRequest(5, ops, "feed").to_frame())
+        pos = data.draw(st.integers(0, len(frame) - 1))
+        frame[pos] ^= data.draw(st.integers(1, 255))
+        try:
+            parse_message(bytes(frame))
+        except ReproError:
+            pass
+
+    @given(st.binary(min_size=1, max_size=OP_LEN + 8))
+    @settings(max_examples=150)
+    def test_op_decode_is_typed(self, blob):
+        """UpdateOp.decode: wrong length or unknown kind byte is always
+        an UpdateError, never IndexError/struct.error/ValueError."""
+        try:
+            op = UpdateOp.decode(blob)
+        except UpdateError:
+            return
+        assert len(blob) == OP_LEN
+        assert op.encode() == blob
+
+    def test_truncated_batch_bodies_rejected(self):
+        ops = tuple(insert(i, i) for i in range(3))
+        tag, body = parse_frame(UpdateBatchRequest(9, ops).to_frame())
+        for cut in (1, 7, 9, len(body) - 1):
+            with pytest.raises(ReproError):
+                parse_message(_forge(tag, body[:cut]))
+
+    def test_oversized_op_chunk_rejected(self):
+        # A chunk one byte longer than OP_LEN is not a valid op.
+        chunk = b"\x00" * (OP_LEN + 1)
+        body = (
+            (9).to_bytes(8, "big")
+            + (1).to_bytes(4, "big")
+            + len(chunk).to_bytes(4, "big")
+            + chunk
+        )
+        with pytest.raises(ReproError):
+            parse_message(_forge(TAG_UPDATE_BATCH_REQUEST, body))
+
+    def test_unknown_op_kind_rejected(self):
+        bad_op = bytes([0xEE]) + (1).to_bytes(8, "big") + (2).to_bytes(8, "big")
+        with pytest.raises(UpdateError):
+            parse_message(_forge(TAG_UPDATE_REQUEST, (9).to_bytes(8, "big") + bad_op))
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=100)
+    def test_garbage_trace_trailer_on_batch_never_crashes(self, tail):
+        base = UpdateBatchRequest(5, (insert(1, 2),), "deadbeefdeadbeef")
+        tag, body = parse_frame(base.to_frame())
+        forged_body = body[:-18] + tail  # strip the 2+16B trace trailer
+        try:
+            parsed = parse_message(_forge(tag, forged_body))
+        except ReproError:
+            return
+        assert parsed.ops == (insert(1, 2),)
+        assert isinstance(parsed.trace, str) and len(parsed.trace) <= 64
+
+
+class TestUpdateServerFuzz:
+    @given(st.sampled_from(ALL_UPDATE_TAGS), st.binary(max_size=200))
+    @settings(max_examples=200)
+    def test_server_answers_hostile_update_frames(self, tag, body):
+        """handle_request is total for update frames too: every hostile
+        body gets a typed ErrorResponse frame back."""
+        server = RsseServer()
+        response = server.handle_request(_forge(tag, body))
+        assert response is not None
+        parsed = parse_message(response)
+        if not isinstance(parsed, OkResponse):
+            assert isinstance(parsed, ErrorResponse)
+
+    def test_update_against_classic_edb_handle_is_state_error(self):
+        from repro.protocol import UploadIndex
+
+        server = RsseServer()
+        server.handle_request(UploadIndex(3, b"").to_frame())
+        reply = parse_message(
+            server.handle_request(UpdateRequest(3, insert(1, 2)).to_frame())
+        )
+        assert isinstance(reply, ErrorResponse)
+        assert reply.code == "index-state"
+
+    def test_store_open_on_classic_handle_is_state_error(self):
+        from repro.protocol import UploadIndex
+
+        server = RsseServer()
+        server.handle_request(UploadIndex(3, b"x").to_frame())
+        reply = parse_message(
+            server.handle_request(
+                StoreOpenRequest(3, 64, ("logarithmic-brc",)).to_frame()
+            )
+        )
+        assert isinstance(reply, ErrorResponse)
+        assert reply.code == "index-state"
+
+
+class TestUpdateSocketFuzz:
+    """Hostile update frames on a live TCP server must not poison the
+    pipelined neighbors sharing the connection."""
+
+    @pytest.fixture()
+    def live_store_server(self):
+        from repro.net import serve_in_thread
+
+        core = RsseServer()
+        core.handle_request(StoreOpenRequest(1, 256, ("logarithmic-brc",), 2).to_frame())
+        core.handle_request(
+            UpdateBatchRequest(1, tuple(insert(i, i * 3) for i in range(10))).to_frame()
+        )
+        with serve_in_thread(core) as handle:
+            yield handle
+
+    @staticmethod
+    def _pipeline(port: int, frames: "list[bytes]") -> "list[bytes]":
+        """Send frames back-to-back on one connection, return replies."""
+        import socket as socketlib
+
+        from repro.net import FrameReader
+
+        with socketlib.create_connection(("127.0.0.1", port), timeout=5) as sock:
+            sock.sendall(b"".join(frames))
+            sock.shutdown(socketlib.SHUT_WR)
+            sock.settimeout(5)
+            received = b""
+            try:
+                while True:
+                    chunk = sock.recv(4096)
+                    if not chunk:
+                        break
+                    received += chunk
+            except OSError:
+                pass
+        return FrameReader().feed(received)
+
+    def test_poison_batch_between_honest_searches(self, live_store_server):
+        good = StoreSearchRequest(1, 0, 255).to_frame()
+        poison = _forge(
+            TAG_UPDATE_BATCH_REQUEST,
+            (1).to_bytes(8, "big")
+            + (1).to_bytes(4, "big")
+            + (OP_LEN).to_bytes(4, "big")
+            + bytes([0xEE]) * OP_LEN,  # unknown op kind
+        )
+        replies = self._pipeline(live_store_server.port, [good, poison, good])
+        assert len(replies) == 3
+        first, middle, last = (parse_message(r) for r in replies)
+        assert isinstance(first, StoreSearchResponse)
+        assert isinstance(middle, ErrorResponse) and middle.code == "update"
+        assert isinstance(last, StoreSearchResponse)
+        assert last.ids == first.ids == tuple(range(10))
+
+    def test_garbage_update_streams_never_poison_the_server(
+        self, live_store_server
+    ):
+        rng = random.Random(0xBEEF)
+        for _ in range(8):
+            tag = rng.choice(ALL_UPDATE_TAGS)
+            body = bytes(rng.randrange(256) for _ in range(rng.randrange(120)))
+            self._pipeline(live_store_server.port, [_forge(tag, body)])
+        replies = self._pipeline(
+            live_store_server.port, [StoreSearchRequest(1, 0, 255).to_frame()]
+        )
+        answer = parse_message(replies[0])
+        assert isinstance(answer, StoreSearchResponse)
+        assert answer.ids == tuple(range(10))
+
+    def test_hostile_batch_never_mutates_the_store(self, live_store_server):
+        """A rejected batch is all-or-nothing: one bad op chunk means
+        zero ops applied."""
+        good_op = insert(99, 7).encode()
+        bad_op = bytes([0xEE]) * OP_LEN
+        body = (
+            (1).to_bytes(8, "big")
+            + (2).to_bytes(4, "big")
+            + len(good_op).to_bytes(4, "big")
+            + good_op
+            + len(bad_op).to_bytes(4, "big")
+            + bad_op
+        )
+        replies = self._pipeline(
+            live_store_server.port,
+            [
+                _forge(TAG_UPDATE_BATCH_REQUEST, body),
+                StoreSearchRequest(1, 0, 255).to_frame(),
+            ],
+        )
+        error, answer = (parse_message(r) for r in replies)
+        assert isinstance(error, ErrorResponse) and error.code == "update"
+        assert 99 not in answer.ids  # the good op did not sneak through

@@ -1,0 +1,125 @@
+"""Property test: the update manager vs a plaintext dict oracle.
+
+Random interleavings of insert/delete — including the in-batch
+insert-then-delete-then-re-insert shapes where a tombstone must consume
+exactly the *older* matching insert and nothing newer — are replayed
+both into a :class:`~repro.updates.manager.BatchUpdateManager` and into
+a plain dict.  After every batch the full-domain query must equal the
+oracle exactly; newest-wins resolution, consolidation order and
+synthetic-id bookkeeping have no other acceptable answer.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.registry import make_scheme
+from repro.updates.batch import delete, insert
+from repro.updates.manager import BatchUpdateManager
+
+DOMAIN = 64
+IDS = list(range(8))  # few ids: collisions and re-inserts are the point
+
+
+@st.composite
+def op_batches(draw):
+    """Short batch lists that honor the update API's contract.
+
+    Deletes name the exact live ``(id, value)`` tuple ("value as
+    originally inserted") and modifications travel as delete+insert —
+    the shapes outside that contract have deliberately range-dependent
+    answers (a tombstone is only visible to queries covering its
+    value), so only contract-valid streams admit a dict oracle.  Ids
+    are reused aggressively, so in-batch insert→delete→re-insert
+    interleavings appear constantly.
+    """
+    batches = []
+    live: "dict[int, int]" = {}
+    n_batches = draw(st.integers(1, 6))
+    for _ in range(n_batches):
+        batch = []
+        for _ in range(draw(st.integers(1, 5))):
+            rid = draw(st.sampled_from(IDS))
+            if rid in live and draw(st.booleans()):
+                value = live.pop(rid)
+                batch.append(("delete", rid, value))
+            else:
+                if rid in live:  # modify = delete old + insert new
+                    batch.append(("delete", rid, live[rid]))
+                value = draw(st.integers(0, DOMAIN - 1))
+                live[rid] = value
+                batch.append(("insert", rid, value))
+        batches.append(batch)
+    return batches
+
+
+def _oracle_apply(oracle: dict, batch) -> None:
+    for op, rid, value in batch:
+        if op == "insert":
+            oracle[rid] = value
+        elif oracle.get(rid) == value:
+            del oracle[rid]
+
+
+@given(op_batches(), st.sampled_from([2, 3]))
+@settings(max_examples=40, deadline=None)
+def test_manager_matches_oracle(batches, step):
+    manager = BatchUpdateManager(
+        lambda: make_scheme("logarithmic-brc", DOMAIN),
+        consolidation_step=step,
+        rng=random.Random(99),
+    )
+    oracle: "dict[int, int]" = {}
+    for batch in batches:
+        ops = [
+            insert(rid, value) if op == "insert" else delete(rid, value)
+            for op, rid, value in batch
+        ]
+        manager.apply_batch(ops)
+        _oracle_apply(oracle, batch)
+        assert manager.query(0, DOMAIN - 1).ids == frozenset(oracle), (
+            batches,
+            step,
+        )
+    # Value-targeted queries agree too, not just the full domain.
+    for lo, hi in ((0, DOMAIN // 2), (DOMAIN // 2 + 1, DOMAIN - 1)):
+        expected = frozenset(
+            rid for rid, value in oracle.items() if lo <= value <= hi
+        )
+        assert manager.query(lo, hi).ids == expected
+
+
+def test_in_batch_insert_then_delete_allows_later_reinsert():
+    """The ISSUE's named scenario: ins(x) then del(x) inside one batch
+    must not leave a tombstone that masks a *later* re-insert of x."""
+    manager = BatchUpdateManager(
+        lambda: make_scheme("logarithmic-brc", DOMAIN),
+        consolidation_step=2,
+        rng=random.Random(5),
+    )
+    manager.apply_batch([insert(1, 10), delete(1, 10)])
+    assert manager.query(0, DOMAIN - 1).ids == frozenset()
+    manager.apply_batch([insert(1, 10)])
+    assert manager.query(0, DOMAIN - 1).ids == frozenset({1})
+    # Force every batch through consolidation and re-check.
+    manager.apply_batch([insert(2, 20)])
+    manager.apply_batch([insert(3, 30)])
+    assert manager.query(0, DOMAIN - 1).ids == frozenset({1, 2, 3})
+
+
+def test_reinsert_same_value_after_consolidated_tombstone():
+    """Tombstones consumed during a merge stay consumed: a re-insert of
+    the identical (id, value) after the merge is a live record."""
+    manager = BatchUpdateManager(
+        lambda: make_scheme("logarithmic-brc", DOMAIN),
+        consolidation_step=2,
+        rng=random.Random(6),
+    )
+    manager.apply_batch([insert(1, 10)])
+    manager.apply_batch([delete(1, 10)])  # step 2: merges immediately
+    assert manager.stats.consolidations >= 1
+    assert manager.query(0, DOMAIN - 1).ids == frozenset()
+    manager.apply_batch([insert(1, 10)])
+    assert manager.query(0, DOMAIN - 1).ids == frozenset({1})
