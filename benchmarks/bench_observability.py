@@ -1,6 +1,6 @@
-"""Observability benchmark (``BENCH_PR8.json``).
+"""Observability benchmark (``BENCH_PR10.json``; PR-8 lanes retained).
 
-Two gated questions, one transparency lane:
+Four gated questions, one transparency lane:
 
 **1. What does always-on instrumentation cost?** (overhead)
     The PR-8 telemetry sits on every hot path: ``span()`` probes in
@@ -27,6 +27,26 @@ Two gated questions, one transparency lane:
     *Gate:* every recorded op on every shard carries all three
     percentile keys with ``p50 ≤ p95 ≤ p99`` and a positive count.
 
+**3. What does the always-on *production posture* cost?** (sampled)
+    The PR-10 posture: 1-in-``--sample-rate`` probabilistic trace
+    sampling on the server's query path, a per-pass SLO evaluation
+    (registry snapshot → burn-rate states), and a live JSONL event
+    log — versus the everything-off ``REPRO_OBS=0`` baseline.  Same
+    interleaved replay and median-of-ratios device as lane 1.
+
+    *Gate:* sampled/disabled ratio ≤ ``--overhead-factor`` (1.05×).
+
+**4. Does the flight recorder catch the tail?** (flight)
+    A delay-injecting storage wrapper makes a handful of queries slow
+    while the shard runs 1-in-``--flight-sample-rate`` sampling (so
+    ordinary sampling would all but certainly drop them) with the
+    recorder armed at ``--flight-threshold-ms``.  The slow queries
+    must land in the recorder ring with their *full span trees*.
+
+    *Gate:* ≥ 1 capture; the top capture's elapsed ≥ the injected
+    delay, its spans include ``storage.get_many``, and its sampling
+    coin flip was tails (the capture exists *despite* sampling).
+
 **Transparency (ungated).**  The same replay with a per-batch trace
 active — every ``span()`` actually recording — reported as a ratio
 against the untraced enabled lane.  Tracing is opt-in per query, so
@@ -35,7 +55,7 @@ its cost rides outside the always-on gate.
 Run it::
 
     PYTHONPATH=src python benchmarks/bench_observability.py \
-        --json BENCH_PR8.json
+        --json BENCH_PR10.json
 
 Smoke scale (CI)::
 
@@ -122,13 +142,16 @@ def _record_workload(args):
     return backend, groups
 
 
-def _make_server(backend):
+def _make_server(backend, **kwargs):
     """A fresh cacheless single-worker server over the stored state —
-    every replay pass does the same real crypto work."""
+    every replay pass does the same real crypto work.  ``kwargs``
+    (``trace_sampler``, ``flight``, ...) pass through to the core."""
     from repro.exec.engine import QueryExecutor
     from repro.protocol import RsseServer
 
-    return RsseServer(backend, executor=QueryExecutor(workers=1, cache=False))
+    return RsseServer(
+        backend, executor=QueryExecutor(workers=1, cache=False), **kwargs
+    )
 
 
 def _replay(server, stats, groups) -> None:
@@ -197,6 +220,181 @@ def run_overhead(args) -> "dict[str, float]":
         "enabled_frames_per_s": frames / enabled_s,
         "observations_recorded": float(hist.count),
         "traces_recorded": float(len(buffer)),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Experiment 3: the full PR-10 production posture vs REPRO_OBS=0
+# ---------------------------------------------------------------------------
+
+
+def run_sampled(args) -> "dict[str, float]":
+    """Sampled tracing + SLO evaluator + event log vs everything off."""
+    import tempfile
+
+    from repro.net.server import ServerStats
+    from repro.obs.events import EventLog
+    from repro.obs.registry import MetricsRegistry, configure_default_registry
+    from repro.obs.slo import SloTracker
+    from repro.obs.tracing import TraceSampler
+
+    backend, groups = _record_workload(args)
+    baseline_server = _make_server(backend)
+    sampled_server = _make_server(
+        backend,
+        trace_sampler=TraceSampler(
+            args.sample_rate, rng=random.Random(args.seed + 3)
+        ),
+    )
+    baseline_stats = ServerStats(registry=MetricsRegistry(enabled=False))
+    sampled_stats = ServerStats(registry=MetricsRegistry(enabled=True))
+    # Pin each core's instruments to its lane's registry (what the net
+    # front does) so the baseline's counters are disabled no-ops and
+    # the sampled lane's land where we can read them back.
+    baseline_server.metrics_registry = baseline_stats.registry
+    sampled_server.metrics_registry = sampled_stats.registry
+    tracker = SloTracker(
+        [
+            "search-p99: p99(op.multi-search) < 250ms over 1m",
+            "error-rate: error_rate < 5% over 1m",
+        ],
+        registry=sampled_stats.registry,
+    )
+    # Warm both servers' lazy paths once.
+    _replay(baseline_server, baseline_stats, groups[:1])
+    _replay(sampled_server, sampled_stats, groups[:1])
+
+    with tempfile.NamedTemporaryFile(suffix=".jsonl") as sink:
+        events = EventLog(path=sink.name, registry=sampled_stats.registry)
+
+        def baseline_lane():
+            configure_default_registry(enabled=False)
+            try:
+                _replay(baseline_server, baseline_stats, groups)
+            finally:
+                configure_default_registry(enabled=None)
+
+        def sampled_lane():
+            _replay(sampled_server, sampled_stats, groups)
+            # The steady-state control plane: one evaluation tick and
+            # one lifecycle event per polling interval.
+            tracker.observe(sampled_stats.registry.snapshot(), unreachable=0)
+            tracker.evaluate()
+            events.emit("bench.pass", frames=sum(len(g) for g in groups))
+
+        disabled_s, sampled_s, ratio = _paired_ratio(
+            baseline_lane, sampled_lane, args.passes
+        )
+
+    registry = sampled_server.metrics_registry
+    sampled_traces = (
+        registry.counter("trace.sampled").value if registry else 0
+    )
+    dropped_traces = (
+        registry.counter("trace.dropped").value if registry else 0
+    )
+    frames = sum(len(g) for g in groups)
+    return {
+        "disabled_seconds": disabled_s,
+        "sampled_seconds": sampled_s,
+        "sampled_ratio": ratio,
+        "sample_rate": float(args.sample_rate),
+        "frames_per_pass": float(frames),
+        "sampled_frames_per_s": frames / sampled_s,
+        "traces_sampled": float(sampled_traces),
+        "traces_dropped": float(dropped_traces),
+        "slo_evaluations": float(
+            sampled_stats.registry.counter("slo.evaluations").value
+        ),
+        "events_emitted": float(events.emitted),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Experiment 4: tail-based capture — slow queries survive 1/1000 sampling
+# ---------------------------------------------------------------------------
+
+
+class _DelayedBackend:
+    """Storage wrapper that can inject latency into ``get_many``.
+
+    Everything else delegates verbatim; the bench arms the delay for a
+    few queries to manufacture a reproducible tail."""
+
+    def __init__(self, inner, delay_s: float) -> None:
+        self._inner = inner
+        self._delay_s = delay_s
+        self.armed = False
+
+    def get_many(self, ns, keys):
+        if self.armed:
+            time.sleep(self._delay_s)
+        return self._inner.get_many(ns, keys)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def run_flight(args) -> "dict[str, float]":
+    """Returns lane metrics; raises AssertionError when the gate fails."""
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.tracing import FlightRecorder, TraceSampler
+
+    delay_s = args.flight_delay_ms / 1e3
+    threshold_s = args.flight_threshold_ms / 1e3
+    backend, groups = _record_workload(args)
+    delayed = _DelayedBackend(backend, delay_s)
+    server = _make_server(
+        delayed,
+        trace_sampler=TraceSampler(
+            args.flight_sample_rate, rng=random.Random(args.seed + 4)
+        ),
+        flight=FlightRecorder(threshold_s=threshold_s),
+    )
+    server.metrics_registry = MetricsRegistry(enabled=True)
+
+    for group in groups:
+        for frame in group:
+            server.handle_request(frame)
+    fast_captures = len(server.flight)
+    assert fast_captures == 0, (
+        f"{fast_captures} fast queries crossed the "
+        f"{args.flight_threshold_ms}ms bar; raise --flight-threshold-ms"
+    )
+
+    delayed.armed = True
+    try:
+        for frame in groups[0]:
+            server.handle_request(frame)
+    finally:
+        delayed.armed = False
+
+    captures = server.flight.snapshot()
+    assert captures, "no slow query captured by the flight recorder"
+    top = captures[0]
+    assert top["elapsed_s"] >= delay_s, (
+        f"capture elapsed {top['elapsed_s']:.4f}s < injected {delay_s}s"
+    )
+    names = {span["name"] for span in top["spans"]}
+    assert "storage.get_many" in names, (
+        f"capture span tree missing storage.get_many: {sorted(names)}"
+    )
+    assert not top["sampled"], (
+        "the seeded coin flip sampled the slow query; the tail-based "
+        "claim needs an unsampled capture (adjust --seed)"
+    )
+    registry = server.metrics_registry
+    return {
+        "captures": float(len(captures)),
+        "capture_elapsed_s": top["elapsed_s"],
+        "capture_spans": float(len(top["spans"])),
+        "injected_delay_s": delay_s,
+        "threshold_s": threshold_s,
+        "flight_sample_rate": float(args.flight_sample_rate),
+        "traces_dropped": float(registry.counter("trace.dropped").value),
+        "slowlog_captured": float(
+            registry.counter("slowlog.captured").value
+        ),
     }
 
 
@@ -296,9 +494,17 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--seed", type=int, default=23)
     parser.add_argument("--overhead-factor", type=float, default=1.05,
                         help="gate: enabled <= factor * disabled")
+    parser.add_argument("--sample-rate", type=int, default=100,
+                        help="sampled lane: trace 1 in N queries")
+    parser.add_argument("--flight-delay-ms", type=float, default=80.0,
+                        help="flight lane: injected storage latency")
+    parser.add_argument("--flight-threshold-ms", type=float, default=40.0,
+                        help="flight lane: recorder capture threshold")
+    parser.add_argument("--flight-sample-rate", type=int, default=1000,
+                        help="flight lane: trace 1 in N queries")
     parser.add_argument("--smoke", action="store_true",
                         help="CI scale: small batches, few passes")
-    parser.add_argument("--json", default="BENCH_PR8.json", metavar="PATH")
+    parser.add_argument("--json", default="BENCH_PR10.json", metavar="PATH")
     parser.add_argument("--force", action="store_true",
                         help="allow overwriting a committed BENCH_*.json")
     args = parser.parse_args(argv)
@@ -330,6 +536,51 @@ def main(argv: "list[str] | None" = None) -> int:
     )
 
     print(
+        f"sampled: production posture (1/{args.sample_rate} tracing + "
+        "SLO evaluator + event log) vs REPRO_OBS=0"
+    )
+    sampled = run_sampled(args)
+    print(
+        f"  sampled {sampled['sampled_ratio']:.3f}x disabled "
+        f"({sampled['traces_sampled']:.0f} traces kept, "
+        f"{sampled['traces_dropped']:.0f} dropped, "
+        f"{sampled['slo_evaluations']:.0f} SLO ticks, "
+        f"{sampled['events_emitted']:.0f} events)"
+    )
+    results.append(
+        jsonout.result(
+            "sampled/production-posture",
+            "observability",
+            {"records": args.records, "domain": args.domain,
+             "queries": args.queries, "passes": args.passes,
+             "sample_rate": args.sample_rate},
+            **sampled,
+        )
+    )
+
+    print(
+        f"flight: {args.flight_delay_ms:.0f}ms injected tail vs "
+        f"{args.flight_threshold_ms:.0f}ms bar at "
+        f"1/{args.flight_sample_rate} sampling"
+    )
+    flight = run_flight(args)
+    print(
+        f"  {flight['captures']:.0f} captures; top "
+        f"{1e3 * flight['capture_elapsed_s']:.1f}ms with "
+        f"{flight['capture_spans']:.0f} spans, unsampled"
+    )
+    results.append(
+        jsonout.result(
+            "flight/tail-capture",
+            "observability",
+            {"delay_ms": args.flight_delay_ms,
+             "threshold_ms": args.flight_threshold_ms,
+             "sample_rate": args.flight_sample_rate},
+            **flight,
+        )
+    )
+
+    print(
         f"cluster poll: {args.shards} shards, tail percentiles on every op"
     )
     poll = run_cluster_poll(args)
@@ -352,6 +603,8 @@ def main(argv: "list[str] | None" = None) -> int:
             "observability",
             {"overhead_factor": args.overhead_factor},
             overhead_ratio=overhead["overhead_ratio"],
+            sampled_ratio=sampled["sampled_ratio"],
+            flight_captures=flight["captures"],
             ops_with_percentiles=poll["ops_with_percentiles"],
         )
     )
@@ -381,13 +634,25 @@ def main(argv: "list[str] | None" = None) -> int:
             f"(allowed {args.overhead_factor}x)"
         )
         ok = False
+    if sampled["sampled_ratio"] > args.overhead_factor:
+        print(
+            f"GATE FAIL: production posture "
+            f"{sampled['sampled_ratio']:.3f}x REPRO_OBS=0 "
+            f"(allowed {args.overhead_factor}x)"
+        )
+        ok = False
+    if flight["captures"] < 1:
+        print("GATE FAIL: flight recorder captured no slow query")
+        ok = False
     if poll["ops_with_percentiles"] < 1:
         print("GATE FAIL: no op percentiles observed in the cluster poll")
         ok = False
     if ok:
         print(
-            f"gates pass: overhead {overhead['overhead_ratio']:.3f}x <= "
-            f"{args.overhead_factor}x, "
+            f"gates pass: overhead {overhead['overhead_ratio']:.3f}x, "
+            f"sampled posture {sampled['sampled_ratio']:.3f}x "
+            f"(both <= {args.overhead_factor}x), "
+            f"{flight['captures']:.0f} tail captures, "
             f"{poll['ops_with_percentiles']:.0f} op entries with tails "
             f"across {args.shards} shards"
         )

@@ -7,11 +7,19 @@ view — totals across reachable shards, a fleet-weighted exec-cache hit
 rate, per-index inflight depths, and an explicit list of unreachable
 shards.  Pure data-in/data-out: the router collects, this summarizes,
 the CLI renders.
+
+PR 10 adds the alert half: :func:`rollup_alerts` merges the per-shard
+SLO evaluations of a :class:`~repro.obs.slo.FleetSlos` into one fleet
+alert table (worst state wins per objective, attributed to the shard
+burning hottest), and :func:`render_alerts` prints it for ``cli.py
+top`` / ``cli.py alerts``.
 """
 
 from __future__ import annotations
 
 from repro.cluster.topology import ShardMap
+from repro.obs.monitor import fit_cell, fit_num
+from repro.obs.slo import STATE_LEVELS, STATE_OK, worst_state
 
 #: Transport counters summed across reachable shards.
 _NET_TOTALS = (
@@ -135,7 +143,8 @@ def render_health(health: dict) -> str:
     for entry in health["shards"]:
         if not entry["reachable"]:
             lines.append(
-                f"{entry['shard']:>5}  {entry['address']:<21} "
+                f"{fit_cell(entry['shard'], 5, '>')}  "
+                f"{fit_cell(entry['address'], 21)} "
                 f"{'DOWN':<7} {'-':>10} {'-':>8} {'-':>7} {'-':>7} {'-':>9}  {entry['error']}"
             )
             continue
@@ -158,9 +167,91 @@ def render_health(health: dict) -> str:
         else:
             kernel_cell = kernel.get("backend", "-")
         lines.append(
-            f"{entry['shard']:>5}  {entry['address']:<21} "
-            f"{'up' + label:<7} {entry['stored_bytes']:>10} "
-            f"{entry['frames_in']:>8} {entry['errors']:>7} "
-            f"{entry.get('search_p99_ms', 0.0):>7.2f} {kernel_cell:>9}  {busiest}"
+            f"{fit_cell(entry['shard'], 5, '>')}  "
+            f"{fit_cell(entry['address'], 21)} "
+            f"{fit_cell('up' + label, 7)} "
+            f"{fit_num(entry['stored_bytes'], 10, 0)} "
+            f"{fit_num(entry['frames_in'], 8, 0)} "
+            f"{fit_num(entry['errors'], 7, 0)} "
+            f"{fit_num(entry.get('search_p99_ms', 0.0), 7, 2)} "
+            f"{fit_cell(kernel_cell, 9, '>')}  {busiest}"
         )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Fleet alert rollup (the SLO half)
+# ---------------------------------------------------------------------------
+
+
+def rollup_alerts(evaluation: dict) -> dict:
+    """Merge a :meth:`FleetSlos.evaluate` result into one alert table.
+
+    Per shard-level objective the *worst* state across shards wins
+    (ties broken by the higher long-window burn), and the winning
+    shard's numbers are carried so the operator sees who is burning;
+    fleet-level objectives (unreachable) pass through as-is.  Returns
+    ``{"v": 1, "alerts": [...], "worst": <state>}`` — ``"worst"`` is
+    what a headless ``alerts --once`` caller turns into an exit code.
+    """
+    merged: "dict[str, dict]" = {}
+    for address, results in evaluation.get("per_shard", {}).items():
+        for result in results:
+            current = merged.get(result["name"])
+            if current is None:
+                current = merged[result["name"]] = {
+                    **result,
+                    "shards": {},
+                    "worst_shard": address,
+                }
+            current["shards"][address] = result["state"]
+            level = STATE_LEVELS.get(result["state"], 0)
+            best_level = STATE_LEVELS.get(current["state"], 0)
+            if level > best_level or (
+                level == best_level
+                and result["burn_long"] > current["burn_long"]
+            ):
+                for key in ("state", "burn_long", "burn_short", "value",
+                            "samples"):
+                    current[key] = result[key]
+                current["worst_shard"] = address
+    alerts = list(merged.values())
+    for result in evaluation.get("fleet", []):
+        alerts.append({**result, "shards": {}, "worst_shard": ""})
+    return {
+        "v": 1,
+        "alerts": alerts,
+        "worst": worst_state(a["state"] for a in alerts),
+    }
+
+
+def render_alerts(doc: dict) -> str:
+    """Human-readable alert lines for one :func:`rollup_alerts` doc."""
+    if not doc.get("alerts"):
+        return "slo: no objectives configured"
+    lines = []
+    for alert in doc["alerts"]:
+        state = alert["state"].upper()
+        if alert["kind"] == "latency":
+            detail = (
+                f"{alert['metric']} {1e3 * alert['value']:.2f}ms "
+                f"vs {1e3 * alert['bound']:.2f}ms bound, "
+                f"burn {alert['burn_long']:.2f}/{alert['burn_short']:.2f} "
+                f"({alert['samples']} obs)"
+            )
+        elif alert["kind"] == "error-rate":
+            detail = (
+                f"error rate {100.0 * alert['value']:.2f}% "
+                f"vs {100.0 * alert['bound']:.2f}% bound, "
+                f"burn {alert['burn_long']:.2f}/{alert['burn_short']:.2f}"
+            )
+        else:
+            detail = (
+                f"{alert['value']:.0f} unreachable "
+                f"(bound {alert['bound']:.0f})"
+            )
+        line = f"[{state:>4}] {alert['name']}: {detail}"
+        if alert.get("worst_shard") and alert["state"] != STATE_OK:
+            line += f" — worst shard {alert['worst_shard']}"
+        lines.append(line)
     return "\n".join(lines)

@@ -10,6 +10,8 @@ Usage::
     rsse-experiments cluster --shards 4 --bootstrap
     rsse-experiments top --once --json
     rsse-experiments trace --queries 8 --format chrome --out trace.json
+    rsse-experiments slow --json --threshold-ms 5
+    rsse-experiments alerts --once --json
 
 Every experiment subcommand prints the same rows/series the paper
 reports; ``--csv-dir`` additionally writes machine-readable output.
@@ -17,8 +19,11 @@ reports; ``--csv-dir`` additionally writes machine-readable output.
 ever sees ciphertext); ``connect`` is the owner-side smoke client —
 build, outsource over TCP, query, verify against the plaintext oracle,
 and print latency plus the server's stats surface.  ``top`` is the live
-cluster monitor (per-shard QPS/tail-latency table); ``trace`` captures
-cross-layer query traces and exports them as Chrome trace or JSONL.
+cluster monitor (per-shard QPS/tail-latency table, with SLO states);
+``trace`` captures cross-layer query traces and exports them as Chrome
+trace or JSONL; ``slow`` pulls the slow-query flight recorder's
+captures; ``alerts`` evaluates declarative SLOs headlessly (``--once
+--json`` exits nonzero on a page state — the CI/cron hook).
 """
 
 from __future__ import annotations
@@ -249,6 +254,37 @@ def _serve_main(argv: "list[str]") -> int:
         default=None,
         help="private key for --tls-cert",
     )
+    parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=None,
+        metavar="N",
+        help="trace one in every N queries (always-on sampled tracing; "
+        "default: REPRO_TRACE_SAMPLE or off)",
+    )
+    parser.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="flight-record any query slower than this many ms "
+        "(default: REPRO_SLOW_MS or off)",
+    )
+    parser.add_argument(
+        "--slow-p99x",
+        type=float,
+        default=None,
+        metavar="X",
+        help="flight-record queries slower than X times the live per-op "
+        "p99 (default: REPRO_SLOW_P99X or off)",
+    )
+    parser.add_argument(
+        "--event-log",
+        metavar="PATH",
+        default=None,
+        help="append structured lifecycle events to this JSONL file "
+        "(default: REPRO_EVENT_LOG or in-memory only)",
+    )
     _add_crypto_workers_arg(parser)
     args = parser.parse_args(argv)
     if bool(args.tls_cert) != bool(args.tls_key):
@@ -265,8 +301,24 @@ def _serve_main(argv: "list[str]") -> int:
     backend = (
         SqliteBackend(args.sqlite) if args.sqlite else InMemoryBackend()
     )
+    core_kwargs = {}
+    if args.trace_sample is not None:
+        from repro.obs import TraceSampler
+
+        core_kwargs["trace_sampler"] = TraceSampler(args.trace_sample)
+    if args.slow_ms is not None or args.slow_p99x is not None:
+        from repro.obs import FlightRecorder
+
+        core_kwargs["flight"] = FlightRecorder(
+            threshold_s=None if args.slow_ms is None else args.slow_ms / 1e3,
+            p99_factor=args.slow_p99x,
+        )
+    if args.event_log is not None:
+        from repro.obs import EventLog
+
+        core_kwargs["events"] = EventLog(path=args.event_log)
     server = RsseNetServer(
-        RsseServer(backend),
+        RsseServer(backend, **core_kwargs),
         host=args.host,
         port=args.port,
         max_inflight=args.max_inflight,
@@ -685,12 +737,15 @@ def _cluster_main(argv: "list[str]") -> int:
     return 1 if mismatches else 0
 
 
-def _spin_cluster(args):
+def _spin_cluster(args, core_factory=None):
     """N in-thread shard servers plus a router with seeded data uploaded.
 
-    Shared by the ``top`` and ``trace`` subcommands' self-hosted demo
-    modes.  Returns ``(servers, router, rng)``; the caller owns
-    teardown (``router.close()`` then ``server.stop()`` each).
+    Shared by the ``top``/``trace``/``slow``/``alerts`` subcommands'
+    self-hosted demo modes.  ``core_factory`` (a zero-arg callable
+    returning an :class:`~repro.protocol.RsseServer`) customizes each
+    shard's core — how ``slow`` arms the flight recorder per shard.
+    Returns ``(servers, router, rng)``; the caller owns teardown
+    (``router.close()`` then ``server.stop()`` each).
     """
     import random
 
@@ -706,7 +761,10 @@ def _spin_cluster(args):
         else {}
     )
     servers = [
-        serve_in_thread(shard=f"{i}/{args.shards}")
+        serve_in_thread(
+            core_factory() if core_factory is not None else None,
+            shard=f"{i}/{args.shards}",
+        )
         for i in range(args.shards)
     ]
     try:
@@ -729,21 +787,78 @@ def _spin_cluster(args):
     return servers, router, rng
 
 
+#: Default SLO trio for the ``top`` / ``alerts`` subcommands — a
+#: latency bound on the query-serving op, an error-rate ceiling, and a
+#: fleet reachability objective.
+_DEFAULT_SLOS = (
+    "search-p99: p99(op.multi-search) < 250ms over 1m",
+    "error-rate: error_rate < 5% over 1m",
+    "fleet: unreachable == 0",
+)
+
+
+def _demo_cluster(args, core_factory=None):
+    """Self-hosted cluster plus background query load for the monitors.
+
+    Returns ``(addrs, teardown)`` — ``teardown()`` stops the load
+    thread, router and servers.  Shared by ``top`` and ``alerts`` so
+    both demos have numbers that move.
+    """
+    import threading
+
+    from repro.obs import new_trace_id
+
+    servers, router, rng = _spin_cluster(args, core_factory)
+    ranges = []
+    for _ in range(32):
+        lo = rng.randrange(args.domain)
+        ranges.append((lo, rng.randrange(lo, args.domain)))
+    stop = threading.Event()
+
+    def load() -> None:
+        i = 0
+        while not stop.is_set():
+            batch = ranges[i % 24 : i % 24 + 8]
+            try:
+                router.query_many(batch, trace_id=new_trace_id())
+            except Exception:
+                if stop.is_set():
+                    return  # teardown raced the batch; not an error
+                raise
+            i += 8
+            stop.wait(0.05)
+
+    load_thread = threading.Thread(
+        target=load, name="repro-top-load", daemon=True
+    )
+    load_thread.start()
+
+    def teardown() -> None:
+        stop.set()
+        load_thread.join(timeout=5.0)
+        router.close()
+        for server in servers:
+            server.stop()
+
+    return [(s.host, s.port) for s in servers], teardown
+
+
 def _top_main(argv: "list[str]") -> int:
     """``rsse-experiments top``: live per-shard cluster monitor."""
     import json
-    import threading
     import time
 
-    from repro.obs import ClusterMonitor, new_trace_id, render_top
+    from repro.cluster.health import rollup_alerts
+    from repro.obs import ClusterMonitor, FleetSlos, render_top
 
     parser = argparse.ArgumentParser(
         prog="rsse-experiments top",
         description="Poll shard stats and render a refreshing per-shard "
         "table (QPS, p50/p99 latency, inflight depth, cache hit rate, "
-        "kernel backend).  With no --addr it self-hosts a seeded demo "
-        "cluster and drives a background query load so the numbers "
-        "move; with --addr it polls running servers.",
+        "kernel backend) with SLO states underneath.  With no --addr "
+        "it self-hosts a seeded demo cluster and drives a background "
+        "query load so the numbers move; with --addr it polls running "
+        "servers.",
     )
     parser.add_argument(
         "--addr",
@@ -771,59 +886,41 @@ def _top_main(argv: "list[str]") -> int:
         "--json", action="store_true", dest="as_json",
         help="emit the raw sample document instead of the table",
     )
+    parser.add_argument(
+        "--slo", action="append", metavar="OBJECTIVE",
+        help="SLO objective, e.g. 'p99(op.multi-search) < 100ms over 5m' "
+        "(repeatable; default: a standard latency/error/reachability trio)",
+    )
     args = parser.parse_args(argv)
     if args.shards < 1:
         parser.error("--shards must be >= 1")
+    objectives = args.slo if args.slo else list(_DEFAULT_SLOS)
 
     teardown = None
     if args.addr:
         addrs = list(args.addr)
     else:
-        servers, router, rng = _spin_cluster(args)
-        ranges = []
-        for _ in range(32):
-            lo = rng.randrange(args.domain)
-            ranges.append((lo, rng.randrange(lo, args.domain)))
-        stop = threading.Event()
-
-        def load() -> None:
-            i = 0
-            while not stop.is_set():
-                batch = ranges[i % 24 : i % 24 + 8]
-                try:
-                    router.query_many(batch, trace_id=new_trace_id())
-                except Exception:
-                    if stop.is_set():
-                        return  # teardown raced the batch; not an error
-                    raise
-                i += 8
-                stop.wait(0.05)
-
-        load_thread = threading.Thread(
-            target=load, name="repro-top-load", daemon=True
-        )
-        load_thread.start()
-
-        def teardown() -> None:
-            stop.set()
-            load_thread.join(timeout=5.0)
-            router.close()
-            for server in servers:
-                server.stop()
-
-        addrs = [(s.host, s.port) for s in servers]
+        addrs, teardown = _demo_cluster(args)
 
     try:
-        with ClusterMonitor(addrs) as monitor:
+        fleet = FleetSlos(objectives)
+        with ClusterMonitor(addrs, collect_metrics=True) as monitor:
             while True:
                 sample = monitor.sample()
+                fleet.observe_sample(sample)
+                alerts = rollup_alerts(fleet.evaluate())
+                # The raw registry snapshots fed the SLO evaluation;
+                # they are too bulky for the rendered/JSON surface.
+                for row in sample["shards"]:
+                    row.pop("metrics", None)
                 if args.as_json:
+                    sample["alerts"] = alerts
                     print(json.dumps(sample, sort_keys=True), flush=True)
                 else:
                     if not args.once:
                         # ANSI clear + home — the "refreshing" part.
                         print("\x1b[2J\x1b[H", end="")
-                    print(render_top(sample), flush=True)
+                    print(render_top(sample, alerts=alerts), flush=True)
                 if args.once:
                     down = sample["shard_count"] - sample["reachable"]
                     return 1 if down else 0
@@ -833,6 +930,202 @@ def _top_main(argv: "list[str]") -> int:
     finally:
         if teardown is not None:
             teardown()
+
+
+def _alerts_main(argv: "list[str]") -> int:
+    """``rsse-experiments alerts``: headless SLO evaluation.
+
+    Samples the fleet ``--samples`` times, evaluates the objectives,
+    and prints the rolled-up alert table (or ``--json`` document).
+    With ``--once`` the exit code is the contract: ``1`` iff any
+    objective is in the ``page`` state — the CI/cron hook.
+    """
+    import json
+    import time
+
+    from repro.cluster.health import render_alerts, rollup_alerts
+    from repro.obs import ClusterMonitor, FleetSlos
+
+    parser = argparse.ArgumentParser(
+        prog="rsse-experiments alerts",
+        description="Evaluate declarative SLOs (burn-rate ok/warn/page "
+        "states) against a fleet's metrics.  With no --addr it "
+        "self-hosts a loaded demo cluster; --once exits 1 iff any "
+        "objective pages.",
+    )
+    parser.add_argument(
+        "--addr", action="append", metavar="HOST:PORT",
+        help="poll this shard server (repeatable; skips the demo cluster)",
+    )
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--records", type=int, default=400)
+    parser.add_argument("--domain", type=int, default=1 << 16)
+    parser.add_argument("--scheme", default="logarithmic-brc")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--objective", action="append", metavar="OBJECTIVE",
+        help="e.g. 'p99(op.multi-search) < 100ms over 5m', "
+        "'error_rate < 1% over 5m', 'unreachable == 0' (repeatable; "
+        "default: a standard trio)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between fleet samples",
+    )
+    parser.add_argument(
+        "--samples", type=int, default=3,
+        help="samples to take before evaluating (--once mode)",
+    )
+    parser.add_argument("--once", action="store_true",
+                        help="evaluate once and exit (1 iff paging)")
+    parser.add_argument("--json", action="store_true", dest="as_json")
+    args = parser.parse_args(argv)
+    if args.samples < 1:
+        parser.error("--samples must be >= 1")
+    objectives = (
+        args.objective if args.objective else list(_DEFAULT_SLOS)
+    )
+
+    teardown = None
+    if args.addr:
+        addrs = list(args.addr)
+    else:
+        addrs, teardown = _demo_cluster(args)
+
+    try:
+        fleet = FleetSlos(objectives)
+        with ClusterMonitor(addrs, collect_metrics=True) as monitor:
+            if args.once:
+                for i in range(args.samples):
+                    if i:
+                        time.sleep(args.interval)
+                    fleet.observe_sample(monitor.sample())
+                doc = rollup_alerts(fleet.evaluate())
+                if args.as_json:
+                    print(json.dumps(doc, sort_keys=True), flush=True)
+                else:
+                    print(render_alerts(doc), flush=True)
+                return 1 if doc["worst"] == "page" else 0
+            while True:
+                fleet.observe_sample(monitor.sample())
+                doc = rollup_alerts(fleet.evaluate())
+                if args.as_json:
+                    print(json.dumps(doc, sort_keys=True), flush=True)
+                else:
+                    print("\x1b[2J\x1b[H", end="")
+                    print(render_alerts(doc), flush=True)
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        if teardown is not None:
+            teardown()
+
+
+def _slow_main(argv: "list[str]") -> int:
+    """``rsse-experiments slow``: pull slow-query flight captures.
+
+    With ``--addr`` it fetches whatever the running servers'
+    recorders ringed (via the metrics frame's ``max_slow`` opt-in).
+    Without, it self-hosts a demo cluster whose shards run 1-in-N
+    sampled tracing *plus* an armed flight recorder, drives queries,
+    and shows the captures — including the span trees of queries whose
+    sampling coin flip came up tails (tail-based capture).
+    """
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="rsse-experiments slow",
+        description="Show the slow-query flight recorder's captures "
+        "(full span tree per slow query, kept even when trace sampling "
+        "dropped the trace).",
+    )
+    parser.add_argument(
+        "--addr", action="append", metavar="HOST:PORT",
+        help="pull captures from this server (repeatable; skips the demo)",
+    )
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--records", type=int, default=400)
+    parser.add_argument("--domain", type=int, default=1 << 16)
+    parser.add_argument("--scheme", default="logarithmic-brc")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--queries", type=int, default=12,
+        help="demo queries to run before pulling captures",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=16,
+        help="max captures to pull per server",
+    )
+    parser.add_argument(
+        "--threshold-ms", type=float, default=0.0,
+        help="demo flight-recorder threshold (0 captures every query)",
+    )
+    parser.add_argument(
+        "--sample-rate", type=int, default=1000,
+        help="demo trace-sampling rate (1 in N)",
+    )
+    parser.add_argument("--json", action="store_true", dest="as_json")
+    args = parser.parse_args(argv)
+
+    if args.addr:
+        from repro.net import NetTransport
+
+        slow = []
+        for addr in args.addr:
+            host, _, port = addr.rpartition(":")
+            if not host or not port.isdigit():
+                parser.error(f"bad --addr {addr!r}; want host:port")
+            with NetTransport(host, int(port)) as transport:
+                payload = transport.metrics(max_slow=args.limit)
+                slow.extend(payload.get("slow", []))
+    else:
+        from repro.net import NetTransport
+        from repro.obs import FlightRecorder, TraceSampler
+        from repro.protocol import RsseServer
+
+        def core_factory():
+            return RsseServer(
+                trace_sampler=TraceSampler(args.sample_rate),
+                flight=FlightRecorder(threshold_s=args.threshold_ms / 1e3),
+            )
+
+        servers, router, rng = _spin_cluster(args, core_factory)
+        try:
+            for _ in range(max(1, args.queries)):
+                lo = rng.randrange(args.domain)
+                router.query_many([(lo, rng.randrange(lo, args.domain))])
+            slow = []
+            for server in servers:
+                with NetTransport(server.host, server.port) as transport:
+                    payload = transport.metrics(max_slow=args.limit)
+                    slow.extend(payload.get("slow", []))
+        finally:
+            router.close()
+            for server in servers:
+                server.stop()
+
+    slow.sort(key=lambda c: c.get("elapsed_s", 0.0), reverse=True)
+    if args.as_json:
+        print(json.dumps({"v": 1, "slow": slow}, sort_keys=True))
+        return 0
+    if not slow:
+        print("no slow-query captures (recorder unarmed, or nothing slow)")
+        return 0
+    print(
+        f"{'op':<14} {'ms':>9} {'bar ms':>9} {'why':<8} "
+        f"{'sampled':<7} {'spans':>5}  trace"
+    )
+    for capture in slow:
+        print(
+            f"{capture['op']:<14} "
+            f"{1e3 * capture['elapsed_s']:9.2f} "
+            f"{1e3 * capture['threshold_s']:9.2f} "
+            f"{capture['reason']:<8} "
+            f"{str(bool(capture.get('sampled'))).lower():<7} "
+            f"{len(capture.get('spans', [])):5d}  {capture['trace_id']}"
+        )
+    return 0
 
 
 def _trace_main(argv: "list[str]") -> int:
@@ -930,6 +1223,10 @@ def main(argv: "list[str] | None" = None) -> int:
         return _cluster_main(argv[1:])
     if argv and argv[0] == "top":
         return _top_main(argv[1:])
+    if argv and argv[0] == "slow":
+        return _slow_main(argv[1:])
+    if argv and argv[0] == "alerts":
+        return _alerts_main(argv[1:])
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
     parser = argparse.ArgumentParser(

@@ -342,15 +342,25 @@ class NetTransport:
         reply = msg.parse_reply(self(msg.StatsRequest().to_frame()))
         return reply.stats
 
-    def metrics(self, since: int = 0, max_traces: int = 0) -> dict:
+    def metrics(
+        self,
+        since: int = 0,
+        max_traces: int = 0,
+        max_slow: int = 0,
+        boot: str = "",
+    ) -> dict:
         """Fetch the server's metrics delta past cursor ``since``.
 
         The returned document's ``"seq"`` is the cursor for the next
         call; ``max_traces`` additionally pulls up to that many recent
-        trace records from the server's ring buffer.
+        trace records from the server's ring buffer, and ``max_slow``
+        up to that many slow-query flight-recorder captures.  Pass the
+        previous payload's ``"boot"`` back in ``boot`` so a restarted
+        server resets your cursor (``"cursor_reset": true``) instead of
+        silently suppressing its fresh registry's updates.
         """
         reply = msg.parse_reply(
-            self(msg.MetricsRequest(since, max_traces).to_frame())
+            self(msg.MetricsRequest(since, max_traces, max_slow, boot).to_frame())
         )
         return reply.payload
 

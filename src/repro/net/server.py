@@ -291,6 +291,14 @@ class RsseNetServer:
         self._server = await asyncio.start_server(
             self._on_connection, self._host, self._requested_port, ssl=self._ssl
         )
+        events = getattr(self.core, "events", None)
+        if events is not None:
+            events.emit(
+                "server.start",
+                host=self._host,
+                port=self.port,
+                **({"shard": self.shard} if self.shard else {}),
+            )
         return self
 
     @property
@@ -315,6 +323,16 @@ class RsseNetServer:
         complete; their responses flush because closing an asyncio
         transport writes out its buffer first.
         """
+        if not self._draining:
+            # First stop() only — the drain event marks the transition,
+            # not every re-entrant call.
+            events = getattr(self.core, "events", None)
+            if events is not None:
+                events.emit(
+                    "server.stop",
+                    frames_in=self.stats.frames_in,
+                    frames_out=self.stats.frames_out,
+                )
         self._draining = True
         if self._server is not None:
             self._server.close()
@@ -519,6 +537,8 @@ class RsseNetServer:
             self._release()
         if response[:1] == bytes([msg.TAG_ERROR]):
             self.stats.errors += 1
+            self.stats.registry.counter("net.errors").inc()
+        self.stats.registry.counter("net.frames").inc()
         self.stats.record_op(op, time.perf_counter() - t0)
         if self.sim_core_per_kb_s > 0 or self.sim_core_floor_s > 0:
             # The simulated-core model: hold THIS server's one "core"
@@ -574,6 +594,9 @@ class RsseNetServer:
                 getattr(self.core, "tracer", None),
                 since=request.since,
                 max_traces=request.max_traces,
+                boot=request.boot,
+                recorder=getattr(self.core, "flight", None),
+                max_slow=request.max_slow,
             )
             if self.shard:
                 payload["shard"] = self.shard

@@ -1,6 +1,6 @@
-"""Unified observability: metrics registry, query tracing, cluster monitor.
+"""Unified observability: metrics, tracing, SLOs, events, cluster monitor.
 
-Three pieces, one import surface:
+Five pieces, one import surface:
 
 - :mod:`repro.obs.registry` — counters, gauges, and fixed-bucket
   latency histograms behind :class:`MetricsRegistry`, unifying the
@@ -9,16 +9,27 @@ Three pieces, one import surface:
 - :mod:`repro.obs.tracing` — contextvar-propagated span stacks
   (``router.scatter`` → ``server.handle`` → ``engine.wave`` →
   ``kernel.batch`` → ``storage.get_many``) with per-server ring
-  buffers and Chrome-trace/JSONL export.
+  buffers and Chrome-trace/JSONL export; plus the *active* half:
+  :class:`TraceSampler` (always-on tracing at 1-in-N cost) and the
+  :class:`FlightRecorder` (tail-based capture of slow queries even
+  when sampling would have dropped them).
+- :mod:`repro.obs.slo` — declarative objectives (``p99(op.x) < 100ms
+  over 5m``) evaluated from registry deltas with multi-window
+  burn-rate ``ok``/``warn``/``page`` states, per shard and fleet-wide.
+- :mod:`repro.obs.events` — the structured JSONL event log narrating
+  lifecycle changes (server start/stop, store open, consolidation,
+  alert transitions, slow-query captures).
 - :mod:`repro.obs.monitor` — the ``repro top`` polling monitor over a
   cluster's stats frames.
 
 ``REPRO_OBS=0`` disables every instrument process-wide.
 """
 
-from repro.obs.monitor import ClusterMonitor, render_top
+from repro.obs.events import ENV_EVENT_LOG, EventLog
+from repro.obs.monitor import ClusterMonitor, fit_cell, fit_num, render_top
 from repro.obs.registry import (
     ENV_OBS,
+    LATENCY_BOUNDS,
     SCHEMA_VERSION,
     Counter,
     Gauge,
@@ -29,8 +40,23 @@ from repro.obs.registry import (
     metrics_payload,
     obs_enabled,
 )
+from repro.obs.slo import (
+    STATE_OK,
+    STATE_PAGE,
+    STATE_WARN,
+    FleetSlos,
+    Objective,
+    SloTracker,
+    parse_objective,
+    worst_state,
+)
 from repro.obs.tracing import (
+    ENV_SLOW_MS,
+    ENV_SLOW_P99X,
+    ENV_TRACE_SAMPLE,
+    FlightRecorder,
     TraceBuffer,
+    TraceSampler,
     current_trace_id,
     new_trace_id,
     span,
@@ -42,21 +68,39 @@ from repro.obs.tracing import (
 __all__ = [
     "ClusterMonitor",
     "Counter",
+    "ENV_EVENT_LOG",
     "ENV_OBS",
+    "ENV_SLOW_MS",
+    "ENV_SLOW_P99X",
+    "ENV_TRACE_SAMPLE",
+    "EventLog",
+    "FleetSlos",
+    "FlightRecorder",
     "Gauge",
+    "LATENCY_BOUNDS",
     "LatencyHistogram",
     "MetricsRegistry",
+    "Objective",
     "SCHEMA_VERSION",
+    "STATE_OK",
+    "STATE_PAGE",
+    "STATE_WARN",
+    "SloTracker",
     "TraceBuffer",
+    "TraceSampler",
     "configure_default_registry",
     "current_trace_id",
     "default_registry",
+    "fit_cell",
+    "fit_num",
     "metrics_payload",
     "new_trace_id",
     "obs_enabled",
+    "parse_objective",
     "render_top",
     "span",
     "start_trace",
     "to_chrome_trace",
     "to_jsonl_lines",
+    "worst_state",
 ]

@@ -1,0 +1,122 @@
+"""Structured event log: the system narrating its own state changes.
+
+Metrics answer "how much", traces answer "where did the time go" — the
+event log answers "what happened": server start/stop, store lifecycle,
+consolidations, alert transitions, slow-query captures.  Each event is
+one JSON-serializable dict with a wall-clock timestamp and a ``kind``.
+
+Two sinks, both optional and both bounded:
+
+- an in-memory drop-oldest ring (``tail()``) surfaced over the stats
+  frame so a remote operator sees recent history without log access;
+- an append-only JSONL file (``path`` or ``REPRO_EVENT_LOG``) for
+  durable post-mortems.  File errors are counted, never raised — an
+  unwritable disk must not fail a query.
+
+``emit`` is safe from any thread and never throws.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+#: Environment knob: path of the append-only JSONL event sink.
+ENV_EVENT_LOG = "REPRO_EVENT_LOG"
+
+#: Default in-memory tail capacity of an :class:`EventLog`.
+DEFAULT_EVENT_CAPACITY = 512
+
+
+class EventLog:
+    """Bounded in-memory event ring with an optional JSONL file sink."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_EVENT_CAPACITY,
+        *,
+        path: "str | None" = None,
+        registry=None,
+        clock=time.time,
+    ) -> None:
+        self.capacity = max(1, int(capacity))
+        if path is None:
+            path = os.environ.get(ENV_EVENT_LOG, "").strip() or None
+        self.path = path
+        #: A MetricsRegistry, a zero-arg callable returning one, or None.
+        self.registry = registry
+        self._clock = clock
+        self._ring: "list[dict]" = []
+        self._emitted = 0
+        self._evicted = 0
+        self._write_errors = 0
+        self._sink = None
+        self._lock = threading.Lock()
+
+    def _resolve_registry(self):
+        registry = self.registry
+        if registry is not None and callable(registry):
+            registry = registry()
+        return registry
+
+    def emit(self, kind: str, **fields) -> dict:
+        """Record one event; returns the record.  Never raises."""
+        record = {"ts_s": self._clock(), "kind": str(kind)}
+        record.update(fields)
+        with self._lock:
+            self._emitted += 1
+            self._ring.append(record)
+            if len(self._ring) > self.capacity:
+                overflow = len(self._ring) - self.capacity
+                del self._ring[:overflow]
+                self._evicted += overflow
+            if self.path is not None:
+                try:
+                    if self._sink is None:
+                        self._sink = open(self.path, "a", encoding="utf-8")
+                    self._sink.write(
+                        json.dumps(record, sort_keys=True, default=str) + "\n"
+                    )
+                    self._sink.flush()
+                except OSError:
+                    self._write_errors += 1
+        registry = self._resolve_registry()
+        if registry is not None:
+            registry.counter("events.emitted").inc()
+        return record
+
+    def tail(self, limit: int = 0) -> "list[dict]":
+        """The most recent ``limit`` events (all retained when 0)."""
+        with self._lock:
+            events = list(self._ring)
+        if limit and limit > 0:
+            events = events[-limit:]
+        return events
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    @property
+    def emitted(self) -> int:
+        """Total events ever emitted (not just those still in the ring)."""
+        return self._emitted
+
+    @property
+    def evicted(self) -> int:
+        return self._evicted
+
+    @property
+    def write_errors(self) -> int:
+        return self._write_errors
+
+    def close(self) -> None:
+        with self._lock:
+            if self._sink is not None:
+                try:
+                    self._sink.close()
+                except OSError:
+                    self._write_errors += 1
+                self._sink = None

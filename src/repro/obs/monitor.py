@@ -34,13 +34,23 @@ def _parse_addr(addr) -> "tuple[str, int]":
 
 
 class ClusterMonitor:
-    """Polls a fleet of shard servers and derives per-interval rates."""
+    """Polls a fleet of shard servers and derives per-interval rates.
 
-    def __init__(self, addrs, *, timeout_s: float = 5.0, ssl=None) -> None:
+    With ``collect_metrics=True`` every reachable row additionally
+    carries the shard's full registry snapshot under ``"metrics"`` —
+    the feed an :class:`~repro.obs.slo.FleetSlos` evaluates objectives
+    from (it needs raw histogram buckets, not the digested p99).
+    """
+
+    def __init__(
+        self, addrs, *, timeout_s: float = 5.0, ssl=None,
+        collect_metrics: bool = False,
+    ) -> None:
         self.addrs = [_parse_addr(a) for a in addrs]
         if not self.addrs:
             raise ValueError("ClusterMonitor needs at least one shard address")
         self.timeout_s = float(timeout_s)
+        self.collect_metrics = bool(collect_metrics)
         self._ssl = ssl
         self._transports: "dict[tuple[str, int], object]" = {}
         self._last: "dict[tuple[str, int], tuple[float, int]]" = {}
@@ -103,7 +113,9 @@ class ClusterMonitor:
         cache = server.get("exec_cache") or {}
         kernel = server.get("crypto_kernel") or {}
         inflight = net.get("inflight_by_index", {})
-        return {
+        metrics = stats.get("metrics") or {}
+        counters = metrics.get("counters") or {}
+        row = {
             "shard": net.get("shard", ""),
             "schema_v": stats.get("v"),
             "ops_total": total_ops,
@@ -119,7 +131,17 @@ class ClusterMonitor:
             "kernel": kernel.get("backend", "?"),
             "errors": int(net.get("errors", 0)) + int(net.get("framing_errors", 0)),
             "stored_bytes": int(server.get("stored_bytes", 0)),
+            # Live-ingest visibility (PR 9 managed stores): the
+            # updates.* counter family, keyed without its prefix.
+            "updates": {
+                name.split(".", 1)[1]: int(value)
+                for name, value in counters.items()
+                if name.startswith("updates.")
+            },
         }
+        if self.collect_metrics:
+            row["metrics"] = metrics
+        return row
 
     def sample(self) -> dict:
         """One concurrent sweep over every shard; never raises."""
@@ -160,8 +182,49 @@ def _fmt_rate(rate) -> str:
     return f"{100.0 * rate:5.1f}%"
 
 
-def render_top(sample: dict) -> str:
-    """A fixed-width per-shard table for one monitor sample."""
+def fit_cell(text, width: int, align: str = "<") -> str:
+    """``text`` at exactly ``width`` columns: truncate with ``…``, pad.
+
+    Every cell in the top/health tables goes through this (or
+    :func:`fit_num`), so one hostile value — a 40-char address, a
+    runaway counter — can no longer shear a whole fixed-width table
+    out of alignment.
+    """
+    text = str(text)
+    if len(text) > width:
+        text = text[: max(0, width - 1)] + "…"
+    return f"{text:{align}{width}}"
+
+
+def fit_num(value, width: int, decimals: int = 1) -> str:
+    """A number at exactly ``width`` columns, degrading gracefully.
+
+    Normal magnitudes render as fixed-point; values too wide for the
+    column fall back to a compact ``k``/``M``/``G`` suffix; anything
+    still wider is hard-clipped.  Always exactly ``width`` chars.
+    """
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        return fit_cell("?", width, ">")
+    rendered = f"{number:{width}.{decimals}f}"
+    if len(rendered) <= width:
+        return rendered
+    for factor, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(number) >= factor:
+            compact = f"{number / factor:.1f}{suffix}"
+            if len(compact) <= width:
+                return f"{compact:>{width}}"
+    return fit_cell(f"{number:.0f}", width, ">")
+
+
+def render_top(sample: dict, alerts: "dict | None" = None) -> str:
+    """A fixed-width per-shard table for one monitor sample.
+
+    ``alerts`` (a ``rollup_alerts`` document from
+    ``repro.cluster.health``) appends the SLO state lines under the
+    table when provided.
+    """
     lines = [
         f"{'shard':>6}  {'address':<21} {'state':<5} {'qps':>8} "
         f"{'p50ms':>8} {'p99ms':>8} {'infl':>5} {'cache':>7} "
@@ -170,17 +233,25 @@ def render_top(sample: dict) -> str:
     for row in sample["shards"]:
         if not row.get("reachable"):
             lines.append(
-                f"{'?':>6}  {row['address']:<21} {'DOWN':<5} "
+                f"{'?':>6}  {fit_cell(row['address'], 21)} {'DOWN':<5} "
                 f"{row.get('error', '')}"
             )
             continue
         lines.append(
-            f"{str(row.get('shard', '')):>6}  {row['address']:<21} {'UP':<5} "
-            f"{row['qps']:8.1f} {row['p50_ms']:8.2f} {row['p99_ms']:8.2f} "
-            f"{row['inflight']:5d} {_fmt_rate(row.get('cache_hit_rate')):>7} "
-            f"{str(row.get('kernel', '?')):<7} {row['errors']:5d}"
+            f"{fit_cell(row.get('shard', ''), 6, '>')}  "
+            f"{fit_cell(row['address'], 21)} {'UP':<5} "
+            f"{fit_num(row['qps'], 8)} {fit_num(row['p50_ms'], 8, 2)} "
+            f"{fit_num(row['p99_ms'], 8, 2)} "
+            f"{fit_num(row['inflight'], 5, 0)} "
+            f"{fit_cell(_fmt_rate(row.get('cache_hit_rate')), 7, '>')} "
+            f"{fit_cell(row.get('kernel', '?'), 7)} "
+            f"{fit_num(row['errors'], 5, 0)}"
         )
     lines.append(
         f"shards {sample['reachable']}/{sample['shard_count']} reachable"
     )
+    if alerts is not None:
+        from repro.cluster.health import render_alerts
+
+        lines.append(render_alerts(alerts))
     return "\n".join(lines)

@@ -143,6 +143,10 @@ def _default_bounds() -> "tuple[float, ...]":
 
 _LATENCY_BOUNDS = _default_bounds()
 
+#: Public alias: the default latency bucket bounds, shared by every
+#: histogram and by the SLO evaluator (which diffs raw bucket counts).
+LATENCY_BOUNDS = _LATENCY_BOUNDS
+
 
 class LatencyHistogram:
     """Fixed-bucket latency histogram with exact-to-a-bucket percentiles.
@@ -216,6 +220,7 @@ class LatencyHistogram:
             count, total = self._count, self._sum
             minimum = self._min if self._count else 0.0
             maximum = self._max
+            buckets = list(self._counts)
         return {
             "count": count,
             "sum_seconds": total,
@@ -225,6 +230,10 @@ class LatencyHistogram:
             "p50_seconds": self.percentile(0.50),
             "p95_seconds": self.percentile(0.95),
             "p99_seconds": self.percentile(0.99),
+            # Raw cumulative bucket counts (aligned to LATENCY_BOUNDS):
+            # what the SLO evaluator diffs to count bad observations in
+            # a window without storing per-observation data.
+            "buckets": buckets,
         }
 
 
@@ -281,6 +290,12 @@ class MetricsRegistry:
 
     def __init__(self, *, enabled: "bool | None" = None) -> None:
         self.enabled = obs_enabled() if enabled is None else bool(enabled)
+        #: Random id minted per registry instance.  Delta cursors are only
+        #: meaningful against the registry that issued them — after a server
+        #: restart the process-wide ``_SEQ`` restarts too, so an old cursor
+        #: would silently suppress updates.  Clients echo this id back and
+        #: :func:`metrics_payload` resets mismatched cursors to a full delta.
+        self.boot = os.urandom(8).hex()
         self._counters: "dict[str, Counter]" = {}
         self._gauges: "dict[str, Gauge]" = {}
         self._histograms: "dict[str, LatencyHistogram]" = {}
@@ -344,6 +359,7 @@ class MetricsRegistry:
             "v": SCHEMA_VERSION,
             "enabled": self.enabled,
             "seq": next(_SEQ),
+            "boot": self.boot,
             "counters": {n: c.to_value() for n, c in sorted(counters.items())},
             "gauges": {n: g.to_value() for n, g in sorted(gauges.items())},
             "histograms": {
@@ -368,6 +384,7 @@ class MetricsRegistry:
             "v": SCHEMA_VERSION,
             "enabled": self.enabled,
             "seq": next(_SEQ),
+            "boot": self.boot,
             "since": int(since),
             "counters": {
                 n: c.to_value()
@@ -390,17 +407,36 @@ def metrics_payload(
     *,
     since: int = 0,
     max_traces: int = 0,
+    boot: str = "",
+    recorder=None,
+    max_slow: int = 0,
 ) -> dict:
     """The ``MetricsResponse`` body: a delta plus optional trace records.
 
     One helper shared by the core server (in-process transports) and
     the network front, so both frame pairs serve the same shape.
+
+    ``boot`` is the client's record of which registry incarnation its
+    cursor came from.  A non-empty mismatch means the server restarted
+    since the cursor was minted — the cursor is discarded (full delta)
+    and the payload carries ``"cursor_reset": true`` so the poller can
+    resynchronize instead of silently missing updates.  Slow-query
+    captures from ``recorder`` ride along when ``max_slow`` asks for
+    them, mirroring the ``max_traces`` opt-in.
     """
-    payload = registry.delta(since)
+    if boot and boot != registry.boot:
+        payload = registry.delta(0)
+        payload["cursor_reset"] = True
+    else:
+        payload = registry.delta(since)
     if max_traces > 0 and tracer is not None:
         payload["traces"] = tracer.snapshot(limit=max_traces)
     else:
         payload["traces"] = []
+    if max_slow > 0 and recorder is not None:
+        payload["slow"] = recorder.snapshot(limit=max_slow)
+    else:
+        payload["slow"] = []
     return payload
 
 

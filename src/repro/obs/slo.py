@@ -1,0 +1,514 @@
+"""Declarative SLOs evaluated from metrics deltas with burn-rate states.
+
+An operator writes objectives as one-line strings::
+
+    search-p99: p99(op.multi-search) < 100ms over 5m
+    errors:     error_rate < 1% over 5m
+    fleet:      unreachable == 0
+
+and an :class:`SloTracker` turns a stream of registry snapshots (or
+delta payloads — the same dicts the ``MetricsRequest`` frame serves)
+into ``ok`` / ``warn`` / ``page`` states using the multi-window
+burn-rate method: an objective *pages* only when the error budget is
+burning faster than ``page_burn`` over **both** the objective's full
+window and a short confirmation window (``window/6``, floor 10s), so a
+single slow query cannot page but a sustained regression pages within
+seconds.  It *warns* on a long-window burn ≥ ``warn_burn``.
+
+No per-observation storage: latency objectives diff the histogram's
+cumulative bucket counts between two samples, counting every
+observation that landed strictly above the bucket containing the bound
+as "bad" (conservative by up to one ×1.19 bucket in the objective's
+favor).  Error-rate objectives diff the ``net.errors`` /
+``net.frames`` counters.  Unreachable-shards objectives are fed
+directly by the cluster monitor.
+
+:class:`FleetSlos` runs one tracker per shard plus a fleet tracker,
+consuming :class:`~repro.obs.ClusterMonitor` samples; the fleet-wide
+rollup and rendering live in ``repro.cluster.health``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+import time
+from bisect import bisect_right
+from collections import deque
+from dataclasses import dataclass
+
+from repro.obs.registry import LATENCY_BOUNDS
+
+#: Alert states, in increasing severity.
+STATE_OK = "ok"
+STATE_WARN = "warn"
+STATE_PAGE = "page"
+
+#: Severity order for rollups (higher = worse).
+STATE_LEVELS = {STATE_OK: 0, STATE_WARN: 1, STATE_PAGE: 2}
+
+
+def worst_state(states) -> str:
+    """The most severe state in ``states`` (``ok`` when empty)."""
+    worst = STATE_OK
+    for state in states:
+        if STATE_LEVELS.get(state, 0) > STATE_LEVELS[worst]:
+            worst = state
+    return worst
+
+
+# ---------------------------------------------------------------------------
+# Objective grammar
+# ---------------------------------------------------------------------------
+
+_LATENCY_RE = re.compile(
+    r"^p(?P<q>\d+(?:\.\d+)?)\((?P<metric>[\w.-]+)\)\s*<\s*"
+    r"(?P<bound>\d+(?:\.\d+)?)\s*(?P<unit>us|ms|s)\s+over\s+(?P<win>\S+)$"
+)
+_ERROR_RE = re.compile(
+    r"^error_rate\s*<\s*(?P<bound>\d+(?:\.\d+)?)\s*%\s+over\s+(?P<win>\S+)$"
+)
+_UNREACHABLE_RE = re.compile(r"^unreachable\s*(?:==|<=)\s*(?P<bound>\d+)$")
+
+_WINDOW_UNITS = {"ms": 1e-3, "s": 1.0, "m": 60.0, "h": 3600.0}
+_LATENCY_UNITS = {"us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+def _parse_window(token: str) -> "tuple[float, float | None]":
+    """``5m`` → (300, None); ``5m/30s`` → (300, 30)."""
+    main, _, short = token.partition("/")
+
+    def one(piece: str) -> float:
+        match = re.fullmatch(r"(\d+(?:\.\d+)?)(ms|s|m|h)", piece)
+        if match is None:
+            raise ValueError(f"bad window {piece!r} (want e.g. 30s, 5m, 1h)")
+        return float(match.group(1)) * _WINDOW_UNITS[match.group(2)]
+
+    return one(main), (one(short) if short else None)
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One parsed objective; build via :func:`parse_objective`."""
+
+    name: str
+    kind: str  # "latency" | "error-rate" | "unreachable"
+    metric: str  # histogram name for latency, "" otherwise
+    quantile: float  # 0 < q < 1 for latency, 0.0 otherwise
+    bound: float  # seconds / error fraction / shard count
+    window_s: float
+    short_window_s: "float | None" = None
+
+    @property
+    def short_s(self) -> float:
+        """The confirmation window: explicit, else window/6, floor 10s."""
+        if self.short_window_s is not None:
+            return self.short_window_s
+        return max(10.0, self.window_s / 6.0)
+
+
+def parse_objective(text: str) -> Objective:
+    """Parse ``[name:] <expr>`` into an :class:`Objective`.
+
+    Accepted expressions::
+
+        p99(op.multi-search) < 100ms over 5m
+        p95(op.search) < 2500us over 1m/10s
+        error_rate < 1% over 5m
+        unreachable == 0
+    """
+    raw = text.strip()
+    name = ""
+    head, sep, rest = raw.partition(":")
+    if sep and "(" not in head and "<" not in head and "=" not in head:
+        name, raw = head.strip(), rest.strip()
+
+    match = _LATENCY_RE.match(raw)
+    if match is not None:
+        quantile = float(match.group("q")) / 100.0
+        if not 0.0 < quantile < 1.0:
+            raise ValueError(f"quantile p{match.group('q')} out of (0, 100)")
+        window_s, short_s = _parse_window(match.group("win"))
+        return Objective(
+            name=name or f"p{match.group('q')}-{match.group('metric')}",
+            kind="latency",
+            metric=match.group("metric"),
+            quantile=quantile,
+            bound=float(match.group("bound")) * _LATENCY_UNITS[match.group("unit")],
+            window_s=window_s,
+            short_window_s=short_s,
+        )
+
+    match = _ERROR_RE.match(raw)
+    if match is not None:
+        window_s, short_s = _parse_window(match.group("win"))
+        return Objective(
+            name=name or "error-rate",
+            kind="error-rate",
+            metric="",
+            quantile=0.0,
+            bound=float(match.group("bound")) / 100.0,
+            window_s=window_s,
+            short_window_s=short_s,
+        )
+
+    match = _UNREACHABLE_RE.match(raw)
+    if match is not None:
+        return Objective(
+            name=name or "unreachable",
+            kind="unreachable",
+            metric="",
+            quantile=0.0,
+            bound=float(match.group("bound")),
+            window_s=0.0,
+        )
+
+    raise ValueError(
+        f"unparseable objective {text!r} "
+        "(want 'pQQ(metric) < Nms over 5m', 'error_rate < N% over 5m', "
+        "or 'unreachable == N')"
+    )
+
+
+# ---------------------------------------------------------------------------
+# The tracker
+# ---------------------------------------------------------------------------
+
+
+class SloTracker:
+    """Evaluate objectives from a stream of metrics payloads.
+
+    Feed it registry snapshots or delta payloads via :meth:`observe`
+    (delta payloads omit untouched instruments — the tracker carries
+    the previous cumulative values forward), then :meth:`evaluate`
+    returns one result dict per objective.  State transitions emit an
+    ``alert`` event into ``events`` and tick ``slo.transitions``;
+    current states are exported as ``slo.state.<name>`` gauges
+    (0=ok, 1=warn, 2=page).
+
+    A window with no baseline sample (tracker younger than the window)
+    is evaluated against a zero baseline — i.e. all traffic since
+    startup counts, a deliberate cold-start approximation that errs
+    toward alerting on a bad launch rather than staying silent.
+    """
+
+    def __init__(
+        self,
+        objectives,
+        *,
+        warn_burn: float = 1.0,
+        page_burn: float = 2.0,
+        max_samples: int = 720,
+        events=None,
+        registry=None,
+        clock=time.time,
+    ) -> None:
+        self.objectives = [
+            obj if isinstance(obj, Objective) else parse_objective(obj)
+            for obj in objectives
+        ]
+        names = [o.name for o in self.objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate objective names: {names}")
+        self.warn_burn = float(warn_burn)
+        self.page_burn = float(page_burn)
+        self.events = events
+        self.registry = registry
+        self._clock = clock
+        self._samples: "deque[dict]" = deque(maxlen=max(2, int(max_samples)))
+        self._states: "dict[str, str]" = {o.name: STATE_OK for o in self.objectives}
+        self._lock = threading.Lock()
+        self._hist_names = {
+            o.metric for o in self.objectives if o.kind == "latency"
+        }
+        self._wants_errors = any(
+            o.kind == "error-rate" for o in self.objectives
+        )
+        self._wants_unreachable = any(
+            o.kind == "unreachable" for o in self.objectives
+        )
+
+    # -- ingestion -----------------------------------------------------------
+
+    def observe(self, metrics, *, unreachable=None, at_s=None) -> None:
+        """Ingest one metrics payload (snapshot or delta), timestamped."""
+        now = self._clock() if at_s is None else float(at_s)
+        histograms = (metrics or {}).get("histograms", {})
+        counters = (metrics or {}).get("counters", {})
+        with self._lock:
+            prev = self._samples[-1] if self._samples else None
+            sample = {
+                "t": now,
+                "hists": {},
+                "frames": None,
+                "errors": None,
+                "unreachable": unreachable,
+            }
+            for name in self._hist_names:
+                entry = histograms.get(name)
+                if isinstance(entry, dict) and "buckets" in entry:
+                    sample["hists"][name] = (
+                        int(entry.get("count", 0)),
+                        tuple(entry["buckets"]),
+                    )
+                elif prev is not None and name in prev["hists"]:
+                    # Delta payloads omit untouched histograms — the
+                    # cumulative state simply hasn't moved.
+                    sample["hists"][name] = prev["hists"][name]
+            if self._wants_errors:
+                for key in ("frames", "errors"):
+                    value = counters.get(f"net.{key}")
+                    if value is None and prev is not None:
+                        value = prev[key]
+                    sample[key] = int(value) if value is not None else None
+            if unreachable is None and prev is not None:
+                sample["unreachable"] = prev["unreachable"]
+            self._samples.append(sample)
+
+    # -- evaluation ----------------------------------------------------------
+
+    @staticmethod
+    def _baseline(samples, now: float, window_s: float):
+        """The newest sample at least ``window_s`` old (None if none)."""
+        cutoff = now - window_s
+        baseline = None
+        for sample in samples:
+            if sample["t"] <= cutoff:
+                baseline = sample
+            else:
+                break
+        return baseline
+
+    @staticmethod
+    def _diff_hist(current, baseline):
+        """(total, per-bucket deltas) between two cumulative readings."""
+        cur_count, cur_buckets = current
+        if baseline is None:
+            return cur_count, list(cur_buckets)
+        base_count, base_buckets = baseline
+        if cur_count < base_count or len(cur_buckets) != len(base_buckets):
+            # Counter regression: the histogram was replaced under us
+            # (restart with a stale carry-forward) — treat everything
+            # current as fresh rather than report negative traffic.
+            return cur_count, list(cur_buckets)
+        return (
+            cur_count - base_count,
+            [c - b for c, b in zip(cur_buckets, base_buckets)],
+        )
+
+    @staticmethod
+    def _window_quantile(deltas, total, quantile):
+        """Realized quantile of the windowed distribution, 0.0 if empty."""
+        if total <= 0:
+            return 0.0
+        rank = max(1, math.ceil(quantile * total))
+        seen = 0
+        for bucket, n in enumerate(deltas):
+            seen += n
+            if seen >= rank:
+                if bucket <= 0:
+                    return LATENCY_BOUNDS[0] / 2.0
+                if bucket >= len(LATENCY_BOUNDS):
+                    return LATENCY_BOUNDS[-1]
+                lo, hi = LATENCY_BOUNDS[bucket - 1], LATENCY_BOUNDS[bucket]
+                return (lo * hi) ** 0.5
+        return LATENCY_BOUNDS[-1]
+
+    def _latency_burn(self, obj, samples, now, window_s):
+        """(burn rate, realized quantile, observations) over a window."""
+        latest = samples[-1]["hists"].get(obj.metric)
+        if latest is None:
+            return 0.0, 0.0, 0
+        baseline_sample = self._baseline(samples, now, window_s)
+        baseline = (
+            baseline_sample["hists"].get(obj.metric)
+            if baseline_sample is not None
+            else None
+        )
+        total, deltas = self._diff_hist(latest, baseline)
+        if total <= 0:
+            return 0.0, 0.0, 0
+        # Observations strictly above the bucket containing the bound
+        # are bad; the straddling bucket counts as good (conservative).
+        k = bisect_right(LATENCY_BOUNDS, obj.bound)
+        bad = sum(deltas[k + 1:])
+        bad_fraction = bad / total
+        budget = max(1e-9, 1.0 - obj.quantile)
+        value = self._window_quantile(deltas, total, obj.quantile)
+        return bad_fraction / budget, value, total
+
+    def _error_burn(self, obj, samples, now, window_s):
+        latest = samples[-1]
+        if latest["frames"] is None or latest["errors"] is None:
+            return 0.0, 0.0, 0
+        baseline = self._baseline(samples, now, window_s)
+        base_frames = baseline["frames"] if baseline else None
+        base_errors = baseline["errors"] if baseline else None
+        frames = latest["frames"] - (base_frames or 0)
+        errors = latest["errors"] - (base_errors or 0)
+        if frames <= 0 or errors < 0:
+            return 0.0, 0.0, max(0, frames)
+        rate = errors / frames
+        return rate / max(1e-9, obj.bound), rate, frames
+
+    def _eval_unreachable(self, obj, samples):
+        latest = samples[-1]["unreachable"]
+        if latest is None:
+            return STATE_OK, 0.0, 0.0
+        breached_now = latest > obj.bound
+        previous = None
+        for sample in reversed(list(samples)[:-1]):
+            if sample["unreachable"] is not None:
+                previous = sample["unreachable"]
+                break
+        breached_before = previous is not None and previous > obj.bound
+        if breached_now and breached_before:
+            return STATE_PAGE, float(latest), float(latest)
+        if breached_now:
+            # One bad probe is a blip; two consecutive are an outage.
+            return STATE_WARN, float(latest), float(latest)
+        return STATE_OK, float(latest), 0.0
+
+    def evaluate(self, now: "float | None" = None) -> "list[dict]":
+        """One result dict per objective, emitting transition events."""
+        now = self._clock() if now is None else float(now)
+        with self._lock:
+            samples = list(self._samples)
+        results = []
+        for obj in self.objectives:
+            burn_long = burn_short = 0.0
+            value = 0.0
+            observations = 0
+            if not samples:
+                state = STATE_OK
+            elif obj.kind == "unreachable":
+                state, value, burn_long = self._eval_unreachable(obj, samples)
+                burn_short = burn_long
+            else:
+                burner = (
+                    self._latency_burn if obj.kind == "latency"
+                    else self._error_burn
+                )
+                burn_long, value, observations = burner(
+                    obj, samples, now, obj.window_s
+                )
+                burn_short, _, _ = burner(obj, samples, now, obj.short_s)
+                if (
+                    burn_long >= self.page_burn
+                    and burn_short >= self.page_burn
+                ):
+                    state = STATE_PAGE
+                elif burn_long >= self.warn_burn:
+                    state = STATE_WARN
+                else:
+                    state = STATE_OK
+            results.append({
+                "name": obj.name,
+                "kind": obj.kind,
+                "metric": obj.metric,
+                "state": state,
+                "burn_long": burn_long,
+                "burn_short": burn_short,
+                "value": value,
+                "bound": obj.bound,
+                "window_s": obj.window_s,
+                "samples": observations,
+            })
+            self._transition(obj.name, state)
+        if self.registry is not None:
+            self.registry.counter("slo.evaluations").inc()
+        return results
+
+    def _transition(self, name: str, state: str) -> None:
+        previous = self._states.get(name, STATE_OK)
+        if state == previous:
+            return
+        self._states[name] = state
+        if self.registry is not None:
+            self.registry.counter("slo.transitions").inc()
+            self.registry.gauge(f"slo.state.{name}").set(STATE_LEVELS[state])
+        if self.events is not None:
+            self.events.emit(
+                "alert", objective=name, state=state, previous=previous
+            )
+
+    def states(self) -> "dict[str, str]":
+        with self._lock:
+            return dict(self._states)
+
+
+# ---------------------------------------------------------------------------
+# Fleet-wide tracking
+# ---------------------------------------------------------------------------
+
+
+class FleetSlos:
+    """One tracker per shard plus a fleet tracker, fed by monitor samples.
+
+    Shard-level objectives (latency, error-rate) are evaluated against
+    each shard's own metrics; ``unreachable`` objectives are evaluated
+    fleet-wide from the monitor's reachability census.  The rollup of
+    the per-shard results into one alert table lives in
+    ``repro.cluster.health.rollup_alerts``.
+    """
+
+    def __init__(
+        self,
+        objectives,
+        *,
+        warn_burn: float = 1.0,
+        page_burn: float = 2.0,
+        events=None,
+        registry=None,
+        clock=time.time,
+    ) -> None:
+        parsed = [
+            obj if isinstance(obj, Objective) else parse_objective(obj)
+            for obj in objectives
+        ]
+        self.shard_objectives = [o for o in parsed if o.kind != "unreachable"]
+        self.fleet_objectives = [o for o in parsed if o.kind == "unreachable"]
+        self._kwargs = {
+            "warn_burn": warn_burn,
+            "page_burn": page_burn,
+            "events": events,
+            "registry": registry,
+            "clock": clock,
+        }
+        self._trackers: "dict[str, SloTracker]" = {}
+        self._fleet = (
+            SloTracker(self.fleet_objectives, **self._kwargs)
+            if self.fleet_objectives
+            else None
+        )
+
+    def observe_sample(self, sample: dict) -> None:
+        """Ingest one :class:`ClusterMonitor` sample (collect_metrics on)."""
+        at_s = sample.get("sampled_at_s")
+        if self.shard_objectives:
+            for row in sample.get("shards", []):
+                if not row.get("reachable"):
+                    continue
+                metrics = row.get("metrics")
+                if metrics is None:
+                    continue
+                tracker = self._trackers.get(row["address"])
+                if tracker is None:
+                    tracker = self._trackers[row["address"]] = SloTracker(
+                        self.shard_objectives, **self._kwargs
+                    )
+                tracker.observe(metrics, at_s=at_s)
+        if self._fleet is not None:
+            down = sample.get("shard_count", 0) - sample.get("reachable", 0)
+            self._fleet.observe({}, unreachable=down, at_s=at_s)
+
+    def evaluate(self, now: "float | None" = None) -> dict:
+        """``{"per_shard": {addr: [results]}, "fleet": [results]}``."""
+        return {
+            "per_shard": {
+                addr: tracker.evaluate(now)
+                for addr, tracker in sorted(self._trackers.items())
+            },
+            "fleet": self._fleet.evaluate(now) if self._fleet else [],
+        }

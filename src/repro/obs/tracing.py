@@ -36,6 +36,7 @@ import contextlib
 import contextvars
 import json
 import os
+import random
 import threading
 import time
 
@@ -44,6 +45,23 @@ MAX_SPANS_PER_TRACE = 512
 
 #: Default ring capacity of a server-side :class:`TraceBuffer`.
 DEFAULT_TRACE_CAPACITY = 256
+
+#: Environment knob: trace one in every N queries (0/unset = off).
+ENV_TRACE_SAMPLE = "REPRO_TRACE_SAMPLE"
+
+#: Environment knob: absolute slow-query threshold in milliseconds.
+ENV_SLOW_MS = "REPRO_SLOW_MS"
+
+#: Environment knob: relative slow-query threshold — a multiple of the
+#: live per-op p99 maintained by the flight recorder's own histograms.
+ENV_SLOW_P99X = "REPRO_SLOW_P99X"
+
+#: Default capture-ring capacity of a :class:`FlightRecorder`.
+DEFAULT_SLOW_CAPACITY = 64
+
+#: Observations an op's histogram needs before the relative (``p99 ×``)
+#: threshold arms — a cold p99 over three samples is noise, not a bar.
+DEFAULT_SLOW_MIN_SAMPLES = 48
 
 
 def new_trace_id() -> str:
@@ -214,6 +232,201 @@ class TraceBuffer:
     def clear(self) -> None:
         with self._lock:
             self._traces.clear()
+
+
+# ---------------------------------------------------------------------------
+# Probabilistic sampling and the slow-query flight recorder
+# ---------------------------------------------------------------------------
+
+
+def _env_number(name: str, convert, default):
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return convert(raw)
+    except ValueError:
+        return default
+
+
+class TraceSampler:
+    """Per-query coin flip: retain one trace in every ``rate`` queries.
+
+    The always-on production posture: with ``REPRO_TRACE_SAMPLE=100``
+    (or ``rate=100``) a fleet traces ~1% of its traffic forever at
+    bounded cost, instead of choosing between "trace nothing" and
+    "trace everything".  ``rate`` semantics: ``0`` = sampling off (the
+    default — explicit client trace ids are unaffected either way),
+    ``1`` = every query, ``N`` = one in N in expectation.
+    """
+
+    __slots__ = ("rate", "_rng", "_lock")
+
+    def __init__(self, rate: "int | None" = None, *, rng=None) -> None:
+        if rate is None:
+            rate = _env_number(ENV_TRACE_SAMPLE, int, 0)
+        self.rate = max(0, int(rate))
+        self._rng = rng if rng is not None else random.Random()
+        self._lock = threading.Lock()
+
+    @property
+    def active(self) -> bool:
+        return self.rate > 0
+
+    def decide(self) -> bool:
+        """One coin flip (thread-safe; Random instances are not)."""
+        if self.rate <= 0:
+            return False
+        if self.rate == 1:
+            return True
+        with self._lock:
+            return self._rng.randrange(self.rate) == 0
+
+
+class FlightRecorder:
+    """Force-retain the span trees of queries that blow a latency bar.
+
+    Tail-based capture: the server collects spans for every query while
+    the recorder is armed, and the recorder keeps the full tree of any
+    query whose realized latency exceeds its op's threshold — even when
+    the sampler's coin flip would have dropped the trace.  A p99
+    incident at 1/1000 sampling therefore still leaves an artifact.
+
+    Thresholds, per op, lowest applicable wins:
+
+    - **absolute**: ``threshold_s`` (env ``REPRO_SLOW_MS``, in ms);
+    - **relative**: ``p99_factor ×`` the live p99 of the recorder's own
+      ``slowlog.latency.<op>`` histogram (env ``REPRO_SLOW_P99X``),
+      armed only after ``min_samples`` observations so a cold p99
+      cannot page on noise.
+
+    The recorder is *armed* when either threshold is configured;
+    unarmed it costs nothing (the server skips span collection for
+    unsampled queries entirely).  ``registry`` may be a
+    :class:`~repro.obs.MetricsRegistry` or a zero-arg callable
+    returning one — the server passes its late-bound registry hook so
+    the net layer's per-server registry swap is honored.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_SLOW_CAPACITY,
+        *,
+        threshold_s: "float | None" = None,
+        p99_factor: "float | None" = None,
+        min_samples: int = DEFAULT_SLOW_MIN_SAMPLES,
+        registry=None,
+        on_capture=None,
+    ) -> None:
+        self.capacity = max(1, int(capacity))
+        if threshold_s is None:
+            ms = _env_number(ENV_SLOW_MS, float, None)
+            threshold_s = None if ms is None else ms / 1e3
+        self.threshold_s = threshold_s
+        if p99_factor is None:
+            p99_factor = _env_number(ENV_SLOW_P99X, float, 0.0)
+        self.p99_factor = max(0.0, float(p99_factor))
+        self.min_samples = max(1, int(min_samples))
+        self.registry = registry
+        self.on_capture = on_capture
+        self._captures: "list[dict]" = []
+        self._evicted = 0
+        self._lock = threading.Lock()
+
+    @property
+    def armed(self) -> bool:
+        return self.threshold_s is not None or self.p99_factor > 0
+
+    def _resolve_registry(self):
+        registry = self.registry
+        if registry is not None and callable(registry):
+            registry = registry()
+        return registry
+
+    def threshold_for(self, op: str) -> "float | None":
+        """The capture bar for ``op`` right now (None = not armed yet)."""
+        threshold = self.threshold_s
+        if self.p99_factor > 0:
+            registry = self._resolve_registry()
+            if registry is not None:
+                hist = registry.histogram(f"slowlog.latency.{op}")
+                if hist.count >= self.min_samples:
+                    relative = self.p99_factor * hist.percentile(0.99)
+                    if threshold is None or relative < threshold:
+                        return relative
+        return threshold
+
+    def consider(
+        self, op: str, state, elapsed_s: float, *, retained: bool = False,
+        meta=None,
+    ) -> bool:
+        """Judge one finished query; capture and return True when slow.
+
+        The threshold is read *before* this query's latency feeds the
+        histogram, so a tail query cannot raise the bar it is judged
+        against.  ``retained`` records whether the trace also landed in
+        the ordinary ring (explicit id or sampler hit) — captures with
+        ``"sampled": false`` are the ones only this recorder saved.
+        """
+        if not self.armed:
+            return False
+        threshold = self.threshold_for(op)
+        registry = self._resolve_registry()
+        if registry is not None:
+            registry.histogram(f"slowlog.latency.{op}").observe(elapsed_s)
+        if threshold is None or elapsed_s < threshold:
+            return False
+        record = {
+            "captured_at_s": time.time(),
+            "op": op,
+            "trace_id": state.trace_id,
+            "elapsed_s": elapsed_s,
+            "threshold_s": threshold,
+            "reason": (
+                "absolute"
+                if self.threshold_s is not None and threshold == self.threshold_s
+                else "p99x"
+            ),
+            "sampled": bool(retained),
+            "spans": list(state.spans),
+            "dropped_spans": state.dropped,
+        }
+        if meta:
+            record["meta"] = dict(meta)
+        with self._lock:
+            self._captures.append(record)
+            if len(self._captures) > self.capacity:
+                overflow = len(self._captures) - self.capacity
+                del self._captures[:overflow]
+                self._evicted += overflow
+        if registry is not None:
+            registry.counter("slowlog.captured").inc()
+        if self.on_capture is not None:
+            try:
+                self.on_capture(record)
+            except Exception:  # noqa: BLE001 — a capture hook must never fail a query
+                pass
+        return True
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._captures)
+
+    @property
+    def evicted(self) -> int:
+        return self._evicted
+
+    def snapshot(self, limit: int = 0) -> "list[dict]":
+        """The most recent ``limit`` captures (all of them when 0)."""
+        with self._lock:
+            captures = list(self._captures)
+        if limit and limit > 0:
+            captures = captures[-limit:]
+        return captures
+
+    def clear(self) -> None:
+        with self._lock:
+            self._captures.clear()
 
 
 # ---------------------------------------------------------------------------

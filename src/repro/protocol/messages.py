@@ -528,25 +528,60 @@ class MetricsRequest:
     ``since`` is a sequence number from a previous
     :class:`MetricsResponse` (0 = full snapshot); ``max_traces`` asks
     for up to that many recent trace records from the server's ring
-    buffer (0 = none).  A fixed 12-byte body keeps the request as
+    buffer (0 = none).  The fixed 12-byte body keeps the request as
     cheap to reject as it is to serve.
+
+    PR-10 extension, same trailing-optional idiom as the trace trailer:
+    ``max_slow`` asks for up to that many slow-query flight-recorder
+    captures, and ``boot`` echoes the registry incarnation id a prior
+    response carried so a restarted server can detect (and reset) a
+    cursor minted against its predecessor.  A request using neither
+    encodes byte-identically to the legacy 12-byte body; otherwise a
+    12-byte extension (4-byte ``max_slow`` + 8-byte boot id, zeros =
+    unset) is appended, and legacy servers reject it loudly rather
+    than misparse it.
     """
 
     since: int = 0
     max_traces: int = 0
+    max_slow: int = 0
+    boot: str = ""
+
+    def _boot_raw(self) -> bytes:
+        if not self.boot:
+            return bytes(8)
+        try:
+            raw = bytes.fromhex(self.boot)
+        except ValueError:
+            raise TokenError("MetricsRequest boot must be 16 hex chars") from None
+        if len(raw) != 8:
+            raise TokenError("MetricsRequest boot must be 16 hex chars")
+        return raw
 
     def to_frame(self) -> bytes:
-        return _frame(
-            TAG_METRICS_REQUEST,
-            self.since.to_bytes(8, "big") + self.max_traces.to_bytes(4, "big"),
-        )
+        body = self.since.to_bytes(8, "big") + self.max_traces.to_bytes(4, "big")
+        if self.max_slow or self.boot:
+            body += self.max_slow.to_bytes(4, "big") + self._boot_raw()
+        return _frame(TAG_METRICS_REQUEST, body)
 
     @classmethod
     def from_body(cls, body: bytes) -> "MetricsRequest":
-        if len(body) != 12:
-            raise TokenError("MetricsRequest carries (since, max_traces)")
+        if len(body) not in (12, 24):
+            raise TokenError(
+                "MetricsRequest carries (since, max_traces[, max_slow, boot])"
+            )
+        max_slow = 0
+        boot = ""
+        if len(body) == 24:
+            max_slow = int.from_bytes(body[12:16], "big")
+            boot_raw = body[16:24]
+            if boot_raw != bytes(8):
+                boot = boot_raw.hex()
         return cls(
-            int.from_bytes(body[:8], "big"), int.from_bytes(body[8:12], "big")
+            int.from_bytes(body[:8], "big"),
+            int.from_bytes(body[8:12], "big"),
+            max_slow,
+            boot,
         )
 
 

@@ -22,12 +22,22 @@ storage with zero owner involvement.
 
 from __future__ import annotations
 
+import contextlib
+import time
+
 from repro.core.split import EncryptedDatabase
 from repro.crypto.dprf import DelegationToken
 from repro.errors import IndexStateError, ReproError, TokenError
 from repro.exec.dispatch import HINT_AUTO, normalize_hint
+from repro.obs.events import EventLog
 from repro.obs.registry import default_registry, metrics_payload
-from repro.obs.tracing import TraceBuffer, start_trace
+from repro.obs.tracing import (
+    FlightRecorder,
+    TraceBuffer,
+    TraceSampler,
+    new_trace_id,
+    start_trace,
+)
 from repro.protocol import messages as msg
 from repro.sse.base import SUBKEY_LEN, EncryptedIndex, KeywordToken
 from repro.storage.backend import InMemoryBackend, PrefixedBackend, StorageBackend
@@ -65,6 +75,22 @@ class RsseServer:
         database searches through (token walks coalesced, GGM
         expansions pooled and cached).  The process-wide default engine
         when omitted.
+    trace_sampler:
+        Optional :class:`~repro.obs.TraceSampler` — when active, each
+        trace-less query frame gets a per-query coin flip and winners
+        are traced under a server-minted id.  Defaults to the
+        ``REPRO_TRACE_SAMPLE`` environment knob (off when unset).
+    flight:
+        Optional :class:`~repro.obs.FlightRecorder` — when armed,
+        every query collects spans and those breaching the slow bar
+        are force-retained in the recorder's ring even if sampling
+        would have dropped them.  Defaults to the ``REPRO_SLOW_MS`` /
+        ``REPRO_SLOW_P99X`` environment knobs (unarmed when unset).
+    events:
+        Optional :class:`~repro.obs.EventLog` receiving lifecycle
+        events (store open/drop, consolidation, slow-query captures).
+        A fresh in-memory log (plus the ``REPRO_EVENT_LOG`` file sink
+        when set) when omitted.
     """
 
     def __init__(
@@ -72,6 +98,9 @@ class RsseServer:
         backend: "StorageBackend | None" = None,
         *,
         executor=None,
+        trace_sampler: "TraceSampler | None" = None,
+        flight: "FlightRecorder | None" = None,
+        events: "EventLog | None" = None,
     ) -> None:
         self._backend = backend if backend is not None else InMemoryBackend()
         if executor is None:
@@ -101,6 +130,24 @@ class RsseServer:
         #: this at its per-server :class:`~repro.obs.MetricsRegistry`
         #: so two in-thread shard servers keep distinct counters.
         self.metrics_registry = None
+        #: The active observability trio (PR 10).  The sampler decides
+        #: which trace-less queries get traced anyway; the flight
+        #: recorder force-retains queries that breach the slow bar; the
+        #: event log narrates lifecycle changes.  All default from
+        #: environment knobs, and registry hooks late-bind through
+        #: :meth:`_registry` so the network layer's per-server registry
+        #: swap is honored.
+        self.trace_sampler = (
+            trace_sampler if trace_sampler is not None else TraceSampler()
+        )
+        self.flight = flight if flight is not None else FlightRecorder()
+        if self.flight.registry is None:
+            self.flight.registry = self._registry
+        if self.flight.on_capture is None:
+            self.flight.on_capture = self._on_slow_capture
+        self.events = events if events is not None else EventLog()
+        if self.events.registry is None:
+            self.events.registry = self._registry
         self._databases: dict[int, EncryptedDatabase] = {}
         for key in self._backend.keys(_HANDLES_NS):
             index_id = int.from_bytes(key, "big")
@@ -202,6 +249,9 @@ class RsseServer:
                     self.tracer,
                     since=message.since,
                     max_traces=message.max_traces,
+                    boot=message.boot,
+                    recorder=self.flight,
+                    max_slow=message.max_slow,
                 )
             ).to_frame()
         # Response-typed messages (and anything a future revision adds)
@@ -228,6 +278,63 @@ class RsseServer:
             return msg.OkResponse().to_frame()
         return response
 
+    # -- active observability (sampling + flight recorder) ----------------------
+
+    def _on_slow_capture(self, record: dict) -> None:
+        """Default flight-recorder hook: narrate the capture."""
+        self.events.emit(
+            "slowlog.capture",
+            op=record["op"],
+            trace_id=record["trace_id"],
+            elapsed_ms=round(record["elapsed_s"] * 1e3, 3),
+            threshold_ms=round(record["threshold_s"] * 1e3, 3),
+        )
+
+    def _observed(self, trace: str, root: str, op: str, **meta):
+        """The per-query observation decision, as a context manager or None.
+
+        ``None`` means "run bare" — no explicit trace id, the sampler
+        is off (or flipped tails), and the flight recorder is unarmed,
+        so the query must not pay even a contextvar set.  Otherwise the
+        returned context manager collects spans for the query; they are
+        retained in :attr:`tracer` only when explicitly requested or
+        sampled, while the flight recorder judges *every* observed
+        query — tail-based capture — so a slow query is kept even when
+        the sampling coin flip would have dropped it.
+        """
+        sampler, recorder = self.trace_sampler, self.flight
+        if trace:
+            return self._observed_cm(trace, True, root, op, meta)
+        if not sampler.active and not recorder.armed:
+            return None
+        sampled = False
+        if sampler.active:
+            sampled = sampler.decide()
+            self._registry().counter(
+                "trace.sampled" if sampled else "trace.dropped"
+            ).inc()
+        if not sampled and not recorder.armed:
+            return None
+        return self._observed_cm(new_trace_id(), sampled, root, op, meta)
+
+    @contextlib.contextmanager
+    def _observed_cm(self, trace_id: str, retain: bool, root: str, op: str, meta):
+        buffer = self.tracer if retain else None
+        t0 = time.perf_counter()
+        state = None
+        try:
+            with start_trace(trace_id, buffer, root, **meta) as state:
+                yield
+        finally:
+            if state is not None:
+                self.flight.consider(
+                    op,
+                    state,
+                    time.perf_counter() - t0,
+                    retained=retain,
+                    meta=meta,
+                )
+
     # -- operations -------------------------------------------------------------
 
     def _searchable_db(self, index_id: int) -> EncryptedDatabase:
@@ -252,10 +359,28 @@ class RsseServer:
         )
 
     def _search(self, request: msg.SearchRequest) -> msg.SearchResponse:
+        # The single-search frame carries no trace id, but it is still
+        # a query-serving path: the sampler's coin flip and the flight
+        # recorder's slow bar apply exactly as for multi-search.
         db = self._searchable_db(request.index_id)
-        return msg.SearchResponse(
-            self._run_search(db, request.kind, request.tokens)
+
+        def run() -> msg.SearchResponse:
+            return msg.SearchResponse(
+                self._run_search(db, request.kind, request.tokens)
+            )
+
+        observed = self._observed(
+            "",
+            "server.handle",
+            "search",
+            index_id=request.index_id,
+            kind=request.kind,
+            tokens=len(request.tokens),
         )
+        if observed is None:
+            return run()
+        with observed:
+            return run()
 
     def _multi_search(self, request: msg.MultiSearchRequest) -> msg.MultiSearchResponse:
         """Execute a whole query batch behind one wire round-trip.
@@ -273,12 +398,15 @@ class RsseServer:
         batch: the whole walk runs synchronously on this thread, so the
         engine/kernel/storage spans underneath land in the same trace
         via the ambient contextvar, and the finished trace is ringed in
-        :attr:`tracer`.  Trace-less frames skip all of it.
+        :attr:`tracer`.  Trace-less frames face the sampler's coin flip
+        and the flight recorder's slow bar instead (:meth:`_observed`);
+        with both off they skip all of it.
         """
         if request.hint:
             hint = normalize_hint(request.hint)
             self.dispatch_hints[hint] = self.dispatch_hints.get(hint, 0) + 1
             self.last_dispatch_hint = hint
+            self._registry().counter(f"dispatch.hint.{hint}").inc()
         db = self._searchable_db(request.index_id)
 
         def run() -> msg.MultiSearchResponse:
@@ -289,16 +417,17 @@ class RsseServer:
                 ]
             )
 
-        if not request.trace:
-            return run()
-        with start_trace(
+        observed = self._observed(
             request.trace,
-            self.tracer,
             "server.handle",
+            "multi-search",
             index_id=request.index_id,
             kind=request.kind,
             queries=len(request.queries),
-        ):
+        )
+        if observed is None:
+            return run()
+        with observed:
             return run()
 
     def _fetch(self, request: msg.FetchRequest) -> msg.FetchResponse:
@@ -385,6 +514,12 @@ class RsseServer:
         self._stores[request.index_id] = store
         self._store_specs[request.index_id] = spec
         self._store_consolidations[request.index_id] = 0
+        self.events.emit(
+            "store.open",
+            index_id=request.index_id,
+            schemes=list(schemes),
+            domain_size=request.domain_size,
+        )
 
     def _apply_updates(
         self, index_id: int, ops: "tuple[UpdateOp, ...]", *, trace: str = ""
@@ -406,17 +541,15 @@ class RsseServer:
             store.apply_ops(ops)
             store.flush()
 
-        if trace:
-            with start_trace(
-                trace,
-                self.tracer,
-                "server.update",
-                index_id=index_id,
-                ops=len(ops),
-            ):
-                run()
-        else:
+        observed = self._observed(
+            trace, "server.update", "update-batch",
+            index_id=index_id, ops=len(ops),
+        )
+        if observed is None:
             run()
+        else:
+            with observed:
+                run()
         registry = self._registry()
         registry.counter("updates.applied").inc(len(ops))
         registry.counter("updates.batches").inc()
@@ -425,6 +558,12 @@ class RsseServer:
         if total > seen:
             registry.counter("updates.consolidations").inc(total - seen)
             self._store_consolidations[index_id] = total
+            self.events.emit(
+                "store.consolidate",
+                index_id=index_id,
+                merged=total - seen,
+                consolidations=total,
+            )
 
     def _store_search(
         self, request: msg.StoreSearchRequest
@@ -439,16 +578,17 @@ class RsseServer:
                 scheme=outcome.scheme_chosen or "",
             )
 
-        if not request.trace:
-            return run()
-        with start_trace(
+        observed = self._observed(
             request.trace,
-            self.tracer,
             "server.handle",
+            "store-search",
             index_id=request.index_id,
             kind="store",
             queries=1,
-        ):
+        )
+        if observed is None:
+            return run()
+        with observed:
             return run()
 
     def _drop_store(self, index_id: int) -> None:
@@ -461,6 +601,7 @@ class RsseServer:
         slice_backend = PrefixedBackend(self._backend, f"store{index_id}/")
         for ns in slice_backend.namespaces():
             slice_backend.drop(ns)
+        self.events.emit("store.drop", index_id=index_id)
 
     # -- introspection (what an adversary can tally) -----------------------------
 
@@ -487,6 +628,10 @@ class RsseServer:
             "indexes": self.index_count(),
             "stored_bytes": self.stored_bytes(),
             "dispatch_hints": dict(self.dispatch_hints),
+            "events": {
+                "emitted": self.events.emitted,
+                "tail": self.events.tail(16),
+            },
         }
         if self._stores:
             stats["stores"] = {

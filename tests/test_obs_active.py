@@ -1,0 +1,241 @@
+"""Active observability: trace sampling, flight recorder, event log.
+
+The tail-based claim under test: a slow query's full span tree is
+retained even when the sampling coin flip would have dropped the
+trace — the recorder, not the sampler, decides what survives.
+"""
+
+import json
+import random
+
+import pytest
+
+import repro.protocol.messages as msg
+from repro.core.registry import make_scheme
+from repro.obs.events import EventLog
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import FlightRecorder, TraceSampler, start_trace
+from repro.protocol import RemoteRangeClient, RsseServer
+from repro.errors import TokenError
+
+
+class HeadsSampler(TraceSampler):
+    """Deterministic: every flip is heads (sampled)."""
+
+    def __init__(self):
+        super().__init__(rate=2)
+
+    def decide(self):
+        return True
+
+
+class TailsSampler(TraceSampler):
+    """Deterministic: active, but every flip is tails (dropped)."""
+
+    def __init__(self):
+        super().__init__(rate=2)
+
+    def decide(self):
+        return False
+
+
+def _loaded_server(domain=1 << 8, records=40, **kwargs):
+    server = RsseServer(**kwargs)
+    server.metrics_registry = MetricsRegistry(enabled=True)
+    scheme = make_scheme(
+        "constant-brc",
+        domain,
+        rng=random.Random(5),
+        intersection_policy="allow",
+    )
+    client = RemoteRangeClient(scheme, server.handle, rng=random.Random(6))
+    client.outsource([(i, i % domain) for i in range(records)])
+    return server, client
+
+
+class TestTraceSampler:
+    def test_rate_semantics(self):
+        assert not TraceSampler(0).active
+        assert TraceSampler(1).decide()
+        off = TraceSampler(0)
+        assert not off.decide()
+
+    def test_rate_n_is_one_in_n(self):
+        sampler = TraceSampler(4, rng=random.Random(11))
+        kept = sum(1 for _ in range(4000) if sampler.decide())
+        assert 800 < kept < 1200  # ~1000 expected
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "25")
+        assert TraceSampler().rate == 25
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "garbage")
+        assert TraceSampler().rate == 0
+
+    def test_sampled_query_lands_in_tracer(self):
+        server, client = _loaded_server(trace_sampler=HeadsSampler())
+        client.query(3, 90)
+        traces = server.tracer.snapshot()
+        assert traces
+        assert any(
+            span["name"] == "server.handle"
+            for trace in traces
+            for span in trace["spans"]
+        )
+        assert server.metrics_registry.counter("trace.sampled").value >= 1
+
+    def test_dropped_query_leaves_no_trace(self):
+        server, client = _loaded_server(trace_sampler=TailsSampler())
+        client.query(3, 90)
+        assert len(server.tracer) == 0
+        assert server.metrics_registry.counter("trace.dropped").value >= 1
+
+
+class TestFlightRecorder:
+    def test_threshold_and_ring(self):
+        recorder = FlightRecorder(capacity=2, threshold_s=0.01)
+        assert recorder.armed
+        registry = MetricsRegistry(enabled=True)
+        recorder.registry = registry
+        buffer = []
+
+        def observed(elapsed, op="search"):
+            with start_trace("t" * 16, None, "server.handle") as state:
+                pass
+            recorder.consider(op, state, elapsed)
+
+        observed(0.001)  # under the bar
+        assert len(recorder) == 0
+        for i in range(3):
+            observed(0.5 + i)
+        assert len(recorder) == 2  # ring dropped the oldest
+        assert recorder.evicted == 1
+        captures = recorder.snapshot()
+        assert [c["elapsed_s"] for c in captures] == pytest.approx([1.5, 2.5])
+        assert all(c["reason"] == "absolute" for c in captures)
+        assert registry.counter("slowlog.captured").value == 3
+
+    def test_p99_threshold_needs_min_samples(self):
+        registry = MetricsRegistry(enabled=True)
+        recorder = FlightRecorder(
+            p99_factor=2.0, min_samples=5, registry=registry
+        )
+        assert recorder.armed
+        # Until min_samples observations exist there is no live bar.
+        assert recorder.threshold_for("search") is None
+        hist = registry.histogram("slowlog.latency.search")
+        for _ in range(5):
+            hist.observe(0.01)
+        bar = recorder.threshold_for("search")
+        assert bar is not None and bar > 0.01
+
+    def test_unarmed_by_default(self):
+        assert not FlightRecorder().armed
+
+    def test_slow_query_survives_tails_sampling(self):
+        """The headline behavior: sampler says drop, recorder keeps it
+        anyway — with the full span tree."""
+        server, client = _loaded_server(
+            trace_sampler=TailsSampler(),
+            flight=FlightRecorder(threshold_s=0.0),  # everything is slow
+        )
+        client.query(3, 90)
+        assert len(server.tracer) == 0  # sampling really did drop it
+        captures = server.flight.snapshot()
+        assert captures
+        top = captures[0]
+        assert top["sampled"] is False
+        names = {span["name"] for span in top["spans"]}
+        assert "server.handle" in names
+        assert "storage.get_many" in names
+        # The capture narrates itself into the event log too.
+        kinds = [record["kind"] for record in server.events.tail()]
+        assert "slowlog.capture" in kinds
+
+    def test_inert_when_unarmed_and_unsampled(self):
+        server, client = _loaded_server()  # defaults: sampler off
+        client.query(3, 90)
+        assert len(server.tracer) == 0
+        assert len(server.flight) == 0
+
+
+class TestEventLog:
+    def test_ring_and_counters(self):
+        registry = MetricsRegistry(enabled=True)
+        log = EventLog(capacity=3, registry=registry)
+        for i in range(5):
+            log.emit("test.event", index=i)
+        assert len(log) == 3
+        assert log.evicted == 2
+        assert log.emitted == 5
+        assert [record["index"] for record in log.tail()] == [2, 3, 4]
+        assert log.tail(limit=1)[0]["index"] == 4
+        assert registry.counter("events.emitted").value == 5
+
+    def test_jsonl_sink(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path=str(path))
+        log.emit("server.start", port=1234)
+        log.emit("server.stop")
+        log.close()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["kind"] for line in lines] == [
+            "server.start", "server.stop",
+        ]
+        assert lines[0]["port"] == 1234
+        assert all("ts_s" in line for line in lines)
+
+    def test_write_errors_never_raise(self, tmp_path):
+        log = EventLog(path=str(tmp_path))  # a directory: open() fails
+        record = log.emit("test.event")
+        assert record["kind"] == "test.event"  # ring still took it
+        assert log.write_errors == 1
+
+    def test_server_lifecycle_events(self):
+        server, client = _loaded_server()
+        kinds = [record["kind"] for record in server.events.tail()]
+        assert "store.open" not in kinds  # legacy upload, not a store
+        server.handle(
+            msg.StoreOpenRequest(
+                index_id=9, schemes=("logarithmic-brc",), domain_size=1 << 8
+            ).to_frame()
+        )
+        server.handle(msg.DropIndex(index_id=9).to_frame())
+        kinds = [record["kind"] for record in server.events.tail()]
+        assert "store.open" in kinds
+        assert "store.drop" in kinds
+
+
+class TestMetricsRequestCodec:
+    def test_legacy_frame_is_byte_identical(self):
+        """Extending the frame must not change what old fields emit."""
+        frame = msg.MetricsRequest(since=7, max_traces=3).to_frame()
+        tag, body = msg.parse_frame(frame)
+        assert tag == msg.TAG_METRICS_REQUEST
+        assert len(body) == 12
+        assert body == (7).to_bytes(8, "big") + (3).to_bytes(4, "big")
+
+    def test_extended_round_trip(self):
+        request = msg.MetricsRequest(
+            since=7, max_traces=3, max_slow=5, boot="ab" * 8
+        )
+        tag, body = msg.parse_frame(request.to_frame())
+        assert len(body) == 24
+        parsed = msg.MetricsRequest.from_body(body)
+        assert parsed == request
+
+    def test_zero_boot_decodes_as_unset(self):
+        request = msg.MetricsRequest(since=0, max_traces=0, max_slow=2)
+        parsed = msg.MetricsRequest.from_body(
+            msg.parse_frame(request.to_frame())[1]
+        )
+        assert parsed.boot == ""
+        assert parsed.max_slow == 2
+
+    def test_bad_bodies_rejected(self):
+        with pytest.raises(TokenError):
+            msg.MetricsRequest.from_body(b"\x00" * 13)
+        with pytest.raises(TokenError):
+            # Boot ids are validated at encode time (frozen dataclass).
+            msg.MetricsRequest(
+                since=0, max_traces=0, boot="not-hex-not-hex!"
+            ).to_frame()

@@ -1,10 +1,12 @@
-"""Cross-layer observability integration tests (PR 8).
+"""Cross-layer observability integration tests (PR 8 + PR 10).
 
 Spins real in-thread shard servers and asserts the telemetry promises
 end to end: one trace id in every shard's span buffer after a
 scatter-gather query, tail percentiles on every op in the stats frame,
-metrics deltas over the wire, the live cluster monitor, and the
-thread-safe harness stopwatch.
+metrics deltas over the wire (including cursor resets across restarts),
+the live cluster monitor over managed stores, overflow-proof table
+rendering, the headless alerts/slow CLIs, and the thread-safe harness
+stopwatch.
 """
 
 from __future__ import annotations
@@ -190,6 +192,59 @@ class TestMetricsDelta:
         registries = [s.server.stats.registry for s in servers]
         assert registries[0] is not registries[1]
 
+    def test_cursor_reset_across_restart(self, two_shards):
+        """A poller resuming its delta cursor against a *restarted*
+        shard must get a full snapshot, not silence: the boot id it
+        pinned no longer matches, so the server resets the cursor.
+
+        Registry sequence numbers are process-global, so a genuinely
+        restarted process can hand out cursors that alias the old
+        ones — the boot id is what makes the difference detectable.
+        Here the 'restart' is a second registry (fresh boot id) and a
+        deliberately future cursor standing in for a stale one.
+        """
+        servers, router = two_shards
+        router.query_many([(0, 100)])
+        server = servers[0]
+        with NetTransport(server.host, server.port) as transport:
+            full = transport.metrics()
+            boot = full["boot"]
+            assert boot and len(boot) == 16
+            # Matching boot: the cursor is honored — a future cursor
+            # sees nothing new and no reset marker.
+            quiet = transport.metrics(since=10**9, boot=boot)
+            assert "cursor_reset" not in quiet
+            assert "op.multi-search" not in quiet["histograms"]
+            # Mismatched boot (the shard "restarted"): same cursor now
+            # triggers a reset and the full current state comes back.
+            # (All-zero is the wire's "unset" sentinel, so it can't
+            # serve as a stale id.)
+            stale = "f" * 16 if boot != "f" * 16 else "e" * 16
+            reset = transport.metrics(since=10**9, boot=stale)
+            assert reset["cursor_reset"] is True
+            assert reset["boot"] == boot
+            assert "op.multi-search" in reset["histograms"]
+
+    def test_cursor_survives_real_restart_generations(self):
+        """Same contract with two actual server generations: a poller
+        that pinned generation 1's boot id sees the reset marker on
+        its first poll of generation 2."""
+        first = serve_in_thread(shard="gen/1")
+        try:
+            with NetTransport(first.host, first.port) as transport:
+                boot1 = transport.metrics()["boot"]
+                seq1 = transport.metrics()["seq"]
+        finally:
+            first.stop()
+        second = serve_in_thread(shard="gen/2")
+        try:
+            with NetTransport(second.host, second.port) as transport:
+                payload = transport.metrics(since=seq1, boot=boot1)
+            assert payload["boot"] != boot1
+            assert payload["cursor_reset"] is True
+        finally:
+            second.stop()
+
 
 class TestClusterMonitor:
     def test_sample_covers_every_shard(self, two_shards):
@@ -250,6 +305,133 @@ class TestClusterMonitor:
         with pytest.raises(ValueError):
             ClusterMonitor(["no-port-here"])
 
+    def test_managed_store_updates_ride_the_monitor(self):
+        """The PR-9 ``updates.*`` counter family surfaces per shard in
+        monitor samples (and therefore in ``top --once --json``)."""
+        from repro.net.store import NetRangeStore
+
+        servers = [serve_in_thread(shard=f"{i}/2") for i in range(2)]
+        try:
+            for n, server in enumerate(servers):
+                with NetRangeStore.connect(
+                    server.host,
+                    server.port,
+                    domain_size=DOMAIN,
+                    schemes=("logarithmic-brc",),
+                    index_id=41,
+                    consolidation_step=2,
+                ) as store:
+                    store.insert_many((i, i % DOMAIN) for i in range(6 + n))
+                    store.flush()
+            addrs = [(s.host, s.port) for s in servers]
+            with ClusterMonitor(addrs) as monitor:
+                sample = monitor.sample()
+            assert sample["reachable"] == 2
+            for n, row in enumerate(sample["shards"]):
+                assert row["updates"]["applied"] == 6 + n
+                assert row["updates"]["batches"] >= 1
+                # The raw registry stays off the row unless asked for.
+                assert "metrics" not in row
+            with ClusterMonitor(addrs, collect_metrics=True) as monitor:
+                sample = monitor.sample()
+            for row in sample["shards"]:
+                assert "updates.applied" in row["metrics"]["counters"]
+        finally:
+            for server in servers:
+                server.stop()
+
+
+class TestRenderOverflow:
+    """Hostile values must truncate inside their columns, not shear
+    the table (the pre-PR10 f-strings let any cell overflow)."""
+
+    @staticmethod
+    def _row(**overrides):
+        row = {
+            "address": "10.0.0.1:9999",
+            "reachable": True,
+            "shard": "0/2",
+            "qps": 12.5,
+            "p50_ms": 1.0,
+            "p99_ms": 2.0,
+            "inflight": 0,
+            "cache_hit_rate": 0.5,
+            "kernel": "serial",
+            "errors": 0,
+        }
+        row.update(overrides)
+        return row
+
+    def test_render_top_survives_hostile_values(self):
+        sample = {
+            "shard_count": 2,
+            "reachable": 2,
+            "shards": [
+                self._row(),
+                self._row(
+                    address="very-long-hostname.internal.example.com:65001",
+                    shard="9999999/9999999",
+                    qps=123456789012.0,
+                    kernel="a-very-long-kernel-backend-name",
+                    errors=10**15,
+                ),
+            ],
+        }
+        rendered = render_top(sample)
+        lines = rendered.splitlines()
+        up_rows = [l for l in lines if " UP " in l]
+        assert len(up_rows) == 2
+        assert len(up_rows[0]) == len(up_rows[1])  # aligned despite abuse
+        assert "…" in up_rows[1]
+        assert "123456789012" not in up_rows[1]  # compacted, not spilled
+
+    def test_render_health_survives_hostile_values(self):
+        from repro.cluster.health import render_health
+
+        def entry(**overrides):
+            base = {
+                "shard": 0,
+                "address": "10.0.0.1:9999",
+                "reachable": True,
+                "label": "",
+                "stored_bytes": 1024,
+                "frames_in": 10,
+                "errors": 0,
+                "inflight_by_index": {},
+                "exec_cache": None,
+                "crypto_kernel": {"backend": "serial"},
+                "ops": {},
+                "search_p99_ms": 1.5,
+            }
+            base.update(overrides)
+            return base
+
+        health = {
+            "topology_version": 1,
+            "shard_count": 2,
+            "reachable": 2,
+            "unreachable_shards": [],
+            "totals": {"stored_bytes": 0, "frames_in": 0,
+                       "serial_fallbacks": 0},
+            "exec_cache_hit_rate": 0.0,
+            "kernel_offload_ratio": 0.0,
+            "shards": [
+                entry(),
+                entry(
+                    shard=77777777,
+                    address="very-long-hostname.internal.example.com:65001",
+                    label="a-label-much-longer-than-the-column",
+                    stored_bytes=10**14,
+                    frames_in=10**12,
+                    search_p99_ms=123456.789,
+                    crypto_kernel={"backend": "a-long-backend", "workers": 9},
+                ),
+            ],
+        }
+        normal, hostile = render_health(health).splitlines()[3:5]
+        assert len(normal) == len(hostile)  # aligned despite abuse
+        assert "…" in hostile
+
 
 class TestCliHeadless:
     def test_top_once_json(self, capsys):
@@ -263,6 +445,66 @@ class TestCliHeadless:
         sample = json.loads(capsys.readouterr().out)
         assert sample["shard_count"] == 2
         assert sample["reachable"] == 2
+        # PR 10: the sample carries the SLO rollup, and the bulky raw
+        # registry snapshots are stripped from the JSON surface.
+        assert sample["alerts"]["worst"] in {"ok", "warn", "page"}
+        assert {a["name"] for a in sample["alerts"]["alerts"]} == {
+            "search-p99", "error-rate", "fleet",
+        }
+        assert all("metrics" not in row for row in sample["shards"])
+
+    def test_alerts_once_pages_on_breached_objective(self, capsys):
+        """An impossible latency bound turns into worst=page and exit
+        code 1 — the headless CI/cron contract."""
+        from repro.harness.cli import main
+
+        code = main([
+            "alerts", "--once", "--json", "--shards", "1",
+            "--records", "80", "--domain", str(DOMAIN),
+            "--samples", "2", "--interval", "0.1",
+            "--objective", "ci-page: p99(op.multi-search) < 0.001ms over 1m",
+        ])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert doc["worst"] == "page"
+        [alert] = doc["alerts"]
+        assert alert["name"] == "ci-page"
+        assert alert["state"] == "page"
+        assert alert["worst_shard"]
+
+    def test_alerts_once_healthy_objective_exits_zero(self, capsys):
+        from repro.harness.cli import main
+
+        code = main([
+            "alerts", "--once", "--json", "--shards", "1",
+            "--records", "80", "--domain", str(DOMAIN),
+            "--samples", "2", "--interval", "0.1",
+            "--objective", "ci-ok: p99(op.multi-search) < 60s over 1m",
+        ])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert doc["worst"] == "ok"
+
+    def test_slow_demo_captures_over_the_wire(self, capsys):
+        """The slow CLI's demo cluster runs sampled tracing with an
+        armed recorder; captures ride back via the metrics frame."""
+        from repro.harness.cli import main
+
+        code = main([
+            "slow", "--json", "--shards", "1", "--records", "80",
+            "--domain", str(DOMAIN), "--queries", "4",
+            "--threshold-ms", "0",
+        ])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["v"] == 1
+        assert doc["slow"]
+        top = doc["slow"][0]
+        assert top["op"] == "multi-search"
+        assert any(
+            span["name"] == "storage.get_many" for span in top["spans"]
+        )
+        assert top["trace_id"]
 
     def test_trace_chrome_export(self, tmp_path, capsys):
         from repro.harness.cli import main

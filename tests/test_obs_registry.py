@@ -130,8 +130,12 @@ class TestLatencyHistogram:
         assert set(v) == {
             "count", "sum_seconds", "mean_seconds", "min_seconds",
             "max_seconds", "p50_seconds", "p95_seconds", "p99_seconds",
+            "buckets",
         }
         assert v["count"] == 2
+        # PR 10: raw bucket counts ride along so SLO trackers can diff
+        # windows; they must agree with the digested count.
+        assert sum(v["buckets"]) == 2
         assert abs(v["sum_seconds"] - 0.03) < 1e-12
         assert abs(v["mean_seconds"] - 0.015) < 1e-12
 

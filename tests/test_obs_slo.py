@@ -1,0 +1,300 @@
+"""SLO tracker tests: objective parsing, burn-rate states, fleet rollup.
+
+Every latency evaluation here drives the tracker with hand-built
+registry snapshots and an injected clock — the states must be a pure
+function of (objectives, samples, time), or alerting is untestable.
+"""
+
+import pytest
+
+from repro.cluster.health import render_alerts, rollup_alerts
+from repro.obs.events import EventLog
+from repro.obs.registry import LATENCY_BOUNDS, MetricsRegistry
+from repro.obs.slo import (
+    STATE_OK,
+    STATE_PAGE,
+    STATE_WARN,
+    FleetSlos,
+    SloTracker,
+    parse_objective,
+    worst_state,
+)
+
+
+class FakeClock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _snapshot_with_latency(registry_factory, op, observations):
+    """A real registry snapshot carrying one op histogram."""
+    registry = registry_factory()
+    hist = registry.histogram(f"op.{op}")
+    for seconds in observations:
+        hist.observe(seconds)
+    return registry.snapshot()
+
+
+class TestParseObjective:
+    def test_latency_forms(self):
+        obj = parse_objective("p99(op.multi-search) < 100ms over 5m")
+        assert obj.kind == "latency"
+        assert obj.metric == "op.multi-search"
+        assert obj.quantile == pytest.approx(0.99)
+        assert obj.bound == pytest.approx(0.1)
+        assert obj.window_s == pytest.approx(300.0)
+        # Default short window: window/6 with a 10s floor.
+        assert obj.short_s == pytest.approx(50.0)
+
+    def test_named_objective_and_units(self):
+        obj = parse_objective("tail: p50(op.search) < 250us over 30s")
+        assert obj.name == "tail"
+        assert obj.bound == pytest.approx(250e-6)
+        assert obj.window_s == pytest.approx(30.0)
+        assert obj.short_s == pytest.approx(10.0)  # floor
+
+    def test_explicit_short_window(self):
+        obj = parse_objective("p99(op.x) < 1s over 10m/20s")
+        assert obj.window_s == pytest.approx(600.0)
+        assert obj.short_s == pytest.approx(20.0)
+
+    def test_error_rate_and_unreachable(self):
+        err = parse_objective("errors: error_rate < 2% over 1m")
+        assert err.kind == "error-rate"
+        assert err.bound == pytest.approx(0.02)
+        fleet = parse_objective("fleet: unreachable == 0")
+        assert fleet.kind == "unreachable"
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "p99(op.x) < 100 over 5m",  # missing unit
+            "p99 op.x < 100ms over 5m",  # missing parens
+            "latency is fine",
+            "p200(op.x) < 1ms over 5m",  # quantile > 1
+            "",
+        ],
+    )
+    def test_garbage_rejected(self, text):
+        with pytest.raises(ValueError):
+            parse_objective(text)
+
+    def test_worst_state(self):
+        assert worst_state([]) == STATE_OK
+        assert worst_state([STATE_OK, STATE_WARN]) == STATE_WARN
+        assert worst_state([STATE_WARN, STATE_PAGE, STATE_OK]) == STATE_PAGE
+
+
+class TestLatencyStates:
+    def _tracker(self, clock, objective="p99(op.search) < 100ms over 1m"):
+        return SloTracker([objective], clock=clock)
+
+    def test_fast_queries_stay_ok(self):
+        clock = FakeClock()
+        tracker = self._tracker(clock)
+        registry = MetricsRegistry(enabled=True)
+        hist = registry.histogram("op.search")
+        for _ in range(90):
+            clock.advance(1.0)
+            hist.observe(0.002)
+            tracker.observe(registry.snapshot())
+        [result] = tracker.evaluate()
+        assert result["state"] == STATE_OK
+        assert result["burn_long"] == pytest.approx(0.0)
+
+    def test_slow_queries_page(self):
+        clock = FakeClock()
+        tracker = self._tracker(clock)
+        registry = MetricsRegistry(enabled=True)
+        hist = registry.histogram("op.search")
+        for _ in range(90):
+            clock.advance(1.0)
+            hist.observe(0.5)  # every query blows the 100ms bound
+            tracker.observe(registry.snapshot())
+        [result] = tracker.evaluate()
+        assert result["state"] == STATE_PAGE
+        # All-bad traffic burns at 1/(1-0.99) = 100x budget.
+        assert result["burn_long"] == pytest.approx(100.0, rel=0.01)
+        assert result["burn_short"] == pytest.approx(100.0, rel=0.01)
+
+    def test_long_only_breach_warns_not_pages(self):
+        """Paging needs BOTH windows burning; a recovered incident
+        (long window still dirty, short window clean) only warns."""
+        clock = FakeClock()
+        tracker = self._tracker(clock)
+        registry = MetricsRegistry(enabled=True)
+        hist = registry.histogram("op.search")
+        # 40s of all-bad traffic, then 20s of clean traffic: the 1m
+        # window still sees ~2/3 bad, the 10s short window sees none.
+        for _ in range(40):
+            clock.advance(1.0)
+            hist.observe(0.5)
+            tracker.observe(registry.snapshot())
+        for _ in range(20):
+            clock.advance(1.0)
+            hist.observe(0.001)
+            tracker.observe(registry.snapshot())
+        [result] = tracker.evaluate()
+        assert result["state"] == STATE_WARN
+        assert result["burn_long"] > 1.0
+        assert result["burn_short"] == pytest.approx(0.0)
+
+    def test_counter_regression_treated_as_fresh(self):
+        """A restarted shard's smaller histogram must not produce
+        negative deltas — its counts are taken as all-new."""
+        clock = FakeClock()
+        tracker = self._tracker(clock, "p99(op.search) < 100ms over 1m")
+        big = MetricsRegistry(enabled=True)
+        for _ in range(50):
+            big.histogram("op.search").observe(0.5)
+        clock.advance(1.0)
+        tracker.observe(big.snapshot())
+        # Restart: the histogram comes back smaller than before (a
+        # negative raw delta) while slow traffic keeps flowing.
+        small = MetricsRegistry(enabled=True)
+        for _ in range(59):
+            clock.advance(1.0)
+            small.histogram("op.search").observe(0.5)
+            tracker.observe(small.snapshot())
+        [result] = tracker.evaluate()
+        assert result["state"] == STATE_PAGE
+        assert result["burn_long"] > 0.0
+
+    def test_carry_forward_when_metric_absent(self):
+        """Delta payloads omit untouched instruments; an absent
+        histogram means 'no new observations', not 'metric vanished'."""
+        clock = FakeClock()
+        tracker = self._tracker(clock)
+        registry = MetricsRegistry(enabled=True)
+        registry.histogram("op.search").observe(0.001)
+        clock.advance(1.0)
+        tracker.observe(registry.snapshot())
+        for _ in range(60):
+            clock.advance(1.0)
+            tracker.observe({"counters": {}, "histograms": {}})
+        [result] = tracker.evaluate()
+        # The carried-forward counts mean zero *new* observations in
+        # the window — quiet, not breached.
+        assert result["state"] == STATE_OK
+        assert result["samples"] == 0
+
+
+class TestErrorRateAndUnreachable:
+    def test_error_rate_pages(self):
+        clock = FakeClock()
+        tracker = SloTracker(["error_rate < 5% over 1m"], clock=clock)
+        registry = MetricsRegistry(enabled=True)
+        for _ in range(60):
+            clock.advance(1.0)
+            registry.counter("net.frames").inc(10)
+            registry.counter("net.errors").inc(5)  # 50% error rate
+            tracker.observe(registry.snapshot())
+        [result] = tracker.evaluate()
+        assert result["state"] == STATE_PAGE
+        assert result["value"] == pytest.approx(0.5, rel=0.01)
+
+    def test_unreachable_debounce(self):
+        """One missed probe warns; two consecutive misses page —
+        a single dropped poll must not page an on-call."""
+        clock = FakeClock()
+        tracker = SloTracker(["unreachable == 0"], clock=clock)
+        tracker.observe({}, unreachable=0)
+        clock.advance(1.0)
+        tracker.observe({}, unreachable=1)
+        [result] = tracker.evaluate()
+        assert result["state"] == STATE_WARN
+        clock.advance(1.0)
+        tracker.observe({}, unreachable=1)
+        [result] = tracker.evaluate()
+        assert result["state"] == STATE_PAGE
+        clock.advance(1.0)
+        tracker.observe({}, unreachable=0)
+        [result] = tracker.evaluate()
+        assert result["state"] == STATE_OK
+
+
+class TestTransitions:
+    def test_transition_emits_event_and_metrics(self):
+        clock = FakeClock()
+        events = EventLog(capacity=16)
+        registry = MetricsRegistry(enabled=True)
+        tracker = SloTracker(
+            ["p99(op.search) < 100ms over 1m"],
+            events=events,
+            registry=registry,
+            clock=clock,
+        )
+        source = MetricsRegistry(enabled=True)
+        hist = source.histogram("op.search")
+        for _ in range(30):
+            clock.advance(1.0)
+            hist.observe(0.5)
+            tracker.observe(source.snapshot())
+        tracker.evaluate()
+        kinds = [record["kind"] for record in events.tail()]
+        assert "alert" in kinds
+        assert registry.counter("slo.transitions").value >= 1
+        assert registry.counter("slo.evaluations").value >= 1
+        # The per-objective state gauge tracks the live level (the
+        # auto-derived name for an unnamed latency objective).
+        assert registry.gauge("slo.state.p99-op.search").value == 2  # page
+
+    def test_duplicate_objective_names_rejected(self):
+        with pytest.raises(ValueError):
+            SloTracker(
+                ["same: unreachable == 0", "same: error_rate < 1% over 1m"]
+            )
+
+
+class TestFleetRollup:
+    def _evaluation(self):
+        """Two shards, one paging, plus a fleet objective."""
+        clock = FakeClock()
+        fleet = FleetSlos(
+            ["lat: p99(op.search) < 100ms over 1m", "up: unreachable == 0"],
+            clock=clock,
+        )
+        fast = MetricsRegistry(enabled=True)
+        slow = MetricsRegistry(enabled=True)
+        for _ in range(60):
+            clock.advance(1.0)
+            fast.histogram("op.search").observe(0.001)
+            slow.histogram("op.search").observe(0.5)
+            fleet.observe_sample(
+                {
+                    "sampled_at_s": clock(),
+                    "shard_count": 2,
+                    "reachable": 2,
+                    "shards": [
+                        {"address": "a:1", "reachable": True,
+                         "metrics": fast.snapshot()},
+                        {"address": "b:2", "reachable": True,
+                         "metrics": slow.snapshot()},
+                    ],
+                }
+            )
+        return fleet.evaluate()
+
+    def test_worst_shard_wins_and_is_attributed(self):
+        doc = rollup_alerts(self._evaluation())
+        assert doc["worst"] == STATE_PAGE
+        by_name = {alert["name"]: alert for alert in doc["alerts"]}
+        lat = by_name["lat"]
+        assert lat["state"] == STATE_PAGE
+        assert lat["worst_shard"] == "b:2"
+        assert lat["shards"] == {"a:1": STATE_OK, "b:2": STATE_PAGE}
+        assert by_name["up"]["state"] == STATE_OK
+
+    def test_render_alerts_lines(self):
+        doc = rollup_alerts(self._evaluation())
+        text = render_alerts(doc)
+        assert "[PAGE] lat:" in text
+        assert "worst shard b:2" in text
+        assert "[  OK] up:" in text
+        assert render_alerts({"alerts": []}).startswith("slo: no objectives")
